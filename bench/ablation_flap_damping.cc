@@ -1,0 +1,84 @@
+// Ablation: RFC 2439 route-flap damping vs the IV-E continuous customer
+// flap.
+//
+// The paper diagnoses the flap; this ablation applies the era-standard
+// operational remedy and measures it: with damping enabled on the ISP's
+// session to the flapping customer, the mesh-wide event churn collapses —
+// at the cost of the customer staying suppressed (unreachable via the
+// direct path) between flaps.
+#include <cstdio>
+
+#include "collector/collector.h"
+#include "workload/ispanon.h"
+
+using namespace ranomaly;
+using util::kMinute;
+using util::kSecond;
+
+namespace {
+
+struct Result {
+  std::size_t events = 0;
+  std::uint64_t damped = 0;
+  std::uint64_t reused = 0;
+};
+
+Result RunFlaps(bool with_damping) {
+  workload::IspAnonOptions options;
+  options.pop_count = 4;
+  options.customers_per_pop = 2;
+  options.with_med_scenario = false;
+  workload::IspAnonNet net = workload::BuildIspAnon(options);
+  if (with_damping) {
+    net::LinkSpec& flap_link = net.topology.mutable_link(net.flap_link);
+    flap_link.a_policy.damping.enabled = true;
+    flap_link.a_policy.damping.half_life = 30 * kMinute;
+  }
+  net::Simulator sim(net.topology, 9);
+  collector::Collector rex;
+  rex.AttachTo(sim, net.core_rrs);
+  net.SeedRoutes(sim);
+  sim.Start();
+  sim.RunToQuiescence(5 * kMinute);
+  const std::size_t baseline = rex.events().size();
+
+  InjectCustomerFlaps(sim, net, sim.now() + kMinute, 60 * kMinute,
+                      10 * kSecond, 50 * kSecond);
+  sim.Run(sim.now() + 62 * kMinute);
+
+  Result r;
+  r.events = rex.events().size() - baseline;
+  r.damped = sim.stats().routes_damped;
+  r.reused = sim.stats().routes_reused;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: RFC 2439 flap damping vs the IV-E customer "
+              "flap ===\n\n");
+  std::printf("60 minutes of once-a-minute session flaps at the customer "
+              "edge:\n\n");
+  const Result off = RunFlaps(false);
+  const Result on = RunFlaps(true);
+  std::printf("  %-18s %10s %10s %10s\n", "damping", "events", "damped",
+              "reused");
+  std::printf("  %-18s %10zu %10llu %10llu\n", "disabled", off.events,
+              static_cast<unsigned long long>(off.damped),
+              static_cast<unsigned long long>(off.reused));
+  std::printf("  %-18s %10zu %10llu %10llu\n", "enabled", on.events,
+              static_cast<unsigned long long>(on.damped),
+              static_cast<unsigned long long>(on.reused));
+
+  const bool ok = on.events * 3 < off.events && on.damped > 0;
+  std::printf("\nmesh churn reduced by damping: %s (x%.1f fewer events)\n",
+              ok ? "YES" : "no",
+              off.events == 0 ? 0.0
+                              : static_cast<double>(off.events) /
+                                    static_cast<double>(std::max<std::size_t>(
+                                        1, on.events)));
+  std::printf("note: the remedy trades churn for reachability — while\n"
+              "suppressed, the direct customer path stays out of the RIB.\n");
+  return ok ? 0 : 1;
+}

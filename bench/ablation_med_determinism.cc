@@ -1,0 +1,65 @@
+// Ablation: MED evaluation order (DESIGN.md decision 5, RFC 3345).
+//
+// The same three-cluster reflector topology is run under the three MED
+// evaluation modes.  The default (sequential, order-dependent) mode —
+// what deployed routers of the paper's era did — never converges: the
+// preference cycle b0 <MED b1 <IGP c <IGP b0 keeps the mesh churning,
+// exactly the Section IV-F pathology.  Both mitigations converge.
+#include <cstdio>
+
+#include "collector/collector.h"
+#include "workload/rfc3345.h"
+
+using namespace ranomaly;
+using util::kSecond;
+
+namespace {
+
+struct Mode {
+  const char* name;
+  bool deterministic;
+  bool always_compare;
+};
+
+void RunMode(const Mode& mode) {
+  workload::Rfc3345Net net = workload::BuildRfc3345(mode.deterministic);
+  net::Topology topo;
+  for (std::size_t i = 0; i < net.topology.RouterCount(); ++i) {
+    net::RouterSpec spec =
+        net.topology.router(static_cast<net::RouterIndex>(i));
+    spec.decision.always_compare_med = mode.always_compare;
+    topo.AddRouter(std::move(spec));
+  }
+  for (std::size_t i = 0; i < net.topology.LinkCount(); ++i) {
+    topo.AddLink(net.topology.link(static_cast<net::LinkIndex>(i)));
+  }
+  net::Simulator sim(std::move(topo), 1);
+  collector::Collector rex;
+  rex.AttachTo(sim, {net.rr1, net.rr2, net.rr3});
+  net.SeedRoutes(sim);
+  sim.Start();
+  const bool converged = sim.RunToQuiescence(30 * kSecond);
+  std::printf("  %-24s %-12s %10llu best-path changes, %8zu iBGP events "
+              "in 30 simulated seconds\n",
+              mode.name, converged ? "CONVERGES" : "OSCILLATES",
+              static_cast<unsigned long long>(sim.stats().best_path_changes),
+              rex.events().size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: MED evaluation order on the RFC 3345 topology "
+              "===\n\n");
+  std::printf("routes for 4.5.0.0/16: AS-B med 1 (cluster 1), AS-B med 0 "
+              "(cluster 2), AS-C no med (cluster 3)\n");
+  std::printf("preference cycle: b0 beats b1 (MED), b1 beats c (IGP), c "
+              "beats b0 (IGP)\n\n");
+  RunMode({"sequential (default)", false, false});
+  RunMode({"deterministic-med", true, false});
+  RunMode({"always-compare-med", false, true});
+  std::printf("\nreading: the paper's IV-F oscillation is not an injected\n"
+              "anomaly here — it emerges from the decision process, and the\n"
+              "RFC 3345 mitigations make it vanish.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation: the pruning threshold (DESIGN.md decision 2/3).
+//
+// Sweeps the flat threshold from 0 % to 20 % on the Berkeley picture and
+// reports graph size and whether the IV-B backdoor survives; then shows
+// hierarchical pruning keeping the near-root detail at every threshold.
+// The paper's 5 % default is the point where the picture stays readable
+// (tens of edges) yet still shows every major artery.
+#include "scenario_common.h"
+
+using namespace ranomaly;
+
+int main() {
+  auto scenario = bench::BuildConvergedBerkeley();
+  auto graph = tamp::TampGraph::FromSnapshot(scenario.collector->Snapshot(),
+                                             {.root_name = "Berkeley"});
+  bench::ApplyAsNames(graph, scenario.net);
+  const tamp::NodeId backdoor =
+      tamp::NexthopNode(bgp::Ipv4Addr(169, 229, 0, 157));
+
+  std::printf("=== Ablation: pruning threshold ===\n");
+  std::printf("unpruned graph: %zu edges\n\n", graph.EdgeCount());
+  std::printf("%-12s %8s %8s %10s | %8s %8s %10s\n", "threshold", "edges",
+              "nodes", "backdoor", "edges", "nodes", "backdoor");
+  std::printf("%-12s %28s | %28s\n", "", "---------- flat ----------",
+              "------- hierarchical ------");
+
+  for (const double pct : {0.0, 0.01, 0.02, 0.05, 0.10, 0.20}) {
+    const auto flat = tamp::Prune(graph, {.threshold = pct});
+    tamp::PruneOptions hier;
+    hier.depth_thresholds = {0.0, 0.0, 0.0, 0.0, pct};
+    const auto hierarchical = tamp::Prune(graph, hier);
+    std::printf("%10.0f%% %8zu %8zu %10s | %8zu %8zu %10s\n", pct * 100,
+                flat.edges.size(), flat.nodes.size(),
+                flat.FindNode(backdoor) != tamp::PrunedGraph::npos ? "visible"
+                                                                   : "pruned",
+                hierarchical.edges.size(), hierarchical.nodes.size(),
+                hierarchical.FindNode(backdoor) != tamp::PrunedGraph::npos
+                    ? "visible"
+                    : "pruned");
+  }
+
+  std::printf(
+      "\nreading: flat pruning loses the 2-prefix backdoor at any useful\n"
+      "threshold; hierarchical pruning keeps all in-domain elements while\n"
+      "still collapsing the far topology — the paper's operator feedback.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Table I(a): execution times of TAMP and Stemming on the Berkeley-scale
+// dataset.  Paper rows (Pentium 4, 3.06 GHz, 2002-era code):
+//
+//   TAMP picture:   230k routes 1.8 s | 115k 1.6 s | 23k 0.5 s
+//   TAMP animation: 1k events 0.5 s | 10k 1.1 s | 100k 9 s | 1000k 78 s
+//   Stemming:       12k events 8.6 s | 57k 9.5 s | 330k 17.3 s
+//
+// Absolute numbers differ on modern hardware; the shape to check is that
+// time grows with input size and everything stays real-time-capable.
+#include <benchmark/benchmark.h>
+
+#include "table1_common.h"
+#include "stemming/stemming.h"
+#include "tamp/animation.h"
+#include "tamp/prune.h"
+
+namespace ranomaly::bench {
+namespace {
+
+void BM_TampPicture(benchmark::State& state) {
+  const auto routes = static_cast<std::size_t>(state.range(0));
+  const workload::SyntheticInternet internet = BerkeleyScale(routes);
+  for (auto _ : state) {
+    tamp::TampGraph graph = tamp::TampGraph::FromSnapshot(internet.routes());
+    tamp::PrunedGraph pruned = tamp::Prune(graph);  // default 5 %
+    benchmark::DoNotOptimize(pruned.edges.data());
+  }
+  state.counters["routes"] = static_cast<double>(internet.routes().size());
+}
+BENCHMARK(BM_TampPicture)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(23'000)
+    ->Arg(115'000)
+    ->Arg(230'000);
+
+void BM_TampAnimation(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const workload::SyntheticInternet internet = BerkeleyScale(23'000);
+  const collector::EventStream events = AnimationEvents(internet, count, 7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    tamp::Animator animator(internet.routes(), tamp::AnimationOptions{});
+    state.ResumeTiming();
+    const auto result = animator.Play(events.events());
+    benchmark::DoNotOptimize(result.frames.size());
+  }
+  state.counters["events"] = static_cast<double>(events.size());
+  state.counters["timerange_s"] = util::ToSeconds(events.TimeRange());
+}
+BENCHMARK(BM_TampAnimation)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Arg(1'000'000);
+
+void BM_Stemming(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const workload::SyntheticInternet internet = BerkeleyScale(23'000);
+  const collector::EventStream events = SpikeEvents(internet, count, 9);
+  std::size_t components = 0;
+  for (auto _ : state) {
+    const auto result = stemming::Stem(events.events());
+    components = result.components.size();
+    benchmark::DoNotOptimize(components);
+  }
+  state.counters["events"] = static_cast<double>(events.size());
+  state.counters["components"] = static_cast<double>(components);
+  state.counters["timerange_s"] = util::ToSeconds(events.TimeRange());
+}
+BENCHMARK(BM_Stemming)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(12'000)
+    ->Arg(57'000)
+    ->Arg(330'000);
+
+}  // namespace
+}  // namespace ranomaly::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Table I(b): execution times of TAMP and Stemming on the ISP-Anon-scale
+// dataset.  Paper rows:
+//
+//   TAMP picture:   1500k routes 7 s | 750k 3.8 s | 150k 1.5 s
+//   TAMP animation: 1k events 1.0 s | 10k 1.6 s | 100k 9.4 s | 1000k 88.5 s
+//   Stemming:       214k events 32.8 s | 346k 34.1 s | 791k 35.2 s
+//
+// Note the paper's observation that ISP-Anon rows run slower than
+// Berkeley rows at the same event counts because the underlying RIB and
+// topology structures are much larger — the same holds here.
+#include <benchmark/benchmark.h>
+
+#include "table1_common.h"
+#include "stemming/stemming.h"
+#include "tamp/animation.h"
+#include "tamp/prune.h"
+
+namespace ranomaly::bench {
+namespace {
+
+void BM_TampPicture(benchmark::State& state) {
+  const auto routes = static_cast<std::size_t>(state.range(0));
+  const workload::SyntheticInternet internet = IspAnonScale(routes);
+  for (auto _ : state) {
+    tamp::TampGraph graph = tamp::TampGraph::FromSnapshot(internet.routes());
+    tamp::PrunedGraph pruned = tamp::Prune(graph);
+    benchmark::DoNotOptimize(pruned.edges.data());
+  }
+  state.counters["routes"] = static_cast<double>(internet.routes().size());
+}
+BENCHMARK(BM_TampPicture)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(150'000)
+    ->Arg(750'000)
+    ->Arg(1'500'000);
+
+void BM_TampAnimation(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  // Animations track the full ISP RIB while replaying events.
+  const workload::SyntheticInternet internet = IspAnonScale(150'000);
+  const collector::EventStream events = AnimationEvents(internet, count, 17);
+  for (auto _ : state) {
+    state.PauseTiming();
+    tamp::Animator animator(internet.routes(), tamp::AnimationOptions{});
+    state.ResumeTiming();
+    const auto result = animator.Play(events.events());
+    benchmark::DoNotOptimize(result.frames.size());
+  }
+  state.counters["events"] = static_cast<double>(events.size());
+  state.counters["timerange_s"] = util::ToSeconds(events.TimeRange());
+}
+BENCHMARK(BM_TampAnimation)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1'000)
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Arg(1'000'000);
+
+void BM_Stemming(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const workload::SyntheticInternet internet = IspAnonScale(150'000);
+  const collector::EventStream events = SpikeEvents(internet, count, 23);
+  std::size_t components = 0;
+  for (auto _ : state) {
+    const auto result = stemming::Stem(events.events());
+    components = result.components.size();
+    benchmark::DoNotOptimize(components);
+  }
+  state.counters["events"] = static_cast<double>(events.size());
+  state.counters["components"] = static_cast<double>(components);
+  state.counters["timerange_s"] = util::ToSeconds(events.TimeRange());
+}
+BENCHMARK(BM_Stemming)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(214'000)
+    ->Arg(346'000)
+    ->Arg(791'000);
+
+}  // namespace
+}  // namespace ranomaly::bench
+
+BENCHMARK_MAIN();

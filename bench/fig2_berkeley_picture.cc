@@ -1,0 +1,51 @@
+// Figure 2: TAMP picture of Berkeley's BGP with the default 5 % pruning.
+// The paper's reading: 100 % of prefixes come from CalREN, ~80 % of that
+// from the commodity Internet through QWest, ~6 % from Abilene — and the
+// IV-A surprise, the skewed rate-limiter split (78 % on 128.32.0.66 vs
+// 5 % on 128.32.0.70).
+#include "scenario_common.h"
+
+using namespace ranomaly;
+
+int main() {
+  auto scenario = bench::BuildConvergedBerkeley();
+  auto graph =
+      tamp::TampGraph::FromSnapshot(scenario.collector->Snapshot(),
+                                    {.root_name = "Berkeley"});
+  bench::ApplyAsNames(graph, scenario.net);
+
+  const double total = static_cast<double>(graph.UniquePrefixCount());
+  std::printf("=== Fig 2: TAMP picture of Berkeley's BGP ===\n");
+  std::printf("routes: %zu, unique prefixes: %zu, nexthops: %zu\n\n",
+              scenario.collector->RouteCount(), graph.UniquePrefixCount(),
+              scenario.collector->NexthopCount());
+
+  const tamp::PruneOptions prune{.threshold = 0.05, .depth_thresholds = {}};
+  const auto pruned = tamp::Prune(graph, prune);
+  bench::PrintPrunedGraph(pruned);
+
+  const double qwest =
+      static_cast<double>(graph.EdgeWeight(tamp::AsNode(11423),
+                                           tamp::AsNode(209))) / total;
+  const double abilene =
+      static_cast<double>(graph.EdgeWeight(tamp::AsNode(11423),
+                                           tamp::AsNode(11537))) / total;
+  const auto w66 =
+      graph.EdgeWeight(tamp::PeerNode(bgp::Ipv4Addr(128, 32, 1, 3)),
+                       tamp::NexthopNode(bgp::Ipv4Addr(128, 32, 0, 66)));
+  const auto w70 =
+      graph.EdgeWeight(tamp::PeerNode(bgp::Ipv4Addr(128, 32, 1, 3)),
+                       tamp::NexthopNode(bgp::Ipv4Addr(128, 32, 0, 70)));
+
+  std::printf("\npaper-vs-measured:\n");
+  std::printf("  commodity via QWest : paper ~80%%   measured %4.1f%%\n",
+              qwest * 100.0);
+  std::printf("  Internet2 via Abilene: paper ~6%%    measured %4.1f%%\n",
+              abilene * 100.0);
+  std::printf("  rate-limiter split   : paper 78%%/5%% measured %4.1f%%/%4.1f%%\n",
+              100.0 * static_cast<double>(w66) / total,
+              100.0 * static_cast<double>(w70) / total);
+
+  bench::WritePicture(graph, prune, "fig2_berkeley", "Berkeley's BGP (TAMP)");
+  return 0;
+}

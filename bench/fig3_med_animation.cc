@@ -1,0 +1,134 @@
+// Figure 3 + Section IV-F: the persistent MED route oscillation at
+// ISP-Anon.  Core2-a/b announce and withdraw their AS2 route for
+// 4.5.0.0/16 continuously; Core1-a/b flip their best path in response;
+// the TAMP animation's selected edge (core1-b -> 10.3.4.5) flaps between
+// carrying and not carrying the prefix, and the per-frame plot shows the
+// impulse train.  Stemming finds this single prefix as the strongest
+// component even on a minutes-long window (paper: it was 95 % of the
+// ISP's iBGP traffic for five days).
+#include <fstream>
+
+#include "core/pipeline.h"
+#include "scenario_common.h"
+#include "tamp/animation.h"
+
+using namespace ranomaly;
+using util::kMillisecond;
+using util::kMinute;
+using util::kSecond;
+
+int main() {
+  workload::IspAnonOptions options;
+  options.pop_count = 3;
+  options.customers_per_pop = 3;
+  options.with_flapping_customer = false;
+  auto scenario = bench::BuildConvergedIspAnon(options);
+  auto& sim = *scenario.sim;
+  auto& collector = *scenario.collector;
+  const auto& net = scenario.net;
+
+  std::printf("=== Fig 3 / IV-F: persistent MED oscillation on %s ===\n\n",
+              net.med_prefix.ToString().c_str());
+
+  const std::size_t baseline = collector.events().size();
+  const std::size_t first_event = collector.events().size();
+  const util::SimTime start = sim.now() + kSecond;
+  // Drive Core2's AS2 session at a 2 ms cycle for 2 simulated seconds
+  // (the paper observed 10 us cycles; same dynamics, coarser clock).
+  InjectMedOscillation(sim, net, start, start + 2 * kSecond,
+                       2 * kMillisecond);
+  sim.Run(start + 5 * kSecond);
+
+  const std::size_t total = collector.events().size() - baseline;
+  std::size_t med_events = 0;
+  for (std::size_t i = baseline; i < collector.events().size(); ++i) {
+    if (collector.events()[i].prefix == net.med_prefix) ++med_events;
+  }
+  std::printf("events during oscillation: %zu, of which %zu (%.1f%%) are "
+              "the one prefix (paper: 95%% of all IBGP traffic)\n",
+              total, med_events,
+              100.0 * static_cast<double>(med_events) /
+                  static_cast<double>(total));
+
+  // Stemming at a short timescale still ranks it first.
+  const auto window = collector.events().Window(start, sim.now());
+  core::Pipeline pipeline;
+  const auto incidents = pipeline.AnalyzeWindow(window);
+  bool classified = false;
+  if (!incidents.empty()) {
+    std::printf("pipeline: %s\n", incidents[0].summary.c_str());
+    classified = incidents[0].kind == core::IncidentKind::kMedOscillation;
+  }
+
+  // The Fig 3 animation: track the core1-b -> 10.3.4.5 edge.
+  std::vector<bgp::Event> events(
+      collector.events().events().begin() +
+          static_cast<std::ptrdiff_t>(first_event),
+      collector.events().events().end());
+  tamp::Animator animator({}, tamp::AnimationOptions{});
+  animator.TrackEdge(tamp::PeerNode(bgp::Ipv4Addr(10, 0, 0, 2)),
+                     tamp::NexthopNode(bgp::Ipv4Addr(10, 3, 4, 5)));
+  // Track every core->nexthop edge for the self-contained animated SVG.
+  std::vector<tamp::EdgeKey> animated_edges;
+  for (const bgp::Ipv4Addr core :
+       {bgp::Ipv4Addr(10, 0, 0, 1), bgp::Ipv4Addr(10, 0, 0, 2),
+        bgp::Ipv4Addr(10, 0, 1, 1), bgp::Ipv4Addr(10, 0, 1, 2)}) {
+    for (const bgp::Ipv4Addr nexthop :
+         {bgp::Ipv4Addr(10, 3, 4, 5), bgp::Ipv4Addr(10, 6, 4, 5),
+          bgp::Ipv4Addr(10, 9, 1, 1)}) {
+      animated_edges.push_back(
+          tamp::EdgeKey{tamp::PeerNode(core), tamp::NexthopNode(nexthop)});
+    }
+  }
+  animator.TrackEdges(animated_edges);
+  std::string snapshot_svg;
+  animator.Play(events, [&](std::size_t frame,
+                            const tamp::Animator::FrameStats&) {
+    if (frame != 500) return;
+    const auto pruned = tamp::Prune(animator.graph(), {.threshold = 0.0});
+    const auto layout = tamp::ComputeLayout(pruned);
+    tamp::RenderOptions render;
+    render.title = "MED oscillation, 4.5.0.0/16 (Fig 3)";
+    snapshot_svg = tamp::RenderAnimationFrameSvg(
+        pruned, layout, animator.DecorationsFor(pruned),
+        static_cast<util::SimTime>(frame) * 40 * kMillisecond,
+        animator.TrackedPlot(), render);
+  });
+  std::ofstream("fig3_med_animation.svg") << snapshot_svg;
+  std::printf("wrote fig3_med_animation.svg (frame 500 snapshot)\n");
+
+  // The replayable artifact: a SMIL-animated SVG looping the incident.
+  {
+    const auto pruned = tamp::Prune(animator.graph(), {.threshold = 0.0});
+    std::vector<std::vector<std::size_t>> series(pruned.edges.size());
+    for (std::size_t i = 0; i < pruned.edges.size(); ++i) {
+      series[i] = animator.SeriesFor(tamp::EdgeKey{
+          pruned.nodes[pruned.edges[i].from].id,
+          pruned.nodes[pruned.edges[i].to].id});
+    }
+    const auto layout = tamp::ComputeLayout(pruned);
+    tamp::RenderOptions render;
+    render.title = "MED oscillation on 4.5.0.0/16 (looping replay)";
+    std::ofstream("fig3_med_animation_loop.svg")
+        << tamp::RenderAnimatedSvg(pruned, layout, series, 30.0, render);
+    std::printf("wrote fig3_med_animation_loop.svg (SMIL loop; open in a "
+                "browser)\n");
+  }
+
+  const auto plot = animator.TrackedPlot();
+  std::size_t impulses = 0;
+  for (std::size_t i = 1; i < plot.weights.size(); ++i) {
+    if (plot.weights[i] != plot.weights[i - 1]) ++impulses;
+  }
+  std::printf("selected edge core1-b -> 10.3.4.5: %zu carry/not-carry "
+              "transitions across 750 frames (paper: flapping too fast to "
+              "animate)\n", impulses);
+
+  const bool dominant = static_cast<double>(med_events) /
+                            static_cast<double>(total) > 0.9;
+  std::printf("\nsingle prefix dominates iBGP traffic: %s; classified "
+              "med-oscillation: %s\n",
+              dominant ? "YES [MATCH]" : "no [MISMATCH]",
+              classified ? "YES [MATCH]" : "no [MISMATCH]");
+  return dominant && classified && impulses > 10 ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Figure 8: BGP event rate at ISP-Anon over the capture.  The plot's
+// punchline is that the serious problem is not in any of the spikes — it
+// is the low-grade "grass", a persistent customer flap that only the
+// long-window Stemming pass catches.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "table1_common.h"
+
+using namespace ranomaly;
+using util::kHour;
+using util::kMinute;
+
+int main() {
+  // A day-scale stream: continuous churn grass + three session-reset
+  // spikes + the low-grade single-prefix flap.
+  // Path diversity matters: the real ISP-Anon feed spread its noise over
+  // 850 neighbor ASes, so no single shared path segment accumulates the
+  // grass into one blob.  Model that with a wide tier-1/transit fan-out.
+  workload::InternetOptions net_options;
+  net_options.monitored_peers = 8;
+  net_options.nexthops_per_peer = 4;
+  net_options.tier1_count = 40;
+  net_options.transit_count = 400;
+  net_options.prefix_count = 20'000;
+  net_options.origin_as_count = 850;
+  net_options.local_as = 1000;
+  net_options.seed = 77;
+  const workload::SyntheticInternet internet(net_options);
+
+  workload::EventStreamGenerator gen(internet, 78);
+  const util::SimDuration day = 24 * kHour;
+  gen.Churn(0, day, 120'000);
+  gen.SessionReset(1, 5 * kHour, kMinute, 30 * util::kSecond);
+  gen.SessionReset(4, 13 * kHour, kMinute, 30 * util::kSecond);
+  gen.SessionReset(6, 19 * kHour, kMinute, 30 * util::kSecond);
+  // The killer signal hiding in the grass: one prefix flapping once a
+  // minute, all day (Section IV-E's shape).
+  gen.PrefixOscillation(3, 0, day, kMinute);
+  const auto stream = gen.Take();
+
+  std::printf("=== Fig 8: BGP event rate at ISP-Anon ===\n");
+  std::printf("%zu events over %s\n\n", stream.size(),
+              util::FormatDuration(stream.TimeRange()).c_str());
+
+  // The rate plot, one row per 30 minutes.
+  const auto rate = stream.Rate(30 * kMinute);
+  std::uint64_t max_bucket = 1;
+  for (const auto b : rate.buckets()) max_bucket = std::max(max_bucket, b);
+  std::printf("events per 30-minute bucket (# = %llu events):\n",
+              static_cast<unsigned long long>(max_bucket / 60 + 1));
+  for (std::size_t i = 0; i < rate.buckets().size(); ++i) {
+    const int bar = static_cast<int>(60.0 * static_cast<double>(rate.buckets()[i]) /
+                                     static_cast<double>(max_bucket));
+    std::printf("%5.1fh |%-60.*s| %llu\n",
+                static_cast<double>(i) * 0.5, bar,
+                "############################################################",
+                static_cast<unsigned long long>(rate.buckets()[i]));
+  }
+
+  const auto spikes = collector::DetectSpikes(stream, 30 * kMinute, 5.0);
+  std::printf("\nspikes above 5x mean: %zu (paper: a few per capture)\n",
+              spikes.size());
+
+  // The pipeline's long-window pass digs the flap out of the grass.
+  core::Pipeline pipeline;
+  const auto incidents = pipeline.Analyze(stream);
+  std::printf("incidents found: %zu\n", incidents.size());
+  bool found_flap = false;
+  for (const auto& inc : incidents) {
+    std::printf("  %s\n", inc.summary.c_str());
+    if ((inc.kind == core::IncidentKind::kRouteFlap ||
+         inc.kind == core::IncidentKind::kMedOscillation) &&
+        inc.evidence.dominant_prefix_fraction >= 0.8) {
+      found_flap = true;
+    }
+  }
+  std::printf("\nlow-grade flap detected in the grass: %s (paper: 'the most "
+              "serious problem is not in any of the event spikes')\n",
+              found_flap ? "YES [MATCH]" : "no [MISMATCH]");
+  return found_flap ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// Shared scenario drivers for the figure-regeneration binaries: build a
+// network, attach the collector, converge, and hand everything back.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "collector/collector.h"
+#include "net/simulator.h"
+#include "tamp/layout.h"
+#include "tamp/prune.h"
+#include "tamp/render.h"
+#include "workload/berkeley.h"
+#include "workload/ispanon.h"
+
+namespace ranomaly::bench {
+
+struct ConvergedBerkeley {
+  workload::BerkeleyNet net;
+  std::unique_ptr<net::Simulator> sim;
+  std::unique_ptr<collector::Collector> collector;
+};
+
+inline ConvergedBerkeley BuildConvergedBerkeley(
+    const workload::BerkeleyOptions& options = {}, std::uint64_t seed = 3) {
+  ConvergedBerkeley out;
+  out.net = workload::BuildBerkeley(options);
+  out.sim = std::make_unique<net::Simulator>(out.net.topology, seed);
+  out.collector = std::make_unique<collector::Collector>();
+  out.collector->AttachTo(*out.sim, out.net.monitored);
+  out.net.SeedRoutes(*out.sim);
+  out.sim->Start();
+  if (!out.sim->RunToQuiescence(10 * util::kMinute)) {
+    throw std::runtime_error("Berkeley scenario failed to converge");
+  }
+  return out;
+}
+
+struct ConvergedIspAnon {
+  workload::IspAnonNet net;
+  std::unique_ptr<net::Simulator> sim;
+  std::unique_ptr<collector::Collector> collector;
+};
+
+inline ConvergedIspAnon BuildConvergedIspAnon(
+    const workload::IspAnonOptions& options = {}, std::uint64_t seed = 4) {
+  ConvergedIspAnon out;
+  out.net = workload::BuildIspAnon(options);
+  out.sim = std::make_unique<net::Simulator>(out.net.topology, seed);
+  out.collector = std::make_unique<collector::Collector>();
+  out.collector->AttachTo(*out.sim, out.net.core_rrs);
+  out.net.SeedRoutes(*out.sim);
+  out.sim->Start();
+  out.sim->Run(2 * util::kMinute);  // MED PoPs may legitimately oscillate
+  return out;
+}
+
+// Renders a pruned view as a one-edge-per-line table, largest first.
+inline void PrintPrunedGraph(const tamp::PrunedGraph& pruned) {
+  auto edges = pruned.edges;
+  std::sort(edges.begin(), edges.end(),
+            [](const auto& a, const auto& b) { return a.weight > b.weight; });
+  for (const auto& e : edges) {
+    std::printf("  %-24s -> %-24s %7zu prefixes (%5.1f%%)\n",
+                pruned.nodes[e.from].name.c_str(),
+                pruned.nodes[e.to].name.c_str(), e.weight,
+                e.fraction * 100.0);
+  }
+}
+
+// Writes a TAMP picture of `graph` to <name>.svg and <name>.dot in the
+// current directory; prints where they went.
+inline void WritePicture(const tamp::TampGraph& graph,
+                         const tamp::PruneOptions& prune_options,
+                         const std::string& name, const std::string& title) {
+  const auto pruned = tamp::Prune(graph, prune_options);
+  const auto layout = tamp::ComputeLayout(pruned);
+  tamp::RenderOptions render;
+  render.title = title;
+  std::ofstream svg(name + ".svg");
+  svg << tamp::RenderSvg(pruned, layout, render);
+  std::ofstream dot(name + ".dot");
+  dot << tamp::RenderDot(pruned, render);
+  std::printf("  wrote %s.svg and %s.dot\n", name.c_str(), name.c_str());
+}
+
+inline void ApplyAsNames(tamp::TampGraph& graph,
+                         const workload::BerkeleyNet& net) {
+  for (const auto& [asn, name] : net.AsNames()) graph.SetAsName(asn, name);
+}
+
+}  // namespace ranomaly::bench

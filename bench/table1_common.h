@@ -1,0 +1,101 @@
+// Shared workload builders for the Table I benchmarks.
+//
+// The paper's Table I measures three things on two datasets:
+//   * TAMP picture construction over N routes (then pruned at 5 %),
+//   * TAMP animation over N events,
+//   * Stemming over real event spikes.
+// We rebuild inputs with the same scale and statistical shape from the
+// synthetic internet (DESIGN.md documents the substitution) and measure
+// from the current state of the system, as the paper does ("we do not
+// include time to rebuild the data structures").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "collector/event_stream.h"
+#include "workload/eventgen.h"
+#include "workload/internet.h"
+
+namespace ranomaly::bench {
+
+// A Berkeley-shaped universe scaled to carry about `routes` routes
+// (paper: 23k actual; 115k and 230k scaled).
+inline workload::SyntheticInternet BerkeleyScale(std::size_t routes) {
+  workload::InternetOptions options;
+  options.monitored_peers = 4;       // four edge routers
+  options.nexthops_per_peer = 3;     // ~13 nexthops at Berkeley
+  options.tier1_count = 8;
+  options.transit_count = 60;
+  options.origin_as_count = 800;
+  options.peer_coverage = 0.95;
+  options.prefix_count =
+      static_cast<std::size_t>(static_cast<double>(routes) /
+                               (4.0 * options.peer_coverage));
+  options.local_as = 11423;
+  options.seed = 1003;
+  return workload::SyntheticInternet(options);
+}
+
+// An ISP-Anon-shaped universe: many more peers (the route reflector
+// mesh), ~7.5 routes per prefix (paper: 1.5M routes over 200k prefixes).
+inline workload::SyntheticInternet IspAnonScale(std::size_t routes) {
+  workload::InternetOptions options;
+  options.monitored_peers = 8;       // scaled-down RR mesh
+  options.nexthops_per_peer = 8;
+  options.tier1_count = 12;
+  options.transit_count = 120;
+  options.origin_as_count = 850;     // "850 neighbor ASes"
+  options.peer_coverage = 0.95;
+  options.prefix_count =
+      static_cast<std::size_t>(static_cast<double>(routes) /
+                               (8.0 * options.peer_coverage));
+  options.local_as = 1000;
+  options.seed = 2002;
+  return workload::SyntheticInternet(options);
+}
+
+// An event stream of about `count` events with the mix of a busy feed:
+// mostly churn, plus session resets every ~100k events (what a long
+// capture actually contains).  Timestamps compress so that bigger streams
+// cover longer ranges, like the paper's Timerange column.
+inline collector::EventStream AnimationEvents(
+    const workload::SyntheticInternet& internet, std::size_t count,
+    std::uint64_t seed) {
+  workload::EventStreamGenerator gen(internet, seed);
+  const util::SimDuration range =
+      static_cast<util::SimDuration>(count / 8) * util::kSecond;
+  std::size_t produced = 0;
+  util::SimTime reset_at = range / 4;
+  std::size_t peer = 0;
+  while (produced + 50'000 < count) {
+    gen.SessionReset(peer % internet.peers().size(), reset_at,
+                     util::kMinute, 30 * util::kSecond);
+    produced = gen.PendingEvents();
+    reset_at += range / 4;
+    ++peer;
+  }
+  if (count > produced) gen.Churn(0, range, count - produced);
+  return gen.Take();
+}
+
+// One event spike: a session reset plus surrounding churn, sized to about
+// `count` events over minutes (the Stemming column's "event groups").
+inline collector::EventStream SpikeEvents(
+    const workload::SyntheticInternet& internet, std::size_t count,
+    std::uint64_t seed) {
+  workload::EventStreamGenerator gen(internet, seed);
+  const util::SimDuration range = 15 * util::kMinute;
+  std::size_t peer = 0;
+  while (gen.PendingEvents() + internet.routes().size() / 4 < count &&
+         peer < internet.peers().size()) {
+    gen.SessionReset(peer, range / 3, util::kMinute, 20 * util::kSecond);
+    ++peer;
+  }
+  if (count > gen.PendingEvents()) {
+    gen.Churn(0, range, count - gen.PendingEvents());
+  }
+  return gen.Take();
+}
+
+}  // namespace ranomaly::bench

@@ -1,0 +1,146 @@
+// The four Berkeley case studies of paper Section IV, driven end to end:
+//
+//   IV-A  Load Balancing Unbalanced  — the skewed rate-limiter split
+//   IV-B  Backdoor routes           — hierarchical pruning finds them
+//   IV-C  BGP community mis-tagging — TAMP over one community's routes
+//   IV-D  Peer leaking routes       — Stemming + policy correlation (D.1)
+//
+// Build & run:  ./build/examples/berkeley_case_studies
+#include <cstdio>
+#include <fstream>
+
+#include "collector/collector.h"
+#include "core/correlate.h"
+#include "core/pipeline.h"
+#include "tamp/layout.h"
+#include "tamp/prune.h"
+#include "tamp/render.h"
+#include "traffic/traffic.h"
+#include "workload/berkeley.h"
+
+using namespace ranomaly;
+using bgp::Ipv4Addr;
+using util::kMinute;
+using util::kSecond;
+
+int main() {
+  std::printf("building the Berkeley network (Aug-Dec 2003 shape)...\n");
+  workload::BerkeleyNet net = workload::BuildBerkeley();
+  net::Simulator sim(net.topology, 3);
+  collector::Collector rex;
+  rex.AttachTo(sim, net.monitored);
+  net.SeedRoutes(sim);
+  sim.Start();
+  if (!sim.RunToQuiescence(10 * kMinute)) {
+    std::printf("failed to converge\n");
+    return 1;
+  }
+  std::printf("converged: %zu routes, %zu prefixes, %zu nexthops, 4 edge "
+              "routers\n\n",
+              rex.RouteCount(), rex.PrefixCount(), rex.NexthopCount());
+
+  auto graph = tamp::TampGraph::FromSnapshot(rex.Snapshot(),
+                                             {.root_name = "Berkeley"});
+  for (const auto& [asn, name] : net.AsNames()) graph.SetAsName(asn, name);
+  const double total = static_cast<double>(graph.UniquePrefixCount());
+
+  // --- IV-A: Load Balancing Unbalanced -----------------------------------
+  std::printf("--- IV-A: Load Balancing Unbalanced ---\n");
+  const auto w66 = graph.EdgeWeight(
+      tamp::PeerNode(Ipv4Addr(128, 32, 1, 3)),
+      tamp::NexthopNode(Ipv4Addr(128, 32, 0, 66)));
+  const auto w70 = graph.EdgeWeight(
+      tamp::PeerNode(Ipv4Addr(128, 32, 1, 3)),
+      tamp::NexthopNode(Ipv4Addr(128, 32, 0, 70)));
+  std::printf("rate limiter 128.32.0.66 carries %4.1f%%, 128.32.0.70 only "
+              "%4.1f%% (intended: ~40/40)\n",
+              100.0 * static_cast<double>(w66) / total,
+              100.0 * static_cast<double>(w70) / total);
+
+  // The Section III-D.2 refinement: how bad is it in *bytes*?
+  std::vector<bgp::Prefix> all = net.commodity_a;
+  all.insert(all.end(), net.commodity_b.begin(), net.commodity_b.end());
+  traffic::FlowGenerator flows(all, {}, 99);
+  traffic::TrafficMatrix matrix(all);
+  for (int i = 0; i < 100'000; ++i) matrix.AddFlow(flows.Next());
+  const auto report =
+      traffic::EvaluateSplit(matrix, net.commodity_a, net.commodity_b);
+  std::printf("with elephant/mice traffic: %4.1f%% of prefixes but %4.1f%% "
+              "of bytes on the .66 side\n",
+              report.PrefixFractionA() * 100.0,
+              report.ByteFractionA() * 100.0);
+  // The D.2 remedy: plan the split from measured volumes instead of
+  // trial-and-error address halving.
+  const auto planned = traffic::ComputeBalancedSplit(matrix, all);
+  std::printf("volume-planned split: %4.1f%% of bytes on side A (no "
+              "trial-and-error)\n\n",
+              planned.report.ByteFractionA() * 100.0);
+
+  // --- IV-B: Backdoor routes -----------------------------------------------
+  std::printf("--- IV-B: Backdoor routes ---\n");
+  tamp::PruneOptions hier;
+  hier.depth_thresholds = {0.0, 0.0, 0.0, 0.0, 0.05};
+  const auto pruned = tamp::Prune(graph, hier);
+  const auto backdoor_weight = graph.EdgeWeight(
+      tamp::NexthopNode(Ipv4Addr(169, 229, 0, 157)), tamp::AsNode(7018));
+  std::printf("hierarchical pruning shows %zu backdoor prefix(es) via "
+              "128.32.1.222 -> 169.229.0.157 -> AT&T\n",
+              backdoor_weight);
+  {
+    const auto layout = tamp::ComputeLayout(pruned);
+    std::ofstream("berkeley_hierarchical.svg") << tamp::RenderSvg(
+        pruned, layout, {.title = "Berkeley, hierarchical pruning"});
+    std::printf("wrote berkeley_hierarchical.svg\n\n");
+  }
+
+  // --- IV-C: community mis-tagging ----------------------------------------
+  std::printf("--- IV-C: community 2152:65297 mis-tagging ---\n");
+  std::vector<collector::RouteEntry> tagged;
+  for (const auto& r : rex.Snapshot()) {
+    if (r.attrs.communities.Contains(workload::kLosNettosTag)) {
+      tagged.push_back(r);
+    }
+  }
+  auto tag_graph = tamp::TampGraph::FromSnapshot(tagged);
+  for (const auto& [asn, name] : net.AsNames()) tag_graph.SetAsName(asn, name);
+  const double tag_total = static_cast<double>(tag_graph.UniquePrefixCount());
+  std::printf("%4.1f%% of tagged prefixes really come from Los Nettos; "
+              "%4.1f%% from KDDI (mis-tagged)\n\n",
+              100.0 * static_cast<double>(tag_graph.EdgeWeight(
+                          tamp::AsNode(2152), tamp::AsNode(226))) / tag_total,
+              100.0 * static_cast<double>(tag_graph.EdgeWeight(
+                          tamp::AsNode(2152), tamp::AsNode(2516))) / tag_total);
+
+  // --- IV-D: peer leaking routes -------------------------------------------
+  std::printf("--- IV-D: peer leaking routes ---\n");
+  const util::SimTime t0 = sim.now() + kMinute;
+  workload::InjectRouteLeak(sim, net, t0, 2 * kMinute, 2 * kMinute, 2);
+  sim.RunToQuiescence(t0 + 20 * kMinute);
+
+  core::Pipeline pipeline;
+  const auto window = rex.events().Window(t0 - kSecond, t0 + kMinute);
+  const auto incidents = pipeline.AnalyzeWindow(window);
+  if (incidents.empty()) {
+    std::printf("no incident found\n");
+    return 1;
+  }
+  std::printf("detected: %s\n", incidents[0].summary.c_str());
+
+  // D.1: correlate with the routers' parsed configurations.
+  const auto r13_cfg = net::RouterConfig::Parse(net.r13_config_text);
+  const auto r1200_cfg = net::RouterConfig::Parse(net.r1200_config_text);
+  const std::vector<core::NamedConfig> configs = {
+      {"128.32.1.3", &*r13_cfg}, {"128.32.1.200", &*r1200_cfg}};
+  for (const auto& f : core::CorrelatePolicies(incidents[0], window, configs)) {
+    std::printf("policy correlation: community %s matches %s clause %zu of "
+                "route-map %s on %s (%s)\n",
+                f.community.ToString().c_str(), "match", f.clause_index + 1,
+                f.route_map_name.c_str(), f.router_name.c_str(),
+                f.action.c_str());
+  }
+  std::printf(
+      "=> the withdrawn routes carried 11423:65350; 128.32.1.3 only accepts\n"
+      "   that tag (LP 80), so when the leak displaced the QWest routes it\n"
+      "   silently bypassed both rate limiters — the paper's IV-D story.\n");
+  return 0;
+}

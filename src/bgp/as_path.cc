@@ -1,0 +1,108 @@
+#include "bgp/as_path.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace ranomaly::bgp {
+
+std::optional<AsNumber> AsPath::FirstHop() const {
+  if (asns_.empty()) return std::nullopt;
+  return asns_.front();
+}
+
+std::optional<AsNumber> AsPath::Origin() const {
+  if (asns_.empty()) return std::nullopt;
+  return asns_.back();
+}
+
+bool AsPath::Contains(AsNumber asn) const {
+  return std::find(asns_.begin(), asns_.end(), asn) != asns_.end();
+}
+
+AsPath AsPath::Prepend(AsNumber asn, std::size_t count) const {
+  std::vector<AsNumber> out;
+  out.reserve(asns_.size() + count);
+  out.insert(out.end(), count, asn);
+  out.insert(out.end(), asns_.begin(), asns_.end());
+  return AsPath(std::move(out));
+}
+
+bool AsPath::HasLoop() const {
+  std::unordered_set<AsNumber> seen;
+  for (AsNumber a : asns_) {
+    if (!seen.insert(a).second) return true;
+  }
+  return false;
+}
+
+std::string AsPath::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < asns_.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += std::to_string(asns_[i]);
+  }
+  return out;
+}
+
+std::optional<AsPath> AsPath::Parse(std::string_view s) {
+  std::vector<AsNumber> asns;
+  for (const auto tok : util::SplitWhitespace(s)) {
+    AsNumber a = 0;
+    if (!util::ParseU32(tok, a)) return std::nullopt;
+    asns.push_back(a);
+  }
+  return AsPath(std::move(asns));
+}
+
+std::string Community::ToString() const {
+  return std::to_string(asn()) + ":" + std::to_string(value());
+}
+
+std::optional<Community> Community::Parse(std::string_view s) {
+  const auto colon = s.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  std::uint32_t a = 0;
+  std::uint32_t v = 0;
+  if (!util::ParseU32(s.substr(0, colon), a) ||
+      !util::ParseU32(s.substr(colon + 1), v) || a > 0xffff || v > 0xffff) {
+    return std::nullopt;
+  }
+  return Community(static_cast<std::uint16_t>(a),
+                   static_cast<std::uint16_t>(v));
+}
+
+CommunitySet::CommunitySet(std::initializer_list<Community> init) {
+  for (Community c : init) Add(c);
+}
+
+void CommunitySet::Add(Community c) {
+  const auto it =
+      std::lower_bound(communities_.begin(), communities_.end(), c);
+  if (it != communities_.end() && *it == c) return;
+  communities_.insert(it, c);
+}
+
+bool CommunitySet::Remove(Community c) {
+  const auto it =
+      std::lower_bound(communities_.begin(), communities_.end(), c);
+  if (it == communities_.end() || *it != c) return false;
+  communities_.erase(it);
+  return true;
+}
+
+bool CommunitySet::Contains(Community c) const {
+  return std::binary_search(communities_.begin(), communities_.end(), c);
+}
+
+std::string CommunitySet::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < communities_.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += communities_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace ranomaly::bgp

@@ -1,0 +1,113 @@
+// AS numbers, AS paths and BGP communities.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ranomaly::bgp {
+
+using AsNumber = std::uint32_t;
+
+// An AS_PATH as the ordered list of ASes from the receiving edge outward
+// to the originator (AS_SEQUENCE semantics; we do not model AS_SET, which
+// was already rare in the paper's era and is deprecated today).
+class AsPath {
+ public:
+  AsPath() = default;
+  AsPath(std::initializer_list<AsNumber> init) : asns_(init) {}
+  explicit AsPath(std::vector<AsNumber> asns) : asns_(std::move(asns)) {}
+
+  const std::vector<AsNumber>& asns() const { return asns_; }
+  std::size_t Length() const { return asns_.size(); }
+  bool Empty() const { return asns_.empty(); }
+
+  // The AS adjacent to the receiver (first hop), or nullopt if empty.
+  std::optional<AsNumber> FirstHop() const;
+  // The originating AS (last element), or nullopt if empty.
+  std::optional<AsNumber> Origin() const;
+
+  bool Contains(AsNumber asn) const;
+
+  // Returns a new path with `asn` prepended `count` times (what a router
+  // does when exporting over eBGP, and the knob behind AS-path prepending
+  // policies).
+  AsPath Prepend(AsNumber asn, std::size_t count = 1) const;
+
+  // True if any AS appears more than once: BGP's loop-prevention check.
+  bool HasLoop() const;
+
+  std::string ToString() const;  // "11423 209 701"
+  static std::optional<AsPath> Parse(std::string_view s);
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<AsNumber> asns_;
+};
+
+struct AsPathHash {
+  std::size_t operator()(const AsPath& p) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (AsNumber a : p.asns()) {
+      h ^= a;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// A classic (RFC 1997) community: 16-bit AS + 16-bit value, e.g. the
+// paper's 11423:65350 (CalREN's "ISP route" tag) or 2152:65297 (CENIC's
+// Los Nettos tag).
+class Community {
+ public:
+  constexpr Community() = default;
+  constexpr explicit Community(std::uint32_t raw) : raw_(raw) {}
+  constexpr Community(std::uint16_t asn, std::uint16_t value)
+      : raw_((std::uint32_t{asn} << 16) | value) {}
+
+  constexpr std::uint32_t raw() const { return raw_; }
+  constexpr std::uint16_t asn() const {
+    return static_cast<std::uint16_t>(raw_ >> 16);
+  }
+  constexpr std::uint16_t value() const {
+    return static_cast<std::uint16_t>(raw_ & 0xffff);
+  }
+
+  std::string ToString() const;  // "11423:65350"
+  static std::optional<Community> Parse(std::string_view s);
+
+  friend constexpr auto operator<=>(Community, Community) = default;
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+// A sorted, duplicate-free set of communities attached to a route.
+class CommunitySet {
+ public:
+  CommunitySet() = default;
+  CommunitySet(std::initializer_list<Community> init);
+
+  void Add(Community c);
+  bool Remove(Community c);
+  bool Contains(Community c) const;
+
+  std::size_t size() const { return communities_.size(); }
+  bool empty() const { return communities_.empty(); }
+  auto begin() const { return communities_.begin(); }
+  auto end() const { return communities_.end(); }
+
+  std::string ToString() const;  // "11423:65350 2152:65297"
+
+  friend bool operator==(const CommunitySet&, const CommunitySet&) = default;
+
+ private:
+  std::vector<Community> communities_;
+};
+
+}  // namespace ranomaly::bgp

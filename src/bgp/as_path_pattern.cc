@@ -1,0 +1,112 @@
+#include "bgp/as_path_pattern.h"
+
+#include <cctype>
+
+namespace ranomaly::bgp {
+
+std::optional<AsPathPattern> AsPathPattern::Parse(std::string_view pattern) {
+  AsPathPattern out;
+  out.text_ = std::string(pattern);
+
+  std::size_t i = 0;
+  const std::size_t n = pattern.size();
+  if (i < n && pattern[i] == '^') {
+    out.anchored_start_ = true;
+    ++i;
+  }
+
+  while (i < n) {
+    const char c = pattern[i];
+    if (c == '$') {
+      if (i + 1 != n) return std::nullopt;  // $ only at the end
+      out.anchored_end_ = true;
+      ++i;
+      continue;
+    }
+    if (c == '_') {
+      // Separator between AS numbers.  Digits are consumed greedily, so
+      // it is never load-bearing for parsing; redundant separators
+      // ("__", "^_", "_$") are harmless.
+      ++i;
+      continue;
+    }
+
+    Atom atom;
+    if (c == '.') {
+      atom.any = true;
+      ++i;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::uint64_t value = 0;
+      while (i < n && std::isdigit(static_cast<unsigned char>(pattern[i]))) {
+        value = value * 10 + static_cast<std::uint64_t>(pattern[i] - '0');
+        if (value > 0xffffffffULL) return std::nullopt;
+        ++i;
+      }
+      atom.asn = static_cast<AsNumber>(value);
+    } else {
+      return std::nullopt;  // unsupported character
+    }
+
+    if (i < n) {
+      if (pattern[i] == '*') {
+        atom.quantifier = Quantifier::kStar;
+        ++i;
+      } else if (pattern[i] == '+') {
+        atom.quantifier = Quantifier::kPlus;
+        ++i;
+      } else if (pattern[i] == '?') {
+        atom.quantifier = Quantifier::kOptional;
+        ++i;
+      }
+    }
+    out.atoms_.push_back(atom);
+  }
+  return out;
+}
+
+bool AsPathPattern::MatchHere(std::size_t atom_index,
+                              const std::vector<AsNumber>& asns,
+                              std::size_t pos) const {
+  if (atom_index == atoms_.size()) {
+    return !anchored_end_ || pos == asns.size();
+  }
+  const Atom& atom = atoms_[atom_index];
+  const auto matches_one = [&](std::size_t p) {
+    return p < asns.size() && (atom.any || asns[p] == atom.asn);
+  };
+
+  switch (atom.quantifier) {
+    case Quantifier::kOne:
+      return matches_one(pos) && MatchHere(atom_index + 1, asns, pos + 1);
+    case Quantifier::kOptional:
+      if (matches_one(pos) && MatchHere(atom_index + 1, asns, pos + 1)) {
+        return true;
+      }
+      return MatchHere(atom_index + 1, asns, pos);
+    case Quantifier::kPlus:
+      if (!matches_one(pos)) return false;
+      ++pos;
+      [[fallthrough]];
+    case Quantifier::kStar: {
+      // Greedy with backtracking.
+      std::size_t end = pos;
+      while (matches_one(end)) ++end;
+      for (std::size_t p = end + 1; p-- > pos;) {
+        if (MatchHere(atom_index + 1, asns, p)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool AsPathPattern::Matches(const AsPath& path) const {
+  const auto& asns = path.asns();
+  if (anchored_start_) return MatchHere(0, asns, 0);
+  for (std::size_t start = 0; start <= asns.size(); ++start) {
+    if (MatchHere(0, asns, start)) return true;
+  }
+  return false;
+}
+
+}  // namespace ranomaly::bgp

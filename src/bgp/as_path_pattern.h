@@ -1,0 +1,62 @@
+// Cisco-style AS-path regular expressions ("ip as-path access-list").
+//
+// Operators ASes use every day — "^$" (my own routes), "^701_" (learned
+// directly from UUNET), "_3356$" (originated by Level3), "_666_"
+// (passes through AS666) — expressed over the AS sequence rather than
+// its string rendering.  Supported syntax:
+//
+//   ^        anchor at the path's first AS
+//   $        anchor after the path's last AS
+//   <digits> a literal AS number
+//   .        any single AS
+//   _        separator between AS numbers (required between adjacent
+//            literals, also accepted redundantly next to anchors)
+//   x*       zero or more of the previous atom
+//   x+       one or more of the previous atom
+//   x?       zero or one of the previous atom
+//
+// A pattern without ^/$ anchors matches any contiguous sub-path, like
+// grep.  `.*` therefore matches every path, including the empty one.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/as_path.h"
+
+namespace ranomaly::bgp {
+
+class AsPathPattern {
+ public:
+  // Parses a pattern; nullopt on syntax errors (bad character, dangling
+  // quantifier, overflow).
+  static std::optional<AsPathPattern> Parse(std::string_view pattern);
+
+  bool Matches(const AsPath& path) const;
+
+  const std::string& text() const { return text_; }
+
+  friend bool operator==(const AsPathPattern& a, const AsPathPattern& b) {
+    return a.text_ == b.text_;
+  }
+
+ private:
+  enum class Quantifier : std::uint8_t { kOne, kStar, kPlus, kOptional };
+  struct Atom {
+    bool any = false;       // '.'
+    AsNumber asn = 0;       // literal when !any
+    Quantifier quantifier = Quantifier::kOne;
+  };
+
+  bool MatchHere(std::size_t atom_index, const std::vector<AsNumber>& asns,
+                 std::size_t pos) const;
+
+  std::string text_;
+  std::vector<Atom> atoms_;
+  bool anchored_start_ = false;
+  bool anchored_end_ = false;
+};
+
+}  // namespace ranomaly::bgp

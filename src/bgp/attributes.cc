@@ -1,0 +1,109 @@
+#include "bgp/attributes.h"
+
+#include "util/strings.h"
+
+namespace ranomaly::bgp {
+
+const char* ToString(Origin origin) {
+  switch (origin) {
+    case Origin::kIgp: return "IGP";
+    case Origin::kEgp: return "EGP";
+    case Origin::kIncomplete: return "INCOMPLETE";
+  }
+  return "?";
+}
+
+const char* ToString(EventType type) {
+  switch (type) {
+    case EventType::kAnnounce: return "A";
+    case EventType::kWithdraw: return "W";
+  }
+  return "?";
+}
+
+std::string PathAttributes::ToString() const {
+  std::string out = "NEXT_HOP: " + nexthop.ToString() +
+                    " ASPATH: " + as_path.ToString();
+  if (local_pref != kDefaultLocalPref) {
+    out += " LOCALPREF: " + std::to_string(local_pref);
+  }
+  if (med) out += " MED: " + std::to_string(*med);
+  if (!communities.empty()) out += " COMMUNITY: " + communities.ToString();
+  return out;
+}
+
+std::string Event::ToString() const {
+  std::string out = bgp::ToString(type);
+  out += ' ';
+  out += peer.ToString();
+  out += " NEXT_HOP: " + attrs.nexthop.ToString();
+  out += " ASPATH: " + attrs.as_path.ToString();
+  if (!attrs.communities.empty()) {
+    out += " COMMUNITY: " + attrs.communities.ToString();
+  }
+  out += " PREFIX: " + prefix.ToString();
+  return out;
+}
+
+std::optional<Event> Event::Parse(std::string_view line) {
+  const auto tokens = util::SplitWhitespace(line);
+  if (tokens.size() < 7) return std::nullopt;
+
+  Event e;
+  if (tokens[0] == "A") {
+    e.type = EventType::kAnnounce;
+  } else if (tokens[0] == "W") {
+    e.type = EventType::kWithdraw;
+  } else {
+    return std::nullopt;
+  }
+
+  const auto peer = Ipv4Addr::Parse(tokens[1]);
+  if (!peer) return std::nullopt;
+  e.peer = *peer;
+
+  // Scan labeled sections: NEXT_HOP:, ASPATH:, COMMUNITY:, PREFIX:.
+  std::size_t i = 2;
+  auto expect_label = [&](std::string_view label) {
+    if (i < tokens.size() && tokens[i] == label) {
+      ++i;
+      return true;
+    }
+    return false;
+  };
+
+  if (!expect_label("NEXT_HOP:")) return std::nullopt;
+  if (i >= tokens.size()) return std::nullopt;
+  const auto nh = Ipv4Addr::Parse(tokens[i++]);
+  if (!nh) return std::nullopt;
+  e.attrs.nexthop = *nh;
+
+  if (!expect_label("ASPATH:")) return std::nullopt;
+  std::vector<AsNumber> asns;
+  while (i < tokens.size() && tokens[i] != "COMMUNITY:" &&
+         tokens[i] != "PREFIX:") {
+    AsNumber a = 0;
+    if (!util::ParseU32(tokens[i], a)) return std::nullopt;
+    asns.push_back(a);
+    ++i;
+  }
+  e.attrs.as_path = AsPath(std::move(asns));
+
+  if (expect_label("COMMUNITY:")) {
+    while (i < tokens.size() && tokens[i] != "PREFIX:") {
+      const auto c = Community::Parse(tokens[i]);
+      if (!c) return std::nullopt;
+      e.attrs.communities.Add(*c);
+      ++i;
+    }
+  }
+
+  if (!expect_label("PREFIX:")) return std::nullopt;
+  if (i >= tokens.size()) return std::nullopt;
+  const auto p = Prefix::Parse(tokens[i]);
+  if (!p) return std::nullopt;
+  e.prefix = *p;
+  return e;
+}
+
+}  // namespace ranomaly::bgp

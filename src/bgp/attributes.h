@@ -1,0 +1,67 @@
+// BGP path attributes and the REX-augmented event record.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "bgp/as_path.h"
+#include "bgp/prefix.h"
+#include "util/time.h"
+
+namespace ranomaly::bgp {
+
+enum class Origin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+const char* ToString(Origin origin);
+
+inline constexpr std::uint32_t kDefaultLocalPref = 100;
+
+// The path attributes carried on a route.  MED is optional per RFC 4271;
+// its absence and the "compare only between same neighbor AS" rule are
+// what make the RFC 3345 persistent oscillation of Section IV-F possible.
+struct PathAttributes {
+  Ipv4Addr nexthop;
+  AsPath as_path;
+  Origin origin = Origin::kIgp;
+  std::uint32_t local_pref = kDefaultLocalPref;
+  std::optional<std::uint32_t> med;
+  CommunitySet communities;
+  // iBGP route-reflection attributes; zero means unset.
+  std::uint32_t originator_id = 0;
+
+  // The neighbor AS this route was learned from (first AS in the path, or
+  // the peer's AS for locally originated routes); drives MED comparison.
+  std::optional<AsNumber> NeighborAs() const { return as_path.FirstHop(); }
+
+  friend bool operator==(const PathAttributes&, const PathAttributes&) = default;
+
+  std::string ToString() const;
+};
+
+// What kind of routing change an event expresses.
+enum class EventType : std::uint8_t { kAnnounce, kWithdraw };
+
+const char* ToString(EventType type);
+
+// One REX-augmented BGP event (paper Section II): an announcement or
+// withdrawal from an iBGP peer, where withdrawals carry the *old*
+// attributes recovered from the collector's per-peer AdjRibIn (plain BGP
+// withdrawals do not carry attributes).
+struct Event {
+  util::SimTime time = 0;
+  Ipv4Addr peer;       // the iBGP peer (edge router / route reflector)
+  EventType type = EventType::kAnnounce;
+  Prefix prefix;
+  PathAttributes attrs;  // new attrs for announce, old attrs for withdraw
+
+  // Renders in the style of the paper's Fig 4:
+  // "W 128.32.1.3 NEXT_HOP: 128.32.0.70 ASPATH: 11423 209 701 PREFIX: x/y"
+  std::string ToString() const;
+
+  // Parses the Fig 4 line format produced by ToString().
+  static std::optional<Event> Parse(std::string_view line);
+};
+
+}  // namespace ranomaly::bgp

@@ -1,0 +1,355 @@
+#include "bgp/codec.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ranomaly::bgp {
+namespace {
+
+constexpr std::size_t kHeaderSize = 19;
+constexpr std::size_t kMarkerSize = 16;
+constexpr std::size_t kMaxMessageSize = 4096;
+
+// Attribute type codes (RFC 4271 / RFC 1997).
+constexpr std::uint8_t kAttrOrigin = 1;
+constexpr std::uint8_t kAttrAsPath = 2;
+constexpr std::uint8_t kAttrNexthop = 3;
+constexpr std::uint8_t kAttrMed = 4;
+constexpr std::uint8_t kAttrLocalPref = 5;
+constexpr std::uint8_t kAttrCommunities = 8;
+
+// Attribute flag bits.
+constexpr std::uint8_t kFlagOptional = 0x80;
+constexpr std::uint8_t kFlagTransitive = 0x40;
+constexpr std::uint8_t kFlagExtendedLength = 0x10;
+
+constexpr std::uint8_t kSegmentAsSequence = 2;
+
+void PutU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void PutPrefix(std::vector<std::uint8_t>& out, const Prefix& p) {
+  out.push_back(p.length());
+  const std::uint32_t a = p.addr().value();
+  const int bytes = (p.length() + 7) / 8;
+  for (int i = 0; i < bytes; ++i) {
+    out.push_back(static_cast<std::uint8_t>((a >> (24 - 8 * i)) & 0xff));
+  }
+}
+
+// One attribute with computed flags and (possibly extended) length.
+void PutAttr(std::vector<std::uint8_t>& out, std::uint8_t flags,
+             std::uint8_t type, const std::vector<std::uint8_t>& value) {
+  if (value.size() > 255) flags |= kFlagExtendedLength;
+  out.push_back(flags);
+  out.push_back(type);
+  if (flags & kFlagExtendedLength) {
+    PutU16(out, static_cast<std::uint16_t>(value.size()));
+  } else {
+    out.push_back(static_cast<std::uint8_t>(value.size()));
+  }
+  out.insert(out.end(), value.begin(), value.end());
+}
+
+std::vector<std::uint8_t> EncodeAttributes(const PathAttributes& attrs) {
+  std::vector<std::uint8_t> out;
+
+  {  // ORIGIN
+    std::vector<std::uint8_t> v{static_cast<std::uint8_t>(attrs.origin)};
+    PutAttr(out, kFlagTransitive, kAttrOrigin, v);
+  }
+  {  // AS_PATH: one AS_SEQUENCE segment (possibly empty path => no segment)
+    std::vector<std::uint8_t> v;
+    if (!attrs.as_path.Empty()) {
+      if (attrs.as_path.Length() > 255) {
+        throw std::invalid_argument("EncodeUpdate: AS path too long");
+      }
+      v.push_back(kSegmentAsSequence);
+      v.push_back(static_cast<std::uint8_t>(attrs.as_path.Length()));
+      for (AsNumber a : attrs.as_path.asns()) {
+        if (a > 0xffff) {
+          throw std::invalid_argument("EncodeUpdate: ASN exceeds 2 octets");
+        }
+        PutU16(v, static_cast<std::uint16_t>(a));
+      }
+    }
+    PutAttr(out, kFlagTransitive, kAttrAsPath, v);
+  }
+  {  // NEXT_HOP
+    std::vector<std::uint8_t> v;
+    PutU32(v, attrs.nexthop.value());
+    PutAttr(out, kFlagTransitive, kAttrNexthop, v);
+  }
+  if (attrs.med) {
+    std::vector<std::uint8_t> v;
+    PutU32(v, *attrs.med);
+    PutAttr(out, kFlagOptional, kAttrMed, v);
+  }
+  {  // LOCAL_PREF
+    std::vector<std::uint8_t> v;
+    PutU32(v, attrs.local_pref);
+    PutAttr(out, kFlagTransitive, kAttrLocalPref, v);
+  }
+  if (!attrs.communities.empty()) {
+    std::vector<std::uint8_t> v;
+    for (Community c : attrs.communities) PutU32(v, c.raw());
+    PutAttr(out, kFlagOptional | kFlagTransitive, kAttrCommunities, v);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> EncodeWithHeader(MessageType type,
+                                           const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + body.size());
+  out.insert(out.end(), kMarkerSize, 0xff);
+  const std::size_t total = kHeaderSize + body.size();
+  if (total > kMaxMessageSize) {
+    throw std::invalid_argument("EncodeUpdate: message exceeds 4096 bytes");
+  }
+  PutU16(out, static_cast<std::uint16_t>(total));
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+// --- decoding ---
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool ReadU8(std::uint8_t& v) {
+    if (pos_ + 1 > size_) return false;
+    v = data_[pos_++];
+    return true;
+  }
+  bool ReadU16(std::uint16_t& v) {
+    if (pos_ + 2 > size_) return false;
+    v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return true;
+  }
+  bool ReadU32(std::uint32_t& v) {
+    if (pos_ + 4 > size_) return false;
+    v = (std::uint32_t{data_[pos_]} << 24) |
+        (std::uint32_t{data_[pos_ + 1]} << 16) |
+        (std::uint32_t{data_[pos_ + 2]} << 8) | std::uint32_t{data_[pos_ + 3]};
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadPrefix(Prefix& p) {
+    std::uint8_t len = 0;
+    if (!ReadU8(len) || len > 32) return false;
+    const int bytes = (len + 7) / 8;
+    if (pos_ + static_cast<std::size_t>(bytes) > size_) return false;
+    std::uint32_t a = 0;
+    for (int i = 0; i < bytes; ++i) {
+      a |= std::uint32_t{data_[pos_ + static_cast<std::size_t>(i)]}
+           << (24 - 8 * i);
+    }
+    pos_ += static_cast<std::size_t>(bytes);
+    p = Prefix(Ipv4Addr(a), len);
+    return true;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+bool DecodeAttributes(Reader& r, std::size_t attr_len, PathAttributes& attrs,
+                      bool& saw_nexthop) {
+  const std::size_t end = r.pos() + attr_len;
+  saw_nexthop = false;
+  while (r.pos() < end) {
+    std::uint8_t flags = 0;
+    std::uint8_t type = 0;
+    if (!r.ReadU8(flags) || !r.ReadU8(type)) return false;
+    std::size_t len = 0;
+    if (flags & kFlagExtendedLength) {
+      std::uint16_t l = 0;
+      if (!r.ReadU16(l)) return false;
+      len = l;
+    } else {
+      std::uint8_t l = 0;
+      if (!r.ReadU8(l)) return false;
+      len = l;
+    }
+    if (r.pos() + len > end) return false;
+    const std::size_t value_end = r.pos() + len;
+
+    switch (type) {
+      case kAttrOrigin: {
+        std::uint8_t o = 0;
+        if (len != 1 || !r.ReadU8(o) || o > 2) return false;
+        attrs.origin = static_cast<Origin>(o);
+        break;
+      }
+      case kAttrAsPath: {
+        std::vector<AsNumber> asns;
+        while (r.pos() < value_end) {
+          std::uint8_t seg_type = 0;
+          std::uint8_t count = 0;
+          if (!r.ReadU8(seg_type) || !r.ReadU8(count)) return false;
+          if (seg_type != kSegmentAsSequence) return false;  // AS_SET unmodeled
+          for (std::uint8_t i = 0; i < count; ++i) {
+            std::uint16_t a = 0;
+            if (!r.ReadU16(a)) return false;
+            asns.push_back(a);
+          }
+        }
+        attrs.as_path = AsPath(std::move(asns));
+        break;
+      }
+      case kAttrNexthop: {
+        std::uint32_t v = 0;
+        if (len != 4 || !r.ReadU32(v)) return false;
+        attrs.nexthop = Ipv4Addr(v);
+        saw_nexthop = true;
+        break;
+      }
+      case kAttrMed: {
+        std::uint32_t v = 0;
+        if (len != 4 || !r.ReadU32(v)) return false;
+        attrs.med = v;
+        break;
+      }
+      case kAttrLocalPref: {
+        std::uint32_t v = 0;
+        if (len != 4 || !r.ReadU32(v)) return false;
+        attrs.local_pref = v;
+        break;
+      }
+      case kAttrCommunities: {
+        if (len % 4 != 0) return false;
+        for (std::size_t i = 0; i < len / 4; ++i) {
+          std::uint32_t v = 0;
+          if (!r.ReadU32(v)) return false;
+          attrs.communities.Add(Community(v));
+        }
+        break;
+      }
+      default: {
+        // Unknown optional attribute: skip.  Unknown well-known: error.
+        if (!(flags & kFlagOptional)) return false;
+        std::uint8_t dummy = 0;
+        for (std::size_t i = 0; i < len; ++i) {
+          if (!r.ReadU8(dummy)) return false;
+        }
+        break;
+      }
+    }
+    if (r.pos() != value_end) return false;  // attribute length mismatch
+  }
+  return r.pos() == end;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeUpdate(const UpdateMessage& update) {
+  if (!update.nlri.empty() && !update.attrs) {
+    throw std::invalid_argument("EncodeUpdate: NLRI without path attributes");
+  }
+
+  std::vector<std::uint8_t> body;
+
+  std::vector<std::uint8_t> withdrawn;
+  for (const Prefix& p : update.withdrawn) PutPrefix(withdrawn, p);
+  PutU16(body, static_cast<std::uint16_t>(withdrawn.size()));
+  body.insert(body.end(), withdrawn.begin(), withdrawn.end());
+
+  std::vector<std::uint8_t> attrs;
+  if (update.attrs) attrs = EncodeAttributes(*update.attrs);
+  PutU16(body, static_cast<std::uint16_t>(attrs.size()));
+  body.insert(body.end(), attrs.begin(), attrs.end());
+
+  for (const Prefix& p : update.nlri) PutPrefix(body, p);
+
+  return EncodeWithHeader(MessageType::kUpdate, body);
+}
+
+std::vector<std::uint8_t> EncodeKeepalive() {
+  return EncodeWithHeader(MessageType::kKeepalive, {});
+}
+
+std::optional<DecodeResult> DecodeMessage(
+    const std::vector<std::uint8_t>& wire) {
+  if (wire.size() < kHeaderSize) return std::nullopt;
+  for (std::size_t i = 0; i < kMarkerSize; ++i) {
+    if (wire[i] != 0xff) return std::nullopt;
+  }
+  const std::uint16_t total =
+      static_cast<std::uint16_t>((wire[16] << 8) | wire[17]);
+  if (total < kHeaderSize || total > kMaxMessageSize || total > wire.size()) {
+    return std::nullopt;
+  }
+  const std::uint8_t type = wire[18];
+  DecodeResult result;
+  result.bytes_consumed = total;
+
+  switch (type) {
+    case 4:
+      result.type = MessageType::kKeepalive;
+      return total == kHeaderSize ? std::optional(result) : std::nullopt;
+    case 1:
+      result.type = MessageType::kOpen;
+      return result;
+    case 3:
+      result.type = MessageType::kNotification;
+      return result;
+    case 2:
+      break;
+    default:
+      return std::nullopt;
+  }
+
+  result.type = MessageType::kUpdate;
+  Reader r(wire.data() + kHeaderSize, total - kHeaderSize);
+
+  std::uint16_t withdrawn_len = 0;
+  if (!r.ReadU16(withdrawn_len)) return std::nullopt;
+  const std::size_t withdrawn_end = r.pos() + withdrawn_len;
+  if (withdrawn_end > total - kHeaderSize) return std::nullopt;
+  while (r.pos() < withdrawn_end) {
+    Prefix p;
+    if (!r.ReadPrefix(p) || r.pos() > withdrawn_end) return std::nullopt;
+    result.update.withdrawn.push_back(p);
+  }
+  if (r.pos() != withdrawn_end) return std::nullopt;
+
+  std::uint16_t attr_len = 0;
+  if (!r.ReadU16(attr_len)) return std::nullopt;
+  if (attr_len > 0) {
+    PathAttributes attrs;
+    bool saw_nexthop = false;
+    if (!DecodeAttributes(r, attr_len, attrs, saw_nexthop)) return std::nullopt;
+    result.update.attrs = std::move(attrs);
+  }
+
+  while (r.remaining() > 0) {
+    Prefix p;
+    if (!r.ReadPrefix(p)) return std::nullopt;
+    result.update.nlri.push_back(p);
+  }
+  if (!result.update.nlri.empty() && !result.update.attrs) return std::nullopt;
+
+  return result;
+}
+
+}  // namespace ranomaly::bgp

@@ -1,0 +1,56 @@
+// RFC 4271 wire-format encoder/decoder for BGP UPDATE messages.
+//
+// The simulator exchanges in-memory structures for speed, but the codec
+// exists so event streams can be serialized in the real on-the-wire
+// format, and as an executable specification of the message layout
+// (2-octet AS numbers, the paper's era; COMMUNITIES per RFC 1997).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/attributes.h"
+#include "bgp/prefix.h"
+
+namespace ranomaly::bgp {
+
+enum class MessageType : std::uint8_t {
+  kOpen = 1,
+  kUpdate = 2,
+  kNotification = 3,
+  kKeepalive = 4,
+};
+
+// The body of an UPDATE: withdrawn prefixes + (attributes, announced
+// prefixes).  A message may carry either or both.
+struct UpdateMessage {
+  std::vector<Prefix> withdrawn;
+  std::optional<PathAttributes> attrs;  // required iff nlri non-empty
+  std::vector<Prefix> nlri;
+
+  friend bool operator==(const UpdateMessage&, const UpdateMessage&) = default;
+};
+
+// Encodes header + body.  Throws std::invalid_argument if the message is
+// malformed (e.g. NLRI without attributes, or an AS number above 65535 —
+// the codec speaks 2-octet ASNs as in the paper's era).
+std::vector<std::uint8_t> EncodeUpdate(const UpdateMessage& update);
+
+// Encodes a KEEPALIVE (header only).
+std::vector<std::uint8_t> EncodeKeepalive();
+
+struct DecodeResult {
+  MessageType type = MessageType::kKeepalive;
+  UpdateMessage update;  // valid when type == kUpdate
+  std::size_t bytes_consumed = 0;
+};
+
+// Decodes one message from the front of `wire`.  Returns nullopt on any
+// framing or attribute error (bad marker, truncation, unknown mandatory
+// attribute layout, prefix overrun).
+std::optional<DecodeResult> DecodeMessage(
+    const std::vector<std::uint8_t>& wire);
+
+}  // namespace ranomaly::bgp

@@ -1,0 +1,61 @@
+#include "bgp/prefix.h"
+
+#include <memory>
+
+#include "util/strings.h"
+
+namespace ranomaly::bgp {
+namespace {
+
+std::uint32_t MaskFor(std::uint8_t len) {
+  return len == 0 ? 0u : (0xffffffffu << (32 - len));
+}
+
+}  // namespace
+
+std::string Ipv4Addr::ToString() const {
+  return util::StrPrintf("%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                         (value_ >> 16) & 0xff, (value_ >> 8) & 0xff,
+                         value_ & 0xff);
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::Parse(std::string_view s) {
+  const auto parts = util::Split(s, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto part : parts) {
+    std::uint32_t octet = 0;
+    if (!util::ParseU32(part, octet) || octet > 255) return std::nullopt;
+    value = (value << 8) | octet;
+  }
+  return Ipv4Addr(value);
+}
+
+Prefix::Prefix(Ipv4Addr addr, std::uint8_t len)
+    : addr_(addr.value() & MaskFor(len)), len_(len > 32 ? 32 : len) {}
+
+bool Prefix::Contains(Ipv4Addr ip) const {
+  return (ip.value() & MaskFor(len_)) == addr_.value();
+}
+
+bool Prefix::Covers(const Prefix& other) const {
+  return other.len_ >= len_ && Contains(other.addr_);
+}
+
+std::string Prefix::ToString() const {
+  return addr_.ToString() + "/" + std::to_string(len_);
+}
+
+std::optional<Prefix> Prefix::Parse(std::string_view s) {
+  const auto slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::Parse(s.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::uint32_t len = 0;
+  if (!util::ParseU32(s.substr(slash + 1), len) || len > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*addr, static_cast<std::uint8_t>(len));
+}
+
+}  // namespace ranomaly::bgp

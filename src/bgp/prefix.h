@@ -1,0 +1,165 @@
+// IPv4 addresses, prefixes, and a binary radix trie for longest-prefix
+// match.  The paper's data is entirely IPv4 (2002-2003 era); everything
+// fits in 32-bit words.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ranomaly::bgp {
+
+// An IPv4 address as a host-order 32-bit integer.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  std::string ToString() const;
+
+  // Parses dotted-quad "a.b.c.d"; rejects anything else.
+  static std::optional<Ipv4Addr> Parse(std::string_view s);
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+// A CIDR prefix: network address + mask length.  The network address is
+// always stored masked (host bits zero), so equal prefixes compare equal.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  Prefix(Ipv4Addr addr, std::uint8_t len);
+
+  Ipv4Addr addr() const { return addr_; }
+  std::uint8_t length() const { return len_; }
+
+  // True iff `ip` falls inside this prefix.
+  bool Contains(Ipv4Addr ip) const;
+  // True iff `other` is equal to or more specific than this prefix.
+  bool Covers(const Prefix& other) const;
+
+  std::string ToString() const;  // "a.b.c.d/len"
+
+  // Parses "a.b.c.d/len"; host bits are masked off.
+  static std::optional<Prefix> Parse(std::string_view s);
+
+  friend auto operator<=>(const Prefix& a, const Prefix& b) = default;
+
+ private:
+  Ipv4Addr addr_;
+  std::uint8_t len_ = 0;
+};
+
+struct PrefixHash {
+  std::size_t operator()(const Prefix& p) const {
+    // Mix address and length; addresses are well distributed already.
+    const std::uint64_t x =
+        (std::uint64_t{p.addr().value()} << 8) | p.length();
+    return std::hash<std::uint64_t>{}(x * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+struct Ipv4Hash {
+  std::size_t operator()(Ipv4Addr a) const {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+// Binary radix trie mapping prefixes to values, with longest-prefix-match
+// lookup.  Used by the traffic integration (map a flow's destination IP to
+// its routing prefix) and by the hijack/leak analysis (find covering or
+// covered prefixes).
+template <typename V>
+class PrefixTrie {
+ public:
+  // Inserts or replaces; returns true if the prefix was new.
+  bool Insert(const Prefix& p, V value) {
+    Node* n = &root_;
+    for (std::uint8_t depth = 0; depth < p.length(); ++depth) {
+      const int bit = Bit(p.addr(), depth);
+      auto& child = n->child[bit];
+      if (!child) child = std::make_unique<Node>();
+      n = child.get();
+    }
+    const bool was_new = !n->value.has_value();
+    n->value = std::move(value);
+    if (was_new) ++size_;
+    return was_new;
+  }
+
+  bool Erase(const Prefix& p) {
+    Node* n = FindNode(p);
+    if (n == nullptr || !n->value.has_value()) return false;
+    n->value.reset();
+    --size_;
+    return true;
+  }
+
+  // Exact-match lookup.
+  const V* Find(const Prefix& p) const {
+    const Node* n = FindNode(p);
+    return (n != nullptr && n->value.has_value()) ? &*n->value : nullptr;
+  }
+
+  // Longest-prefix match for a host address; returns the matched prefix
+  // and value, or nullopt if nothing covers `ip`.
+  std::optional<std::pair<Prefix, const V*>> Lookup(Ipv4Addr ip) const {
+    const Node* n = &root_;
+    const Node* best = root_.value.has_value() ? &root_ : nullptr;
+    std::uint8_t best_len = 0;
+    for (std::uint8_t depth = 0; depth < 32 && n != nullptr; ++depth) {
+      const int bit = Bit(ip, depth);
+      n = n->child[bit].get();
+      if (n != nullptr && n->value.has_value()) {
+        best = n;
+        best_len = static_cast<std::uint8_t>(depth + 1);
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return std::make_pair(Prefix(ip, best_len), &*best->value);
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  struct Node {
+    std::optional<V> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  static int Bit(Ipv4Addr a, std::uint8_t depth) {
+    return (a.value() >> (31 - depth)) & 1u;
+  }
+
+  const Node* FindNode(const Prefix& p) const {
+    const Node* n = &root_;
+    for (std::uint8_t depth = 0; depth < p.length(); ++depth) {
+      n = n->child[Bit(p.addr(), depth)].get();
+      if (n == nullptr) return nullptr;
+    }
+    return n;
+  }
+  Node* FindNode(const Prefix& p) {
+    return const_cast<Node*>(std::as_const(*this).FindNode(p));
+  }
+
+  Node root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ranomaly::bgp

@@ -1,0 +1,260 @@
+#include "bgp/rib.h"
+
+#include <algorithm>
+
+namespace ranomaly::bgp {
+
+std::optional<PathAttributes> AdjRibIn::Announce(const Prefix& prefix,
+                                                 PathAttributes attrs) {
+  auto [it, inserted] = routes_.try_emplace(prefix, std::move(attrs));
+  if (inserted) return std::nullopt;
+  PathAttributes old = std::move(it->second);
+  it->second = std::move(attrs);
+  return old;
+}
+
+std::optional<PathAttributes> AdjRibIn::Withdraw(const Prefix& prefix) {
+  const auto it = routes_.find(prefix);
+  if (it == routes_.end()) return std::nullopt;
+  PathAttributes old = std::move(it->second);
+  routes_.erase(it);
+  return old;
+}
+
+const PathAttributes* AdjRibIn::Find(const Prefix& prefix) const {
+  const auto it = routes_.find(prefix);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<Prefix, PathAttributes>> AdjRibIn::Clear() {
+  std::vector<std::pair<Prefix, PathAttributes>> out;
+  out.reserve(routes_.size());
+  for (auto& [prefix, attrs] : routes_) {
+    out.emplace_back(prefix, std::move(attrs));
+  }
+  routes_.clear();
+  return out;
+}
+
+namespace {
+
+std::uint32_t IgpCost(const DecisionConfig& config, Ipv4Addr nexthop) {
+  return config.igp_cost ? config.igp_cost(nexthop) : 0;
+}
+
+std::uint32_t EffectiveMed(const RouteCandidate& r,
+                           const DecisionConfig& config) {
+  if (r.attrs.med) return *r.attrs.med;
+  return config.missing_med_as_best ? 0u : 0xffffffffu;
+}
+
+}  // namespace
+
+int CompareIgnoringMed(const RouteCandidate& a, const RouteCandidate& b,
+                       const DecisionConfig& config) {
+  // 1. Highest LOCAL_PREF.
+  if (a.attrs.local_pref != b.attrs.local_pref) {
+    return a.attrs.local_pref > b.attrs.local_pref ? -1 : 1;
+  }
+  // 2. Shortest AS path.
+  if (a.attrs.as_path.Length() != b.attrs.as_path.Length()) {
+    return a.attrs.as_path.Length() < b.attrs.as_path.Length() ? -1 : 1;
+  }
+  // 3. Lowest origin (IGP < EGP < INCOMPLETE).
+  if (a.attrs.origin != b.attrs.origin) {
+    return static_cast<int>(a.attrs.origin) < static_cast<int>(b.attrs.origin)
+               ? -1
+               : 1;
+  }
+  // (4. MED — handled by the caller, because it only applies within a
+  //  neighbor-AS group.)
+  // 5. eBGP over iBGP.
+  if (a.ebgp != b.ebgp) return a.ebgp ? -1 : 1;
+  // 6. Lowest IGP cost to nexthop (hot potato).
+  const std::uint32_t ca = IgpCost(config, a.attrs.nexthop);
+  const std::uint32_t cb = IgpCost(config, b.attrs.nexthop);
+  if (ca != cb) return ca < cb ? -1 : 1;
+  // 7. Lowest peer router id.
+  if (a.peer_router_id != b.peer_router_id) {
+    return a.peer_router_id < b.peer_router_id ? -1 : 1;
+  }
+  // 8. Lowest peer address.
+  if (a.peer != b.peer) return a.peer < b.peer ? -1 : 1;
+  return 0;
+}
+
+int CompareMed(const RouteCandidate& a, const RouteCandidate& b,
+               const DecisionConfig& config) {
+  const bool same_group = config.always_compare_med ||
+                          (a.attrs.NeighborAs().has_value() &&
+                           a.attrs.NeighborAs() == b.attrs.NeighborAs());
+  if (!same_group) return 0;
+  const std::uint32_t ma = EffectiveMed(a, config);
+  const std::uint32_t mb = EffectiveMed(b, config);
+  if (ma != mb) return ma < mb ? -1 : 1;
+  return 0;
+}
+
+namespace {
+
+// Full pairwise comparison in decision-process order.  LOCAL_PREF, path
+// length and origin dominate; MED applies within a neighbor-AS group;
+// then eBGP/IGP-cost/router-id break remaining ties.
+int ComparePair(const RouteCandidate& a, const RouteCandidate& b,
+                const DecisionConfig& config) {
+  // Steps 1-3.
+  if (a.attrs.local_pref != b.attrs.local_pref) {
+    return a.attrs.local_pref > b.attrs.local_pref ? -1 : 1;
+  }
+  if (a.attrs.as_path.Length() != b.attrs.as_path.Length()) {
+    return a.attrs.as_path.Length() < b.attrs.as_path.Length() ? -1 : 1;
+  }
+  if (a.attrs.origin != b.attrs.origin) {
+    return static_cast<int>(a.attrs.origin) < static_cast<int>(b.attrs.origin)
+               ? -1
+               : 1;
+  }
+  // Step 4: MED.
+  if (const int med = CompareMed(a, b, config); med != 0) return med;
+  // Steps 5-8.
+  if (a.ebgp != b.ebgp) return a.ebgp ? -1 : 1;
+  const std::uint32_t ca = IgpCost(config, a.attrs.nexthop);
+  const std::uint32_t cb = IgpCost(config, b.attrs.nexthop);
+  if (ca != cb) return ca < cb ? -1 : 1;
+  if (a.peer_router_id != b.peer_router_id) {
+    return a.peer_router_id < b.peer_router_id ? -1 : 1;
+  }
+  if (a.peer != b.peer) return a.peer < b.peer ? -1 : 1;
+  return 0;
+}
+
+// Order-dependent sequential elimination (Cisco pre-deterministic-med
+// behaviour): scan candidates in order, keeping a running winner.
+// Because MED comparisons only apply within a neighbor-AS group, the
+// "better-than" relation is not transitive and the scan order matters.
+std::optional<std::size_t> SelectSequential(
+    const std::vector<RouteCandidate>& candidates,
+    const DecisionConfig& config) {
+  if (candidates.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (ComparePair(candidates[i], candidates[best], config) < 0) best = i;
+  }
+  return best;
+}
+
+// Order-independent selection ("bgp deterministic-med"): group candidates
+// by neighbor AS, pick each group's MED winner, then compare the group
+// winners without MED.
+std::optional<std::size_t> SelectDeterministic(
+    const std::vector<RouteCandidate>& candidates,
+    const DecisionConfig& config) {
+  if (candidates.empty()) return std::nullopt;
+
+  // Map neighbor AS -> index of that group's current winner.
+  std::vector<std::pair<std::optional<AsNumber>, std::size_t>> groups;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto nas = candidates[i].attrs.NeighborAs();
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == nas; });
+    if (it == groups.end()) {
+      groups.emplace_back(nas, i);
+      continue;
+    }
+    const auto& incumbent = candidates[it->second];
+    const auto& challenger = candidates[i];
+    int cmp = CompareMed(challenger, incumbent, config);
+    if (cmp == 0) cmp = CompareIgnoringMed(challenger, incumbent, config);
+    if (cmp < 0) it->second = i;
+  }
+
+  std::size_t best = groups.front().second;
+  for (std::size_t g = 1; g < groups.size(); ++g) {
+    const std::size_t i = groups[g].second;
+    int cmp = CompareIgnoringMed(candidates[i], candidates[best], config);
+    if (cmp == 0 && config.always_compare_med) {
+      cmp = CompareMed(candidates[i], candidates[best], config);
+    }
+    if (cmp < 0) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<std::size_t> SelectBest(
+    const std::vector<RouteCandidate>& candidates,
+    const DecisionConfig& config) {
+  return config.deterministic_med ? SelectDeterministic(candidates, config)
+                                  : SelectSequential(candidates, config);
+}
+
+LocRib::LocRib(DecisionConfig config) : config_(std::move(config)) {}
+
+BestPathChange LocRib::Update(Ipv4Addr peer, const Prefix& prefix,
+                              std::optional<RouteCandidate> route) {
+  auto& entry = table_[prefix];
+  BestPathChange change;
+  if (entry.best) change.old_best = entry.candidates[*entry.best];
+
+  const auto it = std::find_if(
+      entry.candidates.begin(), entry.candidates.end(),
+      [&](const RouteCandidate& c) { return c.peer == peer; });
+
+  if (route) {
+    route->peer = peer;
+    if (it == entry.candidates.end()) {
+      entry.candidates.push_back(std::move(*route));
+      ++route_count_;
+    } else {
+      *it = std::move(*route);
+    }
+  } else if (it != entry.candidates.end()) {
+    entry.candidates.erase(it);
+    --route_count_;
+  }
+
+  if (entry.candidates.empty()) {
+    table_.erase(prefix);
+    change.new_best = std::nullopt;
+    return change;
+  }
+
+  entry.best = SelectBest(entry.candidates, config_);
+  if (entry.best) change.new_best = entry.candidates[*entry.best];
+  return change;
+}
+
+std::vector<std::pair<Prefix, BestPathChange>> LocRib::ReselectAll() {
+  std::vector<std::pair<Prefix, BestPathChange>> changed;
+  for (auto& [prefix, entry] : table_) {
+    BestPathChange change;
+    if (entry.best) change.old_best = entry.candidates[*entry.best];
+    entry.best = SelectBest(entry.candidates, config_);
+    if (entry.best) change.new_best = entry.candidates[*entry.best];
+    if (change.Changed()) changed.emplace_back(prefix, std::move(change));
+  }
+  return changed;
+}
+
+const RouteCandidate* LocRib::Best(const Prefix& prefix) const {
+  const auto it = table_.find(prefix);
+  if (it == table_.end() || !it->second.best) return nullptr;
+  return &it->second.candidates[*it->second.best];
+}
+
+const std::vector<RouteCandidate>* LocRib::Candidates(
+    const Prefix& prefix) const {
+  const auto it = table_.find(prefix);
+  return it == table_.end() ? nullptr : &it->second.candidates;
+}
+
+void LocRib::ForEach(
+    const std::function<void(const Prefix&, const std::vector<RouteCandidate>&,
+                             std::optional<std::size_t>)>& fn) const {
+  for (const auto& [prefix, entry] : table_) {
+    fn(prefix, entry.candidates, entry.best);
+  }
+}
+
+}  // namespace ranomaly::bgp

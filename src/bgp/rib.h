@@ -1,0 +1,146 @@
+// Routing Information Bases.
+//
+// AdjRibIn stores the routes heard from one peer; this is exactly the
+// structure REX maintains per iBGP peer to recover withdrawn attributes
+// (paper Section II).  LocRib stores, per prefix, all candidate routes
+// across peers and runs the decision process to pick a best path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/attributes.h"
+#include "bgp/prefix.h"
+
+namespace ranomaly::bgp {
+
+// Routes heard from a single peer, keyed by prefix.
+class AdjRibIn {
+ public:
+  // Installs/replaces a route.  Returns the previous attributes if the
+  // announcement implicitly replaced an existing route (the "implicit
+  // withdrawal" the paper's collector must recover).
+  std::optional<PathAttributes> Announce(const Prefix& prefix,
+                                         PathAttributes attrs);
+
+  // Removes a route.  Returns its attributes — this is the augmentation
+  // REX applies to plain BGP withdrawals.  nullopt if we never had it.
+  std::optional<PathAttributes> Withdraw(const Prefix& prefix);
+
+  const PathAttributes* Find(const Prefix& prefix) const;
+
+  // Empties the table, returning everything that was in it.  This is what
+  // happens on session loss: every route becomes an (augmented)
+  // withdrawal.
+  std::vector<std::pair<Prefix, PathAttributes>> Clear();
+
+  std::size_t size() const { return routes_.size(); }
+  bool empty() const { return routes_.empty(); }
+
+  auto begin() const { return routes_.begin(); }
+  auto end() const { return routes_.end(); }
+
+ private:
+  std::unordered_map<Prefix, PathAttributes, PrefixHash> routes_;
+};
+
+// A candidate route in the Loc-RIB: attributes plus where it came from.
+struct RouteCandidate {
+  Ipv4Addr peer;          // the BGP peer that sent it
+  PathAttributes attrs;
+  bool ebgp = true;       // learned over eBGP (vs iBGP)
+  std::uint32_t peer_router_id = 0;  // final tiebreak
+
+  friend bool operator==(const RouteCandidate&, const RouteCandidate&) = default;
+};
+
+// Decision-process configuration.  The MED flags model the real router
+// knobs whose defaults create the RFC 3345 persistent oscillation the
+// paper analyses in Section IV-F.
+struct DecisionConfig {
+  // Compare MED across different neighbor ASes too (Cisco
+  // "bgp always-compare-med").  Default off, per the RFC.
+  bool always_compare_med = false;
+  // Order-independent MED evaluation (Cisco "bgp deterministic-med").
+  // Default off: routes are compared pairwise in table order, which is
+  // what makes best-path selection order-dependent and oscillatory.
+  bool deterministic_med = false;
+  // Missing MED treated as best (0) — the RFC default — rather than worst.
+  bool missing_med_as_best = true;
+  // IGP cost to a BGP nexthop ("hot potato"); defaults to 0 for all.
+  std::function<std::uint32_t(Ipv4Addr)> igp_cost;
+};
+
+// Pairwise comparison used by the decision process *excluding* the MED
+// step (MED is only meaningful within a neighbor-AS group).  Returns
+// negative if a is better, positive if b is better, 0 if tied.
+int CompareIgnoringMed(const RouteCandidate& a, const RouteCandidate& b,
+                       const DecisionConfig& config);
+
+// MED comparison between two routes from the same neighbor AS (or any two
+// routes under always_compare_med).  Negative if a is better.
+int CompareMed(const RouteCandidate& a, const RouteCandidate& b,
+               const DecisionConfig& config);
+
+// Full best-path selection over a candidate list.
+//
+// With deterministic_med=false this reproduces the classic sequential
+// elimination: candidates are scanned in order, each compared against the
+// current best; MED applies only when both share a neighbor AS.  The
+// outcome can depend on candidate order — deliberately, because that lack
+// of total order is the root cause of persistent MED oscillation.
+// Returns index into `candidates`, or nullopt if empty.
+std::optional<std::size_t> SelectBest(
+    const std::vector<RouteCandidate>& candidates,
+    const DecisionConfig& config);
+
+// The change produced by a Loc-RIB update.
+struct BestPathChange {
+  std::optional<RouteCandidate> old_best;
+  std::optional<RouteCandidate> new_best;
+  bool Changed() const { return old_best != new_best; }
+};
+
+// Per-prefix candidate table + best path cache.
+class LocRib {
+ public:
+  explicit LocRib(DecisionConfig config = {});
+
+  // Announce (attrs set) or withdraw (attrs nullopt) from a peer.
+  // Recomputes and returns the best-path change for the prefix.
+  BestPathChange Update(Ipv4Addr peer, const Prefix& prefix,
+                        std::optional<RouteCandidate> route);
+
+  // Re-runs best-path selection on every prefix without any route change
+  // — what a router's BGP scanner does after an IGP event ("hot potato"
+  // re-evaluation).  Returns the prefixes whose best changed.
+  std::vector<std::pair<Prefix, BestPathChange>> ReselectAll();
+
+  const RouteCandidate* Best(const Prefix& prefix) const;
+  const std::vector<RouteCandidate>* Candidates(const Prefix& prefix) const;
+
+  std::size_t PrefixCount() const { return table_.size(); }
+  std::size_t RouteCount() const { return route_count_; }
+
+  // Iterates (prefix, candidates, best index).
+  void ForEach(const std::function<void(const Prefix&,
+                                        const std::vector<RouteCandidate>&,
+                                        std::optional<std::size_t>)>& fn) const;
+
+  const DecisionConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    std::vector<RouteCandidate> candidates;
+    std::optional<std::size_t> best;
+  };
+
+  DecisionConfig config_;
+  std::unordered_map<Prefix, Entry, PrefixHash> table_;
+  std::size_t route_count_ = 0;
+};
+
+}  // namespace ranomaly::bgp

@@ -1,0 +1,111 @@
+#include "bgp/session.h"
+
+namespace ranomaly::bgp {
+
+const char* ToString(SessionState state) {
+  switch (state) {
+    case SessionState::kIdle: return "Idle";
+    case SessionState::kConnect: return "Connect";
+    case SessionState::kOpenSent: return "OpenSent";
+    case SessionState::kOpenConfirm: return "OpenConfirm";
+    case SessionState::kEstablished: return "Established";
+  }
+  return "?";
+}
+
+const char* ToString(SessionInput input) {
+  switch (input) {
+    case SessionInput::kManualStart: return "ManualStart";
+    case SessionInput::kManualStop: return "ManualStop";
+    case SessionInput::kTcpConnected: return "TcpConnected";
+    case SessionInput::kTcpFailed: return "TcpFailed";
+    case SessionInput::kOpenReceived: return "OpenReceived";
+    case SessionInput::kKeepaliveReceived: return "KeepaliveReceived";
+    case SessionInput::kUpdateReceived: return "UpdateReceived";
+    case SessionInput::kHoldTimerExpired: return "HoldTimerExpired";
+    case SessionInput::kNotificationReceived: return "NotificationReceived";
+  }
+  return "?";
+}
+
+SessionFsm::SessionFsm(util::SimDuration hold_time) : hold_time_(hold_time) {}
+
+SessionActions SessionFsm::Drop() {
+  SessionActions actions;
+  if (state_ == SessionState::kEstablished) {
+    actions.session_dropped = true;
+    ++times_dropped_;
+  }
+  state_ = SessionState::kIdle;
+  return actions;
+}
+
+SessionActions SessionFsm::OnInput(SessionInput input, util::SimTime now) {
+  SessionActions actions;
+  switch (input) {
+    case SessionInput::kManualStart:
+      if (state_ == SessionState::kIdle) state_ = SessionState::kConnect;
+      break;
+
+    case SessionInput::kManualStop:
+    case SessionInput::kTcpFailed:
+    case SessionInput::kNotificationReceived:
+      return Drop();
+
+    case SessionInput::kHoldTimerExpired:
+      if (state_ == SessionState::kEstablished ||
+          state_ == SessionState::kOpenConfirm ||
+          state_ == SessionState::kOpenSent) {
+        actions = Drop();
+        actions.send_notification = true;
+      }
+      return actions;
+
+    case SessionInput::kTcpConnected:
+      if (state_ == SessionState::kConnect) {
+        state_ = SessionState::kOpenSent;
+        actions.send_open = true;
+      }
+      break;
+
+    case SessionInput::kOpenReceived:
+      if (state_ == SessionState::kOpenSent) {
+        state_ = SessionState::kOpenConfirm;
+        actions.send_keepalive = true;
+      } else if (state_ == SessionState::kConnect) {
+        // Collision-ish shortcut: respond with our OPEN then confirm.
+        state_ = SessionState::kOpenConfirm;
+        actions.send_open = true;
+        actions.send_keepalive = true;
+      }
+      last_keepalive_ = now;
+      break;
+
+    case SessionInput::kKeepaliveReceived:
+      last_keepalive_ = now;
+      if (state_ == SessionState::kOpenConfirm) {
+        state_ = SessionState::kEstablished;
+        actions.session_established = true;
+        ++times_established_;
+      }
+      break;
+
+    case SessionInput::kUpdateReceived:
+      // Updates refresh the hold timer like keepalives do.
+      if (state_ == SessionState::kEstablished) {
+        last_keepalive_ = now;
+      }
+      break;
+  }
+  return actions;
+}
+
+bool SessionFsm::HoldTimerExpired(util::SimTime now) const {
+  if (state_ != SessionState::kEstablished &&
+      state_ != SessionState::kOpenConfirm) {
+    return false;
+  }
+  return now - last_keepalive_ > hold_time_;
+}
+
+}  // namespace ranomaly::bgp

@@ -1,0 +1,84 @@
+// BGP session finite state machine (RFC 4271 Section 8, simplified to the
+// states and transitions that matter for routing dynamics).
+//
+// The paper's case studies hinge on session behaviour: a reset forces the
+// speaker to withdraw everything learned over the session and re-exchange
+// full tables on re-establishment (Section I), and a max-prefix violation
+// tears the session down (the ISP-A/ISP-B route-leak incident).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.h"
+
+namespace ranomaly::bgp {
+
+enum class SessionState : std::uint8_t {
+  kIdle,
+  kConnect,
+  kOpenSent,
+  kOpenConfirm,
+  kEstablished,
+};
+
+const char* ToString(SessionState state);
+
+enum class SessionInput : std::uint8_t {
+  kManualStart,
+  kManualStop,
+  kTcpConnected,
+  kTcpFailed,
+  kOpenReceived,
+  kKeepaliveReceived,
+  kUpdateReceived,
+  kHoldTimerExpired,
+  kNotificationReceived,  // includes max-prefix teardown
+};
+
+const char* ToString(SessionInput input);
+
+// What the owner of the FSM must do after feeding it an input.
+struct SessionActions {
+  bool send_open = false;
+  bool send_keepalive = false;
+  bool send_notification = false;
+  // Session just came up: exchange full tables (Adj-RIB-Out replay).
+  bool session_established = false;
+  // Session just went down: flush the peer's Adj-RIB-In, emit withdrawals
+  // for everything learned from it, and propagate.
+  bool session_dropped = false;
+};
+
+class SessionFsm {
+ public:
+  explicit SessionFsm(util::SimDuration hold_time = 90 * util::kSecond);
+
+  // Feeds one input at simulated time `now`; returns required actions.
+  SessionActions OnInput(SessionInput input, util::SimTime now);
+
+  // True if the hold timer has expired by `now` (owner should then feed
+  // kHoldTimerExpired).
+  bool HoldTimerExpired(util::SimTime now) const;
+
+  SessionState state() const { return state_; }
+  util::SimDuration hold_time() const { return hold_time_; }
+  util::SimTime last_keepalive() const { return last_keepalive_; }
+
+  // Diagnostics: how many times the session has been (re-)established and
+  // dropped.  The Section IV-E customer session flaps once a minute; these
+  // counters are how the workload asserts that.
+  std::uint64_t times_established() const { return times_established_; }
+  std::uint64_t times_dropped() const { return times_dropped_; }
+
+ private:
+  SessionActions Drop();
+
+  SessionState state_ = SessionState::kIdle;
+  util::SimDuration hold_time_;
+  util::SimTime last_keepalive_ = 0;
+  std::uint64_t times_established_ = 0;
+  std::uint64_t times_dropped_ = 0;
+};
+
+}  // namespace ranomaly::bgp

@@ -1,0 +1,128 @@
+#include "collector/binary_io.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace ranomaly::collector {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'N', 'E', '1'};
+
+template <typename T>
+void Put(std::ostream& os, T value) {
+  // Serialize little-endian regardless of host order.
+  unsigned char buf[sizeof(T)];
+  auto u = static_cast<std::uint64_t>(value);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<unsigned char>(u & 0xff);
+    u >>= 8;
+  }
+  os.write(reinterpret_cast<const char*>(buf), sizeof(T));
+}
+
+template <typename T>
+bool Get(std::istream& is, T& value) {
+  unsigned char buf[sizeof(T)];
+  if (!is.read(reinterpret_cast<char*>(buf), sizeof(T))) return false;
+  std::uint64_t u = 0;
+  for (std::size_t i = sizeof(T); i-- > 0;) {
+    u = (u << 8) | buf[i];
+  }
+  value = static_cast<T>(u);
+  return true;
+}
+
+}  // namespace
+
+bool SaveBinary(const EventStream& stream, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  Put<std::uint64_t>(os, stream.size());
+  for (const bgp::Event& e : stream.events()) {
+    Put<std::int64_t>(os, e.time);
+    Put<std::uint32_t>(os, e.peer.value());
+    Put<std::uint8_t>(os, static_cast<std::uint8_t>(e.type));
+    Put<std::uint32_t>(os, e.prefix.addr().value());
+    Put<std::uint8_t>(os, e.prefix.length());
+    Put<std::uint32_t>(os, e.attrs.nexthop.value());
+    Put<std::uint8_t>(os, static_cast<std::uint8_t>(e.attrs.origin));
+    Put<std::uint32_t>(os, e.attrs.local_pref);
+    Put<std::uint8_t>(os, e.attrs.med ? 1 : 0);
+    if (e.attrs.med) Put<std::uint32_t>(os, *e.attrs.med);
+    Put<std::uint32_t>(os, e.attrs.originator_id);
+    Put<std::uint16_t>(os, static_cast<std::uint16_t>(e.attrs.as_path.Length()));
+    for (const bgp::AsNumber a : e.attrs.as_path.asns()) {
+      Put<std::uint32_t>(os, a);
+    }
+    Put<std::uint16_t>(os,
+                       static_cast<std::uint16_t>(e.attrs.communities.size()));
+    for (const bgp::Community c : e.attrs.communities) {
+      Put<std::uint32_t>(os, c.raw());
+    }
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<EventStream> LoadBinary(std::istream& is) {
+  char magic[4];
+  if (!is.read(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t count = 0;
+  if (!Get(is, count)) return std::nullopt;
+
+  EventStream stream;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    bgp::Event e;
+    std::int64_t time = 0;
+    std::uint32_t peer = 0, addr = 0, nexthop = 0, local_pref = 0,
+                  originator = 0;
+    std::uint8_t type = 0, len = 0, origin = 0, has_med = 0;
+    if (!Get(is, time) || !Get(is, peer) || !Get(is, type) || !Get(is, addr) ||
+        !Get(is, len) || !Get(is, nexthop) || !Get(is, origin) ||
+        !Get(is, local_pref) || !Get(is, has_med)) {
+      return std::nullopt;
+    }
+    if (type > 1 || len > 32 || origin > 2 || has_med > 1) return std::nullopt;
+    e.time = time;
+    e.peer = bgp::Ipv4Addr(peer);
+    e.type = static_cast<bgp::EventType>(type);
+    e.prefix = bgp::Prefix(bgp::Ipv4Addr(addr), len);
+    e.attrs.nexthop = bgp::Ipv4Addr(nexthop);
+    e.attrs.origin = static_cast<bgp::Origin>(origin);
+    e.attrs.local_pref = local_pref;
+    if (has_med != 0) {
+      std::uint32_t med = 0;
+      if (!Get(is, med)) return std::nullopt;
+      e.attrs.med = med;
+    }
+    if (!Get(is, originator)) return std::nullopt;
+    e.attrs.originator_id = originator;
+
+    std::uint16_t path_len = 0;
+    if (!Get(is, path_len)) return std::nullopt;
+    std::vector<bgp::AsNumber> asns;
+    asns.reserve(path_len);
+    for (std::uint16_t k = 0; k < path_len; ++k) {
+      std::uint32_t a = 0;
+      if (!Get(is, a)) return std::nullopt;
+      asns.push_back(a);
+    }
+    e.attrs.as_path = bgp::AsPath(std::move(asns));
+
+    std::uint16_t community_count = 0;
+    if (!Get(is, community_count)) return std::nullopt;
+    for (std::uint16_t k = 0; k < community_count; ++k) {
+      std::uint32_t c = 0;
+      if (!Get(is, c)) return std::nullopt;
+      e.attrs.communities.Add(bgp::Community(c));
+    }
+
+    if (!stream.empty() && e.time < stream.back().time) return std::nullopt;
+    stream.Append(std::move(e));
+  }
+  return stream;
+}
+
+}  // namespace ranomaly::collector

@@ -1,0 +1,32 @@
+// Compact binary persistence for event streams.
+//
+// The text format (Fig 4 lines) is greppable but ~120 bytes/event; a
+// month-long ISP capture is tens of millions of events, where the binary
+// format's ~30-40 bytes/event and parse-free loading matter.  Layout:
+//
+//   header:  magic "RNE1" | u64 event count
+//   event:   i64 time | u32 peer | u8 type | u32 prefix addr | u8 len
+//          | u32 nexthop | u8 origin | u32 local_pref
+//          | u8 has_med [u32 med] | u32 originator
+//          | u16 path length | u32 asn...
+//          | u16 community count | u32 community...
+//
+// All integers little-endian.  Loading validates the magic, the declared
+// count, every enum value and length field, and fails cleanly on
+// truncation.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+
+#include "collector/event_stream.h"
+
+namespace ranomaly::collector {
+
+// Writes the stream; returns false on stream I/O failure.
+bool SaveBinary(const EventStream& stream, std::ostream& os);
+
+// Reads a stream; nullopt on any framing/validation error.
+std::optional<EventStream> LoadBinary(std::istream& is);
+
+}  // namespace ranomaly::collector

@@ -1,0 +1,91 @@
+#include "collector/collector.h"
+
+#include <unordered_set>
+
+namespace ranomaly::collector {
+
+void Collector::AttachTo(net::Simulator& sim,
+                         const std::vector<net::RouterIndex>& routers) {
+  for (const net::RouterIndex r : routers) {
+    const bgp::Ipv4Addr peer_addr = sim.topology().router(r).address;
+    rib_.try_emplace(peer_addr);  // register the peer even before events
+    sim.AddBestPathTap(r, [this, peer_addr](
+                              const net::BestPathChangeView& view) {
+      // What the iBGP session carries: the router's new best route if it
+      // is advertisable over iBGP, otherwise a withdrawal of whatever we
+      // previously heard.  Old attributes are NOT on the wire — we
+      // reconstruct them from our Adj-RIB-In, exactly as REX does.
+      if (view.new_advertisable) {
+        OnAnnounce(view.time, peer_addr, view.prefix, view.new_best->attrs);
+      } else if (view.old_advertisable) {
+        OnWithdraw(view.time, peer_addr, view.prefix);
+      }
+    });
+  }
+}
+
+void Collector::OnAnnounce(util::SimTime time, bgp::Ipv4Addr peer,
+                           const bgp::Prefix& prefix,
+                           bgp::PathAttributes attrs) {
+  rib_[peer].Announce(prefix, attrs);
+  bgp::Event event;
+  event.time = time;
+  event.peer = peer;
+  event.type = bgp::EventType::kAnnounce;
+  event.prefix = prefix;
+  event.attrs = std::move(attrs);
+  events_.Append(std::move(event));
+}
+
+void Collector::OnWithdraw(util::SimTime time, bgp::Ipv4Addr peer,
+                           const bgp::Prefix& prefix) {
+  auto old = rib_[peer].Withdraw(prefix);
+  if (!old) {
+    // Can't augment a withdrawal for a route we never saw.
+    ++unmatched_withdrawals_;
+    return;
+  }
+  bgp::Event event;
+  event.time = time;
+  event.peer = peer;
+  event.type = bgp::EventType::kWithdraw;
+  event.prefix = prefix;
+  event.attrs = std::move(*old);  // the REX augmentation
+  events_.Append(std::move(event));
+}
+
+std::vector<RouteEntry> Collector::Snapshot() const {
+  std::vector<RouteEntry> out;
+  for (const auto& [peer, adj_in] : rib_) {
+    for (const auto& [prefix, attrs] : adj_in) {
+      out.push_back(RouteEntry{peer, prefix, attrs});
+    }
+  }
+  return out;
+}
+
+std::size_t Collector::RouteCount() const {
+  std::size_t n = 0;
+  for (const auto& [peer, adj_in] : rib_) n += adj_in.size();
+  return n;
+}
+
+std::size_t Collector::PrefixCount() const {
+  std::unordered_set<bgp::Prefix, bgp::PrefixHash> prefixes;
+  for (const auto& [peer, adj_in] : rib_) {
+    for (const auto& [prefix, attrs] : adj_in) prefixes.insert(prefix);
+  }
+  return prefixes.size();
+}
+
+std::size_t Collector::NexthopCount() const {
+  std::unordered_set<bgp::Ipv4Addr, bgp::Ipv4Hash> nexthops;
+  for (const auto& [peer, adj_in] : rib_) {
+    for (const auto& [prefix, attrs] : adj_in) {
+      nexthops.insert(attrs.nexthop);
+    }
+  }
+  return nexthops.size();
+}
+
+}  // namespace ranomaly::collector

@@ -1,0 +1,103 @@
+#include "collector/event_stream.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace ranomaly::collector {
+
+void EventStream::Append(bgp::Event event) {
+  if (!events_.empty() && event.time < events_.back().time) {
+    throw std::invalid_argument("EventStream::Append: out-of-order event");
+  }
+  events_.push_back(std::move(event));
+}
+
+util::SimDuration EventStream::TimeRange() const {
+  if (events_.size() < 2) return 0;
+  return events_.back().time - events_.front().time;
+}
+
+std::span<const bgp::Event> EventStream::Window(util::SimTime begin,
+                                                util::SimTime end) const {
+  const auto lo = std::lower_bound(
+      events_.begin(), events_.end(), begin,
+      [](const bgp::Event& e, util::SimTime t) { return e.time < t; });
+  const auto hi = std::lower_bound(
+      lo, events_.end(), end,
+      [](const bgp::Event& e, util::SimTime t) { return e.time < t; });
+  return {&*events_.begin() + (lo - events_.begin()),
+          static_cast<std::size_t>(hi - lo)};
+}
+
+util::RateSeries EventStream::Rate(util::SimDuration bucket_width) const {
+  const util::SimTime start = events_.empty() ? 0 : events_.front().time;
+  util::RateSeries series(start, bucket_width);
+  for (const bgp::Event& e : events_) series.Add(e.time);
+  return series;
+}
+
+void EventStream::SaveText(std::ostream& os) const {
+  for (const bgp::Event& e : events_) {
+    os << e.time << ' ' << e.ToString() << '\n';
+  }
+}
+
+std::optional<EventStream> EventStream::LoadText(std::istream& is) {
+  EventStream stream;
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::string_view trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto space = trimmed.find(' ');
+    if (space == std::string_view::npos) return std::nullopt;
+    std::uint64_t time = 0;
+    if (!util::ParseU64(trimmed.substr(0, space), time)) return std::nullopt;
+    auto event = bgp::Event::Parse(trimmed.substr(space + 1));
+    if (!event) return std::nullopt;
+    event->time = static_cast<util::SimTime>(time);
+    stream.Append(std::move(*event));
+  }
+  return stream;
+}
+
+std::vector<Spike> DetectSpikes(const EventStream& stream,
+                                util::SimDuration bucket_width,
+                                double factor) {
+  std::vector<Spike> spikes;
+  if (stream.empty()) return spikes;
+  const util::RateSeries rate = stream.Rate(bucket_width);
+  const double threshold = rate.MeanRate() * factor;
+  const auto& buckets = rate.buckets();
+
+  std::optional<std::size_t> run_start;
+  std::uint64_t run_count = 0;
+  auto close_run = [&](std::size_t end_bucket) {
+    if (!run_start) return;
+    Spike s;
+    s.begin = rate.start() +
+              static_cast<util::SimTime>(*run_start) * bucket_width;
+    s.end =
+        rate.start() + static_cast<util::SimTime>(end_bucket) * bucket_width;
+    s.event_count = run_count;
+    spikes.push_back(s);
+    run_start.reset();
+    run_count = 0;
+  };
+
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (static_cast<double>(buckets[i]) > threshold) {
+      if (!run_start) run_start = i;
+      run_count += buckets[i];
+    } else {
+      close_run(i);
+    }
+  }
+  close_run(buckets.size());
+  return spikes;
+}
+
+}  // namespace ranomaly::collector

@@ -1,0 +1,65 @@
+// The BGP event stream: an append-only, time-ordered sequence of
+// REX-augmented events, with the windowing, rate and persistence helpers
+// the analysis algorithms need.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/attributes.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace ranomaly::collector {
+
+class EventStream {
+ public:
+  void Append(bgp::Event event);
+
+  const std::vector<bgp::Event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  const bgp::Event& operator[](std::size_t i) const { return events_[i]; }
+  const bgp::Event& front() const { return events_.front(); }
+  const bgp::Event& back() const { return events_.back(); }
+
+  // Difference between first and last timestamps (the "Timerange" column
+  // of the paper's Table I); 0 for fewer than 2 events.
+  util::SimDuration TimeRange() const;
+
+  // Events with time in [begin, end) as a non-owning view.
+  std::span<const bgp::Event> Window(util::SimTime begin,
+                                     util::SimTime end) const;
+
+  // Per-bucket event counts over the whole stream (paper Fig 8).
+  util::RateSeries Rate(util::SimDuration bucket_width) const;
+
+  // Text persistence in the Fig 4 line format, one event per line with a
+  // leading microsecond timestamp.
+  void SaveText(std::ostream& os) const;
+  static std::optional<EventStream> LoadText(std::istream& is);
+
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<bgp::Event> events_;  // time-ordered (enforced on Append)
+};
+
+// A detected surge of events: a maximal run of buckets whose counts
+// exceed `factor` times the stream's mean rate.  Spikes are what the
+// operator (or the real-time pipeline) hands to Stemming.
+struct Spike {
+  util::SimTime begin = 0;
+  util::SimTime end = 0;  // exclusive
+  std::uint64_t event_count = 0;
+};
+
+std::vector<Spike> DetectSpikes(const EventStream& stream,
+                                util::SimDuration bucket_width,
+                                double factor);
+
+}  // namespace ranomaly::collector

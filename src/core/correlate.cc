@@ -1,0 +1,92 @@
+#include "core/correlate.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace ranomaly::core {
+namespace {
+
+std::string DescribeClause(const net::RouteMapClause& clause) {
+  std::string out = clause.permit ? "permit" : "deny";
+  if (clause.set_local_pref) {
+    out += util::StrPrintf(", set local-preference %u",
+                           *clause.set_local_pref);
+  }
+  if (clause.set_med) {
+    out += util::StrPrintf(", set metric %u", *clause.set_med);
+  }
+  for (const bgp::Community c : clause.set_communities) {
+    out += ", set community " + c.ToString();
+  }
+  if (clause.prepend_count > 0) {
+    out += util::StrPrintf(", prepend x%u", clause.prepend_count);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<PolicyFinding> CorrelatePolicies(
+    const Incident& incident, std::span<const bgp::Event> window_events,
+    std::span<const NamedConfig> configs) {
+  // Gather the communities riding the incident's events.
+  std::set<bgp::Community> communities;
+  for (const std::size_t idx : incident.component.event_indices) {
+    for (const bgp::Community c : window_events[idx].attrs.communities) {
+      communities.insert(c);
+    }
+  }
+
+  std::vector<PolicyFinding> findings;
+  for (const bgp::Community c : communities) {
+    for (const NamedConfig& named : configs) {
+      if (named.config == nullptr) continue;
+      for (const auto& use : named.config->FindClausesMatchingCommunity(c)) {
+        PolicyFinding f;
+        f.community = c;
+        f.router_name = named.router_name;
+        f.route_map_name = use.map_name;
+        f.clause_index = use.clause_index;
+        f.action = DescribeClause(*use.clause);
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+  return findings;
+}
+
+TrafficImpact AssessTrafficImpact(const Incident& incident,
+                                  const traffic::TrafficMatrix& matrix,
+                                  double elephant_volume_fraction) {
+  TrafficImpact impact;
+  const auto elephants = matrix.Elephants(elephant_volume_fraction);
+  const std::unordered_set<bgp::Prefix, bgp::PrefixHash> elephant_set(
+      elephants.begin(), elephants.end());
+  for (const bgp::Prefix& p : incident.component.prefixes) {
+    impact.bytes += matrix.VolumeOf(p);
+    if (elephant_set.contains(p)) ++impact.elephant_prefixes;
+  }
+  if (matrix.TotalVolume() > 0) {
+    impact.volume_fraction = static_cast<double>(impact.bytes) /
+                             static_cast<double>(matrix.TotalVolume());
+  }
+  return impact;
+}
+
+IgpCorrelation CorrelateIgp(const Incident& incident, const igp::LsaLog& log,
+                            util::SimDuration radius) {
+  IgpCorrelation out;
+  const util::SimTime center = (incident.begin + incident.end) / 2;
+  const util::SimDuration half_span = (incident.end - incident.begin) / 2;
+  out.lsa_events = log.EventsNear(center, half_span + radius);
+  out.igp_active = std::any_of(
+      out.lsa_events.begin(), out.lsa_events.end(), [](const igp::LsaEvent& e) {
+        return e.disposition != igp::LsaDisposition::kIgnoredStale;
+      });
+  return out;
+}
+
+}  // namespace ranomaly::core

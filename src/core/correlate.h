@@ -1,0 +1,68 @@
+// The Section III-D data-source integrations, applied to incidents:
+//
+//   D.1 policy correlation  — match the communities riding an incident's
+//       events against the route-map clauses of parsed router configs,
+//       explaining *why* routing reacted the way it did (e.g. Berkeley's
+//       LOCALPREF 80/70 tied to 11423:65350).
+//   D.2 traffic impact      — weigh the incident's prefixes by measured
+//       traffic volume, separating elephant incidents from mice.
+//   D.3 IGP drill-down      — pull the LSA activity temporally
+//       surrounding the incident from the synchronized IGP log.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/incident.h"
+#include "igp/lsa.h"
+#include "net/config.h"
+#include "traffic/traffic.h"
+
+namespace ranomaly::core {
+
+// --- D.1 --------------------------------------------------------------
+
+struct PolicyFinding {
+  bgp::Community community;
+  std::string router_name;     // which router's config matched
+  std::string route_map_name;
+  std::size_t clause_index = 0;
+  // What the clause does (the operator-facing explanation).
+  std::string action;  // e.g. "set local-preference 80"
+};
+
+struct NamedConfig {
+  std::string router_name;
+  const net::RouterConfig* config = nullptr;
+};
+
+// Correlates the communities observed on the incident's events with the
+// policy clauses that match them.
+std::vector<PolicyFinding> CorrelatePolicies(
+    const Incident& incident, std::span<const bgp::Event> window_events,
+    std::span<const NamedConfig> configs);
+
+// --- D.2 --------------------------------------------------------------
+
+struct TrafficImpact {
+  std::uint64_t bytes = 0;       // volume currently tied to the prefixes
+  double volume_fraction = 0.0;  // of total measured traffic
+  std::size_t elephant_prefixes = 0;  // affected prefixes in the top-80% set
+};
+
+TrafficImpact AssessTrafficImpact(const Incident& incident,
+                                  const traffic::TrafficMatrix& matrix,
+                                  double elephant_volume_fraction = 0.8);
+
+// --- D.3 --------------------------------------------------------------
+
+struct IgpCorrelation {
+  std::vector<igp::LsaEvent> lsa_events;  // within the window
+  bool igp_active = false;  // any LSA installed near the incident
+};
+
+IgpCorrelation CorrelateIgp(const Incident& incident, const igp::LsaLog& log,
+                            util::SimDuration radius = 30 * util::kSecond);
+
+}  // namespace ranomaly::core

@@ -1,0 +1,59 @@
+// Incident model: a classified, operator-facing description of one
+// correlated component found in the event stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/prefix.h"
+#include "stemming/stemming.h"
+#include "util/time.h"
+
+namespace ranomaly::core {
+
+enum class IncidentKind : std::uint8_t {
+  kSessionReset,    // mass withdrawal + re-announcement from one peer
+  kRouteLeak,       // prefixes moved to a longer path through new ASes
+  kPathChange,      // prefixes moved to a comparable alternate path
+  kRouteFlap,       // few prefixes cycling announce/withdraw repeatedly
+  kMedOscillation,  // route flap whose alternatives differ in MED
+  kUnknown,
+};
+
+const char* ToString(IncidentKind kind);
+
+// Per-component evidence the classifier extracts from the events.
+struct IncidentEvidence {
+  double withdraw_fraction = 0.0;   // withdrawals / events
+  double single_peer_fraction = 0.0;  // share of events from the busiest peer
+  double cycles_per_prefix = 0.0;   // mean announce/withdraw cycles
+  double path_growth = 0.0;         // mean AS-path length change (end - start)
+  std::size_t new_as_count = 0;     // ASes seen in final paths, not initial
+  bool med_present = false;         // any event carried a MED
+  // Fraction of prefixes whose last path equals their first (came back).
+  double restored_fraction = 0.0;
+  // Fraction of prefixes whose final event is an announcement.
+  double final_announce_fraction = 0.0;
+  // Share of the component's events belonging to its busiest prefix; ~1
+  // marks a single-prefix oscillation even when correlation pulled in a
+  // few bystander prefixes.
+  double dominant_prefix_fraction = 0.0;
+  bgp::Prefix dominant_prefix;  // the busiest prefix itself
+};
+
+struct Incident {
+  IncidentKind kind = IncidentKind::kUnknown;
+  util::SimTime begin = 0;
+  util::SimTime end = 0;
+  std::size_t event_count = 0;
+  double event_fraction = 0.0;  // of the analyzed window
+  std::size_t prefix_count = 0;
+  std::string stem_label;       // "AS11423 - AS209"
+  std::string top_sequence;     // full s' rendering
+  IncidentEvidence evidence;
+  stemming::Component component;  // raw component (indices into the window)
+  std::string summary;          // one-line operator text
+};
+
+}  // namespace ranomaly::core

@@ -1,0 +1,110 @@
+#include "core/moas.h"
+
+#include "util/strings.h"
+
+namespace ranomaly::core {
+
+const char* ToString(OriginConflictKind kind) {
+  switch (kind) {
+    case OriginConflictKind::kMoas: return "MOAS";
+    case OriginConflictKind::kSubMoas: return "subMOAS";
+  }
+  return "?";
+}
+
+std::string OriginConflict::ToString() const {
+  std::string origins;
+  for (const bgp::AsNumber a : established_origins) {
+    if (!origins.empty()) origins += ",";
+    origins += "AS" + std::to_string(a);
+  }
+  return util::StrPrintf(
+      "%s: %s announced by AS%u conflicts with %s (established origins: %s)",
+      core::ToString(kind), prefix.ToString().c_str(), new_origin,
+      established_prefix.ToString().c_str(), origins.c_str());
+}
+
+MoasDetector::MoasDetector(Options options) : options_(options) {}
+
+std::set<bgp::AsNumber> MoasDetector::OriginsOf(
+    const bgp::Prefix& prefix) const {
+  std::set<bgp::AsNumber> out;
+  const auto it = prefixes_.find(prefix);
+  if (it == prefixes_.end()) return out;
+  for (const auto& [origin, last_seen] : it->second.origins) {
+    out.insert(origin);
+  }
+  return out;
+}
+
+std::optional<OriginConflict> MoasDetector::OnAnnounce(
+    util::SimTime time, const bgp::Prefix& prefix,
+    const bgp::PathAttributes& attrs) {
+  const auto origin_opt = attrs.as_path.Origin();
+  if (!origin_opt) return std::nullopt;  // locally originated at the peer
+  const bgp::AsNumber origin = *origin_opt;
+
+  const auto [it, inserted] = prefixes_.try_emplace(prefix);
+  PrefixState& state = it->second;
+
+  std::optional<OriginConflict> conflict;
+
+  if (inserted) {
+    state.first_seen = time;
+    state.origins[origin] = time;
+    trie_.Insert(prefix, 1);
+    // A brand-new more-specific under an established allocation with a
+    // foreign origin: subMOAS.
+    for (int len = prefix.length() - 1; len >= 1; --len) {
+      const bgp::Prefix supernet(prefix.addr(), static_cast<std::uint8_t>(len));
+      const auto sup = prefixes_.find(supernet);
+      if (sup == prefixes_.end()) continue;
+      const PrefixState& sup_state = sup->second;
+      if (time - sup_state.first_seen <= options_.baseline_period) continue;
+      if (sup_state.origins.contains(origin)) continue;
+      OriginConflict c;
+      c.kind = OriginConflictKind::kSubMoas;
+      c.time = time;
+      c.prefix = prefix;
+      c.new_origin = origin;
+      c.established_prefix = supernet;
+      for (const auto& [o, last] : sup_state.origins) {
+        c.established_origins.insert(o);
+      }
+      conflict = std::move(c);
+      break;  // report against the closest established supernet
+    }
+  } else {
+    const bool known = state.origins.contains(origin);
+    const bool established =
+        time - state.first_seen > options_.baseline_period;
+    // Judge against everything on record, then expire stale origins: a
+    // takeover of a long-quiet prefix is still flagged once, after which
+    // the new origin is the owner of record.
+    if (!known && established && !state.origins.empty()) {
+      OriginConflict c;
+      c.kind = OriginConflictKind::kMoas;
+      c.time = time;
+      c.prefix = prefix;
+      c.new_origin = origin;
+      c.established_prefix = prefix;
+      for (const auto& [o, last] : state.origins) {
+        c.established_origins.insert(o);
+      }
+      conflict = std::move(c);
+    }
+    for (auto o = state.origins.begin(); o != state.origins.end();) {
+      if (time - o->second > options_.origin_ttl) {
+        o = state.origins.erase(o);
+      } else {
+        ++o;
+      }
+    }
+    state.origins[origin] = time;
+  }
+
+  if (conflict) conflicts_.push_back(*conflict);
+  return conflict;
+}
+
+}  // namespace ranomaly::core

@@ -1,0 +1,87 @@
+// Origin-conflict (MOAS) detection — the paper's Section I "route
+// hijacking" anomaly: a router announcing reachability for prefixes it
+// does not own, black-holing their traffic.  The observable is a prefix
+// whose routes suddenly carry a different (or additional) origin AS, or a
+// more-specific announcement punching a hole in an existing allocation.
+//
+// The detector keeps, per prefix, the set of origin ASes seen with
+// timestamps, and flags:
+//   * kMoas       — a second origin appears for an established prefix;
+//   * kSubMoas    — a new announcement is more specific than an
+//                   established prefix and has a different origin.
+// A baseline learning period avoids flagging genuinely multi-origin
+// prefixes (legit MOAS, e.g. anycast) that are multi-origin from the
+// start.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bgp/attributes.h"
+#include "bgp/prefix.h"
+#include "util/time.h"
+
+namespace ranomaly::core {
+
+enum class OriginConflictKind : std::uint8_t {
+  kMoas,     // same prefix, new origin AS
+  kSubMoas,  // more-specific prefix, different origin AS
+};
+
+const char* ToString(OriginConflictKind kind);
+
+struct OriginConflict {
+  OriginConflictKind kind = OriginConflictKind::kMoas;
+  util::SimTime time = 0;
+  bgp::Prefix prefix;               // the offending announcement
+  bgp::AsNumber new_origin = 0;     // who started announcing
+  bgp::Prefix established_prefix;   // what it conflicts with
+  std::set<bgp::AsNumber> established_origins;
+
+  std::string ToString() const;
+};
+
+class MoasDetector {
+ public:
+  struct Options {
+    // Origins observed within this long of a prefix's first sighting are
+    // baseline (legit multi-origin), not conflicts.
+    util::SimDuration baseline_period = 10 * util::kMinute;
+    // Forget an origin not re-seen for this long (hijack ended / moved).
+    util::SimDuration origin_ttl = 7 * util::kDay;
+  };
+
+  MoasDetector() : MoasDetector(Options{}) {}
+  explicit MoasDetector(Options options);
+
+  // Feeds one announcement; returns a conflict if this event creates one.
+  std::optional<OriginConflict> OnAnnounce(util::SimTime time,
+                                           const bgp::Prefix& prefix,
+                                           const bgp::PathAttributes& attrs);
+
+  // All conflicts raised so far.
+  const std::vector<OriginConflict>& conflicts() const { return conflicts_; }
+
+  // Origins currently established for a prefix (empty if unseen).
+  std::set<bgp::AsNumber> OriginsOf(const bgp::Prefix& prefix) const;
+
+  std::size_t TrackedPrefixes() const { return prefixes_.size(); }
+
+ private:
+  struct PrefixState {
+    util::SimTime first_seen = 0;
+    std::map<bgp::AsNumber, util::SimTime> origins;  // origin -> last seen
+  };
+
+  Options options_;
+  // Ordered map so more-specific lookups can scan candidate supernets.
+  std::map<bgp::Prefix, PrefixState> prefixes_;
+  bgp::PrefixTrie<std::uint8_t> trie_;  // presence index for supernet walk
+  std::vector<OriginConflict> conflicts_;
+};
+
+}  // namespace ranomaly::core

@@ -1,0 +1,65 @@
+#include "core/monitor.h"
+
+namespace ranomaly::core {
+
+RealTimeMonitor::RealTimeMonitor(Options options)
+    : options_(options), pipeline_(options.pipeline) {}
+
+bool RealTimeMonitor::ShouldAlert(const Incident& incident) {
+  // Flap-shaped incidents are identified by their dominant prefix: the
+  // same persistent oscillation can surface under different stems in
+  // different windows (depending on what churn its component absorbed),
+  // and must still page only once per interval.
+  std::string key;
+  if (incident.kind == IncidentKind::kRouteFlap ||
+      incident.kind == IncidentKind::kMedOscillation) {
+    key = "flap:" + incident.evidence.dominant_prefix.ToString();
+  } else {
+    key = std::string(ToString(incident.kind)) + ":" + incident.stem_label;
+  }
+  const auto [it, inserted] = last_alert_by_stem_.try_emplace(key, incident.end);
+  if (!inserted) {
+    if (incident.end - it->second < options_.realert_interval) {
+      ++alerts_suppressed_;
+      return false;
+    }
+    it->second = incident.end;
+  }
+  ++alerts_raised_;
+  return true;
+}
+
+std::vector<Incident> RealTimeMonitor::Poll(
+    const collector::EventStream& stream) {
+  ++polls_;
+  std::vector<Incident> alerts;
+  if (stream.size() < cursor_) {
+    // The stream was replaced/rewound; resynchronize rather than crash.
+    cursor_ = 0;
+  }
+  if (stream.empty()) return alerts;
+
+  // Spike-timescale pass over the fresh events.
+  const auto& events = stream.events();
+  const std::span<const bgp::Event> fresh(events.data() + cursor_,
+                                          events.size() - cursor_);
+  cursor_ = events.size();
+  for (Incident& incident : pipeline_.AnalyzeWindow(fresh)) {
+    if (ShouldAlert(incident)) alerts.push_back(std::move(incident));
+  }
+
+  // Periodic long-window pass over recent history: the low-grade
+  // persistent anomalies only accumulate enough correlation here.
+  const util::SimTime now = stream.back().time;
+  if (!long_pass_ran_ || now - last_long_pass_ >= options_.long_pass_every) {
+    long_pass_ran_ = true;
+    last_long_pass_ = now;
+    const auto window = stream.Window(now - options_.long_window, now + 1);
+    for (Incident& incident : pipeline_.AnalyzeWindow(window)) {
+      if (ShouldAlert(incident)) alerts.push_back(std::move(incident));
+    }
+  }
+  return alerts;
+}
+
+}  // namespace ranomaly::core

@@ -1,0 +1,60 @@
+// RealTimeMonitor: the deployment loop of paper Section V as a stateful
+// object.  REX-style installations run continuously: every polling
+// interval the monitor analyzes the freshly arrived events at spike
+// timescale, periodically re-runs the long-window pass over recent
+// history (the only way to catch the IV-E/IV-F low-grade persistent
+// anomalies), and deduplicates alerts so a persistent incident pages the
+// operator once per re-alert interval instead of once per poll.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "collector/event_stream.h"
+#include "core/pipeline.h"
+
+namespace ranomaly::core {
+
+class RealTimeMonitor {
+ public:
+  struct Options {
+    PipelineOptions pipeline;
+    // Re-run the long-window pass when this much simulated time passed
+    // since the previous one.
+    util::SimDuration long_pass_every = util::kHour;
+    // How far back the long-window pass looks.
+    util::SimDuration long_window = 24 * util::kHour;
+    // An incident with the same stem is not re-alerted within this long.
+    util::SimDuration realert_interval = util::kHour;
+  };
+
+  RealTimeMonitor() : RealTimeMonitor(Options{}) {}
+  explicit RealTimeMonitor(Options options);
+
+  // Processes everything appended to `stream` since the previous call
+  // (the stream must be the same, growing, collector stream) and returns
+  // the newly raised alerts.
+  std::vector<Incident> Poll(const collector::EventStream& stream);
+
+  // Monitoring counters.
+  std::size_t polls() const { return polls_; }
+  std::size_t alerts_raised() const { return alerts_raised_; }
+  std::size_t alerts_suppressed() const { return alerts_suppressed_; }
+
+ private:
+  // Returns true (and records the alert) if this incident should page.
+  bool ShouldAlert(const Incident& incident);
+
+  Options options_;
+  Pipeline pipeline_;
+  std::size_t cursor_ = 0;  // first unprocessed event index
+  util::SimTime last_long_pass_ = 0;
+  bool long_pass_ran_ = false;
+  std::map<std::string, util::SimTime> last_alert_by_stem_;
+  std::size_t polls_ = 0;
+  std::size_t alerts_raised_ = 0;
+  std::size_t alerts_suppressed_ = 0;
+};
+
+}  // namespace ranomaly::core

@@ -1,0 +1,263 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace ranomaly::core {
+
+const char* ToString(IncidentKind kind) {
+  switch (kind) {
+    case IncidentKind::kSessionReset: return "session-reset";
+    case IncidentKind::kRouteLeak: return "route-leak";
+    case IncidentKind::kPathChange: return "path-change";
+    case IncidentKind::kRouteFlap: return "route-flap";
+    case IncidentKind::kMedOscillation: return "med-oscillation";
+    case IncidentKind::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {}
+
+IncidentEvidence Pipeline::ExtractEvidence(
+    std::span<const bgp::Event> events,
+    const stemming::Component& component) {
+  IncidentEvidence ev;
+  if (component.event_indices.empty()) return ev;
+
+  std::size_t withdraws = 0;
+  std::unordered_map<std::uint32_t, std::size_t> per_peer;
+  bool med = false;
+
+  // Per-prefix first and last observation, and cycle counts.  A
+  // "transition" is an announce<->withdraw flip OR an announcement whose
+  // nexthop differs from the previous one: at a route reflector with full
+  // visibility an oscillation shows up as implicit replacements between
+  // alternatives, with few explicit withdrawals.
+  struct PrefixTrack {
+    bool have_first = false;
+    bgp::AsPath first_path;
+    bgp::AsPath last_path;
+    bgp::EventType last_type = bgp::EventType::kAnnounce;
+    bgp::Ipv4Addr last_nexthop;
+    std::size_t transitions = 0;
+    std::size_t events = 0;
+  };
+  std::map<bgp::Prefix, PrefixTrack> tracks;
+
+  for (const std::size_t idx : component.event_indices) {
+    const bgp::Event& e = events[idx];
+    if (e.type == bgp::EventType::kWithdraw) ++withdraws;
+    ++per_peer[e.peer.value()];
+    if (e.attrs.med) med = true;
+
+    PrefixTrack& t = tracks[e.prefix];
+    if (!t.have_first) {
+      t.have_first = true;
+      t.first_path = e.attrs.as_path;
+      t.last_type = e.type;
+    } else if (e.type != t.last_type ||
+               (e.type == bgp::EventType::kAnnounce &&
+                e.attrs.nexthop != t.last_nexthop)) {
+      ++t.transitions;
+      t.last_type = e.type;
+    }
+    t.last_nexthop = e.attrs.nexthop;
+    t.last_path = e.attrs.as_path;
+    ++t.events;
+  }
+
+  const double n = static_cast<double>(component.event_indices.size());
+  ev.withdraw_fraction = static_cast<double>(withdraws) / n;
+  std::size_t busiest = 0;
+  for (const auto& [peer, count] : per_peer) {
+    busiest = std::max(busiest, count);
+  }
+  ev.single_peer_fraction = static_cast<double>(busiest) / n;
+  ev.med_present = med;
+
+  double cycles = 0.0;
+  double growth = 0.0;
+  std::size_t restored = 0;
+  std::size_t final_announce = 0;
+  std::size_t busiest_prefix_events = 0;
+  std::set<bgp::AsNumber> initial_ases;
+  std::set<bgp::AsNumber> final_ases;
+  for (const auto& [prefix, t] : tracks) {
+    if (t.events > busiest_prefix_events) ev.dominant_prefix = prefix;
+    cycles += static_cast<double>(t.transitions) / 2.0;
+    growth += static_cast<double>(t.last_path.Length()) -
+              static_cast<double>(t.first_path.Length());
+    if (t.last_path == t.first_path) ++restored;
+    if (t.last_type == bgp::EventType::kAnnounce) ++final_announce;
+    busiest_prefix_events = std::max(busiest_prefix_events, t.events);
+    for (const bgp::AsNumber a : t.first_path.asns()) initial_ases.insert(a);
+    for (const bgp::AsNumber a : t.last_path.asns()) final_ases.insert(a);
+  }
+  const double p = static_cast<double>(tracks.size());
+  ev.cycles_per_prefix = cycles / p;
+  ev.path_growth = growth / p;
+  ev.restored_fraction = static_cast<double>(restored) / p;
+  ev.final_announce_fraction = static_cast<double>(final_announce) / p;
+  ev.dominant_prefix_fraction = static_cast<double>(busiest_prefix_events) / n;
+  for (const bgp::AsNumber a : final_ases) {
+    if (!initial_ases.contains(a)) ++ev.new_as_count;
+  }
+  return ev;
+}
+
+IncidentKind Pipeline::Classify(const IncidentEvidence& evidence,
+                                std::size_t prefix_count) {
+  // A single prefix (or one dominating the component) cycling many times:
+  // a persistent flap; MED involvement marks the RFC 3345 pattern.
+  const bool flap_shaped =
+      (prefix_count <= 5 || evidence.dominant_prefix_fraction >= 0.8) &&
+      evidence.cycles_per_prefix >= 4.0;
+  if (flap_shaped) {
+    return evidence.med_present ? IncidentKind::kMedOscillation
+                                : IncidentKind::kRouteFlap;
+  }
+  // Many prefixes ending on much longer paths through previously unseen
+  // ASes: a leak swallowed the routes.
+  if (prefix_count >= 10 && evidence.path_growth >= 2.0 &&
+      evidence.new_as_count >= 2) {
+    return IncidentKind::kRouteLeak;
+  }
+  // Mass withdrawal from (mostly) one peer, then the routes come back:
+  // a session reset seen from inside.
+  if (evidence.withdraw_fraction >= 0.3 &&
+      evidence.single_peer_fraction >= 0.5 &&
+      evidence.final_announce_fraction >= 0.9 &&
+      evidence.restored_fraction >= 0.5) {
+    return IncidentKind::kSessionReset;
+  }
+  // Prefixes moved somewhere else and stayed there.
+  if (prefix_count >= 10 && evidence.restored_fraction < 0.5 &&
+      evidence.final_announce_fraction >= 0.9 &&
+      (std::abs(evidence.path_growth) >= 0.5 || evidence.new_as_count >= 1)) {
+    return IncidentKind::kPathChange;
+  }
+  return IncidentKind::kUnknown;
+}
+
+Incident Pipeline::MakeIncident(std::span<const bgp::Event> events,
+                                const stemming::StemmingResult& result,
+                                const stemming::Component& component) const {
+  Incident inc;
+  inc.component = component;
+  inc.event_count = component.event_indices.size();
+  inc.event_fraction =
+      events.empty() ? 0.0
+                     : static_cast<double>(inc.event_count) /
+                           static_cast<double>(events.size());
+  inc.prefix_count = component.prefixes.size();
+  inc.stem_label = result.StemLabel(component);
+  inc.top_sequence = result.SequenceLabel(component);
+  util::SimTime begin = 0;
+  util::SimTime end = 0;
+  bool first = true;
+  for (const std::size_t idx : component.event_indices) {
+    const util::SimTime t = events[idx].time;
+    if (first) {
+      begin = end = t;
+      first = false;
+    } else {
+      begin = std::min(begin, t);
+      end = std::max(end, t);
+    }
+  }
+  inc.begin = begin;
+  inc.end = end;
+  inc.evidence = ExtractEvidence(events, component);
+  inc.kind = Classify(inc.evidence, inc.prefix_count);
+  inc.summary = util::StrPrintf(
+      "%s at %s: %zu prefixes, %zu events (%.0f%% of window), over %s",
+      ToString(inc.kind), inc.stem_label.c_str(), inc.prefix_count,
+      inc.event_count, inc.event_fraction * 100.0,
+      util::FormatDuration(inc.end - inc.begin).c_str());
+  return inc;
+}
+
+std::vector<Incident> Pipeline::AnalyzeWindow(
+    std::span<const bgp::Event> events) const {
+  std::vector<Incident> incidents;
+  if (events.empty()) return incidents;
+  const stemming::StemmingResult result =
+      stemming::Stem(events, options_.stemming);
+  for (const stemming::Component& component : result.components) {
+    const double fraction = static_cast<double>(component.event_indices.size()) /
+                            static_cast<double>(events.size());
+    if (fraction < options_.min_component_fraction) continue;
+    Incident incident = MakeIncident(events, result, component);
+    if (incident.kind == IncidentKind::kUnknown && !options_.include_unknown) {
+      continue;  // statistically strong but operationally featureless
+    }
+    incidents.push_back(std::move(incident));
+  }
+  return incidents;
+}
+
+std::vector<Incident> Pipeline::Analyze(
+    const collector::EventStream& stream) const {
+  std::vector<Incident> incidents;
+  if (stream.empty()) return incidents;
+
+  // Spike-scale pass.
+  const auto spikes = collector::DetectSpikes(stream, options_.spike_bucket,
+                                              options_.spike_factor);
+  for (const collector::Spike& spike : spikes) {
+    const auto window = stream.Window(spike.begin - options_.spike_margin,
+                                      spike.end + options_.spike_margin);
+    for (Incident& inc : AnalyzeWindow(window)) {
+      incidents.push_back(std::move(inc));
+    }
+  }
+
+  // Long-window pass over the grass: everything *outside* the spike
+  // windows (spikes were handled at their own timescale above; leaving
+  // them in would let their mass drown the low-grade persistent
+  // anomalies this pass exists to catch).
+  if (options_.long_window_pass) {
+    std::vector<bgp::Event> grass;
+    grass.reserve(stream.size());
+    for (const bgp::Event& e : stream.events()) {
+      bool inside_spike = false;
+      for (const collector::Spike& spike : spikes) {
+        if (e.time >= spike.begin - options_.spike_margin &&
+            e.time < spike.end + options_.spike_margin) {
+          inside_spike = true;
+          break;
+        }
+      }
+      if (!inside_spike) grass.push_back(e);
+    }
+    for (Incident& inc : AnalyzeWindow(grass)) {
+      incidents.push_back(std::move(inc));
+    }
+  }
+
+  // Deduplicate by stem label, keeping the larger incident.
+  std::map<std::string, std::size_t> by_stem;
+  std::vector<Incident> unique;
+  for (Incident& inc : incidents) {
+    const auto it = by_stem.find(inc.stem_label);
+    if (it == by_stem.end()) {
+      by_stem[inc.stem_label] = unique.size();
+      unique.push_back(std::move(inc));
+    } else if (inc.event_count > unique[it->second].event_count) {
+      unique[it->second] = std::move(inc);
+    }
+  }
+  // Largest first.
+  std::sort(unique.begin(), unique.end(),
+            [](const Incident& a, const Incident& b) {
+              return a.event_count > b.event_count;
+            });
+  return unique;
+}
+
+}  // namespace ranomaly::core

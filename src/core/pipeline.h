@@ -1,0 +1,66 @@
+// The real-time analysis pipeline: event stream -> spike windows ->
+// Stemming -> classified incidents.
+//
+// This is the deployment shape the paper describes (Section III-B and V):
+// spikes found by the rate detector are stemmed at spike timescale, and a
+// long-window pass catches the low-grade anomalies that never spike —
+// the Section IV-E "grass" and the IV-F single-prefix oscillation, which
+// dominate correlation over hours even though they are rate-invisible.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "collector/event_stream.h"
+#include "core/incident.h"
+#include "stemming/stemming.h"
+
+namespace ranomaly::core {
+
+struct PipelineOptions {
+  // Spike detection (Fig 8 style).
+  util::SimDuration spike_bucket = util::kMinute;
+  double spike_factor = 5.0;
+  // Pad each spike window by this margin on both sides.
+  util::SimDuration spike_margin = 30 * util::kSecond;
+  // Also stem the full stream (the "long window"); catches low-grade
+  // persistent anomalies.
+  bool long_window_pass = true;
+  stemming::StemmingOptions stemming;
+  // Components claiming less than this fraction of a window are noise.
+  double min_component_fraction = 0.02;
+  // Report components that classify as kUnknown (strong correlation with
+  // no anomaly signature — usually shared-path mass, not an incident).
+  bool include_unknown = false;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineOptions options = {});
+
+  // Full analysis: spike windows first, then the long-window pass over
+  // everything; incidents are deduplicated by stem.
+  std::vector<Incident> Analyze(const collector::EventStream& stream) const;
+
+  // Stems and classifies one window.
+  std::vector<Incident> AnalyzeWindow(std::span<const bgp::Event> events)
+      const;
+
+  // Evidence extraction & classification (exposed for tests/benches).
+  static IncidentEvidence ExtractEvidence(
+      std::span<const bgp::Event> events,
+      const stemming::Component& component);
+  static IncidentKind Classify(const IncidentEvidence& evidence,
+                               std::size_t prefix_count);
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  Incident MakeIncident(std::span<const bgp::Event> events,
+                        const stemming::StemmingResult& result,
+                        const stemming::Component& component) const;
+
+  PipelineOptions options_;
+};
+
+}  // namespace ranomaly::core

@@ -1,0 +1,110 @@
+#include "igp/lsa.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ranomaly::igp {
+
+LsaDisposition LinkStateDb::Install(const Lsa& lsa) {
+  auto& area = areas_[lsa.area];
+  auto [it, inserted] = area.try_emplace(lsa.origin, lsa);
+  if (inserted) return LsaDisposition::kInstalledNew;
+  if (lsa.sequence <= it->second.sequence) return LsaDisposition::kIgnoredStale;
+  it->second = lsa;
+  return LsaDisposition::kInstalledNewer;
+}
+
+const Lsa* LinkStateDb::Find(AreaId area, RouterId origin) const {
+  const auto ait = areas_.find(area);
+  if (ait == areas_.end()) return nullptr;
+  const auto it = ait->second.find(origin);
+  return it == ait->second.end() ? nullptr : &it->second;
+}
+
+std::unordered_map<RouterId, std::uint32_t> LinkStateDb::Spf(
+    RouterId root) const {
+  // Build the union adjacency view.  A link is usable only if both ends
+  // advertise it (OSPF's two-way check).
+  std::unordered_map<RouterId, std::vector<AdvertisedLink>> adj;
+  for (const auto& [area_id, lsas] : areas_) {
+    for (const auto& [origin, lsa] : lsas) {
+      for (const AdvertisedLink& link : lsa.links) {
+        const auto back = lsas.find(link.neighbor);
+        const bool two_way =
+            back != lsas.end() &&
+            std::any_of(back->second.links.begin(), back->second.links.end(),
+                        [&](const AdvertisedLink& l) {
+                          return l.neighbor == origin;
+                        });
+        if (two_way) adj[origin].push_back(link);
+      }
+    }
+  }
+
+  std::unordered_map<RouterId, std::uint32_t> dist;
+  using Item = std::pair<std::uint32_t, RouterId>;  // (cost, router)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[root] = 0;
+  heap.emplace(0u, root);
+  while (!heap.empty()) {
+    const auto [cost, u] = heap.top();
+    heap.pop();
+    const auto du = dist.find(u);
+    if (du != dist.end() && cost > du->second) continue;
+    const auto au = adj.find(u);
+    if (au == adj.end()) continue;
+    for (const AdvertisedLink& link : au->second) {
+      const std::uint32_t next = cost + link.cost;
+      const auto dv = dist.find(link.neighbor);
+      if (dv == dist.end() || next < dv->second) {
+        dist[link.neighbor] = next;
+        heap.emplace(next, link.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+std::optional<std::uint32_t> LinkStateDb::Cost(RouterId root,
+                                               RouterId target) const {
+  const auto dist = Spf(root);
+  const auto it = dist.find(target);
+  if (it == dist.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t LinkStateDb::LsaCount() const {
+  std::size_t n = 0;
+  for (const auto& [area, lsas] : areas_) n += lsas.size();
+  return n;
+}
+
+std::vector<AreaId> LinkStateDb::Areas() const {
+  std::vector<AreaId> out;
+  out.reserve(areas_.size());
+  for (const auto& [area, lsas] : areas_) out.push_back(area);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void LsaLog::Record(util::SimTime time, const Lsa& lsa,
+                    LsaDisposition disposition) {
+  events_.push_back(LsaEvent{time, lsa, disposition});
+}
+
+std::vector<LsaEvent> LsaLog::EventsNear(util::SimTime center,
+                                         util::SimDuration radius) const {
+  std::vector<LsaEvent> out;
+  const util::SimTime lo = center - radius;
+  const util::SimTime hi = center + radius;
+  // events_ is time-ordered; binary search the window.
+  const auto begin = std::lower_bound(
+      events_.begin(), events_.end(), lo,
+      [](const LsaEvent& e, util::SimTime t) { return e.time < t; });
+  for (auto it = begin; it != events_.end() && it->time <= hi; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+}  // namespace ranomaly::igp

@@ -1,0 +1,96 @@
+// OSPF-flavoured link-state advertisements and the link-state database.
+//
+// The paper's collector (REX) also holds passive IGP adjacencies and
+// temporally synchronizes LSAs with BGP events (Section III-D.3).  The
+// BGP decision process consumes the IGP costs computed here ("hot
+// potato"), and the drill-down API answers "did the IGP change around the
+// time of this BGP incident?".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.h"
+
+namespace ranomaly::igp {
+
+using RouterId = std::uint32_t;
+using AreaId = std::uint16_t;
+
+inline constexpr AreaId kBackboneArea = 0;
+
+// One directed adjacency advertised by a router.
+struct AdvertisedLink {
+  RouterId neighbor = 0;
+  std::uint32_t cost = 1;
+
+  friend bool operator==(const AdvertisedLink&, const AdvertisedLink&) = default;
+};
+
+// A router LSA: the advertising router's current adjacency list in one
+// area.  Sequence numbers provide freshness, as in OSPF.
+struct Lsa {
+  RouterId origin = 0;
+  AreaId area = kBackboneArea;
+  std::uint32_t sequence = 0;
+  std::vector<AdvertisedLink> links;
+
+  friend bool operator==(const Lsa&, const Lsa&) = default;
+};
+
+enum class LsaDisposition : std::uint8_t {
+  kInstalledNew,   // first LSA from this router in this area
+  kInstalledNewer, // replaced an older sequence
+  kIgnoredStale,   // sequence not newer than what we have
+};
+
+// Per-area LSA store + shortest-path-first computation.
+class LinkStateDb {
+ public:
+  LsaDisposition Install(const Lsa& lsa);
+
+  const Lsa* Find(AreaId area, RouterId origin) const;
+
+  // Dijkstra from `root` over the union of all areas the root appears in
+  // (multi-area routers stitch areas together, a simplified ABR model).
+  // Returns cost to every reachable router.
+  std::unordered_map<RouterId, std::uint32_t> Spf(RouterId root) const;
+
+  // Cost from root to target, or nullopt if unreachable.
+  std::optional<std::uint32_t> Cost(RouterId root, RouterId target) const;
+
+  std::size_t LsaCount() const;
+  std::vector<AreaId> Areas() const;
+
+ private:
+  // area -> origin -> LSA
+  std::unordered_map<AreaId, std::unordered_map<RouterId, Lsa>> areas_;
+};
+
+// A timestamped record of LSA activity, kept alongside the BGP event
+// stream so incidents can be drilled down into IGP causes.
+struct LsaEvent {
+  util::SimTime time = 0;
+  Lsa lsa;
+  LsaDisposition disposition = LsaDisposition::kInstalledNew;
+};
+
+class LsaLog {
+ public:
+  void Record(util::SimTime time, const Lsa& lsa, LsaDisposition disposition);
+
+  const std::vector<LsaEvent>& events() const { return events_; }
+
+  // All LSA events within [center - radius, center + radius]; this is the
+  // Section III-D.3 drill-down primitive.
+  std::vector<LsaEvent> EventsNear(util::SimTime center,
+                                   util::SimDuration radius) const;
+
+ private:
+  std::vector<LsaEvent> events_;  // append-only, time-ordered
+};
+
+}  // namespace ranomaly::igp

@@ -1,0 +1,310 @@
+#include "net/config.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace ranomaly::net {
+namespace {
+
+using util::ParseU32;
+using util::SplitWhitespace;
+using util::Trim;
+
+// Parser context: which block ("router bgp" / "route-map") we are inside.
+enum class Block { kNone, kRouterBgp, kRouteMap };
+
+struct Parser {
+  RouterConfig* config;
+  std::map<std::string, RouteMap, std::less<>>* route_maps;
+  std::map<std::string, PrefixList, std::less<>>* prefix_lists;
+  std::map<std::string, bgp::Community, std::less<>>* community_lists;
+};
+
+std::string Str(std::string_view sv) { return std::string(sv); }
+
+}  // namespace
+
+const RouteMap* RouterConfig::FindRouteMap(std::string_view name) const {
+  const auto it = route_maps_.find(name);
+  return it == route_maps_.end() ? nullptr : &it->second;
+}
+
+const PrefixList* RouterConfig::FindPrefixList(std::string_view name) const {
+  const auto it = prefix_lists_.find(name);
+  return it == prefix_lists_.end() ? nullptr : &it->second;
+}
+
+std::optional<bgp::Community> RouterConfig::FindCommunityList(
+    std::string_view name) const {
+  const auto it = community_lists_.find(name);
+  if (it == community_lists_.end()) return std::nullopt;
+  return it->second;
+}
+
+NeighborPolicy RouterConfig::CompileNeighborPolicy(
+    bgp::Ipv4Addr neighbor) const {
+  NeighborPolicy policy;
+  const auto it = neighbors_.find(neighbor);
+  if (it == neighbors_.end()) return policy;
+  const NeighborConfig& nc = it->second;
+  if (const RouteMap* m = FindRouteMap(nc.import_map_name)) {
+    policy.import_map = *m;
+  }
+  if (const RouteMap* m = FindRouteMap(nc.export_map_name)) {
+    policy.export_map = *m;
+  }
+  policy.max_prefix_limit = nc.max_prefix_limit;
+  return policy;
+}
+
+std::vector<RouterConfig::CommunityUse>
+RouterConfig::FindClausesMatchingCommunity(bgp::Community community) const {
+  std::vector<CommunityUse> uses;
+  for (const auto& [name, map] : route_maps_) {
+    const auto& clauses = map.clauses();
+    for (std::size_t i = 0; i < clauses.size(); ++i) {
+      if (clauses[i].match_community == community) {
+        uses.push_back(CommunityUse{name, i, &clauses[i]});
+      }
+    }
+  }
+  return uses;
+}
+
+std::optional<RouterConfig> RouterConfig::Parse(std::string_view text,
+                                                ConfigError* error) {
+  RouterConfig config;
+  Block block = Block::kNone;
+  RouteMap* current_map = nullptr;
+  RouteMapClause* current_clause = nullptr;
+
+  auto fail = [&](std::size_t line, std::string message)
+      -> std::optional<RouterConfig> {
+    if (error != nullptr) *error = ConfigError{line, std::move(message)};
+    return std::nullopt;
+  };
+
+  const auto lines = util::Split(text, '\n');
+  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::size_t line_no = ln + 1;
+    const std::string_view raw = lines[ln];
+    const std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '!') {
+      // '!' also terminates blocks in IOS style.
+      if (!line.empty()) {
+        block = Block::kNone;
+        current_map = nullptr;
+        current_clause = nullptr;
+      }
+      continue;
+    }
+    const auto tok = SplitWhitespace(line);
+
+    // --- top-level statements ---
+    if (tok[0] == "router") {
+      if (tok.size() != 3 || tok[1] != "bgp") {
+        return fail(line_no, "expected: router bgp <asn>");
+      }
+      std::uint32_t asn = 0;
+      if (!ParseU32(tok[2], asn)) return fail(line_no, "bad ASN");
+      config.asn_ = asn;
+      block = Block::kRouterBgp;
+      continue;
+    }
+
+    if (tok[0] == "ip" && tok.size() >= 2 && tok[1] == "prefix-list") {
+      // ip prefix-list NAME permit|deny PFX [ge N] [le N]
+      if (tok.size() < 5) return fail(line_no, "short prefix-list statement");
+      PrefixRule rule;
+      if (tok[3] == "permit") {
+        rule.permit = true;
+      } else if (tok[3] == "deny") {
+        rule.permit = false;
+      } else {
+        return fail(line_no, "expected permit|deny");
+      }
+      const auto pfx = bgp::Prefix::Parse(tok[4]);
+      if (!pfx) return fail(line_no, "bad prefix");
+      rule.prefix = *pfx;
+      std::size_t i = 5;
+      while (i + 1 < tok.size() + 1 && i < tok.size()) {
+        std::uint32_t v = 0;
+        if (i + 1 >= tok.size() || !ParseU32(tok[i + 1], v) || v > 32) {
+          return fail(line_no, "bad ge/le");
+        }
+        if (tok[i] == "ge") {
+          rule.ge = static_cast<std::uint8_t>(v);
+        } else if (tok[i] == "le") {
+          rule.le = static_cast<std::uint8_t>(v);
+        } else {
+          return fail(line_no, "unknown prefix-list option");
+        }
+        i += 2;
+      }
+      config.prefix_lists_[Str(tok[2])].Add(rule);
+      continue;
+    }
+
+    if (tok[0] == "ip" && tok.size() >= 2 && tok[1] == "community-list") {
+      // ip community-list NAME permit ASN:VAL
+      if (tok.size() != 5 || tok[3] != "permit") {
+        return fail(line_no, "expected: ip community-list <name> permit <c>");
+      }
+      const auto c = bgp::Community::Parse(tok[4]);
+      if (!c) return fail(line_no, "bad community");
+      config.community_lists_[Str(tok[2])] = *c;
+      continue;
+    }
+
+    if (tok[0] == "route-map") {
+      // route-map NAME permit|deny SEQ
+      if (tok.size() != 4) return fail(line_no, "expected: route-map <name> permit|deny <seq>");
+      RouteMapClause clause;
+      if (tok[2] == "permit") {
+        clause.permit = true;
+      } else if (tok[2] == "deny") {
+        clause.permit = false;
+      } else {
+        return fail(line_no, "expected permit|deny");
+      }
+      std::uint32_t seq = 0;
+      if (!ParseU32(tok[3], seq)) return fail(line_no, "bad sequence number");
+      auto [it, inserted] =
+          config.route_maps_.try_emplace(Str(tok[1]), RouteMap(Str(tok[1])));
+      current_map = &it->second;
+      current_map->AddClause(std::move(clause));
+      current_clause = &current_map->MutableLastClause();
+      block = Block::kRouteMap;
+      continue;
+    }
+
+    // --- statements inside "router bgp" ---
+    if (block == Block::kRouterBgp) {
+      if (tok[0] == "bgp" && tok.size() == 2) {
+        if (tok[1] == "deterministic-med") {
+          config.decision_.deterministic_med = true;
+          continue;
+        }
+        if (tok[1] == "always-compare-med") {
+          config.decision_.always_compare_med = true;
+          continue;
+        }
+        return fail(line_no, "unknown bgp option");
+      }
+      if (tok[0] == "neighbor" && tok.size() >= 3) {
+        const auto addr = bgp::Ipv4Addr::Parse(tok[1]);
+        if (!addr) return fail(line_no, "bad neighbor address");
+        NeighborConfig& nc = config.neighbors_[*addr];
+        if (tok[2] == "remote-as" && tok.size() == 4) {
+          std::uint32_t asn = 0;
+          if (!ParseU32(tok[3], asn)) return fail(line_no, "bad remote-as");
+          nc.remote_as = asn;
+          continue;
+        }
+        if (tok[2] == "route-map" && tok.size() == 5) {
+          if (tok[4] == "in") {
+            nc.import_map_name = Str(tok[3]);
+          } else if (tok[4] == "out") {
+            nc.export_map_name = Str(tok[3]);
+          } else {
+            return fail(line_no, "expected in|out");
+          }
+          continue;
+        }
+        if (tok[2] == "maximum-prefix" && tok.size() == 4) {
+          std::uint32_t n = 0;
+          if (!ParseU32(tok[3], n)) return fail(line_no, "bad maximum-prefix");
+          nc.max_prefix_limit = n;
+          continue;
+        }
+        return fail(line_no, "unknown neighbor statement");
+      }
+      return fail(line_no, "unknown statement in router bgp block");
+    }
+
+    // --- statements inside "route-map" ---
+    if (block == Block::kRouteMap && current_clause != nullptr) {
+      if (tok[0] == "match") {
+        if (tok.size() == 3 && tok[1] == "community") {
+          const auto c = config.community_lists_.find(tok[2]);
+          if (c == config.community_lists_.end()) {
+            return fail(line_no, "unknown community-list");
+          }
+          current_clause->match_community = c->second;
+          continue;
+        }
+        if (tok.size() == 5 && tok[1] == "ip" && tok[2] == "address" &&
+            tok[3] == "prefix-list") {
+          const auto pl = config.prefix_lists_.find(tok[4]);
+          if (pl == config.prefix_lists_.end()) {
+            return fail(line_no, "unknown prefix-list");
+          }
+          current_clause->match_prefix_list = pl->second;
+          continue;
+        }
+        if (tok.size() == 3 && tok[1] == "as-path-contains") {
+          std::uint32_t asn = 0;
+          if (!ParseU32(tok[2], asn)) return fail(line_no, "bad ASN");
+          current_clause->match_as_in_path = asn;
+          continue;
+        }
+        if (tok.size() == 3 && tok[1] == "as-path") {
+          auto pattern = bgp::AsPathPattern::Parse(tok[2]);
+          if (!pattern) return fail(line_no, "bad as-path pattern");
+          current_clause->match_as_path_pattern = std::move(*pattern);
+          continue;
+        }
+        if (tok.size() == 2 && tok[1] == "empty-as-path") {
+          current_clause->match_empty_as_path = true;
+          continue;
+        }
+        return fail(line_no, "unknown match statement");
+      }
+      if (tok[0] == "set") {
+        if (tok.size() == 3 && tok[1] == "local-preference") {
+          std::uint32_t v = 0;
+          if (!ParseU32(tok[2], v)) return fail(line_no, "bad local-preference");
+          current_clause->set_local_pref = v;
+          continue;
+        }
+        if (tok.size() == 3 && tok[1] == "metric") {
+          std::uint32_t v = 0;
+          if (!ParseU32(tok[2], v)) return fail(line_no, "bad metric");
+          current_clause->set_med = v;
+          continue;
+        }
+        if (tok.size() >= 3 && tok[1] == "community") {
+          const auto c = bgp::Community::Parse(tok[2]);
+          if (!c) return fail(line_no, "bad community");
+          current_clause->set_communities.push_back(*c);
+          continue;
+        }
+        if (tok.size() == 4 && tok[1] == "comm-list" && tok[3] == "delete") {
+          const auto c = config.community_lists_.find(tok[2]);
+          if (c == config.community_lists_.end()) {
+            return fail(line_no, "unknown community-list");
+          }
+          current_clause->delete_communities.push_back(c->second);
+          continue;
+        }
+        if (tok.size() == 4 && tok[1] == "as-path" && tok[2] == "prepend") {
+          std::uint32_t n = 0;
+          if (!ParseU32(tok[3], n) || n > 255) {
+            return fail(line_no, "bad prepend count");
+          }
+          current_clause->prepend_count = static_cast<std::uint8_t>(n);
+          continue;
+        }
+        return fail(line_no, "unknown set statement");
+      }
+      return fail(line_no, "unknown statement in route-map block");
+    }
+
+    return fail(line_no, "unknown top-level statement");
+  }
+
+  return config;
+}
+
+}  // namespace ranomaly::net

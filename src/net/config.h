@@ -1,0 +1,102 @@
+// A Cisco IOS-like router-configuration grammar and parser.
+//
+// Section III-D.1 integrates router configuration files with the event
+// analysis: routing policies (LOCAL_PREF from community tags, filters)
+// live only in configs, never in BGP messages, so diagnosing incidents
+// like the Section IV-D rate-limiter bypass requires correlating the two.
+// This module parses a realistic config subset into the policy engine's
+// structures and supports the reverse queries the correlator needs.
+//
+// Supported statements (see tests/net/config_test.cc for full examples):
+//
+//   router bgp <asn>
+//    bgp deterministic-med
+//    bgp always-compare-med
+//    neighbor <ip> remote-as <asn>
+//    neighbor <ip> route-map <name> in|out
+//    neighbor <ip> maximum-prefix <n>
+//   ip prefix-list <name> permit|deny <a.b.c.d/len> [ge <n>] [le <n>]
+//   ip community-list <name> permit <asn:value>
+//   route-map <name> permit|deny <seq>
+//    match community <community-list-name>
+//    match ip address prefix-list <prefix-list-name>
+//    match as-path-contains <asn>
+//    match empty-as-path
+//    set local-preference <n>
+//    set metric <n>
+//    set community <asn:value> additive
+//    set comm-list <name> delete
+//    set as-path prepend <count>
+//
+// Comment lines start with '!' and blank lines are ignored.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/prefix.h"
+#include "bgp/rib.h"
+#include "net/policy.h"
+
+namespace ranomaly::net {
+
+struct NeighborConfig {
+  bgp::AsNumber remote_as = 0;
+  std::string import_map_name;  // empty => passthrough
+  std::string export_map_name;
+  std::uint32_t max_prefix_limit = 0;
+};
+
+// A parse error with 1-based line number and message.
+struct ConfigError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+// The parsed form of one router's configuration.
+class RouterConfig {
+ public:
+  bgp::AsNumber asn() const { return asn_; }
+  const bgp::DecisionConfig& decision() const { return decision_; }
+
+  const std::map<bgp::Ipv4Addr, NeighborConfig>& neighbors() const {
+    return neighbors_;
+  }
+
+  const RouteMap* FindRouteMap(std::string_view name) const;
+  const PrefixList* FindPrefixList(std::string_view name) const;
+  // A community list here is a single community value (the paper's
+  // policies are all single-tag); returns nullopt if unknown.
+  std::optional<bgp::Community> FindCommunityList(std::string_view name) const;
+
+  // Resolves a neighbor's route-map names into an executable policy.
+  // Unknown map names behave as passthrough (IOS applies nothing).
+  NeighborPolicy CompileNeighborPolicy(bgp::Ipv4Addr neighbor) const;
+
+  // Reverse query for the D.1 correlator: all (map name, clause index)
+  // pairs whose match condition involves `community`.
+  struct CommunityUse {
+    std::string map_name;
+    std::size_t clause_index = 0;
+    const RouteMapClause* clause = nullptr;
+  };
+  std::vector<CommunityUse> FindClausesMatchingCommunity(
+      bgp::Community community) const;
+
+  // Parses a config text.  On failure returns nullopt and fills `error`.
+  static std::optional<RouterConfig> Parse(std::string_view text,
+                                           ConfigError* error = nullptr);
+
+ private:
+  bgp::AsNumber asn_ = 0;
+  bgp::DecisionConfig decision_;
+  std::map<bgp::Ipv4Addr, NeighborConfig> neighbors_;
+  std::map<std::string, RouteMap, std::less<>> route_maps_;
+  std::map<std::string, PrefixList, std::less<>> prefix_lists_;
+  std::map<std::string, bgp::Community, std::less<>> community_lists_;
+};
+
+}  // namespace ranomaly::net

@@ -1,0 +1,57 @@
+#include "net/policy.h"
+
+namespace ranomaly::net {
+
+bool PrefixRule::Matches(const bgp::Prefix& p) const {
+  if (ge == 0 && le == 0) return p == prefix;
+  if (!prefix.Covers(p)) return false;
+  const std::uint8_t lo = ge == 0 ? prefix.length() : ge;
+  const std::uint8_t hi = le == 0 ? 32 : le;
+  return p.length() >= lo && p.length() <= hi;
+}
+
+bool PrefixList::Permits(const bgp::Prefix& p) const {
+  for (const PrefixRule& rule : rules_) {
+    if (rule.Matches(p)) return rule.permit;
+  }
+  return false;
+}
+
+bool RouteMapClause::Matches(const bgp::Prefix& prefix,
+                             const bgp::PathAttributes& attrs) const {
+  if (match_community && !attrs.communities.Contains(*match_community)) {
+    return false;
+  }
+  if (match_prefix_list && !match_prefix_list->Permits(prefix)) return false;
+  if (match_as_in_path && !attrs.as_path.Contains(*match_as_in_path)) {
+    return false;
+  }
+  if (match_as_path_pattern &&
+      !match_as_path_pattern->Matches(attrs.as_path)) {
+    return false;
+  }
+  if (match_empty_as_path && !attrs.as_path.Empty()) return false;
+  return true;
+}
+
+std::optional<bgp::PathAttributes> RouteMap::Apply(
+    const bgp::Prefix& prefix, const bgp::PathAttributes& attrs,
+    bgp::AsNumber own_as) const {
+  if (IsPassthrough()) return attrs;
+  for (const RouteMapClause& clause : clauses_) {
+    if (!clause.Matches(prefix, attrs)) continue;
+    if (!clause.permit) return std::nullopt;
+    bgp::PathAttributes out = attrs;
+    if (clause.set_local_pref) out.local_pref = *clause.set_local_pref;
+    if (clause.set_med) out.med = *clause.set_med;
+    for (bgp::Community c : clause.set_communities) out.communities.Add(c);
+    for (bgp::Community c : clause.delete_communities) out.communities.Remove(c);
+    if (clause.prepend_count > 0) {
+      out.as_path = out.as_path.Prepend(own_as, clause.prepend_count);
+    }
+    return out;
+  }
+  return std::nullopt;  // implicit deny
+}
+
+}  // namespace ranomaly::net

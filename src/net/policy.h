@@ -1,0 +1,127 @@
+// BGP routing-policy engine: route-maps, community lists, prefix lists.
+//
+// Policies are "the complex part of a simple protocol" (paper Section I):
+// they set LOCAL_PREF from community tags, filter routes, prepend paths
+// and enforce max-prefix limits.  Every case-study anomaly in Section IV
+// is an interaction between routing dynamics and these constructs — e.g.
+// 128.32.1.3 only accepting commodity-Internet routes tagged 11423:65350,
+// which is what turns a route leak into a rate-limiter bypass.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/as_path_pattern.h"
+#include "bgp/attributes.h"
+#include "bgp/prefix.h"
+#include "util/time.h"
+
+namespace ranomaly::net {
+
+// A prefix-list entry: matches `prefix` itself, or — with ge/le — any
+// more-specific within the mask-length bounds, Cisco-style.
+struct PrefixRule {
+  bgp::Prefix prefix;
+  std::uint8_t ge = 0;  // 0 => exact length
+  std::uint8_t le = 0;  // 0 => exact length (unless ge set)
+  bool permit = true;
+
+  bool Matches(const bgp::Prefix& p) const;
+};
+
+class PrefixList {
+ public:
+  PrefixList() = default;
+  explicit PrefixList(std::vector<PrefixRule> rules) : rules_(std::move(rules)) {}
+
+  void Add(PrefixRule rule) { rules_.push_back(std::move(rule)); }
+
+  // First matching rule decides; no match => deny (Cisco semantics).
+  bool Permits(const bgp::Prefix& p) const;
+
+  std::size_t size() const { return rules_.size(); }
+
+ private:
+  std::vector<PrefixRule> rules_;
+};
+
+// One clause of a route-map: all present match conditions must hold, then
+// the set actions are applied (if the clause permits).
+struct RouteMapClause {
+  bool permit = true;
+  // Match conditions (empty optional = unconditional).
+  std::optional<bgp::Community> match_community;
+  std::optional<PrefixList> match_prefix_list;
+  std::optional<bgp::AsNumber> match_as_in_path;
+  // Cisco-style AS-path regex ("ip as-path access-list"), e.g. "^701_".
+  std::optional<bgp::AsPathPattern> match_as_path_pattern;
+  bool match_empty_as_path = false;  // "locally originated only" exports
+  // Set actions.
+  std::optional<std::uint32_t> set_local_pref;
+  std::optional<std::uint32_t> set_med;
+  std::vector<bgp::Community> set_communities;
+  std::vector<bgp::Community> delete_communities;
+  std::uint8_t prepend_count = 0;  // prepend own AS this many times
+
+  bool Matches(const bgp::Prefix& prefix,
+               const bgp::PathAttributes& attrs) const;
+};
+
+// An ordered route-map.  Evaluation: first matching clause wins; a
+// permitting clause applies its sets and accepts; a denying clause
+// rejects; falling off the end rejects (Cisco's implicit deny).
+class RouteMap {
+ public:
+  RouteMap() = default;
+  explicit RouteMap(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void AddClause(RouteMapClause clause) { clauses_.push_back(std::move(clause)); }
+  const std::vector<RouteMapClause>& clauses() const { return clauses_; }
+  // For the config parser, which builds a clause incrementally from the
+  // match/set lines that follow its "route-map" header.
+  RouteMapClause& MutableLastClause() { return clauses_.back(); }
+
+  // Applies the map.  Returns the transformed attributes if accepted,
+  // nullopt if the route is filtered.  `own_as` is used by prepend.
+  std::optional<bgp::PathAttributes> Apply(const bgp::Prefix& prefix,
+                                           const bgp::PathAttributes& attrs,
+                                           bgp::AsNumber own_as) const;
+
+  // An empty (no-clause) map in this engine means "permit everything
+  // unchanged" so that links without policy behave neutrally.
+  bool IsPassthrough() const { return clauses_.empty(); }
+
+ private:
+  std::string name_;
+  std::vector<RouteMapClause> clauses_;
+};
+
+// Route-flap damping (RFC 2439), the era-standard defence against
+// exactly the Section IV-E pathology: each flap adds penalty, penalty
+// decays exponentially, and a route whose penalty exceeds the suppress
+// threshold is withheld from the decision process until it decays below
+// the reuse threshold.
+struct DampingConfig {
+  bool enabled = false;
+  double withdraw_penalty = 1000.0;
+  double suppress_threshold = 2000.0;
+  double reuse_threshold = 750.0;
+  util::SimDuration half_life = 15 * util::kMinute;
+  double max_penalty = 12000.0;
+};
+
+// Per-neighbor session policy: import/export maps + max-prefix guard +
+// flap damping.
+struct NeighborPolicy {
+  RouteMap import_map;
+  RouteMap export_map;
+  // 0 = unlimited.  Exceeding it tears the session down, reproducing the
+  // ISP-A/ISP-B leak meltdown of Section I.
+  std::uint32_t max_prefix_limit = 0;
+  DampingConfig damping;
+};
+
+}  // namespace ranomaly::net

@@ -1,0 +1,681 @@
+#include "net/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ranomaly::net {
+namespace {
+
+bgp::Community RelationTag(PeerRelation relation) {
+  switch (relation) {
+    case PeerRelation::kCustomer: return kEnteredViaCustomer;
+    case PeerRelation::kPeer: return kEnteredViaPeer;
+    case PeerRelation::kProvider: return kEnteredViaProvider;
+    case PeerRelation::kInternal: break;
+  }
+  throw std::logic_error("RelationTag: internal sessions are not tagged");
+}
+
+void StripReservedTags(bgp::CommunitySet& communities) {
+  communities.Remove(kEnteredViaCustomer);
+  communities.Remove(kEnteredViaPeer);
+  communities.Remove(kEnteredViaProvider);
+}
+
+bool HasAnyReservedTag(const bgp::CommunitySet& communities) {
+  return communities.Contains(kEnteredViaCustomer) ||
+         communities.Contains(kEnteredViaPeer) ||
+         communities.Contains(kEnteredViaProvider);
+}
+
+}  // namespace
+
+Simulator::Simulator(Topology topology, std::uint64_t seed)
+    : topology_(std::move(topology)), rng_(seed) {
+  routers_.reserve(topology_.RouterCount());
+  for (std::size_t i = 0; i < topology_.RouterCount(); ++i) {
+    RouterState state;
+    state.loc_rib = bgp::LocRib(
+        topology_.router(static_cast<RouterIndex>(i)).decision);
+    routers_.push_back(std::move(state));
+  }
+  link_up_.assign(topology_.LinkCount(), false);
+  for (std::size_t li = 0; li < topology_.LinkCount(); ++li) {
+    const LinkSpec& l = topology_.link(static_cast<LinkIndex>(li));
+    PeerState a_side;
+    a_side.peer = l.b;
+    a_side.link = static_cast<LinkIndex>(li);
+    a_side.relation = l.b_is_as_seen_by_a;
+    a_side.policy = l.a_policy;
+    a_side.mrai = l.a_mrai;
+    a_side.rr_client = l.b_is_rr_client_of_a;
+    routers_[l.a].peers.push_back(std::move(a_side));
+
+    PeerState b_side;
+    b_side.peer = l.a;
+    b_side.link = static_cast<LinkIndex>(li);
+    b_side.relation = Topology::Reverse(l.b_is_as_seen_by_a);
+    b_side.policy = l.b_policy;
+    b_side.mrai = l.b_mrai;
+    b_side.rr_client = l.a_is_rr_client_of_b;
+    routers_[l.b].peers.push_back(std::move(b_side));
+  }
+}
+
+void Simulator::Push(QueueItem item) {
+  item.seq = seq_++;
+  queue_.push(std::move(item));
+}
+
+Simulator::PeerState* Simulator::FindPeerState(RouterIndex router,
+                                               RouterIndex neighbor) {
+  for (PeerState& p : routers_.at(router).peers) {
+    if (p.peer == neighbor) return &p;
+  }
+  return nullptr;
+}
+
+Simulator::PeerState* Simulator::FindPeerStateByAddress(RouterIndex router,
+                                                        bgp::Ipv4Addr addr) {
+  for (PeerState& p : routers_.at(router).peers) {
+    if (topology_.router(p.peer).address == addr) return &p;
+  }
+  return nullptr;
+}
+
+void Simulator::Originate(RouterIndex router, const bgp::Prefix& prefix,
+                          bgp::PathAttributes attrs) {
+  DoOriginate(router, prefix, std::move(attrs));
+}
+
+void Simulator::WithdrawOrigin(RouterIndex router, const bgp::Prefix& prefix) {
+  DoWithdrawOrigin(router, prefix);
+}
+
+void Simulator::ScheduleOriginate(util::SimTime at, RouterIndex router,
+                                  const bgp::Prefix& prefix,
+                                  bgp::PathAttributes attrs) {
+  QueueItem item;
+  item.time = at;
+  item.kind = QueueItem::Kind::kOriginate;
+  item.to = router;
+  item.prefix = prefix;
+  item.attrs = std::move(attrs);
+  Push(std::move(item));
+}
+
+void Simulator::ScheduleWithdrawOrigin(util::SimTime at, RouterIndex router,
+                                       const bgp::Prefix& prefix) {
+  QueueItem item;
+  item.time = at;
+  item.kind = QueueItem::Kind::kWithdrawOrigin;
+  item.to = router;
+  item.prefix = prefix;
+  Push(std::move(item));
+}
+
+void Simulator::ScheduleLinkDown(LinkIndex link, util::SimTime at) {
+  QueueItem item;
+  item.time = at;
+  item.kind = QueueItem::Kind::kLinkDown;
+  item.link = link;
+  Push(std::move(item));
+}
+
+void Simulator::ScheduleLinkUp(LinkIndex link, util::SimTime at) {
+  QueueItem item;
+  item.time = at;
+  item.kind = QueueItem::Kind::kLinkUp;
+  item.link = link;
+  Push(std::move(item));
+}
+
+void Simulator::ScheduleLinkFlaps(LinkIndex link, util::SimTime start,
+                                  util::SimDuration down_for,
+                                  util::SimDuration up_for,
+                                  std::size_t cycles) {
+  util::SimTime t = start;
+  for (std::size_t i = 0; i < cycles; ++i) {
+    ScheduleLinkDown(link, t);
+    ScheduleLinkUp(link, t + down_for);
+    t += down_for + up_for;
+  }
+}
+
+bool Simulator::IsLinkUp(LinkIndex link) const { return link_up_.at(link); }
+
+void Simulator::Start() {
+  if (started_) throw std::logic_error("Simulator::Start called twice");
+  started_ = true;
+  for (std::size_t li = 0; li < topology_.LinkCount(); ++li) {
+    if (topology_.link(static_cast<LinkIndex>(li)).initially_up) {
+      DoLinkUp(static_cast<LinkIndex>(li));
+    }
+  }
+}
+
+void Simulator::Run(util::SimTime until) {
+  if (!started_) throw std::logic_error("Simulator::Run before Start");
+  while (!queue_.empty() && queue_.top().time <= until) {
+    QueueItem item = queue_.top();
+    queue_.pop();
+    now_ = std::max(now_, item.time);
+    Dispatch(item);
+  }
+  now_ = std::max(now_, until);
+}
+
+bool Simulator::RunToQuiescence(util::SimTime max_time) {
+  if (!started_) throw std::logic_error("Simulator::Run before Start");
+  while (!queue_.empty() && queue_.top().time <= max_time) {
+    QueueItem item = queue_.top();
+    queue_.pop();
+    now_ = std::max(now_, item.time);
+    Dispatch(item);
+  }
+  return queue_.empty();
+}
+
+void Simulator::Dispatch(const QueueItem& item) {
+  switch (item.kind) {
+    case QueueItem::Kind::kDeliverUpdate:
+      DeliverUpdate(item);
+      break;
+    case QueueItem::Kind::kLinkUp:
+      DoLinkUp(item.link);
+      break;
+    case QueueItem::Kind::kLinkDown:
+      DoLinkDown(item.link);
+      break;
+    case QueueItem::Kind::kMraiFlush: {
+      PeerState* ps = FindPeerState(item.to, item.from);
+      if (ps != nullptr) {
+        ps->flush_scheduled = false;
+        FlushPeer(item.to, *ps);
+      }
+      break;
+    }
+    case QueueItem::Kind::kOriginate:
+      DoOriginate(item.to, item.prefix, item.attrs);
+      break;
+    case QueueItem::Kind::kWithdrawOrigin:
+      DoWithdrawOrigin(item.to, item.prefix);
+      break;
+    case QueueItem::Kind::kDampingReuse:
+      HandleDampingReuse(item);
+      break;
+  }
+}
+
+void Simulator::DoLinkUp(LinkIndex link) {
+  if (link_up_.at(link)) return;
+  link_up_[link] = true;
+  ++stats_.sessions_established;
+  const LinkSpec& l = topology_.link(link);
+  const RouterIndex ends[2] = {l.a, l.b};
+  for (RouterIndex r : ends) {
+    for (PeerState& p : routers_[r].peers) {
+      if (p.link == link) {
+        p.up = true;
+        p.next_send_allowed = now_;
+      }
+    }
+  }
+  // Full table exchange: each side advertises its current best routes.
+  for (RouterIndex r : ends) {
+    PeerState* p = nullptr;
+    for (PeerState& ps : routers_[r].peers) {
+      if (ps.link == link) p = &ps;
+    }
+    if (p == nullptr) continue;
+    std::vector<bgp::Prefix> prefixes;
+    routers_[r].loc_rib.ForEach(
+        [&](const bgp::Prefix& prefix, const auto&, auto) {
+          prefixes.push_back(prefix);
+        });
+    for (const bgp::Prefix& prefix : prefixes) {
+      EnqueueToPeer(r, *p, prefix, ComputeExport(r, *p, prefix));
+    }
+  }
+}
+
+void Simulator::DoLinkDown(LinkIndex link) {
+  if (!link_up_.at(link)) return;
+  link_up_[link] = false;
+  ++stats_.sessions_dropped;
+  const LinkSpec& l = topology_.link(link);
+  const RouterIndex ends[2] = {l.a, l.b};
+  for (RouterIndex r : ends) {
+    for (PeerState& p : routers_[r].peers) {
+      if (p.link != link) continue;
+      p.up = false;
+      p.pending.clear();
+      p.adj_out.clear();
+      const bgp::Ipv4Addr peer_addr = topology_.router(p.peer).address;
+      // Everything learned over this session is withdrawn (paper Section
+      // I: a reset forces explicit withdrawal of all the peer's routes),
+      // and each counts as a flap for RFC 2439 damping.
+      auto lost = p.adj_in.Clear();
+      for (auto& [prefix, attrs] : lost) {
+        ApplyWithdrawPenalty(p, prefix);
+        const bgp::BestPathChange change =
+            routers_[r].loc_rib.Update(peer_addr, prefix, std::nullopt);
+        if (change.Changed()) {
+          NotifyTaps(r, prefix, change);
+          PropagateBestChange(r, prefix);
+        }
+      }
+    }
+  }
+}
+
+void Simulator::DoOriginate(RouterIndex router, const bgp::Prefix& prefix,
+                            bgp::PathAttributes attrs) {
+  const RouterSpec& me = topology_.router(router);
+  if (attrs.nexthop == bgp::Ipv4Addr()) attrs.nexthop = me.address;
+  routers_[router].originated[prefix] = attrs;
+  bgp::RouteCandidate cand;
+  cand.peer = me.address;
+  cand.attrs = std::move(attrs);
+  cand.ebgp = false;
+  cand.peer_router_id = me.router_id;
+  const bgp::BestPathChange change =
+      routers_[router].loc_rib.Update(me.address, prefix, std::move(cand));
+  if (change.Changed()) {
+    NotifyTaps(router, prefix, change);
+    PropagateBestChange(router, prefix);
+  }
+}
+
+void Simulator::DoWithdrawOrigin(RouterIndex router,
+                                 const bgp::Prefix& prefix) {
+  const RouterSpec& me = topology_.router(router);
+  if (routers_[router].originated.erase(prefix) == 0) return;
+  const bgp::BestPathChange change =
+      routers_[router].loc_rib.Update(me.address, prefix, std::nullopt);
+  if (change.Changed()) {
+    NotifyTaps(router, prefix, change);
+    PropagateBestChange(router, prefix);
+  }
+}
+
+void Simulator::DeliverUpdate(const QueueItem& item) {
+  if (!link_up_.at(item.link)) return;  // lost with the session
+  PeerState* ps = nullptr;
+  for (PeerState& p : routers_.at(item.to).peers) {
+    if (p.link == item.link && p.peer == item.from) ps = &p;
+  }
+  if (ps == nullptr || !ps->up) return;
+  ++stats_.messages_delivered;
+  for (const RouteChange& change : item.changes) {
+    if (!ps->up) break;  // a max-prefix teardown mid-message
+    ++stats_.updates_delivered;
+    ApplyChange(item.to, *ps, change);
+  }
+}
+
+void Simulator::ApplyWithdrawPenalty(PeerState& peer_state,
+                                     const bgp::Prefix& prefix) {
+  // RFC 2439: every withdrawal of a route we actually held adds penalty,
+  // whether it arrived explicitly or via session loss.
+  if (!peer_state.policy.damping.enabled) return;
+  const DampingConfig& config = peer_state.policy.damping;
+  DampState& state = peer_state.damping[prefix];
+  DecayPenalty(config, state, now_);
+  state.penalty = std::min(config.max_penalty,
+                           state.penalty + config.withdraw_penalty);
+  state.pending.reset();  // nothing to reuse once withdrawn
+  if (!state.suppressed && state.penalty >= config.suppress_threshold) {
+    state.suppressed = true;
+  }
+}
+
+void Simulator::WithdrawFromPeer(RouterIndex router, PeerState& peer_state,
+                                 const bgp::Prefix& prefix) {
+  if (peer_state.adj_in.Find(prefix) != nullptr) {
+    ApplyWithdrawPenalty(peer_state, prefix);
+  }
+  const auto old = peer_state.adj_in.Withdraw(prefix);
+  if (!old) return;
+  const bgp::Ipv4Addr peer_addr = topology_.router(peer_state.peer).address;
+  const bgp::BestPathChange change =
+      routers_[router].loc_rib.Update(peer_addr, prefix, std::nullopt);
+  if (change.Changed()) {
+    NotifyTaps(router, prefix, change);
+    PropagateBestChange(router, prefix);
+  }
+}
+
+void Simulator::DecayPenalty(const DampingConfig& config, DampState& state,
+                             util::SimTime now) {
+  if (now <= state.last_update) return;
+  const double half_lives =
+      static_cast<double>(now - state.last_update) /
+      static_cast<double>(config.half_life);
+  state.penalty *= std::exp2(-half_lives);
+  state.last_update = now;
+}
+
+void Simulator::HandleDampingReuse(const QueueItem& item) {
+  PeerState* ps = FindPeerState(item.to, item.from);
+  if (ps == nullptr) return;
+  const auto it = ps->damping.find(item.prefix);
+  if (it == ps->damping.end()) return;
+  DampState& state = it->second;
+  if (!state.suppressed) return;
+  const DampingConfig& config = ps->policy.damping;
+  DecayPenalty(config, state, now_);
+  if (state.penalty > config.reuse_threshold) {
+    // More flaps arrived since this timer was set; try again later.
+    QueueItem retry;
+    retry.time = now_ + config.half_life;
+    retry.kind = QueueItem::Kind::kDampingReuse;
+    retry.to = item.to;
+    retry.from = item.from;
+    retry.prefix = item.prefix;
+    Push(std::move(retry));
+    return;
+  }
+  state.suppressed = false;
+  ++stats_.routes_reused;
+  if (state.pending && ps->up) {
+    bgp::PathAttributes attrs = std::move(*state.pending);
+    state.pending.reset();
+    InstallRoute(item.to, *ps, item.prefix, std::move(attrs));
+  }
+}
+
+void Simulator::InstallRoute(RouterIndex router, PeerState& peer_state,
+                             const bgp::Prefix& prefix,
+                             bgp::PathAttributes attrs) {
+  const bool ebgp = peer_state.relation != PeerRelation::kInternal;
+  peer_state.adj_in.Announce(prefix, attrs);
+
+  if (peer_state.policy.max_prefix_limit != 0 &&
+      peer_state.adj_in.size() > peer_state.policy.max_prefix_limit) {
+    // The guard the paper's ISP-B had: too many routes on one session
+    // closes the session rather than melting the router.
+    ++stats_.max_prefix_teardowns;
+    DoLinkDown(peer_state.link);
+    return;
+  }
+
+  bgp::RouteCandidate cand;
+  cand.peer = topology_.router(peer_state.peer).address;
+  cand.attrs = std::move(attrs);
+  cand.ebgp = ebgp;
+  cand.peer_router_id = topology_.router(peer_state.peer).router_id;
+  const bgp::BestPathChange change =
+      routers_[router].loc_rib.Update(cand.peer, prefix, std::move(cand));
+  if (change.Changed()) {
+    NotifyTaps(router, prefix, change);
+    PropagateBestChange(router, prefix);
+  }
+}
+
+void Simulator::ApplyChange(RouterIndex router, PeerState& peer_state,
+                            const RouteChange& route_change) {
+  const RouterSpec& me = topology_.router(router);
+  if (!route_change.attrs) {
+    WithdrawFromPeer(router, peer_state, route_change.prefix);
+    return;
+  }
+
+  bgp::PathAttributes in = *route_change.attrs;
+  const bool ebgp = peer_state.relation != PeerRelation::kInternal;
+
+  // Receiver-side AS-path loop detection.
+  if (ebgp && in.as_path.Contains(me.asn)) {
+    ++stats_.loop_suppressed;
+    WithdrawFromPeer(router, peer_state, route_change.prefix);
+    return;
+  }
+  // Route-reflection loop detection.
+  if (in.originator_id != 0 && in.originator_id == me.router_id) {
+    WithdrawFromPeer(router, peer_state, route_change.prefix);
+    return;
+  }
+
+  if (ebgp) {
+    in.local_pref = DefaultLocalPref(peer_state.relation);
+    in.originator_id = 0;
+    StripReservedTags(in.communities);  // do not trust external tags
+  }
+
+  auto imported =
+      peer_state.policy.import_map.Apply(route_change.prefix, in, me.asn);
+  if (!imported) {
+    WithdrawFromPeer(router, peer_state, route_change.prefix);
+    return;
+  }
+  if (ebgp) imported->communities.Add(RelationTag(peer_state.relation));
+
+  // RFC 2439 gate: a suppressed route's announcements are withheld until
+  // the penalty decays below the reuse threshold.
+  if (peer_state.policy.damping.enabled) {
+    const DampingConfig& config = peer_state.policy.damping;
+    const auto dit = peer_state.damping.find(route_change.prefix);
+    if (dit != peer_state.damping.end() && dit->second.suppressed) {
+      DampState& state = dit->second;
+      DecayPenalty(config, state, now_);
+      if (state.penalty > config.reuse_threshold) {
+        state.pending = std::move(*imported);
+        ++stats_.routes_damped;
+        // Schedule the reuse check for when the penalty will have
+        // decayed to the threshold.
+        const double half_lives =
+            std::log2(state.penalty / config.reuse_threshold);
+        QueueItem reuse;
+        reuse.time = now_ + static_cast<util::SimDuration>(
+                                half_lives *
+                                static_cast<double>(config.half_life)) +
+                     1;
+        reuse.kind = QueueItem::Kind::kDampingReuse;
+        reuse.to = router;
+        reuse.from = peer_state.peer;
+        reuse.prefix = route_change.prefix;
+        Push(std::move(reuse));
+        return;
+      }
+      state.suppressed = false;
+      ++stats_.routes_reused;
+    }
+  }
+
+  InstallRoute(router, peer_state, route_change.prefix, std::move(*imported));
+}
+
+void Simulator::PropagateBestChange(RouterIndex router,
+                                    const bgp::Prefix& prefix) {
+  for (PeerState& p : routers_[router].peers) {
+    if (!p.up) continue;
+    EnqueueToPeer(router, p, prefix, ComputeExport(router, p, prefix));
+  }
+}
+
+std::optional<bgp::PathAttributes> Simulator::ComputeExport(
+    RouterIndex router, const PeerState& peer, const bgp::Prefix& prefix) {
+  const bgp::RouteCandidate* best = routers_[router].loc_rib.Best(prefix);
+  if (best == nullptr) return std::nullopt;
+  const RouterSpec& me = topology_.router(router);
+  const RouterSpec& them = topology_.router(peer.peer);
+
+  const bool self_originated = best->peer == me.address;
+  const bool learned_ebgp = best->ebgp;
+  const bool internal_session = peer.relation == PeerRelation::kInternal;
+
+  if (internal_session) {
+    // Never echo a route back to the iBGP session it came from.
+    if (!self_originated && them.address == best->peer) return std::nullopt;
+    if (!self_originated && !learned_ebgp) {
+      // iBGP-learned: plain speakers do not re-advertise over iBGP.
+      if (!me.route_reflector) return std::nullopt;
+      const PeerState* source = nullptr;
+      for (const PeerState& p : routers_[router].peers) {
+        if (topology_.router(p.peer).address == best->peer) source = &p;
+      }
+      const bool from_client = source != nullptr && source->rr_client;
+      // Reflect client routes to everyone; non-client routes to clients.
+      if (!from_client && !peer.rr_client) return std::nullopt;
+    }
+  } else {
+    // Gao-Rexford export gate, driven by the reserved entry tags.
+    const bool entered_via_customer =
+        best->attrs.communities.Contains(kEnteredViaCustomer);
+    const bool untagged = !HasAnyReservedTag(best->attrs.communities);
+    const bool exportable = self_originated || entered_via_customer ||
+                            untagged ||
+                            peer.relation == PeerRelation::kCustomer;
+    if (!exportable) return std::nullopt;
+    // Sender-side loop avoidance.
+    if (best->attrs.as_path.Contains(them.asn)) {
+      ++stats_.loop_suppressed;
+      return std::nullopt;
+    }
+  }
+
+  bgp::PathAttributes out = best->attrs;
+  if (!internal_session) {
+    out.local_pref = bgp::kDefaultLocalPref;  // LOCAL_PREF is iBGP-only
+    // MED is non-transitive: received MEDs stop here; only MEDs this AS
+    // itself assigns (origination or export policy) cross the boundary.
+    if (!self_originated) out.med.reset();
+    StripReservedTags(out.communities);
+    out.originator_id = 0;
+  }
+
+  auto mapped = peer.policy.export_map.Apply(prefix, out, me.asn);
+  if (!mapped) return std::nullopt;
+  out = std::move(*mapped);
+
+  if (!internal_session) {
+    out.as_path = out.as_path.Prepend(me.asn);
+    out.nexthop = me.address;
+  } else if (me.route_reflector && !self_originated && !learned_ebgp &&
+             out.originator_id == 0) {
+    out.originator_id = best->peer_router_id;
+  }
+  return out;
+}
+
+void Simulator::EnqueueToPeer(RouterIndex router, PeerState& peer,
+                              const bgp::Prefix& prefix,
+                              std::optional<bgp::PathAttributes> attrs) {
+  const auto pit = peer.pending.find(prefix);
+  if (pit != peer.pending.end()) {
+    if (pit->second == attrs) return;
+    pit->second = std::move(attrs);
+  } else {
+    const auto oit = peer.adj_out.find(prefix);
+    const bool currently_advertised = oit != peer.adj_out.end();
+    if (!attrs && !currently_advertised) return;
+    if (attrs && currently_advertised && oit->second == *attrs) return;
+    peer.pending.emplace(prefix, std::move(attrs));
+  }
+  FlushPeer(router, peer);
+}
+
+void Simulator::FlushPeer(RouterIndex router, PeerState& peer) {
+  if (!peer.up || peer.pending.empty()) return;
+  const bool can_send_all = peer.mrai == 0 || now_ >= peer.next_send_allowed;
+
+  std::vector<RouteChange> batch;
+  for (auto it = peer.pending.begin(); it != peer.pending.end();) {
+    const bool is_withdraw = !it->second.has_value();
+    // Withdrawals are never rate-limited (classic MRAI applies to
+    // announcements only).
+    if (!can_send_all && !is_withdraw) {
+      ++it;
+      continue;
+    }
+    const auto oit = peer.adj_out.find(it->first);
+    const bool currently = oit != peer.adj_out.end();
+    const bool noop = is_withdraw ? !currently
+                                  : (currently && oit->second == *it->second);
+    if (!noop) {
+      batch.push_back(RouteChange{it->first, it->second});
+      if (is_withdraw) {
+        peer.adj_out.erase(it->first);
+      } else {
+        peer.adj_out[it->first] = *it->second;
+      }
+    }
+    it = peer.pending.erase(it);
+  }
+
+  if (!batch.empty()) {
+    const LinkSpec& l = topology_.link(peer.link);
+    QueueItem item;
+    item.time = now_ + l.delay;
+    item.kind = QueueItem::Kind::kDeliverUpdate;
+    item.to = peer.peer;
+    item.from = router;
+    item.link = peer.link;
+    item.changes = std::move(batch);
+    Push(std::move(item));
+    if (can_send_all && peer.mrai > 0) {
+      peer.next_send_allowed = now_ + peer.mrai;
+    }
+  }
+
+  if (!peer.pending.empty() && !peer.flush_scheduled) {
+    peer.flush_scheduled = true;
+    QueueItem item;
+    item.time = peer.next_send_allowed;
+    item.kind = QueueItem::Kind::kMraiFlush;
+    item.to = router;
+    item.from = peer.peer;
+    Push(std::move(item));
+  }
+}
+
+void Simulator::OnIgpChange(RouterIndex router) {
+  for (auto& [prefix, change] : routers_.at(router).loc_rib.ReselectAll()) {
+    NotifyTaps(router, prefix, change);
+    PropagateBestChange(router, prefix);
+  }
+}
+
+void Simulator::NotifyTaps(RouterIndex router, const bgp::Prefix& prefix,
+                           const bgp::BestPathChange& change) {
+  ++stats_.best_path_changes;
+  if (routers_[router].taps.empty()) return;
+  const RouterSpec& me = topology_.router(router);
+  const auto advertisable = [&](const std::optional<bgp::RouteCandidate>& c) {
+    if (!c) return false;
+    if (c->ebgp || c->peer == me.address) return true;  // eBGP or local
+    // The collector peers as a *client* of route reflectors ("the routers
+    // passed REX their full routes", paper Section II), and reflectors
+    // reflect everything — client- or non-client-learned — to clients.
+    // Only a plain iBGP speaker hides its iBGP-learned best paths.
+    return me.route_reflector;
+  };
+  BestPathChangeView view;
+  view.time = now_;
+  view.router = router;
+  view.prefix = prefix;
+  view.old_best = change.old_best;
+  view.new_best = change.new_best;
+  view.old_advertisable = advertisable(change.old_best);
+  view.new_advertisable = advertisable(change.new_best);
+  for (const BestPathTap& tap : routers_[router].taps) tap(view);
+}
+
+void Simulator::AddBestPathTap(RouterIndex router, BestPathTap tap) {
+  routers_.at(router).taps.push_back(std::move(tap));
+}
+
+const bgp::LocRib& Simulator::RibOf(RouterIndex router) const {
+  return routers_.at(router).loc_rib;
+}
+
+const bgp::AdjRibIn* Simulator::AdjRibInOf(RouterIndex router,
+                                           RouterIndex neighbor) const {
+  for (const PeerState& p : routers_.at(router).peers) {
+    if (p.peer == neighbor) return &p.adj_in;
+  }
+  return nullptr;
+}
+
+}  // namespace ranomaly::net

@@ -1,0 +1,277 @@
+// Discrete-event BGP simulator.
+//
+// Substitutes for the live networks the paper measured: it implements the
+// actual protocol machinery — per-peer Adj-RIB-In/Out, the decision
+// process, iBGP/eBGP export rules with route reflection, Gao-Rexford
+// relationship policies, route-maps, MRAI batching, sender-side loop
+// avoidance, session up/down semantics with full-table exchange, and
+// max-prefix teardown — so that the event streams observed by the
+// collector have the structure of real BGP: bursts on resets, path
+// exploration on withdrawals, low-grade churn from flapping sessions, and
+// genuine MED oscillation from the non-transitive decision process.
+//
+// Entry-relation bookkeeping: at eBGP import every route is tagged with a
+// reserved community (65535:1 customer, 65535:2 peer, 65535:3 provider),
+// exactly as production ISPs do; the tag rides iBGP to the far edge where
+// the Gao-Rexford export gate reads it, and is stripped on eBGP export.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/attributes.h"
+#include "bgp/prefix.h"
+#include "bgp/rib.h"
+#include "net/topology.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace ranomaly::net {
+
+// Reserved communities used internally to mark how a route entered the AS.
+inline constexpr bgp::Community kEnteredViaCustomer{65535, 1};
+inline constexpr bgp::Community kEnteredViaPeer{65535, 2};
+inline constexpr bgp::Community kEnteredViaProvider{65535, 3};
+
+// Observation hook: router `router`'s best path for `prefix` changed.
+// This is exactly what an iBGP peer of that router (e.g. the REX
+// collector) would learn.  `new_best` empty means withdrawal.
+//
+// The `*_advertisable` flags say whether the route would actually be sent
+// to an iBGP peer: plain speakers only pass on eBGP-learned and local
+// routes; route reflectors additionally pass on client-learned routes.
+// A best path moving to a non-advertisable route looks like a withdrawal
+// from the collector's seat.
+struct BestPathChangeView {
+  util::SimTime time = 0;
+  RouterIndex router = 0;
+  bgp::Prefix prefix;
+  std::optional<bgp::RouteCandidate> old_best;
+  std::optional<bgp::RouteCandidate> new_best;
+  bool old_advertisable = false;
+  bool new_advertisable = false;
+};
+
+using BestPathTap = std::function<void(const BestPathChangeView&)>;
+
+class Simulator {
+ public:
+  explicit Simulator(Topology topology, std::uint64_t seed = 1);
+
+  const Topology& topology() const { return topology_; }
+  util::SimTime now() const { return now_; }
+
+  // --- route origination ----------------------------------------------
+  // Installs a locally originated route at `router` and propagates.
+  // `attrs.as_path` should normally be empty (it is the origin).
+  void Originate(RouterIndex router, const bgp::Prefix& prefix,
+                 bgp::PathAttributes attrs = {});
+  void WithdrawOrigin(RouterIndex router, const bgp::Prefix& prefix);
+
+  // Scheduled variants (take effect during Run at the given time).
+  void ScheduleOriginate(util::SimTime at, RouterIndex router,
+                         const bgp::Prefix& prefix,
+                         bgp::PathAttributes attrs = {});
+  void ScheduleWithdrawOrigin(util::SimTime at, RouterIndex router,
+                              const bgp::Prefix& prefix);
+
+  // --- session control --------------------------------------------------
+  void ScheduleLinkDown(LinkIndex link, util::SimTime at);
+  void ScheduleLinkUp(LinkIndex link, util::SimTime at);
+
+  // Repeated down/up cycles: down at start, up after `down_for`, down
+  // again after a further `up_for`, ... `cycles` times.  This drives the
+  // Section IV-E continuous customer flap.
+  void ScheduleLinkFlaps(LinkIndex link, util::SimTime start,
+                         util::SimDuration down_for, util::SimDuration up_for,
+                         std::size_t cycles);
+
+  bool IsLinkUp(LinkIndex link) const;
+
+  // --- execution ---------------------------------------------------------
+  // Brings up all initially-up sessions and exchanges initial tables.
+  // Must be called once before Run.
+  void Start();
+
+  // Processes queued events with time <= until; advances now() to at
+  // least `until` (idempotent if the queue is already drained).
+  void Run(util::SimTime until);
+
+  // Runs until the queue drains or `max_time` is reached; returns true if
+  // the network converged (queue drained).
+  bool RunToQuiescence(util::SimTime max_time);
+
+  bool QueueEmpty() const { return queue_.empty(); }
+
+  // --- IGP coupling --------------------------------------------------------
+  // Re-runs best-path selection on `router` (its BGP scanner) after an
+  // IGP change made its `DecisionConfig::igp_cost` return new values;
+  // best-path changes are tapped and propagated like any other.  Section
+  // III-D.3: "a change in IGP such as link metric can cause a router to
+  // reselect a different BGP best route."
+  void OnIgpChange(RouterIndex router);
+
+  // --- observation -------------------------------------------------------
+  // Tap best-path changes at one router (pass to the Collector).
+  void AddBestPathTap(RouterIndex router, BestPathTap tap);
+
+  const bgp::LocRib& RibOf(RouterIndex router) const;
+  // The Adj-RIB-In at `router` for the given neighbor, if adjacent.
+  const bgp::AdjRibIn* AdjRibInOf(RouterIndex router,
+                                  RouterIndex neighbor) const;
+
+  struct Stats {
+    std::uint64_t updates_delivered = 0;     // per-prefix changes received
+    std::uint64_t messages_delivered = 0;    // batched UPDATE messages
+    std::uint64_t best_path_changes = 0;
+    std::uint64_t sessions_established = 0;
+    std::uint64_t sessions_dropped = 0;
+    std::uint64_t max_prefix_teardowns = 0;
+    std::uint64_t loop_suppressed = 0;
+    std::uint64_t routes_damped = 0;   // announcements withheld (RFC 2439)
+    std::uint64_t routes_reused = 0;   // suppressed routes released
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // RFC 2439 per-(peer, prefix) flap-damping state.
+  struct DampState {
+    double penalty = 0.0;
+    util::SimTime last_update = 0;
+    bool suppressed = false;
+    // The latest (post-import) announcement withheld while suppressed.
+    std::optional<bgp::PathAttributes> pending;
+  };
+
+  // One direction of a link, owned by the near router.
+  struct PeerState {
+    RouterIndex peer = 0;
+    LinkIndex link = 0;
+    PeerRelation relation = PeerRelation::kPeer;  // peer's role to me
+    NeighborPolicy policy;
+    util::SimDuration mrai = 0;
+    bool rr_client = false;  // the peer is my route-reflector client
+    bool up = false;
+    bgp::AdjRibIn adj_in;
+    std::unordered_map<bgp::Prefix, bgp::PathAttributes, bgp::PrefixHash>
+        adj_out;
+    // MRAI machinery: pending per-prefix changes and the earliest time the
+    // next batch may be sent.
+    std::unordered_map<bgp::Prefix, std::optional<bgp::PathAttributes>,
+                       bgp::PrefixHash>
+        pending;
+    util::SimTime next_send_allowed = 0;
+    bool flush_scheduled = false;
+    std::unordered_map<bgp::Prefix, DampState, bgp::PrefixHash> damping;
+  };
+
+  struct RouterState {
+    bgp::LocRib loc_rib;
+    std::vector<PeerState> peers;
+    std::unordered_map<bgp::Prefix, bgp::PathAttributes, bgp::PrefixHash>
+        originated;
+    std::vector<BestPathTap> taps;
+  };
+
+  // A per-prefix route change carried inside an UPDATE.
+  struct RouteChange {
+    bgp::Prefix prefix;
+    std::optional<bgp::PathAttributes> attrs;  // empty => withdraw
+  };
+
+  struct QueueItem {
+    util::SimTime time = 0;
+    std::uint64_t seq = 0;
+    enum class Kind : std::uint8_t {
+      kDeliverUpdate,
+      kLinkUp,
+      kLinkDown,
+      kMraiFlush,
+      kOriginate,
+      kWithdrawOrigin,
+      kDampingReuse,
+    } kind = Kind::kDeliverUpdate;
+    RouterIndex to = 0;         // receiving router (updates/flush/originate)
+    RouterIndex from = 0;       // sending router (updates); peer for flush
+    LinkIndex link = 0;
+    std::vector<RouteChange> changes;
+    bgp::Prefix prefix;               // originate/withdraw-origin
+    bgp::PathAttributes attrs;        // originate
+
+    friend bool operator>(const QueueItem& a, const QueueItem& b) {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  void Push(QueueItem item);
+  void Dispatch(const QueueItem& item);
+
+  PeerState* FindPeerState(RouterIndex router, RouterIndex neighbor);
+  PeerState* FindPeerStateByAddress(RouterIndex router, bgp::Ipv4Addr addr);
+
+  void DoLinkUp(LinkIndex link);
+  void DoLinkDown(LinkIndex link);
+  void DoOriginate(RouterIndex router, const bgp::Prefix& prefix,
+                   bgp::PathAttributes attrs);
+  void DoWithdrawOrigin(RouterIndex router, const bgp::Prefix& prefix);
+  void DeliverUpdate(const QueueItem& item);
+
+  // Applies one received route change at `router` from `peer_state`.
+  void ApplyChange(RouterIndex router, PeerState& peer_state,
+                   const RouteChange& change);
+
+  // Installs an (already imported, damping-cleared) route into the
+  // Adj-RIB-In and Loc-RIB and propagates any best change.
+  void InstallRoute(RouterIndex router, PeerState& peer_state,
+                    const bgp::Prefix& prefix, bgp::PathAttributes attrs);
+
+  // Decays `state`'s penalty to `now` (RFC 2439 exponential decay).
+  static void DecayPenalty(const DampingConfig& config, DampState& state,
+                           util::SimTime now);
+  // Charges one flap's worth of penalty against (peer, prefix).
+  void ApplyWithdrawPenalty(PeerState& peer_state, const bgp::Prefix& prefix);
+  void HandleDampingReuse(const QueueItem& item);
+
+  // Removes the peer's route for `prefix` (if present) and propagates.
+  void WithdrawFromPeer(RouterIndex router, PeerState& peer_state,
+                        const bgp::Prefix& prefix);
+
+  // Recomputes exports of `prefix` from `router` to every eligible peer
+  // after a best-path change.
+  void PropagateBestChange(RouterIndex router, const bgp::Prefix& prefix);
+
+  // Computes what `router` would advertise to `peer` for its current best
+  // route of `prefix` (nullopt => nothing / withdraw).
+  std::optional<bgp::PathAttributes> ComputeExport(RouterIndex router,
+                                                   const PeerState& peer,
+                                                   const bgp::Prefix& prefix);
+
+  // Queues a per-prefix change on the session toward `peer`, respecting
+  // MRAI (withdrawals flush immediately, announcements may batch).
+  void EnqueueToPeer(RouterIndex router, PeerState& peer,
+                     const bgp::Prefix& prefix,
+                     std::optional<bgp::PathAttributes> attrs);
+
+  void FlushPeer(RouterIndex router, PeerState& peer);
+
+  void NotifyTaps(RouterIndex router, const bgp::Prefix& prefix,
+                  const bgp::BestPathChange& change);
+
+  Topology topology_;
+  util::Rng rng_;
+  std::vector<RouterState> routers_;
+  std::vector<bool> link_up_;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>
+      queue_;
+  util::SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  bool started_ = false;
+  Stats stats_;
+};
+
+}  // namespace ranomaly::net

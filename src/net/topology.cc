@@ -1,0 +1,86 @@
+#include "net/topology.h"
+
+#include <stdexcept>
+
+namespace ranomaly::net {
+
+const char* ToString(PeerRelation relation) {
+  switch (relation) {
+    case PeerRelation::kCustomer: return "customer";
+    case PeerRelation::kPeer: return "peer";
+    case PeerRelation::kProvider: return "provider";
+    case PeerRelation::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::uint32_t DefaultLocalPref(PeerRelation relation) {
+  switch (relation) {
+    case PeerRelation::kCustomer: return 120;
+    case PeerRelation::kPeer: return 100;
+    case PeerRelation::kProvider: return 80;
+    case PeerRelation::kInternal: return bgp::kDefaultLocalPref;
+  }
+  return bgp::kDefaultLocalPref;
+}
+
+RouterIndex Topology::AddRouter(RouterSpec spec) {
+  if (spec.router_id == 0) spec.router_id = spec.address.value();
+  routers_.push_back(std::move(spec));
+  return static_cast<RouterIndex>(routers_.size() - 1);
+}
+
+LinkIndex Topology::AddLink(LinkSpec spec) {
+  if (spec.a >= routers_.size() || spec.b >= routers_.size()) {
+    throw std::out_of_range("Topology::AddLink: router index out of range");
+  }
+  if (spec.a == spec.b) {
+    throw std::invalid_argument("Topology::AddLink: self-loop");
+  }
+  const bool internal = routers_[spec.a].asn == routers_[spec.b].asn;
+  if (internal != (spec.b_is_as_seen_by_a == PeerRelation::kInternal)) {
+    throw std::invalid_argument(
+        "Topology::AddLink: relation must be kInternal iff same AS");
+  }
+  links_.push_back(std::move(spec));
+  return static_cast<LinkIndex>(links_.size() - 1);
+}
+
+std::optional<RouterIndex> Topology::FindRouterByName(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    if (routers_[i].name == name) return static_cast<RouterIndex>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<RouterIndex> Topology::FindRouterByAddress(
+    bgp::Ipv4Addr addr) const {
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    if (routers_[i].address == addr) return static_cast<RouterIndex>(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<LinkIndex> Topology::FindLink(RouterIndex a,
+                                            RouterIndex b) const {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const LinkSpec& l = links_[i];
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) {
+      return static_cast<LinkIndex>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+PeerRelation Topology::Reverse(PeerRelation relation) {
+  switch (relation) {
+    case PeerRelation::kCustomer: return PeerRelation::kProvider;
+    case PeerRelation::kPeer: return PeerRelation::kPeer;
+    case PeerRelation::kProvider: return PeerRelation::kCustomer;
+    case PeerRelation::kInternal: return PeerRelation::kInternal;
+  }
+  return PeerRelation::kPeer;
+}
+
+}  // namespace ranomaly::net

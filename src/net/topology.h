@@ -1,0 +1,90 @@
+// Router- and AS-level topology description consumed by the simulator.
+//
+// The unit is a BGP router.  External ASes are usually modeled as one
+// router each; the viewpoint AS (Berkeley's campus, ISP-Anon's backbone)
+// has as many routers as the scenario needs, connected by iBGP and
+// optionally organized under route reflectors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bgp/prefix.h"
+#include "bgp/rib.h"
+#include "net/policy.h"
+#include "util/time.h"
+
+namespace ranomaly::net {
+
+using RouterIndex = std::uint32_t;
+using LinkIndex = std::uint32_t;
+
+// Business relationship of the *far* router from the near router's point
+// of view, driving Gao-Rexford default policies: customers are preferred
+// and re-exported to everyone; peer/provider routes only flow to
+// customers.  kInternal marks iBGP.
+enum class PeerRelation : std::uint8_t {
+  kCustomer,
+  kPeer,
+  kProvider,
+  kInternal,
+};
+
+const char* ToString(PeerRelation relation);
+
+// Default LOCAL_PREF assigned at import for each relation when no
+// explicit policy overrides it (the standard prefer-customer economics).
+std::uint32_t DefaultLocalPref(PeerRelation relation);
+
+struct RouterSpec {
+  std::string name;
+  bgp::Ipv4Addr address;   // peering/loopback address; also event "peer" id
+  bgp::AsNumber asn = 0;
+  std::uint32_t router_id = 0;  // decision-process tiebreak; default: address
+  bool route_reflector = false;
+  bgp::DecisionConfig decision;
+};
+
+// One BGP adjacency.  Policy and MRAI are per direction: `a_*` fields are
+// what router `a` applies on this session.
+struct LinkSpec {
+  RouterIndex a = 0;
+  RouterIndex b = 0;
+  PeerRelation b_is_as_seen_by_a = PeerRelation::kPeer;  // b's role to a
+  util::SimDuration delay = 10 * util::kMillisecond;
+  util::SimDuration a_mrai = 0;  // min advertisement interval, a -> b
+  util::SimDuration b_mrai = 0;
+  NeighborPolicy a_policy;  // a's import/export/max-prefix toward b
+  NeighborPolicy b_policy;
+  bool b_is_rr_client_of_a = false;
+  bool a_is_rr_client_of_b = false;
+  bool initially_up = true;
+};
+
+class Topology {
+ public:
+  RouterIndex AddRouter(RouterSpec spec);
+  LinkIndex AddLink(LinkSpec spec);
+
+  const RouterSpec& router(RouterIndex i) const { return routers_.at(i); }
+  const LinkSpec& link(LinkIndex i) const { return links_.at(i); }
+  LinkSpec& mutable_link(LinkIndex i) { return links_.at(i); }
+
+  std::size_t RouterCount() const { return routers_.size(); }
+  std::size_t LinkCount() const { return links_.size(); }
+
+  std::optional<RouterIndex> FindRouterByName(std::string_view name) const;
+  std::optional<RouterIndex> FindRouterByAddress(bgp::Ipv4Addr addr) const;
+  std::optional<LinkIndex> FindLink(RouterIndex a, RouterIndex b) const;
+
+  // The inverse relation as seen from b's side.
+  static PeerRelation Reverse(PeerRelation relation);
+
+ private:
+  std::vector<RouterSpec> routers_;
+  std::vector<LinkSpec> links_;
+};
+
+}  // namespace ranomaly::net

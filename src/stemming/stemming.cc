@@ -1,0 +1,281 @@
+#include "stemming/stemming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ranomaly::stemming {
+namespace {
+
+// Tagged 64-bit encoding: kind in the top byte, payload below.  Prefixes
+// pack (address << 8) | length into 40 bits.
+constexpr std::uint64_t Tag(SymbolKind kind, std::uint64_t payload) {
+  return (static_cast<std::uint64_t>(kind) << 56) | payload;
+}
+
+}  // namespace
+
+SymbolId SymbolTable::InternPeer(bgp::Ipv4Addr addr) {
+  return pool_.Intern(Tag(SymbolKind::kPeer, addr.value()));
+}
+SymbolId SymbolTable::InternNexthop(bgp::Ipv4Addr addr) {
+  return pool_.Intern(Tag(SymbolKind::kNexthop, addr.value()));
+}
+SymbolId SymbolTable::InternAs(bgp::AsNumber asn) {
+  return pool_.Intern(Tag(SymbolKind::kAs, asn));
+}
+SymbolId SymbolTable::InternPrefix(const bgp::Prefix& prefix) {
+  const std::uint64_t payload =
+      (static_cast<std::uint64_t>(prefix.addr().value()) << 8) |
+      prefix.length();
+  return pool_.Intern(Tag(SymbolKind::kPrefix, payload));
+}
+
+SymbolKind SymbolTable::KindOf(SymbolId id) const {
+  return static_cast<SymbolKind>(pool_.Lookup(id) >> 56);
+}
+
+bgp::Ipv4Addr SymbolTable::AddrOf(SymbolId id) const {
+  const SymbolKind kind = KindOf(id);
+  if (kind != SymbolKind::kPeer && kind != SymbolKind::kNexthop) {
+    throw std::logic_error("SymbolTable::AddrOf: not an address symbol");
+  }
+  return bgp::Ipv4Addr(
+      static_cast<std::uint32_t>(pool_.Lookup(id) & 0xffffffffULL));
+}
+
+bgp::AsNumber SymbolTable::AsOf(SymbolId id) const {
+  if (KindOf(id) != SymbolKind::kAs) {
+    throw std::logic_error("SymbolTable::AsOf: not an AS symbol");
+  }
+  return static_cast<bgp::AsNumber>(pool_.Lookup(id) & 0xffffffffULL);
+}
+
+bgp::Prefix SymbolTable::PrefixOf(SymbolId id) const {
+  if (KindOf(id) != SymbolKind::kPrefix) {
+    throw std::logic_error("SymbolTable::PrefixOf: not a prefix symbol");
+  }
+  const std::uint64_t payload = pool_.Lookup(id) & 0xffffffffffULL;
+  return bgp::Prefix(
+      bgp::Ipv4Addr(static_cast<std::uint32_t>(payload >> 8)),
+      static_cast<std::uint8_t>(payload & 0xff));
+}
+
+std::string SymbolTable::Name(SymbolId id) const {
+  switch (KindOf(id)) {
+    case SymbolKind::kPeer: return "peer " + AddrOf(id).ToString();
+    case SymbolKind::kNexthop: return "nexthop " + AddrOf(id).ToString();
+    case SymbolKind::kAs: return "AS" + std::to_string(AsOf(id));
+    case SymbolKind::kPrefix: return PrefixOf(id).ToString();
+  }
+  return "?";
+}
+
+std::string StemmingResult::StemLabel(const Component& component) const {
+  return symbols.Name(component.stem.first) + " - " +
+         symbols.Name(component.stem.second);
+}
+
+std::string StemmingResult::SequenceLabel(const Component& component) const {
+  std::string out;
+  for (std::size_t i = 0; i < component.top_sequence.size(); ++i) {
+    if (i != 0) out += " ";
+    out += symbols.Name(component.top_sequence[i]);
+  }
+  return out;
+}
+
+namespace {
+
+struct EncodedEvent {
+  std::vector<SymbolId> seq;
+  SymbolId prefix_symbol = 0;
+  double weight = 1.0;
+};
+
+struct PairHash {
+  std::size_t operator()(const std::pair<SymbolId, SymbolId>& p) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.first) << 32) | p.second);
+  }
+};
+
+struct VecHash {
+  std::size_t operator()(const std::vector<SymbolId>& v) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const SymbolId s : v) {
+      h ^= s;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+constexpr double kCountEpsilon = 1e-9;
+
+bool CountsEqual(double a, double b) {
+  return std::fabs(a - b) <= kCountEpsilon * std::max(1.0, std::max(a, b));
+}
+
+// Finds the top-ranked sub-sequence (count desc, length desc, then
+// lexicographically smallest for determinism) over active events.
+// Returns nullopt if no bigram reaches min thresholds.
+std::optional<std::pair<std::vector<SymbolId>, double>> TopSubsequence(
+    const std::vector<EncodedEvent>& events, const std::vector<bool>& active,
+    double min_count) {
+  // Pass 1: bigram counts.  The maximum over all length>=2 sub-sequences
+  // is attained by a bigram (counts are antitone in extension).
+  std::unordered_map<std::pair<SymbolId, SymbolId>, double, PairHash> bigrams;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (!active[i]) continue;
+    const auto& seq = events[i].seq;
+    for (std::size_t j = 0; j + 1 < seq.size(); ++j) {
+      bigrams[{seq[j], seq[j + 1]}] += events[i].weight;
+    }
+  }
+  if (bigrams.empty()) return std::nullopt;
+
+  double best_count = 0.0;
+  for (const auto& [pair, count] : bigrams) {
+    best_count = std::max(best_count, count);
+  }
+  if (best_count < min_count) return std::nullopt;
+
+  // Survivors at length 2.
+  std::unordered_set<std::vector<SymbolId>, VecHash> survivors;
+  for (const auto& [pair, count] : bigrams) {
+    if (CountsEqual(count, best_count)) {
+      survivors.insert({pair.first, pair.second});
+    }
+  }
+
+  // Iterative lengthening: a (k+1)-gram can keep the max count only if
+  // its k-prefix does; count extensions of current survivors until none
+  // survive.
+  std::unordered_set<std::vector<SymbolId>, VecHash> last_survivors =
+      survivors;
+  std::size_t k = 2;
+  while (!survivors.empty()) {
+    last_survivors = survivors;
+    std::unordered_map<std::vector<SymbolId>, double, VecHash> extended;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (!active[i]) continue;
+      const auto& seq = events[i].seq;
+      if (seq.size() < k + 1) continue;
+      std::vector<SymbolId> window;
+      for (std::size_t j = 0; j + k < seq.size(); ++j) {
+        window.assign(seq.begin() + static_cast<std::ptrdiff_t>(j),
+                      seq.begin() + static_cast<std::ptrdiff_t>(j + k));
+        if (!survivors.contains(window)) continue;
+        window.push_back(seq[j + k]);
+        extended[window] += events[i].weight;
+      }
+    }
+    survivors.clear();
+    for (const auto& [vec, count] : extended) {
+      if (CountsEqual(count, best_count)) survivors.insert(vec);
+    }
+    ++k;
+  }
+
+  // Deterministic pick among the longest survivors.
+  std::vector<SymbolId> best = *std::min_element(
+      last_survivors.begin(), last_survivors.end());
+  return std::make_pair(std::move(best), best_count);
+}
+
+bool ContainsSubsequence(const std::vector<SymbolId>& seq,
+                         const std::vector<SymbolId>& sub) {
+  if (sub.size() > seq.size()) return false;
+  for (std::size_t j = 0; j + sub.size() <= seq.size(); ++j) {
+    if (std::equal(sub.begin(), sub.end(),
+                   seq.begin() + static_cast<std::ptrdiff_t>(j))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+StemmingResult Stem(std::span<const bgp::Event> events,
+                    const StemmingOptions& options) {
+  StemmingResult result;
+  result.total_events = events.size();
+
+  // Encode events into symbol sequences c = x h a1 .. an p (consecutive
+  // AS-path prepends collapsed, as they carry no location information).
+  std::vector<EncodedEvent> encoded;
+  encoded.reserve(events.size());
+  for (const bgp::Event& e : events) {
+    EncodedEvent ee;
+    ee.seq.reserve(e.attrs.as_path.Length() + 3);
+    ee.seq.push_back(result.symbols.InternPeer(e.peer));
+    ee.seq.push_back(result.symbols.InternNexthop(e.attrs.nexthop));
+    bgp::AsNumber last_as = 0;
+    bool have_last = false;
+    for (const bgp::AsNumber asn : e.attrs.as_path.asns()) {
+      if (have_last && asn == last_as) continue;
+      ee.seq.push_back(result.symbols.InternAs(asn));
+      last_as = asn;
+      have_last = true;
+    }
+    ee.prefix_symbol = result.symbols.InternPrefix(e.prefix);
+    ee.seq.push_back(ee.prefix_symbol);
+    ee.weight = options.weight_fn ? options.weight_fn(e.prefix) : 1.0;
+    result.total_weight += ee.weight;
+    encoded.push_back(std::move(ee));
+  }
+
+  std::vector<bool> active(encoded.size(), true);
+  std::size_t active_count = encoded.size();
+
+  while (result.components.size() < options.max_components &&
+         active_count > 0) {
+    const double min_count =
+        std::max(options.min_count,
+                 options.min_count_fraction * result.total_weight);
+    auto top = TopSubsequence(encoded, active, min_count);
+    if (!top) break;
+    auto& [sequence, count] = *top;
+    if (sequence.size() < options.min_subsequence_length) break;
+
+    Component component;
+    component.top_sequence = sequence;
+    component.stem = {sequence[sequence.size() - 2], sequence.back()};
+    component.count = count;
+
+    // P: prefixes of active sequences containing s'.
+    std::unordered_set<SymbolId> prefix_symbols;
+    for (std::size_t i = 0; i < encoded.size(); ++i) {
+      if (!active[i]) continue;
+      if (ContainsSubsequence(encoded[i].seq, sequence)) {
+        prefix_symbols.insert(encoded[i].prefix_symbol);
+      }
+    }
+    // E: every active event whose prefix is in P.
+    for (std::size_t i = 0; i < encoded.size(); ++i) {
+      if (!active[i]) continue;
+      if (prefix_symbols.contains(encoded[i].prefix_symbol)) {
+        component.event_indices.push_back(i);
+        component.event_weight += encoded[i].weight;
+        active[i] = false;
+        --active_count;
+      }
+    }
+    component.prefixes.reserve(prefix_symbols.size());
+    for (const SymbolId s : prefix_symbols) {
+      component.prefixes.push_back(result.symbols.PrefixOf(s));
+    }
+    std::sort(component.prefixes.begin(), component.prefixes.end());
+
+    result.components.push_back(std::move(component));
+  }
+
+  result.residual_events = active_count;
+  return result;
+}
+
+}  // namespace ranomaly::stemming

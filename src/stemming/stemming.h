@@ -1,0 +1,114 @@
+// Stemming — the paper's anomaly-detection algorithm (Section III-B).
+//
+// Each BGP event e (announce/withdraw from peer x, nexthop h, AS path
+// a1..an, prefix p) becomes the sequence c = x h a1 ... an p.  The
+// algorithm counts how many times every contiguous sub-sequence appears
+// across the stream, ranks them by (count desc, length desc), and picks
+// the top sequence s'.  The last pair of adjacent elements of s' is the
+// *stem* — the problem location (Fig 4: 8 of 10 withdrawals share
+// 11423-209, so the failure is on the 11423-209 edge).  The affected
+// prefix set P is the prefixes of sequences containing s'; the component
+// E is every event touching P.  Removing E and recursing decomposes the
+// stream into its strongest correlated components.
+//
+// Implementation note: counts are antitone in sequence extension
+// (count(s) <= count(any substring of s)), so the maximum count over
+// length >= 2 sub-sequences is always attained by some bigram.  We count
+// bigrams in one pass, then iteratively lengthen only sequences that
+// retain the maximum count — exact, and linear-ish in the stream size
+// instead of quadratic in path length.
+//
+// Temporal independence: the algorithm never looks at event ordering or
+// inter-arrival times, so it works unchanged on a 10-minute spike window
+// or a multi-day window where a single flapping prefix dominates.
+//
+// Weighted stemming (Section III-D.2 extension): an optional per-prefix
+// weight (e.g. traffic volume) replaces the implicit weight of 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/attributes.h"
+#include "bgp/prefix.h"
+#include "util/intern.h"
+
+namespace ranomaly::stemming {
+
+enum class SymbolKind : std::uint8_t {
+  kPeer = 1,
+  kNexthop = 2,
+  kAs = 3,
+  kPrefix = 4,
+};
+
+using SymbolId = std::uint32_t;
+
+// Interns the tagged elements of event sequences.
+class SymbolTable {
+ public:
+  SymbolId InternPeer(bgp::Ipv4Addr addr);
+  SymbolId InternNexthop(bgp::Ipv4Addr addr);
+  SymbolId InternAs(bgp::AsNumber asn);
+  SymbolId InternPrefix(const bgp::Prefix& prefix);
+
+  SymbolKind KindOf(SymbolId id) const;
+  // Decoders (throw std::out_of_range on bad id, logic_error on kind
+  // mismatch).
+  bgp::Ipv4Addr AddrOf(SymbolId id) const;
+  bgp::AsNumber AsOf(SymbolId id) const;
+  bgp::Prefix PrefixOf(SymbolId id) const;
+
+  // Display name: "peer 128.32.1.3", "nexthop 128.32.0.66", "AS209",
+  // "192.96.10.0/24".
+  std::string Name(SymbolId id) const;
+
+  std::size_t size() const { return pool_.size(); }
+
+ private:
+  util::InternPool<std::uint64_t> pool_;
+};
+
+struct StemmingOptions {
+  // Sub-sequences shorter than this are not rankable (a single element
+  // has no "last adjacent pair").
+  std::size_t min_subsequence_length = 2;
+  // Stop after extracting this many components.
+  std::size_t max_components = 8;
+  // Stop when the top count falls below both of these.
+  double min_count = 2.0;
+  double min_count_fraction = 0.0;  // of the (weighted) event total
+  // Optional per-prefix weight (traffic volume); default: every prefix
+  // weighs 1 (the paper's base algorithm).
+  std::function<double(const bgp::Prefix&)> weight_fn;
+};
+
+struct Component {
+  std::vector<SymbolId> top_sequence;        // s'
+  std::pair<SymbolId, SymbolId> stem{0, 0};  // last adjacent pair of s'
+  double count = 0.0;                        // (weighted) occurrences of s'
+  std::vector<bgp::Prefix> prefixes;         // P: affected prefixes
+  std::vector<std::size_t> event_indices;    // E: indices into the input
+  double event_weight = 0.0;                 // weighted size of E
+};
+
+struct StemmingResult {
+  SymbolTable symbols;
+  std::vector<Component> components;
+  std::size_t total_events = 0;
+  double total_weight = 0.0;
+  std::size_t residual_events = 0;  // events not claimed by any component
+
+  // "11423-209" style label of a component's stem.
+  std::string StemLabel(const Component& component) const;
+  std::string SequenceLabel(const Component& component) const;
+};
+
+StemmingResult Stem(std::span<const bgp::Event> events,
+                    const StemmingOptions& options = {});
+
+}  // namespace ranomaly::stemming

@@ -1,0 +1,215 @@
+#include "tamp/animation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ranomaly::tamp {
+
+Animator::Animator(const std::vector<collector::RouteEntry>& initial_snapshot,
+                   AnimationOptions options)
+    : options_(std::move(options)), graph_(options_.graph) {
+  for (const collector::RouteEntry& route : initial_snapshot) {
+    graph_.AddRoute(route);
+    shadow_[PeerPrefixKey{route.peer, route.prefix}] = route.attrs;
+  }
+  // Seed dynamics with the initial weights so shadows start correct.
+  for (const auto& e : graph_.Edges()) {
+    EdgeDynamics dyn;
+    dyn.frame_start_weight = e.weight;
+    dyn.current_weight = e.weight;
+    dyn.max_weight = e.weight;
+    dynamics_.emplace(EdgeKey{e.from, e.to}, dyn);
+  }
+}
+
+void Animator::TrackEdge(const NodeId& from, const NodeId& to) {
+  tracked_ = EdgeKey{from, to};
+}
+
+void Animator::TrackEdges(const std::vector<EdgeKey>& edges) {
+  for (const EdgeKey& edge : edges) tracked_set_.try_emplace(edge);
+}
+
+const std::vector<std::size_t>& Animator::SeriesFor(
+    const EdgeKey& edge) const {
+  static const std::vector<std::size_t> kEmpty;
+  const auto it = tracked_set_.find(edge);
+  return it == tracked_set_.end() ? kEmpty : it->second;
+}
+
+void Animator::TouchEdges(const std::vector<NodeId>& nodes,
+                          const std::vector<std::size_t>& before) {
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const EdgeKey key{nodes[i], nodes[i + 1]};
+    const std::size_t after = graph_.EdgeWeight(key.from, key.to);
+    if (after == before[i]) continue;
+    auto& dyn = dynamics_[key];
+    if (!dyn.touched_this_frame) {
+      dyn.touched_this_frame = true;
+      dyn.frame_start_weight = dyn.current_weight;
+      dyn.flips = 0;
+      dyn.last_direction = 0;
+      touched_.push_back(key);
+    }
+    const int direction = after > before[i] ? +1 : -1;
+    if (dyn.last_direction != 0 && direction != dyn.last_direction) {
+      ++dyn.flips;
+    }
+    dyn.last_direction = direction;
+    dyn.current_weight = after;
+    dyn.max_weight = std::max(dyn.max_weight, after);
+  }
+}
+
+void Animator::ApplyEvent(const bgp::Event& event) {
+  const PeerPrefixKey key{event.peer, event.prefix};
+
+  // Collect the union of old+new path edges and their weights before.
+  std::vector<NodeId> old_nodes;
+  const auto sit = shadow_.find(key);
+  if (sit != shadow_.end()) {
+    old_nodes = TampGraph::RoutePathNodes(
+        collector::RouteEntry{event.peer, event.prefix, sit->second},
+        options_.graph.include_prefix_leaves, graph_.prefix_pool());
+  }
+  std::vector<NodeId> new_nodes;
+  if (event.type == bgp::EventType::kAnnounce) {
+    new_nodes = TampGraph::RoutePathNodes(
+        collector::RouteEntry{event.peer, event.prefix, event.attrs},
+        options_.graph.include_prefix_leaves, graph_.prefix_pool());
+  }
+
+  auto snapshot_weights = [&](const std::vector<NodeId>& nodes) {
+    std::vector<std::size_t> w(nodes.empty() ? 0 : nodes.size() - 1);
+    for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+      w[i] = graph_.EdgeWeight(nodes[i], nodes[i + 1]);
+    }
+    return w;
+  };
+  const std::vector<std::size_t> old_before = snapshot_weights(old_nodes);
+
+  if (sit != shadow_.end()) {
+    graph_.RemoveRoute(
+        collector::RouteEntry{event.peer, event.prefix, sit->second});
+  }
+  // Old edges changed (or not); record against pre-removal weights.
+  TouchEdges(old_nodes, old_before);
+
+  if (event.type == bgp::EventType::kAnnounce) {
+    const std::vector<std::size_t> new_before = snapshot_weights(new_nodes);
+    graph_.AddRoute(
+        collector::RouteEntry{event.peer, event.prefix, event.attrs});
+    TouchEdges(new_nodes, new_before);
+    shadow_[key] = event.attrs;
+  } else {
+    shadow_.erase(key);
+  }
+}
+
+void Animator::CloseFrame() {
+  for (const EdgeKey& key : touched_) {
+    auto& dyn = dynamics_[key];
+    if (dyn.flips >= options_.flap_flips_threshold) {
+      dyn.color = EdgeColor::kYellow;
+    } else if (dyn.current_weight < dyn.frame_start_weight) {
+      dyn.color = EdgeColor::kBlue;
+    } else if (dyn.current_weight > dyn.frame_start_weight) {
+      dyn.color = EdgeColor::kGreen;
+    } else {
+      dyn.color = EdgeColor::kBlack;
+    }
+  }
+}
+
+Animator::Result Animator::Play(std::span<const bgp::Event> events,
+                                const FrameCallback& on_frame) {
+  if (played_) throw std::logic_error("Animator::Play called twice");
+  played_ = true;
+
+  Result result;
+  result.total_events = events.size();
+  const int total_frames = std::max(1, options_.TotalFrames());
+  result.frames.reserve(static_cast<std::size_t>(total_frames));
+
+  const util::SimTime t0 = events.empty() ? 0 : events.front().time;
+  const util::SimTime t_end = events.empty() ? 0 : events.back().time;
+  result.timerange = t_end - t0;
+  // Each frame consolidates an equal slice of the event timerange.
+  const util::SimDuration slice =
+      std::max<util::SimDuration>(1, (result.timerange + total_frames) /
+                                         total_frames);
+
+  std::size_t next_event = 0;
+  for (int frame = 0; frame < total_frames; ++frame) {
+    const util::SimTime frame_end_time =
+        t0 + static_cast<util::SimTime>(frame + 1) * slice;
+
+    // Reset per-frame state.
+    for (const EdgeKey& key : touched_) {
+      auto& dyn = dynamics_[key];
+      dyn.touched_this_frame = false;
+      dyn.color = EdgeColor::kBlack;
+    }
+    touched_.clear();
+
+    FrameStats stats;
+    stats.clock = frame_end_time - t0;
+    while (next_event < events.size() &&
+           (events[next_event].time < frame_end_time ||
+            frame == total_frames - 1)) {
+      ApplyEvent(events[next_event]);
+      ++next_event;
+      ++stats.events_applied;
+    }
+    CloseFrame();
+
+    for (const EdgeKey& key : touched_) {
+      switch (dynamics_[key].color) {
+        case EdgeColor::kGreen: ++stats.edges_gaining; break;
+        case EdgeColor::kBlue: ++stats.edges_losing; break;
+        case EdgeColor::kYellow: ++stats.edges_flapping; break;
+        case EdgeColor::kBlack: break;
+      }
+    }
+
+    if (tracked_) {
+      tracked_series_.push_back(
+          graph_.EdgeWeight(tracked_->from, tracked_->to));
+    }
+    for (auto& [key, series] : tracked_set_) {
+      series.push_back(graph_.EdgeWeight(key.from, key.to));
+    }
+
+    result.frames.push_back(stats);
+    if (on_frame) on_frame(static_cast<std::size_t>(frame), stats);
+  }
+  return result;
+}
+
+std::vector<EdgeDecoration> Animator::DecorationsFor(
+    const PrunedGraph& pruned) const {
+  std::vector<EdgeDecoration> out(pruned.edges.size());
+  for (std::size_t i = 0; i < pruned.edges.size(); ++i) {
+    const EdgeKey key{pruned.nodes[pruned.edges[i].from].id,
+                      pruned.nodes[pruned.edges[i].to].id};
+    const auto it = dynamics_.find(key);
+    if (it == dynamics_.end()) continue;
+    out[i].color = it->second.color;
+    if (it->second.max_weight > it->second.current_weight) {
+      out[i].shadow_weight = it->second.max_weight;
+    }
+  }
+  return out;
+}
+
+EdgePlot Animator::TrackedPlot() const {
+  EdgePlot plot;
+  if (tracked_) {
+    plot.edge_label = graph_.NodeName(tracked_->from) + " -> " +
+                      graph_.NodeName(tracked_->to);
+    plot.weights = tracked_series_;
+  }
+  return plot;
+}
+
+}  // namespace ranomaly::tamp

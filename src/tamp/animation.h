@@ -1,0 +1,137 @@
+// TAMP animation — paper Section III-A.
+//
+// Given a starting RIB snapshot and a stream of BGP events, the animator
+// replays the routing changes into the TAMP graph and consolidates them
+// into a fixed 30-second, 25 fps animation (750 frames) regardless of the
+// event timerange, which may span seconds to days.  Per frame it tracks,
+// for every touched edge: the net prefix delta (blue = losing, green =
+// gaining), the number of direction flips (yellow = flapping too fast to
+// animate), and the historical maximum (the gray shadow).  A selected
+// edge's prefix count is recorded per frame for the side plot of Fig 3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/attributes.h"
+#include "collector/collector.h"
+#include "tamp/graph.h"
+#include "tamp/prune.h"
+#include "tamp/render.h"
+#include "util/time.h"
+
+namespace ranomaly::tamp {
+
+struct AnimationOptions {
+  double play_seconds = 30.0;  // fixed play duration (paper: 30 s)
+  int fps = 25;                // paper: standard 25 frames per second
+  // An edge is drawn yellow when its prefix count changes direction at
+  // least this many times within a single frame.
+  int flap_flips_threshold = 3;
+  TampGraph::Options graph;
+
+  int TotalFrames() const {
+    return static_cast<int>(play_seconds * fps + 0.5);
+  }
+};
+
+class Animator {
+ public:
+  // `initial_snapshot` is the RIB state when the event window opens (may
+  // be empty when animating from cold start).
+  Animator(const std::vector<collector::RouteEntry>& initial_snapshot,
+           AnimationOptions options = {});
+
+  // Selects an edge whose per-frame prefix count should be recorded (the
+  // Fig 3 side plot).  Call before Play.
+  void TrackEdge(const NodeId& from, const NodeId& to);
+
+  // Records per-frame weights for a whole set of edges (used by the
+  // animated-SVG renderer).  Call before Play.
+  void TrackEdges(const std::vector<EdgeKey>& edges);
+
+  // Per-frame weight series of a tracked edge (empty if not tracked).
+  const std::vector<std::size_t>& SeriesFor(const EdgeKey& edge) const;
+
+  struct FrameStats {
+    util::SimDuration clock = 0;  // offset into the incident at frame end
+    std::size_t events_applied = 0;
+    std::size_t edges_gaining = 0;
+    std::size_t edges_losing = 0;
+    std::size_t edges_flapping = 0;
+  };
+
+  struct Result {
+    std::vector<FrameStats> frames;
+    std::size_t total_events = 0;
+    util::SimDuration timerange = 0;
+  };
+
+  // Called after each frame is consolidated; render selected frames from
+  // inside it via graph()/DecorationsFor()/TrackedPlot().
+  using FrameCallback = std::function<void(std::size_t frame_index,
+                                           const FrameStats& stats)>;
+
+  // Replays `events` (time-ordered) into the animation.  May be called
+  // once per animator.
+  Result Play(std::span<const bgp::Event> events,
+              const FrameCallback& on_frame = {});
+
+  const TampGraph& graph() const { return graph_; }
+
+  // Decorations (color, shadow) for the current frame's pruned view.
+  std::vector<EdgeDecoration> DecorationsFor(const PrunedGraph& pruned) const;
+
+  // Per-frame weights of the tracked edge so far.
+  EdgePlot TrackedPlot() const;
+
+ private:
+  struct EdgeDynamics {
+    std::size_t frame_start_weight = 0;
+    std::size_t current_weight = 0;
+    std::size_t max_weight = 0;  // all-time (gray shadow)
+    int flips = 0;               // direction changes this frame
+    int last_direction = 0;      // -1 losing, +1 gaining
+    EdgeColor color = EdgeColor::kBlack;
+    bool touched_this_frame = false;
+  };
+
+  void ApplyEvent(const bgp::Event& event);
+  void TouchEdges(const std::vector<NodeId>& nodes,
+                  const std::vector<std::size_t>& before);
+  void CloseFrame();
+
+  AnimationOptions options_;
+  TampGraph graph_;
+  // Shadow RIB: last announced attributes per (peer, prefix), needed to
+  // remove the old path on implicit replacement.
+  struct PeerPrefixKey {
+    bgp::Ipv4Addr peer;
+    bgp::Prefix prefix;
+    friend bool operator==(const PeerPrefixKey&, const PeerPrefixKey&) = default;
+  };
+  struct PeerPrefixHash {
+    std::size_t operator()(const PeerPrefixKey& k) const {
+      return bgp::PrefixHash{}(k.prefix) * 0x100000001b3ULL ^
+             std::hash<std::uint32_t>{}(k.peer.value());
+    }
+  };
+  std::unordered_map<PeerPrefixKey, bgp::PathAttributes, PeerPrefixHash>
+      shadow_;
+
+  std::unordered_map<EdgeKey, EdgeDynamics, EdgeKeyHash> dynamics_;
+  std::vector<EdgeKey> touched_;  // edges dirtied in the current frame
+
+  std::optional<EdgeKey> tracked_;
+  std::vector<std::size_t> tracked_series_;
+  // Multi-edge tracking for the animated-SVG renderer.
+  std::unordered_map<EdgeKey, std::vector<std::size_t>, EdgeKeyHash>
+      tracked_set_;
+  bool played_ = false;
+};
+
+}  // namespace ranomaly::tamp

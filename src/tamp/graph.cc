@@ -1,0 +1,169 @@
+#include "tamp/graph.h"
+
+#include <stdexcept>
+
+namespace ranomaly::tamp {
+
+const char* ToString(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kRoot: return "root";
+    case NodeKind::kPeer: return "peer";
+    case NodeKind::kNexthop: return "nexthop";
+    case NodeKind::kAs: return "as";
+    case NodeKind::kPrefix: return "prefix";
+  }
+  return "?";
+}
+
+TampGraph::TampGraph(Options options) : options_(std::move(options)) {}
+
+std::vector<NodeId> TampGraph::PathNodes(const collector::RouteEntry& route,
+                                         PrefixId prefix_id) const {
+  std::vector<NodeId> nodes =
+      RoutePathNodes(route, /*include_prefix_leaves=*/false, prefix_pool_);
+  if (options_.include_prefix_leaves) {
+    nodes.push_back(PrefixNode(prefix_id));
+  }
+  return nodes;
+}
+
+std::vector<NodeId> TampGraph::RoutePathNodes(
+    const collector::RouteEntry& route, bool include_prefix_leaves,
+    const util::InternPool<bgp::Prefix, bgp::PrefixHash>& pool) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(route.attrs.as_path.Length() + 4);
+  nodes.push_back(RootNode());
+  nodes.push_back(PeerNode(route.peer));
+  nodes.push_back(NexthopNode(route.attrs.nexthop));
+  // Collapse consecutive duplicates (AS-path prepending) so prepends do
+  // not create self-edges.
+  bgp::AsNumber last_as = 0;
+  bool have_last = false;
+  for (bgp::AsNumber asn : route.attrs.as_path.asns()) {
+    if (have_last && asn == last_as) continue;
+    nodes.push_back(AsNode(asn));
+    last_as = asn;
+    have_last = true;
+  }
+  if (include_prefix_leaves) {
+    const PrefixId pid = pool.Find(route.prefix);
+    if (pid != util::InternPool<bgp::Prefix, bgp::PrefixHash>::kNotFound) {
+      nodes.push_back(PrefixNode(pid));
+    }
+  }
+  return nodes;
+}
+
+void TampGraph::BumpEdge(const NodeId& from, const NodeId& to, PrefixId prefix,
+                         int delta) {
+  const EdgeKey key{from, to};
+  if (delta > 0) {
+    edges_[key].prefix_counts[prefix] +=
+        static_cast<std::uint32_t>(delta);
+    return;
+  }
+  const auto eit = edges_.find(key);
+  if (eit == edges_.end()) return;
+  auto& counts = eit->second.prefix_counts;
+  const auto pit = counts.find(prefix);
+  if (pit == counts.end()) return;
+  if (pit->second <= static_cast<std::uint32_t>(-delta)) {
+    counts.erase(pit);
+    if (counts.empty()) edges_.erase(eit);
+  } else {
+    pit->second -= static_cast<std::uint32_t>(-delta);
+  }
+}
+
+void TampGraph::AddRoute(const collector::RouteEntry& route) {
+  const PrefixId pid = prefix_pool_.Intern(route.prefix);
+  const std::vector<NodeId> nodes = PathNodes(route, pid);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    BumpEdge(nodes[i], nodes[i + 1], pid, +1);
+  }
+  ++prefix_use_[pid];
+  ++route_count_;
+}
+
+void TampGraph::RemoveRoute(const collector::RouteEntry& route) {
+  const PrefixId pid = prefix_pool_.Find(route.prefix);
+  if (pid == util::InternPool<bgp::Prefix, bgp::PrefixHash>::kNotFound) {
+    return;  // never added
+  }
+  const auto uit = prefix_use_.find(pid);
+  if (uit == prefix_use_.end()) return;  // not currently in the graph
+  const std::vector<NodeId> nodes = PathNodes(route, pid);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    BumpEdge(nodes[i], nodes[i + 1], pid, -1);
+  }
+  if (uit->second <= 1) {
+    prefix_use_.erase(uit);
+  } else {
+    --uit->second;
+  }
+  if (route_count_ > 0) --route_count_;
+}
+
+TampGraph TampGraph::FromSnapshot(
+    const std::vector<collector::RouteEntry>& snapshot, Options options) {
+  TampGraph graph(std::move(options));
+  for (const collector::RouteEntry& route : snapshot) graph.AddRoute(route);
+  return graph;
+}
+
+std::vector<TampGraph::Edge> TampGraph::Edges() const {
+  std::vector<Edge> out;
+  out.reserve(edges_.size());
+  for (const auto& [key, data] : edges_) {
+    if (!data.prefix_counts.empty()) {
+      out.push_back(Edge{key.from, key.to, data.prefix_counts.size()});
+    }
+  }
+  return out;
+}
+
+std::size_t TampGraph::EdgeWeight(const NodeId& from, const NodeId& to) const {
+  const auto it = edges_.find(EdgeKey{from, to});
+  return it == edges_.end() ? 0 : it->second.prefix_counts.size();
+}
+
+bool TampGraph::EdgeCarries(const NodeId& from, const NodeId& to,
+                            const bgp::Prefix& prefix) const {
+  const PrefixId pid = prefix_pool_.Find(prefix);
+  if (pid == util::InternPool<bgp::Prefix, bgp::PrefixHash>::kNotFound) {
+    return false;
+  }
+  const auto it = edges_.find(EdgeKey{from, to});
+  if (it == edges_.end()) return false;
+  return it->second.prefix_counts.contains(pid);
+}
+
+std::string TampGraph::NodeName(const NodeId& node) const {
+  switch (node.kind) {
+    case NodeKind::kRoot:
+      return options_.root_name;
+    case NodeKind::kPeer:
+    case NodeKind::kNexthop:
+      return bgp::Ipv4Addr(static_cast<std::uint32_t>(node.key)).ToString();
+    case NodeKind::kAs: {
+      const auto asn = static_cast<bgp::AsNumber>(node.key);
+      const auto it = as_names_.find(asn);
+      if (it != as_names_.end()) {
+        return it->second + " (" + std::to_string(asn) + ")";
+      }
+      return "AS" + std::to_string(asn);
+    }
+    case NodeKind::kPrefix: {
+      const auto pid = static_cast<PrefixId>(node.key);
+      if (pid < prefix_pool_.size()) return prefix_pool_.Lookup(pid).ToString();
+      return "prefix#" + std::to_string(pid);
+    }
+  }
+  return "?";
+}
+
+void TampGraph::SetAsName(bgp::AsNumber asn, std::string name) {
+  as_names_[asn] = std::move(name);
+}
+
+}  // namespace ranomaly::tamp

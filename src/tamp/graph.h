@@ -1,0 +1,168 @@
+// TAMP ("Threshold And Merge Prefixes") graph construction — paper
+// Section III-A.
+//
+// From a set of RIB entries, TAMP forms a virtual tree per router: the
+// root is the router (or the whole site), linked to each BGP nexthop of
+// its routes; nexthops link to the first AS they service; ASes link along
+// the AS path; leaf ASes link to the prefixes they advertise.  Trees from
+// multiple routers merge into one graph whose edge weight is the number
+// of *unique* prefixes carried on the edge (Fig 1: the combined
+// NexthopA-AS1 edge weighs 4, not 6, because weights are set unions, not
+// sums).
+//
+// The graph is fully incremental: AddRoute/RemoveRoute maintain per-edge
+// prefix multisets, so the same structure backs both static pictures and
+// the 25 fps animations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/attributes.h"
+#include "bgp/prefix.h"
+#include "collector/collector.h"
+#include "util/intern.h"
+
+namespace ranomaly::tamp {
+
+using PrefixId = std::uint32_t;
+
+enum class NodeKind : std::uint8_t {
+  kRoot = 0,
+  kPeer = 1,     // a monitored edge router / route reflector
+  kNexthop = 2,  // a BGP nexthop address
+  kAs = 3,       // an autonomous system
+  kPrefix = 4,   // a leaf prefix (optional, see Options)
+};
+
+const char* ToString(NodeKind kind);
+
+struct NodeId {
+  NodeKind kind = NodeKind::kRoot;
+  std::uint64_t key = 0;  // 0 for root; IP for peer/nexthop; ASN; prefix id
+
+  friend bool operator==(const NodeId&, const NodeId&) = default;
+};
+
+struct NodeIdHash {
+  std::size_t operator()(const NodeId& n) const {
+    return std::hash<std::uint64_t>{}(
+        (n.key << 3) ^ static_cast<std::uint64_t>(n.kind) * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+inline NodeId RootNode() { return NodeId{NodeKind::kRoot, 0}; }
+inline NodeId PeerNode(bgp::Ipv4Addr a) {
+  return NodeId{NodeKind::kPeer, a.value()};
+}
+inline NodeId NexthopNode(bgp::Ipv4Addr a) {
+  return NodeId{NodeKind::kNexthop, a.value()};
+}
+inline NodeId AsNode(bgp::AsNumber asn) { return NodeId{NodeKind::kAs, asn}; }
+inline NodeId PrefixNode(PrefixId id) { return NodeId{NodeKind::kPrefix, id}; }
+
+struct EdgeKey {
+  NodeId from;
+  NodeId to;
+  friend bool operator==(const EdgeKey&, const EdgeKey&) = default;
+};
+
+struct EdgeKeyHash {
+  std::size_t operator()(const EdgeKey& e) const {
+    const NodeIdHash h;
+    return h(e.from) * 0x100000001b3ULL ^ h(e.to);
+  }
+};
+
+class TampGraph {
+ public:
+  struct Options {
+    // Include per-prefix leaf nodes.  Off by default: at ISP scale the
+    // leaves dominate memory yet are always pruned from pictures.
+    bool include_prefix_leaves = false;
+    std::string root_name = "site";
+  };
+
+  TampGraph() : TampGraph(Options{}) {}
+  explicit TampGraph(Options options);
+
+  // --- incremental maintenance -----------------------------------------
+  void AddRoute(const collector::RouteEntry& route);
+  void RemoveRoute(const collector::RouteEntry& route);
+
+  // Builds a picture of a snapshot in one shot.
+  static TampGraph FromSnapshot(
+      const std::vector<collector::RouteEntry>& snapshot, Options options);
+  static TampGraph FromSnapshot(
+      const std::vector<collector::RouteEntry>& snapshot) {
+    return FromSnapshot(snapshot, Options{});
+  }
+
+  // --- structure ---------------------------------------------------------
+  struct Edge {
+    NodeId from;
+    NodeId to;
+    std::size_t weight = 0;  // unique prefixes currently on the edge
+  };
+
+  // All edges with nonzero weight (unspecified order).
+  std::vector<Edge> Edges() const;
+  std::size_t EdgeCount() const { return edges_.size(); }
+
+  // Weight of a specific edge (0 if absent).
+  std::size_t EdgeWeight(const NodeId& from, const NodeId& to) const;
+  bool EdgeCarries(const NodeId& from, const NodeId& to,
+                   const bgp::Prefix& prefix) const;
+
+  // Unique prefixes across the whole graph (the denominator of the 5 %
+  // pruning threshold).
+  std::size_t UniquePrefixCount() const { return prefix_use_.size(); }
+  std::size_t RouteCount() const { return route_count_; }
+
+  // --- naming ------------------------------------------------------------
+  // Human-readable node label: the root name, dotted-quad addresses, AS
+  // names ("QWest (209)" when registered via SetAsName), prefix strings.
+  std::string NodeName(const NodeId& node) const;
+  void SetAsName(bgp::AsNumber asn, std::string name);
+  const std::string& root_name() const { return options_.root_name; }
+
+  const util::InternPool<bgp::Prefix, bgp::PrefixHash>& prefix_pool() const {
+    return prefix_pool_;
+  }
+
+  // The node sequence a route contributes: root → peer → nexthop → ASes
+  // (consecutive prepends collapsed) → optional prefix leaf.  Exposed so
+  // the animator can track per-edge dynamics; a prefix not yet interned
+  // in `pool` simply omits the leaf.
+  static std::vector<NodeId> RoutePathNodes(
+      const collector::RouteEntry& route, bool include_prefix_leaves,
+      const util::InternPool<bgp::Prefix, bgp::PrefixHash>& pool);
+
+ private:
+  // Edge payload: per-prefix route counts.  A prefix contributes to the
+  // weight while its count is positive; the count tracks how many current
+  // routes put this prefix on this edge (several peers' trees may).
+  struct EdgeData {
+    std::unordered_map<PrefixId, std::uint32_t> prefix_counts;
+  };
+
+  // The node sequence of a route's tree path.
+  std::vector<NodeId> PathNodes(const collector::RouteEntry& route,
+                                PrefixId prefix_id) const;
+
+  void BumpEdge(const NodeId& from, const NodeId& to, PrefixId prefix, int delta);
+
+  Options options_;
+  std::unordered_map<EdgeKey, EdgeData, EdgeKeyHash> edges_;
+  util::InternPool<bgp::Prefix, bgp::PrefixHash> prefix_pool_;
+  // Global per-prefix route counts (for UniquePrefixCount under removal).
+  std::unordered_map<PrefixId, std::uint32_t> prefix_use_;
+  std::unordered_map<bgp::AsNumber, std::string> as_names_;
+  std::size_t route_count_ = 0;
+};
+
+}  // namespace ranomaly::tamp

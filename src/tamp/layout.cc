@@ -1,0 +1,130 @@
+#include "tamp/layout.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ranomaly::tamp {
+namespace {
+
+// Estimated box size from the label length.
+constexpr double kCharWidth = 7.5;
+constexpr double kBoxPadding = 14.0;
+constexpr double kBoxHeight = 26.0;
+
+}  // namespace
+
+Layout ComputeLayout(const PrunedGraph& graph, const LayoutOptions& options) {
+  Layout layout;
+  const std::size_t n = graph.nodes.size();
+  layout.nodes.resize(n);
+  if (n == 0) return layout;
+
+  // Group nodes by depth layer.
+  std::size_t max_depth = 0;
+  for (const auto& node : graph.nodes) max_depth = std::max(max_depth, node.depth);
+  std::vector<std::vector<std::size_t>> layers(max_depth + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    layers[graph.nodes[i].depth].push_back(i);
+  }
+
+  // Adjacency for barycenter sweeps.
+  std::vector<std::vector<std::size_t>> preds(n);
+  std::vector<std::vector<std::size_t>> succs(n);
+  for (const auto& e : graph.edges) {
+    preds[e.to].push_back(e.from);
+    succs[e.from].push_back(e.to);
+  }
+
+  // slot[i]: vertical position index of node i within its layer.
+  std::vector<double> slot(n, 0.0);
+  for (auto& layer : layers) {
+    for (std::size_t k = 0; k < layer.size(); ++k) {
+      slot[layer[k]] = static_cast<double>(k);
+    }
+  }
+
+  auto sweep = [&](bool downward) {
+    const auto order_layer = [&](std::vector<std::size_t>& layer,
+                                 const std::vector<std::vector<std::size_t>>& nbrs) {
+      std::vector<std::pair<double, std::size_t>> keyed;
+      keyed.reserve(layer.size());
+      for (const std::size_t i : layer) {
+        double sum = 0.0;
+        if (nbrs[i].empty()) {
+          sum = slot[i];  // keep isolated nodes where they are
+        } else {
+          for (const std::size_t j : nbrs[i]) sum += slot[j];
+          sum /= static_cast<double>(nbrs[i].size());
+        }
+        keyed.emplace_back(sum, i);
+      }
+      std::stable_sort(keyed.begin(), keyed.end(),
+                       [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (std::size_t k = 0; k < keyed.size(); ++k) {
+        layer[k] = keyed[k].second;
+        slot[keyed[k].second] = static_cast<double>(k);
+      }
+    };
+    if (downward) {
+      for (std::size_t d = 1; d < layers.size(); ++d) order_layer(layers[d], preds);
+    } else {
+      for (std::size_t d = layers.size(); d-- > 1;) order_layer(layers[d - 1], succs);
+    }
+  };
+
+  for (int it = 0; it < options.barycenter_iterations; ++it) {
+    sweep(/*downward=*/true);
+    sweep(/*downward=*/false);
+  }
+
+  // Coordinate assignment: center each layer vertically.
+  std::size_t tallest = 0;
+  for (const auto& layer : layers) tallest = std::max(tallest, layer.size());
+  const double total_height = static_cast<double>(tallest) * options.node_gap;
+
+  for (std::size_t d = 0; d < layers.size(); ++d) {
+    const auto& layer = layers[d];
+    const double layer_height = static_cast<double>(layer.size()) * options.node_gap;
+    const double y0 = (total_height - layer_height) / 2.0;
+    for (std::size_t k = 0; k < layer.size(); ++k) {
+      const std::size_t i = layer[k];
+      auto& p = layout.nodes[i];
+      p.width = kBoxPadding +
+                kCharWidth * static_cast<double>(graph.nodes[i].name.size());
+      p.height = kBoxHeight;
+      p.x = options.margin + static_cast<double>(d) * options.layer_gap +
+            p.width / 2.0;
+      p.y = options.margin + y0 + (static_cast<double>(k) + 0.5) * options.node_gap;
+    }
+  }
+
+  for (const auto& p : layout.nodes) {
+    layout.width = std::max(layout.width, p.x + p.width / 2.0 + options.margin);
+    layout.height = std::max(layout.height, p.y + p.height / 2.0 + options.margin);
+  }
+  return layout;
+}
+
+std::size_t CountCrossings(const PrunedGraph& graph, const Layout& layout) {
+  // Two edges (a->b) and (c->d) between the same pair of layers cross iff
+  // their endpoint orders invert.
+  std::size_t crossings = 0;
+  for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+    for (std::size_t j = i + 1; j < graph.edges.size(); ++j) {
+      const auto& e1 = graph.edges[i];
+      const auto& e2 = graph.edges[j];
+      if (graph.nodes[e1.from].depth != graph.nodes[e2.from].depth ||
+          graph.nodes[e1.to].depth != graph.nodes[e2.to].depth) {
+        continue;
+      }
+      const double a = layout.nodes[e1.from].y;
+      const double b = layout.nodes[e1.to].y;
+      const double c = layout.nodes[e2.from].y;
+      const double d = layout.nodes[e2.to].y;
+      if ((a - c) * (b - d) < 0) ++crossings;
+    }
+  }
+  return crossings;
+}
+
+}  // namespace ranomaly::tamp

@@ -1,0 +1,44 @@
+// Layered graph layout for TAMP pictures.
+//
+// The paper used AT&T graphviz; this is our own Sugiyama-style pipeline
+// (layer by BFS depth, barycenter crossing reduction, coordinate
+// assignment) producing the same left-to-right drawings: data flows
+// left→right, BGP information right→left.  A DOT emitter (dot.h) is also
+// provided for environments where graphviz is available.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tamp/prune.h"
+
+namespace ranomaly::tamp {
+
+struct LayoutOptions {
+  double layer_gap = 200.0;  // horizontal distance between depth layers
+  double node_gap = 52.0;    // vertical distance between node slots
+  int barycenter_iterations = 8;
+  double margin = 40.0;
+};
+
+struct Layout {
+  struct PlacedNode {
+    double x = 0.0;  // center
+    double y = 0.0;
+    double width = 0.0;
+    double height = 0.0;
+  };
+
+  std::vector<PlacedNode> nodes;  // parallel to PrunedGraph::nodes
+  double width = 0.0;
+  double height = 0.0;
+};
+
+Layout ComputeLayout(const PrunedGraph& graph,
+                     const LayoutOptions& options = {});
+
+// Number of edge crossings in the drawing (layout quality metric; used by
+// tests to assert barycenter actually reduces crossings).
+std::size_t CountCrossings(const PrunedGraph& graph, const Layout& layout);
+
+}  // namespace ranomaly::tamp

@@ -1,0 +1,147 @@
+#include "tamp/prune.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace ranomaly::tamp {
+
+std::size_t PrunedGraph::FindNode(const NodeId& id) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].id == id) return i;
+  }
+  return npos;
+}
+
+double PrunedGraph::EdgeFraction(const NodeId& from, const NodeId& to) const {
+  const std::size_t f = FindNode(from);
+  const std::size_t t = FindNode(to);
+  if (f == npos || t == npos) return 0.0;
+  for (const Edge& e : edges) {
+    if (e.from == f && e.to == t) return e.fraction;
+  }
+  return 0.0;
+}
+
+PrunedGraph Prune(const TampGraph& graph, const PruneOptions& options) {
+  PrunedGraph out;
+  out.total_prefixes = graph.UniquePrefixCount();
+  const auto all_edges = graph.Edges();
+  if (out.total_prefixes == 0) {
+    out.nodes.push_back(
+        PrunedGraph::Node{RootNode(), graph.NodeName(RootNode()), 0});
+    out.pruned_edges = all_edges.size();
+    return out;
+  }
+
+  // Depth of every node: BFS over the full graph from the root.
+  std::unordered_map<NodeId, std::size_t, NodeIdHash> depth;
+  {
+    std::unordered_map<NodeId, std::vector<NodeId>, NodeIdHash> adj;
+    for (const auto& e : all_edges) adj[e.from].push_back(e.to);
+    std::deque<NodeId> queue{RootNode()};
+    depth[RootNode()] = 0;
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      const auto it = adj.find(u);
+      if (it == adj.end()) continue;
+      for (const NodeId& v : it->second) {
+        if (depth.try_emplace(v, depth[u] + 1).second) queue.push_back(v);
+      }
+    }
+  }
+
+  auto threshold_at = [&](std::size_t edge_depth) {
+    if (options.depth_thresholds.empty()) return options.threshold;
+    const std::size_t i =
+        std::min(edge_depth, options.depth_thresholds.size() - 1);
+    return options.depth_thresholds[i];
+  };
+
+  const double total = static_cast<double>(out.total_prefixes);
+
+  // Keep edges meeting their depth's threshold.
+  std::vector<TampGraph::Edge> kept;
+  for (const auto& e : all_edges) {
+    const auto dit = depth.find(e.to);
+    if (dit == depth.end()) continue;  // unreachable from root
+    const double fraction = static_cast<double>(e.weight) / total;
+    if (fraction >= threshold_at(dit->second) - 1e-12) kept.push_back(e);
+  }
+
+  // Connectivity pass: only keep edges on paths from the root through
+  // kept edges.
+  std::unordered_map<NodeId, std::vector<std::size_t>, NodeIdHash> kept_adj;
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    kept_adj[kept[i].from].push_back(i);
+  }
+  std::unordered_map<NodeId, std::size_t, NodeIdHash> node_index;
+  auto intern_node = [&](const NodeId& id) {
+    const auto [it, inserted] = node_index.try_emplace(id, out.nodes.size());
+    if (inserted) {
+      out.nodes.push_back(
+          PrunedGraph::Node{id, graph.NodeName(id), depth.at(id)});
+    }
+    return it->second;
+  };
+
+  intern_node(RootNode());
+  std::vector<bool> edge_taken(kept.size(), false);
+  std::deque<NodeId> queue{RootNode()};
+  std::unordered_map<NodeId, bool, NodeIdHash> visited;
+  visited[RootNode()] = true;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    const auto it = kept_adj.find(u);
+    if (it == kept_adj.end()) continue;
+    for (const std::size_t ei : it->second) {
+      edge_taken[ei] = true;
+      const NodeId& v = kept[ei].to;
+      if (!visited[v]) {
+        visited[v] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    if (!edge_taken[i]) continue;
+    const std::size_t f = intern_node(kept[i].from);
+    const std::size_t t = intern_node(kept[i].to);
+    out.edges.push_back(PrunedGraph::Edge{
+        f, t, kept[i].weight, static_cast<double>(kept[i].weight) / total});
+  }
+  out.pruned_edges = all_edges.size() - out.edges.size();
+
+  // Stable, readable ordering: by depth then name.
+  // (Rendering relies on node order only for layout seeds; edges use
+  // indices, so we must remap after sorting.)
+  std::vector<std::size_t> order(out.nodes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (out.nodes[a].depth != out.nodes[b].depth) {
+      return out.nodes[a].depth < out.nodes[b].depth;
+    }
+    return out.nodes[a].name < out.nodes[b].name;
+  });
+  std::vector<std::size_t> inverse(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) inverse[order[i]] = i;
+  std::vector<PrunedGraph::Node> sorted_nodes;
+  sorted_nodes.reserve(out.nodes.size());
+  for (const std::size_t i : order) sorted_nodes.push_back(out.nodes[i]);
+  out.nodes = std::move(sorted_nodes);
+  for (auto& e : out.edges) {
+    e.from = inverse[e.from];
+    e.to = inverse[e.to];
+  }
+  std::sort(out.edges.begin(), out.edges.end(),
+            [](const PrunedGraph::Edge& a, const PrunedGraph::Edge& b) {
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  return out;
+}
+
+}  // namespace ranomaly::tamp

@@ -1,0 +1,63 @@
+// Graph pruning — the "Threshold" in TAMP.
+//
+// An unpruned TAMP graph of any realistic network is an ink blob: the
+// Internet core is well connected with huge fan-out toward the edges.
+// Pruning keeps only parts that carry at least a threshold fraction of
+// the graph's unique prefixes (paper default: 5 %).  Hierarchical pruning
+// applies *increasing* thresholds with distance from the root, because an
+// operator cares about every element of his own domain no matter how few
+// prefixes it carries — this is what exposes the two backdoor routes of
+// Fig 5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tamp/graph.h"
+
+namespace ranomaly::tamp {
+
+struct PruneOptions {
+  // Flat threshold: drop edges carrying < threshold * total prefixes.
+  double threshold = 0.05;
+  // Hierarchical pruning: per-depth thresholds, indexed by the depth of
+  // the edge's *far* endpoint (root = depth 0).  Depths beyond the vector
+  // reuse the last entry.  Empty => use the flat `threshold` everywhere.
+  // Fig 5's setting is {0, 0, 0, 0, 0.05}: peers (1), nexthops (2) and
+  // neighbor ASes (3) always shown, 5 % beyond.
+  std::vector<double> depth_thresholds;
+};
+
+// A pruned, render-ready view of a TAMP graph.
+struct PrunedGraph {
+  struct Node {
+    NodeId id;
+    std::string name;
+    std::size_t depth = 0;  // BFS depth from root
+  };
+  struct Edge {
+    std::size_t from = 0;  // indices into `nodes`
+    std::size_t to = 0;
+    std::size_t weight = 0;
+    double fraction = 0.0;  // weight / total_prefixes
+  };
+
+  std::vector<Node> nodes;
+  std::vector<Edge> edges;
+  std::size_t total_prefixes = 0;
+  std::size_t pruned_edges = 0;  // how many the threshold removed
+
+  // Index of a node in `nodes`, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t FindNode(const NodeId& id) const;
+  // Fraction on the edge between two node ids (0 if absent).
+  double EdgeFraction(const NodeId& from, const NodeId& to) const;
+};
+
+// Prunes `graph`.  Nodes unreachable from the root through surviving
+// edges are dropped with their edges, so the result is always a connected
+// left-to-right drawing.
+PrunedGraph Prune(const TampGraph& graph, const PruneOptions& options = {});
+
+}  // namespace ranomaly::tamp

@@ -1,0 +1,280 @@
+#include "tamp/render.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace ranomaly::tamp {
+namespace {
+
+using util::StrPrintf;
+
+std::string EscapeXml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+double StrokeFor(double fraction, const RenderOptions& options) {
+  return std::max(options.min_stroke, options.max_stroke * fraction);
+}
+
+void AppendEdgeLine(std::string& svg, const Layout& layout,
+                    const PrunedGraph::Edge& e, double stroke,
+                    const char* color, double opacity) {
+  const auto& a = layout.nodes[e.from];
+  const auto& b = layout.nodes[e.to];
+  const double x1 = a.x + a.width / 2.0;
+  const double x2 = b.x - b.width / 2.0;
+  svg += StrPrintf(
+      "  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+      "stroke=\"%s\" stroke-width=\"%.1f\" stroke-opacity=\"%.2f\"/>\n",
+      x1, a.y, x2, b.y, color, stroke, opacity);
+}
+
+void AppendNodes(std::string& svg, const PrunedGraph& graph,
+                 const Layout& layout) {
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    const auto& node = graph.nodes[i];
+    const auto& p = layout.nodes[i];
+    const char* fill = node.depth == 0 ? "#dbe9ff" : "#f5f5f0";
+    svg += StrPrintf(
+        "  <rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+        "rx=\"4\" fill=\"%s\" stroke=\"#444\"/>\n",
+        p.x - p.width / 2.0, p.y - p.height / 2.0, p.width, p.height, fill);
+    svg += StrPrintf(
+        "  <text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" "
+        "font-family=\"monospace\" font-size=\"12\">%s</text>\n",
+        p.x, p.y + 4.0, EscapeXml(node.name).c_str());
+  }
+}
+
+void AppendPercentLabels(std::string& svg, const PrunedGraph& graph,
+                         const Layout& layout) {
+  for (const auto& e : graph.edges) {
+    const auto& a = layout.nodes[e.from];
+    const auto& b = layout.nodes[e.to];
+    const double mx = (a.x + a.width / 2.0 + b.x - b.width / 2.0) / 2.0;
+    const double my = (a.y + b.y) / 2.0 - 5.0;
+    svg += StrPrintf(
+        "  <text x=\"%.1f\" y=\"%.1f\" text-anchor=\"middle\" "
+        "font-family=\"monospace\" font-size=\"10\" fill=\"#555\">"
+        "%.0f%%</text>\n",
+        mx, my, e.fraction * 100.0);
+  }
+}
+
+std::string SvgHeader(double width, double height) {
+  return StrPrintf(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
+      "height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n"
+      "  <rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n",
+      width, height, width, height);
+}
+
+}  // namespace
+
+const char* ToSvgColor(EdgeColor color) {
+  switch (color) {
+    case EdgeColor::kBlack: return "#000000";
+    case EdgeColor::kBlue: return "#1f5fd0";
+    case EdgeColor::kGreen: return "#1e9e3a";
+    case EdgeColor::kYellow: return "#e0c000";
+  }
+  return "#000000";
+}
+
+std::string RenderSvg(const PrunedGraph& graph, const Layout& layout,
+                      const RenderOptions& options) {
+  std::string svg = SvgHeader(layout.width, layout.height + 30.0);
+  if (!options.title.empty()) {
+    svg += StrPrintf(
+        "  <text x=\"%.1f\" y=\"20\" font-family=\"sans-serif\" "
+        "font-size=\"14\" font-weight=\"bold\">%s</text>\n",
+        10.0, EscapeXml(options.title).c_str());
+  }
+  for (const auto& e : graph.edges) {
+    AppendEdgeLine(svg, layout, e, StrokeFor(e.fraction, options), "#000000",
+                   0.85);
+  }
+  if (options.show_percentages) AppendPercentLabels(svg, graph, layout);
+  AppendNodes(svg, graph, layout);
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string RenderAnimationFrameSvg(
+    const PrunedGraph& graph, const Layout& layout,
+    const std::vector<EdgeDecoration>& decorations, util::SimTime clock,
+    const std::optional<EdgePlot>& plot, const RenderOptions& options) {
+  const double panel_height = plot ? 140.0 : 50.0;
+  std::string svg = SvgHeader(std::max(layout.width, 480.0),
+                              layout.height + panel_height);
+  if (!options.title.empty()) {
+    svg += StrPrintf(
+        "  <text x=\"10\" y=\"20\" font-family=\"sans-serif\" "
+        "font-size=\"14\" font-weight=\"bold\">%s</text>\n",
+        EscapeXml(options.title).c_str());
+  }
+
+  const double total = static_cast<double>(std::max<std::size_t>(
+      graph.total_prefixes, 1));
+  for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+    const auto& e = graph.edges[i];
+    const EdgeDecoration dec =
+        i < decorations.size() ? decorations[i] : EdgeDecoration{};
+    // Gray shadow first (historical max), then the live edge on top.
+    if (dec.shadow_weight > e.weight) {
+      const double shadow_fraction =
+          static_cast<double>(dec.shadow_weight) / total;
+      AppendEdgeLine(svg, layout, e, StrokeFor(shadow_fraction, options),
+                     "#b0b0b0", 0.6);
+    }
+    AppendEdgeLine(svg, layout, e, StrokeFor(e.fraction, options),
+                   ToSvgColor(dec.color), 0.9);
+  }
+  if (options.show_percentages) AppendPercentLabels(svg, graph, layout);
+  AppendNodes(svg, graph, layout);
+
+  // Animation clock.
+  svg += StrPrintf(
+      "  <text x=\"10\" y=\"%.1f\" font-family=\"monospace\" "
+      "font-size=\"13\">clock %s</text>\n",
+      layout.height + 24.0, util::FormatTime(clock).c_str());
+
+  // Selected-edge plot: impulses of the prefix count per frame.
+  if (plot && !plot->weights.empty()) {
+    const double px = 10.0;
+    const double py = layout.height + 40.0;
+    const double pw = std::max(layout.width, 480.0) - 20.0;
+    const double ph = 80.0;
+    svg += StrPrintf(
+        "  <rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+        "fill=\"#fafaf5\" stroke=\"#999\"/>\n",
+        px, py, pw, ph);
+    const std::size_t max_w = *std::max_element(plot->weights.begin(),
+                                                plot->weights.end());
+    const double scale = max_w == 0 ? 0.0 : (ph - 8.0) / static_cast<double>(max_w);
+    const double dx = pw / static_cast<double>(plot->weights.size());
+    for (std::size_t i = 0; i < plot->weights.size(); ++i) {
+      const double h = static_cast<double>(plot->weights[i]) * scale;
+      if (h <= 0.0) continue;
+      const double x = px + dx * (static_cast<double>(i) + 0.5);
+      svg += StrPrintf(
+          "  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+          "stroke=\"#c03020\" stroke-width=\"1\"/>\n",
+          x, py + ph - 2.0, x, py + ph - 2.0 - h);
+    }
+    svg += StrPrintf(
+        "  <text x=\"%.1f\" y=\"%.1f\" font-family=\"monospace\" "
+        "font-size=\"10\">%s</text>\n",
+        px + 4.0, py + 12.0, EscapeXml(plot->edge_label).c_str());
+  }
+
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string RenderAnimatedSvg(
+    const PrunedGraph& graph, const Layout& layout,
+    const std::vector<std::vector<std::size_t>>& series, double play_seconds,
+    const RenderOptions& options) {
+  std::string svg = SvgHeader(layout.width, layout.height + 30.0);
+  if (!options.title.empty()) {
+    svg += StrPrintf(
+        "  <text x=\"10\" y=\"20\" font-family=\"sans-serif\" "
+        "font-size=\"14\" font-weight=\"bold\">%s</text>\n",
+        EscapeXml(options.title).c_str());
+  }
+  const double total = static_cast<double>(
+      std::max<std::size_t>(graph.total_prefixes, 1));
+
+  for (std::size_t i = 0; i < graph.edges.size(); ++i) {
+    const auto& e = graph.edges[i];
+    const auto& a = layout.nodes[e.from];
+    const auto& b = layout.nodes[e.to];
+    const double x1 = a.x + a.width / 2.0;
+    const double x2 = b.x - b.width / 2.0;
+    const bool animated = i < series.size() && !series[i].empty();
+    svg += StrPrintf(
+        "  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+        "stroke=\"#000000\" stroke-width=\"%.1f\" stroke-opacity=\"0.9\"%s\n",
+        x1, a.y, x2, b.y, StrokeFor(e.fraction, options),
+        animated ? ">" : "/>");
+    if (!animated) continue;
+
+    // Keyframe lists: stroke width from the weight, color from the delta
+    // direction (green gaining, blue losing, black steady).
+    const auto& weights = series[i];
+    std::string width_values;
+    std::string color_values;
+    width_values.reserve(weights.size() * 5);
+    for (std::size_t f = 0; f < weights.size(); ++f) {
+      if (f != 0) {
+        width_values += ';';
+        color_values += ';';
+      }
+      const double fraction = static_cast<double>(weights[f]) / total;
+      width_values += StrPrintf("%.1f", StrokeFor(fraction, options));
+      if (f == 0 || weights[f] == weights[f - 1]) {
+        color_values += ToSvgColor(EdgeColor::kBlack);
+      } else if (weights[f] > weights[f - 1]) {
+        color_values += ToSvgColor(EdgeColor::kGreen);
+      } else {
+        color_values += ToSvgColor(EdgeColor::kBlue);
+      }
+    }
+    svg += StrPrintf(
+        "    <animate attributeName=\"stroke-width\" values=\"%s\" "
+        "dur=\"%.0fs\" repeatCount=\"indefinite\" calcMode=\"discrete\"/>\n",
+        width_values.c_str(), play_seconds);
+    svg += StrPrintf(
+        "    <animate attributeName=\"stroke\" values=\"%s\" dur=\"%.0fs\" "
+        "repeatCount=\"indefinite\" calcMode=\"discrete\"/>\n",
+        color_values.c_str(), play_seconds);
+    svg += "  </line>\n";
+  }
+
+  if (options.show_percentages) AppendPercentLabels(svg, graph, layout);
+  AppendNodes(svg, graph, layout);
+  svg += StrPrintf(
+      "  <text x=\"10\" y=\"%.1f\" font-family=\"monospace\" "
+      "font-size=\"12\">replaying %.0fs loop (%zu frames)</text>\n",
+      layout.height + 24.0, play_seconds,
+      series.empty() ? 0 : series.front().size());
+  svg += "</svg>\n";
+  return svg;
+}
+
+std::string RenderDot(const PrunedGraph& graph, const RenderOptions& options) {
+  std::string dot = "digraph tamp {\n  rankdir=LR;\n  node [shape=box, "
+                    "fontname=\"monospace\"];\n";
+  if (!options.title.empty()) {
+    dot += "  label=\"" + options.title + "\";\n";
+  }
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    dot += StrPrintf("  n%zu [label=\"%s\"];\n", i,
+                     graph.nodes[i].name.c_str());
+  }
+  for (const auto& e : graph.edges) {
+    const double penwidth =
+        std::max(options.min_stroke, options.max_stroke * e.fraction);
+    dot += StrPrintf(
+        "  n%zu -> n%zu [penwidth=%.1f, label=\"%zu (%.0f%%)\"];\n", e.from,
+        e.to, penwidth, e.weight, e.fraction * 100.0);
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace ranomaly::tamp

@@ -1,0 +1,81 @@
+// Renderers for TAMP pictures and animation frames: SVG (self-contained)
+// and DOT (for external graphviz).
+//
+// Visual conventions follow the paper (Section III-A): edge thickness is
+// proportional to the number of prefixes currently carried; in animation
+// frames black = unchanged, blue = losing prefixes, green = gaining,
+// yellow = flapping too fast to animate; an edge that has lost prefixes
+// drags a gray shadow as wide as the most prefixes it ever carried.  An
+// animation clock and the selected edge's prefix-count plot render below
+// the graph (Fig 3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tamp/layout.h"
+#include "tamp/prune.h"
+#include "util/time.h"
+
+namespace ranomaly::tamp {
+
+enum class EdgeColor : std::uint8_t {
+  kBlack,   // not changing
+  kBlue,    // losing prefixes
+  kGreen,   // gaining prefixes
+  kYellow,  // flapping too fast to animate
+};
+
+const char* ToSvgColor(EdgeColor color);
+
+// Extra per-edge state for animation frames (parallel to
+// PrunedGraph::edges; missing entries render as plain black).
+struct EdgeDecoration {
+  EdgeColor color = EdgeColor::kBlack;
+  // Historical max prefix count => gray shadow width; 0 disables.
+  std::size_t shadow_weight = 0;
+};
+
+struct RenderOptions {
+  // Edge stroke width for an edge carrying 100 % of prefixes.
+  double max_stroke = 14.0;
+  double min_stroke = 1.0;
+  bool show_percentages = true;
+  std::string title;
+};
+
+// Static picture.
+std::string RenderSvg(const PrunedGraph& graph, const Layout& layout,
+                      const RenderOptions& options = {});
+
+// The per-edge prefix-count plot shown beside the animation controls.
+struct EdgePlot {
+  std::string edge_label;
+  std::vector<std::size_t> weights;  // one per frame, up to current frame
+};
+
+// Animation frame: picture + clock + decorations + optional plot.
+std::string RenderAnimationFrameSvg(
+    const PrunedGraph& graph, const Layout& layout,
+    const std::vector<EdgeDecoration>& decorations, util::SimTime clock,
+    const std::optional<EdgePlot>& plot, const RenderOptions& options = {});
+
+// DOT output for graphviz `dot -Tsvg`.
+std::string RenderDot(const PrunedGraph& graph,
+                      const RenderOptions& options = {});
+
+// A self-contained *animated* SVG (SMIL): each edge's stroke width and
+// color are keyframed from its per-frame prefix-count series, replaying
+// the whole incident in `play_seconds` on loop in any browser — the
+// deliverable form of the paper's TAMP animations.  `series[i]` is the
+// per-frame weight sequence of `graph.edges[i]` (all series must share
+// one length = the frame count); edges with an empty series render
+// statically.
+std::string RenderAnimatedSvg(const PrunedGraph& graph, const Layout& layout,
+                              const std::vector<std::vector<std::size_t>>& series,
+                              double play_seconds = 30.0,
+                              const RenderOptions& options = {});
+
+}  // namespace ranomaly::tamp

@@ -1,0 +1,170 @@
+#include "traffic/traffic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ranomaly::traffic {
+
+FlowGenerator::FlowGenerator(std::vector<bgp::Prefix> prefixes,
+                             Options options, std::uint64_t seed)
+    : prefixes_(std::move(prefixes)),
+      options_(options),
+      rng_(seed),
+      zipf_(prefixes_.empty() ? 1 : prefixes_.size(), options.zipf_alpha) {
+  if (prefixes_.empty()) {
+    throw std::invalid_argument("FlowGenerator: no prefixes");
+  }
+}
+
+FlowRecord FlowGenerator::Next() {
+  now_ += static_cast<util::SimDuration>(rng_.NextExponential(
+      static_cast<double>(options_.mean_interarrival)));
+  const std::size_t rank = zipf_.Sample(rng_);
+  const bgp::Prefix& p = prefixes_[rank];
+  // Random host inside the prefix.
+  const std::uint32_t host_bits = 32 - p.length();
+  const std::uint32_t offset =
+      host_bits == 0
+          ? 0
+          : static_cast<std::uint32_t>(rng_.NextBelow(1ULL << host_bits));
+  FlowRecord flow;
+  flow.time = now_;
+  flow.dst = bgp::Ipv4Addr(p.addr().value() | offset);
+  flow.bytes = 1 + static_cast<std::uint64_t>(rng_.NextExponential(
+                       static_cast<double>(options_.mean_flow_bytes)));
+  return flow;
+}
+
+std::vector<FlowRecord> FlowGenerator::Generate(std::size_t n) {
+  std::vector<FlowRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+TrafficMatrix::TrafficMatrix(const std::vector<bgp::Prefix>& routing_prefixes) {
+  volumes_.reserve(routing_prefixes.size());
+  for (const bgp::Prefix& p : routing_prefixes) {
+    if (trie_.Insert(p, volumes_.size())) {
+      volumes_.emplace_back(p, 0);
+    }
+  }
+}
+
+bool TrafficMatrix::AddFlow(const FlowRecord& flow) {
+  const auto match = trie_.Lookup(flow.dst);
+  if (!match) {
+    unmatched_bytes_ += flow.bytes;
+    return false;
+  }
+  volumes_[*match->second].second += flow.bytes;
+  total_bytes_ += flow.bytes;
+  return true;
+}
+
+std::uint64_t TrafficMatrix::VolumeOf(const bgp::Prefix& prefix) const {
+  const std::size_t* idx = trie_.Find(prefix);
+  return idx == nullptr ? 0 : volumes_[*idx].second;
+}
+
+double TrafficMatrix::FractionOf(const bgp::Prefix& prefix) const {
+  if (total_bytes_ == 0) return 0.0;
+  return static_cast<double>(VolumeOf(prefix)) /
+         static_cast<double>(total_bytes_);
+}
+
+std::vector<std::pair<bgp::Prefix, std::uint64_t>> TrafficMatrix::ByVolume()
+    const {
+  auto sorted = volumes_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return sorted;
+}
+
+double TrafficMatrix::VolumeShareOfTopPrefixes(double prefix_fraction) const {
+  if (total_bytes_ == 0 || volumes_.empty()) return 0.0;
+  const auto sorted = ByVolume();
+  const std::size_t n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(prefix_fraction *
+                                  static_cast<double>(sorted.size())));
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < n && i < sorted.size(); ++i) {
+    bytes += sorted[i].second;
+  }
+  return static_cast<double>(bytes) / static_cast<double>(total_bytes_);
+}
+
+std::vector<bgp::Prefix> TrafficMatrix::Elephants(
+    double volume_fraction) const {
+  std::vector<bgp::Prefix> out;
+  if (total_bytes_ == 0) return out;
+  const auto sorted = ByVolume();
+  const auto target = static_cast<double>(total_bytes_) * volume_fraction;
+  double acc = 0.0;
+  for (const auto& [prefix, bytes] : sorted) {
+    if (acc >= target) break;
+    out.push_back(prefix);
+    acc += static_cast<double>(bytes);
+  }
+  return out;
+}
+
+double LoadBalanceReport::PrefixFractionA() const {
+  const std::size_t total = prefixes_a + prefixes_b;
+  return total == 0 ? 0.0
+                    : static_cast<double>(prefixes_a) /
+                          static_cast<double>(total);
+}
+
+double LoadBalanceReport::ByteFractionA() const {
+  const std::uint64_t total = bytes_a + bytes_b;
+  return total == 0 ? 0.0
+                    : static_cast<double>(bytes_a) /
+                          static_cast<double>(total);
+}
+
+LoadBalanceReport EvaluateSplit(const TrafficMatrix& matrix,
+                                const std::vector<bgp::Prefix>& side_a,
+                                const std::vector<bgp::Prefix>& side_b) {
+  LoadBalanceReport report;
+  report.prefixes_a = side_a.size();
+  report.prefixes_b = side_b.size();
+  for (const bgp::Prefix& p : side_a) report.bytes_a += matrix.VolumeOf(p);
+  for (const bgp::Prefix& p : side_b) report.bytes_b += matrix.VolumeOf(p);
+  return report;
+}
+
+BalancedSplit ComputeBalancedSplit(const TrafficMatrix& matrix,
+                                   const std::vector<bgp::Prefix>& prefixes) {
+  // Sort by measured volume, heaviest first (stable tiebreak by prefix so
+  // the plan is deterministic).
+  std::vector<std::pair<bgp::Prefix, std::uint64_t>> ranked;
+  ranked.reserve(prefixes.size());
+  for (const bgp::Prefix& p : prefixes) {
+    ranked.emplace_back(p, matrix.VolumeOf(p));
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  BalancedSplit split;
+  std::uint64_t bytes_a = 0;
+  std::uint64_t bytes_b = 0;
+  for (const auto& [prefix, bytes] : ranked) {
+    if (bytes_a <= bytes_b) {
+      split.side_a.push_back(prefix);
+      bytes_a += bytes;
+    } else {
+      split.side_b.push_back(prefix);
+      bytes_b += bytes;
+    }
+  }
+  split.report = EvaluateSplit(matrix, split.side_a, split.side_b);
+  return split;
+}
+
+}  // namespace ranomaly::traffic

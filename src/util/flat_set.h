@@ -1,0 +1,127 @@
+// FlatSet: a sorted-unique vector of 32-bit ids with set algebra.
+//
+// TAMP edge weights are *unique prefix counts* with set-union merge
+// semantics (paper Fig 1: "4 not 6").  A sorted flat vector gives cache-
+// friendly unions/intersections and O(log n) membership, and its size()
+// is exactly the paper's edge weight.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace ranomaly::util {
+
+class FlatSet {
+ public:
+  using value_type = std::uint32_t;
+  using const_iterator = std::vector<value_type>::const_iterator;
+
+  FlatSet() = default;
+  FlatSet(std::initializer_list<value_type> init) : v_(init) {
+    Normalize();
+  }
+  explicit FlatSet(std::vector<value_type> v) : v_(std::move(v)) {
+    Normalize();
+  }
+
+  // Inserts one id; returns true if it was new.  O(n) worst case, but the
+  // common pattern in TAMP animation is appending near the end.
+  bool Insert(value_type x) {
+    const auto it = std::lower_bound(v_.begin(), v_.end(), x);
+    if (it != v_.end() && *it == x) return false;
+    v_.insert(it, x);
+    return true;
+  }
+
+  // Removes one id; returns true if it was present.
+  bool Erase(value_type x) {
+    const auto it = std::lower_bound(v_.begin(), v_.end(), x);
+    if (it == v_.end() || *it != x) return false;
+    v_.erase(it);
+    return true;
+  }
+
+  bool Contains(value_type x) const {
+    return std::binary_search(v_.begin(), v_.end(), x);
+  }
+
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+  void clear() { v_.clear(); }
+
+  const_iterator begin() const { return v_.begin(); }
+  const_iterator end() const { return v_.end(); }
+
+  const std::vector<value_type>& values() const { return v_; }
+
+  // In-place union: *this |= other.
+  void UnionWith(const FlatSet& other) {
+    std::vector<value_type> out;
+    out.reserve(v_.size() + other.v_.size());
+    std::set_union(v_.begin(), v_.end(), other.v_.begin(), other.v_.end(),
+                   std::back_inserter(out));
+    v_ = std::move(out);
+  }
+
+  // In-place difference: *this -= other.
+  void DifferenceWith(const FlatSet& other) {
+    std::vector<value_type> out;
+    out.reserve(v_.size());
+    std::set_difference(v_.begin(), v_.end(), other.v_.begin(), other.v_.end(),
+                        std::back_inserter(out));
+    v_ = std::move(out);
+  }
+
+  // In-place intersection.
+  void IntersectWith(const FlatSet& other) {
+    std::vector<value_type> out;
+    std::set_intersection(v_.begin(), v_.end(), other.v_.begin(),
+                          other.v_.end(), std::back_inserter(out));
+    v_ = std::move(out);
+  }
+
+  static FlatSet Union(const FlatSet& a, const FlatSet& b) {
+    FlatSet r = a;
+    r.UnionWith(b);
+    return r;
+  }
+
+  static FlatSet Intersection(const FlatSet& a, const FlatSet& b) {
+    FlatSet r = a;
+    r.IntersectWith(b);
+    return r;
+  }
+
+  // |a & b| without materializing the intersection.
+  static std::size_t IntersectionSize(const FlatSet& a, const FlatSet& b) {
+    std::size_t n = 0;
+    auto i = a.v_.begin();
+    auto j = b.v_.begin();
+    while (i != a.v_.end() && j != b.v_.end()) {
+      if (*i < *j) {
+        ++i;
+      } else if (*j < *i) {
+        ++j;
+      } else {
+        ++n;
+        ++i;
+        ++j;
+      }
+    }
+    return n;
+  }
+
+  friend bool operator==(const FlatSet& a, const FlatSet& b) = default;
+
+ private:
+  void Normalize() {
+    std::sort(v_.begin(), v_.end());
+    v_.erase(std::unique(v_.begin(), v_.end()), v_.end());
+  }
+
+  std::vector<value_type> v_;
+};
+
+}  // namespace ranomaly::util

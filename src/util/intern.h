@@ -1,0 +1,54 @@
+// Interning pool: maps values of T to dense 32-bit ids and back.
+//
+// TAMP and Stemming both operate over millions of prefixes and AS paths;
+// interning turns set operations on them into operations on dense integer
+// ids (see flat_set.h), which is where most of the performance in the
+// paper's Table I comes from.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace ranomaly::util {
+
+template <typename T, typename Hash = std::hash<T>>
+class InternPool {
+ public:
+  using Id = std::uint32_t;
+
+  // Returns the id for `value`, inserting it if new.
+  Id Intern(const T& value) {
+    auto [it, inserted] = index_.try_emplace(value, static_cast<Id>(values_.size()));
+    if (inserted) values_.push_back(value);
+    return it->second;
+  }
+
+  // Returns the id for `value` or `kNotFound` if it was never interned.
+  static constexpr Id kNotFound = 0xffffffffu;
+  Id Find(const T& value) const {
+    const auto it = index_.find(value);
+    return it == index_.end() ? kNotFound : it->second;
+  }
+
+  bool Contains(const T& value) const { return index_.contains(value); }
+
+  const T& Lookup(Id id) const {
+    if (id >= values_.size()) throw std::out_of_range("InternPool::Lookup");
+    return values_[id];
+  }
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  // Iteration over all interned values, id order.
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+
+ private:
+  std::unordered_map<T, Id, Hash> index_;
+  std::vector<T> values_;
+};
+
+}  // namespace ranomaly::util

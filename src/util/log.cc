@@ -1,0 +1,56 @@
+#include "util/log.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace ranomaly::util {
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::mutex g_mu;
+LogSink g_sink;  // empty => default stderr sink
+LogLevel g_min_level = LogLevel::kWarn;
+
+}  // namespace
+
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  LogSink prev = std::move(g_sink);
+  g_sink = std::move(sink);
+  return prev;
+}
+
+void SetLogLevel(LogLevel min_level) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_min_level = min_level;
+}
+
+LogLevel GetLogLevel() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_min_level;
+}
+
+void Log(LogLevel level, const std::string& message) {
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (static_cast<int>(level) < static_cast<int>(g_min_level)) return;
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level, message);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  }
+}
+
+}  // namespace ranomaly::util

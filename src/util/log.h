@@ -1,0 +1,34 @@
+// Minimal leveled logger.
+//
+// Libraries log through this instead of writing to std::cerr directly so
+// tests can silence or capture output.  The default sink is stderr.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace ranomaly::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+// Replaces the global sink; returns the previous one.  Pass nullptr to
+// restore the default stderr sink.
+LogSink SetLogSink(LogSink sink);
+
+// Messages below this level are dropped before reaching the sink.
+void SetLogLevel(LogLevel min_level);
+LogLevel GetLogLevel();
+
+void Log(LogLevel level, const std::string& message);
+
+#define RANOMALY_LOG(level, msg)                                  \
+  do {                                                            \
+    if (static_cast<int>(level) >=                                \
+        static_cast<int>(::ranomaly::util::GetLogLevel())) {      \
+      ::ranomaly::util::Log((level), (msg));                      \
+    }                                                             \
+  } while (0)
+
+}  // namespace ranomaly::util

@@ -1,0 +1,96 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ranomaly::util {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBelow(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("NextBelow: bound must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("NextInRange: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(span == 0 ? Next() : NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p_true) { return NextDouble() < p_true; }
+
+double Rng::NextExponential(double mean) {
+  if (mean <= 0) throw std::invalid_argument("NextExponential: mean <= 0");
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    cdf_[i] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;  // exact, despite rounding
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Mass(std::size_t rank) const {
+  if (rank >= cdf_.size()) throw std::out_of_range("ZipfSampler::Mass");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace ranomaly::util

@@ -1,0 +1,69 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ranomaly::util {
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) throw std::invalid_argument("Percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("Percentile: p out of range");
+  std::sort(sample.begin(), sample.end());
+  const double idx = (p / 100.0) * static_cast<double>(sample.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+RateSeries::RateSeries(SimTime start, SimDuration bucket_width)
+    : start_(start), width_(bucket_width) {
+  if (bucket_width <= 0) {
+    throw std::invalid_argument("RateSeries: bucket_width must be > 0");
+  }
+}
+
+void RateSeries::Add(SimTime t, std::uint64_t count) {
+  if (t < start_) return;  // before the observation window
+  const std::size_t idx = static_cast<std::size_t>((t - start_) / width_);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  buckets_[idx] += count;
+}
+
+double RateSeries::MeanRate() const {
+  if (buckets_.empty()) return 0.0;
+  std::uint64_t total = 0;
+  for (auto b : buckets_) total += b;
+  return static_cast<double>(total) / static_cast<double>(buckets_.size());
+}
+
+std::vector<std::size_t> RateSeries::SpikesAbove(double factor) const {
+  std::vector<std::size_t> out;
+  const double threshold = MeanRate() * factor;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (static_cast<double>(buckets_[i]) > threshold) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace ranomaly::util

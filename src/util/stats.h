@@ -1,0 +1,64 @@
+// Streaming statistics and time-series binning.
+//
+// Used by the collector's event-rate view (paper Fig 8), the spike
+// detector, and the benchmark reporting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace ranomaly::util {
+
+// Running summary statistics (Welford's online algorithm for variance).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Exact percentile over a materialized sample (sorts a copy).
+double Percentile(std::vector<double> sample, double p);
+
+// Bins event timestamps into fixed-width buckets.  This is the data behind
+// the paper's Fig 8 "BGP event rate" plot: each bucket's count is the
+// number of events in that interval.
+class RateSeries {
+ public:
+  RateSeries(SimTime start, SimDuration bucket_width);
+
+  void Add(SimTime t, std::uint64_t count = 1);
+
+  // Bucket counts; index i covers [start + i*width, start + (i+1)*width).
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+  SimTime start() const { return start_; }
+  SimDuration bucket_width() const { return width_; }
+
+  // Mean bucket count (the "grass" level of Fig 8).
+  double MeanRate() const;
+
+  // Indices of buckets exceeding `factor` times the series mean; these are
+  // the spikes the paper feeds to Stemming.
+  std::vector<std::size_t> SpikesAbove(double factor) const;
+
+ private:
+  SimTime start_;
+  SimDuration width_;
+  std::vector<std::uint64_t> buckets_;
+};
+
+}  // namespace ranomaly::util

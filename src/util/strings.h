@@ -1,0 +1,34 @@
+// Small string helpers shared across the project.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ranomaly::util {
+
+// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+// Splits on runs of whitespace; empty fields are dropped.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+
+// Removes leading/trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Parses a non-negative decimal integer; returns false on any non-digit or
+// overflow.  Used by the prefix/config parsers, which must reject garbage
+// rather than silently truncate.
+bool ParseU32(std::string_view s, std::uint32_t& out);
+bool ParseU64(std::string_view s, std::uint64_t& out);
+
+// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins items with a separator; Formatter maps an item to something
+// streamable into std::string via operator+=.
+std::string JoinU32(const std::vector<std::uint32_t>& items, std::string_view sep);
+
+}  // namespace ranomaly::util

@@ -1,0 +1,38 @@
+#include "util/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ranomaly::util {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  const double secs = ToSeconds(d);
+  if (secs < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", secs * 1e3);
+  } else if (secs < 600.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f sec", secs);
+  } else if (secs < 2.0 * 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", secs / 60.0);
+  } else if (secs < 48.0 * 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f hrs", secs / 3600.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f days", secs / 86400.0);
+  }
+  return buf;
+}
+
+std::string FormatTime(SimTime t) {
+  const std::int64_t total_ms = t / kMillisecond;
+  const std::int64_t ms = total_ms % 1000;
+  const std::int64_t s = (total_ms / 1000) % 60;
+  const std::int64_t m = (total_ms / 60000) % 60;
+  const std::int64_t h = total_ms / 3600000;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[+%02lld:%02lld:%02lld.%03lld]",
+                static_cast<long long>(h), static_cast<long long>(m),
+                static_cast<long long>(s), static_cast<long long>(ms));
+  return buf;
+}
+
+}  // namespace ranomaly::util

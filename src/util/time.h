@@ -1,0 +1,43 @@
+// Simulated-time primitives.
+//
+// All libraries in this project are driven by *simulated* time: nothing in
+// src/ ever reads a wall clock, so every test, example and benchmark is
+// bit-for-bit reproducible.  Resolution is one microsecond, which is fine
+// enough to express the 10 us MED-oscillation dynamics of the paper's
+// Section IV-F.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ranomaly::util {
+
+// Microseconds since an arbitrary simulation epoch.
+using SimTime = std::int64_t;
+// Difference between two SimTime values, in microseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+inline constexpr SimDuration kDay = 24 * kHour;
+
+// Converts to fractional seconds (for reporting only).
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr SimDuration FromSeconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+// Renders a duration in a human unit ("423 sec", "36 min", "7.6 hrs"),
+// matching the style of the paper's Table I "Timerange" column.
+std::string FormatDuration(SimDuration d);
+
+// Renders a simulation timestamp as "[+HH:MM:SS.mmm]" from the epoch.
+std::string FormatTime(SimTime t);
+
+}  // namespace ranomaly::util

@@ -1,0 +1,427 @@
+#include "workload/berkeley.h"
+
+#include <stdexcept>
+
+#include "net/config.h"
+#include "util/rng.h"
+
+namespace ranomaly::workload {
+namespace {
+
+using bgp::AsNumber;
+using bgp::Community;
+using bgp::Ipv4Addr;
+using bgp::Prefix;
+using net::LinkSpec;
+using net::PeerRelation;
+using net::RouterSpec;
+
+constexpr AsNumber kBerkeleyAs = 25;
+constexpr AsNumber kCalrenAs = 11423;
+constexpr AsNumber kCalren2As = 11422;
+constexpr AsNumber kCenicAs = 2152;
+constexpr AsNumber kQwestAs = 209;
+constexpr AsNumber kAbileneAs = 11537;
+constexpr AsNumber kLosNettosAs = 226;
+constexpr AsNumber kKddiAs = 2516;
+constexpr AsNumber kAttAs = 7018;
+constexpr AsNumber kPchAs = 10927;
+
+// The tier-1s behind QWest that the paper's Fig 4 paths traverse.
+struct Tier1Info {
+  AsNumber asn;
+  const char* name;
+  Ipv4Addr address;
+};
+const Tier1Info kTier1s[] = {
+    {701, "UUNET", Ipv4Addr(137, 39, 0, 1)},
+    {1239, "Sprint", Ipv4Addr(144, 228, 0, 1)},
+    {7018, "ATT", Ipv4Addr(12, 0, 0, 1)},
+    {1299, "Telia", Ipv4Addr(213, 248, 0, 1)},
+    {3356, "Level3", Ipv4Addr(4, 68, 0, 1)},
+};
+
+// The commodity split: CalREN intends an even split onto the two rate
+// limiters, but the SPLIT-A prefix list covers first octets 1-207 and
+// SPLIT-B only 208-223 — the IV-A misconfiguration (~93 % / ~7 %).
+bool InSplitA(const Prefix& p) { return (p.addr().value() >> 24) <= 207; }
+
+net::PrefixList SplitAList() {
+  net::PrefixList list;
+  list.Add(net::PrefixRule{Prefix(Ipv4Addr(0, 0, 0, 0), 1), 1, 32, true});
+  list.Add(net::PrefixRule{Prefix(Ipv4Addr(128, 0, 0, 0), 2), 2, 32, true});
+  list.Add(net::PrefixRule{Prefix(Ipv4Addr(192, 0, 0, 0), 4), 4, 32, true});
+  return list;
+}
+
+// Route-map helpers.
+net::RouteMap PermitCommunity(std::string name, Community match) {
+  net::RouteMap map(std::move(name));
+  net::RouteMapClause clause;
+  clause.match_community = match;
+  map.AddClause(std::move(clause));
+  return map;
+}
+
+net::RouteMap TagAll(std::string name, std::vector<Community> tags) {
+  net::RouteMap map(std::move(name));
+  net::RouteMapClause clause;
+  clause.set_communities = std::move(tags);
+  map.AddClause(std::move(clause));
+  return map;
+}
+
+// CalREN core import from QWest: commodity tag + split tag by prefix list.
+net::RouteMap QwestImportMap(std::string name) {
+  net::RouteMap map(std::move(name));
+  net::RouteMapClause a;
+  a.match_prefix_list = SplitAList();
+  a.set_communities = {kCommodityTag, kSplitATag};
+  map.AddClause(std::move(a));
+  net::RouteMapClause b;
+  b.set_communities = {kCommodityTag, kSplitBTag};
+  map.AddClause(std::move(b));
+  return map;
+}
+
+const char* kR13Config = R"(! 128.32.1.3 - commodity edge router, rate-limited paths
+router bgp 25
+ neighbor 128.32.0.66 remote-as 11423
+ neighbor 128.32.0.66 route-map CALREN-COMMODITY-IN in
+ neighbor 128.32.0.70 remote-as 11423
+ neighbor 128.32.0.70 route-map CALREN-COMMODITY-IN in
+!
+ip community-list ISP permit 11423:65350
+!
+route-map CALREN-COMMODITY-IN permit 10
+ match community ISP
+ set local-preference 80
+)";
+
+const char* kR1200Config = R"(! 128.32.1.200 - unlimited edge router
+router bgp 25
+ neighbor 128.32.0.90 remote-as 11423
+ neighbor 128.32.0.90 route-map CALREN-ALL-IN in
+!
+ip community-list ISP permit 11423:65350
+!
+route-map CALREN-ALL-IN permit 10
+ match community ISP
+ set local-preference 70
+route-map CALREN-ALL-IN permit 20
+ set local-preference 100
+)";
+
+Prefix RandomPrefix(util::Rng& rng) {
+  const auto a = static_cast<std::uint8_t>(1 + rng.NextBelow(223));
+  const auto b = static_cast<std::uint8_t>(rng.NextBelow(256));
+  const auto c = static_cast<std::uint8_t>(rng.NextBelow(256));
+  return Prefix(Ipv4Addr(a, b, c, 0), 24);
+}
+
+}  // namespace
+
+void BerkeleyNet::SeedRoutes(net::Simulator& sim) const {
+  for (const Origination& o : originations) {
+    sim.Originate(o.router, o.prefix, o.attrs);
+  }
+}
+
+std::vector<std::pair<AsNumber, std::string>> BerkeleyNet::AsNames() const {
+  std::vector<std::pair<AsNumber, std::string>> names = {
+      {kBerkeleyAs, "Berkeley"}, {kCalrenAs, "CalREN"},
+      {kCalren2As, "CalREN-2"},  {kCenicAs, "CENIC"},
+      {kQwestAs, "QWest"},       {kAbileneAs, "Abilene"},
+      {kLosNettosAs, "LosNettos"}, {kKddiAs, "KDDI"},
+      {kAttAs, "ATT"},           {kPchAs, "PCH"},
+  };
+  for (const auto& t : kTier1s) names.emplace_back(t.asn, t.name);
+  return names;
+}
+
+BerkeleyNet BuildBerkeley(const BerkeleyOptions& options) {
+  BerkeleyNet net;
+  util::Rng rng(options.seed);
+  net::Topology& topo = net.topology;
+
+  auto add_router = [&](const char* name, Ipv4Addr addr, AsNumber asn) {
+    return topo.AddRouter(RouterSpec{name, addr, asn, 0, false, {}});
+  };
+
+  // --- routers ----------------------------------------------------------
+  net.r13 = add_router("128.32.1.3", Ipv4Addr(128, 32, 1, 3), kBerkeleyAs);
+  net.r1200 = add_router("128.32.1.200", Ipv4Addr(128, 32, 1, 200), kBerkeleyAs);
+  net.r1222 = add_router("128.32.1.222", Ipv4Addr(128, 32, 1, 222), kBerkeleyAs);
+  net.r110 = add_router("128.32.1.10", Ipv4Addr(128, 32, 1, 10), kBerkeleyAs);
+  net.monitored = {net.r13, net.r1200, net.r1222, net.r110};
+
+  net.c66 = add_router("128.32.0.66", Ipv4Addr(128, 32, 0, 66), kCalrenAs);
+  net.c70 = add_router("128.32.0.70", Ipv4Addr(128, 32, 0, 70), kCalrenAs);
+  net.c90 = add_router("128.32.0.90", Ipv4Addr(128, 32, 0, 90), kCalrenAs);
+  net.ccore = add_router("calren-core", Ipv4Addr(137, 164, 0, 1), kCalrenAs);
+
+  net.c11422 = add_router("calren2", Ipv4Addr(137, 164, 1, 1), kCalren2As);
+  net.cenic = add_router("cenic", Ipv4Addr(137, 164, 2, 1), kCenicAs);
+  net.qwest = add_router("qwest", Ipv4Addr(205, 171, 0, 1), kQwestAs);
+  net.abilene = add_router("abilene", Ipv4Addr(198, 32, 8, 1), kAbileneAs);
+  net.losnettos = add_router("losnettos", Ipv4Addr(198, 32, 146, 1), kLosNettosAs);
+  net.kddi = add_router("kddi", Ipv4Addr(203, 181, 248, 1), kKddiAs);
+  net.pch = add_router("pch", Ipv4Addr(198, 32, 176, 1), kPchAs);
+  if (options.with_backdoor) {
+    net.att_backdoor =
+        add_router("att-backdoor", Ipv4Addr(169, 229, 0, 157), kAttAs);
+  }
+  for (const auto& t : kTier1s) {
+    net.tier1s.push_back(add_router(t.name, t.address, t.asn));
+  }
+
+  // --- iBGP meshes --------------------------------------------------------
+  auto ibgp = [&](net::RouterIndex a, net::RouterIndex b) {
+    LinkSpec l;
+    l.a = a;
+    l.b = b;
+    l.b_is_as_seen_by_a = PeerRelation::kInternal;
+    l.delay = util::kMillisecond;
+    return topo.AddLink(l);
+  };
+  const net::RouterIndex berkeley_routers[] = {net.r13, net.r1200, net.r1222,
+                                               net.r110};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      ibgp(berkeley_routers[i], berkeley_routers[j]);
+    }
+  }
+  const net::RouterIndex calren_routers[] = {net.c66, net.c70, net.c90,
+                                             net.ccore};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      ibgp(calren_routers[i], calren_routers[j]);
+    }
+  }
+
+  // --- Berkeley <-> CalREN eBGP, policies compiled from IOS configs ------
+  net.r13_config_text = kR13Config;
+  net.r1200_config_text = kR1200Config;
+  net::ConfigError error;
+  const auto r13_config = net::RouterConfig::Parse(kR13Config, &error);
+  if (!r13_config) {
+    throw std::logic_error("BuildBerkeley: r13 config: " + error.message);
+  }
+  const auto r1200_config = net::RouterConfig::Parse(kR1200Config, &error);
+  if (!r1200_config) {
+    throw std::logic_error("BuildBerkeley: r1200 config: " + error.message);
+  }
+
+  auto ebgp = [&](net::RouterIndex a, net::RouterIndex b,
+                  PeerRelation b_to_a, net::NeighborPolicy a_policy = {},
+                  net::NeighborPolicy b_policy = {}) {
+    LinkSpec l;
+    l.a = a;
+    l.b = b;
+    l.b_is_as_seen_by_a = b_to_a;
+    l.delay = 5 * util::kMillisecond;
+    l.a_policy = std::move(a_policy);
+    l.b_policy = std::move(b_policy);
+    return topo.AddLink(l);
+  };
+
+  {  // r13 -- c66 / c70: import from parsed config; CalREN exports split.
+    net::NeighborPolicy r13_from_c66 =
+        r13_config->CompileNeighborPolicy(Ipv4Addr(128, 32, 0, 66));
+    net::NeighborPolicy c66_to_r13;
+    c66_to_r13.export_map = PermitCommunity("TO-BERKELEY-A", kSplitATag);
+    net.link_r13_c66 = ebgp(net.r13, net.c66, PeerRelation::kProvider,
+                            std::move(r13_from_c66), std::move(c66_to_r13));
+
+    net::NeighborPolicy r13_from_c70 =
+        r13_config->CompileNeighborPolicy(Ipv4Addr(128, 32, 0, 70));
+    net::NeighborPolicy c70_to_r13;
+    c70_to_r13.export_map = PermitCommunity("TO-BERKELEY-B", kSplitBTag);
+    net.link_r13_c70 = ebgp(net.r13, net.c70, PeerRelation::kProvider,
+                            std::move(r13_from_c70), std::move(c70_to_r13));
+  }
+  {  // r1200 -- c90: everything, LP 70/100 from the parsed config.
+    net::NeighborPolicy r1200_from_c90 =
+        r1200_config->CompileNeighborPolicy(Ipv4Addr(128, 32, 0, 90));
+    net.link_r1200_c90 = ebgp(net.r1200, net.c90, PeerRelation::kProvider,
+                              std::move(r1200_from_c90), {});
+  }
+  {  // r110 -- c66: commodity only, LP 75.
+    net::NeighborPolicy r110_from_c66;
+    net::RouteMap in("CALREN-R110-IN");
+    net::RouteMapClause c;
+    c.match_community = kCommodityTag;
+    c.set_local_pref = 75;
+    in.AddClause(std::move(c));
+    r110_from_c66.import_map = std::move(in);
+    net::NeighborPolicy c66_to_r110;
+    c66_to_r110.export_map = PermitCommunity("TO-R110", kSplitATag);
+    ebgp(net.r110, net.c66, PeerRelation::kProvider, std::move(r110_from_c66),
+         std::move(c66_to_r110));
+  }
+  if (options.with_backdoor) {  // r1222 -- AT&T backdoor (IV-B)
+    net.link_r1222_att =
+        ebgp(net.r1222, net.att_backdoor, PeerRelation::kPeer, {}, {});
+  }
+
+  // --- CalREN upstream ----------------------------------------------------
+  {  // ccore -- qwest (provider): tag commodity + split at import.
+    net::NeighborPolicy ccore_from_qwest;
+    ccore_from_qwest.import_map = QwestImportMap("QWEST-IN");
+    ebgp(net.ccore, net.qwest, PeerRelation::kProvider,
+         std::move(ccore_from_qwest), {});
+  }
+  {  // ccore -- abilene (peer): tag as member/I2 routes.
+    net::NeighborPolicy ccore_from_abilene;
+    ccore_from_abilene.import_map = TagAll("ABILENE-IN", {kMemberTag});
+    ebgp(net.ccore, net.abilene, PeerRelation::kPeer,
+         std::move(ccore_from_abilene), {});
+  }
+  {  // ccore -- c11422 (customer/sibling AS): its QWest transit routes are
+     // a backup (LOCAL_PREF 70, below the direct QWest session's 80), but
+     // routes 11422 originates or hears from its own customers — which is
+     // exactly what the PCH leak looks like — are preferred at 110.  This
+     // is the "CalREN's local preferences" that let the IV-D leak win.
+    net::RouteMap in("CALREN2-IN");
+    net::RouteMapClause transit;
+    transit.match_community = kCommodityTag;
+    transit.set_local_pref = 70;
+    in.AddClause(std::move(transit));
+    net::RouteMapClause own;
+    own.set_local_pref = 110;
+    own.set_communities = {kMemberTag};
+    in.AddClause(std::move(own));
+    net::NeighborPolicy ccore_from_c11422;
+    ccore_from_c11422.import_map = std::move(in);
+    ebgp(net.ccore, net.c11422, PeerRelation::kCustomer,
+         std::move(ccore_from_c11422), {});
+  }
+  {  // ccore -- cenic (customer): member routes (Los Nettos, KDDI, members).
+    net::NeighborPolicy ccore_from_cenic;
+    ccore_from_cenic.import_map = TagAll("CENIC-IN", {kMemberTag});
+    ebgp(net.ccore, net.cenic, PeerRelation::kCustomer,
+         std::move(ccore_from_cenic), {});
+  }
+  {  // c11422 -- qwest (provider): same commodity tagging as ccore.
+    net::NeighborPolicy c11422_from_qwest;
+    c11422_from_qwest.import_map = QwestImportMap("QWEST-IN-11422");
+    ebgp(net.c11422, net.qwest, PeerRelation::kProvider,
+         std::move(c11422_from_qwest), {});
+  }
+  // c11422 -- pch: misconfigured as a *customer* session (the IV-D root
+  // cause): leaked routes get customer LOCAL_PREF and are re-exported
+  // upstream.
+  net.link_c11422_pch =
+      ebgp(net.c11422, net.pch, PeerRelation::kCustomer, {}, {});
+
+  // --- CENIC members ------------------------------------------------------
+  {  // cenic -- losnettos: tagged 2152:65297 (correct per the paper).
+    net::NeighborPolicy cenic_from_ln;
+    cenic_from_ln.import_map = TagAll("LOSNETTOS-IN", {kLosNettosTag});
+    ebgp(net.cenic, net.losnettos, PeerRelation::kCustomer,
+         std::move(cenic_from_ln), {});
+  }
+  {  // cenic -- kddi: mis-tagged with 2152:65297 when the option is on.
+    net::NeighborPolicy cenic_from_kddi;
+    if (options.mistag_kddi) {
+      cenic_from_kddi.import_map = TagAll("KDDI-IN", {kLosNettosTag});
+    }
+    ebgp(net.cenic, net.kddi, PeerRelation::kCustomer,
+         std::move(cenic_from_kddi), {});
+  }
+
+  // --- tier-1s behind QWest ----------------------------------------------
+  for (const net::RouterIndex t1 : net.tier1s) {
+    ebgp(net.qwest, t1, PeerRelation::kPeer, {}, {});
+  }
+
+  // --- prefixes & originations ---------------------------------------------
+  auto originate = [&](net::RouterIndex router, const Prefix& prefix,
+                       bgp::AsPath seed_path = {},
+                       std::vector<Community> tags = {}) {
+    BerkeleyNet::Origination o;
+    o.router = router;
+    o.prefix = prefix;
+    o.attrs.as_path = std::move(seed_path);
+    for (const Community c : tags) o.attrs.communities.Add(c);
+    net.originations.push_back(std::move(o));
+  };
+
+  // Commodity prefixes: originated behind the tier-1s with stub origins,
+  // giving "209 <tier1> <stub>" paths at CalREN.
+  for (std::size_t i = 0; i < options.commodity_prefixes; ++i) {
+    const Prefix p = RandomPrefix(rng);
+    const std::size_t t1 = i % net.tier1s.size();
+    const auto stub_as = static_cast<AsNumber>(20000 + i % 500);
+    originate(net.tier1s[t1], p, bgp::AsPath{stub_as});
+    if (InSplitA(p)) {
+      net.commodity_a.push_back(p);
+    } else {
+      net.commodity_b.push_back(p);
+    }
+  }
+  // Internet2 prefixes behind Abilene (university stubs).
+  for (std::size_t i = 0; i < options.internet2_prefixes; ++i) {
+    const Prefix p(Ipv4Addr(192, 12, static_cast<std::uint8_t>(i), 0), 24);
+    originate(net.abilene, p,
+              bgp::AsPath{static_cast<AsNumber>(30000 + i % 64)});
+    net.internet2.push_back(p);
+  }
+  // CalREN member prefixes behind CENIC (untagged members).
+  for (std::size_t i = 0; i < options.member_prefixes; ++i) {
+    const Prefix p(Ipv4Addr(137, 110, static_cast<std::uint8_t>(i), 0), 24);
+    originate(net.cenic, p,
+              bgp::AsPath{static_cast<AsNumber>(31000 + i % 64)});
+    net.members.push_back(p);
+  }
+  // Los Nettos and KDDI prefixes (the 2152:65297 population, IV-C).
+  for (std::size_t i = 0; i < options.losnettos_prefixes; ++i) {
+    const Prefix p(Ipv4Addr(198, 4, static_cast<std::uint8_t>(i), 0), 24);
+    originate(net.losnettos, p);
+    net.losnettos_prefixes.push_back(p);
+  }
+  for (std::size_t i = 0; i < options.kddi_prefixes; ++i) {
+    const Prefix p(Ipv4Addr(203, 232, static_cast<std::uint8_t>(i), 0), 24);
+    originate(net.kddi, p);
+    net.kddi_prefixes.push_back(p);
+  }
+  // The two backdoor prefixes (IV-B).
+  if (options.with_backdoor) {
+    net.backdoor_prefixes = {Prefix(Ipv4Addr(12, 100, 1, 0), 24),
+                             Prefix(Ipv4Addr(12, 100, 2, 0), 24)};
+    for (const Prefix& p : net.backdoor_prefixes) {
+      originate(net.att_backdoor, p);
+    }
+  }
+  // PCH's own legitimate prefix.
+  originate(net.pch, Prefix(Ipv4Addr(198, 32, 176, 0), 24));
+
+  // Leakable subset of split-A commodity prefixes (IV-D).
+  const std::size_t leak_n =
+      std::min(options.leak_prefixes, net.commodity_a.size());
+  net.leakable.assign(net.commodity_a.begin(),
+                      net.commodity_a.begin() +
+                          static_cast<std::ptrdiff_t>(leak_n));
+
+  return net;
+}
+
+void InjectRouteLeak(net::Simulator& sim, const BerkeleyNet& net,
+                     util::SimTime first_at, util::SimDuration leak_duration,
+                     util::SimDuration gap, std::size_t cycles) {
+  // The leaked path the paper shows: PCH heard these prefixes via
+  // {1909 195 2152 3356} and passes them on.
+  const bgp::AsPath leak_path{1909, 195, 2152, 3356};
+  util::SimTime t = first_at;
+  for (std::size_t c = 0; c < cycles; ++c) {
+    for (const Prefix& p : net.leakable) {
+      bgp::PathAttributes attrs;
+      attrs.as_path = leak_path;
+      sim.ScheduleOriginate(t, net.pch, p, attrs);
+      sim.ScheduleWithdrawOrigin(t + leak_duration, net.pch, p);
+    }
+    t += leak_duration + gap;
+  }
+}
+
+}  // namespace ranomaly::workload

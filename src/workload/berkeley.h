@@ -1,0 +1,133 @@
+// The Berkeley scenario — paper Section II & case studies IV-A..IV-D.
+//
+// A faithful model of the U.C. Berkeley site of Aug-Dec 2003:
+//
+//   * four BGP edge routers (128.32.1.3, .200, .222, .10) in AS25 with an
+//     iBGP full mesh, monitored by the collector;
+//   * upstream CalREN (AS11423) with the three Berkeley-facing nexthops
+//     128.32.0.66 / .70 (rate-limited commodity paths to 128.32.1.3) and
+//     128.32.0.90 (the unlimited path to 128.32.1.200), plus a core
+//     router peering with QWest (AS209) and Abilene (AS11537);
+//   * CalREN-2 (AS11422, the mid-consolidation second AS) with its own
+//     QWest session and a peering to Packet Clearing House (AS10927) that
+//     is misconfigured as a customer session — the root cause that lets
+//     the IV-D route leak in;
+//   * CENIC (AS2152) with Los Nettos (AS226) and KDDI (AS2516) behind it,
+//     tagging 2152:65297 — correctly on Los Nettos routes and, when the
+//     mis-tag option is on, wrongly on KDDI routes too (IV-C);
+//   * commodity prefixes reached through tier-1s behind QWest
+//     (701/1239/7018/1299/3356), split onto the two rate limiters by
+//     CalREN communities 11423:65401/65402 — with the skewed split of
+//     IV-A baked into the split prefix-lists;
+//   * an AT&T (AS7018) backdoor session on 128.32.1.222 via nexthop
+//     169.229.0.157 carrying two prefixes (IV-B);
+//   * the community policies of Section III-D.1 on 128.32.1.3 and
+//     128.32.1.200, built by *parsing their IOS-style configs* through
+//     net::RouterConfig.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/prefix.h"
+#include "net/simulator.h"
+#include "net/topology.h"
+#include "util/time.h"
+
+namespace ranomaly::workload {
+
+// The CalREN/CENIC community plan (values from the paper).
+inline constexpr bgp::Community kCommodityTag{11423, 65350};
+inline constexpr bgp::Community kMemberTag{11423, 65300};
+inline constexpr bgp::Community kSplitATag{11423, 65401};
+inline constexpr bgp::Community kSplitBTag{11423, 65402};
+inline constexpr bgp::Community kLosNettosTag{2152, 65297};
+
+struct BerkeleyOptions {
+  std::size_t commodity_prefixes = 400;
+  std::size_t internet2_prefixes = 30;
+  std::size_t member_prefixes = 30;
+  std::size_t losnettos_prefixes = 16;
+  std::size_t kddi_prefixes = 34;  // ~32%/68% of the 2152:65297 tag (IV-C)
+  // IV-C: when true, CENIC wrongly tags KDDI routes with 2152:65297.
+  bool mistag_kddi = true;
+  // IV-B: the AT&T backdoor on 128.32.1.222.
+  bool with_backdoor = true;
+  // IV-D: how many commodity prefixes PCH leaks when injected.
+  std::size_t leak_prefixes = 100;
+  std::uint64_t seed = 7;
+};
+
+struct BerkeleyNet {
+  net::Topology topology;
+
+  // Berkeley AS25 edge routers (the monitored iBGP peers).
+  net::RouterIndex r13 = 0;    // 128.32.1.3, commodity / rate-limited
+  net::RouterIndex r1200 = 0;  // 128.32.1.200, everything / unlimited
+  net::RouterIndex r1222 = 0;  // 128.32.1.222, backdoor to AT&T
+  net::RouterIndex r110 = 0;   // 128.32.1.10, fourth edge router
+  std::vector<net::RouterIndex> monitored;
+
+  // CalREN AS11423.
+  net::RouterIndex c66 = 0;    // 128.32.0.66 (rate limiter A)
+  net::RouterIndex c70 = 0;    // 128.32.0.70 (rate limiter B)
+  net::RouterIndex c90 = 0;    // 128.32.0.90 (unlimited)
+  net::RouterIndex ccore = 0;
+
+  net::RouterIndex c11422 = 0;  // CalREN-2 AS11422
+  net::RouterIndex cenic = 0;   // AS2152
+  net::RouterIndex qwest = 0;   // AS209
+  net::RouterIndex abilene = 0; // AS11537
+  net::RouterIndex losnettos = 0;  // AS226
+  net::RouterIndex kddi = 0;       // AS2516
+  net::RouterIndex att_backdoor = 0;  // AS7018, address 169.229.0.157
+  net::RouterIndex pch = 0;           // AS10927, the leaking peer
+  std::vector<net::RouterIndex> tier1s;  // behind QWest
+
+  // Links the injectors and tests need.
+  net::LinkIndex link_r13_c66 = 0;
+  net::LinkIndex link_r13_c70 = 0;
+  net::LinkIndex link_r1200_c90 = 0;
+  net::LinkIndex link_r1222_att = 0;
+  net::LinkIndex link_c11422_pch = 0;
+
+  // Prefix sets.
+  std::vector<bgp::Prefix> commodity_a;  // split onto 128.32.0.66
+  std::vector<bgp::Prefix> commodity_b;  // split onto 128.32.0.70
+  std::vector<bgp::Prefix> internet2;
+  std::vector<bgp::Prefix> members;
+  std::vector<bgp::Prefix> losnettos_prefixes;
+  std::vector<bgp::Prefix> kddi_prefixes;
+  std::vector<bgp::Prefix> backdoor_prefixes;
+  std::vector<bgp::Prefix> leakable;  // subset of commodity_a PCH can leak
+
+  // Per-prefix origination plan: (router, prefix, seed attributes).
+  struct Origination {
+    net::RouterIndex router = 0;
+    bgp::Prefix prefix;
+    bgp::PathAttributes attrs;
+  };
+  std::vector<Origination> originations;
+
+  // IOS-style configuration texts for the D.1 policy correlator.
+  std::string r13_config_text;
+  std::string r1200_config_text;
+
+  // Installs every origination into a simulator (call before Start()).
+  void SeedRoutes(net::Simulator& sim) const;
+
+  // Friendly AS names for TAMP pictures ("QWest (209)" etc.).
+  std::vector<std::pair<bgp::AsNumber, std::string>> AsNames() const;
+};
+
+BerkeleyNet BuildBerkeley(const BerkeleyOptions& options = {});
+
+// IV-D injector: PCH announces `net.leakable` with the long
+// {1909 195 2152 3356} path, holds for `leak_duration`, withdraws, and
+// repeats `cycles` times with `gap` between cycles.
+void InjectRouteLeak(net::Simulator& sim, const BerkeleyNet& net,
+                     util::SimTime first_at, util::SimDuration leak_duration,
+                     util::SimDuration gap, std::size_t cycles);
+
+}  // namespace ranomaly::workload

@@ -1,0 +1,166 @@
+#include "workload/eventgen.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ranomaly::workload {
+
+EventStreamGenerator::EventStreamGenerator(const SyntheticInternet& internet,
+                                           std::uint64_t seed)
+    : internet_(internet), rng_(seed) {
+  routes_by_peer_.resize(internet_.peers().size());
+  std::unordered_map<std::uint32_t, std::size_t> peer_index;
+  for (std::size_t p = 0; p < internet_.peers().size(); ++p) {
+    peer_index[internet_.peers()[p].value()] = p;
+  }
+  const auto& routes = internet_.routes();
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    routes_by_peer_[peer_index.at(routes[i].peer.value())].push_back(i);
+  }
+}
+
+void EventStreamGenerator::Announce(util::SimTime t,
+                                    const collector::RouteEntry& route) {
+  bgp::Event e;
+  e.time = t;
+  e.peer = route.peer;
+  e.type = bgp::EventType::kAnnounce;
+  e.prefix = route.prefix;
+  e.attrs = route.attrs;
+  events_.push_back(std::move(e));
+}
+
+void EventStreamGenerator::Withdraw(util::SimTime t,
+                                    const collector::RouteEntry& route) {
+  bgp::Event e;
+  e.time = t;
+  e.peer = route.peer;
+  e.type = bgp::EventType::kWithdraw;
+  e.prefix = route.prefix;
+  e.attrs = route.attrs;  // augmented old attributes
+  events_.push_back(std::move(e));
+}
+
+void EventStreamGenerator::SessionReset(std::size_t peer_index,
+                                        util::SimTime at,
+                                        util::SimDuration down_for,
+                                        util::SimDuration convergence_spread,
+                                        double exploration_probability) {
+  const auto& route_ids = routes_by_peer_.at(peer_index);
+  const auto& routes = internet_.routes();
+  const auto& opts = internet_.options();
+  for (const std::size_t id : route_ids) {
+    const collector::RouteEntry& route = routes[id];
+    const util::SimTime base =
+        at + static_cast<util::SimDuration>(
+                 rng_.NextBelow(static_cast<std::uint64_t>(
+                     std::max<util::SimDuration>(1, convergence_spread))));
+    // Path exploration: before the final withdrawal the router may try an
+    // alternate (longer) path it briefly believes in.
+    if (rng_.NextBool(exploration_probability)) {
+      collector::RouteEntry explore = route;
+      const std::size_t alt_t1 = rng_.NextBelow(opts.tier1_count);
+      explore.attrs.as_path =
+          internet_.PathVia(alt_t1, alt_t1 + 1, id % opts.origin_as_count)
+              .Prepend(opts.local_as, 1);  // longer path
+      Announce(base, explore);
+      Withdraw(base + util::kSecond / 2, explore);
+    } else {
+      Withdraw(base, route);
+    }
+    // Re-announcement after the session re-establishes.
+    const util::SimTime back =
+        at + down_for +
+        static_cast<util::SimDuration>(rng_.NextBelow(
+            static_cast<std::uint64_t>(
+                std::max<util::SimDuration>(1, convergence_spread))));
+    Announce(back, route);
+  }
+}
+
+void EventStreamGenerator::Tier1Failover(std::size_t tier1_index,
+                                         std::size_t alternate_index,
+                                         util::SimTime at,
+                                         util::SimDuration convergence_spread) {
+  const auto& routes = internet_.routes();
+  const auto& opts = internet_.options();
+  const bgp::AsNumber failed =
+      internet_.PathVia(tier1_index, 0, 0).asns().at(1);
+  for (std::size_t id = 0; id < routes.size(); ++id) {
+    const collector::RouteEntry& route = routes[id];
+    const auto& asns = route.attrs.as_path.asns();
+    if (asns.size() < 2 || asns[1] != failed) continue;
+    const util::SimTime base =
+        at + static_cast<util::SimDuration>(rng_.NextBelow(
+                 static_cast<std::uint64_t>(
+                     std::max<util::SimDuration>(1, convergence_spread))));
+    Withdraw(base, route);
+    collector::RouteEntry alt = route;
+    alt.attrs.as_path = internet_.PathVia(
+        alternate_index, id % opts.transit_count, id % opts.origin_as_count);
+    Announce(base + util::kSecond, alt);
+  }
+}
+
+void EventStreamGenerator::Churn(util::SimTime begin, util::SimTime end,
+                                 std::size_t count) {
+  if (end <= begin) throw std::invalid_argument("Churn: empty interval");
+  const auto& routes = internet_.routes();
+  if (routes.empty()) return;
+  for (std::size_t i = 0; i < count / 2; ++i) {
+    const std::size_t id = rng_.NextBelow(routes.size());
+    const util::SimTime t =
+        begin + static_cast<util::SimDuration>(
+                    rng_.NextBelow(static_cast<std::uint64_t>(end - begin)));
+    Withdraw(t, routes[id]);
+    Announce(t + 30 * util::kSecond, routes[id]);
+  }
+}
+
+void EventStreamGenerator::PrefixOscillation(std::size_t prefix_index,
+                                             util::SimTime begin,
+                                             util::SimTime end,
+                                             util::SimDuration period) {
+  if (period <= 0) throw std::invalid_argument("PrefixOscillation: period");
+  // Every monitored peer's route flaps: one upstream instability is seen
+  // by the whole mesh (the Section IV-E shape, where each flap produced
+  // ~200 events across the 67 reflectors).
+  const auto& routes = internet_.routes();
+  const bgp::Prefix prefix = internet_.prefixes().at(prefix_index);
+  std::vector<const collector::RouteEntry*> flapping;
+  for (const auto& r : routes) {
+    if (r.prefix == prefix) flapping.push_back(&r);
+  }
+  if (flapping.empty()) return;
+  for (util::SimTime t = begin; t + period / 2 < end; t += period) {
+    for (const auto* route : flapping) {
+      Withdraw(t, *route);
+      Announce(t + period / 2, *route);
+    }
+  }
+}
+
+const collector::RouteEntry* EventStreamGenerator::RouteOf(
+    std::size_t peer_index, std::size_t prefix_index) const {
+  const bgp::Prefix prefix = internet_.prefixes().at(prefix_index);
+  for (const std::size_t id : routes_by_peer_.at(peer_index)) {
+    if (internet_.routes()[id].prefix == prefix) {
+      return &internet_.routes()[id];
+    }
+  }
+  return nullptr;
+}
+
+collector::EventStream EventStreamGenerator::Take() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const bgp::Event& a, const bgp::Event& b) {
+                     return a.time < b.time;
+                   });
+  collector::EventStream stream;
+  for (auto& e : events_) stream.Append(std::move(e));
+  events_.clear();
+  return stream;
+}
+
+}  // namespace ranomaly::workload

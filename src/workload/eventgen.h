@@ -1,0 +1,70 @@
+// Synthetic BGP event streams over a SyntheticInternet route table.
+//
+// These generators produce the event mixes of the paper's Table I and
+// Fig 8 at full scale: session-reset bursts (mass withdrawal + path
+// exploration + re-announcement), path failovers across an AS edge,
+// low-grade background churn ("the grass"), and single-prefix persistent
+// oscillation.  All events carry attributes (the REX augmentation), are
+// time-ordered, and are deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collector/event_stream.h"
+#include "workload/internet.h"
+
+namespace ranomaly::workload {
+
+class EventStreamGenerator {
+ public:
+  EventStreamGenerator(const SyntheticInternet& internet, std::uint64_t seed);
+
+  // --- building blocks; each appends into the stream -------------------
+
+  // A session reset seen from `peer_index`: every route of that peer is
+  // withdrawn (with some path-exploration re-announcements of alternate
+  // paths before the final withdrawal), then after `down_for` the session
+  // re-establishes and all routes are re-announced.  This is the paper's
+  // Section I reset avalanche.
+  void SessionReset(std::size_t peer_index, util::SimTime at,
+                    util::SimDuration down_for,
+                    util::SimDuration convergence_spread,
+                    double exploration_probability = 0.4);
+
+  // A failover of every route whose path traverses the given tier-1: the
+  // routes are withdrawn and re-announced via an alternate tier-1.  The
+  // shared path segment makes Stemming converge on the failed edge.
+  void Tier1Failover(std::size_t tier1_index, std::size_t alternate_index,
+                     util::SimTime at, util::SimDuration convergence_spread);
+
+  // Background churn: `count` random single-prefix flaps (withdraw then
+  // re-announce) spread uniformly over [begin, end).
+  void Churn(util::SimTime begin, util::SimTime end, std::size_t count);
+
+  // Persistent oscillation of one prefix at `period`: each cycle is one
+  // withdrawal plus one announcement from the same peer (Section IV-F's
+  // low-grade killer signal).
+  void PrefixOscillation(std::size_t prefix_index, util::SimTime begin,
+                         util::SimTime end, util::SimDuration period);
+
+  // Finalizes: sorts the accumulated events by time and returns the
+  // stream (the generator is then empty).
+  collector::EventStream Take();
+
+  std::size_t PendingEvents() const { return events_.size(); }
+
+ private:
+  const collector::RouteEntry* RouteOf(std::size_t peer_index,
+                                       std::size_t prefix_index) const;
+  void Announce(util::SimTime t, const collector::RouteEntry& route);
+  void Withdraw(util::SimTime t, const collector::RouteEntry& route);
+
+  const SyntheticInternet& internet_;
+  util::Rng rng_;
+  std::vector<bgp::Event> events_;
+  // routes indexed per peer for fast per-peer sweeps
+  std::vector<std::vector<std::size_t>> routes_by_peer_;
+};
+
+}  // namespace ranomaly::workload

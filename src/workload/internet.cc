@@ -1,0 +1,89 @@
+#include "workload/internet.h"
+
+#include <stdexcept>
+
+namespace ranomaly::workload {
+
+SyntheticInternet::SyntheticInternet(InternetOptions options)
+    : options_(options) {
+  if (options_.prefix_count == 0 || options_.monitored_peers == 0 ||
+      options_.tier1_count == 0 || options_.transit_count == 0 ||
+      options_.origin_as_count == 0) {
+    throw std::invalid_argument("SyntheticInternet: zero-sized dimension");
+  }
+  util::Rng rng(options_.seed);
+
+  // AS numbering: tier-1s in 100.., transits in 1000.., origins in 10000..
+  for (std::size_t i = 0; i < options_.tier1_count; ++i) {
+    tier1_.push_back(static_cast<bgp::AsNumber>(100 + i));
+  }
+  for (std::size_t i = 0; i < options_.transit_count; ++i) {
+    transit_.push_back(static_cast<bgp::AsNumber>(1000 + i));
+  }
+  for (std::size_t i = 0; i < options_.origin_as_count; ++i) {
+    origins_.push_back(static_cast<bgp::AsNumber>(10000 + i));
+  }
+
+  // Monitored peers: 10.0.0.x; nexthops: 10.1.p.n.
+  for (std::size_t p = 0; p < options_.monitored_peers; ++p) {
+    peers_.push_back(bgp::Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(p + 1)));
+    for (std::size_t n = 0; n < options_.nexthops_per_peer; ++n) {
+      nexthops_.push_back(bgp::Ipv4Addr(10, 1, static_cast<std::uint8_t>(p),
+                                        static_cast<std::uint8_t>(n + 1)));
+    }
+  }
+
+  // Prefixes: spread across 1.0.0.0 - 223.255.255.0 as /24s (and /20s for
+  // a fraction, mirroring the real mix).
+  prefixes_.reserve(options_.prefix_count);
+  for (std::size_t i = 0; i < options_.prefix_count; ++i) {
+    const auto a = static_cast<std::uint8_t>(1 + rng.NextBelow(223));
+    const auto b = static_cast<std::uint8_t>(rng.NextBelow(256));
+    const auto c = static_cast<std::uint8_t>(rng.NextBelow(256));
+    const std::uint8_t len = rng.NextBool(0.85) ? 24 : 20;
+    const bgp::Prefix prefix(bgp::Ipv4Addr(a, b, c, 0), len);
+    prefixes_.push_back(prefix);
+  }
+
+  // Each prefix gets a home origin AS, a home transit, and a home tier-1;
+  // each monitored peer routes to it through (usually) the same exit but
+  // occasionally a different one, giving the path diversity real tables
+  // have.
+  routes_.reserve(static_cast<std::size_t>(
+      static_cast<double>(options_.prefix_count) *
+      static_cast<double>(options_.monitored_peers) * options_.peer_coverage));
+  for (std::size_t i = 0; i < prefixes_.size(); ++i) {
+    const std::size_t origin = i % origins_.size();
+    const std::size_t home_transit = origin % transit_.size();
+    const std::size_t home_tier1 = home_transit % tier1_.size();
+    for (std::size_t p = 0; p < peers_.size(); ++p) {
+      if (!rng.NextBool(options_.peer_coverage)) continue;
+      // 10% of routes exit via an alternate tier-1 (path diversity).
+      const std::size_t t1 = rng.NextBool(0.9)
+                                 ? home_tier1
+                                 : rng.NextBelow(tier1_.size());
+      collector::RouteEntry route;
+      route.peer = peers_[p];
+      route.prefix = prefixes_[i];
+      const std::size_t nh =
+          p * options_.nexthops_per_peer + t1 % options_.nexthops_per_peer;
+      route.attrs.nexthop = nexthops_[nh];
+      route.attrs.as_path = PathVia(t1, home_transit, origin);
+      routes_.push_back(std::move(route));
+    }
+  }
+}
+
+bgp::AsPath SyntheticInternet::PathVia(std::size_t tier1_index,
+                                       std::size_t transit_index,
+                                       std::size_t origin_index) const {
+  std::vector<bgp::AsNumber> asns;
+  asns.reserve(4);
+  asns.push_back(options_.local_as);
+  asns.push_back(tier1_.at(tier1_index % tier1_.size()));
+  asns.push_back(transit_.at(transit_index % transit_.size()));
+  asns.push_back(origins_.at(origin_index % origins_.size()));
+  return bgp::AsPath(std::move(asns));
+}
+
+}  // namespace ranomaly::workload

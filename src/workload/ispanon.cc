@@ -1,0 +1,204 @@
+#include "workload/ispanon.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace ranomaly::workload {
+namespace {
+
+using bgp::AsNumber;
+using bgp::Ipv4Addr;
+using bgp::Prefix;
+using net::LinkSpec;
+using net::PeerRelation;
+using net::RouterSpec;
+
+constexpr AsNumber kIspAs = 1000;
+constexpr AsNumber kAs1 = 2101;      // the IV-F AS1
+constexpr AsNumber kAs2 = 2102;      // the IV-F AS2 (MED sender)
+constexpr AsNumber kNapAs = 4999;
+constexpr AsNumber kFlapCustomerAs = 3999;
+
+}  // namespace
+
+void IspAnonNet::SeedRoutes(net::Simulator& sim) const {
+  for (const Origination& o : originations) {
+    sim.Originate(o.router, o.prefix, o.attrs);
+  }
+}
+
+IspAnonNet BuildIspAnon(const IspAnonOptions& options) {
+  if (options.pop_count == 0) {
+    throw std::invalid_argument("BuildIspAnon: need at least one PoP");
+  }
+  IspAnonNet net;
+  net::Topology& topo = net.topology;
+
+  auto add_router = [&](std::string name, Ipv4Addr addr, AsNumber asn,
+                        bool rr = false) {
+    return topo.AddRouter(RouterSpec{std::move(name), addr, asn, 0, rr, {}});
+  };
+  auto ibgp = [&](net::RouterIndex a, net::RouterIndex b, bool b_client_of_a) {
+    LinkSpec l;
+    l.a = a;
+    l.b = b;
+    l.b_is_as_seen_by_a = PeerRelation::kInternal;
+    l.delay = 2 * util::kMillisecond;
+    l.b_is_rr_client_of_a = b_client_of_a;
+    return topo.AddLink(l);
+  };
+  auto ebgp = [&](net::RouterIndex a, net::RouterIndex b,
+                  PeerRelation b_to_a) {
+    LinkSpec l;
+    l.a = a;
+    l.b = b;
+    l.b_is_as_seen_by_a = b_to_a;
+    l.delay = 5 * util::kMillisecond;
+    return topo.AddLink(l);
+  };
+
+  // --- MED PoPs (IV-F): two reflector pairs ------------------------------
+  if (options.with_med_scenario) {
+    net.core1a = add_router("core1-a", Ipv4Addr(10, 0, 0, 1), kIspAs, true);
+    net.core1b = add_router("core1-b", Ipv4Addr(10, 0, 0, 2), kIspAs, true);
+    net.core2a = add_router("core2-a", Ipv4Addr(10, 0, 1, 1), kIspAs, true);
+    net.core2b = add_router("core2-b", Ipv4Addr(10, 0, 1, 2), kIspAs, true);
+    net.core_rrs = {net.core1a, net.core1b, net.core2a, net.core2b};
+  }
+
+  // --- regular PoPs -------------------------------------------------------
+  // Hot-potato IGP costs: a PoP's routers are close (cost 1) to the
+  // tier-1 exits that peer at their own PoP and far (cost 10) from remote
+  // exits.  This is what makes each PoP independently fail over to a
+  // *different* alternate in IV-E ("each makes an independent decision").
+  const std::size_t pop_count = options.pop_count;
+  auto pop_igp_cost = [pop_count](std::size_t pop) {
+    return [pop, pop_count](Ipv4Addr nexthop) -> std::uint32_t {
+      const std::uint32_t v = nexthop.value();
+      if ((v >> 24) == 20) {  // tier-1 peering addresses are 20.t.0.1
+        const std::size_t t = (v >> 16) & 0xff;
+        return t % pop_count == pop ? 1 : 10;
+      }
+      return 5;
+    };
+  };
+  for (std::size_t p = 0; p < options.pop_count; ++p) {
+    RouterSpec rr_spec{"pop" + std::to_string(p) + "-rr",
+                       Ipv4Addr(10, 0, static_cast<std::uint8_t>(2 + p), 1),
+                       kIspAs, 0, true, {}};
+    rr_spec.decision.igp_cost = pop_igp_cost(p);
+    const auto rr = topo.AddRouter(std::move(rr_spec));
+    net.core_rrs.push_back(rr);
+    RouterSpec acc_spec{"pop" + std::to_string(p) + "-acc",
+                        Ipv4Addr(10, 2, static_cast<std::uint8_t>(p), 1),
+                        kIspAs, 0, false, {}};
+    acc_spec.decision.igp_cost = pop_igp_cost(p);
+    const auto acc = topo.AddRouter(std::move(acc_spec));
+    net.access.push_back(acc);
+    ibgp(rr, acc, /*b_client_of_a=*/true);
+  }
+
+  // Core RR full mesh (non-client sessions).
+  for (std::size_t i = 0; i < net.core_rrs.size(); ++i) {
+    for (std::size_t j = i + 1; j < net.core_rrs.size(); ++j) {
+      ibgp(net.core_rrs[i], net.core_rrs[j], /*b_client_of_a=*/false);
+    }
+  }
+
+  // --- tier-1 peers --------------------------------------------------------
+  for (std::size_t t = 0; t < options.tier1_count; ++t) {
+    const auto t1 = add_router("tier1-" + std::string(1, static_cast<char>('A' + t)),
+                               Ipv4Addr(20, static_cast<std::uint8_t>(t), 0, 1),
+                               static_cast<AsNumber>(2001 + t));
+    net.tier1s.push_back(t1);
+    // Each tier-1 peers with the ISP at a different PoP's access router.
+    ebgp(net.access[t % net.access.size()], t1, PeerRelation::kPeer);
+  }
+
+  // --- regular customers ----------------------------------------------------
+  std::size_t customer_id = 0;
+  for (std::size_t p = 0; p < options.pop_count; ++p) {
+    for (std::size_t c = 0; c < options.customers_per_pop; ++c) {
+      const auto cust = add_router(
+          "cust" + std::to_string(customer_id),
+          Ipv4Addr(172, 16, static_cast<std::uint8_t>(customer_id), 1),
+          static_cast<AsNumber>(3000 + customer_id));
+      ebgp(net.access[p], cust, PeerRelation::kCustomer);
+      for (std::size_t k = 0; k < options.prefixes_per_customer; ++k) {
+        const Prefix prefix(
+            Ipv4Addr(60, static_cast<std::uint8_t>(customer_id),
+                     static_cast<std::uint8_t>(k), 0),
+            24);
+        net.customer_prefixes.push_back(prefix);
+        net.originations.push_back({cust, prefix, {}});
+      }
+      ++customer_id;
+    }
+  }
+
+  // --- IV-E: the flapping customer ------------------------------------------
+  if (options.with_flapping_customer) {
+    net.flap_customer =
+        add_router("flap-customer", Ipv4Addr(1, 0, 0, 1), kFlapCustomerAs);
+    net.nap = add_router("nap", Ipv4Addr(198, 32, 200, 1), kNapAs);
+    // The direct (flaky) session at PoP 0.
+    net.flap_link = ebgp(net.access[0], net.flap_customer,
+                         PeerRelation::kCustomer);
+    // The backup: customer -> NAP -> every tier-1 -> ISP.
+    ebgp(net.nap, net.flap_customer, PeerRelation::kCustomer);
+    for (const net::RouterIndex t1 : net.tier1s) {
+      ebgp(t1, net.nap, PeerRelation::kCustomer);
+    }
+    net.flap_prefix = Prefix(Ipv4Addr(1, 0, 0, 0), 22);
+    net.originations.push_back({net.flap_customer, net.flap_prefix, {}});
+  }
+
+  // --- IV-F: AS1 / AS2 and 4.5.0.0/16 ---------------------------------------
+  if (options.with_med_scenario) {
+    net.med_prefix = Prefix(Ipv4Addr(4, 5, 0, 0), 16);
+    net.as1_router = add_router("as1", Ipv4Addr(10, 9, 1, 1), kAs1);
+    net.as2_pop1 = add_router("as2-pop1", Ipv4Addr(10, 3, 4, 5), kAs2);
+    net.as2_pop2 = add_router("as2-pop2", Ipv4Addr(10, 6, 4, 5), kAs2);
+    // AS1 connects in PoP 1 only; AS2 in both PoPs.
+    ebgp(net.core1a, net.as1_router, PeerRelation::kPeer);
+    ebgp(net.core1b, net.as1_router, PeerRelation::kPeer);
+    ebgp(net.core1a, net.as2_pop1, PeerRelation::kPeer);
+    ebgp(net.core1b, net.as2_pop1, PeerRelation::kPeer);
+    ebgp(net.core2a, net.as2_pop2, PeerRelation::kPeer);
+    ebgp(net.core2b, net.as2_pop2, PeerRelation::kPeer);
+
+    bgp::PathAttributes as1_attrs;  // no MED (different AS anyway)
+    net.originations.push_back({net.as1_router, net.med_prefix, as1_attrs});
+    bgp::PathAttributes as2_pop1_attrs;
+    as2_pop1_attrs.med = 10;  // worse MED at PoP 1
+    net.originations.push_back({net.as2_pop1, net.med_prefix, as2_pop1_attrs});
+    bgp::PathAttributes as2_pop2_attrs;
+    as2_pop2_attrs.med = 5;  // better MED at PoP 2
+    net.originations.push_back({net.as2_pop2, net.med_prefix, as2_pop2_attrs});
+  }
+
+  return net;
+}
+
+void InjectCustomerFlaps(net::Simulator& sim, const IspAnonNet& net,
+                         util::SimTime start, util::SimDuration duration,
+                         util::SimDuration down_for,
+                         util::SimDuration up_for) {
+  const std::size_t cycles = static_cast<std::size_t>(
+      duration / std::max<util::SimDuration>(1, down_for + up_for));
+  sim.ScheduleLinkFlaps(net.flap_link, start, down_for, up_for, cycles);
+}
+
+void InjectMedOscillation(net::Simulator& sim, const IspAnonNet& net,
+                          util::SimTime start, util::SimTime end,
+                          util::SimDuration period) {
+  if (period <= 1) throw std::invalid_argument("InjectMedOscillation: period");
+  bgp::PathAttributes attrs;
+  attrs.med = 5;
+  for (util::SimTime t = start; t + period / 2 < end; t += period) {
+    sim.ScheduleWithdrawOrigin(t, net.as2_pop2, net.med_prefix);
+    sim.ScheduleOriginate(t + period / 2, net.as2_pop2, net.med_prefix, attrs);
+  }
+}
+
+}  // namespace ranomaly::workload

@@ -1,0 +1,97 @@
+// The ISP-Anon scenario — paper Section II & case studies IV-E / IV-F.
+//
+// A Tier-1-like ISP (all identifiers anonymized, as in the paper): PoPs
+// each with a core route reflector pair and access routers as their
+// clients, the core RR mesh fully meshed and monitored by the collector.
+// Regular customers originate prefixes behind access routers; tier-1
+// peers connect at different PoPs.
+//
+// Two incidents are wired in:
+//
+//   * IV-E continuous customer flap: one customer has a direct session
+//     (next hop 1.0.0.1) that drops and re-establishes about once a
+//     minute, plus a backup path via a NAP that connects to every other
+//     tier-1 — so each PoP independently fails over to a different
+//     3-AS-hop alternate, ~200 events per flap, for as long as the flap
+//     injector runs.
+//
+//   * IV-F persistent MED oscillation on 4.5.0.0/16: AS2 connects in both
+//     core PoPs with different MEDs, AS1 in PoP 1 only; ISP-Anon accepts
+//     MEDs from AS2; with order-dependent (non-deterministic) MED
+//     evaluation the Core1 reflectors flip their best path every time the
+//     Core2 reflectors' AS2 route comes and goes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/prefix.h"
+#include "net/simulator.h"
+#include "net/topology.h"
+#include "util/time.h"
+
+namespace ranomaly::workload {
+
+struct IspAnonOptions {
+  std::size_t pop_count = 4;          // PoPs beyond the two MED PoPs
+  std::size_t customers_per_pop = 4;  // regular customers
+  std::size_t prefixes_per_customer = 6;
+  std::size_t tier1_count = 4;
+  bool with_flapping_customer = true;
+  bool with_med_scenario = true;
+  std::uint64_t seed = 11;
+};
+
+struct IspAnonNet {
+  net::Topology topology;
+
+  // Monitored core route reflectors (one pair per PoP, mesh-connected).
+  std::vector<net::RouterIndex> core_rrs;
+  // Access routers per PoP (RR clients).
+  std::vector<net::RouterIndex> access;
+
+  // IV-E flapping customer.
+  net::RouterIndex flap_customer = 0;  // address 1.0.0.1
+  net::LinkIndex flap_link = 0;        // the direct session that flaps
+  net::RouterIndex nap = 0;
+  std::vector<net::RouterIndex> tier1s;
+  bgp::Prefix flap_prefix;
+
+  // IV-F MED oscillation.
+  net::RouterIndex core1a = 0, core1b = 0;  // PoP 1 reflectors
+  net::RouterIndex core2a = 0, core2b = 0;  // PoP 2 reflectors
+  net::RouterIndex as1_router = 0;          // AS1, PoP 1
+  net::RouterIndex as2_pop1 = 0;            // AS2 router, nexthop 10.3.4.5
+  net::RouterIndex as2_pop2 = 0;            // AS2 router at PoP 2
+  bgp::Prefix med_prefix;                   // 4.5.0.0/16
+
+  // All customer prefixes (background routing table).
+  std::vector<bgp::Prefix> customer_prefixes;
+
+  struct Origination {
+    net::RouterIndex router = 0;
+    bgp::Prefix prefix;
+    bgp::PathAttributes attrs;
+  };
+  std::vector<Origination> originations;
+
+  void SeedRoutes(net::Simulator& sim) const;
+};
+
+IspAnonNet BuildIspAnon(const IspAnonOptions& options = {});
+
+// IV-E: flap the customer's direct session: down for `down_for`, up for
+// `up_for`, repeated over [start, start + duration).
+void InjectCustomerFlaps(net::Simulator& sim, const IspAnonNet& net,
+                         util::SimTime start, util::SimDuration duration,
+                         util::SimDuration down_for = 10 * util::kSecond,
+                         util::SimDuration up_for = 50 * util::kSecond);
+
+// IV-F: drive the Core2-side AS2 announcement on/off at `period` (one
+// announce + one withdraw per period) over [start, end).  The Core1
+// reflectors' best-path flips then emerge from the decision process.
+void InjectMedOscillation(net::Simulator& sim, const IspAnonNet& net,
+                          util::SimTime start, util::SimTime end,
+                          util::SimDuration period);
+
+}  // namespace ranomaly::workload

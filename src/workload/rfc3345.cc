@@ -1,0 +1,89 @@
+#include "workload/rfc3345.h"
+
+namespace ranomaly::workload {
+namespace {
+
+using bgp::Ipv4Addr;
+using bgp::Prefix;
+using net::LinkSpec;
+using net::PeerRelation;
+using net::RouterSpec;
+
+constexpr bgp::AsNumber kIspAs = 1000;
+constexpr bgp::AsNumber kAsB = 200;
+constexpr bgp::AsNumber kAsC = 300;
+
+const Ipv4Addr kNexthopB1(20, 0, 0, 1);  // MED 1 exit
+const Ipv4Addr kNexthopB0(20, 0, 0, 2);  // MED 0 exit
+const Ipv4Addr kNexthopC(30, 0, 0, 1);   // AS-C exit
+
+// Cluster 3's IGP view closes the preference cycle: the b0 exit is far
+// (cost 6) while b1 and c are near (cost 1).  Everyone else is
+// equidistant.  Found by exhaustive search over the cost grid; any matrix
+// with this shape oscillates.
+std::uint32_t Cluster3Cost(Ipv4Addr nexthop) {
+  return nexthop == kNexthopB0 ? 6 : 1;
+}
+
+}  // namespace
+
+void Rfc3345Net::SeedRoutes(net::Simulator& sim) const {
+  for (const Origination& o : originations) {
+    sim.Originate(o.router, o.prefix, o.attrs);
+  }
+}
+
+Rfc3345Net BuildRfc3345(bool deterministic_med) {
+  Rfc3345Net net;
+  net::Topology& topo = net.topology;
+  net.prefix = Prefix(Ipv4Addr(4, 5, 0, 0), 16);
+
+  auto internal_router = [&](const char* name, Ipv4Addr addr, bool rr,
+                             bool cluster3) {
+    RouterSpec spec{name, addr, kIspAs, 0, rr, {}};
+    spec.decision.deterministic_med = deterministic_med;
+    if (cluster3) spec.decision.igp_cost = Cluster3Cost;
+    return topo.AddRouter(std::move(spec));
+  };
+  net.rr1 = internal_router("rr1", Ipv4Addr(10, 0, 0, 1), true, false);
+  net.rr2 = internal_router("rr2", Ipv4Addr(10, 0, 0, 2), true, false);
+  net.rr3 = internal_router("rr3", Ipv4Addr(10, 0, 0, 3), true, true);
+  net.border1 = internal_router("border1", Ipv4Addr(10, 0, 1, 1), false, false);
+  net.border2 = internal_router("border2", Ipv4Addr(10, 0, 1, 2), false, false);
+  net.border3 = internal_router("border3", Ipv4Addr(10, 0, 1, 3), false, true);
+
+  net.ext_b1 = topo.AddRouter(RouterSpec{"ext-b1", kNexthopB1, kAsB, 0, false, {}});
+  net.ext_b0 = topo.AddRouter(RouterSpec{"ext-b0", kNexthopB0, kAsB, 0, false, {}});
+  net.ext_c = topo.AddRouter(RouterSpec{"ext-c", kNexthopC, kAsC, 0, false, {}});
+
+  auto link = [&](net::RouterIndex a, net::RouterIndex b, PeerRelation rel,
+                  bool b_client_of_a = false) {
+    LinkSpec l;
+    l.a = a;
+    l.b = b;
+    l.b_is_as_seen_by_a = rel;
+    l.b_is_rr_client_of_a = b_client_of_a;
+    l.delay = util::kMillisecond;
+    return topo.AddLink(l);
+  };
+  link(net.rr1, net.rr2, PeerRelation::kInternal);
+  link(net.rr1, net.rr3, PeerRelation::kInternal);
+  link(net.rr2, net.rr3, PeerRelation::kInternal);
+  link(net.rr1, net.border1, PeerRelation::kInternal, true);
+  link(net.rr2, net.border2, PeerRelation::kInternal, true);
+  link(net.rr3, net.border3, PeerRelation::kInternal, true);
+  link(net.border1, net.ext_b1, PeerRelation::kPeer);
+  link(net.border2, net.ext_b0, PeerRelation::kPeer);
+  link(net.border3, net.ext_c, PeerRelation::kPeer);
+
+  bgp::PathAttributes med1;
+  med1.med = 1;
+  net.originations.push_back({net.ext_b1, net.prefix, med1});
+  bgp::PathAttributes med0;
+  med0.med = 0;
+  net.originations.push_back({net.ext_b0, net.prefix, med0});
+  net.originations.push_back({net.ext_c, net.prefix, {}});
+  return net;
+}
+
+}  // namespace ranomaly::workload

@@ -1,0 +1,51 @@
+// The RFC 3345 persistent MED route oscillation, *emergent*.
+//
+// Section IV-F of the paper observes the oscillation; RFC 3345 explains
+// its mechanism: with route reflection, per-neighbor-AS MED comparison
+// and order-dependent (non-deterministic) best-path evaluation, a set of
+// three routes with no total order — b0 beats b1 on MED, b1 beats c on
+// IGP cost, c beats b0 on IGP cost — makes the reflectors chase each
+// other's advertisements forever.
+//
+// This scenario wires the minimal three-cluster instance: reflectors
+// rr1/rr2/rr3, one border client each, AS-B announcing the prefix with
+// MED 1 (cluster 1) and MED 0 (cluster 2), AS-C announcing it without a
+// MED (cluster 3), and the IGP cost asymmetry at cluster 3 that closes
+// the preference cycle.  Under the default (sequential, order-dependent)
+// decision process the simulator genuinely never converges; flipping
+// `deterministic_med` — the RFC's recommended mitigation — converges it
+// immediately.  Nothing is scripted: the churn is produced entirely by
+// the BGP machinery.
+#pragma once
+
+#include "bgp/prefix.h"
+#include "net/simulator.h"
+#include "net/topology.h"
+
+namespace ranomaly::workload {
+
+struct Rfc3345Net {
+  net::Topology topology;
+  net::RouterIndex rr1 = 0, rr2 = 0, rr3 = 0;   // the reflector mesh
+  net::RouterIndex border1 = 0, border2 = 0, border3 = 0;  // their clients
+  net::RouterIndex ext_b1 = 0;  // AS-B, announces with MED 1 (cluster 1)
+  net::RouterIndex ext_b0 = 0;  // AS-B, announces with MED 0 (cluster 2)
+  net::RouterIndex ext_c = 0;   // AS-C, no MED (cluster 3)
+  bgp::Prefix prefix;           // the contested prefix (4.5.0.0/16)
+
+  struct Origination {
+    net::RouterIndex router = 0;
+    bgp::Prefix prefix;
+    bgp::PathAttributes attrs;
+  };
+  std::vector<Origination> originations;
+
+  void SeedRoutes(net::Simulator& sim) const;
+};
+
+// `deterministic_med` selects the decision-process mode on every AS-1000
+// router: false reproduces the oscillation, true (the RFC 3345 fix)
+// converges.
+Rfc3345Net BuildRfc3345(bool deterministic_med);
+
+}  // namespace ranomaly::workload

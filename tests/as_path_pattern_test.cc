@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "bgp/as_path_pattern.h"
+#include "net/config.h"
+
+namespace ranomaly::bgp {
+namespace {
+
+bool Match(const char* pattern, AsPath path) {
+  const auto p = AsPathPattern::Parse(pattern);
+  EXPECT_TRUE(p) << pattern;
+  return p && p->Matches(path);
+}
+
+TEST(AsPathPatternTest, EmptyPathPatterns) {
+  // "^$": locally originated routes — THE classic export filter.
+  EXPECT_TRUE(Match("^$", {}));
+  EXPECT_FALSE(Match("^$", {701}));
+  // ".*" matches everything, including the empty path.
+  EXPECT_TRUE(Match(".*", {}));
+  EXPECT_TRUE(Match(".*", {1, 2, 3}));
+}
+
+TEST(AsPathPatternTest, FirstHopAnchor) {
+  // "^701_": learned directly from UUNET.
+  EXPECT_TRUE(Match("^701_", {701, 5, 6}));
+  EXPECT_TRUE(Match("^701_", {701}));
+  EXPECT_FALSE(Match("^701_", {5, 701}));
+}
+
+TEST(AsPathPatternTest, OriginAnchor) {
+  // "_3356$": originated by Level3.
+  EXPECT_TRUE(Match("_3356$", {1, 2, 3356}));
+  EXPECT_TRUE(Match("_3356$", {3356}));
+  EXPECT_FALSE(Match("_3356$", {3356, 9}));
+}
+
+TEST(AsPathPatternTest, TransitMatch) {
+  // "_666_": passes through AS666 anywhere.
+  EXPECT_TRUE(Match("_666_", {1, 666, 3}));
+  EXPECT_TRUE(Match("_666_", {666}));
+  EXPECT_FALSE(Match("_666_", {1, 6660, 3}));  // no substring confusion
+  EXPECT_FALSE(Match("_666_", {66, 6}));
+}
+
+TEST(AsPathPatternTest, AdjacentLiteralsNeedSeparator) {
+  EXPECT_TRUE(Match("^11423_209", {11423, 209, 701}));
+  EXPECT_FALSE(Match("^11423_209", {11423, 701, 209}));
+  // Digits are consumed greedily: "701702" is ONE AS number, never 701
+  // followed by 702 (which must be written "701_702").
+  EXPECT_TRUE(Match("701702", {701702}));
+  EXPECT_FALSE(Match("701702", {701, 702}));
+  EXPECT_TRUE(Match("701_702", {701, 702}));
+}
+
+TEST(AsPathPatternTest, Quantifiers) {
+  // Prepend detection: "^701_701+" = 701 prepended at least twice.
+  EXPECT_TRUE(Match("^701_701+", {701, 701, 9}));
+  EXPECT_TRUE(Match("^701_701+", {701, 701, 701}));
+  EXPECT_FALSE(Match("^701_701+", {701, 9}));
+  // Exact length two: "^._.$".
+  EXPECT_TRUE(Match("^._.$", {4, 5}));
+  EXPECT_FALSE(Match("^._.$", {4}));
+  EXPECT_FALSE(Match("^._.$", {4, 5, 6}));
+  // Optional: "^1_2?_3$".
+  EXPECT_TRUE(Match("^1_2?_3$", {1, 3}));
+  EXPECT_TRUE(Match("^1_2?_3$", {1, 2, 3}));
+  EXPECT_FALSE(Match("^1_2?_3$", {1, 2, 2, 3}));
+  // Star with backtracking: "^.*9$".
+  EXPECT_TRUE(Match("^.*9$", {9}));
+  EXPECT_TRUE(Match("^.*9$", {1, 9, 9}));
+  EXPECT_FALSE(Match("^.*9$", {9, 1}));
+}
+
+TEST(AsPathPatternTest, UnanchoredMatchesSubPath) {
+  EXPECT_TRUE(Match("209_701", {11423, 209, 701, 1299}));
+  EXPECT_FALSE(Match("209_701", {11423, 701, 209}));
+}
+
+TEST(AsPathPatternTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(AsPathPattern::Parse("abc"));
+  EXPECT_FALSE(AsPathPattern::Parse("^1$2"));      // $ not at the end
+  EXPECT_FALSE(AsPathPattern::Parse("99999999999"));  // overflow
+  EXPECT_FALSE(AsPathPattern::Parse("[701]"));
+  EXPECT_TRUE(AsPathPattern::Parse(""));  // empty = matches everything
+  EXPECT_TRUE(Match("", {1, 2}));
+  EXPECT_TRUE(Match("", {}));
+}
+
+TEST(AsPathPatternTest, RedundantSeparatorsAreHarmless) {
+  EXPECT_TRUE(Match("^_701__209_$", {701, 209}));
+}
+
+TEST(AsPathPatternTest, ConfigIntegration) {
+  // The classic stub-AS export filter, straight from a config file.
+  const char* text = R"(
+route-map EXPORT-LOCAL-ONLY permit 10
+ match as-path ^$
+)";
+  const auto config = net::RouterConfig::Parse(text);
+  ASSERT_TRUE(config);
+  const net::RouteMap* map = config->FindRouteMap("EXPORT-LOCAL-ONLY");
+  ASSERT_NE(map, nullptr);
+  PathAttributes local;  // empty AS path
+  EXPECT_TRUE(map->Apply(*Prefix::Parse("10.0.0.0/8"), local, 25));
+  PathAttributes transit;
+  transit.as_path = AsPath{701, 3356};
+  EXPECT_FALSE(map->Apply(*Prefix::Parse("10.0.0.0/8"), transit, 25));
+}
+
+TEST(AsPathPatternTest, ConfigRejectsBadPattern) {
+  const char* text = "route-map M permit 10\n match as-path [x]\n";
+  net::ConfigError error;
+  EXPECT_FALSE(net::RouterConfig::Parse(text, &error));
+  EXPECT_EQ(error.line, 2u);
+}
+
+}  // namespace
+}  // namespace ranomaly::bgp

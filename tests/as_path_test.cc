@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "bgp/as_path.h"
+
+namespace ranomaly::bgp {
+namespace {
+
+TEST(AsPathTest, BasicAccessors) {
+  const AsPath p{11423, 209, 701};
+  EXPECT_EQ(p.Length(), 3u);
+  EXPECT_EQ(p.FirstHop(), 11423u);
+  EXPECT_EQ(p.Origin(), 701u);
+  EXPECT_TRUE(p.Contains(209));
+  EXPECT_FALSE(p.Contains(7018));
+}
+
+TEST(AsPathTest, EmptyPath) {
+  const AsPath p;
+  EXPECT_TRUE(p.Empty());
+  EXPECT_FALSE(p.FirstHop());
+  EXPECT_FALSE(p.Origin());
+}
+
+TEST(AsPathTest, PrependBuildsNewPath) {
+  const AsPath p{209};
+  const AsPath q = p.Prepend(11423);
+  EXPECT_EQ(q, (AsPath{11423, 209}));
+  EXPECT_EQ(p, (AsPath{209}));  // original untouched
+  EXPECT_EQ(p.Prepend(7, 3), (AsPath{7, 7, 7, 209}));
+}
+
+TEST(AsPathTest, LoopDetection) {
+  EXPECT_FALSE((AsPath{1, 2, 3}).HasLoop());
+  EXPECT_TRUE((AsPath{1, 2, 1}).HasLoop());
+  EXPECT_TRUE((AsPath{2, 2}).HasLoop());  // prepends count as repeats here
+}
+
+TEST(AsPathTest, ToStringParseRoundTrip) {
+  const AsPath p{11423, 209, 701, 1299, 5713};
+  EXPECT_EQ(p.ToString(), "11423 209 701 1299 5713");
+  const auto q = AsPath::Parse("11423 209 701 1299 5713");
+  ASSERT_TRUE(q);
+  EXPECT_EQ(*q, p);
+  EXPECT_TRUE(AsPath::Parse("")->Empty());
+  EXPECT_FALSE(AsPath::Parse("12 abc"));
+}
+
+TEST(AsPathHashTest, EqualPathsHashEqual) {
+  const AsPathHash h;
+  EXPECT_EQ(h(AsPath{1, 2, 3}), h(AsPath{1, 2, 3}));
+  EXPECT_NE(h(AsPath{1, 2, 3}), h(AsPath{3, 2, 1}));
+}
+
+TEST(CommunityTest, PartsAndRoundTrip) {
+  const Community c(11423, 65350);
+  EXPECT_EQ(c.asn(), 11423);
+  EXPECT_EQ(c.value(), 65350);
+  EXPECT_EQ(c.ToString(), "11423:65350");
+  const auto parsed = Community::Parse("11423:65350");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(*parsed, c);
+}
+
+TEST(CommunityTest, ParseRejectsBadInput) {
+  EXPECT_FALSE(Community::Parse("11423"));
+  EXPECT_FALSE(Community::Parse("70000:1"));  // > 16 bit
+  EXPECT_FALSE(Community::Parse("1:70000"));
+  EXPECT_FALSE(Community::Parse("a:b"));
+}
+
+TEST(CommunitySetTest, SortedUniqueMembership) {
+  CommunitySet s;
+  s.Add(Community(2, 2));
+  s.Add(Community(1, 1));
+  s.Add(Community(2, 2));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(Community(1, 1)));
+  EXPECT_EQ(s.ToString(), "1:1 2:2");
+  EXPECT_TRUE(s.Remove(Community(1, 1)));
+  EXPECT_FALSE(s.Remove(Community(1, 1)));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(CommunitySetTest, EqualityIsOrderInsensitive) {
+  CommunitySet a{Community(1, 1), Community(2, 2)};
+  CommunitySet b{Community(2, 2), Community(1, 1)};
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ranomaly::bgp

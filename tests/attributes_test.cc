@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "bgp/attributes.h"
+#include "util/rng.h"
+
+namespace ranomaly::bgp {
+namespace {
+
+Event MakeEvent() {
+  Event e;
+  e.time = 1000;
+  e.peer = Ipv4Addr(128, 32, 1, 3);
+  e.type = EventType::kWithdraw;
+  e.prefix = *Prefix::Parse("192.96.10.0/24");
+  e.attrs.nexthop = Ipv4Addr(128, 32, 0, 70);
+  e.attrs.as_path = AsPath{11423, 209, 701, 1299, 5713};
+  return e;
+}
+
+TEST(EventTest, ToStringMatchesFigure4Format) {
+  // The paper's Fig 4 line format.
+  EXPECT_EQ(MakeEvent().ToString(),
+            "W 128.32.1.3 NEXT_HOP: 128.32.0.70 ASPATH: 11423 209 701 1299 "
+            "5713 PREFIX: 192.96.10.0/24");
+}
+
+TEST(EventTest, ParseRoundTrip) {
+  const Event e = MakeEvent();
+  const auto parsed = Event::Parse(e.ToString());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->peer, e.peer);
+  EXPECT_EQ(parsed->type, e.type);
+  EXPECT_EQ(parsed->prefix, e.prefix);
+  EXPECT_EQ(parsed->attrs.nexthop, e.attrs.nexthop);
+  EXPECT_EQ(parsed->attrs.as_path, e.attrs.as_path);
+}
+
+TEST(EventTest, RoundTripWithCommunities) {
+  Event e = MakeEvent();
+  e.type = EventType::kAnnounce;
+  e.attrs.communities.Add(Community(11423, 65350));
+  e.attrs.communities.Add(Community(2152, 65297));
+  const auto parsed = Event::Parse(e.ToString());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->attrs.communities, e.attrs.communities);
+  EXPECT_EQ(parsed->type, EventType::kAnnounce);
+}
+
+TEST(EventTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Event::Parse(""));
+  EXPECT_FALSE(Event::Parse("X 1.2.3.4 NEXT_HOP: 1.1.1.1 ASPATH: 1 PREFIX: 1.0.0.0/8"));
+  EXPECT_FALSE(Event::Parse("A 1.2.3.4 ASPATH: 1 PREFIX: 1.0.0.0/8"));
+  EXPECT_FALSE(Event::Parse("A 1.2.3.4 NEXT_HOP: 1.1.1.1 ASPATH: x PREFIX: 1.0.0.0/8"));
+  EXPECT_FALSE(Event::Parse("A 1.2.3.4 NEXT_HOP: 1.1.1.1 ASPATH: 1 PREFIX:"));
+  EXPECT_FALSE(Event::Parse("A 1.2.3.4 NEXT_HOP: 1.1.1.1 ASPATH: 1"));
+}
+
+// Property: ToString/Parse is the identity on random events.
+TEST(EventTest, RandomRoundTrip) {
+  util::Rng rng(77);
+  for (int i = 0; i < 300; ++i) {
+    Event e;
+    e.peer = Ipv4Addr(static_cast<std::uint32_t>(rng.Next()));
+    e.type = rng.NextBool(0.5) ? EventType::kAnnounce : EventType::kWithdraw;
+    e.prefix = Prefix(Ipv4Addr(static_cast<std::uint32_t>(rng.Next())),
+                      static_cast<std::uint8_t>(rng.NextBelow(33)));
+    e.attrs.nexthop = Ipv4Addr(static_cast<std::uint32_t>(rng.Next()));
+    const std::size_t path_len = rng.NextBelow(6);
+    std::vector<AsNumber> asns;
+    for (std::size_t k = 0; k < path_len; ++k) {
+      asns.push_back(static_cast<AsNumber>(1 + rng.NextBelow(65000)));
+    }
+    e.attrs.as_path = AsPath(std::move(asns));
+    if (rng.NextBool(0.4)) {
+      e.attrs.communities.Add(
+          Community(static_cast<std::uint16_t>(rng.NextBelow(65536)),
+                    static_cast<std::uint16_t>(rng.NextBelow(65536))));
+    }
+    const auto parsed = Event::Parse(e.ToString());
+    ASSERT_TRUE(parsed) << e.ToString();
+    EXPECT_EQ(parsed->peer, e.peer);
+    EXPECT_EQ(parsed->type, e.type);
+    EXPECT_EQ(parsed->prefix, e.prefix);
+    EXPECT_EQ(parsed->attrs.nexthop, e.attrs.nexthop);
+    EXPECT_EQ(parsed->attrs.as_path, e.attrs.as_path);
+    EXPECT_EQ(parsed->attrs.communities, e.attrs.communities);
+  }
+}
+
+TEST(PathAttributesTest, ToStringShowsOptionalFields) {
+  PathAttributes a;
+  a.nexthop = Ipv4Addr(1, 1, 1, 1);
+  a.as_path = AsPath{1, 2};
+  EXPECT_EQ(a.ToString(), "NEXT_HOP: 1.1.1.1 ASPATH: 1 2");
+  a.local_pref = 80;
+  a.med = 5;
+  a.communities.Add(Community(1, 2));
+  const std::string s = a.ToString();
+  EXPECT_NE(s.find("LOCALPREF: 80"), std::string::npos);
+  EXPECT_NE(s.find("MED: 5"), std::string::npos);
+  EXPECT_NE(s.find("COMMUNITY: 1:2"), std::string::npos);
+}
+
+TEST(PathAttributesTest, NeighborAs) {
+  PathAttributes a;
+  EXPECT_FALSE(a.NeighborAs());
+  a.as_path = AsPath{7018, 13606};
+  EXPECT_EQ(a.NeighborAs(), 7018u);
+}
+
+}  // namespace
+}  // namespace ranomaly::bgp

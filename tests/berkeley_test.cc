@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "collector/collector.h"
+#include "core/pipeline.h"
+#include "net/config.h"
+#include "stemming/stemming.h"
+#include "tamp/prune.h"
+#include "workload/berkeley.h"
+
+namespace ranomaly::workload {
+namespace {
+
+using bgp::Ipv4Addr;
+using bgp::Prefix;
+using util::kMinute;
+using util::kSecond;
+
+// One converged Berkeley network + attached collector, shared across the
+// tests in this file (construction simulates full convergence).
+class BerkeleyFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new BerkeleyNet(BuildBerkeley());
+    sim_ = new net::Simulator(net_->topology, /*seed=*/3);
+    collector_ = new collector::Collector;
+    collector_->AttachTo(*sim_, net_->monitored);
+    net_->SeedRoutes(*sim_);
+    sim_->Start();
+    converged_ = sim_->RunToQuiescence(10 * kMinute);
+  }
+  static void TearDownTestSuite() {
+    delete collector_;
+    delete sim_;
+    delete net_;
+    collector_ = nullptr;
+    sim_ = nullptr;
+    net_ = nullptr;
+  }
+
+  static BerkeleyNet* net_;
+  static net::Simulator* sim_;
+  static collector::Collector* collector_;
+  static bool converged_;
+};
+
+BerkeleyNet* BerkeleyFixture::net_ = nullptr;
+net::Simulator* BerkeleyFixture::sim_ = nullptr;
+collector::Collector* BerkeleyFixture::collector_ = nullptr;
+bool BerkeleyFixture::converged_ = false;
+
+std::size_t TotalPrefixes(const BerkeleyNet& net) {
+  return net.commodity_a.size() + net.commodity_b.size() +
+         net.internet2.size() + net.members.size() +
+         net.losnettos_prefixes.size() + net.kddi_prefixes.size() +
+         net.backdoor_prefixes.size() + 1;  // + PCH's own prefix
+}
+
+TEST_F(BerkeleyFixture, ConvergesAndCoversAllPrefixes) {
+  ASSERT_TRUE(converged_);
+  EXPECT_EQ(collector_->PeerCount(), 4u);
+  EXPECT_EQ(collector_->PrefixCount(), TotalPrefixes(*net_));
+  // Berkeley saw 13 nexthops at full scale; our scaled-down build has the
+  // four that matter: .66, .70, .90 and the backdoor.
+  EXPECT_EQ(collector_->NexthopCount(), 4u);
+}
+
+TEST_F(BerkeleyFixture, CommodityPreferredViaRateLimitedRouter) {
+  // 128.32.1.3 (LP 80) wins commodity over 128.32.1.200 (LP 70); REX
+  // therefore hears commodity announcements from 128.32.1.3 with the
+  // rate-limiter nexthops.
+  ASSERT_TRUE(converged_);
+  const auto snapshot = collector_->Snapshot();
+  std::size_t from_r13_a = 0;
+  std::size_t from_r13_b = 0;
+  for (const auto& r : snapshot) {
+    if (r.peer != Ipv4Addr(128, 32, 1, 3)) continue;
+    if (r.attrs.nexthop == Ipv4Addr(128, 32, 0, 66)) ++from_r13_a;
+    if (r.attrs.nexthop == Ipv4Addr(128, 32, 0, 70)) ++from_r13_b;
+  }
+  EXPECT_EQ(from_r13_a, net_->commodity_a.size());
+  EXPECT_EQ(from_r13_b, net_->commodity_b.size());
+}
+
+TEST_F(BerkeleyFixture, Figure2ShapeCalrenQwestAbilene) {
+  ASSERT_TRUE(converged_);
+  const tamp::TampGraph graph =
+      tamp::TampGraph::FromSnapshot(collector_->Snapshot());
+  const double total = static_cast<double>(graph.UniquePrefixCount());
+  ASSERT_GT(total, 0);
+
+  // QWest carries the commodity share (~78% at our mix; paper: 80%).
+  const double qwest =
+      static_cast<double>(graph.EdgeWeight(tamp::AsNode(11423), tamp::AsNode(209))) / total;
+  EXPECT_GT(qwest, 0.70);
+  EXPECT_LT(qwest, 0.88);
+  // Abilene carries the Internet2 share (~6%).
+  const double abilene =
+      static_cast<double>(graph.EdgeWeight(tamp::AsNode(11423), tamp::AsNode(11537))) / total;
+  EXPECT_GT(abilene, 0.03);
+  EXPECT_LT(abilene, 0.10);
+}
+
+TEST_F(BerkeleyFixture, LoadBalanceSplitIsSkewed) {
+  // Case IV-A: the two rate limiters should have been ~40/40 but are
+  // wildly uneven.
+  ASSERT_TRUE(converged_);
+  const tamp::TampGraph graph =
+      tamp::TampGraph::FromSnapshot(collector_->Snapshot());
+  const auto w66 = graph.EdgeWeight(
+      tamp::PeerNode(Ipv4Addr(128, 32, 1, 3)),
+      tamp::NexthopNode(Ipv4Addr(128, 32, 0, 66)));
+  const auto w70 = graph.EdgeWeight(
+      tamp::PeerNode(Ipv4Addr(128, 32, 1, 3)),
+      tamp::NexthopNode(Ipv4Addr(128, 32, 0, 70)));
+  ASSERT_GT(w70, 0u);
+  EXPECT_GT(w66, 8 * w70);  // paper: 78% vs 5%
+}
+
+TEST_F(BerkeleyFixture, BackdoorVisibleOnlyWithHierarchicalPruning) {
+  // Case IV-B: two backdoor prefixes via 169.229.0.157 to AT&T.
+  ASSERT_TRUE(converged_);
+  const tamp::TampGraph graph =
+      tamp::TampGraph::FromSnapshot(collector_->Snapshot());
+
+  const tamp::PrunedGraph flat =
+      tamp::Prune(graph, tamp::PruneOptions{.threshold = 0.05});
+  EXPECT_EQ(flat.FindNode(tamp::NexthopNode(Ipv4Addr(169, 229, 0, 157))),
+            tamp::PrunedGraph::npos);
+
+  tamp::PruneOptions hier;
+  hier.depth_thresholds = {0.0, 0.0, 0.0, 0.0, 0.05};
+  const tamp::PrunedGraph pruned = tamp::Prune(graph, hier);
+  EXPECT_NE(pruned.FindNode(tamp::NexthopNode(Ipv4Addr(169, 229, 0, 157))),
+            tamp::PrunedGraph::npos);
+  EXPECT_NE(pruned.FindNode(tamp::AsNode(7018)), tamp::PrunedGraph::npos);
+}
+
+TEST_F(BerkeleyFixture, CommunityMistagShows32_68Split) {
+  // Case IV-C: TAMP over the routes tagged 2152:65297 — only ~32% are
+  // really from Los Nettos; 68% leak in from KDDI.
+  ASSERT_TRUE(converged_);
+  std::vector<collector::RouteEntry> tagged;
+  for (const auto& r : collector_->Snapshot()) {
+    if (r.attrs.communities.Contains(kLosNettosTag)) tagged.push_back(r);
+  }
+  ASSERT_FALSE(tagged.empty());
+  const tamp::TampGraph graph = tamp::TampGraph::FromSnapshot(tagged);
+  const double total = static_cast<double>(graph.UniquePrefixCount());
+  const double losnettos =
+      static_cast<double>(graph.EdgeWeight(tamp::AsNode(2152), tamp::AsNode(226))) / total;
+  const double kddi =
+      static_cast<double>(graph.EdgeWeight(tamp::AsNode(2152), tamp::AsNode(2516))) / total;
+  EXPECT_NEAR(losnettos, 0.32, 0.02);
+  EXPECT_NEAR(kddi, 0.68, 0.02);
+}
+
+TEST(BerkeleyLeakTest, RouteLeakMovesPrefixesAndSilencesR13) {
+  // Case IV-D, full cycle: prefixes move from {128.32.1.3 -> .66 -> 209}
+  // to the 6-AS-hop path via 128.32.1.200, twice, and revert.
+  BerkeleyOptions options;
+  options.commodity_prefixes = 150;
+  options.leak_prefixes = 40;
+  BerkeleyNet net = BuildBerkeley(options);
+  net::Simulator sim(net.topology, 5);
+  collector::Collector collector;
+  collector.AttachTo(sim, net.monitored);
+  net.SeedRoutes(sim);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(10 * kMinute));
+  const std::size_t baseline_events = collector.events().size();
+
+  const util::SimTime t0 = sim.now() + kMinute;
+  InjectRouteLeak(sim, net, t0, /*leak_duration=*/2 * kMinute,
+                  /*gap=*/2 * kMinute, /*cycles=*/2);
+
+  // Run through the first leak onset and check the moved state (cannot
+  // demand quiescence: later cycles are already scheduled).
+  sim.Run(t0 + kMinute);
+  const Prefix probe = net.leakable.front();
+  {
+    // r13 lost the prefix entirely at REX's seat...
+    bool r13_has = false;
+    bool r1200_has_leak_path = false;
+    for (const auto& r : collector.Snapshot()) {
+      if (r.prefix != probe) continue;
+      if (r.peer == Ipv4Addr(128, 32, 1, 3)) r13_has = true;
+      if (r.peer == Ipv4Addr(128, 32, 1, 200) &&
+          r.attrs.as_path.Contains(10927)) {
+        r1200_has_leak_path = true;
+      }
+    }
+    EXPECT_FALSE(r13_has);
+    EXPECT_TRUE(r1200_has_leak_path);
+  }
+
+  // Run to the end: everything reverts.
+  ASSERT_TRUE(sim.RunToQuiescence(t0 + 10 * kMinute));
+  {
+    bool r13_has = false;
+    for (const auto& r : collector.Snapshot()) {
+      if (r.prefix == probe && r.peer == Ipv4Addr(128, 32, 1, 3)) {
+        r13_has = true;
+      }
+    }
+    EXPECT_TRUE(r13_has);
+  }
+
+  // The leak generated a pile of events: >= 4 per prefix per cycle.
+  const std::size_t leak_events = collector.events().size() - baseline_events;
+  EXPECT_GE(leak_events, 4 * 40 * 2u);
+
+  // Stemming on the onset window diagnoses a leak-shaped incident.
+  const auto window = collector.events().Window(t0 - kSecond, t0 + kMinute);
+  core::Pipeline pipeline;
+  const auto incidents = pipeline.AnalyzeWindow(window);
+  ASSERT_FALSE(incidents.empty());
+  EXPECT_GE(incidents[0].prefix_count, 35u);
+  EXPECT_EQ(incidents[0].kind, core::IncidentKind::kRouteLeak)
+      << incidents[0].summary;
+}
+
+TEST(BerkeleyBuildTest, ConfigsParseAndCompile) {
+  const BerkeleyNet net = BuildBerkeley();
+  net::ConfigError error;
+  const auto r13 = net::RouterConfig::Parse(net.r13_config_text, &error);
+  ASSERT_TRUE(r13) << error.message;
+  EXPECT_EQ(r13->asn(), 25u);
+  const auto r1200 = net::RouterConfig::Parse(net.r1200_config_text, &error);
+  ASSERT_TRUE(r1200) << error.message;
+  // The paper's exact policy numbers.
+  const auto uses =
+      r1200->FindClausesMatchingCommunity(bgp::Community(11423, 65350));
+  ASSERT_EQ(uses.size(), 1u);
+  EXPECT_EQ(uses[0].clause->set_local_pref, 70u);
+}
+
+TEST(BerkeleyBuildTest, AsNamesCoverKeyPlayers) {
+  const BerkeleyNet net = BuildBerkeley();
+  const auto names = net.AsNames();
+  const auto has = [&](bgp::AsNumber asn) {
+    return std::any_of(names.begin(), names.end(),
+                       [&](const auto& p) { return p.first == asn; });
+  };
+  EXPECT_TRUE(has(11423));
+  EXPECT_TRUE(has(209));
+  EXPECT_TRUE(has(11537));
+  EXPECT_TRUE(has(3356));
+}
+
+}  // namespace
+}  // namespace ranomaly::workload

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "collector/binary_io.h"
+#include "tools/cli.h"
+#include "workload/eventgen.h"
+
+namespace ranomaly::tools {
+namespace {
+
+namespace fs = std::filesystem;
+using util::kMinute;
+
+// A scratch directory per test, removed on teardown.
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ranomaly_cli_test_" + std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  // Writes a small generated capture (text format) and returns its path.
+  std::string WriteCapture() {
+    workload::InternetOptions options;
+    options.monitored_peers = 3;
+    options.prefix_count = 300;
+    options.origin_as_count = 60;
+    options.seed = 7;
+    const workload::SyntheticInternet internet(options);
+    workload::EventStreamGenerator gen(internet, 8);
+    gen.SessionReset(0, 10 * kMinute, kMinute, 20 * util::kSecond);
+    gen.Churn(0, 30 * kMinute, 400);
+    const auto stream = gen.Take();
+    const std::string path = Path("capture.events");
+    std::ofstream out(path);
+    stream.SaveText(out);
+    return path;
+  }
+
+  int Run(std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return RunCli(args, out_, err_);
+  }
+
+  fs::path dir_;
+  std::stringstream out_;
+  std::stringstream err_;
+};
+
+TEST_F(CliTest, NoArgsPrintsUsage) {
+  EXPECT_EQ(Run({}), 2);
+  EXPECT_NE(err_.str().find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandIsUsageError) {
+  EXPECT_EQ(Run({"frobnicate"}), 2);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, AnalyzeFindsTheReset) {
+  const std::string capture = WriteCapture();
+  EXPECT_EQ(Run({"analyze", capture}), 0);
+  const std::string output = out_.str();
+  EXPECT_NE(output.find("incidents:"), std::string::npos);
+  EXPECT_NE(output.find("session-reset"), std::string::npos) << output;
+}
+
+TEST_F(CliTest, AnalyzeMissingFileFails) {
+  EXPECT_EQ(Run({"analyze", Path("nope.events")}), 1);
+  EXPECT_NE(err_.str().find("cannot open"), std::string::npos);
+}
+
+TEST_F(CliTest, PictureWritesSvgAndDot) {
+  const std::string capture = WriteCapture();
+  const std::string svg = Path("picture.svg");
+  const std::string dot = Path("picture.dot");
+  EXPECT_EQ(Run({"picture", capture, "--out", svg, "--dot", dot,
+                 "--threshold", "2", "--title", "cli test"}),
+            0);
+  std::ifstream svg_in(svg);
+  std::string svg_text((std::istreambuf_iterator<char>(svg_in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(svg_text.find("<svg"), std::string::npos);
+  EXPECT_NE(svg_text.find("cli test"), std::string::npos);
+  std::ifstream dot_in(dot);
+  std::string dot_text((std::istreambuf_iterator<char>(dot_in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(dot_text.find("digraph tamp"), std::string::npos);
+}
+
+TEST_F(CliTest, PictureRequiresOut) {
+  const std::string capture = WriteCapture();
+  EXPECT_EQ(Run({"picture", capture}), 2);
+  EXPECT_NE(err_.str().find("--out"), std::string::npos);
+}
+
+TEST_F(CliTest, AnimateWritesFrames) {
+  const std::string capture = WriteCapture();
+  const std::string frames = Path("frames");
+  EXPECT_EQ(Run({"animate", capture, "--out-dir", frames, "--every", "250"}),
+            0);
+  std::size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(frames)) {
+    EXPECT_EQ(entry.path().extension(), ".svg");
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);  // frames 0, 250, 500 of 750
+}
+
+TEST_F(CliTest, AnimateWritesSmilLoop) {
+  const std::string capture = WriteCapture();
+  const std::string frames = Path("frames");
+  const std::string smil = Path("loop.svg");
+  EXPECT_EQ(Run({"animate", capture, "--out-dir", frames, "--every", "750",
+                 "--smil", smil}),
+            0);
+  std::ifstream in(smil);
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("<animate attributeName=\"stroke-width\""),
+            std::string::npos);
+  EXPECT_NE(text.find("repeatCount=\"indefinite\""), std::string::npos);
+}
+
+TEST_F(CliTest, ConvertRoundTripsThroughBinary) {
+  const std::string capture = WriteCapture();
+  const std::string binary = Path("capture.bin");
+  const std::string text2 = Path("capture2.events");
+  EXPECT_EQ(Run({"convert", capture, binary, "--to", "binary"}), 0);
+  EXPECT_EQ(Run({"convert", binary, text2, "--to", "text"}), 0);
+
+  std::ifstream a(capture), b(text2);
+  const std::string sa((std::istreambuf_iterator<char>(a)),
+                       std::istreambuf_iterator<char>());
+  const std::string sb((std::istreambuf_iterator<char>(b)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(sa, sb);  // text -> binary -> text is the identity
+
+  // Binary input is auto-detected by every command.
+  EXPECT_EQ(Run({"stats", binary}), 0);
+  EXPECT_NE(out_.str().find("peers:     3"), std::string::npos) << out_.str();
+}
+
+TEST_F(CliTest, ConvertRejectsBadTarget) {
+  const std::string capture = WriteCapture();
+  EXPECT_EQ(Run({"convert", capture, Path("x"), "--to", "yaml"}), 2);
+}
+
+TEST_F(CliTest, MoasFlagsInjectedHijack) {
+  // Build a stream with an established origin and a late foreign origin.
+  collector::EventStream stream;
+  auto announce = [&](util::SimTime t, bgp::AsNumber origin) {
+    bgp::Event e;
+    e.time = t;
+    e.peer = bgp::Ipv4Addr(10, 0, 0, 1);
+    e.type = bgp::EventType::kAnnounce;
+    e.prefix = *bgp::Prefix::Parse("192.0.2.0/24");
+    e.attrs.nexthop = bgp::Ipv4Addr(10, 1, 0, 1);
+    e.attrs.as_path = bgp::AsPath{100, origin};
+    stream.Append(e);
+  };
+  announce(0, 200);
+  announce(60 * kMinute, 666);
+  const std::string path = Path("hijack.events");
+  std::ofstream out(path);
+  stream.SaveText(out);
+  out.close();
+
+  EXPECT_EQ(Run({"moas", path}), 0);
+  EXPECT_NE(out_.str().find("origin conflicts: 1"), std::string::npos);
+  EXPECT_NE(out_.str().find("AS666"), std::string::npos);
+}
+
+TEST_F(CliTest, StatsCountsPerPeer) {
+  const std::string capture = WriteCapture();
+  EXPECT_EQ(Run({"stats", capture}), 0);
+  const std::string output = out_.str();
+  EXPECT_NE(output.find("announces:"), std::string::npos);
+  EXPECT_NE(output.find("withdraws:"), std::string::npos);
+  EXPECT_NE(output.find("10.0.0.1"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingOptionValueIsUsageError) {
+  EXPECT_EQ(Run({"picture", "x", "--out"}), 2);
+  EXPECT_NE(err_.str().find("missing value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ranomaly::tools

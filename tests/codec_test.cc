@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "bgp/codec.h"
+#include "util/rng.h"
+
+namespace ranomaly::bgp {
+namespace {
+
+UpdateMessage SampleUpdate() {
+  UpdateMessage u;
+  u.withdrawn = {*Prefix::Parse("10.1.0.0/16"), *Prefix::Parse("10.2.3.0/24")};
+  PathAttributes a;
+  a.nexthop = Ipv4Addr(192, 0, 2, 1);
+  a.as_path = AsPath{11423, 209, 701};
+  a.origin = Origin::kIgp;
+  a.local_pref = 120;
+  a.med = 50;
+  a.communities.Add(Community(11423, 65350));
+  a.communities.Add(Community(2152, 65297));
+  u.attrs = a;
+  u.nlri = {*Prefix::Parse("192.96.10.0/24"), *Prefix::Parse("62.80.64.0/20")};
+  return u;
+}
+
+TEST(CodecTest, UpdateRoundTrip) {
+  const UpdateMessage u = SampleUpdate();
+  const auto wire = EncodeUpdate(u);
+  const auto decoded = DecodeMessage(wire);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->type, MessageType::kUpdate);
+  EXPECT_EQ(decoded->bytes_consumed, wire.size());
+  EXPECT_EQ(decoded->update.withdrawn, u.withdrawn);
+  EXPECT_EQ(decoded->update.nlri, u.nlri);
+  ASSERT_TRUE(decoded->update.attrs);
+  EXPECT_EQ(decoded->update.attrs->nexthop, u.attrs->nexthop);
+  EXPECT_EQ(decoded->update.attrs->as_path, u.attrs->as_path);
+  EXPECT_EQ(decoded->update.attrs->local_pref, u.attrs->local_pref);
+  EXPECT_EQ(decoded->update.attrs->med, u.attrs->med);
+  EXPECT_EQ(decoded->update.attrs->communities, u.attrs->communities);
+}
+
+TEST(CodecTest, WithdrawOnlyUpdate) {
+  UpdateMessage u;
+  u.withdrawn = {*Prefix::Parse("10.0.0.0/8")};
+  const auto wire = EncodeUpdate(u);
+  const auto decoded = DecodeMessage(wire);
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->update.nlri.empty());
+  EXPECT_FALSE(decoded->update.attrs);
+  EXPECT_EQ(decoded->update.withdrawn, u.withdrawn);
+}
+
+TEST(CodecTest, KeepaliveRoundTrip) {
+  const auto wire = EncodeKeepalive();
+  EXPECT_EQ(wire.size(), 19u);
+  const auto decoded = DecodeMessage(wire);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->type, MessageType::kKeepalive);
+}
+
+TEST(CodecTest, NlriWithoutAttrsThrows) {
+  UpdateMessage u;
+  u.nlri = {*Prefix::Parse("10.0.0.0/8")};
+  EXPECT_THROW(EncodeUpdate(u), std::invalid_argument);
+}
+
+TEST(CodecTest, FourByteAsnRejected) {
+  UpdateMessage u;
+  PathAttributes a;
+  a.as_path = AsPath{70000};  // does not fit the 2-octet wire format
+  u.attrs = a;
+  u.nlri = {*Prefix::Parse("10.0.0.0/8")};
+  EXPECT_THROW(EncodeUpdate(u), std::invalid_argument);
+}
+
+TEST(CodecTest, RejectsBadMarker) {
+  auto wire = EncodeKeepalive();
+  wire[3] = 0x00;
+  EXPECT_FALSE(DecodeMessage(wire));
+}
+
+TEST(CodecTest, RejectsTruncation) {
+  auto wire = EncodeUpdate(SampleUpdate());
+  for (std::size_t cut = 1; cut < 20; ++cut) {
+    std::vector<std::uint8_t> shorter(wire.begin(),
+                                      wire.end() - static_cast<long>(cut));
+    EXPECT_FALSE(DecodeMessage(shorter)) << "cut=" << cut;
+  }
+}
+
+TEST(CodecTest, RejectsCorruptLength) {
+  auto wire = EncodeKeepalive();
+  wire[16] = 0xff;  // absurd length
+  wire[17] = 0xff;
+  EXPECT_FALSE(DecodeMessage(wire));
+}
+
+TEST(CodecTest, FuzzDecodeNeverCrashes) {
+  util::Rng rng(1234);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> junk(rng.NextBelow(80));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.Next());
+    // Make the marker valid half of the time to reach deeper code.
+    if (rng.NextBool(0.5)) {
+      for (std::size_t k = 0; k < std::min<std::size_t>(16, junk.size()); ++k) {
+        junk[k] = 0xff;
+      }
+    }
+    DecodeMessage(junk);  // must not crash or hang
+  }
+  SUCCEED();
+}
+
+// Property: random well-formed updates round-trip exactly.
+TEST(CodecTest, RandomRoundTrip) {
+  util::Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    UpdateMessage u;
+    const std::size_t nw = rng.NextBelow(4);
+    for (std::size_t k = 0; k < nw; ++k) {
+      u.withdrawn.push_back(
+          Prefix(Ipv4Addr(static_cast<std::uint32_t>(rng.Next())),
+                 static_cast<std::uint8_t>(rng.NextBelow(33))));
+    }
+    if (rng.NextBool(0.8)) {
+      PathAttributes a;
+      a.nexthop = Ipv4Addr(static_cast<std::uint32_t>(rng.Next()));
+      std::vector<AsNumber> asns;
+      for (std::size_t k = 0; k < rng.NextBelow(6); ++k) {
+        asns.push_back(static_cast<AsNumber>(1 + rng.NextBelow(65000)));
+      }
+      a.as_path = AsPath(std::move(asns));
+      if (rng.NextBool(0.5)) a.med = static_cast<std::uint32_t>(rng.Next());
+      a.local_pref = static_cast<std::uint32_t>(rng.NextBelow(500));
+      u.attrs = a;
+      const std::size_t nn = rng.NextBelow(4);
+      for (std::size_t k = 0; k < nn; ++k) {
+        u.nlri.push_back(
+            Prefix(Ipv4Addr(static_cast<std::uint32_t>(rng.Next())),
+                   static_cast<std::uint8_t>(rng.NextBelow(33))));
+      }
+    }
+    const auto wire = EncodeUpdate(u);
+    const auto decoded = DecodeMessage(wire);
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->update.withdrawn, u.withdrawn);
+    EXPECT_EQ(decoded->update.nlri, u.nlri);
+    if (u.attrs) {
+      ASSERT_TRUE(decoded->update.attrs);
+      EXPECT_EQ(decoded->update.attrs->as_path, u.attrs->as_path);
+      EXPECT_EQ(decoded->update.attrs->med, u.attrs->med);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ranomaly::bgp

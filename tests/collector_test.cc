@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "collector/collector.h"
+#include "collector/event_stream.h"
+#include "net/simulator.h"
+
+namespace ranomaly::collector {
+namespace {
+
+using bgp::AsPath;
+using bgp::Event;
+using bgp::EventType;
+using bgp::Ipv4Addr;
+using bgp::PathAttributes;
+using bgp::Prefix;
+using util::kSecond;
+
+const Prefix kP = *Prefix::Parse("192.96.10.0/24");
+const Ipv4Addr kPeer(128, 32, 1, 3);
+
+PathAttributes Attrs(AsPath path) {
+  PathAttributes a;
+  a.nexthop = Ipv4Addr(128, 32, 0, 66);
+  a.as_path = std::move(path);
+  return a;
+}
+
+TEST(CollectorTest, WithdrawalAugmentedWithOldAttributes) {
+  Collector collector;
+  collector.OnAnnounce(0, kPeer, kP, Attrs({11423, 209}));
+  collector.OnWithdraw(kSecond, kPeer, kP);
+
+  const auto& events = collector.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].type, EventType::kWithdraw);
+  // The augmentation: the withdrawal carries the withdrawn attributes.
+  EXPECT_EQ(events[1].attrs.as_path, (AsPath{11423, 209}));
+  EXPECT_EQ(events[1].attrs.nexthop, Ipv4Addr(128, 32, 0, 66));
+}
+
+TEST(CollectorTest, UnmatchedWithdrawalCounted) {
+  Collector collector;
+  collector.OnWithdraw(0, kPeer, kP);
+  EXPECT_EQ(collector.events().size(), 0u);
+  EXPECT_EQ(collector.unmatched_withdrawals(), 1u);
+}
+
+TEST(CollectorTest, ImplicitReplacementKeepsSingleRoute) {
+  Collector collector;
+  collector.OnAnnounce(0, kPeer, kP, Attrs({1, 2}));
+  collector.OnAnnounce(kSecond, kPeer, kP, Attrs({3, 4}));
+  EXPECT_EQ(collector.RouteCount(), 1u);
+  // Withdrawal after replacement carries the *latest* attributes.
+  collector.OnWithdraw(2 * kSecond, kPeer, kP);
+  EXPECT_EQ(collector.events().back().attrs.as_path, (AsPath{3, 4}));
+}
+
+TEST(CollectorTest, CountsAcrossPeers) {
+  Collector collector;
+  const Ipv4Addr peer2(128, 32, 1, 200);
+  collector.OnAnnounce(0, kPeer, kP, Attrs({1}));
+  collector.OnAnnounce(1, peer2, kP, Attrs({2}));
+  collector.OnAnnounce(2, peer2, *Prefix::Parse("10.0.0.0/8"), Attrs({2}));
+  EXPECT_EQ(collector.RouteCount(), 3u);   // routes
+  EXPECT_EQ(collector.PrefixCount(), 2u);  // unique prefixes
+  EXPECT_EQ(collector.PeerCount(), 2u);
+  EXPECT_EQ(collector.NexthopCount(), 1u);
+  EXPECT_EQ(collector.Snapshot().size(), 3u);
+}
+
+TEST(CollectorTest, AttachedCollectorSeesSimulatorEvents) {
+  net::Topology topo;
+  const auto edge = topo.AddRouter(
+      net::RouterSpec{"edge", Ipv4Addr(128, 32, 1, 3), 25, 0, false, {}});
+  const auto upstream = topo.AddRouter(
+      net::RouterSpec{"up", Ipv4Addr(128, 32, 0, 66), 11423, 0, false, {}});
+  net::LinkSpec l;
+  l.a = edge;
+  l.b = upstream;
+  l.b_is_as_seen_by_a = net::PeerRelation::kProvider;
+  const auto link = topo.AddLink(l);
+
+  net::Simulator sim(std::move(topo));
+  Collector collector;
+  collector.AttachTo(sim, {edge});
+  sim.Originate(upstream, kP);
+  sim.Start();
+  sim.RunToQuiescence(10 * kSecond);
+
+  ASSERT_EQ(collector.events().size(), 1u);
+  EXPECT_EQ(collector.events()[0].type, EventType::kAnnounce);
+  EXPECT_EQ(collector.events()[0].peer, Ipv4Addr(128, 32, 1, 3));
+  EXPECT_EQ(collector.events()[0].attrs.as_path, (AsPath{11423}));
+
+  // Session loss produces an augmented withdrawal.
+  sim.ScheduleLinkDown(link, sim.now() + kSecond);
+  sim.RunToQuiescence(sim.now() + 10 * kSecond);
+  ASSERT_EQ(collector.events().size(), 2u);
+  EXPECT_EQ(collector.events()[1].type, EventType::kWithdraw);
+  EXPECT_EQ(collector.events()[1].attrs.as_path, (AsPath{11423}));
+  EXPECT_EQ(collector.RouteCount(), 0u);
+}
+
+TEST(CollectorTest, IbgpLearnedBestInvisibleToRex) {
+  // Edge router whose best moves to an iBGP-learned route: REX sees a
+  // withdrawal, not the internal alternative (the Fig 7 "128.32.1.3
+  // stopped announcing" effect).
+  net::Topology topo;
+  const auto e1 = topo.AddRouter(
+      net::RouterSpec{"e1", Ipv4Addr(1, 0, 0, 1), 25, 0, false, {}});
+  const auto e2 = topo.AddRouter(
+      net::RouterSpec{"e2", Ipv4Addr(1, 0, 0, 2), 25, 0, false, {}});
+  const auto up1 = topo.AddRouter(
+      net::RouterSpec{"up1", Ipv4Addr(2, 0, 0, 1), 100, 0, false, {}});
+  const auto up2 = topo.AddRouter(
+      net::RouterSpec{"up2", Ipv4Addr(3, 0, 0, 1), 100, 0, false, {}});
+  net::LinkSpec mesh;
+  mesh.a = e1;
+  mesh.b = e2;
+  mesh.b_is_as_seen_by_a = net::PeerRelation::kInternal;
+  topo.AddLink(mesh);
+  net::LinkSpec l1;
+  l1.a = e1;
+  l1.b = up1;
+  l1.b_is_as_seen_by_a = net::PeerRelation::kProvider;
+  const auto link1 = topo.AddLink(l1);
+  net::LinkSpec l2;
+  l2.a = e2;
+  l2.b = up2;
+  l2.b_is_as_seen_by_a = net::PeerRelation::kProvider;
+  topo.AddLink(l2);
+
+  net::Simulator sim(std::move(topo));
+  Collector collector;
+  collector.AttachTo(sim, {e1});
+  sim.Originate(up1, kP);
+  sim.Originate(up2, kP);
+  sim.Start();
+  sim.RunToQuiescence(10 * kSecond);
+
+  // e1's eBGP session drops; its best becomes the iBGP route via e2.
+  sim.ScheduleLinkDown(link1, sim.now() + kSecond);
+  sim.RunToQuiescence(sim.now() + 10 * kSecond);
+  ASSERT_NE(sim.RibOf(e1).Best(kP), nullptr);  // still has an iBGP route
+  ASSERT_GE(collector.events().size(), 2u);
+  EXPECT_EQ(collector.events().back().type, EventType::kWithdraw);
+  EXPECT_EQ(collector.RouteCount(), 0u);  // REX's view of e1 is empty
+}
+
+// --- EventStream -----------------------------------------------------------
+
+Event MakeEvent(util::SimTime t, EventType type = EventType::kAnnounce) {
+  Event e;
+  e.time = t;
+  e.peer = kPeer;
+  e.type = type;
+  e.prefix = kP;
+  e.attrs = Attrs({11423, 209});
+  return e;
+}
+
+TEST(EventStreamTest, RejectsOutOfOrder) {
+  EventStream stream;
+  stream.Append(MakeEvent(10));
+  EXPECT_THROW(stream.Append(MakeEvent(5)), std::invalid_argument);
+}
+
+TEST(EventStreamTest, TimeRangeAndWindow) {
+  EventStream stream;
+  for (int i = 0; i < 10; ++i) stream.Append(MakeEvent(i * kSecond));
+  EXPECT_EQ(stream.TimeRange(), 9 * kSecond);
+  const auto window = stream.Window(3 * kSecond, 6 * kSecond);
+  ASSERT_EQ(window.size(), 3u);  // t = 3,4,5
+  EXPECT_EQ(window.front().time, 3 * kSecond);
+}
+
+TEST(EventStreamTest, SaveLoadRoundTrip) {
+  EventStream stream;
+  stream.Append(MakeEvent(100, EventType::kAnnounce));
+  stream.Append(MakeEvent(200, EventType::kWithdraw));
+  std::stringstream ss;
+  stream.SaveText(ss);
+  const auto loaded = EventStream::LoadText(ss);
+  ASSERT_TRUE(loaded);
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].time, 100);
+  EXPECT_EQ((*loaded)[1].type, EventType::kWithdraw);
+  EXPECT_EQ((*loaded)[1].attrs.as_path, (AsPath{11423, 209}));
+}
+
+TEST(EventStreamTest, LoadRejectsGarbage) {
+  std::stringstream ss("not an event line\n");
+  EXPECT_FALSE(EventStream::LoadText(ss));
+}
+
+TEST(EventStreamTest, LoadSkipsComments) {
+  std::stringstream ss("# header\n\n100 A 1.2.3.4 NEXT_HOP: 1.1.1.1 ASPATH: 1 PREFIX: 10.0.0.0/8\n");
+  const auto loaded = EventStream::LoadText(ss);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->size(), 1u);
+}
+
+TEST(SpikeDetectionTest, FindsBurstWindow) {
+  // 1 event/sec baseline for 100s, burst of 200 events at t in [40,42).
+  std::vector<util::SimTime> times;
+  for (int t = 0; t < 100; ++t) times.push_back(t * kSecond);
+  for (int k = 0; k < 200; ++k) {
+    times.push_back(40 * kSecond + k * 10 * util::kMillisecond);
+  }
+  std::sort(times.begin(), times.end());
+  EventStream stream;
+  for (const util::SimTime t : times) stream.Append(MakeEvent(t));
+  const auto spikes = DetectSpikes(stream, kSecond, 5.0);
+  ASSERT_EQ(spikes.size(), 1u);
+  EXPECT_EQ(spikes[0].begin, 40 * kSecond);
+  EXPECT_GE(spikes[0].event_count, 200u);
+}
+
+TEST(SpikeDetectionTest, QuietStreamHasNoSpikes) {
+  EventStream stream;
+  for (int t = 0; t < 50; ++t) stream.Append(MakeEvent(t * kSecond));
+  EXPECT_TRUE(DetectSpikes(stream, kSecond, 5.0).empty());
+}
+
+}  // namespace
+}  // namespace ranomaly::collector

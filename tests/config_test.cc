@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "net/config.h"
+
+namespace ranomaly::net {
+namespace {
+
+using bgp::Community;
+using bgp::Ipv4Addr;
+using bgp::Prefix;
+
+// The paper's Section III-D.1 Berkeley configuration, spelled out.
+const char* kBerkeleyR13 = R"(
+! 128.32.1.3
+router bgp 25
+ neighbor 128.32.0.66 remote-as 11423
+ neighbor 128.32.0.66 route-map CALREN-IN in
+ neighbor 128.32.0.66 maximum-prefix 150000
+!
+ip community-list ISP permit 11423:65350
+!
+route-map CALREN-IN permit 10
+ match community ISP
+ set local-preference 80
+)";
+
+TEST(ConfigTest, ParsesBerkeleyR13) {
+  ConfigError error;
+  const auto config = RouterConfig::Parse(kBerkeleyR13, &error);
+  ASSERT_TRUE(config) << error.message << " at line " << error.line;
+  EXPECT_EQ(config->asn(), 25u);
+  ASSERT_EQ(config->neighbors().size(), 1u);
+  const auto& nc = config->neighbors().begin()->second;
+  EXPECT_EQ(nc.remote_as, 11423u);
+  EXPECT_EQ(nc.import_map_name, "CALREN-IN");
+  EXPECT_EQ(nc.max_prefix_limit, 150000u);
+  ASSERT_NE(config->FindRouteMap("CALREN-IN"), nullptr);
+  EXPECT_EQ(config->FindCommunityList("ISP"), Community(11423, 65350));
+}
+
+TEST(ConfigTest, CompiledPolicyBehaves) {
+  const auto config = RouterConfig::Parse(kBerkeleyR13);
+  ASSERT_TRUE(config);
+  const NeighborPolicy policy =
+      config->CompileNeighborPolicy(Ipv4Addr(128, 32, 0, 66));
+  EXPECT_EQ(policy.max_prefix_limit, 150000u);
+
+  bgp::PathAttributes tagged;
+  tagged.communities.Add(Community(11423, 65350));
+  const auto out =
+      policy.import_map.Apply(*Prefix::Parse("10.0.0.0/8"), tagged, 25);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->local_pref, 80u);
+
+  // Untagged routes hit the implicit deny: r13 filters everything else.
+  bgp::PathAttributes untagged;
+  EXPECT_FALSE(
+      policy.import_map.Apply(*Prefix::Parse("10.0.0.0/8"), untagged, 25));
+}
+
+TEST(ConfigTest, UnknownNeighborCompilesToPassthrough) {
+  const auto config = RouterConfig::Parse(kBerkeleyR13);
+  ASSERT_TRUE(config);
+  const NeighborPolicy policy =
+      config->CompileNeighborPolicy(Ipv4Addr(9, 9, 9, 9));
+  EXPECT_TRUE(policy.import_map.IsPassthrough());
+  EXPECT_EQ(policy.max_prefix_limit, 0u);
+}
+
+TEST(ConfigTest, CommunityReverseQuery) {
+  const auto config = RouterConfig::Parse(kBerkeleyR13);
+  ASSERT_TRUE(config);
+  const auto uses =
+      config->FindClausesMatchingCommunity(Community(11423, 65350));
+  ASSERT_EQ(uses.size(), 1u);
+  EXPECT_EQ(uses[0].map_name, "CALREN-IN");
+  EXPECT_EQ(uses[0].clause_index, 0u);
+  ASSERT_NE(uses[0].clause, nullptr);
+  EXPECT_EQ(uses[0].clause->set_local_pref, 80u);
+  EXPECT_TRUE(
+      config->FindClausesMatchingCommunity(Community(1, 1)).empty());
+}
+
+TEST(ConfigTest, PrefixListsAndGeLe) {
+  const char* text = R"(
+ip prefix-list SPLIT-A permit 0.0.0.0/1 ge 1 le 32
+ip prefix-list SPLIT-A deny 208.0.0.0/4 ge 4
+route-map M permit 10
+ match ip address prefix-list SPLIT-A
+)";
+  const auto config = RouterConfig::Parse(text);
+  ASSERT_TRUE(config);
+  const PrefixList* list = config->FindPrefixList("SPLIT-A");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->size(), 2u);
+  EXPECT_TRUE(list->Permits(*Prefix::Parse("10.0.0.0/8")));
+  EXPECT_FALSE(list->Permits(*Prefix::Parse("210.0.0.0/8")));
+}
+
+TEST(ConfigTest, MedAndPrependAndDelete) {
+  const char* text = R"(
+ip community-list OLD permit 1:1
+route-map OUT permit 10
+ set metric 50
+ set as-path prepend 3
+ set community 2:2 additive
+ set comm-list OLD delete
+)";
+  const auto config = RouterConfig::Parse(text);
+  ASSERT_TRUE(config);
+  const RouteMap* map = config->FindRouteMap("OUT");
+  ASSERT_NE(map, nullptr);
+  bgp::PathAttributes attrs;
+  attrs.communities.Add(Community(1, 1));
+  const auto out = map->Apply(*Prefix::Parse("10.0.0.0/8"), attrs, 77);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->med, 50u);
+  EXPECT_EQ(out->as_path, (bgp::AsPath{77, 77, 77}));
+  EXPECT_TRUE(out->communities.Contains(Community(2, 2)));
+  EXPECT_FALSE(out->communities.Contains(Community(1, 1)));
+}
+
+TEST(ConfigTest, BgpDecisionFlags) {
+  const char* text = R"(
+router bgp 1000
+ bgp deterministic-med
+ bgp always-compare-med
+)";
+  const auto config = RouterConfig::Parse(text);
+  ASSERT_TRUE(config);
+  EXPECT_TRUE(config->decision().deterministic_med);
+  EXPECT_TRUE(config->decision().always_compare_med);
+}
+
+TEST(ConfigTest, MultiClauseOrderPreserved) {
+  const char* text = R"(
+ip community-list ISP permit 11423:65350
+route-map IN permit 10
+ match community ISP
+ set local-preference 70
+route-map IN permit 20
+ set local-preference 100
+)";
+  const auto config = RouterConfig::Parse(text);
+  ASSERT_TRUE(config);
+  const RouteMap* map = config->FindRouteMap("IN");
+  ASSERT_NE(map, nullptr);
+  ASSERT_EQ(map->clauses().size(), 2u);
+  EXPECT_EQ(map->clauses()[0].set_local_pref, 70u);
+  EXPECT_EQ(map->clauses()[1].set_local_pref, 100u);
+}
+
+// --- error reporting -----------------------------------------------------
+
+struct BadConfigCase {
+  const char* text;
+  std::size_t error_line;
+};
+
+class ConfigErrorTest : public ::testing::TestWithParam<BadConfigCase> {};
+
+TEST_P(ConfigErrorTest, ReportsLineNumber) {
+  ConfigError error;
+  EXPECT_FALSE(RouterConfig::Parse(GetParam().text, &error));
+  EXPECT_EQ(error.line, GetParam().error_line) << error.message;
+  EXPECT_FALSE(error.message.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadConfigs, ConfigErrorTest,
+    ::testing::Values(
+        BadConfigCase{"router bgp\n", 1},
+        BadConfigCase{"router bgp abc\n", 1},
+        BadConfigCase{"router bgp 25\n neighbor 1.2.3 remote-as 1\n", 2},
+        BadConfigCase{"router bgp 25\n neighbor 1.2.3.4 remote-as x\n", 2},
+        BadConfigCase{"router bgp 25\n neighbor 1.2.3.4 route-map M sideways\n", 2},
+        BadConfigCase{"ip prefix-list X permit notaprefix\n", 1},
+        BadConfigCase{"ip community-list X permit 1:99999\n", 1},
+        BadConfigCase{"route-map M permit ten\n", 1},
+        BadConfigCase{"route-map M permit 10\n match community NOSUCH\n", 2},
+        BadConfigCase{"route-map M permit 10\n set bogosity 9\n", 2},
+        BadConfigCase{"floop\n", 1}));
+
+TEST(ConfigTest, CommentsAndBlanksIgnored) {
+  const char* text = "! comment\n\n!\nrouter bgp 25\n";
+  const auto config = RouterConfig::Parse(text);
+  ASSERT_TRUE(config);
+  EXPECT_EQ(config->asn(), 25u);
+}
+
+}  // namespace
+}  // namespace ranomaly::net

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "core/correlate.h"
+#include "core/pipeline.h"
+
+namespace ranomaly::core {
+namespace {
+
+using bgp::Community;
+using bgp::Event;
+using bgp::EventType;
+using bgp::Ipv4Addr;
+using bgp::Prefix;
+using util::kSecond;
+
+// A small incident whose events carry the CalREN ISP tag.
+struct Fixture {
+  std::vector<Event> events;
+  Incident incident;
+
+  Fixture() {
+    for (int i = 0; i < 4; ++i) {
+      Event e;
+      e.time = i * kSecond;
+      e.peer = Ipv4Addr(128, 32, 1, 3);
+      e.type = i % 2 == 0 ? EventType::kWithdraw : EventType::kAnnounce;
+      e.prefix = Prefix(Ipv4Addr(60, static_cast<std::uint8_t>(i / 2), 0, 0), 16);
+      e.attrs.as_path = bgp::AsPath{11423, 209};
+      e.attrs.communities.Add(Community(11423, 65350));
+      events.push_back(e);
+      incident.component.event_indices.push_back(i);
+    }
+    incident.component.prefixes = {*Prefix::Parse("60.0.0.0/16"),
+                                   *Prefix::Parse("60.1.0.0/16")};
+    incident.begin = 0;
+    incident.end = 3 * kSecond;
+  }
+};
+
+const char* kR13Config = R"(
+router bgp 25
+ neighbor 128.32.0.66 remote-as 11423
+ neighbor 128.32.0.66 route-map CALREN-IN in
+ip community-list ISP permit 11423:65350
+route-map CALREN-IN permit 10
+ match community ISP
+ set local-preference 80
+)";
+
+TEST(PolicyCorrelationTest, FindsLocalPrefClauseForCommunity) {
+  const Fixture fx;
+  const auto config = net::RouterConfig::Parse(kR13Config);
+  ASSERT_TRUE(config);
+  const NamedConfig named{"128.32.1.3", &*config};
+  const auto findings =
+      CorrelatePolicies(fx.incident, fx.events, std::span(&named, 1));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].community, Community(11423, 65350));
+  EXPECT_EQ(findings[0].router_name, "128.32.1.3");
+  EXPECT_EQ(findings[0].route_map_name, "CALREN-IN");
+  EXPECT_NE(findings[0].action.find("local-preference 80"),
+            std::string::npos);
+}
+
+TEST(PolicyCorrelationTest, NoFindingsForUnrelatedCommunity) {
+  Fixture fx;
+  for (auto& e : fx.events) {
+    e.attrs.communities = bgp::CommunitySet{Community(9, 9)};
+  }
+  const auto config = net::RouterConfig::Parse(kR13Config);
+  ASSERT_TRUE(config);
+  const NamedConfig named{"128.32.1.3", &*config};
+  EXPECT_TRUE(
+      CorrelatePolicies(fx.incident, fx.events, std::span(&named, 1)).empty());
+}
+
+TEST(PolicyCorrelationTest, MultipleConfigsSearched) {
+  const Fixture fx;
+  const auto c1 = net::RouterConfig::Parse(kR13Config);
+  const auto c2 = net::RouterConfig::Parse(kR13Config);
+  ASSERT_TRUE(c1 && c2);
+  const std::vector<NamedConfig> configs = {{"r1", &*c1}, {"r2", &*c2}};
+  EXPECT_EQ(CorrelatePolicies(fx.incident, fx.events, configs).size(), 2u);
+}
+
+TEST(TrafficImpactTest, SumsVolumesAndCountsElephants) {
+  const Fixture fx;
+  const std::vector<Prefix> prefixes = {
+      *Prefix::Parse("60.0.0.0/16"), *Prefix::Parse("60.1.0.0/16"),
+      *Prefix::Parse("70.0.0.0/16")};
+  traffic::TrafficMatrix matrix(prefixes);
+  matrix.AddFlow({0, Ipv4Addr(60, 0, 1, 1), 9000});   // elephant
+  matrix.AddFlow({0, Ipv4Addr(60, 1, 1, 1), 500});
+  matrix.AddFlow({0, Ipv4Addr(70, 0, 1, 1), 500});
+  const TrafficImpact impact = AssessTrafficImpact(fx.incident, matrix, 0.8);
+  EXPECT_EQ(impact.bytes, 9500u);
+  EXPECT_NEAR(impact.volume_fraction, 9500.0 / 10000.0, 1e-9);
+  EXPECT_EQ(impact.elephant_prefixes, 1u);
+}
+
+TEST(IgpCorrelationTest, PullsLsasAroundIncident) {
+  const Fixture fx;
+  igp::LsaLog log;
+  igp::Lsa lsa;
+  lsa.origin = 7;
+  lsa.sequence = 2;
+  log.Record(kSecond, lsa, igp::LsaDisposition::kInstalledNewer);
+  log.Record(500 * kSecond, lsa, igp::LsaDisposition::kInstalledNewer);
+
+  const IgpCorrelation correlation = CorrelateIgp(fx.incident, log, 10 * kSecond);
+  ASSERT_EQ(correlation.lsa_events.size(), 1u);
+  EXPECT_EQ(correlation.lsa_events[0].time, kSecond);
+  EXPECT_TRUE(correlation.igp_active);
+}
+
+TEST(IgpCorrelationTest, QuietIgpReportsInactive) {
+  const Fixture fx;
+  igp::LsaLog log;
+  const IgpCorrelation correlation = CorrelateIgp(fx.incident, log);
+  EXPECT_TRUE(correlation.lsa_events.empty());
+  EXPECT_FALSE(correlation.igp_active);
+}
+
+TEST(IgpCorrelationTest, StaleLsasDoNotCountAsActivity) {
+  const Fixture fx;
+  igp::LsaLog log;
+  igp::Lsa lsa;
+  log.Record(kSecond, lsa, igp::LsaDisposition::kIgnoredStale);
+  const IgpCorrelation correlation = CorrelateIgp(fx.incident, log);
+  EXPECT_FALSE(correlation.igp_active);
+  EXPECT_EQ(correlation.lsa_events.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ranomaly::core

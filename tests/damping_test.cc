@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "collector/collector.h"
+#include "net/simulator.h"
+
+namespace ranomaly::net {
+namespace {
+
+using bgp::Ipv4Addr;
+using bgp::Prefix;
+using util::kMinute;
+using util::kSecond;
+
+const Prefix kP = *Prefix::Parse("1.0.0.0/22");
+
+struct FlapFixture {
+  Topology topo;
+  RouterIndex isp = 0;
+  RouterIndex customer = 0;
+  LinkIndex link = 0;
+
+  explicit FlapFixture(DampingConfig damping) {
+    isp = topo.AddRouter(RouterSpec{"isp", Ipv4Addr(10, 0, 0, 1), 100, 0, false, {}});
+    customer = topo.AddRouter(
+        RouterSpec{"cust", Ipv4Addr(1, 0, 0, 1), 200, 0, false, {}});
+    LinkSpec l;
+    l.a = isp;
+    l.b = customer;
+    l.b_is_as_seen_by_a = PeerRelation::kCustomer;
+    l.a_policy.damping = damping;
+    link = topo.AddLink(l);
+  }
+};
+
+DampingConfig DefaultDamping() {
+  DampingConfig d;
+  d.enabled = true;
+  return d;
+}
+
+TEST(DampingTest, RepeatedFlapsSuppressTheRoute) {
+  FlapFixture fx(DefaultDamping());
+  Simulator sim(std::move(fx.topo));
+  sim.Originate(fx.customer, kP);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(kMinute));
+  ASSERT_NE(sim.RibOf(fx.isp).Best(kP), nullptr);
+
+  // Three quick withdraw/announce cycles push the penalty past the 2000
+  // suppress threshold (decay between flaps keeps two just short of it);
+  // the announcement after crossing is withheld.
+  util::SimTime t = sim.now() + kSecond;
+  for (int i = 0; i < 3; ++i) {
+    sim.ScheduleWithdrawOrigin(t, fx.customer, kP);
+    sim.ScheduleOriginate(t + kSecond, fx.customer, kP, {});
+    t += 10 * kSecond;
+  }
+  sim.Run(t + kMinute);
+  EXPECT_GE(sim.stats().routes_damped, 1u);
+  EXPECT_EQ(sim.RibOf(fx.isp).Best(kP), nullptr);  // suppressed
+}
+
+TEST(DampingTest, SuppressedRouteReusedAfterDecay) {
+  DampingConfig damping = DefaultDamping();
+  damping.half_life = kMinute;  // fast decay for the test
+  FlapFixture fx(damping);
+  Simulator sim(std::move(fx.topo));
+  sim.Originate(fx.customer, kP);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(kMinute));
+
+  util::SimTime t = sim.now() + kSecond;
+  for (int i = 0; i < 3; ++i) {
+    sim.ScheduleWithdrawOrigin(t, fx.customer, kP);
+    sim.ScheduleOriginate(t + kSecond, fx.customer, kP, {});
+    t += 5 * kSecond;
+  }
+  sim.Run(t + 10 * kSecond);
+  ASSERT_EQ(sim.RibOf(fx.isp).Best(kP), nullptr);  // suppressed
+
+  // Penalty ~2800 with a 1-minute half-life decays below reuse (750)
+  // after ~2 half-lives; shortly after, the route must be back.
+  ASSERT_TRUE(sim.RunToQuiescence(sim.now() + 5 * kMinute));
+  EXPECT_NE(sim.RibOf(fx.isp).Best(kP), nullptr);
+  EXPECT_GE(sim.stats().routes_reused, 1u);
+}
+
+TEST(DampingTest, SingleFlapDoesNotSuppress) {
+  FlapFixture fx(DefaultDamping());
+  Simulator sim(std::move(fx.topo));
+  sim.Originate(fx.customer, kP);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(kMinute));
+  sim.ScheduleWithdrawOrigin(sim.now() + kSecond, fx.customer, kP);
+  sim.ScheduleOriginate(sim.now() + 2 * kSecond, fx.customer, kP, {});
+  ASSERT_TRUE(sim.RunToQuiescence(sim.now() + kMinute));
+  EXPECT_NE(sim.RibOf(fx.isp).Best(kP), nullptr);
+  EXPECT_EQ(sim.stats().routes_damped, 0u);
+}
+
+TEST(DampingTest, DisabledByDefault) {
+  FlapFixture fx(DampingConfig{});  // not enabled
+  Simulator sim(std::move(fx.topo));
+  sim.Originate(fx.customer, kP);
+  sim.Start();
+  sim.RunToQuiescence(kMinute);
+  util::SimTime t = sim.now() + kSecond;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleWithdrawOrigin(t, fx.customer, kP);
+    sim.ScheduleOriginate(t + kSecond, fx.customer, kP, {});
+    t += 5 * kSecond;
+  }
+  ASSERT_TRUE(sim.RunToQuiescence(t + kMinute));
+  EXPECT_EQ(sim.stats().routes_damped, 0u);
+  EXPECT_NE(sim.RibOf(fx.isp).Best(kP), nullptr);
+}
+
+TEST(DampingTest, PenaltyCapBoundsSuppressionTime) {
+  // Hammer the route far past max_penalty; the reuse time must still be
+  // bounded by decay from the cap, not unbounded accumulation.
+  DampingConfig damping = DefaultDamping();
+  damping.half_life = kMinute;
+  FlapFixture fx(damping);
+  Simulator sim(std::move(fx.topo));
+  sim.Originate(fx.customer, kP);
+  sim.Start();
+  sim.RunToQuiescence(kMinute);
+  util::SimTime t = sim.now() + kSecond;
+  for (int i = 0; i < 50; ++i) {
+    sim.ScheduleWithdrawOrigin(t, fx.customer, kP);
+    sim.ScheduleOriginate(t + kSecond, fx.customer, kP, {});
+    t += 2 * kSecond;
+  }
+  sim.Run(t);
+  ASSERT_EQ(sim.RibOf(fx.isp).Best(kP), nullptr);
+  // From the 12000 cap to 750 is log2(16) = 4 half-lives; allow slack.
+  ASSERT_TRUE(sim.RunToQuiescence(sim.now() + 10 * kMinute));
+  EXPECT_NE(sim.RibOf(fx.isp).Best(kP), nullptr);
+}
+
+TEST(DampingTest, DampingShieldsTheMeshFromFlapChurn) {
+  // The RFC 2439 pitch applied to the paper's IV-E: with damping at the
+  // edge, a flapping customer stops hammering the rest of the network.
+  auto run = [](bool with_damping) {
+    Topology topo;
+    const auto edge = topo.AddRouter(
+        RouterSpec{"edge", Ipv4Addr(10, 0, 0, 1), 100, 0, false, {}});
+    // The core is a route reflector so the collector (an RR client, as
+    // REX is) sees its full best-path changes.
+    const auto core = topo.AddRouter(
+        RouterSpec{"core", Ipv4Addr(10, 0, 0, 2), 100, 0, true, {}});
+    const auto cust = topo.AddRouter(
+        RouterSpec{"cust", Ipv4Addr(1, 0, 0, 1), 200, 0, false, {}});
+    LinkSpec mesh;
+    mesh.a = edge;
+    mesh.b = core;
+    mesh.b_is_as_seen_by_a = PeerRelation::kInternal;
+    topo.AddLink(mesh);
+    LinkSpec l;
+    l.a = edge;
+    l.b = cust;
+    l.b_is_as_seen_by_a = PeerRelation::kCustomer;
+    if (with_damping) {
+      l.a_policy.damping.enabled = true;
+      l.a_policy.damping.half_life = 30 * kMinute;
+    }
+    topo.AddLink(l);
+
+    Simulator sim(std::move(topo));
+    collector::Collector rex;
+    rex.AttachTo(sim, {core});
+    sim.Originate(cust, kP);
+    sim.Start();
+    sim.RunToQuiescence(kMinute);
+    const std::size_t baseline = rex.events().size();
+    util::SimTime t = sim.now() + kMinute;
+    for (int i = 0; i < 30; ++i) {
+      sim.ScheduleWithdrawOrigin(t, cust, kP);
+      sim.ScheduleOriginate(t + 10 * kSecond, cust, kP, {});
+      t += kMinute;
+    }
+    sim.Run(t + kMinute);
+    return rex.events().size() - baseline;
+  };
+  const auto without = run(false);
+  const auto with = run(true);
+  EXPECT_GE(without, 40u);     // the mesh sees the full churn
+  EXPECT_LT(with, without / 4);  // damping absorbs it at the edge
+}
+
+}  // namespace
+}  // namespace ranomaly::net

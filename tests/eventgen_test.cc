@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "workload/eventgen.h"
+
+namespace ranomaly::workload {
+namespace {
+
+using bgp::EventType;
+using util::kMinute;
+using util::kSecond;
+
+InternetOptions SmallInternet() {
+  InternetOptions options;
+  options.monitored_peers = 3;
+  options.nexthops_per_peer = 2;
+  options.tier1_count = 4;
+  options.transit_count = 10;
+  options.origin_as_count = 50;
+  options.prefix_count = 400;
+  options.seed = 17;
+  return options;
+}
+
+TEST(SyntheticInternetTest, ScalesMatchOptions) {
+  const SyntheticInternet internet(SmallInternet());
+  EXPECT_EQ(internet.prefixes().size(), 400u);
+  EXPECT_EQ(internet.peers().size(), 3u);
+  EXPECT_EQ(internet.nexthops().size(), 6u);
+  // coverage 0.95 over 3 peers: roughly 3*0.95*400 routes.
+  EXPECT_NEAR(static_cast<double>(internet.routes().size()), 3 * 0.95 * 400,
+              120);
+}
+
+TEST(SyntheticInternetTest, PathsStartWithLocalAs) {
+  const SyntheticInternet internet(SmallInternet());
+  for (const auto& route : internet.routes()) {
+    ASSERT_GE(route.attrs.as_path.Length(), 3u);
+    EXPECT_EQ(route.attrs.as_path.FirstHop(),
+              internet.options().local_as);
+  }
+}
+
+TEST(SyntheticInternetTest, DeterministicPerSeed) {
+  const SyntheticInternet a(SmallInternet());
+  const SyntheticInternet b(SmallInternet());
+  ASSERT_EQ(a.routes().size(), b.routes().size());
+  for (std::size_t i = 0; i < a.routes().size(); ++i) {
+    EXPECT_EQ(a.routes()[i].prefix, b.routes()[i].prefix);
+    EXPECT_EQ(a.routes()[i].attrs.as_path, b.routes()[i].attrs.as_path);
+  }
+}
+
+TEST(EventStreamGeneratorTest, StreamIsTimeOrdered) {
+  const SyntheticInternet internet(SmallInternet());
+  EventStreamGenerator gen(internet, 1);
+  gen.SessionReset(0, 10 * kSecond, kMinute, 30 * kSecond);
+  gen.Churn(0, 10 * kMinute, 200);
+  const auto stream = gen.Take();
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_LE(stream[i - 1].time, stream[i].time);
+  }
+  EXPECT_EQ(gen.PendingEvents(), 0u);
+}
+
+TEST(EventStreamGeneratorTest, SessionResetWithdrawsAndRestores) {
+  const SyntheticInternet internet(SmallInternet());
+  EventStreamGenerator gen(internet, 2);
+  gen.SessionReset(1, 0, kMinute, 10 * kSecond, /*exploration=*/0.0);
+  const auto stream = gen.Take();
+
+  // Every route of peer 1 contributes one withdrawal and one announce.
+  std::size_t peer1_routes = 0;
+  for (const auto& r : internet.routes()) {
+    if (r.peer == internet.peers()[1]) ++peer1_routes;
+  }
+  EXPECT_EQ(stream.size(), 2 * peer1_routes);
+
+  std::size_t withdraws = 0;
+  for (const auto& e : stream.events()) {
+    EXPECT_EQ(e.peer, internet.peers()[1]);
+    if (e.type == EventType::kWithdraw) {
+      ++withdraws;
+      EXPECT_FALSE(e.attrs.as_path.Empty());  // augmented withdrawal
+    }
+  }
+  EXPECT_EQ(withdraws, peer1_routes);
+}
+
+TEST(EventStreamGeneratorTest, ExplorationAddsEvents) {
+  const SyntheticInternet internet(SmallInternet());
+  EventStreamGenerator plain(internet, 3);
+  plain.SessionReset(0, 0, kMinute, 10 * kSecond, 0.0);
+  const auto base = plain.Take().size();
+
+  EventStreamGenerator exploring(internet, 3);
+  exploring.SessionReset(0, 0, kMinute, 10 * kSecond, 1.0);
+  const auto with = exploring.Take().size();
+  // Path exploration: each withdrawal becomes announce+withdraw.
+  EXPECT_GT(with, base);
+}
+
+TEST(EventStreamGeneratorTest, Tier1FailoverMovesSharedPaths) {
+  const SyntheticInternet internet(SmallInternet());
+  EventStreamGenerator gen(internet, 4);
+  gen.Tier1Failover(0, 1, 0, 30 * kSecond);
+  const auto stream = gen.Take();
+  ASSERT_GT(stream.size(), 0u);
+  // Withdrawals name the failed tier-1, announcements the alternate.
+  const bgp::AsNumber failed = internet.PathVia(0, 0, 0).asns()[1];
+  const bgp::AsNumber alternate = internet.PathVia(1, 0, 0).asns()[1];
+  for (const auto& e : stream.events()) {
+    if (e.type == EventType::kWithdraw) {
+      EXPECT_EQ(e.attrs.as_path.asns()[1], failed);
+    } else {
+      EXPECT_EQ(e.attrs.as_path.asns()[1], alternate);
+    }
+  }
+}
+
+TEST(EventStreamGeneratorTest, PrefixOscillationAlternates) {
+  const SyntheticInternet internet(SmallInternet());
+  EventStreamGenerator gen(internet, 5);
+  gen.PrefixOscillation(7, 0, kMinute, kSecond);
+  const auto stream = gen.Take();
+  // Every route of the prefix flaps each cycle (the whole mesh sees it).
+  std::size_t route_count = 0;
+  for (const auto& r : internet.routes()) {
+    if (r.prefix == internet.prefixes()[7]) ++route_count;
+  }
+  ASSERT_GE(route_count, 1u);
+  ASSERT_GE(stream.size(), 100 * route_count);  // ~60 cycles x 2 x routes
+  std::size_t withdraws = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(stream[i].prefix, internet.prefixes()[7]);
+    if (stream[i].type == EventType::kWithdraw) ++withdraws;
+  }
+  EXPECT_EQ(withdraws * 2, stream.size());  // strict W/A alternation per route
+}
+
+TEST(EventStreamGeneratorTest, ChurnStaysInInterval) {
+  const SyntheticInternet internet(SmallInternet());
+  EventStreamGenerator gen(internet, 6);
+  gen.Churn(kMinute, 2 * kMinute, 100);
+  const auto stream = gen.Take();
+  EXPECT_GE(stream.events().front().time, kMinute);
+  // Re-announcements land up to 30s past the interval end.
+  EXPECT_LE(stream.events().back().time, 2 * kMinute + 31 * kSecond);
+}
+
+TEST(EventStreamGeneratorTest, ChurnRejectsEmptyInterval) {
+  const SyntheticInternet internet(SmallInternet());
+  EventStreamGenerator gen(internet, 7);
+  EXPECT_THROW(gen.Churn(kMinute, kMinute, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ranomaly::workload

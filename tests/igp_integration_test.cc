@@ -1,0 +1,145 @@
+// The full Section III-D.3 loop: a live link-state database supplies the
+// IGP costs the BGP decision process uses; an LSA metric change triggers
+// the BGP scanner, moves the best path ("hot potato"), produces collector
+// events, and the incident's IGP drill-down finds the causal LSA.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "collector/collector.h"
+#include "core/correlate.h"
+#include "core/pipeline.h"
+#include "igp/lsa.h"
+#include "net/simulator.h"
+
+namespace ranomaly {
+namespace {
+
+using bgp::Ipv4Addr;
+using bgp::Prefix;
+using util::kMinute;
+using util::kSecond;
+
+const Prefix kP = *Prefix::Parse("198.51.100.0/24");
+
+// Router ids in the IGP: 1 = the monitored core, 2 = exit A, 3 = exit B.
+constexpr igp::RouterId kCore = 1;
+constexpr igp::RouterId kExitA = 2;
+constexpr igp::RouterId kExitB = 3;
+
+struct HotPotatoFixture {
+  std::shared_ptr<igp::LinkStateDb> lsdb = std::make_shared<igp::LinkStateDb>();
+  igp::LsaLog lsa_log;
+  net::Topology topo;
+  net::RouterIndex core = 0, exit_a = 0, exit_b = 0, ext_a = 0, ext_b = 0;
+
+  HotPotatoFixture() {
+    // Baseline IGP: core-exitA cost 5, core-exitB cost 10.
+    Install(0, igp::Lsa{kCore, 0, 1, {{kExitA, 5}, {kExitB, 10}}});
+    Install(0, igp::Lsa{kExitA, 0, 1, {{kCore, 5}}});
+    Install(0, igp::Lsa{kExitB, 0, 1, {{kCore, 10}}});
+
+    // BGP: the core hears kP from both exits over iBGP; the decision tie
+    // falls through to IGP cost, computed live from the shared LSDB.
+    net::RouterSpec core_spec{"core", Ipv4Addr(10, 0, 0, 1), 100, 0, true, {}};
+    auto db = lsdb;
+    core_spec.decision.igp_cost = [db](Ipv4Addr nexthop) -> std::uint32_t {
+      const igp::RouterId exit =
+          nexthop == Ipv4Addr(20, 0, 0, 1) ? kExitA : kExitB;
+      return db->Cost(kCore, exit).value_or(1000);
+    };
+    core = topo.AddRouter(std::move(core_spec));
+    exit_a = topo.AddRouter(
+        net::RouterSpec{"exit-a", Ipv4Addr(10, 0, 0, 2), 100, 0, false, {}});
+    exit_b = topo.AddRouter(
+        net::RouterSpec{"exit-b", Ipv4Addr(10, 0, 0, 3), 100, 0, false, {}});
+    ext_a = topo.AddRouter(
+        net::RouterSpec{"ext-a", Ipv4Addr(20, 0, 0, 1), 200, 0, false, {}});
+    ext_b = topo.AddRouter(
+        net::RouterSpec{"ext-b", Ipv4Addr(20, 0, 0, 2), 200, 0, false, {}});
+    Link(core, exit_a, net::PeerRelation::kInternal, true);
+    Link(core, exit_b, net::PeerRelation::kInternal, true);
+    Link(exit_a, ext_a, net::PeerRelation::kPeer);
+    Link(exit_b, ext_b, net::PeerRelation::kPeer);
+  }
+
+  void Install(util::SimTime t, const igp::Lsa& lsa) {
+    lsa_log.Record(t, lsa, lsdb->Install(lsa));
+  }
+
+  void Link(net::RouterIndex a, net::RouterIndex b, net::PeerRelation rel,
+            bool client = false) {
+    net::LinkSpec l;
+    l.a = a;
+    l.b = b;
+    l.b_is_as_seen_by_a = rel;
+    l.b_is_rr_client_of_a = client;
+    topo.AddLink(l);
+  }
+};
+
+TEST(IgpIntegrationTest, LsaMetricChangeMovesBgpBestPath) {
+  HotPotatoFixture fx;
+  net::Simulator sim(fx.topo);
+  collector::Collector rex;
+  rex.AttachTo(sim, {fx.core});
+  sim.Originate(fx.ext_a, kP);
+  sim.Originate(fx.ext_b, kP);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(5 * kMinute));
+
+  // Hot potato: exit A is closer (5 < 10).
+  const auto* best = sim.RibOf(fx.core).Best(kP);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->attrs.nexthop, Ipv4Addr(20, 0, 0, 1));
+
+  // The IGP event: core-exitA link cost jumps to 50 (new LSA), and the
+  // BGP scanner runs.
+  const util::SimTime igp_change_at = sim.now() + kMinute;
+  sim.Run(igp_change_at);
+  fx.Install(igp_change_at,
+             igp::Lsa{kCore, 0, 2, {{kExitA, 50}, {kExitB, 10}}});
+  fx.Install(igp_change_at, igp::Lsa{kExitA, 0, 2, {{kCore, 50}}});
+  sim.OnIgpChange(fx.core);
+  ASSERT_TRUE(sim.RunToQuiescence(sim.now() + 5 * kMinute));
+
+  // The best moved to exit B purely because of the IGP.
+  best = sim.RibOf(fx.core).Best(kP);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->attrs.nexthop, Ipv4Addr(20, 0, 0, 2));
+
+  // The collector saw the implicit replacement...
+  ASSERT_GE(rex.events().size(), 2u);
+  const auto& last = rex.events().back();
+  EXPECT_EQ(last.type, bgp::EventType::kAnnounce);
+  EXPECT_EQ(last.attrs.nexthop, Ipv4Addr(20, 0, 0, 2));
+
+  // ...and the D.3 drill-down around that event finds the causal LSAs.
+  core::Incident incident;
+  incident.begin = last.time;
+  incident.end = last.time;
+  const auto correlation = core::CorrelateIgp(incident, fx.lsa_log, kSecond);
+  EXPECT_TRUE(correlation.igp_active);
+  ASSERT_GE(correlation.lsa_events.size(), 2u);
+  EXPECT_EQ(correlation.lsa_events[0].lsa.sequence, 2u);
+}
+
+TEST(IgpIntegrationTest, NoOpIgpChangeIsSilent) {
+  HotPotatoFixture fx;
+  net::Simulator sim(fx.topo);
+  collector::Collector rex;
+  rex.AttachTo(sim, {fx.core});
+  sim.Originate(fx.ext_a, kP);
+  sim.Originate(fx.ext_b, kP);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(5 * kMinute));
+  const std::size_t baseline = rex.events().size();
+
+  // A scanner run without any IGP change must produce nothing.
+  sim.OnIgpChange(fx.core);
+  ASSERT_TRUE(sim.RunToQuiescence(sim.now() + kMinute));
+  EXPECT_EQ(rex.events().size(), baseline);
+}
+
+}  // namespace
+}  // namespace ranomaly

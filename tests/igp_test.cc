@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "igp/lsa.h"
+
+namespace ranomaly::igp {
+namespace {
+
+Lsa MakeLsa(RouterId origin, std::uint32_t seq,
+            std::vector<AdvertisedLink> links, AreaId area = kBackboneArea) {
+  Lsa lsa;
+  lsa.origin = origin;
+  lsa.sequence = seq;
+  lsa.links = std::move(links);
+  lsa.area = area;
+  return lsa;
+}
+
+TEST(LinkStateDbTest, InstallAndFreshness) {
+  LinkStateDb db;
+  EXPECT_EQ(db.Install(MakeLsa(1, 1, {{2, 10}})), LsaDisposition::kInstalledNew);
+  EXPECT_EQ(db.Install(MakeLsa(1, 1, {{2, 5}})), LsaDisposition::kIgnoredStale);
+  EXPECT_EQ(db.Install(MakeLsa(1, 2, {{2, 5}})),
+            LsaDisposition::kInstalledNewer);
+  ASSERT_NE(db.Find(kBackboneArea, 1), nullptr);
+  EXPECT_EQ(db.Find(kBackboneArea, 1)->links[0].cost, 5u);
+  EXPECT_EQ(db.LsaCount(), 1u);
+}
+
+TEST(LinkStateDbTest, SpfRequiresTwoWayAdjacency) {
+  LinkStateDb db;
+  db.Install(MakeLsa(1, 1, {{2, 10}}));
+  // Router 2 does not advertise back yet: 2 unreachable.
+  auto dist = db.Spf(1);
+  EXPECT_FALSE(dist.contains(2));
+  db.Install(MakeLsa(2, 1, {{1, 10}}));
+  dist = db.Spf(1);
+  ASSERT_TRUE(dist.contains(2));
+  EXPECT_EQ(dist.at(2), 10u);
+}
+
+TEST(LinkStateDbTest, SpfPicksShortestPath) {
+  LinkStateDb db;
+  // 1 -10- 2 -10- 4 and 1 -5- 3 -5- 4: SPF must find cost 10 via 3.
+  db.Install(MakeLsa(1, 1, {{2, 10}, {3, 5}}));
+  db.Install(MakeLsa(2, 1, {{1, 10}, {4, 10}}));
+  db.Install(MakeLsa(3, 1, {{1, 5}, {4, 5}}));
+  db.Install(MakeLsa(4, 1, {{2, 10}, {3, 5}}));
+  EXPECT_EQ(db.Cost(1, 4), 10u);
+  EXPECT_EQ(db.Cost(4, 1), 10u);
+  EXPECT_EQ(db.Cost(1, 2), 10u);
+}
+
+TEST(LinkStateDbTest, CostChangeAfterNewLsa) {
+  LinkStateDb db;
+  db.Install(MakeLsa(1, 1, {{2, 10}}));
+  db.Install(MakeLsa(2, 1, {{1, 10}}));
+  EXPECT_EQ(db.Cost(1, 2), 10u);
+  // A metric change arrives as a newer LSA (what D.3 drills into).
+  db.Install(MakeLsa(1, 2, {{2, 100}}));
+  db.Install(MakeLsa(2, 2, {{1, 100}}));
+  EXPECT_EQ(db.Cost(1, 2), 100u);
+}
+
+TEST(LinkStateDbTest, UnreachableReturnsNullopt) {
+  LinkStateDb db;
+  db.Install(MakeLsa(1, 1, {}));
+  EXPECT_FALSE(db.Cost(1, 99));
+}
+
+TEST(LinkStateDbTest, MultiAreaStitching) {
+  LinkStateDb db;
+  // Area 0: 1 - 2 (ABR); area 1: 2 - 3.  Berkeley runs 4-area OSPF.
+  db.Install(MakeLsa(1, 1, {{2, 1}}, 0));
+  db.Install(MakeLsa(2, 1, {{1, 1}}, 0));
+  db.Install(MakeLsa(2, 1, {{3, 2}}, 1));
+  db.Install(MakeLsa(3, 1, {{2, 2}}, 1));
+  EXPECT_EQ(db.Cost(1, 3), 3u);
+  EXPECT_EQ(db.Areas().size(), 2u);
+}
+
+TEST(LsaLogTest, EventsNearWindow) {
+  LsaLog log;
+  using util::kSecond;
+  for (int i = 0; i < 10; ++i) {
+    log.Record(i * kSecond, MakeLsa(1, static_cast<std::uint32_t>(i), {}),
+               LsaDisposition::kInstalledNewer);
+  }
+  const auto hits = log.EventsNear(5 * kSecond, 2 * kSecond);
+  ASSERT_EQ(hits.size(), 5u);  // t = 3,4,5,6,7
+  EXPECT_EQ(hits.front().time, 3 * kSecond);
+  EXPECT_EQ(hits.back().time, 7 * kSecond);
+}
+
+TEST(LsaLogTest, EmptyWindow) {
+  LsaLog log;
+  log.Record(100 * util::kSecond, MakeLsa(1, 1, {}),
+             LsaDisposition::kInstalledNew);
+  EXPECT_TRUE(log.EventsNear(0, util::kSecond).empty());
+}
+
+}  // namespace
+}  // namespace ranomaly::igp

@@ -1,0 +1,176 @@
+// End-to-end integration: simulator -> collector -> spike detection ->
+// Stemming -> classification -> TAMP picture/animation, plus the D.1-D.3
+// correlators, exercised together the way the product pipeline runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <sstream>
+
+#include "collector/collector.h"
+#include "core/correlate.h"
+#include "core/pipeline.h"
+#include "tamp/animation.h"
+#include "tamp/render.h"
+#include "workload/berkeley.h"
+#include "workload/eventgen.h"
+
+namespace ranomaly {
+namespace {
+
+using util::kMinute;
+using util::kSecond;
+
+TEST(IntegrationTest, BerkeleyLeakEndToEnd) {
+  // Build, converge, inject the IV-D leak, and drive the full analysis
+  // stack over the collector's stream.
+  workload::BerkeleyOptions options;
+  options.commodity_prefixes = 120;
+  options.leak_prefixes = 30;
+  workload::BerkeleyNet net = workload::BuildBerkeley(options);
+  net::Simulator sim(net.topology, 11);
+  collector::Collector collector;
+  collector.AttachTo(sim, net.monitored);
+  net.SeedRoutes(sim);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(10 * kMinute));
+
+  const std::size_t snapshot_events = collector.events().size();
+  const auto initial_snapshot = collector.Snapshot();
+
+  const util::SimTime t0 = sim.now() + kMinute;
+  workload::InjectRouteLeak(sim, net, t0, 2 * kMinute, kMinute, 1);
+  ASSERT_TRUE(sim.RunToQuiescence(t0 + 10 * kMinute));
+
+  // 1. The pipeline finds the incident in the stream.
+  core::Pipeline pipeline;
+  const auto window = collector.events().Window(t0 - kSecond, t0 + kMinute);
+  const auto incidents = pipeline.AnalyzeWindow(window);
+  ASSERT_FALSE(incidents.empty());
+  const core::Incident& incident = incidents[0];
+  EXPECT_GE(incident.prefix_count, 25u);
+
+  // 2. D.1: the component's communities correlate to the parsed configs.
+  const auto r13_cfg = net::RouterConfig::Parse(net.r13_config_text);
+  const auto r1200_cfg = net::RouterConfig::Parse(net.r1200_config_text);
+  ASSERT_TRUE(r13_cfg && r1200_cfg);
+  const std::vector<core::NamedConfig> configs = {
+      {"128.32.1.3", &*r13_cfg}, {"128.32.1.200", &*r1200_cfg}};
+  const auto findings = core::CorrelatePolicies(incident, window, configs);
+  // The withdrawn routes carried 11423:65350, which both routers' maps
+  // act on — exactly the Section III-D.1 story.
+  ASSERT_FALSE(findings.empty());
+  bool saw_lp80 = false;
+  bool saw_lp70 = false;
+  for (const auto& f : findings) {
+    if (f.action.find("local-preference 80") != std::string::npos) saw_lp80 = true;
+    if (f.action.find("local-preference 70") != std::string::npos) saw_lp70 = true;
+  }
+  EXPECT_TRUE(saw_lp80);
+  EXPECT_TRUE(saw_lp70);
+
+  // 3. D.2: weigh the incident by synthetic elephant/mice traffic.
+  std::vector<bgp::Prefix> all_prefixes;
+  for (const auto& r : initial_snapshot) all_prefixes.push_back(r.prefix);
+  std::sort(all_prefixes.begin(), all_prefixes.end());
+  all_prefixes.erase(std::unique(all_prefixes.begin(), all_prefixes.end()),
+                     all_prefixes.end());
+  traffic::TrafficMatrix matrix(all_prefixes);
+  traffic::FlowGenerator flows(all_prefixes, {}, 13);
+  for (int i = 0; i < 20000; ++i) matrix.AddFlow(flows.Next());
+  const auto impact = core::AssessTrafficImpact(incident, matrix);
+  EXPECT_GT(impact.bytes, 0u);
+  EXPECT_GT(impact.volume_fraction, 0.0);
+
+  // 4. D.3: a quiet IGP during the incident reports inactive.
+  igp::LsaLog lsa_log;
+  const auto igp_corr = core::CorrelateIgp(incident, lsa_log);
+  EXPECT_FALSE(igp_corr.igp_active);
+
+  // 5. TAMP animation over the incident window renders frames.
+  std::vector<bgp::Event> events(window.begin(), window.end());
+  tamp::Animator animator(initial_snapshot, tamp::AnimationOptions{});
+  std::string mid_frame_svg;
+  animator.Play(events, [&](std::size_t frame, const tamp::Animator::FrameStats&) {
+    if (frame != 375) return;
+    const auto pruned = tamp::Prune(animator.graph(),
+                                    tamp::PruneOptions{.threshold = 0.02});
+    const auto layout = tamp::ComputeLayout(pruned);
+    mid_frame_svg = tamp::RenderAnimationFrameSvg(
+        pruned, layout, animator.DecorationsFor(pruned), 0, std::nullopt);
+  });
+  EXPECT_NE(mid_frame_svg.find("<svg"), std::string::npos);
+
+  // 6. Collector invariants held throughout.
+  EXPECT_EQ(collector.unmatched_withdrawals(), 0u);
+  EXPECT_GT(collector.events().size(), snapshot_events);
+}
+
+TEST(IntegrationTest, SyntheticScaleSmokeTest) {
+  // A Table-I-shaped run at reduced scale: generate a 50k-event stream,
+  // stem it, and animate it, end to end.
+  workload::InternetOptions net_options;
+  net_options.monitored_peers = 8;
+  net_options.prefix_count = 4000;
+  net_options.origin_as_count = 200;
+  net_options.seed = 19;
+  const workload::SyntheticInternet internet(net_options);
+
+  workload::EventStreamGenerator gen(internet, 21);
+  gen.Churn(0, 60 * kMinute, 10000);
+  gen.SessionReset(2, 20 * kMinute, kMinute, 30 * kSecond);
+  gen.Tier1Failover(1, 3, 40 * kMinute, kMinute);
+  const auto stream = gen.Take();
+  ASSERT_GT(stream.size(), 20000u);
+
+  // Stemming over the full stream produces nonempty, disjoint components.
+  const auto result = stemming::Stem(stream.events());
+  ASSERT_FALSE(result.components.empty());
+
+  // The pipeline turns them into classified incidents.
+  core::Pipeline pipeline;
+  const auto incidents = pipeline.Analyze(stream);
+  ASSERT_FALSE(incidents.empty());
+  // Both injected incidents are found and classified.
+  bool saw_reset = false;
+  bool saw_move = false;
+  for (const auto& inc : incidents) {
+    saw_reset |= inc.kind == core::IncidentKind::kSessionReset;
+    saw_move |= inc.kind == core::IncidentKind::kPathChange ||
+                inc.kind == core::IncidentKind::kRouteLeak;
+  }
+  EXPECT_TRUE(saw_reset);
+  EXPECT_TRUE(saw_move);
+
+  // Animation over the whole stream completes with 750 frames.
+  tamp::Animator animator(internet.routes(), tamp::AnimationOptions{});
+  const auto anim = animator.Play(stream.events());
+  EXPECT_EQ(anim.frames.size(), 750u);
+  EXPECT_EQ(anim.total_events, stream.size());
+}
+
+TEST(IntegrationTest, EventStreamPersistenceRoundTripsSimulatorOutput) {
+  workload::BerkeleyOptions options;
+  options.commodity_prefixes = 60;
+  workload::BerkeleyNet net = workload::BuildBerkeley(options);
+  net::Simulator sim(net.topology, 31);
+  collector::Collector collector;
+  collector.AttachTo(sim, net.monitored);
+  net.SeedRoutes(sim);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(10 * kMinute));
+
+  std::stringstream ss;
+  collector.events().SaveText(ss);
+  const auto loaded = collector::EventStream::LoadText(ss);
+  ASSERT_TRUE(loaded);
+  ASSERT_EQ(loaded->size(), collector.events().size());
+  for (std::size_t i = 0; i < loaded->size(); ++i) {
+    EXPECT_EQ((*loaded)[i].prefix, collector.events()[i].prefix);
+    EXPECT_EQ((*loaded)[i].attrs.as_path,
+              collector.events()[i].attrs.as_path);
+  }
+}
+
+}  // namespace
+}  // namespace ranomaly

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "collector/collector.h"
+#include "core/pipeline.h"
+#include "stemming/stemming.h"
+#include "tamp/animation.h"
+#include "workload/ispanon.h"
+
+namespace ranomaly::workload {
+namespace {
+
+using bgp::Ipv4Addr;
+using util::kMinute;
+using util::kSecond;
+
+IspAnonOptions SmallOptions() {
+  IspAnonOptions options;
+  options.pop_count = 3;
+  options.customers_per_pop = 2;
+  options.prefixes_per_customer = 3;
+  options.tier1_count = 3;
+  return options;
+}
+
+TEST(IspAnonTest, ConvergesWithCustomerRoutes) {
+  const IspAnonNet net = BuildIspAnon(SmallOptions());
+  net::Simulator sim(net.topology, 1);
+  collector::Collector collector;
+  collector.AttachTo(sim, net.core_rrs);
+  net.SeedRoutes(sim);
+  sim.Start();
+  // MED PoPs can keep oscillating; run a bounded warmup instead of
+  // demanding quiescence.
+  sim.Run(2 * kMinute);
+  // Every customer prefix is visible at the reflector mesh.
+  EXPECT_GE(collector.PrefixCount(), net.customer_prefixes.size());
+}
+
+TEST(IspAnonTest, CustomerFailsOverToNapPaths) {
+  // Case IV-E mechanics: direct customer path (1 hop) vs NAP backup
+  // (3 AS hops) — when the direct session dies, the backup appears.
+  IspAnonOptions options = SmallOptions();
+  options.with_med_scenario = false;  // isolate the flap machinery
+  const IspAnonNet net = BuildIspAnon(options);
+  net::Simulator sim(net.topology, 2);
+  collector::Collector collector;
+  collector.AttachTo(sim, net.core_rrs);
+  net.SeedRoutes(sim);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(5 * kMinute));
+
+  // Converged: the direct path wins (customer LOCAL_PREF).
+  const auto* rr0 = &sim.RibOf(net.core_rrs[0]);
+  const auto* direct = rr0->Best(net.flap_prefix);
+  ASSERT_NE(direct, nullptr);
+  EXPECT_EQ(direct->attrs.as_path.Length(), 1u);
+
+  // Kill the direct session: a 3-hop path via a tier-1 + NAP takes over.
+  sim.ScheduleLinkDown(net.flap_link, sim.now() + kSecond);
+  ASSERT_TRUE(sim.RunToQuiescence(sim.now() + 5 * kMinute));
+  const auto* backup = rr0->Best(net.flap_prefix);
+  ASSERT_NE(backup, nullptr);
+  EXPECT_EQ(backup->attrs.as_path.Length(), 3u);  // tier1, NAP, customer
+
+  // Session restored: back to the 1-hop direct path.
+  sim.ScheduleLinkUp(net.flap_link, sim.now() + kSecond);
+  ASSERT_TRUE(sim.RunToQuiescence(sim.now() + 5 * kMinute));
+  EXPECT_EQ(rr0->Best(net.flap_prefix)->attrs.as_path.Length(), 1u);
+}
+
+TEST(IspAnonTest, ContinuousFlapGeneratesLowGradeChurn) {
+  // Case IV-E: ~1 flap/minute; each flap generates a burst of events at
+  // the RR mesh (paper: ~200 events/flap at 67-RR scale).
+  IspAnonOptions options = SmallOptions();
+  options.with_med_scenario = false;
+  const IspAnonNet net = BuildIspAnon(options);
+  net::Simulator sim(net.topology, 3);
+  collector::Collector collector;
+  collector.AttachTo(sim, net.core_rrs);
+  net.SeedRoutes(sim);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(5 * kMinute));
+  const std::size_t baseline = collector.events().size();
+
+  const util::SimTime start = sim.now();
+  InjectCustomerFlaps(sim, net, start + kMinute, 10 * kMinute,
+                      10 * kSecond, 50 * kSecond);
+  sim.Run(start + 12 * kMinute);
+
+  const std::size_t flap_events = collector.events().size() - baseline;
+  // 10 flap cycles; each produces events on several RRs for the customer
+  // prefix (down + failover + up + restore).
+  EXPECT_GE(flap_events, 10 * 4u);
+
+  // Stemming over the whole window: the flap prefix is the top component.
+  const auto window = collector.events().Window(start, sim.now());
+  const auto result = stemming::Stem(window);
+  ASSERT_FALSE(result.components.empty());
+  ASSERT_EQ(result.components[0].prefixes.size(), 1u);
+  EXPECT_EQ(result.components[0].prefixes[0], net.flap_prefix);
+}
+
+TEST(IspAnonTest, MedOscillationFlapsCore1Edge) {
+  // Case IV-F: the Core2-side AS2 route coming and going makes the Core1
+  // reflectors flip their best path for 4.5.0.0/16.
+  IspAnonOptions options = SmallOptions();
+  options.with_flapping_customer = false;
+  const IspAnonNet net = BuildIspAnon(options);
+  net::Simulator sim(net.topology, 4);
+  collector::Collector collector;
+  collector.AttachTo(sim, {net.core1a, net.core1b, net.core2a, net.core2b});
+  net.SeedRoutes(sim);
+  sim.Start();
+  sim.Run(kMinute);
+  const std::size_t baseline = collector.events().size();
+
+  const util::SimTime start = sim.now() + kSecond;
+  // 1 ms period over 0.5 s: 500 announce/withdraw cycles at Core2.
+  InjectMedOscillation(sim, net, start, start + 500 * util::kMillisecond,
+                       util::kMillisecond);
+  sim.Run(start + 2 * kSecond);
+
+  // The oscillation floods the mesh with events for the single prefix.
+  std::size_t med_events = 0;
+  std::size_t total = 0;
+  for (std::size_t i = baseline; i < collector.events().size(); ++i) {
+    ++total;
+    if (collector.events()[i].prefix == net.med_prefix) ++med_events;
+  }
+  ASSERT_GT(total, 0u);
+  // Section IV-F: one prefix dominating the ISP's iBGP traffic.
+  EXPECT_GT(static_cast<double>(med_events) / static_cast<double>(total),
+            0.9);
+  EXPECT_GE(med_events, 500u);
+
+  // Stemming at a *short* timescale still finds it as the strongest
+  // component (the paper's closing claim of IV-F).
+  const auto window = collector.events().Window(start, sim.now());
+  const auto result = stemming::Stem(window);
+  ASSERT_FALSE(result.components.empty());
+  ASSERT_EQ(result.components[0].prefixes.size(), 1u);
+  EXPECT_EQ(result.components[0].prefixes[0], net.med_prefix);
+
+  // And the pipeline classifies it as a MED oscillation.
+  core::Pipeline pipeline;
+  const auto incidents = pipeline.AnalyzeWindow(window);
+  ASSERT_FALSE(incidents.empty());
+  EXPECT_EQ(incidents[0].kind, core::IncidentKind::kMedOscillation)
+      << incidents[0].summary;
+}
+
+TEST(IspAnonTest, MedAnimationShowsFlappingEdge) {
+  // The Fig 3 snapshot: the core1-b -> 10.3.4.5 edge flaps between
+  // carrying and not carrying 4.5.0.0/16.
+  IspAnonOptions options = SmallOptions();
+  options.with_flapping_customer = false;
+  const IspAnonNet net = BuildIspAnon(options);
+  net::Simulator sim(net.topology, 6);
+  collector::Collector collector;
+  collector.AttachTo(sim, {net.core1a, net.core1b, net.core2a, net.core2b});
+  net.SeedRoutes(sim);
+  sim.Start();
+  sim.Run(kMinute);
+
+  const util::SimTime start = sim.now() + kSecond;
+  const std::size_t first_event = collector.events().size();
+  InjectMedOscillation(sim, net, start, start + 500 * util::kMillisecond,
+                       2 * util::kMillisecond);
+  sim.Run(start + 2 * kSecond);
+
+  // Animate only the oscillation window, starting from the converged
+  // snapshot... the collector's current snapshot is post-incident, so
+  // replay: build the animation from an empty graph over the incident's
+  // events and track the Fig 3 edge.
+  std::vector<bgp::Event> window(
+      collector.events().events().begin() +
+          static_cast<std::ptrdiff_t>(first_event),
+      collector.events().events().end());
+  ASSERT_FALSE(window.empty());
+  tamp::Animator animator({}, tamp::AnimationOptions{});
+  animator.TrackEdge(tamp::PeerNode(Ipv4Addr(10, 0, 0, 2)),      // core1-b
+                     tamp::NexthopNode(Ipv4Addr(10, 3, 4, 5)));  // AS2 pop1
+  animator.Play(window);
+  const tamp::EdgePlot plot = animator.TrackedPlot();
+  // The tracked edge's prefix count is an impulse train: sometimes 1,
+  // sometimes 0 — "flapping between carrying and not carrying".
+  const auto mn = *std::min_element(plot.weights.begin(), plot.weights.end());
+  const auto mx = *std::max_element(plot.weights.begin(), plot.weights.end());
+  EXPECT_EQ(mn, 0u);
+  EXPECT_EQ(mx, 1u);
+}
+
+}  // namespace
+}  // namespace ranomaly::workload

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/log.h"
+
+namespace ranomaly::util {
+namespace {
+
+struct Captured {
+  LogLevel level;
+  std::string message;
+};
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_sink_ = SetLogSink([this](LogLevel level, const std::string& m) {
+      captured_.push_back({level, m});
+    });
+    previous_level_ = GetLogLevel();
+    SetLogLevel(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    SetLogSink(previous_sink_);
+    SetLogLevel(previous_level_);
+  }
+
+  std::vector<Captured> captured_;
+  LogSink previous_sink_;
+  LogLevel previous_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, SinkReceivesMessages) {
+  Log(LogLevel::kInfo, "hello");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].level, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].message, "hello");
+}
+
+TEST_F(LogTest, LevelFiltersBelowThreshold) {
+  SetLogLevel(LogLevel::kWarn);
+  Log(LogLevel::kDebug, "dropped");
+  Log(LogLevel::kInfo, "dropped too");
+  Log(LogLevel::kWarn, "kept");
+  Log(LogLevel::kError, "kept too");
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].message, "kept");
+  EXPECT_EQ(captured_[1].message, "kept too");
+}
+
+TEST_F(LogTest, MacroShortCircuitsBelowLevel) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return std::string("x");
+  };
+  RANOMALY_LOG(LogLevel::kDebug, expensive());
+  EXPECT_EQ(evaluations, 0);  // argument not evaluated
+  RANOMALY_LOG(LogLevel::kError, expensive());
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(captured_.size(), 1u);
+}
+
+TEST_F(LogTest, SinkSwapReturnsPrevious) {
+  bool other_called = false;
+  LogSink mine = SetLogSink([&](LogLevel, const std::string&) {
+    other_called = true;
+  });
+  Log(LogLevel::kError, "to other");
+  EXPECT_TRUE(other_called);
+  EXPECT_TRUE(captured_.empty());
+  SetLogSink(std::move(mine));  // restore the fixture's sink
+  Log(LogLevel::kError, "back");
+  ASSERT_EQ(captured_.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ranomaly::util

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "net/policy.h"
+
+namespace ranomaly::net {
+namespace {
+
+using bgp::AsPath;
+using bgp::Community;
+using bgp::Ipv4Addr;
+using bgp::PathAttributes;
+using bgp::Prefix;
+
+const Prefix kP = *Prefix::Parse("10.1.2.0/24");
+
+PathAttributes Attrs() {
+  PathAttributes a;
+  a.nexthop = Ipv4Addr(1, 1, 1, 1);
+  a.as_path = AsPath{11423, 209};
+  return a;
+}
+
+// --- PrefixRule / PrefixList ------------------------------------------------
+
+TEST(PrefixRuleTest, ExactMatchWithoutGeLe) {
+  PrefixRule rule{*Prefix::Parse("10.1.2.0/24"), 0, 0, true};
+  EXPECT_TRUE(rule.Matches(*Prefix::Parse("10.1.2.0/24")));
+  EXPECT_FALSE(rule.Matches(*Prefix::Parse("10.1.2.0/25")));
+  EXPECT_FALSE(rule.Matches(*Prefix::Parse("10.1.0.0/16")));
+}
+
+TEST(PrefixRuleTest, GeLeRange) {
+  PrefixRule rule{*Prefix::Parse("10.0.0.0/8"), 16, 24, true};
+  EXPECT_TRUE(rule.Matches(*Prefix::Parse("10.1.0.0/16")));
+  EXPECT_TRUE(rule.Matches(*Prefix::Parse("10.1.2.0/24")));
+  EXPECT_FALSE(rule.Matches(*Prefix::Parse("10.0.0.0/8")));    // too short
+  EXPECT_FALSE(rule.Matches(*Prefix::Parse("10.1.2.0/25")));   // too long
+  EXPECT_FALSE(rule.Matches(*Prefix::Parse("11.1.0.0/16")));   // outside
+}
+
+TEST(PrefixListTest, FirstMatchWinsImplicitDeny) {
+  PrefixList list;
+  list.Add(PrefixRule{*Prefix::Parse("10.1.0.0/16"), 16, 32, false});  // deny
+  list.Add(PrefixRule{*Prefix::Parse("10.0.0.0/8"), 8, 32, true});
+  EXPECT_FALSE(list.Permits(*Prefix::Parse("10.1.2.0/24")));  // denied first
+  EXPECT_TRUE(list.Permits(*Prefix::Parse("10.9.0.0/16")));
+  EXPECT_FALSE(list.Permits(*Prefix::Parse("192.168.0.0/16")));  // implicit
+}
+
+// --- RouteMap ------------------------------------------------------------
+
+TEST(RouteMapTest, PassthroughWhenEmpty) {
+  const RouteMap map;
+  const auto out = map.Apply(kP, Attrs(), 25);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->as_path, Attrs().as_path);
+}
+
+TEST(RouteMapTest, ImplicitDenyAtEnd) {
+  RouteMap map("M");
+  RouteMapClause clause;
+  clause.match_community = Community(11423, 65350);
+  map.AddClause(std::move(clause));
+  EXPECT_FALSE(map.Apply(kP, Attrs(), 25));  // no tag => falls off => deny
+}
+
+TEST(RouteMapTest, MatchCommunitySetsLocalPref) {
+  RouteMap map("M");
+  RouteMapClause clause;
+  clause.match_community = Community(11423, 65350);
+  clause.set_local_pref = 80;
+  map.AddClause(std::move(clause));
+  auto attrs = Attrs();
+  attrs.communities.Add(Community(11423, 65350));
+  const auto out = map.Apply(kP, attrs, 25);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->local_pref, 80u);
+}
+
+TEST(RouteMapTest, DenyClauseRejects) {
+  RouteMap map("M");
+  RouteMapClause deny;
+  deny.permit = false;
+  deny.match_as_in_path = 666;
+  map.AddClause(std::move(deny));
+  RouteMapClause permit;
+  map.AddClause(std::move(permit));
+
+  auto bad = Attrs();
+  bad.as_path = AsPath{11423, 666, 3};
+  EXPECT_FALSE(map.Apply(kP, bad, 25));
+  EXPECT_TRUE(map.Apply(kP, Attrs(), 25));
+}
+
+TEST(RouteMapTest, FirstMatchingClauseApplies) {
+  // The Berkeley r1200 shape: ISP tag -> LP 70; everything else -> LP 100.
+  RouteMap map("CALREN-ALL-IN");
+  RouteMapClause isp;
+  isp.match_community = Community(11423, 65350);
+  isp.set_local_pref = 70;
+  map.AddClause(std::move(isp));
+  RouteMapClause rest;
+  rest.set_local_pref = 100;
+  map.AddClause(std::move(rest));
+
+  auto commodity = Attrs();
+  commodity.communities.Add(Community(11423, 65350));
+  EXPECT_EQ(map.Apply(kP, commodity, 25)->local_pref, 70u);
+  EXPECT_EQ(map.Apply(kP, Attrs(), 25)->local_pref, 100u);
+}
+
+TEST(RouteMapTest, SetAndDeleteCommunities) {
+  RouteMap map("M");
+  RouteMapClause clause;
+  clause.set_communities = {Community(1, 1), Community(2, 2)};
+  clause.delete_communities = {Community(3, 3)};
+  map.AddClause(std::move(clause));
+  auto attrs = Attrs();
+  attrs.communities.Add(Community(3, 3));
+  const auto out = map.Apply(kP, attrs, 25);
+  ASSERT_TRUE(out);
+  EXPECT_TRUE(out->communities.Contains(Community(1, 1)));
+  EXPECT_TRUE(out->communities.Contains(Community(2, 2)));
+  EXPECT_FALSE(out->communities.Contains(Community(3, 3)));
+}
+
+TEST(RouteMapTest, PrependUsesOwnAs) {
+  RouteMap map("M");
+  RouteMapClause clause;
+  clause.prepend_count = 2;
+  map.AddClause(std::move(clause));
+  const auto out = map.Apply(kP, Attrs(), 25);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->as_path, (AsPath{25, 25, 11423, 209}));
+}
+
+TEST(RouteMapTest, MatchEmptyAsPath) {
+  // The "advertise only locally originated routes" export policy.
+  RouteMap map("LOCAL-ONLY");
+  RouteMapClause clause;
+  clause.match_empty_as_path = true;
+  map.AddClause(std::move(clause));
+  PathAttributes local;
+  EXPECT_TRUE(map.Apply(kP, local, 25));
+  EXPECT_FALSE(map.Apply(kP, Attrs(), 25));
+}
+
+TEST(RouteMapTest, MatchPrefixList) {
+  RouteMap map("M");
+  RouteMapClause clause;
+  PrefixList list;
+  list.Add(PrefixRule{*Prefix::Parse("10.0.0.0/8"), 8, 32, true});
+  clause.match_prefix_list = std::move(list);
+  map.AddClause(std::move(clause));
+  EXPECT_TRUE(map.Apply(*Prefix::Parse("10.5.0.0/16"), Attrs(), 25));
+  EXPECT_FALSE(map.Apply(*Prefix::Parse("192.168.0.0/16"), Attrs(), 25));
+}
+
+TEST(RouteMapTest, AllMatchConditionsMustHold) {
+  RouteMap map("M");
+  RouteMapClause clause;
+  clause.match_community = Community(1, 1);
+  clause.match_as_in_path = 209;
+  map.AddClause(std::move(clause));
+  auto attrs = Attrs();  // has AS209 but not the community
+  EXPECT_FALSE(map.Apply(kP, attrs, 25));
+  attrs.communities.Add(Community(1, 1));
+  EXPECT_TRUE(map.Apply(kP, attrs, 25));
+}
+
+}  // namespace
+}  // namespace ranomaly::net

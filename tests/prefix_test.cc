@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "bgp/prefix.h"
+#include "util/rng.h"
+
+namespace ranomaly::bgp {
+namespace {
+
+TEST(Ipv4AddrTest, ToStringRoundTrip) {
+  const Ipv4Addr a(128, 32, 1, 3);
+  EXPECT_EQ(a.ToString(), "128.32.1.3");
+  const auto parsed = Ipv4Addr::Parse("128.32.1.3");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(*parsed, a);
+}
+
+TEST(Ipv4AddrTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Ipv4Addr::Parse(""));
+  EXPECT_FALSE(Ipv4Addr::Parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::Parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::Parse("1.2.3.256"));
+  EXPECT_FALSE(Ipv4Addr::Parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Addr::Parse("1.2.3.-4"));
+}
+
+TEST(Ipv4AddrTest, Ordering) {
+  EXPECT_LT(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(1, 2, 3, 5));
+  EXPECT_LT(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(2, 0, 0, 0));
+}
+
+TEST(PrefixTest, MasksHostBits) {
+  const Prefix p(Ipv4Addr(1, 2, 3, 77), 24);
+  EXPECT_EQ(p.ToString(), "1.2.3.0/24");
+  EXPECT_EQ(p, Prefix(Ipv4Addr(1, 2, 3, 0), 24));
+}
+
+TEST(PrefixTest, ZeroLengthMatchesEverything) {
+  const Prefix def(Ipv4Addr(9, 9, 9, 9), 0);
+  EXPECT_EQ(def.ToString(), "0.0.0.0/0");
+  EXPECT_TRUE(def.Contains(Ipv4Addr(200, 1, 1, 1)));
+}
+
+TEST(PrefixTest, ContainsAndCovers) {
+  const Prefix p16(Ipv4Addr(10, 1, 0, 0), 16);
+  const Prefix p24(Ipv4Addr(10, 1, 5, 0), 24);
+  EXPECT_TRUE(p16.Contains(Ipv4Addr(10, 1, 200, 3)));
+  EXPECT_FALSE(p16.Contains(Ipv4Addr(10, 2, 0, 0)));
+  EXPECT_TRUE(p16.Covers(p24));
+  EXPECT_FALSE(p24.Covers(p16));
+  EXPECT_TRUE(p16.Covers(p16));
+}
+
+TEST(PrefixTest, ParseRoundTripAndErrors) {
+  const auto p = Prefix::Parse("192.96.10.0/24");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->ToString(), "192.96.10.0/24");
+  EXPECT_FALSE(Prefix::Parse("192.96.10.0"));
+  EXPECT_FALSE(Prefix::Parse("192.96.10.0/33"));
+  EXPECT_FALSE(Prefix::Parse("x/24"));
+  // Host bits masked on parse.
+  EXPECT_EQ(Prefix::Parse("1.2.3.4/8")->ToString(), "1.0.0.0/8");
+}
+
+TEST(PrefixTest, LengthClampedTo32) {
+  const Prefix p(Ipv4Addr(1, 2, 3, 4), 40);
+  EXPECT_EQ(p.length(), 32);
+}
+
+TEST(PrefixTrieTest, ExactInsertFindErase) {
+  PrefixTrie<int> trie;
+  const Prefix p = *Prefix::Parse("10.0.0.0/8");
+  EXPECT_TRUE(trie.Insert(p, 1));
+  EXPECT_FALSE(trie.Insert(p, 2));  // replace, not new
+  ASSERT_NE(trie.Find(p), nullptr);
+  EXPECT_EQ(*trie.Find(p), 2);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_TRUE(trie.Erase(p));
+  EXPECT_EQ(trie.Find(p), nullptr);
+  EXPECT_FALSE(trie.Erase(p));
+}
+
+TEST(PrefixTrieTest, LongestPrefixMatchPrefersSpecific) {
+  PrefixTrie<int> trie;
+  trie.Insert(*Prefix::Parse("10.0.0.0/8"), 8);
+  trie.Insert(*Prefix::Parse("10.1.0.0/16"), 16);
+  trie.Insert(*Prefix::Parse("10.1.2.0/24"), 24);
+
+  const auto m1 = trie.Lookup(Ipv4Addr(10, 1, 2, 3));
+  ASSERT_TRUE(m1);
+  EXPECT_EQ(*m1->second, 24);
+
+  const auto m2 = trie.Lookup(Ipv4Addr(10, 1, 9, 9));
+  ASSERT_TRUE(m2);
+  EXPECT_EQ(*m2->second, 16);
+
+  const auto m3 = trie.Lookup(Ipv4Addr(10, 200, 0, 1));
+  ASSERT_TRUE(m3);
+  EXPECT_EQ(*m3->second, 8);
+
+  EXPECT_FALSE(trie.Lookup(Ipv4Addr(11, 0, 0, 1)));
+}
+
+TEST(PrefixTrieTest, DefaultRouteCatchesAll) {
+  PrefixTrie<int> trie;
+  trie.Insert(*Prefix::Parse("0.0.0.0/0"), 0);
+  const auto m = trie.Lookup(Ipv4Addr(203, 0, 113, 1));
+  ASSERT_TRUE(m);
+  EXPECT_EQ(*m->second, 0);
+}
+
+// Property: Lookup agrees with a linear scan over random tables.
+TEST(PrefixTrieTest, LookupMatchesLinearScan) {
+  util::Rng rng(4242);
+  PrefixTrie<std::size_t> trie;
+  std::vector<Prefix> table;
+  for (int i = 0; i < 300; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.NextBelow(32));
+    const auto b = static_cast<std::uint8_t>(rng.NextBelow(4));
+    const auto len = static_cast<std::uint8_t>(8 + rng.NextBelow(17));
+    const Prefix p(Ipv4Addr(a, b, static_cast<std::uint8_t>(rng.NextBelow(8)), 0), len);
+    if (trie.Find(p) == nullptr) {
+      trie.Insert(p, table.size());
+      table.push_back(p);
+    }
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4Addr ip(static_cast<std::uint8_t>(rng.NextBelow(40)),
+                      static_cast<std::uint8_t>(rng.NextBelow(6)),
+                      static_cast<std::uint8_t>(rng.NextBelow(10)),
+                      static_cast<std::uint8_t>(rng.NextBelow(256)));
+    // Linear scan: longest prefix containing ip.
+    int best_len = -1;
+    std::size_t best_idx = 0;
+    for (std::size_t t = 0; t < table.size(); ++t) {
+      if (table[t].Contains(ip) && table[t].length() > best_len) {
+        best_len = table[t].length();
+        best_idx = t;
+      }
+    }
+    const auto hit = trie.Lookup(ip);
+    if (best_len < 0) {
+      EXPECT_FALSE(hit);
+    } else {
+      ASSERT_TRUE(hit);
+      EXPECT_EQ(*hit->second, best_idx);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ranomaly::bgp

@@ -1,0 +1,256 @@
+// Randomized property tests (parameterized over seeds): build random
+// valley-free internetworks, run full simulations, and check the
+// system-wide invariants that must hold for ANY input:
+//
+//   * BGP converges (Gao-Rexford safety: acyclic provider hierarchy +
+//     prefer-customer economics guarantee it);
+//   * every best path is AS-loop-free;
+//   * the simulation is bit-for-bit deterministic per seed;
+//   * the collector's stream is time-ordered, withdrawals are augmented,
+//     and replaying it through the TAMP animator reproduces exactly the
+//     graph built from the final RIB snapshot (event-sourcing
+//     consistency);
+//   * text and binary serialization round-trip the stream.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "collector/binary_io.h"
+#include "collector/collector.h"
+#include "net/simulator.h"
+#include "tamp/animation.h"
+#include "util/rng.h"
+
+namespace ranomaly {
+namespace {
+
+using bgp::Ipv4Addr;
+using bgp::Prefix;
+using util::kMinute;
+using util::kSecond;
+
+struct RandomNet {
+  net::Topology topo;
+  std::vector<net::RouterIndex> tier1;
+  std::vector<net::RouterIndex> transit;
+  std::vector<net::RouterIndex> stubs;
+  std::vector<net::LinkIndex> stub_links;
+  std::vector<std::pair<net::RouterIndex, Prefix>> originations;
+  net::RouterIndex monitored = 0;  // a transit AS's router we observe
+};
+
+RandomNet BuildRandom(std::uint64_t seed) {
+  util::Rng rng(seed);
+  RandomNet net;
+  auto router = [&](std::string name, Ipv4Addr addr, bgp::AsNumber asn) {
+    return net.topo.AddRouter(net::RouterSpec{std::move(name), addr, asn, 0,
+                                              false, {}});
+  };
+  auto link = [&](net::RouterIndex a, net::RouterIndex b,
+                  net::PeerRelation rel) {
+    net::LinkSpec l;
+    l.a = a;
+    l.b = b;
+    l.b_is_as_seen_by_a = rel;
+    l.delay = util::kMillisecond;
+    return net.topo.AddLink(l);
+  };
+
+  const std::size_t n_tier1 = 2 + rng.NextBelow(3);
+  const std::size_t n_transit = 3 + rng.NextBelow(5);
+  const std::size_t n_stub = 6 + rng.NextBelow(10);
+
+  for (std::size_t i = 0; i < n_tier1; ++i) {
+    net.tier1.push_back(router("t1-" + std::to_string(i),
+                               Ipv4Addr(10, 0, static_cast<std::uint8_t>(i), 1),
+                               static_cast<bgp::AsNumber>(100 + i)));
+  }
+  // Tier-1 clique (peers).
+  for (std::size_t i = 0; i < n_tier1; ++i) {
+    for (std::size_t j = i + 1; j < n_tier1; ++j) {
+      link(net.tier1[i], net.tier1[j], net::PeerRelation::kPeer);
+    }
+  }
+  // Transits: customer of 1-2 tier-1s, occasional peering between them.
+  for (std::size_t i = 0; i < n_transit; ++i) {
+    const auto t = router("tr-" + std::to_string(i),
+                          Ipv4Addr(20, 0, static_cast<std::uint8_t>(i), 1),
+                          static_cast<bgp::AsNumber>(1000 + i));
+    net.transit.push_back(t);
+    link(net.tier1[rng.NextBelow(n_tier1)], t, net::PeerRelation::kCustomer);
+    if (rng.NextBool(0.5)) {
+      link(net.tier1[rng.NextBelow(n_tier1)], t, net::PeerRelation::kCustomer);
+    }
+  }
+  for (std::size_t i = 0; i + 1 < n_transit; ++i) {
+    if (rng.NextBool(0.3)) {
+      link(net.transit[i], net.transit[i + 1], net::PeerRelation::kPeer);
+    }
+  }
+  // Stubs: customers of 1-2 transits, each originating 1-3 prefixes.
+  for (std::size_t i = 0; i < n_stub; ++i) {
+    const auto s = router("stub-" + std::to_string(i),
+                          Ipv4Addr(30, 0, static_cast<std::uint8_t>(i), 1),
+                          static_cast<bgp::AsNumber>(30000 + i));
+    net.stubs.push_back(s);
+    net.stub_links.push_back(
+        link(net.transit[rng.NextBelow(n_transit)], s,
+             net::PeerRelation::kCustomer));
+    if (rng.NextBool(0.4)) {
+      link(net.transit[rng.NextBelow(n_transit)], s,
+           net::PeerRelation::kCustomer);
+    }
+    const std::size_t prefixes = 1 + rng.NextBelow(3);
+    for (std::size_t k = 0; k < prefixes; ++k) {
+      net.originations.emplace_back(
+          s, Prefix(Ipv4Addr(40 + static_cast<std::uint8_t>(i),
+                             static_cast<std::uint8_t>(k), 0, 0),
+                    16));
+    }
+  }
+  net.monitored = net.transit[rng.NextBelow(n_transit)];
+  return net;
+}
+
+class RandomTopologyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomTopologyTest, ConvergesWithLoopFreeValidBestPaths) {
+  RandomNet rnet = BuildRandom(GetParam());
+  net::Simulator sim(rnet.topo, GetParam());
+  for (const auto& [router, prefix] : rnet.originations) {
+    sim.Originate(router, prefix);
+  }
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(30 * kMinute)) << "seed " << GetParam();
+
+  // Every router's every best path is loop-free; tier-1s (top of the
+  // hierarchy) can reach every originated prefix.
+  for (std::size_t r = 0; r < rnet.topo.RouterCount(); ++r) {
+    sim.RibOf(static_cast<net::RouterIndex>(r))
+        .ForEach([&](const Prefix&, const auto& candidates,
+                     std::optional<std::size_t> best) {
+          ASSERT_TRUE(best.has_value());
+          EXPECT_FALSE(candidates[*best].attrs.as_path.HasLoop());
+        });
+  }
+  for (const net::RouterIndex t1 : rnet.tier1) {
+    for (const auto& [router, prefix] : rnet.originations) {
+      EXPECT_NE(sim.RibOf(t1).Best(prefix), nullptr)
+          << "tier1 cannot reach " << prefix.ToString();
+    }
+  }
+}
+
+TEST_P(RandomTopologyTest, DeterministicPerSeed) {
+  auto run = [&] {
+    RandomNet rnet = BuildRandom(GetParam());
+    net::Simulator sim(rnet.topo, GetParam());
+    collector::Collector rex;
+    rex.AttachTo(sim, {rnet.monitored});
+    for (const auto& [router, prefix] : rnet.originations) {
+      sim.Originate(router, prefix);
+    }
+    sim.Start();
+    sim.RunToQuiescence(30 * kMinute);
+    std::stringstream ss;
+    rex.events().SaveText(ss);
+    return std::make_pair(sim.stats().messages_delivered, ss.str());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST_P(RandomTopologyTest, EventSourcedTampGraphMatchesFinalSnapshot) {
+  // Run with churn (stub link flaps), collect everything, then check the
+  // event-sourcing invariant: initial snapshot + event replay == final
+  // snapshot, as TAMP graphs.
+  RandomNet rnet = BuildRandom(GetParam());
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  net::Simulator sim(rnet.topo, GetParam());
+  collector::Collector rex;
+  rex.AttachTo(sim, {rnet.monitored});
+  for (const auto& [router, prefix] : rnet.originations) {
+    sim.Originate(router, prefix);
+  }
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(30 * kMinute));
+  const auto initial_snapshot = rex.Snapshot();
+  const std::size_t first_churn_event = rex.events().size();
+
+  // Churn: flap a few random stub links.
+  util::SimTime t = sim.now() + kMinute;
+  for (int i = 0; i < 5; ++i) {
+    const auto link = rnet.stub_links[rng.NextBelow(rnet.stub_links.size())];
+    sim.ScheduleLinkDown(link, t);
+    sim.ScheduleLinkUp(link, t + 30 * kSecond);
+    t += kMinute;
+  }
+  ASSERT_TRUE(sim.RunToQuiescence(t + 30 * kMinute));
+
+  // Replay the churn events on top of the initial snapshot.
+  std::vector<bgp::Event> churn(
+      rex.events().events().begin() +
+          static_cast<std::ptrdiff_t>(first_churn_event),
+      rex.events().events().end());
+  tamp::Animator animator(initial_snapshot, tamp::AnimationOptions{});
+  animator.Play(churn);
+
+  // The event-sourced graph must equal the graph of the final snapshot.
+  const tamp::TampGraph from_snapshot =
+      tamp::TampGraph::FromSnapshot(rex.Snapshot());
+  auto expected = from_snapshot.Edges();
+  auto actual = animator.graph().Edges();
+  const auto order = [](const tamp::TampGraph::Edge& a,
+                        const tamp::TampGraph::Edge& b) {
+    return std::make_tuple(static_cast<int>(a.from.kind), a.from.key,
+                           static_cast<int>(a.to.kind), a.to.key) <
+           std::make_tuple(static_cast<int>(b.from.kind), b.from.key,
+                           static_cast<int>(b.to.kind), b.to.key);
+  };
+  std::sort(expected.begin(), expected.end(), order);
+  std::sort(actual.begin(), actual.end(), order);
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].from, actual[i].from);
+    EXPECT_EQ(expected[i].to, actual[i].to);
+    EXPECT_EQ(expected[i].weight, actual[i].weight) << "edge " << i;
+  }
+  EXPECT_EQ(rex.unmatched_withdrawals(), 0u);
+}
+
+TEST_P(RandomTopologyTest, StreamSerializationRoundTrips) {
+  RandomNet rnet = BuildRandom(GetParam());
+  net::Simulator sim(rnet.topo, GetParam());
+  collector::Collector rex;
+  rex.AttachTo(sim, {rnet.monitored});
+  for (const auto& [router, prefix] : rnet.originations) {
+    sim.Originate(router, prefix);
+  }
+  sim.Start();
+  sim.RunToQuiescence(30 * kMinute);
+  ASSERT_FALSE(rex.events().empty());
+
+  std::stringstream text;
+  rex.events().SaveText(text);
+  const auto from_text = collector::EventStream::LoadText(text);
+  ASSERT_TRUE(from_text);
+  ASSERT_EQ(from_text->size(), rex.events().size());
+
+  std::stringstream binary;
+  ASSERT_TRUE(collector::SaveBinary(rex.events(), binary));
+  const auto from_binary = collector::LoadBinary(binary);
+  ASSERT_TRUE(from_binary);
+  ASSERT_EQ(from_binary->size(), rex.events().size());
+  for (std::size_t i = 0; i < rex.events().size(); ++i) {
+    EXPECT_EQ((*from_binary)[i].attrs, rex.events()[i].attrs);
+    EXPECT_EQ((*from_text)[i].prefix, rex.events()[i].prefix);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopologyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace ranomaly

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "collector/collector.h"
+#include "core/pipeline.h"
+#include "stemming/stemming.h"
+#include "workload/rfc3345.h"
+
+namespace ranomaly::workload {
+namespace {
+
+using util::kSecond;
+
+TEST(Rfc3345Test, SequentialMedOscillatesForever) {
+  const Rfc3345Net net = BuildRfc3345(/*deterministic_med=*/false);
+  net::Simulator sim(net.topology, 1);
+  net.SeedRoutes(sim);
+  sim.Start();
+  // The network must NOT converge: the preference cycle keeps the
+  // reflectors exchanging updates indefinitely.
+  EXPECT_FALSE(sim.RunToQuiescence(30 * kSecond));
+  // And it is genuinely churning, not just slow: thousands of best-path
+  // changes for one prefix in 30 simulated seconds.
+  EXPECT_GT(sim.stats().best_path_changes, 1'000u);
+}
+
+TEST(Rfc3345Test, DeterministicMedConverges) {
+  const Rfc3345Net net = BuildRfc3345(/*deterministic_med=*/true);
+  net::Simulator sim(net.topology, 1);
+  net.SeedRoutes(sim);
+  sim.Start();
+  // The RFC 3345 mitigation: order-independent MED evaluation converges.
+  EXPECT_TRUE(sim.RunToQuiescence(30 * kSecond));
+  // Every reflector holds a best route for the contested prefix.
+  for (const net::RouterIndex rr : {net.rr1, net.rr2, net.rr3}) {
+    EXPECT_NE(sim.RibOf(rr).Best(net.prefix), nullptr);
+  }
+}
+
+TEST(Rfc3345Test, OscillationIsDeterministicallyReproducible) {
+  auto run = [] {
+    const Rfc3345Net net = BuildRfc3345(false);
+    net::Simulator sim(net.topology, 1);
+    net.SeedRoutes(sim);
+    sim.Start();
+    sim.RunToQuiescence(10 * kSecond);
+    return sim.stats().best_path_changes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Rfc3345Test, CollectorSeesSinglePrefixDominance) {
+  // The Section IV-F observable: one prefix generating more iBGP traffic
+  // than everything else combined; Stemming names it at a short
+  // timescale; the pipeline classifies the MED oscillation.
+  const Rfc3345Net net = BuildRfc3345(false);
+  net::Simulator sim(net.topology, 1);
+  collector::Collector rex;
+  rex.AttachTo(sim, {net.rr1, net.rr2, net.rr3});
+  net.SeedRoutes(sim);
+  sim.Start();
+  sim.RunToQuiescence(10 * kSecond);
+
+  ASSERT_GT(rex.events().size(), 100u);
+  std::size_t med_prefix_events = 0;
+  for (const auto& e : rex.events().events()) {
+    if (e.prefix == net.prefix) ++med_prefix_events;
+  }
+  EXPECT_EQ(med_prefix_events, rex.events().size());  // only one prefix here
+
+  const auto result = stemming::Stem(rex.events().events());
+  ASSERT_FALSE(result.components.empty());
+  ASSERT_EQ(result.components[0].prefixes.size(), 1u);
+  EXPECT_EQ(result.components[0].prefixes[0], net.prefix);
+
+  core::Pipeline pipeline;
+  const auto incidents = pipeline.AnalyzeWindow(rex.events().events());
+  ASSERT_FALSE(incidents.empty());
+  EXPECT_EQ(incidents[0].kind, core::IncidentKind::kMedOscillation)
+      << incidents[0].summary;
+}
+
+TEST(Rfc3345Test, AlwaysCompareMedAlsoConverges) {
+  // The other classic mitigation: comparing MED across neighbor ASes
+  // restores a total order (at the cost of policy semantics).
+  Rfc3345Net net = BuildRfc3345(false);
+  net::Topology patched;
+  for (std::size_t i = 0; i < net.topology.RouterCount(); ++i) {
+    net::RouterSpec spec = net.topology.router(static_cast<net::RouterIndex>(i));
+    spec.decision.always_compare_med = true;
+    patched.AddRouter(std::move(spec));
+  }
+  for (std::size_t i = 0; i < net.topology.LinkCount(); ++i) {
+    patched.AddLink(net.topology.link(static_cast<net::LinkIndex>(i)));
+  }
+  net::Simulator sim(std::move(patched), 1);
+  net.SeedRoutes(sim);
+  sim.Start();
+  EXPECT_TRUE(sim.RunToQuiescence(30 * kSecond));
+}
+
+}  // namespace
+}  // namespace ranomaly::workload

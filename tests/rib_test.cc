@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "bgp/rib.h"
+
+namespace ranomaly::bgp {
+namespace {
+
+PathAttributes Attrs(Ipv4Addr nexthop, AsPath path,
+                     std::uint32_t local_pref = kDefaultLocalPref) {
+  PathAttributes a;
+  a.nexthop = nexthop;
+  a.as_path = std::move(path);
+  a.local_pref = local_pref;
+  return a;
+}
+
+RouteCandidate Cand(Ipv4Addr peer, PathAttributes attrs, bool ebgp = true,
+                    std::uint32_t router_id = 1) {
+  RouteCandidate c;
+  c.peer = peer;
+  c.attrs = std::move(attrs);
+  c.ebgp = ebgp;
+  c.peer_router_id = router_id;
+  return c;
+}
+
+const Prefix kP = *Prefix::Parse("192.96.10.0/24");
+
+// --- AdjRibIn -------------------------------------------------------------
+
+TEST(AdjRibInTest, AnnounceReturnsReplacedAttrs) {
+  AdjRibIn rib;
+  EXPECT_FALSE(rib.Announce(kP, Attrs(Ipv4Addr(1, 1, 1, 1), {1})));
+  const auto old = rib.Announce(kP, Attrs(Ipv4Addr(2, 2, 2, 2), {2}));
+  ASSERT_TRUE(old);  // implicit withdrawal recovered
+  EXPECT_EQ(old->nexthop, Ipv4Addr(1, 1, 1, 1));
+  EXPECT_EQ(rib.size(), 1u);
+}
+
+TEST(AdjRibInTest, WithdrawRecoversAttributes) {
+  AdjRibIn rib;
+  rib.Announce(kP, Attrs(Ipv4Addr(1, 1, 1, 1), {11423, 209}));
+  const auto old = rib.Withdraw(kP);
+  ASSERT_TRUE(old);  // the REX augmentation
+  EXPECT_EQ(old->as_path, (AsPath{11423, 209}));
+  EXPECT_FALSE(rib.Withdraw(kP));
+  EXPECT_TRUE(rib.empty());
+}
+
+TEST(AdjRibInTest, ClearReturnsEverything) {
+  AdjRibIn rib;
+  rib.Announce(kP, Attrs(Ipv4Addr(1, 1, 1, 1), {1}));
+  rib.Announce(*Prefix::Parse("10.0.0.0/8"), Attrs(Ipv4Addr(1, 1, 1, 1), {2}));
+  const auto all = rib.Clear();
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_TRUE(rib.empty());
+}
+
+// --- decision process steps -------------------------------------------------
+
+TEST(DecisionTest, HigherLocalPrefWins) {
+  const DecisionConfig config;
+  const auto a = Cand(Ipv4Addr(1, 0, 0, 1), Attrs({}, {1, 2, 3}, 120));
+  const auto b = Cand(Ipv4Addr(2, 0, 0, 1), Attrs({}, {9}, 80));
+  EXPECT_LT(CompareIgnoringMed(a, b, config), 0);  // LP beats path length
+}
+
+TEST(DecisionTest, ShorterPathWinsAtEqualLocalPref) {
+  const DecisionConfig config;
+  const auto a = Cand(Ipv4Addr(1, 0, 0, 1), Attrs({}, {1, 2}));
+  const auto b = Cand(Ipv4Addr(2, 0, 0, 1), Attrs({}, {1}));
+  EXPECT_GT(CompareIgnoringMed(a, b, config), 0);
+}
+
+TEST(DecisionTest, LowerOriginWins) {
+  const DecisionConfig config;
+  auto a = Cand(Ipv4Addr(1, 0, 0, 1), Attrs({}, {1}));
+  auto b = Cand(Ipv4Addr(2, 0, 0, 1), Attrs({}, {2}));
+  a.attrs.origin = Origin::kIncomplete;
+  b.attrs.origin = Origin::kIgp;
+  EXPECT_GT(CompareIgnoringMed(a, b, config), 0);
+}
+
+TEST(DecisionTest, EbgpBeatsIbgp) {
+  const DecisionConfig config;
+  const auto a = Cand(Ipv4Addr(1, 0, 0, 1), Attrs({}, {1}), /*ebgp=*/false);
+  const auto b = Cand(Ipv4Addr(2, 0, 0, 1), Attrs({}, {2}), /*ebgp=*/true);
+  EXPECT_GT(CompareIgnoringMed(a, b, config), 0);
+}
+
+TEST(DecisionTest, IgpCostBreaksTie) {
+  DecisionConfig config;
+  config.igp_cost = [](Ipv4Addr nh) { return nh == Ipv4Addr(1, 0, 0, 1) ? 10u : 5u; };
+  const auto a = Cand(Ipv4Addr(9, 9, 9, 9), Attrs(Ipv4Addr(1, 0, 0, 1), {1}));
+  const auto b = Cand(Ipv4Addr(8, 8, 8, 8), Attrs(Ipv4Addr(2, 0, 0, 1), {2}));
+  EXPECT_GT(CompareIgnoringMed(a, b, config), 0);  // b has lower IGP cost
+}
+
+TEST(DecisionTest, RouterIdFinalTiebreak) {
+  const DecisionConfig config;
+  const auto a = Cand(Ipv4Addr(1, 0, 0, 1), Attrs({}, {1}), true, 200);
+  const auto b = Cand(Ipv4Addr(2, 0, 0, 1), Attrs({}, {2}), true, 100);
+  EXPECT_GT(CompareIgnoringMed(a, b, config), 0);
+}
+
+// --- MED semantics -----------------------------------------------------------
+
+TEST(MedTest, ComparedOnlyWithinNeighborAs) {
+  const DecisionConfig config;
+  auto a = Cand(Ipv4Addr(1, 0, 0, 1), Attrs({}, {7, 1}));
+  auto b = Cand(Ipv4Addr(2, 0, 0, 1), Attrs({}, {7, 2}));
+  a.attrs.med = 10;
+  b.attrs.med = 5;
+  EXPECT_GT(CompareMed(a, b, config), 0);  // same neighbor AS 7: b wins
+
+  auto c = Cand(Ipv4Addr(3, 0, 0, 1), Attrs({}, {8, 2}));
+  c.attrs.med = 0;
+  EXPECT_EQ(CompareMed(a, c, config), 0);  // different neighbor AS: no MED
+}
+
+TEST(MedTest, AlwaysCompareMedFlag) {
+  DecisionConfig config;
+  config.always_compare_med = true;
+  auto a = Cand(Ipv4Addr(1, 0, 0, 1), Attrs({}, {7, 1}));
+  auto b = Cand(Ipv4Addr(2, 0, 0, 1), Attrs({}, {8, 2}));
+  a.attrs.med = 10;
+  b.attrs.med = 5;
+  EXPECT_GT(CompareMed(a, b, config), 0);
+}
+
+TEST(MedTest, MissingMedTreatedAsBestByDefault) {
+  const DecisionConfig config;
+  auto a = Cand(Ipv4Addr(1, 0, 0, 1), Attrs({}, {7, 1}));
+  auto b = Cand(Ipv4Addr(2, 0, 0, 1), Attrs({}, {7, 2}));
+  b.attrs.med = 5;
+  EXPECT_LT(CompareMed(a, b, config), 0);  // missing MED = 0 beats 5
+
+  DecisionConfig worst;
+  worst.missing_med_as_best = false;
+  EXPECT_GT(CompareMed(a, b, worst), 0);
+}
+
+// The RFC 3345 seed: three candidates with no total order make the
+// sequential (order-dependent) selection disagree with itself across
+// orderings, while deterministic-med is order-invariant.
+TEST(MedTest, SequentialSelectionIsOrderDependent) {
+  DecisionConfig config;  // deterministic_med = false
+  config.igp_cost = [](Ipv4Addr nh) -> std::uint32_t {
+    if (nh == Ipv4Addr(1, 0, 0, 1)) return 1;   // r_B1: closest
+    if (nh == Ipv4Addr(2, 0, 0, 1)) return 2;   // r_C: middle
+    return 3;                                   // r_B0: farthest
+  };
+  auto r_b1 = Cand(Ipv4Addr(1, 0, 0, 1), Attrs(Ipv4Addr(1, 0, 0, 1), {7, 9}));
+  r_b1.attrs.med = 1;
+  auto r_c = Cand(Ipv4Addr(2, 0, 0, 1), Attrs(Ipv4Addr(2, 0, 0, 1), {8, 9}));
+  auto r_b0 = Cand(Ipv4Addr(3, 0, 0, 1), Attrs(Ipv4Addr(3, 0, 0, 1), {7, 9}));
+  r_b0.attrs.med = 0;
+
+  // Cycle: r_b0 beats r_b1 (MED), r_b1 beats r_c (IGP), r_c beats r_b0 (IGP).
+  const std::vector<RouteCandidate> order_a{r_b1, r_c, r_b0};
+  const std::vector<RouteCandidate> order_b{r_c, r_b0, r_b1};
+  const auto pick1 = SelectBest(order_a, config);
+  const auto pick2 = SelectBest(order_b, config);
+  ASSERT_TRUE(pick1);
+  ASSERT_TRUE(pick2);
+  // The winners differ by scan order — the root of RFC 3345 oscillation.
+  EXPECT_NE(order_a[*pick1].peer, order_b[*pick2].peer);
+
+  // deterministic-med removes the order dependence.
+  config.deterministic_med = true;
+  const auto d1 = SelectBest(order_a, config);
+  const auto d2 = SelectBest(order_b, config);
+  ASSERT_TRUE(d1);
+  ASSERT_TRUE(d2);
+  EXPECT_EQ(order_a[*d1].peer, order_b[*d2].peer);
+}
+
+// --- LocRib ---------------------------------------------------------------
+
+TEST(LocRibTest, UpdateTracksBestChanges) {
+  LocRib rib;
+  const auto change1 = rib.Update(
+      Ipv4Addr(1, 0, 0, 1), kP, Cand(Ipv4Addr(1, 0, 0, 1), Attrs({}, {1, 2})));
+  EXPECT_TRUE(change1.Changed());
+  EXPECT_FALSE(change1.old_best);
+  ASSERT_TRUE(change1.new_best);
+
+  // Better (shorter) route from another peer takes over.
+  const auto change2 = rib.Update(
+      Ipv4Addr(2, 0, 0, 1), kP, Cand(Ipv4Addr(2, 0, 0, 1), Attrs({}, {9})));
+  EXPECT_TRUE(change2.Changed());
+  EXPECT_EQ(change2.new_best->peer, Ipv4Addr(2, 0, 0, 1));
+
+  // Worse route arriving does not change the best.
+  const auto change3 = rib.Update(
+      Ipv4Addr(3, 0, 0, 1), kP,
+      Cand(Ipv4Addr(3, 0, 0, 1), Attrs({}, {5, 6, 7})));
+  EXPECT_FALSE(change3.Changed());
+
+  EXPECT_EQ(rib.RouteCount(), 3u);
+  EXPECT_EQ(rib.PrefixCount(), 1u);
+
+  // Withdrawing the best falls back to the next.
+  const auto change4 = rib.Update(Ipv4Addr(2, 0, 0, 1), kP, std::nullopt);
+  EXPECT_TRUE(change4.Changed());
+  EXPECT_EQ(change4.new_best->peer, Ipv4Addr(1, 0, 0, 1));
+}
+
+TEST(LocRibTest, LastRouteRemovalEmptiesPrefix) {
+  LocRib rib;
+  rib.Update(Ipv4Addr(1, 0, 0, 1), kP,
+             Cand(Ipv4Addr(1, 0, 0, 1), Attrs({}, {1})));
+  const auto change = rib.Update(Ipv4Addr(1, 0, 0, 1), kP, std::nullopt);
+  EXPECT_TRUE(change.Changed());
+  EXPECT_FALSE(change.new_best);
+  EXPECT_EQ(rib.PrefixCount(), 0u);
+  EXPECT_EQ(rib.Best(kP), nullptr);
+}
+
+TEST(LocRibTest, ReplaceInPlaceKeepsSinglecandidate) {
+  LocRib rib;
+  rib.Update(Ipv4Addr(1, 0, 0, 1), kP,
+             Cand(Ipv4Addr(1, 0, 0, 1), Attrs({}, {1})));
+  rib.Update(Ipv4Addr(1, 0, 0, 1), kP,
+             Cand(Ipv4Addr(1, 0, 0, 1), Attrs({}, {1, 2})));
+  EXPECT_EQ(rib.RouteCount(), 1u);
+  EXPECT_EQ(rib.Best(kP)->attrs.as_path, (AsPath{1, 2}));
+}
+
+TEST(LocRibTest, WithdrawUnknownIsNoop) {
+  LocRib rib;
+  const auto change = rib.Update(Ipv4Addr(1, 0, 0, 1), kP, std::nullopt);
+  EXPECT_FALSE(change.Changed());
+}
+
+}  // namespace
+}  // namespace ranomaly::bgp

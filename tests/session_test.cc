@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "bgp/session.h"
+
+namespace ranomaly::bgp {
+namespace {
+
+using util::kSecond;
+
+// Drives a session to Established, returning the actions of the last step.
+SessionActions Establish(SessionFsm& fsm, util::SimTime t = 0) {
+  fsm.OnInput(SessionInput::kManualStart, t);
+  fsm.OnInput(SessionInput::kTcpConnected, t);
+  fsm.OnInput(SessionInput::kOpenReceived, t);
+  return fsm.OnInput(SessionInput::kKeepaliveReceived, t);
+}
+
+TEST(SessionFsmTest, HappyPathToEstablished) {
+  SessionFsm fsm;
+  EXPECT_EQ(fsm.state(), SessionState::kIdle);
+  fsm.OnInput(SessionInput::kManualStart, 0);
+  EXPECT_EQ(fsm.state(), SessionState::kConnect);
+  const auto open_actions = fsm.OnInput(SessionInput::kTcpConnected, 0);
+  EXPECT_TRUE(open_actions.send_open);
+  EXPECT_EQ(fsm.state(), SessionState::kOpenSent);
+  const auto confirm_actions = fsm.OnInput(SessionInput::kOpenReceived, 0);
+  EXPECT_TRUE(confirm_actions.send_keepalive);
+  EXPECT_EQ(fsm.state(), SessionState::kOpenConfirm);
+  const auto est = fsm.OnInput(SessionInput::kKeepaliveReceived, 0);
+  EXPECT_TRUE(est.session_established);
+  EXPECT_EQ(fsm.state(), SessionState::kEstablished);
+  EXPECT_EQ(fsm.times_established(), 1u);
+}
+
+TEST(SessionFsmTest, NotificationDropsEstablishedSession) {
+  SessionFsm fsm;
+  Establish(fsm);
+  const auto actions = fsm.OnInput(SessionInput::kNotificationReceived, 1);
+  EXPECT_TRUE(actions.session_dropped);
+  EXPECT_EQ(fsm.state(), SessionState::kIdle);
+  EXPECT_EQ(fsm.times_dropped(), 1u);
+}
+
+TEST(SessionFsmTest, DropBeforeEstablishedIsNotCounted) {
+  SessionFsm fsm;
+  fsm.OnInput(SessionInput::kManualStart, 0);
+  fsm.OnInput(SessionInput::kTcpConnected, 0);
+  const auto actions = fsm.OnInput(SessionInput::kTcpFailed, 0);
+  EXPECT_FALSE(actions.session_dropped);  // never fully up
+  EXPECT_EQ(fsm.times_dropped(), 0u);
+  EXPECT_EQ(fsm.state(), SessionState::kIdle);
+}
+
+TEST(SessionFsmTest, HoldTimerExpiry) {
+  SessionFsm fsm(30 * kSecond);
+  Establish(fsm, 0);
+  EXPECT_FALSE(fsm.HoldTimerExpired(10 * kSecond));
+  // Keepalives refresh the timer.
+  fsm.OnInput(SessionInput::kKeepaliveReceived, 25 * kSecond);
+  EXPECT_FALSE(fsm.HoldTimerExpired(40 * kSecond));
+  EXPECT_TRUE(fsm.HoldTimerExpired(56 * kSecond));
+  const auto actions =
+      fsm.OnInput(SessionInput::kHoldTimerExpired, 56 * kSecond);
+  EXPECT_TRUE(actions.session_dropped);
+  EXPECT_TRUE(actions.send_notification);
+  EXPECT_EQ(fsm.state(), SessionState::kIdle);
+}
+
+TEST(SessionFsmTest, UpdatesRefreshHoldTimer) {
+  SessionFsm fsm(30 * kSecond);
+  Establish(fsm, 0);
+  fsm.OnInput(SessionInput::kUpdateReceived, 25 * kSecond);
+  EXPECT_FALSE(fsm.HoldTimerExpired(50 * kSecond));
+}
+
+TEST(SessionFsmTest, ReestablishmentCounts) {
+  SessionFsm fsm;
+  // The Section IV-E customer: dropped and re-established once a minute.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    Establish(fsm, cycle * 60 * kSecond);
+    fsm.OnInput(SessionInput::kNotificationReceived,
+                cycle * 60 * kSecond + 30 * kSecond);
+  }
+  EXPECT_EQ(fsm.times_established(), 5u);
+  EXPECT_EQ(fsm.times_dropped(), 5u);
+}
+
+TEST(SessionFsmTest, HoldExpiryIgnoredWhenIdle) {
+  SessionFsm fsm;
+  const auto actions = fsm.OnInput(SessionInput::kHoldTimerExpired, 0);
+  EXPECT_FALSE(actions.session_dropped);
+  EXPECT_FALSE(actions.send_notification);
+  EXPECT_FALSE(fsm.HoldTimerExpired(1000 * kSecond));
+}
+
+TEST(SessionFsmTest, CollisionShortcutFromConnect) {
+  SessionFsm fsm;
+  fsm.OnInput(SessionInput::kManualStart, 0);
+  const auto actions = fsm.OnInput(SessionInput::kOpenReceived, 0);
+  EXPECT_TRUE(actions.send_open);
+  EXPECT_TRUE(actions.send_keepalive);
+  EXPECT_EQ(fsm.state(), SessionState::kOpenConfirm);
+}
+
+TEST(SessionFsmTest, StateNames) {
+  EXPECT_STREQ(ToString(SessionState::kEstablished), "Established");
+  EXPECT_STREQ(ToString(SessionInput::kHoldTimerExpired), "HoldTimerExpired");
+}
+
+}  // namespace
+}  // namespace ranomaly::bgp

@@ -1,0 +1,506 @@
+#include <gtest/gtest.h>
+
+#include "net/simulator.h"
+
+namespace ranomaly::net {
+namespace {
+
+using bgp::AsPath;
+using bgp::Ipv4Addr;
+using bgp::Prefix;
+using util::kMillisecond;
+using util::kSecond;
+
+const Prefix kP = *Prefix::Parse("192.96.10.0/24");
+
+RouterIndex AddRouter(Topology& topo, const char* name, Ipv4Addr addr,
+                      bgp::AsNumber asn, bool rr = false) {
+  return topo.AddRouter(RouterSpec{name, addr, asn, 0, rr, {}});
+}
+
+LinkIndex Link(Topology& topo, RouterIndex a, RouterIndex b,
+               PeerRelation b_to_a, NeighborPolicy a_policy = {},
+               NeighborPolicy b_policy = {}) {
+  LinkSpec l;
+  l.a = a;
+  l.b = b;
+  l.b_is_as_seen_by_a = b_to_a;
+  l.delay = kMillisecond;
+  l.a_policy = std::move(a_policy);
+  l.b_policy = std::move(b_policy);
+  return topo.AddLink(l);
+}
+
+TEST(SimulatorTest, CustomerRouteReachesProvider) {
+  Topology topo;
+  const auto provider = AddRouter(topo, "prov", Ipv4Addr(10, 0, 0, 1), 100);
+  const auto customer = AddRouter(topo, "cust", Ipv4Addr(10, 0, 0, 2), 200);
+  Link(topo, provider, customer, PeerRelation::kCustomer);
+
+  Simulator sim(std::move(topo));
+  sim.Originate(customer, kP);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(10 * kSecond));
+
+  const auto* best = sim.RibOf(provider).Best(kP);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->attrs.as_path, (AsPath{200}));
+  EXPECT_EQ(best->attrs.nexthop, Ipv4Addr(10, 0, 0, 2));
+  EXPECT_EQ(best->attrs.local_pref, DefaultLocalPref(PeerRelation::kCustomer));
+}
+
+TEST(SimulatorTest, PathGrowsAlongChain) {
+  Topology topo;
+  const auto a = AddRouter(topo, "a", Ipv4Addr(1, 0, 0, 1), 100);
+  const auto b = AddRouter(topo, "b", Ipv4Addr(2, 0, 0, 1), 200);
+  const auto c = AddRouter(topo, "c", Ipv4Addr(3, 0, 0, 1), 300);
+  Link(topo, a, b, PeerRelation::kCustomer);
+  Link(topo, b, c, PeerRelation::kCustomer);
+
+  Simulator sim(std::move(topo));
+  sim.Originate(c, kP);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(10 * kSecond));
+
+  const auto* best = sim.RibOf(a).Best(kP);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->attrs.as_path, (AsPath{200, 300}));
+  // eBGP export rewrote the nexthop at each hop.
+  EXPECT_EQ(best->attrs.nexthop, Ipv4Addr(2, 0, 0, 1));
+}
+
+TEST(SimulatorTest, GaoRexfordExportGates) {
+  // Hub AS with a customer, a peer and a provider: customer routes go
+  // everywhere, peer/provider routes only to the customer.
+  Topology topo;
+  const auto hub = AddRouter(topo, "hub", Ipv4Addr(1, 0, 0, 1), 100);
+  const auto cust = AddRouter(topo, "cust", Ipv4Addr(2, 0, 0, 1), 200);
+  const auto peer = AddRouter(topo, "peer", Ipv4Addr(3, 0, 0, 1), 300);
+  const auto prov = AddRouter(topo, "prov", Ipv4Addr(4, 0, 0, 1), 400);
+  Link(topo, hub, cust, PeerRelation::kCustomer);
+  Link(topo, hub, peer, PeerRelation::kPeer);
+  Link(topo, hub, prov, PeerRelation::kProvider);
+
+  const Prefix cust_p = *Prefix::Parse("10.1.0.0/16");
+  const Prefix peer_p = *Prefix::Parse("10.2.0.0/16");
+  const Prefix prov_p = *Prefix::Parse("10.3.0.0/16");
+
+  Simulator sim(std::move(topo));
+  sim.Originate(cust, cust_p);
+  sim.Originate(peer, peer_p);
+  sim.Originate(prov, prov_p);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(10 * kSecond));
+
+  // Customer route reaches peer and provider.
+  EXPECT_NE(sim.RibOf(peer).Best(cust_p), nullptr);
+  EXPECT_NE(sim.RibOf(prov).Best(cust_p), nullptr);
+  // Peer route reaches the customer but NOT the provider.
+  EXPECT_NE(sim.RibOf(cust).Best(peer_p), nullptr);
+  EXPECT_EQ(sim.RibOf(prov).Best(peer_p), nullptr);
+  // Provider route reaches the customer but NOT the peer.
+  EXPECT_NE(sim.RibOf(cust).Best(prov_p), nullptr);
+  EXPECT_EQ(sim.RibOf(peer).Best(prov_p), nullptr);
+}
+
+TEST(SimulatorTest, CustomerPrefersCustomerRoute) {
+  // Two paths to the same prefix: via a customer and via a provider;
+  // LOCAL_PREF economics must pick the customer.
+  Topology topo;
+  const auto hub = AddRouter(topo, "hub", Ipv4Addr(1, 0, 0, 1), 100);
+  const auto cust = AddRouter(topo, "cust", Ipv4Addr(2, 0, 0, 1), 200);
+  const auto prov = AddRouter(topo, "prov", Ipv4Addr(3, 0, 0, 1), 300);
+  const auto origin = AddRouter(topo, "origin", Ipv4Addr(4, 0, 0, 1), 400);
+  Link(topo, hub, cust, PeerRelation::kCustomer);
+  Link(topo, hub, prov, PeerRelation::kProvider);
+  Link(topo, cust, origin, PeerRelation::kCustomer);
+  Link(topo, prov, origin, PeerRelation::kCustomer);
+
+  Simulator sim(std::move(topo));
+  sim.Originate(origin, kP);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(10 * kSecond));
+
+  const auto* best = sim.RibOf(hub).Best(kP);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->attrs.as_path, (AsPath{200, 400}));  // via the customer
+}
+
+TEST(SimulatorTest, LoopSuppression) {
+  // Triangle of peers: routes must not loop; everyone converges on a
+  // direct or 2-hop path with no AS repeated.
+  Topology topo;
+  const auto a = AddRouter(topo, "a", Ipv4Addr(1, 0, 0, 1), 100);
+  const auto b = AddRouter(topo, "b", Ipv4Addr(2, 0, 0, 1), 200);
+  const auto c = AddRouter(topo, "c", Ipv4Addr(3, 0, 0, 1), 300);
+  Link(topo, a, b, PeerRelation::kCustomer);
+  Link(topo, b, c, PeerRelation::kCustomer);
+  Link(topo, c, a, PeerRelation::kCustomer);
+
+  Simulator sim(std::move(topo));
+  sim.Originate(a, kP);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(10 * kSecond));
+
+  for (const RouterIndex r : {a, b, c}) {
+    const auto* best = sim.RibOf(r).Best(kP);
+    ASSERT_NE(best, nullptr);
+    EXPECT_FALSE(best->attrs.as_path.HasLoop());
+  }
+}
+
+TEST(SimulatorTest, IbgpPreservesNexthopAndNoTransit) {
+  // AS 100 routers r1, r2, r3 in a full mesh; r1 has the eBGP session.
+  Topology topo;
+  const auto r1 = AddRouter(topo, "r1", Ipv4Addr(1, 0, 0, 1), 100);
+  const auto r2 = AddRouter(topo, "r2", Ipv4Addr(1, 0, 0, 2), 100);
+  const auto r3 = AddRouter(topo, "r3", Ipv4Addr(1, 0, 0, 3), 100);
+  const auto ext = AddRouter(topo, "ext", Ipv4Addr(2, 0, 0, 1), 200);
+  Link(topo, r1, r2, PeerRelation::kInternal);
+  Link(topo, r1, r3, PeerRelation::kInternal);
+  Link(topo, r2, r3, PeerRelation::kInternal);
+  Link(topo, r1, ext, PeerRelation::kCustomer);
+
+  Simulator sim(std::move(topo));
+  sim.Originate(ext, kP);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(10 * kSecond));
+
+  // r2 and r3 learned it over iBGP with the original nexthop.
+  for (const RouterIndex r : {r2, r3}) {
+    const auto* best = sim.RibOf(r).Best(kP);
+    ASSERT_NE(best, nullptr);
+    EXPECT_EQ(best->attrs.nexthop, Ipv4Addr(2, 0, 0, 1));
+    EXPECT_FALSE(best->ebgp);
+    // LOCAL_PREF assigned at the edge rode across iBGP.
+    EXPECT_EQ(best->attrs.local_pref,
+              DefaultLocalPref(PeerRelation::kCustomer));
+  }
+}
+
+TEST(SimulatorTest, RouteReflectionReachesClients) {
+  // rr with clients c1, c2 (no client-client session): c1's eBGP route
+  // must reach c2 through the reflector, with ORIGINATOR_ID set.
+  Topology topo;
+  const auto rr = AddRouter(topo, "rr", Ipv4Addr(1, 0, 0, 1), 100, true);
+  const auto c1 = AddRouter(topo, "c1", Ipv4Addr(1, 0, 0, 2), 100);
+  const auto c2 = AddRouter(topo, "c2", Ipv4Addr(1, 0, 0, 3), 100);
+  const auto ext = AddRouter(topo, "ext", Ipv4Addr(2, 0, 0, 1), 200);
+  {
+    LinkSpec l;
+    l.a = rr;
+    l.b = c1;
+    l.b_is_as_seen_by_a = PeerRelation::kInternal;
+    l.b_is_rr_client_of_a = true;
+    topo.AddLink(l);
+  }
+  {
+    LinkSpec l;
+    l.a = rr;
+    l.b = c2;
+    l.b_is_as_seen_by_a = PeerRelation::kInternal;
+    l.b_is_rr_client_of_a = true;
+    topo.AddLink(l);
+  }
+  Link(topo, c1, ext, PeerRelation::kCustomer);
+
+  Simulator sim(std::move(topo));
+  sim.Originate(ext, kP);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(10 * kSecond));
+
+  const auto* at_c2 = sim.RibOf(c2).Best(kP);
+  ASSERT_NE(at_c2, nullptr);
+  EXPECT_EQ(at_c2->attrs.nexthop, Ipv4Addr(2, 0, 0, 1));
+  EXPECT_NE(at_c2->attrs.originator_id, 0u);
+}
+
+TEST(SimulatorTest, PlainIbgpSpeakerDoesNotReflect) {
+  // r2 is NOT a reflector: c-like hub-and-spoke without RR must fail to
+  // deliver (the reason full meshes / RRs exist).
+  Topology topo;
+  const auto mid = AddRouter(topo, "mid", Ipv4Addr(1, 0, 0, 1), 100, false);
+  const auto e1 = AddRouter(topo, "e1", Ipv4Addr(1, 0, 0, 2), 100);
+  const auto e2 = AddRouter(topo, "e2", Ipv4Addr(1, 0, 0, 3), 100);
+  const auto ext = AddRouter(topo, "ext", Ipv4Addr(2, 0, 0, 1), 200);
+  Link(topo, mid, e1, PeerRelation::kInternal);
+  Link(topo, mid, e2, PeerRelation::kInternal);
+  Link(topo, e1, ext, PeerRelation::kCustomer);
+
+  Simulator sim(std::move(topo));
+  sim.Originate(ext, kP);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(10 * kSecond));
+
+  EXPECT_NE(sim.RibOf(mid).Best(kP), nullptr);
+  EXPECT_EQ(sim.RibOf(e2).Best(kP), nullptr);  // no reflection
+}
+
+TEST(SimulatorTest, SessionDownWithdrawsAndUpRestores) {
+  Topology topo;
+  const auto prov = AddRouter(topo, "prov", Ipv4Addr(1, 0, 0, 1), 100);
+  const auto cust = AddRouter(topo, "cust", Ipv4Addr(2, 0, 0, 1), 200);
+  const auto link = Link(topo, prov, cust, PeerRelation::kCustomer);
+
+  Simulator sim(std::move(topo));
+  sim.Originate(cust, kP);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(10 * kSecond));
+  ASSERT_NE(sim.RibOf(prov).Best(kP), nullptr);
+
+  sim.ScheduleLinkDown(link, sim.now() + kSecond);
+  sim.Run(sim.now() + 2 * kSecond);
+  EXPECT_EQ(sim.RibOf(prov).Best(kP), nullptr);
+
+  sim.ScheduleLinkUp(link, sim.now() + kSecond);
+  ASSERT_TRUE(sim.RunToQuiescence(sim.now() + 10 * kSecond));
+  EXPECT_NE(sim.RibOf(prov).Best(kP), nullptr);
+  EXPECT_EQ(sim.stats().sessions_dropped, 1u);
+  EXPECT_EQ(sim.stats().sessions_established, 2u);
+}
+
+TEST(SimulatorTest, MaxPrefixTearsSessionDown) {
+  // The ISP-B guard from Section I: a leak beyond the limit closes the
+  // session, withdrawing everything learned over it.
+  Topology topo;
+  const auto isp = AddRouter(topo, "isp", Ipv4Addr(1, 0, 0, 1), 100);
+  const auto leaker = AddRouter(topo, "leaker", Ipv4Addr(2, 0, 0, 1), 200);
+  NeighborPolicy guard;
+  guard.max_prefix_limit = 10;
+  const auto link =
+      Link(topo, isp, leaker, PeerRelation::kCustomer, std::move(guard));
+
+  Simulator sim(std::move(topo));
+  for (int i = 0; i < 25; ++i) {
+    sim.Originate(leaker,
+                  Prefix(Ipv4Addr(10, static_cast<std::uint8_t>(i), 0, 0), 16));
+  }
+  sim.Start();
+  sim.RunToQuiescence(10 * kSecond);
+
+  EXPECT_FALSE(sim.IsLinkUp(link));
+  EXPECT_GE(sim.stats().max_prefix_teardowns, 1u);
+  EXPECT_EQ(sim.RibOf(isp).PrefixCount(), 0u);  // everything withdrawn
+}
+
+TEST(SimulatorTest, ImportFilterBlocksRoute) {
+  Topology topo;
+  const auto a = AddRouter(topo, "a", Ipv4Addr(1, 0, 0, 1), 100);
+  const auto b = AddRouter(topo, "b", Ipv4Addr(2, 0, 0, 1), 200);
+  NeighborPolicy filter;
+  net::RouteMap deny_all("DENY");
+  net::RouteMapClause deny;
+  deny.permit = false;
+  deny_all.AddClause(std::move(deny));
+  filter.import_map = std::move(deny_all);
+  Link(topo, a, b, PeerRelation::kCustomer, std::move(filter));
+
+  Simulator sim(std::move(topo));
+  sim.Originate(b, kP);
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(10 * kSecond));
+  EXPECT_EQ(sim.RibOf(a).Best(kP), nullptr);
+}
+
+TEST(SimulatorTest, MraiBatchesAnnouncements) {
+  // With MRAI, a rapid announce/withdraw/announce burst coalesces into
+  // fewer messages on the wire than without.
+  auto run_with_mrai = [&](util::SimDuration mrai) {
+    Topology topo;
+    const auto a = AddRouter(topo, "a", Ipv4Addr(1, 0, 0, 1), 100);
+    const auto b = AddRouter(topo, "b", Ipv4Addr(2, 0, 0, 1), 200);
+    LinkSpec l;
+    l.a = a;
+    l.b = b;
+    l.b_is_as_seen_by_a = PeerRelation::kCustomer;
+    l.delay = kMillisecond;
+    l.b_mrai = mrai;  // b rate-limits its announcements toward a
+    topo.AddLink(l);
+    Simulator sim(std::move(topo));
+    sim.Start();
+    // 20 origination flip-flops in rapid succession.
+    for (int i = 0; i < 20; ++i) {
+      sim.ScheduleOriginate(i * 10 * kMillisecond, b, kP, {});
+      sim.ScheduleWithdrawOrigin(i * 10 * kMillisecond + 5 * kMillisecond, b,
+                                 kP);
+    }
+    sim.RunToQuiescence(5 * util::kMinute);
+    return sim.stats().messages_delivered;
+  };
+  const auto without = run_with_mrai(0);
+  const auto with = run_with_mrai(kSecond);
+  EXPECT_LT(with, without);
+}
+
+TEST(SimulatorTest, TapsSeeBestPathChanges) {
+  Topology topo;
+  const auto a = AddRouter(topo, "a", Ipv4Addr(1, 0, 0, 1), 100);
+  const auto b = AddRouter(topo, "b", Ipv4Addr(2, 0, 0, 1), 200);
+  Link(topo, a, b, PeerRelation::kCustomer);
+
+  Simulator sim(std::move(topo));
+  std::vector<BestPathChangeView> seen;
+  sim.AddBestPathTap(a, [&](const BestPathChangeView& v) { seen.push_back(v); });
+  sim.Originate(b, kP);
+  sim.Start();
+  sim.RunToQuiescence(10 * kSecond);
+
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].prefix, kP);
+  ASSERT_TRUE(seen[0].new_best);
+  EXPECT_TRUE(seen[0].new_advertisable);  // eBGP-learned
+  EXPECT_FALSE(seen[0].old_best);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Topology topo;
+    const auto a = AddRouter(topo, "a", Ipv4Addr(1, 0, 0, 1), 100);
+    const auto b = AddRouter(topo, "b", Ipv4Addr(2, 0, 0, 1), 200);
+    const auto c = AddRouter(topo, "c", Ipv4Addr(3, 0, 0, 1), 300);
+    Link(topo, a, b, PeerRelation::kCustomer);
+    Link(topo, b, c, PeerRelation::kCustomer);
+    Link(topo, c, a, PeerRelation::kCustomer);
+    Simulator sim(std::move(topo), /*seed=*/5);
+    for (int i = 0; i < 10; ++i) {
+      sim.Originate(c, Prefix(Ipv4Addr(10, static_cast<std::uint8_t>(i), 0, 0), 16));
+    }
+    sim.Start();
+    sim.RunToQuiescence(5 * util::kMinute);
+    return sim.stats().messages_delivered;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimulatorTest, WithdrawalsBypassMrai) {
+  // Classic MRAI applies to announcements only: after a route vanishes,
+  // the withdrawal must reach the peer immediately even while the
+  // announcement side is rate-limited.
+  Topology topo;
+  const auto a = AddRouter(topo, "a", Ipv4Addr(1, 0, 0, 1), 100);
+  const auto b = AddRouter(topo, "b", Ipv4Addr(2, 0, 0, 1), 200);
+  LinkSpec l;
+  l.a = a;
+  l.b = b;
+  l.b_is_as_seen_by_a = PeerRelation::kCustomer;
+  l.delay = kMillisecond;
+  l.b_mrai = 60 * kSecond;  // b rate-limits announcements toward a
+  topo.AddLink(l);
+
+  Simulator sim(std::move(topo));
+  sim.Originate(b, kP);
+  sim.Start();
+  sim.Run(kSecond);
+  ASSERT_NE(sim.RibOf(a).Best(kP), nullptr);
+
+  // Immediately re-announce (gated by MRAI) then withdraw: the withdraw
+  // must not wait the full 60 s.
+  bgp::PathAttributes changed;
+  changed.med = 7;
+  sim.ScheduleOriginate(sim.now() + kSecond, b, kP, changed);
+  sim.ScheduleWithdrawOrigin(sim.now() + 2 * kSecond, b, kP);
+  sim.Run(sim.now() + 5 * kSecond);
+  EXPECT_EQ(sim.RibOf(a).Best(kP), nullptr);
+}
+
+TEST(SimulatorTest, MraiGatedAnnouncementEventuallyArrives) {
+  Topology topo;
+  const auto a = AddRouter(topo, "a", Ipv4Addr(1, 0, 0, 1), 100);
+  const auto b = AddRouter(topo, "b", Ipv4Addr(2, 0, 0, 1), 200);
+  LinkSpec l;
+  l.a = a;
+  l.b = b;
+  l.b_is_as_seen_by_a = PeerRelation::kCustomer;
+  l.delay = kMillisecond;
+  l.b_mrai = 30 * kSecond;
+  topo.AddLink(l);
+
+  Simulator sim(std::move(topo));
+  sim.Originate(b, kP);
+  sim.Start();
+  sim.Run(kSecond);
+
+  // A second announcement with new attributes within the MRAI window:
+  // gated, then flushed at the window boundary.
+  bgp::PathAttributes changed;
+  changed.med = 9;
+  sim.ScheduleOriginate(sim.now() + kSecond, b, kP, changed);
+  sim.Run(sim.now() + 10 * kSecond);
+  ASSERT_NE(sim.RibOf(a).Best(kP), nullptr);
+  EXPECT_FALSE(sim.RibOf(a).Best(kP)->attrs.med.has_value());  // still old
+  ASSERT_TRUE(sim.RunToQuiescence(sim.now() + 60 * kSecond));
+  ASSERT_NE(sim.RibOf(a).Best(kP), nullptr);
+  EXPECT_EQ(sim.RibOf(a).Best(kP)->attrs.med, 9u);  // flushed
+}
+
+TEST(SimulatorTest, ScheduleLinkFlapsProducesRequestedCycles) {
+  Topology topo;
+  const auto a = AddRouter(topo, "a", Ipv4Addr(1, 0, 0, 1), 100);
+  const auto b = AddRouter(topo, "b", Ipv4Addr(2, 0, 0, 1), 200);
+  const auto link = Link(topo, a, b, PeerRelation::kCustomer);
+  Simulator sim(std::move(topo));
+  sim.Originate(b, kP);
+  sim.Start();
+  sim.Run(kSecond);
+  sim.ScheduleLinkFlaps(link, sim.now() + kSecond, 2 * kSecond, 3 * kSecond,
+                        4);
+  ASSERT_TRUE(sim.RunToQuiescence(sim.now() + 5 * util::kMinute));
+  EXPECT_EQ(sim.stats().sessions_dropped, 4u);
+  EXPECT_EQ(sim.stats().sessions_established, 5u);  // initial + 4 recoveries
+  EXPECT_NE(sim.RibOf(a).Best(kP), nullptr);        // ends up
+}
+
+TEST(SimulatorTest, ReestablishedSessionRelearnsEverything) {
+  // Down/up with multiple prefixes: after recovery the peer's table is
+  // byte-identical to before.
+  Topology topo;
+  const auto a = AddRouter(topo, "a", Ipv4Addr(1, 0, 0, 1), 100);
+  const auto b = AddRouter(topo, "b", Ipv4Addr(2, 0, 0, 1), 200);
+  const auto link = Link(topo, a, b, PeerRelation::kCustomer);
+  Simulator sim(std::move(topo));
+  std::vector<Prefix> prefixes;
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    prefixes.push_back(Prefix(Ipv4Addr(10, i, 0, 0), 16));
+    sim.Originate(b, prefixes.back());
+  }
+  sim.Start();
+  ASSERT_TRUE(sim.RunToQuiescence(kSecond * 10));
+  EXPECT_EQ(sim.RibOf(a).PrefixCount(), 10u);
+
+  sim.ScheduleLinkDown(link, sim.now() + kSecond);
+  sim.ScheduleLinkUp(link, sim.now() + 2 * kSecond);
+  ASSERT_TRUE(sim.RunToQuiescence(sim.now() + util::kMinute));
+  EXPECT_EQ(sim.RibOf(a).PrefixCount(), 10u);
+  for (const auto& p : prefixes) {
+    ASSERT_NE(sim.RibOf(a).Best(p), nullptr);
+    EXPECT_EQ(sim.RibOf(a).Best(p)->attrs.as_path, (AsPath{200}));
+  }
+}
+
+TEST(TopologyTest, ValidatesLinks) {
+  Topology topo;
+  const auto a = AddRouter(topo, "a", Ipv4Addr(1, 0, 0, 1), 100);
+  const auto b = AddRouter(topo, "b", Ipv4Addr(2, 0, 0, 1), 100);
+  LinkSpec self;
+  self.a = a;
+  self.b = a;
+  EXPECT_THROW(topo.AddLink(self), std::invalid_argument);
+  LinkSpec wrong_rel;
+  wrong_rel.a = a;
+  wrong_rel.b = b;
+  wrong_rel.b_is_as_seen_by_a = PeerRelation::kPeer;  // same AS => internal
+  EXPECT_THROW(topo.AddLink(wrong_rel), std::invalid_argument);
+}
+
+TEST(TopologyTest, ReverseRelation) {
+  EXPECT_EQ(Topology::Reverse(PeerRelation::kCustomer),
+            PeerRelation::kProvider);
+  EXPECT_EQ(Topology::Reverse(PeerRelation::kProvider),
+            PeerRelation::kCustomer);
+  EXPECT_EQ(Topology::Reverse(PeerRelation::kPeer), PeerRelation::kPeer);
+  EXPECT_EQ(Topology::Reverse(PeerRelation::kInternal),
+            PeerRelation::kInternal);
+}
+
+}  // namespace
+}  // namespace ranomaly::net

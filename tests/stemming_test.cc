@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stemming/stemming.h"
+
+namespace ranomaly::stemming {
+namespace {
+
+using bgp::AsPath;
+using bgp::Event;
+using bgp::EventType;
+using bgp::Ipv4Addr;
+using bgp::Prefix;
+
+Event MakeEvent(const char* peer, const char* nexthop, AsPath path,
+                const char* prefix,
+                EventType type = EventType::kWithdraw,
+                util::SimTime t = 0) {
+  Event e;
+  e.time = t;
+  e.peer = *Ipv4Addr::Parse(peer);
+  e.type = type;
+  e.prefix = *Prefix::Parse(prefix);
+  e.attrs.nexthop = *Ipv4Addr::Parse(nexthop);
+  e.attrs.as_path = std::move(path);
+  return e;
+}
+
+// The paper's Figure 4: ten route withdrawals during an event spike at
+// Berkeley.  Eight of the ten share 11423-209; the stem must be exactly
+// that pair.
+std::vector<Event> Figure4Events() {
+  return {
+      MakeEvent("128.32.1.3", "128.32.0.70", {11423, 209, 701, 1299, 5713},
+                "192.96.10.0/24"),
+      MakeEvent("128.32.1.3", "128.32.0.66", {11423, 11422, 209, 4519},
+                "207.191.23.0/24"),
+      MakeEvent("128.32.1.200", "128.32.0.90", {11423, 209, 701, 1299, 5713},
+                "192.96.10.0/24"),
+      MakeEvent("128.32.1.200", "128.32.0.90", {11423, 209, 1239, 3228, 21408},
+                "212.22.132.0/23"),
+      MakeEvent("128.32.1.3", "128.32.0.66", {11423, 209, 701, 705},
+                "203.14.156.0/24"),
+      MakeEvent("128.32.1.3", "128.32.0.66", {11423, 11422, 209, 1239, 3602},
+                "209.5.188.0/24"),
+      MakeEvent("128.32.1.3", "128.32.0.66", {11423, 209, 7018, 13606},
+                "12.2.41.0/24"),
+      MakeEvent("128.32.1.3", "128.32.0.66", {11423, 209, 7018, 13606},
+                "12.96.77.0/24"),
+      MakeEvent("128.32.1.3", "128.32.0.66", {11423, 209, 1239, 5400, 15410},
+                "62.80.64.0/20"),
+      MakeEvent("128.32.1.200", "128.32.0.90", {11423, 209, 1239, 5400, 15410},
+                "62.80.64.0/20"),
+  };
+}
+
+TEST(StemmingTest, Figure4ExampleFindsStem11423_209) {
+  const auto events = Figure4Events();
+  const StemmingResult result = Stem(events);
+  ASSERT_FALSE(result.components.empty());
+  const Component& top = result.components[0];
+
+  // The stem is the 11423-209 AS edge, with count 8.
+  EXPECT_EQ(result.symbols.KindOf(top.stem.first), SymbolKind::kAs);
+  EXPECT_EQ(result.symbols.AsOf(top.stem.first), 11423u);
+  EXPECT_EQ(result.symbols.AsOf(top.stem.second), 209u);
+  EXPECT_DOUBLE_EQ(top.count, 8.0);
+  EXPECT_EQ(result.StemLabel(top), "AS11423 - AS209");
+
+  // P: the prefixes on sequences containing 11423-209 (6 unique: two
+  // prefixes appear from two peers).
+  EXPECT_EQ(top.prefixes.size(), 6u);
+  // E: all events whose prefix is in P — here 8 events.
+  EXPECT_EQ(top.event_indices.size(), 8u);
+}
+
+TEST(StemmingTest, Figure4SecondComponentIsCalren2) {
+  // After removing the 11423-209 component, the two 11423-11422 events
+  // remain and form the next component.
+  const auto events = Figure4Events();
+  const StemmingResult result = Stem(events);
+  ASSERT_GE(result.components.size(), 2u);
+  const Component& second = result.components[1];
+  // The two CalREN-2 events share peer-nexthop-11423-11422-209; the stem
+  // is the last adjacent pair, 11422-209.
+  EXPECT_EQ(result.symbols.AsOf(second.stem.first), 11422u);
+  EXPECT_EQ(result.symbols.AsOf(second.stem.second), 209u);
+  EXPECT_EQ(second.event_indices.size(), 2u);
+  EXPECT_EQ(result.residual_events, 0u);
+}
+
+TEST(StemmingTest, ExtendsToLongestSharedSequence) {
+  // All events share the full path 1-2-3: s' should extend through it and
+  // the stem is the last adjacent pair before the (distinct) prefixes.
+  std::vector<Event> events;
+  for (int i = 0; i < 5; ++i) {
+    events.push_back(MakeEvent("10.0.0.1", "10.1.0.1", {1, 2, 3},
+                               ("10." + std::to_string(i) + ".0.0/16").c_str()));
+  }
+  const StemmingResult result = Stem(events);
+  ASSERT_FALSE(result.components.empty());
+  const Component& top = result.components[0];
+  // s' = peer nexthop 1 2 3 (count 5 each; prefixes differ so the prefix
+  // element cannot extend it).
+  ASSERT_EQ(top.top_sequence.size(), 5u);
+  EXPECT_EQ(result.symbols.KindOf(top.top_sequence[0]), SymbolKind::kPeer);
+  EXPECT_EQ(result.symbols.AsOf(top.stem.first), 2u);
+  EXPECT_EQ(result.symbols.AsOf(top.stem.second), 3u);
+  EXPECT_DOUBLE_EQ(top.count, 5.0);
+}
+
+TEST(StemmingTest, SinglePrefixOscillationDominatesLongWindow) {
+  // Section III-B: a persistent single-prefix oscillation overwhelms
+  // other correlations over a long window even without a rate spike.
+  std::vector<Event> events;
+  util::SimTime t = 0;
+  // Background: 50 distinct one-off changes.
+  for (int i = 0; i < 50; ++i) {
+    events.push_back(MakeEvent("10.0.0.1", "10.1.0.1",
+                               {static_cast<bgp::AsNumber>(100 + i)},
+                               ("20." + std::to_string(i) + ".0.0/16").c_str(),
+                               EventType::kAnnounce, t));
+    t += util::kMinute;
+  }
+  // The oscillator: one prefix flapping 200 times.
+  for (int i = 0; i < 200; ++i) {
+    events.push_back(MakeEvent("10.0.0.2", "10.1.0.2", {7, 8}, "4.5.0.0/16",
+                               i % 2 == 0 ? EventType::kWithdraw
+                                          : EventType::kAnnounce,
+                               t));
+    t += util::kSecond;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.time < b.time; });
+
+  const StemmingResult result = Stem(events);
+  ASSERT_FALSE(result.components.empty());
+  const Component& top = result.components[0];
+  ASSERT_EQ(top.prefixes.size(), 1u);
+  EXPECT_EQ(top.prefixes[0], *Prefix::Parse("4.5.0.0/16"));
+  EXPECT_EQ(top.event_indices.size(), 200u);
+  // The oscillator's events are ~80% of the stream — the "95% of IBGP
+  // traffic from one prefix" effect of Section IV-F.
+  EXPECT_GT(static_cast<double>(top.event_indices.size()) /
+                static_cast<double>(events.size()),
+            0.75);
+}
+
+TEST(StemmingTest, TemporalIndependenceIgnoresOrder) {
+  // Shuffling event order must not change the components (correlation is
+  // time-scale free).
+  auto events = Figure4Events();
+  const StemmingResult before = Stem(events);
+  std::rotate(events.begin(), events.begin() + 5, events.end());
+  const StemmingResult after = Stem(events);
+  ASSERT_EQ(before.components.size(), after.components.size());
+  EXPECT_EQ(before.components[0].count, after.components[0].count);
+  EXPECT_EQ(before.StemLabel(before.components[0]),
+            after.StemLabel(after.components[0]));
+}
+
+TEST(StemmingTest, ComponentRemovalIsExhaustive) {
+  const auto events = Figure4Events();
+  const StemmingResult result = Stem(events);
+  std::size_t claimed = result.residual_events;
+  std::vector<bool> seen(events.size(), false);
+  for (const auto& c : result.components) {
+    claimed += c.event_indices.size();
+    for (const std::size_t idx : c.event_indices) {
+      EXPECT_FALSE(seen[idx]) << "event claimed twice";
+      seen[idx] = true;
+    }
+  }
+  EXPECT_EQ(claimed, events.size());
+}
+
+TEST(StemmingTest, MaxComponentsRespected) {
+  std::vector<Event> events;
+  // 10 independent 3-event groups.
+  for (int g = 0; g < 10; ++g) {
+    const std::string peer = "10.0." + std::to_string(g) + ".1";
+    const std::string nexthop = "10.1." + std::to_string(g) + ".1";
+    for (int i = 0; i < 3; ++i) {
+      events.push_back(MakeEvent(
+          peer.c_str(), nexthop.c_str(),
+          {static_cast<bgp::AsNumber>(10 + g), static_cast<bgp::AsNumber>(100 + g)},
+          ("30." + std::to_string(g) + "." + std::to_string(i) + ".0/24").c_str()));
+    }
+  }
+  StemmingOptions options;
+  options.max_components = 3;
+  const StemmingResult result = Stem(events, options);
+  EXPECT_EQ(result.components.size(), 3u);
+  EXPECT_EQ(result.residual_events, 21u);
+}
+
+TEST(StemmingTest, MinCountStopsNoise) {
+  std::vector<Event> events;
+  events.push_back(MakeEvent("10.0.0.1", "10.1.0.1", {1, 2}, "10.0.0.0/16"));
+  events.push_back(MakeEvent("10.0.0.1", "10.1.0.1", {3, 4}, "11.0.0.0/16"));
+  StemmingOptions options;
+  options.min_count = 3.0;  // nothing repeats 3 times
+  const StemmingResult result = Stem(events, options);
+  EXPECT_TRUE(result.components.empty());
+  EXPECT_EQ(result.residual_events, 2u);
+}
+
+TEST(StemmingTest, WeightedStemmingPromotesElephants) {
+  // Section III-D.2: two groups, the smaller one carrying elephant
+  // traffic must win under traffic weighting.
+  std::vector<Event> events;
+  for (int i = 0; i < 10; ++i) {
+    events.push_back(MakeEvent("10.0.0.1", "10.1.0.1", {1, 2},
+                               ("40.0." + std::to_string(i) + ".0/24").c_str()));
+  }
+  for (int i = 0; i < 4; ++i) {
+    events.push_back(MakeEvent("10.0.0.2", "10.1.0.2", {3, 4},
+                               ("50.0." + std::to_string(i) + ".0/24").c_str()));
+  }
+
+  const StemmingResult unweighted = Stem(events);
+  ASSERT_FALSE(unweighted.components.empty());
+  EXPECT_EQ(unweighted.symbols.AsOf(unweighted.components[0].stem.first), 1u);
+
+  StemmingOptions weighted;
+  weighted.weight_fn = [](const Prefix& p) {
+    return p.addr().value() >> 24 == 50 ? 100.0 : 1.0;  // 50.x are elephants
+  };
+  const StemmingResult result = Stem(events, weighted);
+  ASSERT_FALSE(result.components.empty());
+  EXPECT_EQ(result.symbols.AsOf(result.components[0].stem.first), 3u);
+  EXPECT_DOUBLE_EQ(result.components[0].count, 400.0);
+}
+
+TEST(StemmingTest, EmptyStream) {
+  const StemmingResult result = Stem({});
+  EXPECT_TRUE(result.components.empty());
+  EXPECT_EQ(result.total_events, 0u);
+}
+
+TEST(StemmingTest, PrependsCollapseInSequences) {
+  // AS-path prepending must not manufacture a bogus "7-7" stem.
+  std::vector<Event> events;
+  for (int i = 0; i < 5; ++i) {
+    events.push_back(MakeEvent("10.0.0.1", "10.1.0.1", {7, 7, 7, 9},
+                               ("60.0." + std::to_string(i) + ".0/24").c_str()));
+  }
+  const StemmingResult result = Stem(events);
+  ASSERT_FALSE(result.components.empty());
+  const auto& seq = result.components[0].top_sequence;
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    EXPECT_NE(seq[i], seq[i - 1]);
+  }
+}
+
+TEST(SymbolTableTest, RoundTripsAllKinds) {
+  SymbolTable table;
+  const auto peer = table.InternPeer(Ipv4Addr(1, 2, 3, 4));
+  const auto nh = table.InternNexthop(Ipv4Addr(1, 2, 3, 4));
+  const auto as = table.InternAs(11423);
+  const auto pfx = table.InternPrefix(*Prefix::Parse("4.5.0.0/16"));
+  EXPECT_NE(peer, nh);  // same address, different kinds
+  EXPECT_EQ(table.KindOf(peer), SymbolKind::kPeer);
+  EXPECT_EQ(table.AddrOf(nh), Ipv4Addr(1, 2, 3, 4));
+  EXPECT_EQ(table.AsOf(as), 11423u);
+  EXPECT_EQ(table.PrefixOf(pfx), *Prefix::Parse("4.5.0.0/16"));
+  EXPECT_EQ(table.Name(peer), "peer 1.2.3.4");
+  EXPECT_EQ(table.Name(as), "AS11423");
+  EXPECT_EQ(table.Name(pfx), "4.5.0.0/16");
+  EXPECT_THROW(table.AsOf(peer), std::logic_error);
+  EXPECT_THROW(table.PrefixOf(as), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ranomaly::stemming

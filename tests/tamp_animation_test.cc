@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tamp/animation.h"
+#include "tamp/layout.h"
+
+namespace ranomaly::tamp {
+namespace {
+
+using bgp::AsPath;
+using bgp::Event;
+using bgp::EventType;
+using bgp::Ipv4Addr;
+using bgp::PathAttributes;
+using bgp::Prefix;
+using collector::RouteEntry;
+using util::kSecond;
+
+const Ipv4Addr kPeer(10, 0, 0, 1);
+const Ipv4Addr kNh(10, 1, 0, 1);
+
+PathAttributes Attrs(AsPath path = {11423, 209}) {
+  PathAttributes a;
+  a.nexthop = kNh;
+  a.as_path = std::move(path);
+  return a;
+}
+
+RouteEntry Route(std::uint8_t octet) {
+  RouteEntry r;
+  r.peer = kPeer;
+  r.prefix = Prefix(Ipv4Addr(10, octet, 0, 0), 16);
+  r.attrs = Attrs();
+  return r;
+}
+
+Event MakeEvent(util::SimTime t, EventType type, std::uint8_t octet,
+                PathAttributes attrs = Attrs()) {
+  Event e;
+  e.time = t;
+  e.peer = kPeer;
+  e.type = type;
+  e.prefix = Prefix(Ipv4Addr(10, octet, 0, 0), 16);
+  e.attrs = std::move(attrs);
+  return e;
+}
+
+std::vector<RouteEntry> Snapshot(std::size_t n) {
+  std::vector<RouteEntry> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(Route(static_cast<std::uint8_t>(i)));
+  }
+  return out;
+}
+
+TEST(AnimatorTest, FixedFrameCountRegardlessOfTimerange) {
+  // Paper: 30 s x 25 fps = 750 frames whether the events span seconds or
+  // days.
+  for (const util::SimDuration span : {10 * kSecond, 2 * util::kDay}) {
+    Animator animator(Snapshot(10), AnimationOptions{});
+    std::vector<Event> events;
+    events.push_back(MakeEvent(0, EventType::kWithdraw, 0));
+    events.push_back(MakeEvent(span, EventType::kAnnounce, 0));
+    const auto result = animator.Play(events);
+    EXPECT_EQ(result.frames.size(), 750u);
+    EXPECT_EQ(result.total_events, 2u);
+    EXPECT_EQ(result.timerange, span);
+  }
+}
+
+TEST(AnimatorTest, WithdrawalsTurnEdgeBlueAndLeaveShadow) {
+  Animator animator(Snapshot(10), AnimationOptions{});
+  std::vector<Event> events;
+  // Withdraw 5 of 10 prefixes spread over the range.
+  for (int i = 0; i < 5; ++i) {
+    events.push_back(
+        MakeEvent(i * kSecond, EventType::kWithdraw, static_cast<std::uint8_t>(i)));
+  }
+  bool saw_losing_frame = false;
+  const auto result = animator.Play(
+      events, [&](std::size_t, const Animator::FrameStats& stats) {
+        if (stats.edges_losing > 0) saw_losing_frame = true;
+      });
+  EXPECT_TRUE(saw_losing_frame);
+  EXPECT_EQ(animator.graph().UniquePrefixCount(), 5u);
+
+  // The pruned view decorations carry the gray shadow (max was 10).
+  const PrunedGraph pruned = Prune(animator.graph(), PruneOptions{.threshold = 0.0});
+  const auto decorations = animator.DecorationsFor(pruned);
+  bool saw_shadow = false;
+  for (const auto& d : decorations) {
+    if (d.shadow_weight == 10) saw_shadow = true;
+  }
+  EXPECT_TRUE(saw_shadow);
+}
+
+TEST(AnimatorTest, AnnouncementsTurnEdgeGreen) {
+  Animator animator(Snapshot(2), AnimationOptions{});
+  std::vector<Event> events;
+  for (int i = 0; i < 6; ++i) {
+    events.push_back(MakeEvent(i * kSecond, EventType::kAnnounce,
+                               static_cast<std::uint8_t>(10 + i)));
+  }
+  std::size_t gaining_frames = 0;
+  animator.Play(events, [&](std::size_t, const Animator::FrameStats& s) {
+    gaining_frames += s.edges_gaining > 0 ? 1 : 0;
+  });
+  EXPECT_GT(gaining_frames, 0u);
+  EXPECT_EQ(animator.graph().UniquePrefixCount(), 8u);
+}
+
+TEST(AnimatorTest, FastFlapTurnsEdgeYellow) {
+  // One prefix flapping many times within a single frame: "too fast to
+  // animate".
+  AnimationOptions options;
+  options.flap_flips_threshold = 3;
+  Animator animator(Snapshot(1), options);
+  std::vector<Event> events;
+  // 3000 withdraw/announce pairs: with 750 frames that is ~8 events and
+  // ~7 direction changes per frame — far past the yellow threshold.
+  util::SimTime t = 0;
+  for (int i = 0; i < 3000; ++i) {
+    events.push_back(MakeEvent(t, EventType::kWithdraw, 0));
+    t += 12 * util::kMillisecond;
+    events.push_back(MakeEvent(t, EventType::kAnnounce, 0));
+    t += 12 * util::kMillisecond;
+  }
+  std::size_t flapping_frames = 0;
+  animator.Play(events, [&](std::size_t, const Animator::FrameStats& s) {
+    flapping_frames += s.edges_flapping > 0 ? 1 : 0;
+  });
+  EXPECT_GT(flapping_frames, 100u);
+}
+
+TEST(AnimatorTest, ImplicitReplacementMovesEdges) {
+  // A prefix re-announced with a different AS path: the old path's edges
+  // lose it, the new path's edges gain it.
+  Animator animator(Snapshot(5), AnimationOptions{});
+  std::vector<Event> events;
+  events.push_back(
+      MakeEvent(kSecond, EventType::kAnnounce, 0, Attrs({11423, 3356})));
+  animator.Play(events);
+  EXPECT_EQ(animator.graph().EdgeWeight(AsNode(11423), AsNode(209)), 4u);
+  EXPECT_EQ(animator.graph().EdgeWeight(AsNode(11423), AsNode(3356)), 1u);
+  // Total unique prefixes unchanged: it moved, it didn't vanish.
+  EXPECT_EQ(animator.graph().UniquePrefixCount(), 5u);
+}
+
+TEST(AnimatorTest, TrackedEdgePlotRecordsImpulses) {
+  // The Fig 3 side plot: the selected edge's prefix count per frame.
+  Animator animator(Snapshot(1), AnimationOptions{});
+  animator.TrackEdge(PeerNode(kPeer), NexthopNode(kNh));
+  std::vector<Event> events;
+  events.push_back(MakeEvent(0, EventType::kWithdraw, 0));
+  events.push_back(MakeEvent(10 * kSecond, EventType::kAnnounce, 0));
+  events.push_back(MakeEvent(20 * kSecond, EventType::kWithdraw, 0));
+  events.push_back(MakeEvent(30 * kSecond, EventType::kAnnounce, 0));
+  animator.Play(events);
+  const EdgePlot plot = animator.TrackedPlot();
+  EXPECT_EQ(plot.weights.size(), 750u);
+  // The plot alternates between carrying (1) and not carrying (0).
+  EXPECT_NE(*std::min_element(plot.weights.begin(), plot.weights.end()),
+            *std::max_element(plot.weights.begin(), plot.weights.end()));
+  EXPECT_NE(plot.edge_label.find("10.0.0.1"), std::string::npos);
+}
+
+TEST(AnimatorTest, ClockAdvancesMonotonically) {
+  Animator animator(Snapshot(3), AnimationOptions{});
+  std::vector<Event> events;
+  events.push_back(MakeEvent(0, EventType::kWithdraw, 0));
+  events.push_back(MakeEvent(100 * kSecond, EventType::kAnnounce, 0));
+  const auto result = animator.Play(events);
+  for (std::size_t i = 1; i < result.frames.size(); ++i) {
+    EXPECT_GT(result.frames[i].clock, result.frames[i - 1].clock);
+  }
+  // All events consumed by the end.
+  std::size_t total = 0;
+  for (const auto& f : result.frames) total += f.events_applied;
+  EXPECT_EQ(total, events.size());
+}
+
+TEST(AnimatorTest, TrackEdgesRecordsAllSeries) {
+  Animator animator(Snapshot(3), AnimationOptions{});
+  const EdgeKey root_peer{RootNode(), PeerNode(kPeer)};
+  const EdgeKey peer_nh{PeerNode(kPeer), NexthopNode(kNh)};
+  animator.TrackEdges({root_peer, peer_nh});
+  std::vector<Event> events;
+  events.push_back(MakeEvent(0, EventType::kWithdraw, 0));
+  events.push_back(MakeEvent(10 * kSecond, EventType::kAnnounce, 0));
+  animator.Play(events);
+  EXPECT_EQ(animator.SeriesFor(root_peer).size(), 750u);
+  EXPECT_EQ(animator.SeriesFor(peer_nh).size(), 750u);
+  // Both edges dip from 3 to 2 and recover.
+  EXPECT_EQ(*std::min_element(animator.SeriesFor(peer_nh).begin(),
+                              animator.SeriesFor(peer_nh).end()),
+            2u);
+  EXPECT_EQ(animator.SeriesFor(peer_nh).back(), 3u);
+  // Untracked edges return an empty series.
+  EXPECT_TRUE(animator.SeriesFor(EdgeKey{AsNode(1), AsNode(2)}).empty());
+}
+
+TEST(AnimatorTest, AnimatedSvgContainsKeyframes) {
+  Animator animator(Snapshot(4), AnimationOptions{});
+  const auto pruned = Prune(animator.graph(), PruneOptions{.threshold = 0.0});
+  std::vector<EdgeKey> keys;
+  for (const auto& e : pruned.edges) {
+    keys.push_back(EdgeKey{pruned.nodes[e.from].id, pruned.nodes[e.to].id});
+  }
+  animator.TrackEdges(keys);
+  std::vector<Event> events;
+  for (int i = 0; i < 4; ++i) {
+    events.push_back(MakeEvent(i * kSecond, EventType::kWithdraw,
+                               static_cast<std::uint8_t>(i)));
+  }
+  animator.Play(events);
+
+  std::vector<std::vector<std::size_t>> series;
+  for (const auto& key : keys) series.push_back(animator.SeriesFor(key));
+  const auto layout = ComputeLayout(pruned);
+  const std::string svg =
+      RenderAnimatedSvg(pruned, layout, series, 30.0, {.title = "anim"});
+  EXPECT_NE(svg.find("<animate attributeName=\"stroke-width\""),
+            std::string::npos);
+  EXPECT_NE(svg.find("repeatCount=\"indefinite\""), std::string::npos);
+  EXPECT_NE(svg.find(ToSvgColor(EdgeColor::kBlue)), std::string::npos);
+  EXPECT_NE(svg.find("dur=\"30s\""), std::string::npos);
+  // Keyframe lists are frame-count long (750 values => 749 ';').
+  const auto pos = svg.find("values=");
+  ASSERT_NE(pos, std::string::npos);
+  const auto end = svg.find('"', pos + 8);
+  const std::string values = svg.substr(pos + 8, end - pos - 8);
+  EXPECT_EQ(std::count(values.begin(), values.end(), ';'), 749);
+}
+
+TEST(AnimatorTest, PlayTwiceThrows) {
+  Animator animator(Snapshot(1), AnimationOptions{});
+  animator.Play({});
+  EXPECT_THROW(animator.Play({}), std::logic_error);
+}
+
+TEST(AnimatorTest, EmptyEventStream) {
+  Animator animator(Snapshot(4), AnimationOptions{});
+  const auto result = animator.Play({});
+  EXPECT_EQ(result.total_events, 0u);
+  EXPECT_EQ(animator.graph().UniquePrefixCount(), 4u);
+}
+
+}  // namespace
+}  // namespace ranomaly::tamp

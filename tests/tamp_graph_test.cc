@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "tamp/graph.h"
+
+namespace ranomaly::tamp {
+namespace {
+
+using bgp::AsPath;
+using bgp::Ipv4Addr;
+using bgp::Prefix;
+using collector::RouteEntry;
+
+RouteEntry Route(Ipv4Addr peer, Ipv4Addr nexthop, AsPath path,
+                 const char* prefix) {
+  RouteEntry r;
+  r.peer = peer;
+  r.prefix = *Prefix::Parse(prefix);
+  r.attrs.nexthop = nexthop;
+  r.attrs.as_path = std::move(path);
+  return r;
+}
+
+const Ipv4Addr kX(10, 0, 0, 1);
+const Ipv4Addr kY(10, 0, 0, 2);
+const Ipv4Addr kNexthopA(10, 1, 0, 1);
+const Ipv4Addr kNexthopB(10, 1, 0, 2);
+
+// The paper's Figure 1: routers X and Y each know four prefixes through
+// NexthopA-AS1; the merged edge weight must be 4 (unique prefixes), not 6.
+std::vector<RouteEntry> Figure1Routes() {
+  return {
+      // Router X.
+      Route(kX, kNexthopA, {1}, "1.2.1.0/24"),
+      Route(kX, kNexthopA, {1}, "1.2.2.0/24"),
+      Route(kX, kNexthopA, {1, 2}, "1.2.3.0/24"),
+      Route(kX, kNexthopB, {3}, "1.3.1.0/24"),
+      // Router Y: overlaps X on 1.2.1.0/24 and 1.2.2.0/24.
+      Route(kY, kNexthopA, {1}, "1.2.1.0/24"),
+      Route(kY, kNexthopA, {1}, "1.2.2.0/24"),
+      Route(kY, kNexthopA, {1, 2}, "1.2.4.0/24"),
+  };
+}
+
+TEST(TampGraphTest, Figure1ExampleUniquePrefixMerge) {
+  const TampGraph graph = TampGraph::FromSnapshot(Figure1Routes());
+  // NexthopA -> AS1 carries 4 unique prefixes (1.2.1, 1.2.2, 1.2.3,
+  // 1.2.4), not 6 — the paper's exact example.
+  EXPECT_EQ(graph.EdgeWeight(NexthopNode(kNexthopA), AsNode(1)), 4u);
+  // AS1 -> AS2 carries the two /24 learned through AS2.
+  EXPECT_EQ(graph.EdgeWeight(AsNode(1), AsNode(2)), 2u);
+  // Per-router first-hop edges keep their own counts.
+  EXPECT_EQ(graph.EdgeWeight(PeerNode(kX), NexthopNode(kNexthopA)), 3u);
+  EXPECT_EQ(graph.EdgeWeight(PeerNode(kY), NexthopNode(kNexthopA)), 3u);
+  EXPECT_EQ(graph.EdgeWeight(RootNode(), PeerNode(kX)), 4u);
+  EXPECT_EQ(graph.EdgeWeight(RootNode(), PeerNode(kY)), 3u);
+  EXPECT_EQ(graph.UniquePrefixCount(), 5u);
+  EXPECT_EQ(graph.RouteCount(), 7u);
+}
+
+TEST(TampGraphTest, RemoveRouteRestoresPreviousState) {
+  TampGraph graph;
+  const auto routes = Figure1Routes();
+  for (const auto& r : routes) graph.AddRoute(r);
+  const auto before = graph.EdgeWeight(NexthopNode(kNexthopA), AsNode(1));
+
+  // Removing Y's 1.2.1.0/24 must NOT change the unique count (X still
+  // carries it)...
+  graph.RemoveRoute(routes[4]);
+  EXPECT_EQ(graph.EdgeWeight(NexthopNode(kNexthopA), AsNode(1)), before);
+  // ...but removing X's copy too drops it.
+  graph.RemoveRoute(routes[0]);
+  EXPECT_EQ(graph.EdgeWeight(NexthopNode(kNexthopA), AsNode(1)), before - 1);
+  EXPECT_EQ(graph.UniquePrefixCount(), 4u);
+}
+
+TEST(TampGraphTest, AddRemoveAllLeavesEmptyGraph) {
+  TampGraph graph;
+  const auto routes = Figure1Routes();
+  for (const auto& r : routes) graph.AddRoute(r);
+  for (const auto& r : routes) graph.RemoveRoute(r);
+  EXPECT_EQ(graph.UniquePrefixCount(), 0u);
+  EXPECT_EQ(graph.RouteCount(), 0u);
+  EXPECT_TRUE(graph.Edges().empty());
+}
+
+TEST(TampGraphTest, RemoveUnknownRouteIsNoop) {
+  TampGraph graph;
+  graph.AddRoute(Figure1Routes()[0]);
+  graph.RemoveRoute(Route(kY, kNexthopB, {9}, "9.9.9.0/24"));
+  EXPECT_EQ(graph.RouteCount(), 1u);
+}
+
+TEST(TampGraphTest, PrependCollapsesToSingleNode) {
+  TampGraph graph;
+  graph.AddRoute(Route(kX, kNexthopA, {7, 7, 7, 8}, "10.0.0.0/8"));
+  // No self-edge 7->7; the path is nexthop -> AS7 -> AS8.
+  EXPECT_EQ(graph.EdgeWeight(AsNode(7), AsNode(7)), 0u);
+  EXPECT_EQ(graph.EdgeWeight(AsNode(7), AsNode(8)), 1u);
+  EXPECT_EQ(graph.EdgeWeight(NexthopNode(kNexthopA), AsNode(7)), 1u);
+}
+
+TEST(TampGraphTest, PrefixLeavesOptional) {
+  TampGraph::Options options;
+  options.include_prefix_leaves = true;
+  TampGraph graph(options);
+  graph.AddRoute(Route(kX, kNexthopA, {1}, "1.2.3.0/24"));
+  bool saw_prefix_leaf = false;
+  for (const auto& e : graph.Edges()) {
+    if (e.to.kind == NodeKind::kPrefix) saw_prefix_leaf = true;
+  }
+  EXPECT_TRUE(saw_prefix_leaf);
+
+  TampGraph bare;
+  bare.AddRoute(Route(kX, kNexthopA, {1}, "1.2.3.0/24"));
+  for (const auto& e : bare.Edges()) {
+    EXPECT_NE(e.to.kind, NodeKind::kPrefix);
+  }
+}
+
+TEST(TampGraphTest, EdgeCarriesSpecificPrefix) {
+  const TampGraph graph = TampGraph::FromSnapshot(Figure1Routes());
+  EXPECT_TRUE(graph.EdgeCarries(NexthopNode(kNexthopA), AsNode(1),
+                                *Prefix::Parse("1.2.3.0/24")));
+  EXPECT_FALSE(graph.EdgeCarries(NexthopNode(kNexthopB), AsNode(3),
+                                 *Prefix::Parse("1.2.3.0/24")));
+  EXPECT_FALSE(graph.EdgeCarries(NexthopNode(kNexthopA), AsNode(1),
+                                 *Prefix::Parse("99.9.9.0/24")));
+}
+
+TEST(TampGraphTest, NodeNamesAndAsLabels) {
+  TampGraph::Options options;
+  options.root_name = "Berkeley";
+  TampGraph graph(options);
+  graph.AddRoute(Route(kX, kNexthopA, {209}, "1.2.3.0/24"));
+  EXPECT_EQ(graph.NodeName(RootNode()), "Berkeley");
+  EXPECT_EQ(graph.NodeName(PeerNode(kX)), "10.0.0.1");
+  EXPECT_EQ(graph.NodeName(AsNode(209)), "AS209");
+  graph.SetAsName(209, "QWest");
+  EXPECT_EQ(graph.NodeName(AsNode(209)), "QWest (209)");
+}
+
+TEST(TampGraphTest, EmptyAsPathRoute) {
+  // A locally originated / directly connected route: nexthop is the leaf.
+  TampGraph graph;
+  graph.AddRoute(Route(kX, kNexthopA, {}, "10.0.0.0/8"));
+  EXPECT_EQ(graph.EdgeWeight(RootNode(), PeerNode(kX)), 1u);
+  EXPECT_EQ(graph.EdgeWeight(PeerNode(kX), NexthopNode(kNexthopA)), 1u);
+  EXPECT_EQ(graph.Edges().size(), 2u);
+}
+
+TEST(TampGraphTest, SubsetSelectionByCaller) {
+  // TAMP maps *any* set of routes (paper: e.g. routes tagged with one
+  // community).  The caller filters; the graph just reflects the subset.
+  auto routes = Figure1Routes();
+  std::vector<RouteEntry> only_x;
+  for (const auto& r : routes) {
+    if (r.peer == kX) only_x.push_back(r);
+  }
+  const TampGraph graph = TampGraph::FromSnapshot(only_x);
+  EXPECT_EQ(graph.EdgeWeight(RootNode(), PeerNode(kY)), 0u);
+  EXPECT_EQ(graph.UniquePrefixCount(), 4u);
+}
+
+}  // namespace
+}  // namespace ranomaly::tamp

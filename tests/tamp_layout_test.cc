@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "tamp/layout.h"
+
+namespace ranomaly::tamp {
+namespace {
+
+using bgp::AsPath;
+using bgp::Ipv4Addr;
+using bgp::Prefix;
+using collector::RouteEntry;
+
+RouteEntry Route(Ipv4Addr peer, Ipv4Addr nexthop, AsPath path,
+                 std::uint8_t octet) {
+  RouteEntry r;
+  r.peer = peer;
+  r.prefix = Prefix(Ipv4Addr(10, octet, 0, 0), 16);
+  r.attrs.nexthop = nexthop;
+  r.attrs.as_path = std::move(path);
+  return r;
+}
+
+PrunedGraph SamplePruned() {
+  std::vector<RouteEntry> routes;
+  const Ipv4Addr p1(10, 0, 0, 1);
+  const Ipv4Addr p2(10, 0, 0, 2);
+  const Ipv4Addr nh1(10, 1, 0, 1);
+  const Ipv4Addr nh2(10, 1, 0, 2);
+  std::uint8_t octet = 0;
+  for (int i = 0; i < 5; ++i) routes.push_back(Route(p1, nh1, {1, 3}, octet++));
+  for (int i = 0; i < 5; ++i) routes.push_back(Route(p1, nh2, {2, 3}, octet++));
+  for (int i = 0; i < 5; ++i) routes.push_back(Route(p2, nh1, {1, 4}, octet++));
+  for (int i = 0; i < 5; ++i) routes.push_back(Route(p2, nh2, {2, 4}, octet++));
+  return Prune(TampGraph::FromSnapshot(routes), PruneOptions{.threshold = 0.0});
+}
+
+TEST(LayoutTest, LayersFollowDepthLeftToRight) {
+  const PrunedGraph pruned = SamplePruned();
+  const Layout layout = ComputeLayout(pruned);
+  ASSERT_EQ(layout.nodes.size(), pruned.nodes.size());
+  for (const auto& e : pruned.edges) {
+    // Data flows left to right: deeper nodes sit strictly to the right.
+    EXPECT_LT(layout.nodes[e.from].x, layout.nodes[e.to].x)
+        << pruned.nodes[e.from].name << " -> " << pruned.nodes[e.to].name;
+  }
+}
+
+TEST(LayoutTest, NoOverlappingBoxesWithinLayer) {
+  const PrunedGraph pruned = SamplePruned();
+  const Layout layout = ComputeLayout(pruned);
+  for (std::size_t i = 0; i < pruned.nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < pruned.nodes.size(); ++j) {
+      if (pruned.nodes[i].depth != pruned.nodes[j].depth) continue;
+      const double gap = std::abs(layout.nodes[i].y - layout.nodes[j].y);
+      EXPECT_GE(gap, layout.nodes[i].height) << i << "," << j;
+    }
+  }
+}
+
+TEST(LayoutTest, AllNodesInsideCanvas) {
+  const PrunedGraph pruned = SamplePruned();
+  const Layout layout = ComputeLayout(pruned);
+  for (const auto& p : layout.nodes) {
+    EXPECT_GE(p.x - p.width / 2, 0.0);
+    EXPECT_GE(p.y - p.height / 2, 0.0);
+    EXPECT_LE(p.x + p.width / 2, layout.width);
+    EXPECT_LE(p.y + p.height / 2, layout.height);
+  }
+}
+
+TEST(LayoutTest, BarycenterNoWorseThanNoIterations) {
+  const PrunedGraph pruned = SamplePruned();
+  LayoutOptions none;
+  none.barycenter_iterations = 0;
+  const auto base = CountCrossings(pruned, ComputeLayout(pruned, none));
+  const auto tuned = CountCrossings(pruned, ComputeLayout(pruned));
+  EXPECT_LE(tuned, base);
+}
+
+TEST(LayoutTest, WiderLabelsGetWiderBoxes) {
+  PrunedGraph g;
+  g.nodes.push_back({RootNode(), "x", 0});
+  g.nodes.push_back({AsNode(1), "a-much-longer-node-label", 1});
+  g.edges.push_back({0, 1, 1, 1.0});
+  g.total_prefixes = 1;
+  const Layout layout = ComputeLayout(g);
+  EXPECT_GT(layout.nodes[1].width, layout.nodes[0].width);
+}
+
+TEST(LayoutTest, EmptyGraph) {
+  PrunedGraph g;
+  const Layout layout = ComputeLayout(g);
+  EXPECT_TRUE(layout.nodes.empty());
+}
+
+}  // namespace
+}  // namespace ranomaly::tamp

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "tamp/render.h"
+
+namespace ranomaly::tamp {
+namespace {
+
+using bgp::AsPath;
+using bgp::Ipv4Addr;
+using bgp::Prefix;
+using collector::RouteEntry;
+
+PrunedGraph SamplePruned() {
+  std::vector<RouteEntry> routes;
+  for (std::uint8_t i = 0; i < 20; ++i) {
+    RouteEntry r;
+    r.peer = Ipv4Addr(10, 0, 0, 1);
+    r.prefix = Prefix(Ipv4Addr(10, i, 0, 0), 16);
+    r.attrs.nexthop = Ipv4Addr(10, 1, 0, 1);
+    r.attrs.as_path = AsPath{11423, 209};
+    routes.push_back(r);
+  }
+  return Prune(TampGraph::FromSnapshot(routes));
+}
+
+TEST(RenderSvgTest, ContainsNodesEdgesAndPercentages) {
+  const PrunedGraph pruned = SamplePruned();
+  const Layout layout = ComputeLayout(pruned);
+  RenderOptions options;
+  options.title = "Berkeley's BGP";
+  const std::string svg = RenderSvg(pruned, layout, options);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("AS209"), std::string::npos);
+  EXPECT_NE(svg.find("10.1.0.1"), std::string::npos);
+  EXPECT_NE(svg.find("100%"), std::string::npos);
+  EXPECT_NE(svg.find("Berkeley&apos;s") == std::string::npos
+                ? svg.find("Berkeley's")
+                : svg.find("Berkeley&apos;s"),
+            std::string::npos);
+  // One <line> per edge at least, one <rect> per node + background.
+  std::size_t lines = 0;
+  for (std::size_t pos = svg.find("<line"); pos != std::string::npos;
+       pos = svg.find("<line", pos + 1)) {
+    ++lines;
+  }
+  EXPECT_GE(lines, pruned.edges.size());
+}
+
+TEST(RenderSvgTest, EscapesXmlInTitles) {
+  const PrunedGraph pruned = SamplePruned();
+  const Layout layout = ComputeLayout(pruned);
+  RenderOptions options;
+  options.title = "a<b&c>d";
+  const std::string svg = RenderSvg(pruned, layout, options);
+  EXPECT_EQ(svg.find("a<b&c>d"), std::string::npos);
+  EXPECT_NE(svg.find("a&lt;b&amp;c&gt;d"), std::string::npos);
+}
+
+TEST(RenderAnimationTest, FrameShowsClockColorsAndShadow) {
+  const PrunedGraph pruned = SamplePruned();
+  const Layout layout = ComputeLayout(pruned);
+  std::vector<EdgeDecoration> decorations(pruned.edges.size());
+  if (!decorations.empty()) {
+    decorations[0].color = EdgeColor::kYellow;
+    decorations[0].shadow_weight = pruned.edges[0].weight * 2;
+  }
+  EdgePlot plot;
+  plot.edge_label = "core1-b -> 10.3.4.5";
+  plot.weights = {1, 0, 1, 0, 1};
+  const std::string svg = RenderAnimationFrameSvg(
+      pruned, layout, decorations, 90 * util::kSecond + 250 * util::kMillisecond,
+      plot);
+  EXPECT_NE(svg.find("clock [+00:01:30.250]"), std::string::npos);
+  EXPECT_NE(svg.find(ToSvgColor(EdgeColor::kYellow)), std::string::npos);
+  EXPECT_NE(svg.find("#b0b0b0"), std::string::npos);  // the gray shadow
+  EXPECT_NE(svg.find("core1-b -&gt; 10.3.4.5"), std::string::npos);
+}
+
+TEST(RenderAnimationTest, NoPlotPanelWithoutPlot) {
+  const PrunedGraph pruned = SamplePruned();
+  const Layout layout = ComputeLayout(pruned);
+  const std::string svg = RenderAnimationFrameSvg(
+      pruned, layout, {}, 0, std::nullopt);
+  EXPECT_EQ(svg.find("#c03020"), std::string::npos);  // no impulse marks
+  EXPECT_NE(svg.find("clock"), std::string::npos);
+}
+
+TEST(RenderDotTest, EmitsGraphvizSyntax) {
+  const PrunedGraph pruned = SamplePruned();
+  const std::string dot = RenderDot(pruned);
+  EXPECT_NE(dot.find("digraph tamp {"), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(EdgeColorTest, DistinctSvgColors) {
+  EXPECT_STRNE(ToSvgColor(EdgeColor::kBlue), ToSvgColor(EdgeColor::kGreen));
+  EXPECT_STRNE(ToSvgColor(EdgeColor::kYellow), ToSvgColor(EdgeColor::kBlack));
+}
+
+}  // namespace
+}  // namespace ranomaly::tamp

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "traffic/traffic.h"
+
+namespace ranomaly::traffic {
+namespace {
+
+using bgp::Ipv4Addr;
+using bgp::Prefix;
+
+std::vector<Prefix> MakePrefixes(std::size_t n) {
+  std::vector<Prefix> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(Prefix(Ipv4Addr(10, static_cast<std::uint8_t>(i / 256),
+                                  static_cast<std::uint8_t>(i % 256), 0),
+                         24));
+  }
+  return out;
+}
+
+TEST(FlowGeneratorTest, FlowsLandInsideTheirPrefixes) {
+  const auto prefixes = MakePrefixes(50);
+  FlowGenerator gen(prefixes, {}, 1);
+  for (int i = 0; i < 500; ++i) {
+    const FlowRecord flow = gen.Next();
+    bool covered = false;
+    for (const auto& p : prefixes) covered |= p.Contains(flow.dst);
+    EXPECT_TRUE(covered);
+    EXPECT_GT(flow.bytes, 0u);
+  }
+}
+
+TEST(FlowGeneratorTest, TimeAdvancesMonotonically) {
+  FlowGenerator gen(MakePrefixes(5), {}, 2);
+  util::SimTime last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const FlowRecord flow = gen.Next();
+    EXPECT_GT(flow.time, last);
+    last = flow.time;
+  }
+}
+
+TEST(FlowGeneratorTest, DeterministicPerSeed) {
+  FlowGenerator a(MakePrefixes(20), {}, 7);
+  FlowGenerator b(MakePrefixes(20), {}, 7);
+  for (int i = 0; i < 50; ++i) {
+    const auto fa = a.Next();
+    const auto fb = b.Next();
+    EXPECT_EQ(fa.dst, fb.dst);
+    EXPECT_EQ(fa.bytes, fb.bytes);
+  }
+}
+
+TEST(FlowGeneratorTest, EmptyPrefixesThrow) {
+  EXPECT_THROW(FlowGenerator({}, {}, 1), std::invalid_argument);
+}
+
+TEST(TrafficMatrixTest, AccountsFlowsByLongestMatch) {
+  const std::vector<Prefix> prefixes = {*Prefix::Parse("10.0.0.0/8"),
+                                        *Prefix::Parse("10.1.0.0/16")};
+  TrafficMatrix matrix(prefixes);
+  FlowRecord f1{0, Ipv4Addr(10, 1, 2, 3), 100};   // inner /16
+  FlowRecord f2{0, Ipv4Addr(10, 9, 2, 3), 40};    // outer /8
+  FlowRecord f3{0, Ipv4Addr(99, 9, 2, 3), 7};     // unmatched
+  EXPECT_TRUE(matrix.AddFlow(f1));
+  EXPECT_TRUE(matrix.AddFlow(f2));
+  EXPECT_FALSE(matrix.AddFlow(f3));
+  EXPECT_EQ(matrix.VolumeOf(*Prefix::Parse("10.1.0.0/16")), 100u);
+  EXPECT_EQ(matrix.VolumeOf(*Prefix::Parse("10.0.0.0/8")), 40u);
+  EXPECT_EQ(matrix.TotalVolume(), 140u);
+  EXPECT_EQ(matrix.UnmatchedBytes(), 7u);
+  EXPECT_NEAR(matrix.FractionOf(*Prefix::Parse("10.1.0.0/16")), 100.0 / 140.0,
+              1e-9);
+}
+
+TEST(TrafficMatrixTest, ElephantAndMicePhenomenon) {
+  // Section III-D.2: with Zipf traffic, ~10% of prefixes should carry the
+  // overwhelming majority of bytes.
+  const auto prefixes = MakePrefixes(500);
+  FlowGenerator::Options options;
+  options.zipf_alpha = 1.3;
+  FlowGenerator gen(prefixes, options, 3);
+  TrafficMatrix matrix(prefixes);
+  for (int i = 0; i < 50000; ++i) matrix.AddFlow(gen.Next());
+
+  const double top10_share = matrix.VolumeShareOfTopPrefixes(0.10);
+  EXPECT_GT(top10_share, 0.70);
+  // And the bottom 90% carries the residue.
+  EXPECT_LT(matrix.VolumeShareOfTopPrefixes(1.0), 1.0 + 1e-9);
+  EXPECT_NEAR(matrix.VolumeShareOfTopPrefixes(1.0), 1.0, 1e-9);
+}
+
+TEST(TrafficMatrixTest, ElephantsCoverRequestedVolume) {
+  const auto prefixes = MakePrefixes(100);
+  FlowGenerator gen(prefixes, {}, 4);
+  TrafficMatrix matrix(prefixes);
+  for (int i = 0; i < 20000; ++i) matrix.AddFlow(gen.Next());
+
+  const auto elephants = matrix.Elephants(0.8);
+  EXPECT_FALSE(elephants.empty());
+  EXPECT_LT(elephants.size(), prefixes.size() / 2);  // heavy skew
+  std::uint64_t covered = 0;
+  for (const auto& p : elephants) covered += matrix.VolumeOf(p);
+  EXPECT_GE(static_cast<double>(covered),
+            0.8 * static_cast<double>(matrix.TotalVolume()));
+}
+
+TEST(TrafficMatrixTest, ByVolumeSortedDescending) {
+  const auto prefixes = MakePrefixes(50);
+  FlowGenerator gen(prefixes, {}, 5);
+  TrafficMatrix matrix(prefixes);
+  for (int i = 0; i < 5000; ++i) matrix.AddFlow(gen.Next());
+  const auto sorted = matrix.ByVolume();
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_GE(sorted[i - 1].second, sorted[i].second);
+  }
+}
+
+TEST(LoadBalanceTest, PrefixBalanceVsByteBalanceDiffer) {
+  // The Section IV-A insight: a split even in prefix counts can be wildly
+  // uneven in bytes because of elephants.
+  const auto prefixes = MakePrefixes(100);
+  FlowGenerator::Options options;
+  options.zipf_alpha = 1.4;
+  FlowGenerator gen(prefixes, options, 6);
+  TrafficMatrix matrix(prefixes);
+  for (int i = 0; i < 40000; ++i) matrix.AddFlow(gen.Next());
+
+  // Split A gets the 50 heaviest prefixes, split B the rest: counts are
+  // 50/50, bytes are not remotely.
+  const auto by_volume = matrix.ByVolume();
+  std::vector<Prefix> side_a, side_b;
+  for (std::size_t i = 0; i < by_volume.size(); ++i) {
+    (i < 50 ? side_a : side_b).push_back(by_volume[i].first);
+  }
+  const LoadBalanceReport report = EvaluateSplit(matrix, side_a, side_b);
+  EXPECT_NEAR(report.PrefixFractionA(), 0.5, 1e-9);
+  EXPECT_GT(report.ByteFractionA(), 0.9);
+}
+
+TEST(LoadBalanceTest, ComputedSplitBeatsAddressSplit) {
+  // The D.2 planner: measured-volume partition lands near 50/50 bytes
+  // even though the naive address split (what Berkeley did) is far off.
+  const auto prefixes = MakePrefixes(200);
+  FlowGenerator::Options options;
+  options.zipf_alpha = 1.3;
+  FlowGenerator gen(prefixes, options, 8);
+  TrafficMatrix matrix(prefixes);
+  for (int i = 0; i < 60000; ++i) matrix.AddFlow(gen.Next());
+
+  // Naive: first half of the address space vs second half.
+  std::vector<bgp::Prefix> naive_a(prefixes.begin(),
+                                   prefixes.begin() + 100);
+  std::vector<bgp::Prefix> naive_b(prefixes.begin() + 100, prefixes.end());
+  const auto naive = EvaluateSplit(matrix, naive_a, naive_b);
+
+  const auto planned = ComputeBalancedSplit(matrix, prefixes);
+  EXPECT_EQ(planned.side_a.size() + planned.side_b.size(), prefixes.size());
+  EXPECT_NEAR(planned.report.ByteFractionA(), 0.5, 0.02);
+  // And it is strictly better than the naive split.
+  EXPECT_LT(std::abs(planned.report.ByteFractionA() - 0.5),
+            std::abs(naive.ByteFractionA() - 0.5));
+}
+
+TEST(LoadBalanceTest, ComputedSplitIsDeterministic) {
+  const auto prefixes = MakePrefixes(50);
+  FlowGenerator gen(prefixes, {}, 9);
+  TrafficMatrix matrix(prefixes);
+  for (int i = 0; i < 5000; ++i) matrix.AddFlow(gen.Next());
+  const auto a = ComputeBalancedSplit(matrix, prefixes);
+  const auto b = ComputeBalancedSplit(matrix, prefixes);
+  EXPECT_EQ(a.side_a, b.side_a);
+  EXPECT_EQ(a.side_b, b.side_b);
+}
+
+TEST(LoadBalanceTest, EmptyReport) {
+  TrafficMatrix matrix({*Prefix::Parse("10.0.0.0/8")});
+  const LoadBalanceReport report = EvaluateSplit(matrix, {}, {});
+  EXPECT_EQ(report.PrefixFractionA(), 0.0);
+  EXPECT_EQ(report.ByteFractionA(), 0.0);
+}
+
+}  // namespace
+}  // namespace ranomaly::traffic

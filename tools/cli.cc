@@ -1,0 +1,392 @@
+#include "tools/cli.h"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "collector/binary_io.h"
+#include "collector/event_stream.h"
+#include "core/moas.h"
+#include "core/pipeline.h"
+#include "tamp/animation.h"
+#include "tamp/layout.h"
+#include "tamp/prune.h"
+#include "tamp/render.h"
+#include "util/strings.h"
+
+namespace ranomaly::tools {
+namespace {
+
+constexpr int kOk = 0;
+constexpr int kFailure = 1;
+constexpr int kUsage = 2;
+
+const char* kUsageText = R"(usage: ranomaly <command> [options]
+
+commands:
+  analyze <stream> [--spike-bucket-sec N] [--spike-factor F] [--include-unknown]
+  picture <stream> --out FILE.svg [--dot FILE.dot] [--threshold PCT]
+                   [--hierarchical] [--title TEXT]
+  animate <stream> --out-dir DIR [--every N] [--smil FILE.svg]
+  convert <in> <out> --to text|binary
+  moas    <stream>
+  stats   <stream>
+
+stream files use the text (one event per line) or binary (RNE1) format;
+the format is detected automatically.
+)";
+
+// Simple flag parser: positionals + --key value + --bool-flag.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> flags;
+
+  bool HasFlag(const std::string& name) const {
+    return std::find(flags.begin(), flags.end(), name) != flags.end();
+  }
+  std::optional<std::string> Option(const std::string& name) const {
+    const auto it = options.find(name);
+    if (it == options.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+// Flags that take no value.
+const char* kBooleanFlags[] = {"--include-unknown", "--hierarchical"};
+
+std::optional<Args> ParseArgs(const std::vector<std::string>& argv,
+                              std::ostream& err) {
+  Args args;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& a = argv[i];
+    if (a.rfind("--", 0) != 0) {
+      args.positional.push_back(a);
+      continue;
+    }
+    bool boolean = false;
+    for (const char* f : kBooleanFlags) {
+      if (a == f) boolean = true;
+    }
+    if (boolean) {
+      args.flags.push_back(a);
+    } else {
+      if (i + 1 >= argv.size()) {
+        err << "missing value for " << a << "\n";
+        return std::nullopt;
+      }
+      args.options[a] = argv[++i];
+    }
+  }
+  return args;
+}
+
+std::optional<collector::EventStream> LoadStream(const std::string& path,
+                                                 std::ostream& err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    err << "cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  // Binary streams start with the RNE1 magic; otherwise assume text.
+  char magic[4] = {};
+  in.read(magic, 4);
+  in.clear();
+  in.seekg(0);
+  std::optional<collector::EventStream> stream;
+  if (std::string_view(magic, 4) == "RNE1") {
+    stream = collector::LoadBinary(in);
+  } else {
+    stream = collector::EventStream::LoadText(in);
+  }
+  if (!stream) err << "parse error in " << path << "\n";
+  return stream;
+}
+
+double ParseDouble(const std::string& s, double fallback) {
+  try {
+    return std::stod(s);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+int CmdAnalyze(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "analyze: expected one stream file\n";
+    return kUsage;
+  }
+  const auto stream = LoadStream(args.positional[1], err);
+  if (!stream) return kFailure;
+
+  core::PipelineOptions options;
+  if (const auto v = args.Option("--spike-bucket-sec")) {
+    options.spike_bucket =
+        static_cast<util::SimDuration>(ParseDouble(*v, 60.0)) * util::kSecond;
+  }
+  if (const auto v = args.Option("--spike-factor")) {
+    options.spike_factor = ParseDouble(*v, 5.0);
+  }
+  options.include_unknown = args.HasFlag("--include-unknown");
+
+  out << "stream: " << stream->size() << " events over "
+      << util::FormatDuration(stream->TimeRange()) << "\n";
+  const auto spikes = collector::DetectSpikes(*stream, options.spike_bucket,
+                                              options.spike_factor);
+  out << "spikes: " << spikes.size() << "\n";
+
+  const core::Pipeline pipeline(options);
+  const auto incidents = pipeline.Analyze(*stream);
+  out << "incidents: " << incidents.size() << "\n";
+  for (const auto& incident : incidents) {
+    out << "  " << incident.summary << "\n";
+    out << "    s' = [" << incident.top_sequence << "]\n";
+  }
+  return kOk;
+}
+
+int CmdPicture(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "picture: expected one stream file\n";
+    return kUsage;
+  }
+  const auto svg_path = args.Option("--out");
+  if (!svg_path) {
+    err << "picture: --out FILE.svg is required\n";
+    return kUsage;
+  }
+  const auto stream = LoadStream(args.positional[1], err);
+  if (!stream) return kFailure;
+
+  tamp::Animator animator({}, tamp::AnimationOptions{});
+  animator.Play(stream->events());
+
+  tamp::PruneOptions prune;
+  prune.threshold = ParseDouble(args.Option("--threshold").value_or("5"), 5.0) /
+                    100.0;
+  if (args.HasFlag("--hierarchical")) {
+    prune.depth_thresholds = {0.0, 0.0, 0.0, 0.0, prune.threshold};
+  }
+  const auto pruned = tamp::Prune(animator.graph(), prune);
+  const auto layout = tamp::ComputeLayout(pruned);
+  tamp::RenderOptions render;
+  render.title = args.Option("--title").value_or(args.positional[1]);
+
+  std::ofstream svg(*svg_path);
+  if (!svg) {
+    err << "cannot write " << *svg_path << "\n";
+    return kFailure;
+  }
+  svg << tamp::RenderSvg(pruned, layout, render);
+  out << "wrote " << *svg_path << " (" << pruned.nodes.size() << " nodes, "
+      << pruned.edges.size() << " edges, " << pruned.total_prefixes
+      << " prefixes)\n";
+
+  if (const auto dot_path = args.Option("--dot")) {
+    std::ofstream dot(*dot_path);
+    if (!dot) {
+      err << "cannot write " << *dot_path << "\n";
+      return kFailure;
+    }
+    dot << tamp::RenderDot(pruned, render);
+    out << "wrote " << *dot_path << "\n";
+  }
+  return kOk;
+}
+
+int CmdAnimate(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "animate: expected one stream file\n";
+    return kUsage;
+  }
+  const auto dir = args.Option("--out-dir");
+  if (!dir) {
+    err << "animate: --out-dir DIR is required\n";
+    return kUsage;
+  }
+  const std::size_t every = static_cast<std::size_t>(
+      ParseDouble(args.Option("--every").value_or("25"), 25.0));
+  if (every == 0) {
+    err << "animate: --every must be >= 1\n";
+    return kUsage;
+  }
+  const auto stream = LoadStream(args.positional[1], err);
+  if (!stream) return kFailure;
+
+  std::error_code ec;
+  std::filesystem::create_directories(*dir, ec);
+  if (ec) {
+    err << "cannot create " << *dir << ": " << ec.message() << "\n";
+    return kFailure;
+  }
+
+  // For the SMIL output we need the final structure up front: replay once
+  // to learn it, then track those edges in the real pass.
+  std::vector<tamp::EdgeKey> smil_edges;
+  tamp::PrunedGraph smil_pruned;
+  const auto smil_path = args.Option("--smil");
+  if (smil_path) {
+    tamp::Animator scout({}, tamp::AnimationOptions{});
+    scout.Play(stream->events());
+    smil_pruned = tamp::Prune(scout.graph(), {.threshold = 0.05});
+    for (const auto& e : smil_pruned.edges) {
+      smil_edges.push_back(tamp::EdgeKey{smil_pruned.nodes[e.from].id,
+                                         smil_pruned.nodes[e.to].id});
+    }
+  }
+
+  tamp::Animator animator({}, tamp::AnimationOptions{});
+  animator.TrackEdges(smil_edges);
+  std::size_t written = 0;
+  bool write_failed = false;
+  animator.Play(stream->events(), [&](std::size_t frame,
+                                      const tamp::Animator::FrameStats& stats) {
+    if (frame % every != 0) return;
+    const auto pruned = tamp::Prune(animator.graph(), {.threshold = 0.05});
+    const auto layout = tamp::ComputeLayout(pruned);
+    const std::string path =
+        *dir + util::StrPrintf("/frame_%04zu.svg", frame);
+    std::ofstream file(path);
+    if (!file) {
+      write_failed = true;
+      return;
+    }
+    file << tamp::RenderAnimationFrameSvg(
+        pruned, layout, animator.DecorationsFor(pruned), stats.clock,
+        std::nullopt);
+    ++written;
+  });
+  if (write_failed) {
+    err << "failed writing frames under " << *dir << "\n";
+    return kFailure;
+  }
+  out << "wrote " << written << " frames to " << *dir << "\n";
+
+  if (smil_path) {
+    std::vector<std::vector<std::size_t>> series;
+    for (const auto& key : smil_edges) {
+      series.push_back(animator.SeriesFor(key));
+    }
+    const auto layout = tamp::ComputeLayout(smil_pruned);
+    std::ofstream file(*smil_path);
+    if (!file) {
+      err << "cannot write " << *smil_path << "\n";
+      return kFailure;
+    }
+    file << tamp::RenderAnimatedSvg(smil_pruned, layout, series, 30.0,
+                                    {.title = args.positional[1]});
+    out << "wrote " << *smil_path << " (SMIL loop)\n";
+  }
+  return kOk;
+}
+
+int CmdConvert(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 3) {
+    err << "convert: expected input and output files\n";
+    return kUsage;
+  }
+  const auto to = args.Option("--to");
+  if (!to || (*to != "text" && *to != "binary")) {
+    err << "convert: --to text|binary is required\n";
+    return kUsage;
+  }
+  const auto stream = LoadStream(args.positional[1], err);
+  if (!stream) return kFailure;
+  std::ofstream file(args.positional[2], std::ios::binary);
+  if (!file) {
+    err << "cannot write " << args.positional[2] << "\n";
+    return kFailure;
+  }
+  if (*to == "text") {
+    stream->SaveText(file);
+  } else if (!collector::SaveBinary(*stream, file)) {
+    err << "write error on " << args.positional[2] << "\n";
+    return kFailure;
+  }
+  out << "wrote " << stream->size() << " events to " << args.positional[2]
+      << " (" << *to << ")\n";
+  return kOk;
+}
+
+int CmdMoas(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "moas: expected one stream file\n";
+    return kUsage;
+  }
+  const auto stream = LoadStream(args.positional[1], err);
+  if (!stream) return kFailure;
+  core::MoasDetector detector;
+  for (const auto& e : stream->events()) {
+    if (e.type == bgp::EventType::kAnnounce) {
+      detector.OnAnnounce(e.time, e.prefix, e.attrs);
+    }
+  }
+  out << "tracked prefixes: " << detector.TrackedPrefixes() << "\n";
+  out << "origin conflicts: " << detector.conflicts().size() << "\n";
+  for (const auto& conflict : detector.conflicts()) {
+    out << "  " << util::FormatTime(conflict.time) << " "
+        << conflict.ToString() << "\n";
+  }
+  return kOk;
+}
+
+int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "stats: expected one stream file\n";
+    return kUsage;
+  }
+  const auto stream = LoadStream(args.positional[1], err);
+  if (!stream) return kFailure;
+
+  struct PeerStats {
+    std::size_t announces = 0;
+    std::size_t withdraws = 0;
+  };
+  std::map<std::uint32_t, PeerStats> per_peer;
+  std::size_t announces = 0;
+  for (const auto& e : stream->events()) {
+    auto& p = per_peer[e.peer.value()];
+    if (e.type == bgp::EventType::kAnnounce) {
+      ++p.announces;
+      ++announces;
+    } else {
+      ++p.withdraws;
+    }
+  }
+  out << "events:    " << stream->size() << "\n";
+  out << "announces: " << announces << "\n";
+  out << "withdraws: " << stream->size() - announces << "\n";
+  out << "timerange: " << util::FormatDuration(stream->TimeRange()) << "\n";
+  out << "peers:     " << per_peer.size() << "\n";
+  for (const auto& [peer, stats] : per_peer) {
+    out << "  " << bgp::Ipv4Addr(peer).ToString() << "  A=" << stats.announces
+        << " W=" << stats.withdraws << "\n";
+  }
+  return kOk;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty()) {
+    err << kUsageText;
+    return kUsage;
+  }
+  const auto parsed = ParseArgs(args, err);
+  if (!parsed) return kUsage;
+  const std::string& command = args[0];
+  if (command == "analyze") return CmdAnalyze(*parsed, out, err);
+  if (command == "picture") return CmdPicture(*parsed, out, err);
+  if (command == "animate") return CmdAnimate(*parsed, out, err);
+  if (command == "convert") return CmdConvert(*parsed, out, err);
+  if (command == "moas") return CmdMoas(*parsed, out, err);
+  if (command == "stats") return CmdStats(*parsed, out, err);
+  err << "unknown command: " << command << "\n" << kUsageText;
+  return kUsage;
+}
+
+}  // namespace ranomaly::tools

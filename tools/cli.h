@@ -1,0 +1,41 @@
+// The `ranomaly` command-line tool, as a library so tests can drive it
+// in-process.
+//
+// Subcommands (over event-stream files in the text or binary format —
+// detected automatically on load):
+//
+//   ranomaly analyze <stream>  [--spike-bucket-sec N] [--spike-factor F]
+//                              [--include-unknown]
+//       run the full pipeline and print classified incidents
+//
+//   ranomaly picture <stream>  --out FILE.svg [--dot FILE.dot]
+//                              [--threshold PCT] [--hierarchical]
+//                              [--title TEXT]
+//       replay the stream into a TAMP graph and render it
+//
+//   ranomaly animate <stream>  --out-dir DIR [--every N]
+//       replay into the 750-frame animation, writing every Nth frame as
+//       DIR/frame_XXXX.svg
+//
+//   ranomaly convert <in> <out> --to text|binary
+//       transcode between the serialization formats
+//
+//   ranomaly moas <stream>
+//       scan announcements for MOAS / subMOAS origin conflicts
+//
+//   ranomaly stats <stream>
+//       per-peer and whole-stream summary counts
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ranomaly::tools {
+
+// Runs one invocation; argv excludes the program name.  Returns the
+// process exit code (0 success, 1 runtime failure, 2 usage error).
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace ranomaly::tools
