@@ -17,6 +17,8 @@ const char* ToString(EventType type) {
   switch (type) {
     case EventType::kAnnounce: return "A";
     case EventType::kWithdraw: return "W";
+    case EventType::kFeedGap: return "GAP";
+    case EventType::kResync: return "SYNC";
   }
   return "?";
 }
@@ -36,6 +38,7 @@ std::string Event::ToString() const {
   std::string out = bgp::ToString(type);
   out += ' ';
   out += peer.ToString();
+  if (IsMarker(type)) return out;  // markers carry only the peer
   out += " NEXT_HOP: " + attrs.nexthop.ToString();
   out += " ASPATH: " + attrs.as_path.ToString();
   if (!attrs.communities.empty()) {
@@ -47,13 +50,17 @@ std::string Event::ToString() const {
 
 std::optional<Event> Event::Parse(std::string_view line) {
   const auto tokens = util::SplitWhitespace(line);
-  if (tokens.size() < 7) return std::nullopt;
+  if (tokens.size() < 2) return std::nullopt;
 
   Event e;
   if (tokens[0] == "A") {
     e.type = EventType::kAnnounce;
   } else if (tokens[0] == "W") {
     e.type = EventType::kWithdraw;
+  } else if (tokens[0] == "GAP") {
+    e.type = EventType::kFeedGap;
+  } else if (tokens[0] == "SYNC") {
+    e.type = EventType::kResync;
   } else {
     return std::nullopt;
   }
@@ -61,6 +68,11 @@ std::optional<Event> Event::Parse(std::string_view line) {
   const auto peer = Ipv4Addr::Parse(tokens[1]);
   if (!peer) return std::nullopt;
   e.peer = *peer;
+
+  if (IsMarker(e.type)) {
+    return tokens.size() == 2 ? std::optional(e) : std::nullopt;
+  }
+  if (tokens.size() < 7) return std::nullopt;
 
   // Scan labeled sections: NEXT_HOP:, ASPATH:, COMMUNITY:, PREFIX:.
   std::size_t i = 2;

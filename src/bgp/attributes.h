@@ -40,10 +40,26 @@ struct PathAttributes {
   std::string ToString() const;
 };
 
-// What kind of routing change an event expresses.
-enum class EventType : std::uint8_t { kAnnounce, kWithdraw };
+// What kind of routing change an event expresses.  kFeedGap/kResync are
+// *marker* events emitted by the collection layer, not routing changes:
+// a kFeedGap says "the feed from this peer degraded here (session loss or
+// silent gap); routes may be stale", and the matching kResync says "the
+// feed re-established and the table was re-synchronized".  Markers carry
+// no prefix or attributes; analysis windows spanning them are flagged
+// instead of silently misinterpreting the outage as routing activity.
+enum class EventType : std::uint8_t {
+  kAnnounce = 0,
+  kWithdraw = 1,
+  kFeedGap = 2,
+  kResync = 3,
+};
 
 const char* ToString(EventType type);
+
+// True for the collection-layer marker types (no prefix/attributes).
+constexpr bool IsMarker(EventType type) {
+  return type == EventType::kFeedGap || type == EventType::kResync;
+}
 
 // One REX-augmented BGP event (paper Section II): an announcement or
 // withdrawal from an iBGP peer, where withdrawals carry the *old*

@@ -167,6 +167,10 @@ class Reader {
   std::size_t remaining() const { return size_ - pos_; }
   std::size_t pos() const { return pos_; }
 
+  // Repositions within the buffer (used to skip a malformed attribute
+  // block whose total length is known from the message framing).
+  void Seek(std::size_t pos) { pos_ = pos <= size_ ? pos : size_; }
+
  private:
   const std::uint8_t* data_;
   std::size_t size_;
@@ -288,68 +292,113 @@ std::vector<std::uint8_t> EncodeKeepalive() {
   return EncodeWithHeader(MessageType::kKeepalive, {});
 }
 
-std::optional<DecodeResult> DecodeMessage(
+const char* ToString(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kFramingError: return "framing-error";
+    case DecodeStatus::kAttributeError: return "attribute-error";
+  }
+  return "?";
+}
+
+TolerantDecodeResult DecodeMessageTolerant(
     const std::vector<std::uint8_t>& wire) {
-  if (wire.size() < kHeaderSize) return std::nullopt;
+  TolerantDecodeResult out;  // defaults to kFramingError
+  if (wire.size() < kHeaderSize) return out;
   for (std::size_t i = 0; i < kMarkerSize; ++i) {
-    if (wire[i] != 0xff) return std::nullopt;
+    if (wire[i] != 0xff) return out;
   }
   const std::uint16_t total =
       static_cast<std::uint16_t>((wire[16] << 8) | wire[17]);
   if (total < kHeaderSize || total > kMaxMessageSize || total > wire.size()) {
-    return std::nullopt;
+    return out;
   }
   const std::uint8_t type = wire[18];
-  DecodeResult result;
+  DecodeResult& result = out.result;
   result.bytes_consumed = total;
 
   switch (type) {
     case 4:
       result.type = MessageType::kKeepalive;
-      return total == kHeaderSize ? std::optional(result) : std::nullopt;
+      if (total == kHeaderSize) out.status = DecodeStatus::kOk;
+      return out;
     case 1:
       result.type = MessageType::kOpen;
-      return result;
+      out.status = DecodeStatus::kOk;
+      return out;
     case 3:
       result.type = MessageType::kNotification;
-      return result;
+      out.status = DecodeStatus::kOk;
+      return out;
     case 2:
       break;
     default:
-      return std::nullopt;
+      return out;
   }
 
   result.type = MessageType::kUpdate;
   Reader r(wire.data() + kHeaderSize, total - kHeaderSize);
 
   std::uint16_t withdrawn_len = 0;
-  if (!r.ReadU16(withdrawn_len)) return std::nullopt;
+  if (!r.ReadU16(withdrawn_len)) return out;
   const std::size_t withdrawn_end = r.pos() + withdrawn_len;
-  if (withdrawn_end > total - kHeaderSize) return std::nullopt;
+  if (withdrawn_end > total - kHeaderSize) return out;
   while (r.pos() < withdrawn_end) {
     Prefix p;
-    if (!r.ReadPrefix(p) || r.pos() > withdrawn_end) return std::nullopt;
+    if (!r.ReadPrefix(p) || r.pos() > withdrawn_end) return out;
     result.update.withdrawn.push_back(p);
   }
-  if (r.pos() != withdrawn_end) return std::nullopt;
+  if (r.pos() != withdrawn_end) return out;
 
   std::uint16_t attr_len = 0;
-  if (!r.ReadU16(attr_len)) return std::nullopt;
+  if (!r.ReadU16(attr_len)) return out;
+  if (r.pos() + attr_len > total - kHeaderSize) return out;
+  const std::size_t attrs_end = r.pos() + attr_len;
+  bool attrs_malformed = false;
+  bool saw_nexthop = false;
   if (attr_len > 0) {
     PathAttributes attrs;
-    bool saw_nexthop = false;
-    if (!DecodeAttributes(r, attr_len, attrs, saw_nexthop)) return std::nullopt;
-    result.update.attrs = std::move(attrs);
+    if (DecodeAttributes(r, attr_len, attrs, saw_nexthop)) {
+      result.update.attrs = std::move(attrs);
+    } else {
+      // The framing tells us exactly where the attribute block ends, so a
+      // malformed attribute set does not cost us the NLRI: skip to the end
+      // of the block and salvage the announced prefixes for
+      // treat-as-withdraw (RFC 7606 Section 2).
+      attrs_malformed = true;
+      r.Seek(attrs_end);
+    }
   }
 
   while (r.remaining() > 0) {
     Prefix p;
-    if (!r.ReadPrefix(p)) return std::nullopt;
+    if (!r.ReadPrefix(p)) return out;
     result.update.nlri.push_back(p);
   }
-  if (!result.update.nlri.empty() && !result.update.attrs) return std::nullopt;
+  if (!result.update.nlri.empty() && (attrs_malformed || !result.update.attrs ||
+                                      !saw_nexthop)) {
+    // Missing or malformed attributes for announced routes: the session
+    // survives but the routes must be treated as withdrawn.
+    result.update.attrs.reset();
+    out.status = DecodeStatus::kAttributeError;
+    return out;
+  }
+  if (attrs_malformed) {
+    // Withdraw-only (or empty) update with a bad attribute block tacked
+    // on: the withdrawals themselves are sound.
+    result.update.attrs.reset();
+    out.status = DecodeStatus::kAttributeError;
+    return out;
+  }
+  out.status = DecodeStatus::kOk;
+  return out;
+}
 
-  return result;
+std::optional<DecodeResult> DecodeMessage(
+    const std::vector<std::uint8_t>& wire) {
+  TolerantDecodeResult tolerant = DecodeMessageTolerant(wire);
+  if (tolerant.status != DecodeStatus::kOk) return std::nullopt;
+  return std::move(tolerant.result);
 }
 
 }  // namespace ranomaly::bgp

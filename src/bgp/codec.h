@@ -53,4 +53,35 @@ struct DecodeResult {
 std::optional<DecodeResult> DecodeMessage(
     const std::vector<std::uint8_t>& wire);
 
+// Outcome of a fault-tolerant decode, in the spirit of RFC 7606
+// ("Revised Error Handling for BGP UPDATE Messages"): instead of treating
+// every malformed octet as fatal, errors confined to the path-attribute
+// block are downgraded to treat-as-withdraw so one bad attribute cannot
+// take down the whole feed.
+enum class DecodeStatus : std::uint8_t {
+  // Message fully decoded; `result` is complete.
+  kOk,
+  // Header, withdrawn section or NLRI unusable (bad marker, impossible
+  // length, truncation, prefix overrun).  Nothing can be salvaged; the
+  // frame should be quarantined.
+  kFramingError,
+  // UPDATE whose framing is sound but whose path attributes are malformed
+  // (or NEXT_HOP is missing for non-empty NLRI).  Per RFC 7606 the routes
+  // it carries must be *withdrawn*: `result.update` holds the withdrawn
+  // prefixes plus the salvaged NLRI prefixes, with `attrs` empty.
+  kAttributeError,
+};
+
+const char* ToString(DecodeStatus status);
+
+struct TolerantDecodeResult {
+  DecodeStatus status = DecodeStatus::kFramingError;
+  DecodeResult result;  // valid unless status == kFramingError
+};
+
+// Fault-tolerant variant of DecodeMessage.  DecodeMessage(w) is exactly
+// "DecodeMessageTolerant(w).result when status == kOk, else nullopt".
+TolerantDecodeResult DecodeMessageTolerant(
+    const std::vector<std::uint8_t>& wire);
+
 }  // namespace ranomaly::bgp

@@ -4,125 +4,165 @@
 #include <istream>
 #include <ostream>
 
+#include "util/strings.h"
+
 namespace ranomaly::collector {
 namespace {
 
 constexpr char kMagic[4] = {'R', 'N', 'E', '1'};
-
-template <typename T>
-void Put(std::ostream& os, T value) {
-  // Serialize little-endian regardless of host order.
-  unsigned char buf[sizeof(T)];
-  auto u = static_cast<std::uint64_t>(value);
-  for (std::size_t i = 0; i < sizeof(T); ++i) {
-    buf[i] = static_cast<unsigned char>(u & 0xff);
-    u >>= 8;
-  }
-  os.write(reinterpret_cast<const char*>(buf), sizeof(T));
-}
-
-template <typename T>
-bool Get(std::istream& is, T& value) {
-  unsigned char buf[sizeof(T)];
-  if (!is.read(reinterpret_cast<char*>(buf), sizeof(T))) return false;
-  std::uint64_t u = 0;
-  for (std::size_t i = sizeof(T); i-- > 0;) {
-    u = (u << 8) | buf[i];
-  }
-  value = static_cast<T>(u);
-  return true;
-}
+constexpr std::uint8_t kMaxEventType = 3;  // announce, withdraw, gap, resync
 
 }  // namespace
 
+namespace io {
+
+bool Reader::GetRaw(char* buf, std::size_t n) {
+  if (!is_.read(buf, static_cast<std::streamsize>(n))) return false;
+  offset_ += n;
+  return true;
+}
+
+void PutAttrs(std::ostream& os, const bgp::PathAttributes& attrs) {
+  Put<std::uint32_t>(os, attrs.nexthop.value());
+  Put<std::uint8_t>(os, static_cast<std::uint8_t>(attrs.origin));
+  Put<std::uint32_t>(os, attrs.local_pref);
+  Put<std::uint8_t>(os, attrs.med ? 1 : 0);
+  if (attrs.med) Put<std::uint32_t>(os, *attrs.med);
+  Put<std::uint32_t>(os, attrs.originator_id);
+  Put<std::uint16_t>(os, static_cast<std::uint16_t>(attrs.as_path.Length()));
+  for (const bgp::AsNumber a : attrs.as_path.asns()) {
+    Put<std::uint32_t>(os, a);
+  }
+  Put<std::uint16_t>(os, static_cast<std::uint16_t>(attrs.communities.size()));
+  for (const bgp::Community c : attrs.communities) {
+    Put<std::uint32_t>(os, c.raw());
+  }
+}
+
+LoadError GetAttrs(Reader& r, bgp::PathAttributes& attrs) {
+  std::uint32_t nexthop = 0, local_pref = 0, originator = 0;
+  std::uint8_t origin = 0, has_med = 0;
+  if (!r.Get(nexthop) || !r.Get(origin) || !r.Get(local_pref) ||
+      !r.Get(has_med)) {
+    return LoadError::kTruncated;
+  }
+  if (origin > 2 || has_med > 1) return LoadError::kBadEnum;
+  attrs.nexthop = bgp::Ipv4Addr(nexthop);
+  attrs.origin = static_cast<bgp::Origin>(origin);
+  attrs.local_pref = local_pref;
+  if (has_med != 0) {
+    std::uint32_t med = 0;
+    if (!r.Get(med)) return LoadError::kTruncated;
+    attrs.med = med;
+  }
+  if (!r.Get(originator)) return LoadError::kTruncated;
+  attrs.originator_id = originator;
+
+  std::uint16_t path_len = 0;
+  if (!r.Get(path_len)) return LoadError::kTruncated;
+  std::vector<bgp::AsNumber> asns;
+  asns.reserve(path_len);
+  for (std::uint16_t k = 0; k < path_len; ++k) {
+    std::uint32_t a = 0;
+    if (!r.Get(a)) return LoadError::kTruncated;
+    asns.push_back(a);
+  }
+  attrs.as_path = bgp::AsPath(std::move(asns));
+
+  std::uint16_t community_count = 0;
+  if (!r.Get(community_count)) return LoadError::kTruncated;
+  for (std::uint16_t k = 0; k < community_count; ++k) {
+    std::uint32_t c = 0;
+    if (!r.Get(c)) return LoadError::kTruncated;
+    attrs.communities.Add(bgp::Community(c));
+  }
+  return LoadError::kNone;
+}
+
+}  // namespace io
+
+const char* ToString(LoadError error) {
+  switch (error) {
+    case LoadError::kNone: return "ok";
+    case LoadError::kBadMagic: return "bad magic";
+    case LoadError::kTruncated: return "truncated";
+    case LoadError::kBadEnum: return "bad enum or length field";
+    case LoadError::kOutOfOrder: return "out-of-order timestamps";
+    case LoadError::kBadVersion: return "unsupported format version";
+    case LoadError::kBadChecksum: return "checksum mismatch";
+  }
+  return "?";
+}
+
+std::string LoadDiagnostics::ToString() const {
+  return util::StrPrintf("%s at byte %llu (event %llu)",
+                         collector::ToString(error),
+                         static_cast<unsigned long long>(byte_offset),
+                         static_cast<unsigned long long>(event_index));
+}
+
 bool SaveBinary(const EventStream& stream, std::ostream& os) {
   os.write(kMagic, sizeof(kMagic));
-  Put<std::uint64_t>(os, stream.size());
+  io::Put<std::uint64_t>(os, stream.size());
   for (const bgp::Event& e : stream.events()) {
-    Put<std::int64_t>(os, e.time);
-    Put<std::uint32_t>(os, e.peer.value());
-    Put<std::uint8_t>(os, static_cast<std::uint8_t>(e.type));
-    Put<std::uint32_t>(os, e.prefix.addr().value());
-    Put<std::uint8_t>(os, e.prefix.length());
-    Put<std::uint32_t>(os, e.attrs.nexthop.value());
-    Put<std::uint8_t>(os, static_cast<std::uint8_t>(e.attrs.origin));
-    Put<std::uint32_t>(os, e.attrs.local_pref);
-    Put<std::uint8_t>(os, e.attrs.med ? 1 : 0);
-    if (e.attrs.med) Put<std::uint32_t>(os, *e.attrs.med);
-    Put<std::uint32_t>(os, e.attrs.originator_id);
-    Put<std::uint16_t>(os, static_cast<std::uint16_t>(e.attrs.as_path.Length()));
-    for (const bgp::AsNumber a : e.attrs.as_path.asns()) {
-      Put<std::uint32_t>(os, a);
-    }
-    Put<std::uint16_t>(os,
-                       static_cast<std::uint16_t>(e.attrs.communities.size()));
-    for (const bgp::Community c : e.attrs.communities) {
-      Put<std::uint32_t>(os, c.raw());
-    }
+    io::Put<std::int64_t>(os, e.time);
+    io::Put<std::uint32_t>(os, e.peer.value());
+    io::Put<std::uint8_t>(os, static_cast<std::uint8_t>(e.type));
+    io::Put<std::uint32_t>(os, e.prefix.addr().value());
+    io::Put<std::uint8_t>(os, e.prefix.length());
+    io::PutAttrs(os, e.attrs);
   }
   return static_cast<bool>(os);
 }
 
-std::optional<EventStream> LoadBinary(std::istream& is) {
-  char magic[4];
-  if (!is.read(magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+std::optional<EventStream> LoadBinary(std::istream& is, LoadDiagnostics& diag) {
+  io::Reader r(is);
+  diag = LoadDiagnostics{};
+  const auto fail = [&](LoadError error, std::uint64_t event_index) {
+    diag.error = error;
+    diag.byte_offset = r.offset();
+    diag.event_index = event_index;
     return std::nullopt;
+  };
+
+  char magic[4];
+  if (!r.GetRaw(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return fail(LoadError::kBadMagic, 0);
   }
   std::uint64_t count = 0;
-  if (!Get(is, count)) return std::nullopt;
+  if (!r.Get(count)) return fail(LoadError::kTruncated, 0);
 
   EventStream stream;
   for (std::uint64_t i = 0; i < count; ++i) {
     bgp::Event e;
     std::int64_t time = 0;
-    std::uint32_t peer = 0, addr = 0, nexthop = 0, local_pref = 0,
-                  originator = 0;
-    std::uint8_t type = 0, len = 0, origin = 0, has_med = 0;
-    if (!Get(is, time) || !Get(is, peer) || !Get(is, type) || !Get(is, addr) ||
-        !Get(is, len) || !Get(is, nexthop) || !Get(is, origin) ||
-        !Get(is, local_pref) || !Get(is, has_med)) {
-      return std::nullopt;
+    std::uint32_t peer = 0, addr = 0;
+    std::uint8_t type = 0, len = 0;
+    if (!r.Get(time) || !r.Get(peer) || !r.Get(type) || !r.Get(addr) ||
+        !r.Get(len)) {
+      return fail(LoadError::kTruncated, i);
     }
-    if (type > 1 || len > 32 || origin > 2 || has_med > 1) return std::nullopt;
+    if (type > kMaxEventType || len > 32) return fail(LoadError::kBadEnum, i);
     e.time = time;
     e.peer = bgp::Ipv4Addr(peer);
     e.type = static_cast<bgp::EventType>(type);
     e.prefix = bgp::Prefix(bgp::Ipv4Addr(addr), len);
-    e.attrs.nexthop = bgp::Ipv4Addr(nexthop);
-    e.attrs.origin = static_cast<bgp::Origin>(origin);
-    e.attrs.local_pref = local_pref;
-    if (has_med != 0) {
-      std::uint32_t med = 0;
-      if (!Get(is, med)) return std::nullopt;
-      e.attrs.med = med;
+    if (const LoadError err = io::GetAttrs(r, e.attrs);
+        err != LoadError::kNone) {
+      return fail(err, i);
     }
-    if (!Get(is, originator)) return std::nullopt;
-    e.attrs.originator_id = originator;
-
-    std::uint16_t path_len = 0;
-    if (!Get(is, path_len)) return std::nullopt;
-    std::vector<bgp::AsNumber> asns;
-    asns.reserve(path_len);
-    for (std::uint16_t k = 0; k < path_len; ++k) {
-      std::uint32_t a = 0;
-      if (!Get(is, a)) return std::nullopt;
-      asns.push_back(a);
+    if (!stream.empty() && e.time < stream.back().time) {
+      return fail(LoadError::kOutOfOrder, i);
     }
-    e.attrs.as_path = bgp::AsPath(std::move(asns));
-
-    std::uint16_t community_count = 0;
-    if (!Get(is, community_count)) return std::nullopt;
-    for (std::uint16_t k = 0; k < community_count; ++k) {
-      std::uint32_t c = 0;
-      if (!Get(is, c)) return std::nullopt;
-      e.attrs.communities.Add(bgp::Community(c));
-    }
-
-    if (!stream.empty() && e.time < stream.back().time) return std::nullopt;
     stream.Append(std::move(e));
   }
   return stream;
+}
+
+std::optional<EventStream> LoadBinary(std::istream& is) {
+  LoadDiagnostics diag;
+  return LoadBinary(is, diag);
 }
 
 }  // namespace ranomaly::collector

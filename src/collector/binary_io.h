@@ -11,11 +11,14 @@
 //          | u16 path length | u32 asn...
 //          | u16 community count | u32 community...
 //
-// All integers little-endian.  Loading validates the magic, the declared
-// count, every enum value and length field, and fails cleanly on
-// truncation.
+// Marker events (type 2 = feed gap, 3 = resync) use the same record with
+// zeroed prefix/attribute fields.  All integers little-endian.  Loading
+// validates the magic, the declared count, every enum value and length
+// field, and fails cleanly on truncation; the diagnostic overload
+// additionally reports where and why a load failed.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 
@@ -28,5 +31,85 @@ bool SaveBinary(const EventStream& stream, std::ostream& os);
 
 // Reads a stream; nullopt on any framing/validation error.
 std::optional<EventStream> LoadBinary(std::istream& is);
+
+// Why a binary load failed (kNone on success).  Shared by the RNE1 event
+// format and the RNC1 checkpoint format (checkpoint.h).
+enum class LoadError : std::uint8_t {
+  kNone,
+  kBadMagic,     // missing/foreign magic bytes
+  kTruncated,    // stream ended inside the declared record set
+  kBadEnum,      // an enum or length field held an impossible value
+  kOutOfOrder,   // event timestamps regressed
+  kBadVersion,   // recognized magic, unsupported format version
+  kBadChecksum,  // payload CRC mismatch (torn write / bit rot)
+};
+
+const char* ToString(LoadError error);
+
+// Where and why a load failed: the absolute byte offset the reader had
+// consumed when the error was detected, and the index of the event record
+// being read (event_count if the failure was in the header).
+struct LoadDiagnostics {
+  LoadError error = LoadError::kNone;
+  std::uint64_t byte_offset = 0;
+  std::uint64_t event_index = 0;
+
+  // "bad enum or length field at byte 131 (event 2)"
+  std::string ToString() const;
+};
+
+// Error-reporting overload: identical behaviour, but fills `diag`.
+std::optional<EventStream> LoadBinary(std::istream& is, LoadDiagnostics& diag);
+
+// Little-endian primitives and the shared attribute-block layout, reused
+// by the checkpoint format (checkpoint.h).
+namespace io {
+
+// Serializes `value` little-endian regardless of host order.
+template <typename T>
+void Put(std::ostream& os, T value) {
+  unsigned char buf[sizeof(T)];
+  auto u = static_cast<std::uint64_t>(value);
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<unsigned char>(u & 0xff);
+    u >>= 8;
+  }
+  os.write(reinterpret_cast<const char*>(buf), sizeof(T));
+}
+
+// Counting reader over an istream: tracks how many bytes were consumed so
+// failures can be located.
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  template <typename T>
+  bool Get(T& value) {
+    unsigned char buf[sizeof(T)];
+    if (!GetRaw(reinterpret_cast<char*>(buf), sizeof(T))) return false;
+    std::uint64_t u = 0;
+    for (std::size_t i = sizeof(T); i-- > 0;) {
+      u = (u << 8) | buf[i];
+    }
+    value = static_cast<T>(u);
+    return true;
+  }
+
+  bool GetRaw(char* buf, std::size_t n);
+
+  std::uint64_t offset() const { return offset_; }
+
+ private:
+  std::istream& is_;
+  std::uint64_t offset_ = 0;
+};
+
+// The per-route attribute block shared by the RNE1 event record and the
+// RNC1 checkpoint route record (everything after the prefix fields above).
+void PutAttrs(std::ostream& os, const bgp::PathAttributes& attrs);
+// Returns kNone, kTruncated or kBadEnum.
+LoadError GetAttrs(Reader& r, bgp::PathAttributes& attrs);
+
+}  // namespace io
 
 }  // namespace ranomaly::collector

@@ -1,0 +1,218 @@
+#include "collector/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/crc32.h"
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace ranomaly::collector {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'N', 'C', '1'};
+constexpr std::uint32_t kVersion = 1;
+// Refuse absurd declared sizes before allocating (a corrupt header must
+// not turn into an OOM).
+constexpr std::uint64_t kMaxPayload = 1ull << 32;
+
+}  // namespace
+
+std::size_t Checkpoint::RouteCount() const {
+  std::size_t n = 0;
+  for (const PeerTable& table : peers) n += table.routes.size();
+  return n;
+}
+
+Checkpoint SnapshotCollector(const Collector& collector, util::SimTime now,
+                             std::uint64_t event_offset) {
+  Checkpoint out;
+  out.time = now;
+  out.event_offset = event_offset;
+  for (const bgp::Ipv4Addr peer : collector.Peers()) {  // already sorted
+    Checkpoint::PeerTable table;
+    table.peer = peer;
+    table.stale = collector.IsPeerStale(peer);
+    table.routes = collector.PeerRoutes(peer);
+    // Deterministic row order: the same collector state always produces
+    // byte-identical checkpoint files.
+    std::sort(table.routes.begin(), table.routes.end(),
+              [](const auto& a, const auto& b) {
+                return a.first.addr().value() != b.first.addr().value()
+                           ? a.first.addr().value() < b.first.addr().value()
+                           : a.first.length() < b.first.length();
+              });
+    out.peers.push_back(std::move(table));
+  }
+  return out;
+}
+
+void RestoreCollector(const Checkpoint& checkpoint, Collector& collector) {
+  for (const Checkpoint::PeerTable& table : checkpoint.peers) {
+    collector.RestoreRib(table.peer, table.routes);
+    if (table.stale) {
+      collector.OnMarker(checkpoint.time, table.peer,
+                         bgp::EventType::kFeedGap);
+    }
+  }
+}
+
+bool SaveCheckpoint(const Checkpoint& checkpoint, std::ostream& os) {
+  std::ostringstream payload;
+  io::Put<std::int64_t>(payload, checkpoint.time);
+  io::Put<std::uint64_t>(payload, checkpoint.event_offset);
+  io::Put<std::uint32_t>(payload,
+                         static_cast<std::uint32_t>(checkpoint.peers.size()));
+  for (const Checkpoint::PeerTable& table : checkpoint.peers) {
+    io::Put<std::uint32_t>(payload, table.peer.value());
+    io::Put<std::uint8_t>(payload, table.stale ? 1 : 0);
+    io::Put<std::uint64_t>(payload, table.routes.size());
+    for (const auto& [prefix, attrs] : table.routes) {
+      io::Put<std::uint32_t>(payload, prefix.addr().value());
+      io::Put<std::uint8_t>(payload, prefix.length());
+      io::PutAttrs(payload, attrs);
+    }
+  }
+  const std::string bytes = payload.str();
+
+  os.write(kMagic, sizeof(kMagic));
+  io::Put<std::uint32_t>(os, kVersion);
+  io::Put<std::uint64_t>(os, bytes.size());
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  io::Put<std::uint32_t>(os, util::Crc32(bytes.data(), bytes.size()));
+  return static_cast<bool>(os);
+}
+
+std::optional<Checkpoint> LoadCheckpoint(std::istream& is,
+                                         LoadDiagnostics* diag) {
+  io::Reader r(is);
+  LoadDiagnostics local;
+  LoadDiagnostics& d = diag ? *diag : local;
+  d = LoadDiagnostics{};
+  const auto fail = [&](LoadError error, std::uint64_t record) {
+    d.error = error;
+    d.byte_offset = r.offset();
+    d.event_index = record;
+    return std::nullopt;
+  };
+
+  char magic[4];
+  if (!r.GetRaw(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return fail(LoadError::kBadMagic, 0);
+  }
+  std::uint32_t version = 0;
+  if (!r.Get(version)) return fail(LoadError::kTruncated, 0);
+  if (version != kVersion) return fail(LoadError::kBadVersion, 0);
+  std::uint64_t payload_size = 0;
+  if (!r.Get(payload_size)) return fail(LoadError::kTruncated, 0);
+  if (payload_size > kMaxPayload) return fail(LoadError::kBadEnum, 0);
+
+  std::string bytes(payload_size, '\0');
+  if (payload_size > 0 && !r.GetRaw(bytes.data(), bytes.size())) {
+    return fail(LoadError::kTruncated, 0);
+  }
+  std::uint32_t crc = 0;
+  if (!r.Get(crc)) return fail(LoadError::kTruncated, 0);
+  if (crc != util::Crc32(bytes.data(), bytes.size())) {
+    return fail(LoadError::kBadChecksum, 0);
+  }
+
+  // The payload is CRC-clean; parse it.  Field errors past this point are
+  // reported with offsets relative to the whole file.
+  std::istringstream payload(bytes);
+  io::Reader pr(payload);
+  const std::uint64_t payload_base = 4 + 4 + 8;
+  const auto pfail = [&](LoadError error, std::uint64_t record) {
+    d.error = error;
+    d.byte_offset = payload_base + pr.offset();
+    d.event_index = record;
+    return std::nullopt;
+  };
+
+  Checkpoint out;
+  std::int64_t time = 0;
+  std::uint32_t peer_count = 0;
+  if (!pr.Get(time) || !pr.Get(out.event_offset) || !pr.Get(peer_count)) {
+    return pfail(LoadError::kTruncated, 0);
+  }
+  out.time = time;
+  std::uint64_t record = 0;
+  for (std::uint32_t p = 0; p < peer_count; ++p) {
+    Checkpoint::PeerTable table;
+    std::uint32_t addr = 0;
+    std::uint8_t stale = 0;
+    std::uint64_t route_count = 0;
+    if (!pr.Get(addr) || !pr.Get(stale) || !pr.Get(route_count)) {
+      return pfail(LoadError::kTruncated, record);
+    }
+    if (stale > 1) return pfail(LoadError::kBadEnum, record);
+    table.peer = bgp::Ipv4Addr(addr);
+    table.stale = stale != 0;
+    table.routes.reserve(
+        static_cast<std::size_t>(std::min<std::uint64_t>(route_count, 1024)));
+    for (std::uint64_t k = 0; k < route_count; ++k, ++record) {
+      std::uint32_t prefix_addr = 0;
+      std::uint8_t prefix_len = 0;
+      if (!pr.Get(prefix_addr) || !pr.Get(prefix_len)) {
+        return pfail(LoadError::kTruncated, record);
+      }
+      if (prefix_len > 32) return pfail(LoadError::kBadEnum, record);
+      bgp::PathAttributes attrs;
+      if (const LoadError err = io::GetAttrs(pr, attrs);
+          err != LoadError::kNone) {
+        return pfail(err, record);
+      }
+      table.routes.emplace_back(
+          bgp::Prefix(bgp::Ipv4Addr(prefix_addr), prefix_len),
+          std::move(attrs));
+    }
+    out.peers.push_back(std::move(table));
+  }
+  if (payload.peek() != std::istringstream::traits_type::eof()) {
+    return pfail(LoadError::kBadEnum, record);  // trailing payload bytes
+  }
+  return out;
+}
+
+bool WriteCheckpointFile(const Checkpoint& checkpoint,
+                         const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os || !SaveCheckpoint(checkpoint, os)) return false;
+    os.flush();
+    if (!os) return false;
+  }
+  // Atomic replace: readers see the old file or the new one, never a
+  // partial write.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<Checkpoint> ReadCheckpointFile(const std::string& path,
+                                             LoadDiagnostics* diag) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    if (diag) {
+      *diag = LoadDiagnostics{};
+      diag->error = LoadError::kTruncated;
+    }
+    return std::nullopt;
+  }
+  auto checkpoint = LoadCheckpoint(is, diag);
+  if (!checkpoint && diag) {
+    RANOMALY_LOG(util::LogLevel::kWarn,
+                 util::StrPrintf("checkpoint: refusing %s: %s", path.c_str(),
+                                 diag->ToString().c_str()));
+  }
+  return checkpoint;
+}
+
+}  // namespace ranomaly::collector

@@ -1,0 +1,76 @@
+// Checkpoint/restore for the collector: periodic binary snapshots of the
+// per-peer Adj-RIB-In plus the event-stream offset, so a restarted
+// collector resumes with a warm RIB instead of a cold table transfer.
+//
+// File layout (versioned "RNC1" section, all integers little-endian):
+//
+//   file    := "RNC1" | u32 version(=1) | u64 payload_size | payload
+//            | u32 crc32(payload)
+//   payload := i64 checkpoint_time_us | u64 event_offset
+//            | u32 peer_count | peer...
+//   peer    := u32 addr | u8 stale | u64 route_count | route...
+//   route   := u32 prefix_addr | u8 prefix_len | <attribute block>
+//
+// The attribute block is the RNE1 per-event attribute layout
+// (binary_io.h io::PutAttrs/GetAttrs), so both formats evolve together.
+// The CRC covers the payload only: a torn write or bit flip fails the
+// restore loudly instead of resuming from a silently corrupt RIB.
+// WriteCheckpointFile replaces the target atomically (write to a
+// temporary sibling, then rename) so a crash mid-checkpoint always
+// leaves either the old or the new snapshot, never a hybrid.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "collector/binary_io.h"
+#include "collector/collector.h"
+
+namespace ranomaly::collector {
+
+struct Checkpoint {
+  util::SimTime time = 0;          // when the snapshot was taken
+  // How many events of the persisted stream precede this snapshot: a
+  // restarted collector replays the stream file from this offset.
+  std::uint64_t event_offset = 0;
+
+  struct PeerTable {
+    bgp::Ipv4Addr peer;
+    bool stale = false;  // gap was open when the snapshot was taken
+    std::vector<std::pair<bgp::Prefix, bgp::PathAttributes>> routes;
+  };
+  std::vector<PeerTable> peers;  // sorted by peer address
+
+  std::size_t RouteCount() const;
+};
+
+// Captures the collector's current per-peer tables and staleness.
+Checkpoint SnapshotCollector(const Collector& collector, util::SimTime now,
+                             std::uint64_t event_offset);
+
+// Warm-starts `collector` from the snapshot (no events are emitted; a
+// restore is a resumption, not routing activity).  Peers that were stale
+// at snapshot time are re-marked stale via a kFeedGap marker so the
+// degradation survives the restart honestly.
+void RestoreCollector(const Checkpoint& checkpoint, Collector& collector);
+
+// Stream serialization; Save returns false on I/O failure, Load reports
+// nullopt (with diagnostics if `diag` is non-null) on any validation
+// failure: bad magic, unsupported version, truncation, CRC mismatch,
+// impossible field values.
+bool SaveCheckpoint(const Checkpoint& checkpoint, std::ostream& os);
+std::optional<Checkpoint> LoadCheckpoint(std::istream& is,
+                                         LoadDiagnostics* diag = nullptr);
+
+// Atomic file variants: Write serializes to "<path>.tmp" and renames over
+// `path` only after a clean flush.
+bool WriteCheckpointFile(const Checkpoint& checkpoint,
+                         const std::string& path);
+std::optional<Checkpoint> ReadCheckpointFile(const std::string& path,
+                                             LoadDiagnostics* diag = nullptr);
+
+}  // namespace ranomaly::collector

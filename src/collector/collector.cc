@@ -1,14 +1,28 @@
 #include "collector/collector.h"
 
+#include <algorithm>
 #include <unordered_set>
 
+#include "util/log.h"
+#include "util/strings.h"
+
 namespace ranomaly::collector {
+namespace {
+
+// Rate limit for the unmatched-withdrawal warning: the first few per peer
+// are logged verbatim, then only every kWarnEvery-th so a pathological
+// feed cannot flood the log.
+constexpr std::uint64_t kWarnFirst = 5;
+constexpr std::uint64_t kWarnEvery = 1000;
+
+}  // namespace
 
 void Collector::AttachTo(net::Simulator& sim,
                          const std::vector<net::RouterIndex>& routers) {
   for (const net::RouterIndex r : routers) {
     const bgp::Ipv4Addr peer_addr = sim.topology().router(r).address;
     rib_.try_emplace(peer_addr);  // register the peer even before events
+    health_.try_emplace(peer_addr);
     sim.AddBestPathTap(r, [this, peer_addr](
                               const net::BestPathChangeView& view) {
       // What the iBGP session carries: the router's new best route if it
@@ -24,10 +38,25 @@ void Collector::AttachTo(net::Simulator& sim,
   }
 }
 
+util::SimTime Collector::Clamp(util::SimTime time) const {
+  if (!events_.empty() && time < events_.back().time) {
+    return events_.back().time;
+  }
+  return time;
+}
+
+PeerHealth& Collector::HealthOf(bgp::Ipv4Addr peer) {
+  return health_.try_emplace(peer).first->second;
+}
+
 void Collector::OnAnnounce(util::SimTime time, bgp::Ipv4Addr peer,
                            const bgp::Prefix& prefix,
                            bgp::PathAttributes attrs) {
+  time = Clamp(time);
   rib_[peer].Announce(prefix, attrs);
+  PeerHealth& health = HealthOf(peer);
+  ++health.announces;
+  health.last_event = time;
   bgp::Event event;
   event.time = time;
   event.peer = peer;
@@ -39,18 +68,52 @@ void Collector::OnAnnounce(util::SimTime time, bgp::Ipv4Addr peer,
 
 void Collector::OnWithdraw(util::SimTime time, bgp::Ipv4Addr peer,
                            const bgp::Prefix& prefix) {
+  time = Clamp(time);
+  PeerHealth& health = HealthOf(peer);
   auto old = rib_[peer].Withdraw(prefix);
   if (!old) {
     // Can't augment a withdrawal for a route we never saw.
     ++unmatched_withdrawals_;
+    const std::uint64_t n = ++health.unmatched_withdrawals;
+    if (n <= kWarnFirst || n % kWarnEvery == 0) {
+      RANOMALY_LOG(util::LogLevel::kWarn,
+                   util::StrPrintf(
+                       "collector: unmatched withdrawal #%llu from %s for %s",
+                       static_cast<unsigned long long>(n),
+                       peer.ToString().c_str(), prefix.ToString().c_str()));
+    }
     return;
   }
+  ++health.withdraws;
+  health.last_event = time;
   bgp::Event event;
   event.time = time;
   event.peer = peer;
   event.type = bgp::EventType::kWithdraw;
   event.prefix = prefix;
   event.attrs = std::move(*old);  // the REX augmentation
+  events_.Append(std::move(event));
+}
+
+void Collector::OnMarker(util::SimTime time, bgp::Ipv4Addr peer,
+                         bgp::EventType type) {
+  if (!bgp::IsMarker(type)) return;
+  time = Clamp(time);
+  PeerHealth& health = HealthOf(peer);
+  if (type == bgp::EventType::kFeedGap) {
+    if (health.stale) return;  // gap already open; don't double-mark
+    health.stale = true;
+    ++health.feed_gaps;
+  } else {
+    if (!health.stale) return;  // resync without a gap: nothing to mark
+    health.stale = false;
+    ++health.resyncs;
+  }
+  health.last_event = time;
+  bgp::Event event;
+  event.time = time;
+  event.peer = peer;
+  event.type = type;
   events_.Append(std::move(event));
 }
 
@@ -62,6 +125,40 @@ std::vector<RouteEntry> Collector::Snapshot() const {
     }
   }
   return out;
+}
+
+std::vector<std::pair<bgp::Prefix, bgp::PathAttributes>>
+Collector::PeerRoutes(bgp::Ipv4Addr peer) const {
+  std::vector<std::pair<bgp::Prefix, bgp::PathAttributes>> out;
+  const auto it = rib_.find(peer);
+  if (it == rib_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [prefix, attrs] : it->second) {
+    out.emplace_back(prefix, attrs);
+  }
+  return out;
+}
+
+std::vector<bgp::Ipv4Addr> Collector::Peers() const {
+  std::vector<bgp::Ipv4Addr> out;
+  out.reserve(rib_.size());
+  for (const auto& [peer, adj_in] : rib_) out.push_back(peer);
+  std::sort(out.begin(), out.end(),
+            [](bgp::Ipv4Addr a, bgp::Ipv4Addr b) {
+              return a.value() < b.value();
+            });
+  return out;
+}
+
+void Collector::RestoreRib(
+    bgp::Ipv4Addr peer,
+    std::vector<std::pair<bgp::Prefix, bgp::PathAttributes>> routes) {
+  bgp::AdjRibIn& adj_in = rib_[peer];
+  adj_in.Clear();
+  for (auto& [prefix, attrs] : routes) {
+    adj_in.Announce(prefix, std::move(attrs));
+  }
+  HealthOf(peer).routes = adj_in.size();
 }
 
 std::size_t Collector::RouteCount() const {
@@ -86,6 +183,71 @@ std::size_t Collector::NexthopCount() const {
     }
   }
   return nexthops.size();
+}
+
+bool Collector::IsPeerStale(bgp::Ipv4Addr peer) const {
+  const auto it = health_.find(peer);
+  return it != health_.end() && it->second.stale;
+}
+
+CollectorHealth Collector::Health() const {
+  CollectorHealth out;
+  out.events = events_.size();
+  out.unmatched_withdrawals = unmatched_withdrawals_;
+  const util::SimDuration range = events_.TimeRange();
+  if (range > 0) {
+    out.events_per_sec =
+        static_cast<double>(events_.size()) / util::ToSeconds(range);
+    // Busiest second of the stream, via the shared binning machinery.
+    const util::RateSeries rate = events_.Rate(util::kSecond);
+    std::uint64_t peak = 0;
+    for (const std::uint64_t b : rate.buckets()) peak = std::max(peak, b);
+    out.peak_events_per_sec = static_cast<double>(peak);
+  }
+  out.peers = health_;
+  for (auto& [peer, health] : out.peers) {
+    const auto it = rib_.find(peer);
+    health.routes = it == rib_.end() ? 0 : it->second.size();
+    if (health.stale) ++out.stale_peers;
+  }
+  return out;
+}
+
+std::string CollectorHealth::ToString() const {
+  std::string out = util::StrPrintf(
+      "events=%llu rate=%.1f/s peak=%.0f/s unmatched=%llu "
+      "treat-as-withdraw=%llu decode-errors=%llu quarantine=%zu/%llu "
+      "stale-peers=%zu\n",
+      static_cast<unsigned long long>(events), events_per_sec,
+      peak_events_per_sec, static_cast<unsigned long long>(
+          unmatched_withdrawals),
+      static_cast<unsigned long long>(treat_as_withdraw),
+      static_cast<unsigned long long>(decode_errors), quarantine_depth,
+      static_cast<unsigned long long>(quarantined_total), stale_peers);
+  // Stable output order for tests and operators.
+  std::vector<bgp::Ipv4Addr> order;
+  order.reserve(peers.size());
+  for (const auto& [peer, health] : peers) order.push_back(peer);
+  std::sort(order.begin(), order.end(),
+            [](bgp::Ipv4Addr a, bgp::Ipv4Addr b) {
+              return a.value() < b.value();
+            });
+  for (const bgp::Ipv4Addr peer : order) {
+    const PeerHealth& h = peers.at(peer);
+    out += util::StrPrintf(
+        "  %s routes=%zu A=%llu W=%llu unmatched=%llu gaps=%llu resyncs=%llu "
+        "errors=%llu taw=%llu%s\n",
+        peer.ToString().c_str(), h.routes,
+        static_cast<unsigned long long>(h.announces),
+        static_cast<unsigned long long>(h.withdraws),
+        static_cast<unsigned long long>(h.unmatched_withdrawals),
+        static_cast<unsigned long long>(h.feed_gaps),
+        static_cast<unsigned long long>(h.resyncs),
+        static_cast<unsigned long long>(h.decode_errors),
+        static_cast<unsigned long long>(h.treat_as_withdraw),
+        h.stale ? " STALE" : "");
+  }
+  return out;
 }
 
 }  // namespace ranomaly::collector

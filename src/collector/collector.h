@@ -7,6 +7,14 @@
 // collector keeps an Adj-RIB-In per monitored peer and augments each
 // withdrawal with the route's last known attributes — producing the
 // *event stream* that TAMP and Stemming consume.
+//
+// Fault tolerance: the collector never throws on degraded input.  Event
+// timestamps are clamped monotonic (a skewed or reordered feed yields a
+// slightly-wrong-but-ordered stream instead of an abort), feed outages
+// are recorded as explicit kFeedGap/kResync markers, and per-peer health
+// counters (CollectorHealth) expose every way the feed has misbehaved.
+// Session supervision, wire decoding and quarantine live one layer up in
+// FeedSupervisor (supervisor.h).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +22,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bgp/attributes.h"
@@ -32,6 +41,40 @@ struct RouteEntry {
   bgp::PathAttributes attrs;
 };
 
+// Liveness/quality counters for one monitored peer's feed.  The decode
+// and quarantine fields are owned by the FeedSupervisor and merged into
+// its Health() view; a bare Collector leaves them zero.
+struct PeerHealth {
+  std::uint64_t announces = 0;
+  std::uint64_t withdraws = 0;
+  std::uint64_t unmatched_withdrawals = 0;
+  std::uint64_t feed_gaps = 0;  // kFeedGap markers emitted
+  std::uint64_t resyncs = 0;    // kResync markers emitted
+  std::uint64_t decode_errors = 0;       // frames quarantined (supervisor)
+  std::uint64_t treat_as_withdraw = 0;   // RFC 7606 downgrades (supervisor)
+  bool stale = false;           // gap open: routes may be out of date
+  util::SimTime last_event = 0;
+  std::size_t routes = 0;       // current Adj-RIB-In size
+};
+
+// The operator-facing health snapshot (ISSUE: events/sec, quarantine
+// depth, unmatched withdrawals, staleness per peer).
+struct CollectorHealth {
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;       // mean over the stream's time range
+  double peak_events_per_sec = 0.0;  // busiest 1-second bucket
+  std::uint64_t unmatched_withdrawals = 0;
+  std::uint64_t treat_as_withdraw = 0;
+  std::uint64_t decode_errors = 0;
+  std::size_t quarantine_depth = 0;   // frames currently held (supervisor)
+  std::uint64_t quarantined_total = 0;
+  std::size_t stale_peers = 0;
+  std::unordered_map<bgp::Ipv4Addr, PeerHealth, bgp::Ipv4Hash> peers;
+
+  // Multi-line operator rendering (used by the CLI and tests).
+  std::string ToString() const;
+};
+
 class Collector {
  public:
   Collector() = default;
@@ -44,16 +87,35 @@ class Collector {
 
   // Raw feed interface (what the wire gives us): an announcement with new
   // attributes, or a bare withdrawal that we augment from our Adj-RIB-In.
+  // Timestamps are clamped to be monotonic with the stream.
   void OnAnnounce(util::SimTime time, bgp::Ipv4Addr peer,
                   const bgp::Prefix& prefix, bgp::PathAttributes attrs);
   void OnWithdraw(util::SimTime time, bgp::Ipv4Addr peer,
                   const bgp::Prefix& prefix);
+
+  // Appends a collection-layer marker (kFeedGap or kResync) for `peer`
+  // and updates the peer's staleness.  Other event types are ignored.
+  void OnMarker(util::SimTime time, bgp::Ipv4Addr peer, bgp::EventType type);
 
   const EventStream& events() const { return events_; }
   EventStream& mutable_events() { return events_; }
 
   // Snapshot of all current routes across monitored peers (TAMP input).
   std::vector<RouteEntry> Snapshot() const;
+
+  // The current Adj-RIB-In rows for one peer (checkpointing, resync).
+  std::vector<std::pair<bgp::Prefix, bgp::PathAttributes>> PeerRoutes(
+      bgp::Ipv4Addr peer) const;
+
+  // All peers the collector has registered (even if currently routeless).
+  std::vector<bgp::Ipv4Addr> Peers() const;
+
+  // Warm-start: installs `routes` as `peer`'s Adj-RIB-In without emitting
+  // events (checkpoint restore is a resumption, not routing activity).
+  // Replaces whatever the peer's table held.
+  void RestoreRib(bgp::Ipv4Addr peer,
+                  std::vector<std::pair<bgp::Prefix, bgp::PathAttributes>>
+                      routes);
 
   // Current route/prefix counts (the paper quotes "23,000 routes,
   // ~12,600 prefixes" for Berkeley).
@@ -69,8 +131,22 @@ class Collector {
   // healthy feed).
   std::uint64_t unmatched_withdrawals() const { return unmatched_withdrawals_; }
 
+  // True while `peer` has an open feed gap (routes possibly stale).
+  bool IsPeerStale(bgp::Ipv4Addr peer) const;
+
+  // Health snapshot over everything the collector has seen.  The
+  // supervisor's Health() extends this with quarantine/session state.
+  CollectorHealth Health() const;
+
  private:
+  // Clamps `time` so the stream stays monotonic even under clock skew or
+  // reordering faults (degraded-but-ordered beats an abort).
+  util::SimTime Clamp(util::SimTime time) const;
+
+  PeerHealth& HealthOf(bgp::Ipv4Addr peer);
+
   std::unordered_map<bgp::Ipv4Addr, bgp::AdjRibIn, bgp::Ipv4Hash> rib_;
+  std::unordered_map<bgp::Ipv4Addr, PeerHealth, bgp::Ipv4Hash> health_;
   EventStream events_;
   std::uint64_t unmatched_withdrawals_ = 0;
 };

@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "util/strings.h"
 
@@ -62,6 +63,32 @@ std::optional<EventStream> EventStream::LoadText(std::istream& is) {
     stream.Append(std::move(*event));
   }
   return stream;
+}
+
+std::vector<FeedGapWindow> FeedGapWindows(const EventStream& stream) {
+  std::vector<FeedGapWindow> windows;
+  // Index of the currently open window per peer, if any.
+  std::unordered_map<std::uint32_t, std::size_t> open;
+  for (const bgp::Event& e : stream.events()) {
+    if (e.type == bgp::EventType::kFeedGap) {
+      const auto [it, inserted] = open.try_emplace(e.peer.value(), 0);
+      if (!inserted) continue;  // already gapped; first marker wins
+      it->second = windows.size();
+      windows.push_back(FeedGapWindow{e.peer, e.time, e.time, false});
+    } else if (e.type == bgp::EventType::kResync) {
+      const auto it = open.find(e.peer.value());
+      if (it == open.end()) continue;  // resync without a gap: ignore
+      windows[it->second].end = e.time;
+      windows[it->second].closed = true;
+      open.erase(it);
+    }
+  }
+  // Unclosed gaps extend to the end of the stream.
+  for (const auto& [peer, idx] : open) {
+    windows[idx].end = stream.empty() ? windows[idx].begin
+                                      : stream.back().time;
+  }
+  return windows;
 }
 
 std::vector<Spike> DetectSpikes(const EventStream& stream,

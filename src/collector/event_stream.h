@@ -62,4 +62,18 @@ std::vector<Spike> DetectSpikes(const EventStream& stream,
                                 util::SimDuration bucket_width,
                                 double factor);
 
+// A window during which the feed from `peer` was degraded: opened by a
+// kFeedGap marker, closed by the peer's next kResync marker (or the end
+// of the stream, in which case `closed` is false).  Analysis results
+// overlapping such a window describe the collector's outage, not the
+// network, and are flagged accordingly.
+struct FeedGapWindow {
+  bgp::Ipv4Addr peer;
+  util::SimTime begin = 0;
+  util::SimTime end = 0;  // inclusive of the closing kResync marker time
+  bool closed = false;
+};
+
+std::vector<FeedGapWindow> FeedGapWindows(const EventStream& stream);
+
 }  // namespace ranomaly::collector

@@ -1,0 +1,235 @@
+#include "collector/fault.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "bgp/codec.h"
+
+namespace ranomaly::collector {
+
+FaultInjector::FaultInjector(FaultOptions options, std::uint64_t seed)
+    : options_(options), rng_(seed) {}
+
+void FaultInjector::Corrupt(std::vector<std::uint8_t>& frame) {
+  if (frame.empty()) return;
+  if (rng_.NextBool(0.5)) {
+    // Truncation.  The header's declared length now exceeds the frame, so
+    // the decoder always reports a framing error — never partial content.
+    frame.resize(static_cast<std::size_t>(rng_.NextBelow(frame.size())));
+  } else {
+    // Flip 1-4 bits inside the 16-byte marker: any flip there is a
+    // guaranteed, detectable framing error (the marker must be all-ones).
+    const std::size_t span = std::min<std::size_t>(frame.size(), 16);
+    const int flips = 1 + static_cast<int>(rng_.NextBelow(4));
+    for (int i = 0; i < flips; ++i) {
+      const std::size_t byte = static_cast<std::size_t>(rng_.NextBelow(span));
+      frame[byte] ^= static_cast<std::uint8_t>(1u << rng_.NextBelow(8));
+    }
+  }
+}
+
+std::vector<InjectedFrame> FaultInjector::Process(
+    util::SimTime now, bgp::Ipv4Addr peer, std::vector<std::uint8_t> frame) {
+  std::vector<InjectedFrame> out;
+  ++stats_.frames;
+  if (rng_.NextBool(options_.drop_probability)) {
+    ++stats_.dropped;
+    return out;
+  }
+  if (rng_.NextBool(options_.corrupt_probability)) {
+    ++stats_.corrupted;
+    Corrupt(frame);
+  }
+  if (frame.size() > 19 && rng_.NextBool(options_.payload_bitflip_probability)) {
+    // A flip past the header: may decode as treat-as-withdraw, garbage
+    // content, or even cleanly — exactly the hazard RFC 7606 addresses.
+    ++stats_.payload_flipped;
+    const std::size_t byte =
+        19 + static_cast<std::size_t>(rng_.NextBelow(frame.size() - 19));
+    frame[byte] ^= static_cast<std::uint8_t>(1u << rng_.NextBelow(8));
+  }
+  util::SimTime time = now;
+  if (options_.max_clock_skew > 0) {
+    const util::SimDuration skew =
+        rng_.NextInRange(-options_.max_clock_skew, options_.max_clock_skew);
+    if (skew != 0) ++stats_.skewed;
+    time += skew;
+  }
+
+  InjectedFrame current{time, peer, std::move(frame)};
+  if (!held_ && rng_.NextBool(options_.reorder_probability)) {
+    // Hold this frame back; it is released after the next frame passes
+    // (pairwise swap), or by Flush at end of feed.
+    ++stats_.reordered;
+    held_ = std::move(current);
+    return out;
+  }
+  if (rng_.NextBool(options_.duplicate_probability)) {
+    ++stats_.duplicated;
+    out.push_back(current);
+  }
+  out.push_back(std::move(current));
+  if (held_) {
+    out.push_back(std::move(*held_));
+    held_.reset();
+  }
+  return out;
+}
+
+std::vector<InjectedFrame> FaultInjector::Flush() {
+  std::vector<InjectedFrame> out;
+  if (held_) {
+    out.push_back(std::move(*held_));
+    held_.reset();
+  }
+  return out;
+}
+
+WireFeed::WireFeed(net::Simulator& sim, FeedSupervisor& supervisor,
+                   FaultOptions faults, std::uint64_t seed)
+    : sim_(sim),
+      supervisor_(&supervisor),
+      injector_(faults, seed),
+      keepalive_interval_(supervisor.options().hold_time / 3) {}
+
+void WireFeed::Monitor(net::RouterIndex router) {
+  const bgp::Ipv4Addr addr = sim_.topology().router(router).address;
+  monitored_.push_back(addr);
+  supervisor_->AddPeer(addr);
+  mirror_.try_emplace(addr);
+  next_keepalive_[addr] = keepalive_interval_;
+  transport_down_[addr] = false;
+  sim_.AddBestPathTap(router, [this, addr](const net::BestPathChangeView& v) {
+    OnView(addr, v);
+  });
+}
+
+void WireFeed::Attach(FeedSupervisor& supervisor, util::SimTime now) {
+  supervisor_ = &supervisor;
+  keepalive_interval_ = supervisor.options().hold_time / 3;
+  for (const bgp::Ipv4Addr peer : monitored_) {
+    supervisor_->AddPeer(peer, now);
+    next_keepalive_[peer] = now + keepalive_interval_;
+  }
+}
+
+void WireFeed::ScheduleSessionDrop(util::SimTime at, net::RouterIndex router,
+                                   util::SimDuration down_for) {
+  const bgp::Ipv4Addr addr = sim_.topology().router(router).address;
+  control_.push_back(ControlEvent{at, addr, /*up=*/false});
+  control_.push_back(ControlEvent{at + down_for, addr, /*up=*/true});
+  std::stable_sort(control_.begin() + static_cast<std::ptrdiff_t>(control_next_),
+                   control_.end(),
+                   [](const ControlEvent& a, const ControlEvent& b) {
+                     return a.time < b.time;
+                   });
+}
+
+void WireFeed::Deliver(util::SimTime now, bgp::Ipv4Addr peer,
+                       std::vector<std::uint8_t> frame) {
+  ++frames_sent_;
+  for (InjectedFrame& f : injector_.Process(now, peer, std::move(frame))) {
+    supervisor_->OnFrame(f.time, f.peer, f.frame);
+  }
+}
+
+void WireFeed::Pump(util::SimTime now) {
+  for (;;) {
+    // Earliest pending control event or keepalive due at or before `now`;
+    // monitored_ order breaks ties deterministically.
+    int kind = -1;  // 0 = control, 1 = keepalive
+    util::SimTime best = 0;
+    bgp::Ipv4Addr who;
+    if (control_next_ < control_.size() &&
+        control_[control_next_].time <= now) {
+      kind = 0;
+      best = control_[control_next_].time;
+    }
+    for (const bgp::Ipv4Addr peer : monitored_) {
+      if (transport_down_[peer]) continue;  // nothing crosses a dead TCP
+      const util::SimTime due = next_keepalive_[peer];
+      if (due <= now && (kind == -1 || due < best)) {
+        kind = 1;
+        best = due;
+        who = peer;
+      }
+    }
+    if (kind == -1) break;
+    if (kind == 0) {
+      const ControlEvent ev = control_[control_next_++];
+      transport_down_[ev.peer] = !ev.up;
+      if (ev.up) {
+        supervisor_->OnTransportUp(ev.time, ev.peer);
+        next_keepalive_[ev.peer] = ev.time + keepalive_interval_;
+      } else {
+        supervisor_->OnTransportDown(ev.time, ev.peer);
+      }
+    } else {
+      next_keepalive_[who] += keepalive_interval_;
+      Deliver(best, who, bgp::EncodeKeepalive());
+    }
+    supervisor_->OnTick(best);
+    ServeResyncs(best);
+  }
+}
+
+void WireFeed::OnView(bgp::Ipv4Addr peer, const net::BestPathChangeView& view) {
+  Pump(view.time);
+  // The mirror models the router's Adj-RIB-Out toward the collector:
+  // updated before injection, untouched by channel faults.
+  auto& mirror = mirror_[peer];
+  bgp::UpdateMessage update;
+  if (view.new_advertisable) {
+    update.attrs = view.new_best->attrs;
+    update.nlri.push_back(view.prefix);
+    mirror[view.prefix] = view.new_best->attrs;
+  } else if (mirror.erase(view.prefix) > 0) {
+    update.withdrawn.push_back(view.prefix);
+  } else {
+    return;  // never advertised to us: nothing on the wire
+  }
+  if (!transport_down_[peer]) {
+    Deliver(view.time, peer, bgp::EncodeUpdate(update));
+    // Any traffic substitutes for a keepalive (RFC 4271 pacing).
+    next_keepalive_[peer] = view.time + keepalive_interval_;
+  }
+  supervisor_->OnTick(view.time);
+  ServeResyncs(view.time);
+}
+
+void WireFeed::ServeResyncs(util::SimTime now) {
+  for (const bgp::Ipv4Addr peer : monitored_) {
+    if (!supervisor_->TakeResyncRequest(peer)) continue;
+    ++resyncs_served_;
+    // Full-table replay from the mirror, sorted for determinism.  Replay
+    // frames bypass the injector: the replay rides a fresh connection,
+    // and a clean channel here is what lets a resync actually heal.
+    const auto& mirror = mirror_[peer];
+    std::vector<std::pair<bgp::Prefix, bgp::PathAttributes>> rows(
+        mirror.begin(), mirror.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto& a, const auto& b) {
+                return a.first.addr().value() != b.first.addr().value()
+                           ? a.first.addr().value() < b.first.addr().value()
+                           : a.first.length() < b.first.length();
+              });
+    for (const auto& [prefix, attrs] : rows) {
+      bgp::UpdateMessage update;
+      update.attrs = attrs;
+      update.nlri.push_back(prefix);
+      supervisor_->OnFrame(now, peer, bgp::EncodeUpdate(update));
+    }
+    supervisor_->OnResyncComplete(now, peer);
+  }
+}
+
+void WireFeed::Finish(util::SimTime now) {
+  Pump(now);
+  for (InjectedFrame& f : injector_.Flush()) {
+    supervisor_->OnFrame(f.time, f.peer, f.frame);
+  }
+  supervisor_->OnTick(now);
+  ServeResyncs(now);
+}
+
+}  // namespace ranomaly::collector

@@ -1,0 +1,163 @@
+// Deterministic fault-injection harness for the collection layer.
+//
+// Two pieces:
+//
+//   * FaultInjector — a seeded (util::Rng) channel model applied per
+//     wire frame: truncation, bit flips, drops, duplication, pairwise
+//     reordering, and clock skew.  Same seed + same input frames ==
+//     byte-identical fault schedule, so robustness tests are exactly
+//     reproducible.
+//   * WireFeed — the adapter that turns net::Simulator best-path taps
+//     into real RFC 4271 wire frames (bgp::EncodeUpdate), pushes them
+//     through the injector into a FeedSupervisor, paces keepalives so
+//     quiet periods do not spuriously expire the hold timer, applies
+//     scheduled transport drops, and serves the supervisor's resync
+//     requests by replaying its per-peer mirror of the monitored
+//     router's advertisements.
+//
+// The mirror is updated *before* injection: it models the router's own
+// Adj-RIB-Out, which faults on the wire cannot touch.  A resync replay
+// therefore heals whatever the channel mangled — which is the property
+// the acceptance test leans on (faulty run == clean run modulo marked
+// FeedGap windows).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "collector/supervisor.h"
+#include "net/simulator.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace ranomaly::collector {
+
+struct FaultOptions {
+  // Per-frame probability of corruption.  Corruption picks (uniformly)
+  // truncation or a burst of bit flips confined to the 19-byte message
+  // header (marker/length/type) — both are detectably fatal, so the
+  // supervisor quarantines the frame rather than believing garbage.
+  double corrupt_probability = 0.0;
+  // Per-frame probability of arbitrary payload bit flips.  Unlike header
+  // corruption these may decode "successfully" with wrong content or
+  // degrade to treat-as-withdraw; use for codec robustness, not for
+  // tests that compare stream contents.
+  double payload_bitflip_probability = 0.0;
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  // Probability a frame is held back and delivered after its successor
+  // (pairwise reorder).
+  double reorder_probability = 0.0;
+  // Uniform +/- skew added to each frame's delivery timestamp.
+  util::SimDuration max_clock_skew = 0;
+};
+
+struct FaultStats {
+  std::uint64_t frames = 0;      // frames offered to the channel
+  std::uint64_t corrupted = 0;   // header corruption (truncate / flip)
+  std::uint64_t payload_flipped = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t skewed = 0;
+};
+
+// One frame as it leaves the faulty channel.
+struct InjectedFrame {
+  util::SimTime time = 0;
+  bgp::Ipv4Addr peer;
+  std::vector<std::uint8_t> frame;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultOptions options, std::uint64_t seed = 1);
+
+  // Passes one frame through the channel; returns the 0..3 frames that
+  // come out the far end (drop, duplication and the release of a
+  // previously held reordered frame change the count).
+  std::vector<InjectedFrame> Process(util::SimTime now, bgp::Ipv4Addr peer,
+                                     std::vector<std::uint8_t> frame);
+
+  // Releases any held (reordered) frame at end of feed.
+  std::vector<InjectedFrame> Flush();
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  void Corrupt(std::vector<std::uint8_t>& frame);
+
+  FaultOptions options_;
+  util::Rng rng_;
+  std::optional<InjectedFrame> held_;
+  FaultStats stats_;
+};
+
+// Connects a Simulator to a FeedSupervisor over the faulty channel.
+class WireFeed {
+ public:
+  WireFeed(net::Simulator& sim, FeedSupervisor& supervisor,
+           FaultOptions faults = {}, std::uint64_t seed = 7);
+
+  // Registers `router` with the supervisor and taps its best-path
+  // changes.  Call before Simulator::Start().
+  void Monitor(net::RouterIndex router);
+
+  // Re-points the feed at a fresh supervisor (models a collector process
+  // restart after a checkpoint restore).  Monitored peers are
+  // re-registered with sessions established at `now`; the mirror is
+  // router-side state and survives untouched.
+  void Attach(FeedSupervisor& supervisor, util::SimTime now);
+
+  // Kills the peer's transport at `at` and restores it `down_for` later
+  // (the supervisor then backs off and resyncs).  Times must be in feed
+  // order relative to the tapped events.
+  void ScheduleSessionDrop(util::SimTime at, net::RouterIndex router,
+                           util::SimDuration down_for);
+
+  // Drains scheduled transport events and keepalive pacing up to `now`,
+  // flushes any held frame, and serves outstanding resyncs.  Call after
+  // the simulator run ends.
+  void Finish(util::SimTime now);
+
+  const FaultStats& fault_stats() const { return injector_.stats(); }
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t resyncs_served() const { return resyncs_served_; }
+
+ private:
+  struct ControlEvent {
+    util::SimTime time = 0;
+    bgp::Ipv4Addr peer;
+    bool up = false;
+  };
+
+  void OnView(bgp::Ipv4Addr peer, const net::BestPathChangeView& view);
+  // Advances the feed clock to `now`: delivers due keepalives and
+  // transport events in time order, ticking the supervisor at each step.
+  void Pump(util::SimTime now);
+  void Deliver(util::SimTime now, bgp::Ipv4Addr peer,
+               std::vector<std::uint8_t> frame);
+  void ServeResyncs(util::SimTime now);
+
+  net::Simulator& sim_;
+  FeedSupervisor* supervisor_;
+  FaultInjector injector_;
+  util::SimDuration keepalive_interval_;
+  std::vector<bgp::Ipv4Addr> monitored_;
+  std::unordered_map<bgp::Ipv4Addr,
+                     std::unordered_map<bgp::Prefix, bgp::PathAttributes,
+                                        bgp::PrefixHash>,
+                     bgp::Ipv4Hash>
+      mirror_;
+  std::unordered_map<bgp::Ipv4Addr, util::SimTime, bgp::Ipv4Hash>
+      next_keepalive_;
+  std::unordered_map<bgp::Ipv4Addr, bool, bgp::Ipv4Hash> transport_down_;
+  std::vector<ControlEvent> control_;  // kept sorted by time
+  std::size_t control_next_ = 0;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t resyncs_served_ = 0;
+};
+
+}  // namespace ranomaly::collector

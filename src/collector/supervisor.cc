@@ -1,0 +1,260 @@
+#include "collector/supervisor.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace ranomaly::collector {
+
+FeedSupervisor::FeedSupervisor(Collector& collector, SupervisorOptions options,
+                               std::uint64_t seed)
+    : collector_(collector), options_(options), rng_(seed) {}
+
+FeedSupervisor::PeerState& FeedSupervisor::StateOf(bgp::Ipv4Addr peer) {
+  const auto it = peers_.find(peer);
+  if (it != peers_.end()) return it->second;
+  AddPeer(peer);
+  return peers_.at(peer);
+}
+
+void FeedSupervisor::AddPeer(bgp::Ipv4Addr peer, util::SimTime now) {
+  const auto [it, inserted] =
+      peers_.try_emplace(peer, PeerState{bgp::SessionFsm(options_.hold_time)});
+  if (!inserted) return;
+  // Bring the session up: the initial table transfer follows as the
+  // normal feed, so no resync is requested.
+  Establish(now, peer, it->second, /*request_resync=*/false);
+}
+
+void FeedSupervisor::Establish(util::SimTime now, bgp::Ipv4Addr peer,
+                               PeerState& state, bool request_resync) {
+  // The simulated handshake is instantaneous: the interesting dynamics
+  // (backoff, staleness, resync) live around it, not inside it.
+  state.fsm.OnInput(bgp::SessionInput::kManualStart, now);
+  state.fsm.OnInput(bgp::SessionInput::kTcpConnected, now);
+  state.fsm.OnInput(bgp::SessionInput::kOpenReceived, now);
+  const bgp::SessionActions actions =
+      state.fsm.OnInput(bgp::SessionInput::kKeepaliveReceived, now);
+  state.last_frame = now;
+  if (!actions.session_established) return;
+  if (request_resync) {
+    state.resync_requested = true;
+    state.resyncing = true;
+    state.unrefreshed.clear();
+    for (const auto& [prefix, attrs] : collector_.PeerRoutes(peer)) {
+      state.unrefreshed.insert(prefix);
+    }
+  }
+}
+
+void FeedSupervisor::DropFeed(util::SimTime now, bgp::Ipv4Addr peer,
+                              PeerState& state) {
+  collector_.OnMarker(now, peer, bgp::EventType::kFeedGap);
+  // Abandon any half-finished resync; the next one restarts from scratch.
+  state.resync_requested = false;
+  state.resyncing = false;
+  state.unrefreshed.clear();
+  // Bounded exponential backoff with seeded jitter.
+  const std::uint32_t shift = std::min<std::uint32_t>(state.backoff_failures,
+                                                      20);
+  util::SimDuration delay = options_.backoff_initial << shift;
+  delay = std::min(delay, options_.backoff_max);
+  const double jitter =
+      1.0 + options_.backoff_jitter * (2.0 * rng_.NextDouble() - 1.0);
+  delay = std::max<util::SimDuration>(
+      1, static_cast<util::SimDuration>(static_cast<double>(delay) * jitter));
+  state.retry_at = now + delay;
+  ++state.backoff_failures;
+  RANOMALY_LOG(util::LogLevel::kInfo,
+               util::StrPrintf("supervisor: feed gap on %s, retry in %s",
+                               peer.ToString().c_str(),
+                               util::FormatDuration(delay).c_str()));
+}
+
+void FeedSupervisor::Quarantine(util::SimTime now, bgp::Ipv4Addr peer,
+                                PeerState& state,
+                                const std::vector<std::uint8_t>& frame) {
+  ++state.decode_errors;
+  ++quarantined_total_;
+  if (quarantine_.size() >= options_.quarantine_capacity) {
+    quarantine_.pop_front();  // capped: oldest evidence ages out
+  }
+  quarantine_.push_back(QuarantinedFrame{now, peer, frame});
+}
+
+void FeedSupervisor::ApplyUpdate(util::SimTime now, bgp::Ipv4Addr peer,
+                                 PeerState& state,
+                                 const bgp::UpdateMessage& update,
+                                 bool treat_as_withdraw) {
+  for (const bgp::Prefix& prefix : update.withdrawn) {
+    if (state.resyncing) state.unrefreshed.erase(prefix);
+    collector_.OnWithdraw(now, peer, prefix);
+  }
+  if (treat_as_withdraw) {
+    // RFC 7606: announced routes with a malformed attribute set must be
+    // withdrawn, not believed and not fatal.
+    for (const bgp::Prefix& prefix : update.nlri) {
+      if (state.resyncing) state.unrefreshed.erase(prefix);
+      collector_.OnWithdraw(now, peer, prefix);
+    }
+    return;
+  }
+  if (!update.attrs) return;  // withdraw-only update
+  for (const bgp::Prefix& prefix : update.nlri) {
+    if (state.resyncing) state.unrefreshed.erase(prefix);
+    collector_.OnAnnounce(now, peer, prefix, *update.attrs);
+  }
+}
+
+void FeedSupervisor::OnFrame(util::SimTime now, bgp::Ipv4Addr peer,
+                             const std::vector<std::uint8_t>& frame) {
+  PeerState& state = StateOf(peer);
+  if (!state.transport_up ||
+      state.fsm.state() != bgp::SessionState::kEstablished) {
+    // Frames on a down session carry no usable context (we may be missing
+    // arbitrary predecessors); the resync after re-establishment heals.
+    return;
+  }
+
+  const bgp::TolerantDecodeResult decoded = bgp::DecodeMessageTolerant(frame);
+  switch (decoded.status) {
+    case bgp::DecodeStatus::kFramingError:
+      // One bad octet stream must never kill ingestion: quarantine and
+      // carry on.  Deliberately does NOT refresh the hold timer — garbage
+      // is not proof of a live peer.
+      Quarantine(now, peer, state, frame);
+      return;
+    case bgp::DecodeStatus::kAttributeError:
+      ++state.treat_as_withdraw;
+      state.last_frame = now;
+      state.fsm.OnInput(bgp::SessionInput::kUpdateReceived, now);
+      ApplyUpdate(now, peer, state, decoded.result.update,
+                  /*treat_as_withdraw=*/true);
+      return;
+    case bgp::DecodeStatus::kOk:
+      break;
+  }
+
+  state.last_frame = now;
+  switch (decoded.result.type) {
+    case bgp::MessageType::kKeepalive:
+      state.fsm.OnInput(bgp::SessionInput::kKeepaliveReceived, now);
+      break;
+    case bgp::MessageType::kOpen:
+      state.fsm.OnInput(bgp::SessionInput::kOpenReceived, now);
+      break;
+    case bgp::MessageType::kNotification: {
+      const bgp::SessionActions actions =
+          state.fsm.OnInput(bgp::SessionInput::kNotificationReceived, now);
+      if (actions.session_dropped) DropFeed(now, peer, state);
+      break;
+    }
+    case bgp::MessageType::kUpdate:
+      state.fsm.OnInput(bgp::SessionInput::kUpdateReceived, now);
+      ApplyUpdate(now, peer, state, decoded.result.update,
+                  /*treat_as_withdraw=*/false);
+      break;
+  }
+}
+
+void FeedSupervisor::OnTick(util::SimTime now) {
+  for (auto& [peer, state] : peers_) {
+    // Hold-timer expiry (RFC 4271) and the stricter silent-gap check.
+    if (state.fsm.HoldTimerExpired(now)) {
+      const bgp::SessionActions actions =
+          state.fsm.OnInput(bgp::SessionInput::kHoldTimerExpired, now);
+      if (actions.session_dropped) DropFeed(now, peer, state);
+    } else if (options_.silent_gap > 0 &&
+               state.fsm.state() == bgp::SessionState::kEstablished &&
+               now - state.last_frame > options_.silent_gap) {
+      const bgp::SessionActions actions =
+          state.fsm.OnInput(bgp::SessionInput::kManualStop, now);
+      if (actions.session_dropped) DropFeed(now, peer, state);
+    }
+    // Reconnect once the transport is back and the backoff has elapsed.
+    if (state.fsm.state() == bgp::SessionState::kIdle && state.transport_up &&
+        collector_.IsPeerStale(peer) && now >= state.retry_at) {
+      Establish(now, peer, state, /*request_resync=*/true);
+    }
+  }
+}
+
+void FeedSupervisor::OnTransportDown(util::SimTime now, bgp::Ipv4Addr peer) {
+  PeerState& state = StateOf(peer);
+  state.transport_up = false;
+  const bgp::SessionActions actions =
+      state.fsm.OnInput(bgp::SessionInput::kTcpFailed, now);
+  if (actions.session_dropped) DropFeed(now, peer, state);
+}
+
+void FeedSupervisor::OnTransportUp(util::SimTime now, bgp::Ipv4Addr peer) {
+  PeerState& state = StateOf(peer);
+  state.transport_up = true;
+  // Reconnection happens on the next tick at `retry_at`; coming back up
+  // does not skip the backoff (flapping transport must not hammer).
+  state.retry_at = std::max(state.retry_at, now);
+}
+
+bool FeedSupervisor::TakeResyncRequest(bgp::Ipv4Addr peer) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end() || !it->second.resync_requested) return false;
+  it->second.resync_requested = false;
+  return true;
+}
+
+void FeedSupervisor::OnResyncComplete(util::SimTime now, bgp::Ipv4Addr peer) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end() || !it->second.resyncing) return;
+  PeerState& state = it->second;
+  // Routes the replay did not refresh disappeared during the outage:
+  // withdraw them honestly (inside the gap window, before the kResync
+  // marker closes it).
+  std::vector<bgp::Prefix> swept(state.unrefreshed.begin(),
+                                 state.unrefreshed.end());
+  std::sort(swept.begin(), swept.end(), [](const bgp::Prefix& a,
+                                           const bgp::Prefix& b) {
+    return a.addr().value() != b.addr().value()
+               ? a.addr().value() < b.addr().value()
+               : a.length() < b.length();
+  });
+  for (const bgp::Prefix& prefix : swept) {
+    collector_.OnWithdraw(now, peer, prefix);
+  }
+  state.unrefreshed.clear();
+  state.resyncing = false;
+  state.backoff_failures = 0;  // healthy again
+  collector_.OnMarker(now, peer, bgp::EventType::kResync);
+}
+
+bool FeedSupervisor::IsEstablished(bgp::Ipv4Addr peer) const {
+  const auto it = peers_.find(peer);
+  return it != peers_.end() &&
+         it->second.fsm.state() == bgp::SessionState::kEstablished;
+}
+
+const bgp::SessionFsm* FeedSupervisor::Session(bgp::Ipv4Addr peer) const {
+  const auto it = peers_.find(peer);
+  return it == peers_.end() ? nullptr : &it->second.fsm;
+}
+
+util::SimTime FeedSupervisor::RetryAt(bgp::Ipv4Addr peer) const {
+  const auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.retry_at;
+}
+
+CollectorHealth FeedSupervisor::Health() const {
+  CollectorHealth health = collector_.Health();
+  health.quarantine_depth = quarantine_.size();
+  health.quarantined_total = quarantined_total_;
+  for (const auto& [peer, state] : peers_) {
+    PeerHealth& ph = health.peers[peer];  // creates if collector never saw it
+    ph.decode_errors = state.decode_errors;
+    ph.treat_as_withdraw = state.treat_as_withdraw;
+    health.decode_errors += state.decode_errors;
+    health.treat_as_withdraw += state.treat_as_withdraw;
+  }
+  return health;
+}
+
+}  // namespace ranomaly::collector

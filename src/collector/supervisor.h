@@ -1,0 +1,148 @@
+// Session-aware feed supervision: the fault-tolerance layer between the
+// raw wire and the Collector.
+//
+// The paper's premise is *passive, always-on* collection; a collector
+// that dies on the first bad octet, or silently keeps a stale table
+// across a session reset, poisons everything downstream (TAMP pictures
+// of routes that no longer exist, Stemming windows that "explain" the
+// collector's own outage).  The FeedSupervisor owns one bgp::SessionFsm
+// per monitored peer and guarantees a degraded-but-honest stream:
+//
+//   * Wire frames go through bgp::DecodeMessageTolerant.  Undecodable
+//     frames are quarantined into a capped ring buffer (never fatal);
+//     recoverably malformed attribute sets are downgraded to
+//     treat-as-withdraw per RFC 7606.
+//   * Hold-timer expiry and silent feed gaps drop the session honestly:
+//     the peer's routes stay warm but are marked stale, and an explicit
+//     kFeedGap marker enters the event stream.
+//   * Re-establishment uses bounded exponential backoff with seeded
+//     jitter (util::Rng), then resynchronizes: the feed driver replays
+//     the peer's table, routes not refreshed are swept as withdrawn, and
+//     a kResync marker closes the gap window.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bgp/codec.h"
+#include "bgp/session.h"
+#include "collector/collector.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace ranomaly::collector {
+
+struct SupervisorOptions {
+  // BGP hold time for every supervised session.
+  util::SimDuration hold_time = 90 * util::kSecond;
+  // A peer silent for this long while Established is treated as a feed
+  // gap even before the hold timer fires (a wedged TCP session can stay
+  // "up" while delivering nothing).  0 disables the check.
+  util::SimDuration silent_gap = 0;
+  // Reconnect backoff: initial delay, doubling per consecutive failure,
+  // capped, with +/- `backoff_jitter` fractional seeded jitter so a fleet
+  // of collectors does not reconnect in lockstep.
+  util::SimDuration backoff_initial = util::kSecond;
+  util::SimDuration backoff_max = 64 * util::kSecond;
+  double backoff_jitter = 0.25;
+  // Ring-buffer capacity for quarantined (undecodable) frames.
+  std::size_t quarantine_capacity = 64;
+};
+
+// One undecodable frame, kept for post-mortem debugging.
+struct QuarantinedFrame {
+  util::SimTime time = 0;
+  bgp::Ipv4Addr peer;
+  std::vector<std::uint8_t> frame;
+};
+
+class FeedSupervisor {
+ public:
+  FeedSupervisor(Collector& collector, SupervisorOptions options = {},
+                 std::uint64_t seed = 1);
+
+  // Registers a peer and brings its session up at `now` (the initial
+  // table transfer is the normal feed start, not a resync).
+  void AddPeer(bgp::Ipv4Addr peer, util::SimTime now = 0);
+
+  // One framed BGP message from `peer`.  Never throws on malformed
+  // input; the worst case is a quarantined frame.
+  void OnFrame(util::SimTime now, bgp::Ipv4Addr peer,
+               const std::vector<std::uint8_t>& frame);
+
+  // Clock tick: detects hold-timer expiry and silent gaps, and
+  // re-establishes dropped sessions whose backoff has elapsed.  Call
+  // this at least once per delivered frame (and after the feed ends).
+  void OnTick(util::SimTime now);
+
+  // Transport-level signals (TCP reset / interface down and up).
+  void OnTransportDown(util::SimTime now, bgp::Ipv4Addr peer);
+  void OnTransportUp(util::SimTime now, bgp::Ipv4Addr peer);
+
+  // Resync protocol.  After a session re-establishes, the supervisor
+  // requests a full-table replay from the feed driver: TakeResyncRequest
+  // returns true exactly once per re-establishment.  The driver replays
+  // the peer's table as ordinary announcement frames and then calls
+  // OnResyncComplete; routes that were not refreshed are swept
+  // (withdrawn) as having disappeared during the outage, and the
+  // kResync marker closes the gap window.
+  bool TakeResyncRequest(bgp::Ipv4Addr peer);
+  void OnResyncComplete(util::SimTime now, bgp::Ipv4Addr peer);
+
+  bool IsEstablished(bgp::Ipv4Addr peer) const;
+  // The session FSM for `peer` (nullptr if unknown); for diagnostics.
+  const bgp::SessionFsm* Session(bgp::Ipv4Addr peer) const;
+  // When a dropped peer will next attempt to re-establish.
+  util::SimTime RetryAt(bgp::Ipv4Addr peer) const;
+
+  const std::deque<QuarantinedFrame>& quarantine() const {
+    return quarantine_;
+  }
+
+  // Collector health extended with quarantine depth and per-peer decode
+  // counters (the full CollectorHealth picture).
+  CollectorHealth Health() const;
+
+  const SupervisorOptions& options() const { return options_; }
+
+  const Collector& collector() const { return collector_; }
+
+ private:
+  struct PeerState {
+    bgp::SessionFsm fsm;
+    bool transport_up = true;
+    util::SimTime retry_at = 0;
+    std::uint32_t backoff_failures = 0;  // consecutive, resets on resync
+    bool resync_requested = false;
+    bool resyncing = false;
+    // Prefixes held before the outage and not yet refreshed by replay.
+    std::unordered_set<bgp::Prefix, bgp::PrefixHash> unrefreshed;
+    std::uint64_t decode_errors = 0;
+    std::uint64_t treat_as_withdraw = 0;
+    util::SimTime last_frame = 0;
+  };
+
+  PeerState& StateOf(bgp::Ipv4Addr peer);
+  // Runs the (instantaneous, simulated) handshake to Established.
+  void Establish(util::SimTime now, bgp::Ipv4Addr peer, PeerState& state,
+                 bool request_resync);
+  // Session lost: emit the kFeedGap marker, keep routes warm but stale,
+  // and schedule the next reconnect attempt with backoff + jitter.
+  void DropFeed(util::SimTime now, bgp::Ipv4Addr peer, PeerState& state);
+  void ApplyUpdate(util::SimTime now, bgp::Ipv4Addr peer, PeerState& state,
+                   const bgp::UpdateMessage& update, bool treat_as_withdraw);
+  void Quarantine(util::SimTime now, bgp::Ipv4Addr peer, PeerState& state,
+                  const std::vector<std::uint8_t>& frame);
+
+  Collector& collector_;
+  SupervisorOptions options_;
+  util::Rng rng_;
+  std::unordered_map<bgp::Ipv4Addr, PeerState, bgp::Ipv4Hash> peers_;
+  std::deque<QuarantinedFrame> quarantine_;
+  std::uint64_t quarantined_total_ = 0;
+};
+
+}  // namespace ranomaly::collector

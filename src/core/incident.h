@@ -54,6 +54,11 @@ struct Incident {
   IncidentEvidence evidence;
   stemming::Component component;  // raw component (indices into the window)
   std::string summary;          // one-line operator text
+  // True if the incident's time span overlaps a FeedGap window: the feed
+  // itself was degraded there, so the incident may describe the
+  // collector's outage rather than the network (see
+  // collector::FeedGapWindows).
+  bool feed_degraded = false;
 };
 
 }  // namespace ranomaly::core

@@ -185,6 +185,18 @@ Incident Pipeline::MakeIncident(std::span<const bgp::Event> events,
 std::vector<Incident> Pipeline::AnalyzeWindow(
     std::span<const bgp::Event> events) const {
   std::vector<Incident> incidents;
+  // Collection-layer markers are not routing events; stem over the routing
+  // events only.  (Component indices then refer to the filtered window.)
+  if (std::any_of(events.begin(), events.end(), [](const bgp::Event& e) {
+        return bgp::IsMarker(e.type);
+      })) {
+    std::vector<bgp::Event> routing;
+    routing.reserve(events.size());
+    for (const bgp::Event& e : events) {
+      if (!bgp::IsMarker(e.type)) routing.push_back(e);
+    }
+    return AnalyzeWindow(routing);
+  }
   if (events.empty()) return incidents;
   const stemming::StemmingResult result =
       stemming::Stem(events, options_.stemming);
@@ -257,6 +269,20 @@ std::vector<Incident> Pipeline::Analyze(
             [](const Incident& a, const Incident& b) {
               return a.event_count > b.event_count;
             });
+
+  // Flag incidents overlapping a degraded-feed window: their evidence may
+  // reflect the collector's outage (stale-sweep withdrawals, resync
+  // re-announcements) rather than the network.
+  const auto gaps = collector::FeedGapWindows(stream);
+  for (Incident& inc : unique) {
+    for (const collector::FeedGapWindow& gap : gaps) {
+      if (inc.begin <= gap.end && gap.begin <= inc.end) {
+        inc.feed_degraded = true;
+        inc.summary += " [feed-degraded]";
+        break;
+      }
+    }
+  }
   return unique;
 }
 

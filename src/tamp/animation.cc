@@ -62,6 +62,7 @@ void Animator::TouchEdges(const std::vector<NodeId>& nodes,
 }
 
 void Animator::ApplyEvent(const bgp::Event& event) {
+  if (bgp::IsMarker(event.type)) return;  // no route content to map
   const PeerPrefixKey key{event.peer, event.prefix};
 
   // Collect the union of old+new path edges and their weights before.

@@ -1,0 +1,41 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace ranomaly::util {
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xedb88320u;  // reflected 0x04c11db7
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (kPolynomial ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+void Crc32Accumulator::Update(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = kTable[(c ^ bytes[i]) & 0xff] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  Crc32Accumulator acc;
+  acc.Update(data, size);
+  return acc.value();
+}
+
+}  // namespace ranomaly::util

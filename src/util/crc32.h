@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/PNG variant).
+//
+// Used to validate checkpoint files: a restore from a torn or bit-rotted
+// snapshot must fail loudly rather than resume from a silently corrupt
+// RIB.  Not cryptographic — it detects accidents, not adversaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ranomaly::util {
+
+// One-shot CRC over a buffer.
+std::uint32_t Crc32(const void* data, std::size_t size);
+
+// Incremental interface: feed chunks, then value().
+class Crc32Accumulator {
+ public:
+  void Update(const void* data, std::size_t size);
+  std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace ranomaly::util

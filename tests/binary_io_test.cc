@@ -125,6 +125,94 @@ TEST(BinaryIoTest, LargeGeneratedStreamRoundTripsAndIsCompact) {
             stream[stream.size() - 1].attrs);
 }
 
+TEST(BinaryIoTest, MarkerEventsRoundTrip) {
+  EventStream stream;
+  Event gap;
+  gap.time = 1'000'000;
+  gap.peer = Ipv4Addr(128, 32, 1, 3);
+  gap.type = EventType::kFeedGap;
+  stream.Append(gap);
+  Event sync = gap;
+  sync.time = 5'000'000;
+  sync.type = EventType::kResync;
+  stream.Append(sync);
+
+  std::stringstream binary;
+  ASSERT_TRUE(SaveBinary(stream, binary));
+  const auto loaded = LoadBinary(binary);
+  ASSERT_TRUE(loaded);
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].type, EventType::kFeedGap);
+  EXPECT_EQ((*loaded)[1].type, EventType::kResync);
+  EXPECT_EQ((*loaded)[1].peer, gap.peer);
+
+  // The text format round-trips the same markers as GAP/SYNC lines.
+  std::stringstream text;
+  stream.SaveText(text);
+  EXPECT_NE(text.str().find("GAP"), std::string::npos);
+  const auto from_text = EventStream::LoadText(text);
+  ASSERT_TRUE(from_text);
+  ASSERT_EQ(from_text->size(), 2u);
+  EXPECT_EQ((*from_text)[0].type, EventType::kFeedGap);
+  EXPECT_EQ((*from_text)[1].type, EventType::kResync);
+}
+
+TEST(BinaryIoTest, DiagnosticsReportBadEnumWithLocation) {
+  const EventStream stream = SampleStream();
+  std::stringstream ss;
+  ASSERT_TRUE(SaveBinary(stream, ss));
+  std::string data = ss.str();
+  // Event type byte is at offset 4 (magic) + 8 (count) + 8 (time) + 4 (peer);
+  // the loader detects it after consuming the fixed 18-byte field group.
+  data[4 + 8 + 8 + 4] = 9;
+  std::stringstream corrupted(data);
+  LoadDiagnostics diag;
+  EXPECT_FALSE(LoadBinary(corrupted, diag));
+  EXPECT_EQ(diag.error, LoadError::kBadEnum);
+  EXPECT_EQ(diag.event_index, 0u);
+  EXPECT_EQ(diag.byte_offset, 4u + 8u + 18u);
+  EXPECT_NE(diag.ToString().find("bad enum"), std::string::npos);
+  EXPECT_NE(diag.ToString().find("byte 30"), std::string::npos);
+}
+
+TEST(BinaryIoTest, DiagnosticsReportTruncationInSecondEvent) {
+  const EventStream stream = SampleStream();
+  std::stringstream ss;
+  ASSERT_TRUE(SaveBinary(stream, ss));
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() - 4));
+  LoadDiagnostics diag;
+  EXPECT_FALSE(LoadBinary(truncated, diag));
+  EXPECT_EQ(diag.error, LoadError::kTruncated);
+  EXPECT_EQ(diag.event_index, 1u);
+  EXPECT_GT(diag.byte_offset, 30u);
+}
+
+TEST(BinaryIoTest, DiagnosticsReportOutOfOrder) {
+  const EventStream stream = SampleStream();
+  std::stringstream ss;
+  ASSERT_TRUE(SaveBinary(stream, ss));
+  std::string data = ss.str();
+  // Inflate the first event's timestamp (little-endian i64 at offset 12)
+  // so the second event regresses.
+  data[17] = 0x40;
+  std::stringstream corrupted(data);
+  LoadDiagnostics diag;
+  EXPECT_FALSE(LoadBinary(corrupted, diag));
+  EXPECT_EQ(diag.error, LoadError::kOutOfOrder);
+  EXPECT_EQ(diag.event_index, 1u);
+}
+
+TEST(BinaryIoTest, DiagnosticsCleanOnSuccess) {
+  const EventStream stream = SampleStream();
+  std::stringstream ss;
+  ASSERT_TRUE(SaveBinary(stream, ss));
+  LoadDiagnostics diag;
+  diag.error = LoadError::kBadMagic;  // stale value must be overwritten
+  EXPECT_TRUE(LoadBinary(ss, diag));
+  EXPECT_EQ(diag.error, LoadError::kNone);
+}
+
 TEST(BinaryIoTest, FuzzNeverCrashes) {
   util::Rng rng(99);
   for (int round = 0; round < 500; ++round) {

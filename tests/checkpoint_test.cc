@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "collector/checkpoint.h"
+#include "util/rng.h"
+
+namespace ranomaly::collector {
+namespace {
+
+namespace fs = std::filesystem;
+using bgp::AsPath;
+using bgp::EventType;
+using bgp::Ipv4Addr;
+using bgp::PathAttributes;
+using bgp::Prefix;
+using util::kSecond;
+
+const Ipv4Addr kPeerA(128, 32, 1, 3);
+const Ipv4Addr kPeerB(128, 32, 1, 200);
+
+PathAttributes Attrs(AsPath path) {
+  PathAttributes a;
+  a.nexthop = Ipv4Addr(128, 32, 0, 66);
+  a.as_path = std::move(path);
+  a.local_pref = 80;
+  a.communities.Add(bgp::Community(11423, 65350));
+  return a;
+}
+
+// A collector with two peers, several routes, and one open feed gap.
+Collector PopulatedCollector() {
+  Collector collector;
+  collector.OnAnnounce(kSecond, kPeerA, *Prefix::Parse("192.96.10.0/24"),
+                       Attrs({11423, 209}));
+  collector.OnAnnounce(2 * kSecond, kPeerA, *Prefix::Parse("62.80.64.0/20"),
+                       Attrs({11423, 701, 3561}));
+  collector.OnAnnounce(3 * kSecond, kPeerB, *Prefix::Parse("10.1.0.0/16"),
+                       Attrs({11423, 2152}));
+  collector.OnMarker(4 * kSecond, kPeerB, EventType::kFeedGap);  // B stale
+  return collector;
+}
+
+TEST(CheckpointTest, SnapshotCapturesTablesAndStaleness) {
+  const Collector collector = PopulatedCollector();
+  const Checkpoint cp =
+      SnapshotCollector(collector, 5 * kSecond, collector.events().size());
+  EXPECT_EQ(cp.time, 5 * kSecond);
+  EXPECT_EQ(cp.event_offset, 4u);
+  EXPECT_EQ(cp.RouteCount(), 3u);
+  ASSERT_EQ(cp.peers.size(), 2u);
+  // Sorted by peer address: .3 before .200.
+  EXPECT_EQ(cp.peers[0].peer, kPeerA);
+  EXPECT_FALSE(cp.peers[0].stale);
+  EXPECT_EQ(cp.peers[0].routes.size(), 2u);
+  EXPECT_EQ(cp.peers[1].peer, kPeerB);
+  EXPECT_TRUE(cp.peers[1].stale);
+}
+
+TEST(CheckpointTest, StreamRoundTripPreservesEverything) {
+  const Collector collector = PopulatedCollector();
+  const Checkpoint cp = SnapshotCollector(collector, 5 * kSecond, 4);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveCheckpoint(cp, ss));
+  const auto loaded = LoadCheckpoint(ss);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->time, cp.time);
+  EXPECT_EQ(loaded->event_offset, cp.event_offset);
+  ASSERT_EQ(loaded->peers.size(), cp.peers.size());
+  for (std::size_t i = 0; i < cp.peers.size(); ++i) {
+    EXPECT_EQ(loaded->peers[i].peer, cp.peers[i].peer);
+    EXPECT_EQ(loaded->peers[i].stale, cp.peers[i].stale);
+    ASSERT_EQ(loaded->peers[i].routes.size(), cp.peers[i].routes.size());
+    for (std::size_t r = 0; r < cp.peers[i].routes.size(); ++r) {
+      EXPECT_EQ(loaded->peers[i].routes[r].first, cp.peers[i].routes[r].first);
+      EXPECT_EQ(loaded->peers[i].routes[r].second,
+                cp.peers[i].routes[r].second);
+    }
+  }
+}
+
+TEST(CheckpointTest, SnapshotsAreByteIdentical) {
+  // Route iteration order must not leak into the file (rename-safe
+  // dedup, reproducible fault runs): same state => same bytes.
+  const Collector a = PopulatedCollector();
+  const Collector b = PopulatedCollector();
+  std::stringstream sa, sb;
+  ASSERT_TRUE(SaveCheckpoint(SnapshotCollector(a, kSecond, 4), sa));
+  ASSERT_TRUE(SaveCheckpoint(SnapshotCollector(b, kSecond, 4), sb));
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST(CheckpointTest, RestoreWarmStartsWithoutEventsAndKeepsStaleHonest) {
+  const Collector source = PopulatedCollector();
+  const Checkpoint cp = SnapshotCollector(source, 5 * kSecond, 4);
+
+  Collector restored;
+  RestoreCollector(cp, restored);
+  EXPECT_EQ(restored.RouteCount(), 3u);
+  EXPECT_EQ(restored.PeerRoutes(kPeerA).size(), 2u);
+  EXPECT_EQ(restored.PeerRoutes(kPeerB).size(), 1u);
+  EXPECT_FALSE(restored.IsPeerStale(kPeerA));
+  // The gap that was open at snapshot time survives the restart: the
+  // restored collector re-marks the peer stale with a kFeedGap marker.
+  EXPECT_TRUE(restored.IsPeerStale(kPeerB));
+  ASSERT_EQ(restored.events().size(), 1u);
+  EXPECT_EQ(restored.events()[0].type, EventType::kFeedGap);
+  EXPECT_EQ(restored.events()[0].peer, kPeerB);
+  EXPECT_EQ(restored.events()[0].time, cp.time);
+}
+
+std::string Serialized() {
+  const Collector collector = PopulatedCollector();
+  std::stringstream ss;
+  SaveCheckpoint(SnapshotCollector(collector, 5 * kSecond, 4), ss);
+  return ss.str();
+}
+
+TEST(CheckpointTest, RejectsBadMagic) {
+  std::string data = Serialized();
+  data[0] = 'X';
+  std::stringstream ss(data);
+  LoadDiagnostics diag;
+  EXPECT_FALSE(LoadCheckpoint(ss, &diag));
+  EXPECT_EQ(diag.error, LoadError::kBadMagic);
+}
+
+TEST(CheckpointTest, RejectsUnknownVersion) {
+  std::string data = Serialized();
+  data[4] = 2;  // u32 version immediately after the magic
+  std::stringstream ss(data);
+  LoadDiagnostics diag;
+  EXPECT_FALSE(LoadCheckpoint(ss, &diag));
+  EXPECT_EQ(diag.error, LoadError::kBadVersion);
+}
+
+TEST(CheckpointTest, DetectsPayloadCorruptionViaCrc) {
+  std::string data = Serialized();
+  // Flip one bit in the middle of the payload; the structure may still
+  // parse, so only the checksum catches it.
+  data[data.size() / 2] ^= 0x01;
+  std::stringstream ss(data);
+  LoadDiagnostics diag;
+  EXPECT_FALSE(LoadCheckpoint(ss, &diag));
+  EXPECT_EQ(diag.error, LoadError::kBadChecksum);
+  EXPECT_NE(diag.ToString().find("checksum"), std::string::npos)
+      << diag.ToString();
+}
+
+TEST(CheckpointTest, DetectsTornWriteViaTruncation) {
+  const std::string full = Serialized();
+  // Every truncation point must fail loudly (torn write / partial copy).
+  for (std::size_t cut = 0; cut < full.size(); cut += 5) {
+    std::stringstream ss(full.substr(0, cut));
+    LoadDiagnostics diag;
+    EXPECT_FALSE(LoadCheckpoint(ss, &diag)) << "cut=" << cut;
+    EXPECT_NE(diag.error, LoadError::kNone) << "cut=" << cut;
+  }
+}
+
+TEST(CheckpointTest, FuzzNeverCrashesOrOverAllocates) {
+  util::Rng rng(4242);
+  const std::string valid = Serialized();
+  for (int round = 0; round < 500; ++round) {
+    std::string junk = valid;
+    const std::size_t flips = 1 + rng.NextBelow(8);
+    for (std::size_t k = 0; k < flips; ++k) {
+      junk[rng.NextBelow(junk.size())] ^=
+          static_cast<char>(1 << rng.NextBelow(8));
+    }
+    if (rng.NextBool(0.3)) junk.resize(rng.NextBelow(junk.size() + 1));
+    std::stringstream ss(junk);
+    LoadCheckpoint(ss);  // must not crash; huge sizes must not OOM
+  }
+  SUCCEED();
+}
+
+class CheckpointFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ranomaly_ckpt_" + std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  fs::path dir_;
+};
+
+TEST_F(CheckpointFileTest, AtomicOverwriteLeavesNoTemporary) {
+  const Collector collector = PopulatedCollector();
+  const std::string path = Path("rib.ckpt");
+  ASSERT_TRUE(
+      WriteCheckpointFile(SnapshotCollector(collector, kSecond, 1), path));
+  // Overwrite with a later snapshot; the reader must see the new one and
+  // the temporary sibling must be gone.
+  ASSERT_TRUE(
+      WriteCheckpointFile(SnapshotCollector(collector, 9 * kSecond, 4), path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  const auto loaded = ReadCheckpointFile(path);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->time, 9 * kSecond);
+  EXPECT_EQ(loaded->event_offset, 4u);
+}
+
+TEST_F(CheckpointFileTest, MissingFileIsNullopt) {
+  LoadDiagnostics diag;
+  EXPECT_FALSE(ReadCheckpointFile(Path("absent.ckpt"), &diag));
+}
+
+TEST_F(CheckpointFileTest, CorruptFileRefusedWithDiagnostics) {
+  const Collector collector = PopulatedCollector();
+  const std::string path = Path("rib.ckpt");
+  ASSERT_TRUE(
+      WriteCheckpointFile(SnapshotCollector(collector, kSecond, 4), path));
+  // Flip a payload byte on disk.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(24);
+  char byte = 0;
+  f.read(&byte, 1);
+  f.seekp(24);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.write(&byte, 1);
+  f.close();
+
+  LoadDiagnostics diag;
+  EXPECT_FALSE(ReadCheckpointFile(path, &diag));
+  EXPECT_NE(diag.error, LoadError::kNone);
+}
+
+}  // namespace
+}  // namespace ranomaly::collector

@@ -195,6 +195,63 @@ TEST_F(CliTest, StatsCountsPerPeer) {
   EXPECT_NE(output.find("10.0.0.1"), std::string::npos);
 }
 
+TEST_F(CliTest, StatsShowsMarkersAndFeedGaps) {
+  collector::EventStream stream;
+  const bgp::Ipv4Addr peer(10, 0, 0, 1);
+  auto announce = [&](util::SimTime t) {
+    bgp::Event e;
+    e.time = t;
+    e.peer = peer;
+    e.type = bgp::EventType::kAnnounce;
+    e.prefix = *bgp::Prefix::Parse("192.0.2.0/24");
+    e.attrs.nexthop = bgp::Ipv4Addr(10, 1, 0, 1);
+    e.attrs.as_path = bgp::AsPath{100, 200};
+    stream.Append(e);
+  };
+  auto marker = [&](util::SimTime t, bgp::EventType type) {
+    bgp::Event e;
+    e.time = t;
+    e.peer = peer;
+    e.type = type;
+    stream.Append(e);
+  };
+  announce(0);
+  marker(kMinute, bgp::EventType::kFeedGap);
+  marker(2 * kMinute, bgp::EventType::kResync);
+  announce(3 * kMinute);
+  marker(4 * kMinute, bgp::EventType::kFeedGap);  // never resynced
+
+  const std::string path = Path("gaps.events");
+  std::ofstream file(path);
+  stream.SaveText(file);
+  file.close();
+
+  EXPECT_EQ(Run({"stats", path}), 0);
+  const std::string output = out_.str();
+  EXPECT_NE(output.find("markers:   3"), std::string::npos) << output;
+  EXPECT_NE(output.find("M=3"), std::string::npos) << output;
+  EXPECT_NE(output.find("feed gaps: 2"), std::string::npos) << output;
+  EXPECT_NE(output.find("(never resynced)"), std::string::npos) << output;
+}
+
+TEST_F(CliTest, BinaryParseErrorReportsLocation) {
+  // RNE1 magic followed by a count and a truncated record: the CLI should
+  // surface the loader's diagnostic (reason + byte offset), not just fail.
+  const std::string path = Path("corrupt.bin");
+  std::ofstream file(path, std::ios::binary);
+  file.write("RNE1", 4);
+  const std::uint64_t count = 5;
+  file.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  file.write("\x01\x02\x03", 3);
+  file.close();
+
+  EXPECT_EQ(Run({"stats", path}), 1);
+  const std::string error = err_.str();
+  EXPECT_NE(error.find("parse error"), std::string::npos) << error;
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  EXPECT_NE(error.find("at byte"), std::string::npos) << error;
+}
+
 TEST_F(CliTest, MissingOptionValueIsUsageError) {
   EXPECT_EQ(Run({"picture", "x", "--out"}), 2);
   EXPECT_NE(err_.str().find("missing value"), std::string::npos);

@@ -111,6 +111,86 @@ TEST(CodecTest, FuzzDecodeNeverCrashes) {
   SUCCEED();
 }
 
+// Hand-assembles an UPDATE whose framing is valid but whose attribute
+// block is whatever the test says (for RFC 7606 downgrade cases).
+std::vector<std::uint8_t> RawUpdate(const std::vector<std::uint8_t>& attrs,
+                                    const std::vector<std::uint8_t>& nlri) {
+  std::vector<std::uint8_t> wire(16, 0xff);  // marker
+  const std::size_t length = 19 + 2 + 2 + attrs.size() + nlri.size();
+  wire.push_back(static_cast<std::uint8_t>(length >> 8));
+  wire.push_back(static_cast<std::uint8_t>(length & 0xff));
+  wire.push_back(2);  // type = UPDATE
+  wire.push_back(0);  // withdrawn routes length = 0
+  wire.push_back(0);
+  wire.push_back(static_cast<std::uint8_t>(attrs.size() >> 8));
+  wire.push_back(static_cast<std::uint8_t>(attrs.size() & 0xff));
+  wire.insert(wire.end(), attrs.begin(), attrs.end());
+  wire.insert(wire.end(), nlri.begin(), nlri.end());
+  return wire;
+}
+
+TEST(CodecTest, TolerantDecodeDowngradesMalformedAttributes) {
+  // Attribute block truncated mid-attribute; NLRI intact.  RFC 7606:
+  // salvage the NLRI as treat-as-withdraw instead of killing the session.
+  const auto wire = RawUpdate({0x40, 0x01}, {24, 192, 96, 10});
+  EXPECT_FALSE(DecodeMessage(wire));
+  const TolerantDecodeResult tolerant = DecodeMessageTolerant(wire);
+  ASSERT_EQ(tolerant.status, DecodeStatus::kAttributeError);
+  EXPECT_FALSE(tolerant.result.update.attrs);
+  ASSERT_EQ(tolerant.result.update.nlri.size(), 1u);
+  EXPECT_EQ(tolerant.result.update.nlri[0], *Prefix::Parse("192.96.10.0/24"));
+  EXPECT_EQ(tolerant.result.bytes_consumed, wire.size());
+}
+
+TEST(CodecTest, TolerantDecodeMissingNexthopIsAttributeError) {
+  // Well-formed attributes but no NEXT_HOP while NLRI is present: the
+  // routes are unusable and must be treated as withdrawn.
+  // ORIGIN (flags 0x40, type 1, len 1, IGP) + AS_PATH (0x40, 2, len 0).
+  const auto wire =
+      RawUpdate({0x40, 0x01, 0x01, 0x00, 0x40, 0x02, 0x00}, {8, 10});
+  const TolerantDecodeResult tolerant = DecodeMessageTolerant(wire);
+  ASSERT_EQ(tolerant.status, DecodeStatus::kAttributeError);
+  ASSERT_EQ(tolerant.result.update.nlri.size(), 1u);
+  EXPECT_EQ(tolerant.result.update.nlri[0], *Prefix::Parse("10.0.0.0/8"));
+}
+
+TEST(CodecTest, TolerantDecodeFramingErrors) {
+  auto marker = EncodeUpdate(SampleUpdate());
+  marker[5] ^= 0x10;
+  EXPECT_EQ(DecodeMessageTolerant(marker).status, DecodeStatus::kFramingError);
+  auto cut = EncodeUpdate(SampleUpdate());
+  cut.resize(cut.size() - 3);
+  EXPECT_EQ(DecodeMessageTolerant(cut).status, DecodeStatus::kFramingError);
+  EXPECT_EQ(DecodeMessageTolerant(EncodeKeepalive()).status, DecodeStatus::kOk);
+}
+
+// Satellite (ISSUE 1): seeded truncations and bit flips over valid
+// UPDATEs must never crash, over-read, or report bytes_consumed past the
+// buffer — in either decoder.
+TEST(CodecTest, DeterministicCorruptionNeverOverReads) {
+  util::Rng rng(20260806);
+  const auto base = EncodeUpdate(SampleUpdate());
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<std::uint8_t> wire = base;
+    if (rng.NextBool(0.5)) {
+      wire.resize(rng.NextBelow(wire.size() + 1));  // truncate (maybe to 0)
+    }
+    const std::size_t flips = rng.NextBelow(4);
+    for (std::size_t k = 0; k < flips && !wire.empty(); ++k) {
+      wire[rng.NextBelow(wire.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.NextBelow(8));
+    }
+    const auto strict = DecodeMessage(wire);
+    if (strict) {
+      EXPECT_LE(strict->bytes_consumed, wire.size());
+    }
+    const TolerantDecodeResult tolerant = DecodeMessageTolerant(wire);
+    if (tolerant.status != DecodeStatus::kFramingError) {
+      EXPECT_LE(tolerant.result.bytes_consumed, wire.size());
+    }
+  }
+}
+
 // Property: random well-formed updates round-trip exactly.
 TEST(CodecTest, RandomRoundTrip) {
   util::Rng rng(99);

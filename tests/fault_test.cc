@@ -1,0 +1,247 @@
+// ISSUE 1 acceptance: a feed subjected to 1% frame corruption, two forced
+// session drops and a mid-run checkpoint/restore must yield the same
+// incident set from core::Pipeline::Analyze as a clean run, modulo
+// explicitly marked FeedGap windows — and ingestion must never abort.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "collector/checkpoint.h"
+#include "collector/fault.h"
+#include "core/pipeline.h"
+#include "net/simulator.h"
+
+namespace ranomaly::collector {
+namespace {
+
+using util::kMinute;
+using util::kSecond;
+
+// Two monitored edge routers in AS 25, each fed by its own provider.
+// U1's 24 prefixes flap (the genuine incident); U2's 8 prefixes are the
+// stable background the session drops replay during resync.
+struct TestNet {
+  net::Topology topology;
+  net::RouterIndex e1 = 0, e2 = 0, u1 = 0, u2 = 0;
+  net::LinkIndex e1_u1 = 0;
+};
+
+TestNet BuildNet() {
+  TestNet net;
+  net.e1 = net.topology.AddRouter(
+      {"e1", bgp::Ipv4Addr(10, 25, 0, 1), 25, 0, false, {}});
+  net.e2 = net.topology.AddRouter(
+      {"e2", bgp::Ipv4Addr(10, 25, 0, 2), 25, 0, false, {}});
+  net.u1 = net.topology.AddRouter(
+      {"u1", bgp::Ipv4Addr(10, 100, 0, 1), 100, 0, false, {}});
+  net.u2 = net.topology.AddRouter(
+      {"u2", bgp::Ipv4Addr(10, 200, 0, 1), 200, 0, false, {}});
+  net::LinkSpec internal;
+  internal.a = net.e1;
+  internal.b = net.e2;
+  internal.b_is_as_seen_by_a = net::PeerRelation::kInternal;
+  net.topology.AddLink(internal);
+  net::LinkSpec up1;
+  up1.a = net.e1;
+  up1.b = net.u1;
+  up1.b_is_as_seen_by_a = net::PeerRelation::kProvider;
+  net.e1_u1 = net.topology.AddLink(up1);
+  net::LinkSpec up2;
+  up2.a = net.e2;
+  up2.b = net.u2;
+  up2.b_is_as_seen_by_a = net::PeerRelation::kProvider;
+  net.topology.AddLink(up2);
+  return net;
+}
+
+void OriginateAll(net::Simulator& sim, const TestNet& net) {
+  for (std::uint32_t k = 1; k <= 24; ++k) {
+    sim.Originate(net.u1, bgp::Prefix(bgp::Ipv4Addr(10, k, 0, 0), 16));
+  }
+  for (std::uint32_t j = 1; j <= 8; ++j) {
+    sim.Originate(net.u2, bgp::Prefix(bgp::Ipv4Addr(20, j, 0, 0), 16));
+  }
+}
+
+using IncidentKey = std::pair<int, std::string>;
+
+std::set<IncidentKey> Keys(const std::vector<core::Incident>& incidents,
+                           bool skip_degraded) {
+  std::set<IncidentKey> keys;
+  for (const auto& inc : incidents) {
+    if (skip_degraded && inc.feed_degraded) continue;
+    keys.insert({static_cast<int>(inc.kind), inc.stem_label});
+  }
+  return keys;
+}
+
+bool OverlapsAnyGap(const core::Incident& inc,
+                    const std::vector<FeedGapWindow>& gaps) {
+  for (const auto& gap : gaps) {
+    if (inc.begin <= gap.end && gap.begin <= inc.end) return true;
+  }
+  return false;
+}
+
+TEST(FaultTest, CorruptionDropsAndRestartPreserveTheIncidentSet) {
+  // --- clean reference run -------------------------------------------
+  std::vector<core::Incident> clean_incidents;
+  {
+    TestNet net = BuildNet();
+    net::Simulator sim(net.topology, 77);
+    Collector collector;
+    FeedSupervisor supervisor(collector);
+    WireFeed feed(sim, supervisor);
+    feed.Monitor(net.e1);
+    feed.Monitor(net.e2);
+    OriginateAll(sim, net);
+    sim.Start();
+    sim.ScheduleLinkFlaps(net.e1_u1, 10 * kMinute, 20 * kSecond,
+                          40 * kSecond, 3);
+    sim.Run(35 * kMinute);
+    feed.Finish(35 * kMinute);
+
+    EXPECT_EQ(feed.fault_stats().corrupted, 0u);
+    EXPECT_EQ(supervisor.Health().quarantined_total, 0u);
+    EXPECT_TRUE(FeedGapWindows(collector.events()).empty());
+
+    core::Pipeline pipeline;
+    clean_incidents = pipeline.Analyze(collector.events());
+  }
+  ASSERT_FALSE(clean_incidents.empty());
+  bool clean_saw_flap = false;
+  for (const auto& inc : clean_incidents) {
+    clean_saw_flap |= inc.kind == core::IncidentKind::kSessionReset ||
+                      inc.kind == core::IncidentKind::kRouteFlap;
+  }
+  EXPECT_TRUE(clean_saw_flap);
+
+  // --- faulty run: 1% corruption, two drops, mid-run restart ----------
+  TestNet net = BuildNet();
+  net::Simulator sim(net.topology, 77);  // same sim seed: same network
+  Collector col_a;
+  FeedSupervisor sup_a(col_a);
+  FaultOptions faults;
+  faults.corrupt_probability = 0.01;
+  WireFeed feed(sim, sup_a, faults, 9001);
+  feed.Monitor(net.e1);
+  feed.Monitor(net.e2);
+  // Both drops land in quiet periods, away from the 10-13 min flap.
+  feed.ScheduleSessionDrop(20 * kMinute, net.e2, kMinute);
+  feed.ScheduleSessionDrop(25 * kMinute, net.e1, kMinute);
+  OriginateAll(sim, net);
+  sim.Start();
+  sim.ScheduleLinkFlaps(net.e1_u1, 10 * kMinute, 20 * kSecond, 40 * kSecond,
+                        3);
+  sim.Run(15 * kMinute);
+
+  // Checkpoint, then restore into a *fresh* collector + supervisor (a
+  // collector process restart), round-tripping through the file format.
+  const Checkpoint cp =
+      SnapshotCollector(col_a, 15 * kMinute, col_a.events().size());
+  std::stringstream file;
+  ASSERT_TRUE(SaveCheckpoint(cp, file));
+  const auto restored = LoadCheckpoint(file);
+  ASSERT_TRUE(restored);
+  Collector col_b;
+  RestoreCollector(*restored, col_b);
+  EXPECT_EQ(col_b.RouteCount(), cp.RouteCount());
+  FeedSupervisor sup_b(col_b);
+  feed.Attach(sup_b, 15 * kMinute);
+
+  sim.Run(35 * kMinute);
+  feed.Finish(35 * kMinute);
+
+  // The harness actually injected faults and the supervisor absorbed
+  // them: frames were corrupted, quarantined, and both drops resynced.
+  EXPECT_GT(feed.fault_stats().frames, 200u);
+  EXPECT_GT(feed.fault_stats().corrupted, 0u);
+  EXPECT_GT(sup_a.Health().quarantined_total + sup_b.Health().quarantined_total,
+            0u);
+  EXPECT_GE(feed.resyncs_served(), 2u);
+
+  // Stitch the two collector segments into the full persisted stream.
+  EventStream combined;
+  for (const auto& e : col_a.events().events()) combined.Append(e);
+  for (const auto& e : col_b.events().events()) combined.Append(e);
+
+  // Every gap the harness opened was honestly marked and closed.
+  const auto gaps = FeedGapWindows(combined);
+  ASSERT_EQ(gaps.size(), 2u);
+  for (const auto& gap : gaps) {
+    EXPECT_TRUE(gap.closed);
+    EXPECT_GE(gap.begin, 20 * kMinute);
+  }
+
+  core::Pipeline pipeline;
+  const auto faulty_incidents = pipeline.Analyze(combined);
+
+  // Acceptance: same incident set modulo explicitly marked FeedGap
+  // windows.  Faulty-side incidents inside a gap window are flagged
+  // feed_degraded (collector outage, not network); everything else must
+  // match the clean run exactly.
+  std::set<IncidentKey> clean_keys;
+  for (const auto& inc : clean_incidents) {
+    if (OverlapsAnyGap(inc, gaps)) continue;
+    clean_keys.insert({static_cast<int>(inc.kind), inc.stem_label});
+  }
+  const std::set<IncidentKey> faulty_keys = Keys(faulty_incidents, true);
+  EXPECT_EQ(faulty_keys, clean_keys);
+  for (const auto& inc : faulty_incidents) {
+    if (inc.feed_degraded) {
+      EXPECT_TRUE(OverlapsAnyGap(inc, gaps)) << inc.summary;
+      EXPECT_NE(inc.summary.find("[feed-degraded]"), std::string::npos);
+    }
+  }
+}
+
+TEST(FaultTest, IngestionNeverAbortsUnderFullFaultSoup) {
+  // Every fault class at once, at rates far beyond the acceptance run:
+  // the stream must stay ordered and the supervisor must keep counting.
+  TestNet net = BuildNet();
+  net::Simulator sim(net.topology, 5);
+  Collector collector;
+  FeedSupervisor supervisor(collector);
+  FaultOptions faults;
+  faults.corrupt_probability = 0.05;
+  faults.payload_bitflip_probability = 0.05;
+  faults.drop_probability = 0.05;
+  faults.duplicate_probability = 0.05;
+  faults.reorder_probability = 0.10;
+  faults.max_clock_skew = 2 * kSecond;
+  WireFeed feed(sim, supervisor, faults, 1234);
+  feed.Monitor(net.e1);
+  feed.Monitor(net.e2);
+  feed.ScheduleSessionDrop(6 * kMinute, net.e1, 30 * kSecond);
+  OriginateAll(sim, net);
+  sim.Start();
+  sim.ScheduleLinkFlaps(net.e1_u1, 2 * kMinute, 20 * kSecond, 40 * kSecond,
+                        4);
+  sim.Run(10 * kMinute);
+  feed.Finish(10 * kMinute);  // no throw, no abort: that is the test
+
+  const auto& events = collector.events();
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    ASSERT_LE(events[i - 1].time, events[i].time) << "at event " << i;
+  }
+  const FaultStats& stats = feed.fault_stats();
+  EXPECT_GT(stats.frames, 0u);
+  EXPECT_GT(stats.corrupted + stats.payload_flipped + stats.dropped +
+                stats.duplicated + stats.reordered + stats.skewed,
+            0u);
+  const CollectorHealth health = supervisor.Health();
+  EXPECT_GT(health.events, 0u);
+  EXPECT_EQ(health.quarantined_total, health.decode_errors);
+
+  // The analysis stack downstream survives the degraded stream too.
+  core::Pipeline pipeline;
+  pipeline.Analyze(events);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ranomaly::collector

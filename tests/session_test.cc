@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "bgp/session.h"
 
 namespace ranomaly::bgp {
@@ -83,6 +86,74 @@ TEST(SessionFsmTest, ReestablishmentCounts) {
   }
   EXPECT_EQ(fsm.times_established(), 5u);
   EXPECT_EQ(fsm.times_dropped(), 5u);
+}
+
+TEST(SessionFsmTest, HoldTimerBoundaryIsNotExpired) {
+  // RFC 4271: the timer fires when the interval *exceeds* the hold time.
+  SessionFsm fsm(30 * kSecond);
+  Establish(fsm, 0);
+  EXPECT_FALSE(fsm.HoldTimerExpired(30 * kSecond));      // exactly at bound
+  EXPECT_TRUE(fsm.HoldTimerExpired(30 * kSecond + 1));   // one tick past
+  fsm.OnInput(SessionInput::kKeepaliveReceived, 30 * kSecond);
+  EXPECT_FALSE(fsm.HoldTimerExpired(60 * kSecond));
+  EXPECT_TRUE(fsm.HoldTimerExpired(60 * kSecond + 1));
+}
+
+TEST(SessionFsmTest, NotificationInEveryNonEstablishedState) {
+  // kIdle: notification is a no-op and must not count a drop.
+  {
+    SessionFsm fsm;
+    const auto actions = fsm.OnInput(SessionInput::kNotificationReceived, 0);
+    EXPECT_FALSE(actions.session_dropped);
+    EXPECT_EQ(fsm.state(), SessionState::kIdle);
+    EXPECT_EQ(fsm.times_dropped(), 0u);
+  }
+  // kConnect, kOpenSent, kOpenConfirm: the handshake collapses back to
+  // Idle without counting a drop (the session was never up).
+  const std::vector<SessionInput> paths[] = {
+      {SessionInput::kManualStart},
+      {SessionInput::kManualStart, SessionInput::kTcpConnected},
+      {SessionInput::kManualStart, SessionInput::kTcpConnected,
+       SessionInput::kOpenReceived},
+  };
+  const SessionState reached[] = {SessionState::kConnect,
+                                  SessionState::kOpenSent,
+                                  SessionState::kOpenConfirm};
+  for (int i = 0; i < 3; ++i) {
+    SessionFsm fsm;
+    for (const SessionInput input : paths[i]) fsm.OnInput(input, 0);
+    ASSERT_EQ(fsm.state(), reached[i]);
+    const auto actions = fsm.OnInput(SessionInput::kNotificationReceived, 1);
+    EXPECT_FALSE(actions.session_dropped);
+    EXPECT_EQ(fsm.state(), SessionState::kIdle);
+    EXPECT_EQ(fsm.times_dropped(), 0u);
+    EXPECT_EQ(fsm.times_established(), 0u);
+  }
+}
+
+TEST(SessionFsmTest, CountersAcrossRepeatedFlapCycles) {
+  // Alternate hold-timer and notification drops across many cycles; the
+  // counters must track every full up/down transition and the hold timer
+  // must re-arm at each establishment.
+  SessionFsm fsm(30 * kSecond);
+  util::SimTime t = 0;
+  for (int cycle = 1; cycle <= 10; ++cycle) {
+    Establish(fsm, t);
+    EXPECT_EQ(fsm.times_established(), static_cast<std::uint64_t>(cycle));
+    EXPECT_FALSE(fsm.HoldTimerExpired(t + 30 * kSecond));
+    t += 31 * kSecond;
+    if (cycle % 2 == 0) {
+      ASSERT_TRUE(fsm.HoldTimerExpired(t));
+      EXPECT_TRUE(fsm.OnInput(SessionInput::kHoldTimerExpired, t)
+                      .session_dropped);
+    } else {
+      EXPECT_TRUE(fsm.OnInput(SessionInput::kNotificationReceived, t)
+                      .session_dropped);
+    }
+    EXPECT_EQ(fsm.times_dropped(), static_cast<std::uint64_t>(cycle));
+    EXPECT_EQ(fsm.state(), SessionState::kIdle);
+    t += kSecond;
+  }
 }
 
 TEST(SessionFsmTest, HoldExpiryIgnoredWhenIdle) {

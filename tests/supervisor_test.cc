@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/codec.h"
+#include "collector/supervisor.h"
+
+namespace ranomaly::collector {
+namespace {
+
+using bgp::AsPath;
+using bgp::EventType;
+using bgp::Ipv4Addr;
+using bgp::PathAttributes;
+using bgp::Prefix;
+using bgp::UpdateMessage;
+using util::kSecond;
+
+const Ipv4Addr kPeer(128, 32, 1, 3);
+const Prefix kP1 = *Prefix::Parse("192.96.10.0/24");
+const Prefix kP2 = *Prefix::Parse("62.80.64.0/20");
+
+PathAttributes Attrs(AsPath path) {
+  PathAttributes a;
+  a.nexthop = Ipv4Addr(128, 32, 0, 66);
+  a.as_path = std::move(path);
+  return a;
+}
+
+std::vector<std::uint8_t> Announce(const Prefix& prefix,
+                                   PathAttributes attrs = Attrs({11423, 209})) {
+  UpdateMessage u;
+  u.attrs = std::move(attrs);
+  u.nlri = {prefix};
+  return bgp::EncodeUpdate(u);
+}
+
+std::vector<std::uint8_t> Withdraw(const Prefix& prefix) {
+  UpdateMessage u;
+  u.withdrawn = {prefix};
+  return bgp::EncodeUpdate(u);
+}
+
+std::vector<std::uint8_t> Notification() {
+  std::vector<std::uint8_t> wire(16, 0xff);
+  wire.push_back(0);
+  wire.push_back(19);
+  wire.push_back(3);  // NOTIFICATION
+  return wire;
+}
+
+// Framing-valid UPDATE with a truncated attribute block and one salvageable
+// NLRI prefix (the RFC 7606 treat-as-withdraw shape).
+std::vector<std::uint8_t> AttrErrorUpdate() {
+  std::vector<std::uint8_t> wire(16, 0xff);
+  const std::vector<std::uint8_t> attrs = {0x40, 0x01};       // cut mid-attr
+  const std::vector<std::uint8_t> nlri = {24, 192, 96, 10};   // 192.96.10.0/24
+  const std::size_t length = 19 + 2 + 2 + attrs.size() + nlri.size();
+  wire.push_back(static_cast<std::uint8_t>(length >> 8));
+  wire.push_back(static_cast<std::uint8_t>(length & 0xff));
+  wire.push_back(2);
+  wire.push_back(0);
+  wire.push_back(0);
+  wire.push_back(static_cast<std::uint8_t>(attrs.size() >> 8));
+  wire.push_back(static_cast<std::uint8_t>(attrs.size() & 0xff));
+  wire.insert(wire.end(), attrs.begin(), attrs.end());
+  wire.insert(wire.end(), nlri.begin(), nlri.end());
+  return wire;
+}
+
+SupervisorOptions ShortHold() {
+  SupervisorOptions o;
+  o.hold_time = 30 * kSecond;
+  o.backoff_jitter = 0.0;  // exact retry times in tests
+  return o;
+}
+
+TEST(FeedSupervisorTest, EstablishesAndIngestsUpdates) {
+  Collector collector;
+  FeedSupervisor sup(collector);
+  sup.AddPeer(kPeer);
+  EXPECT_TRUE(sup.IsEstablished(kPeer));
+
+  sup.OnFrame(kSecond, kPeer, Announce(kP1));
+  sup.OnFrame(2 * kSecond, kPeer, Withdraw(kP1));
+  ASSERT_EQ(collector.events().size(), 2u);
+  EXPECT_EQ(collector.events()[0].type, EventType::kAnnounce);
+  EXPECT_EQ(collector.events()[1].type, EventType::kWithdraw);
+  // The withdrawal was augmented from the Adj-RIB-In.
+  EXPECT_EQ(collector.events()[1].attrs.as_path, (AsPath{11423, 209}));
+}
+
+TEST(FeedSupervisorTest, GarbageIsQuarantinedNeverFatal) {
+  Collector collector;
+  FeedSupervisor sup(collector);
+  sup.AddPeer(kPeer);
+  sup.OnFrame(kSecond, kPeer, Announce(kP1));
+
+  std::vector<std::uint8_t> junk = {0xde, 0xad, 0xbe, 0xef};
+  sup.OnFrame(2 * kSecond, kPeer, junk);
+  auto truncated = Announce(kP2);
+  truncated.resize(truncated.size() / 2);
+  sup.OnFrame(3 * kSecond, kPeer, truncated);
+
+  EXPECT_TRUE(sup.IsEstablished(kPeer));  // a bad octet stream never kills us
+  ASSERT_EQ(sup.quarantine().size(), 2u);
+  EXPECT_EQ(sup.quarantine()[0].frame, junk);
+  EXPECT_EQ(sup.quarantine()[0].peer, kPeer);
+  const CollectorHealth health = sup.Health();
+  EXPECT_EQ(health.decode_errors, 2u);
+  EXPECT_EQ(health.quarantined_total, 2u);
+  EXPECT_EQ(health.peers.at(kPeer).decode_errors, 2u);
+  // The good route survived, the truncated one never landed.
+  EXPECT_EQ(collector.PeerRoutes(kPeer).size(), 1u);
+}
+
+TEST(FeedSupervisorTest, QuarantineRingIsCapped) {
+  Collector collector;
+  SupervisorOptions options;
+  options.quarantine_capacity = 4;
+  FeedSupervisor sup(collector, options);
+  sup.AddPeer(kPeer);
+  for (int i = 0; i < 10; ++i) {
+    sup.OnFrame(i * kSecond, kPeer,
+                {static_cast<std::uint8_t>(i), 0xff, 0xff});
+  }
+  EXPECT_EQ(sup.quarantine().size(), 4u);
+  EXPECT_EQ(sup.Health().quarantined_total, 10u);
+  // Oldest evidence aged out: the ring holds frames 6..9.
+  EXPECT_EQ(sup.quarantine().front().frame[0], 6u);
+}
+
+TEST(FeedSupervisorTest, AttributeErrorDowngradedToWithdraw) {
+  Collector collector;
+  FeedSupervisor sup(collector);
+  sup.AddPeer(kPeer);
+  sup.OnFrame(kSecond, kPeer, Announce(kP1));  // kP1 == 192.96.10.0/24
+  ASSERT_EQ(collector.PeerRoutes(kPeer).size(), 1u);
+
+  sup.OnFrame(2 * kSecond, kPeer, AttrErrorUpdate());
+  EXPECT_TRUE(sup.IsEstablished(kPeer));  // RFC 7606: session survives
+  EXPECT_EQ(collector.PeerRoutes(kPeer).size(), 0u);  // route withdrawn
+  const CollectorHealth health = sup.Health();
+  EXPECT_EQ(health.treat_as_withdraw, 1u);
+  EXPECT_EQ(health.decode_errors, 0u);  // downgraded, not quarantined
+  EXPECT_EQ(collector.events().back().type, EventType::kWithdraw);
+}
+
+TEST(FeedSupervisorTest, GarbageDoesNotRefreshHoldTimer) {
+  Collector collector;
+  FeedSupervisor sup(collector, ShortHold());
+  sup.AddPeer(kPeer);
+  sup.OnFrame(0, kPeer, Announce(kP1));
+  // Only garbage for the next 31 seconds: garbage is not proof of life.
+  sup.OnFrame(29 * kSecond, kPeer, {0x00, 0x01, 0x02});
+  sup.OnTick(31 * kSecond);
+  EXPECT_FALSE(sup.IsEstablished(kPeer));
+  EXPECT_TRUE(sup.collector().IsPeerStale(kPeer));
+}
+
+TEST(FeedSupervisorTest, HoldExpiryMarksGapKeepsRoutesWarm) {
+  Collector collector;
+  FeedSupervisor sup(collector, ShortHold());
+  sup.AddPeer(kPeer);
+  sup.OnFrame(0, kPeer, Announce(kP1));
+  sup.OnTick(31 * kSecond);
+
+  EXPECT_FALSE(sup.IsEstablished(kPeer));
+  EXPECT_TRUE(sup.collector().IsPeerStale(kPeer));
+  // Routes stay warm (stale) rather than being flushed.
+  EXPECT_EQ(collector.PeerRoutes(kPeer).size(), 1u);
+  EXPECT_EQ(collector.events().back().type, EventType::kFeedGap);
+  EXPECT_GT(sup.RetryAt(kPeer), 31 * kSecond);
+}
+
+TEST(FeedSupervisorTest, ResyncSweepsUnrefreshedAndClosesGap) {
+  Collector collector;
+  FeedSupervisor sup(collector, ShortHold());
+  sup.AddPeer(kPeer);
+  sup.OnFrame(0, kPeer, Announce(kP1));
+  sup.OnFrame(kSecond, kPeer, Announce(kP2, Attrs({11423, 701})));
+  sup.OnTick(40 * kSecond);  // hold expiry -> gap
+  ASSERT_FALSE(sup.IsEstablished(kPeer));
+
+  const util::SimTime retry = sup.RetryAt(kPeer);
+  EXPECT_FALSE(sup.TakeResyncRequest(kPeer));  // nothing requested yet
+  sup.OnTick(retry);
+  ASSERT_TRUE(sup.IsEstablished(kPeer));
+  EXPECT_TRUE(sup.TakeResyncRequest(kPeer));
+  EXPECT_FALSE(sup.TakeResyncRequest(kPeer));  // exactly once
+
+  // The replay refreshes only kP1: kP2 disappeared during the outage.
+  sup.OnFrame(retry, kPeer, Announce(kP1));
+  sup.OnResyncComplete(retry, kPeer);
+
+  EXPECT_FALSE(sup.collector().IsPeerStale(kPeer));
+  const auto routes = collector.PeerRoutes(kPeer);
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_EQ(routes[0].first, kP1);
+  // Stream shape: ... GAP, replay announce, sweep withdraw, SYNC.
+  const auto& events = collector.events();
+  ASSERT_GE(events.size(), 4u);
+  EXPECT_EQ(events[events.size() - 1].type, EventType::kResync);
+  EXPECT_EQ(events[events.size() - 2].type, EventType::kWithdraw);
+  EXPECT_EQ(events[events.size() - 2].prefix, kP2);
+  // The sweep withdrawal is augmented like any other.
+  EXPECT_EQ(events[events.size() - 2].attrs.as_path, (AsPath{11423, 701}));
+
+  const auto gaps = FeedGapWindows(collector.events());
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_TRUE(gaps[0].closed);
+  EXPECT_EQ(gaps[0].end, retry);
+}
+
+TEST(FeedSupervisorTest, BackoffDoublesAndResetsAfterResync) {
+  Collector collector;
+  SupervisorOptions options = ShortHold();
+  options.backoff_initial = kSecond;
+  options.backoff_max = 8 * kSecond;
+  FeedSupervisor sup(collector, options);
+  sup.AddPeer(kPeer);
+  sup.OnFrame(0, kPeer, Announce(kP1));
+
+  // Repeated failures without a completed resync: 1s, 2s, 4s, 8s, 8s.
+  util::SimTime now = 31 * kSecond;
+  sup.OnTick(now);  // hold expiry
+  const util::SimDuration expected[] = {kSecond, 2 * kSecond, 4 * kSecond,
+                                        8 * kSecond, 8 * kSecond};
+  for (const util::SimDuration want : expected) {
+    ASSERT_FALSE(sup.IsEstablished(kPeer));
+    EXPECT_EQ(sup.RetryAt(kPeer) - now, want);
+    now = sup.RetryAt(kPeer);
+    sup.OnTick(now);  // re-establish...
+    ASSERT_TRUE(sup.IsEstablished(kPeer));
+    sup.OnFrame(now, kPeer, Notification());  // ...and fail again
+  }
+
+  // A completed resync resets the backoff to the initial delay.
+  now = sup.RetryAt(kPeer);
+  sup.OnTick(now);
+  ASSERT_TRUE(sup.TakeResyncRequest(kPeer));
+  sup.OnFrame(now, kPeer, Announce(kP1));
+  sup.OnResyncComplete(now, kPeer);
+  sup.OnFrame(now, kPeer, Notification());
+  EXPECT_EQ(sup.RetryAt(kPeer) - now, kSecond);
+}
+
+TEST(FeedSupervisorTest, TransportDownIgnoresFramesUntilUp) {
+  Collector collector;
+  FeedSupervisor sup(collector, ShortHold());
+  sup.AddPeer(kPeer);
+  sup.OnFrame(0, kPeer, Announce(kP1));
+
+  sup.OnTransportDown(5 * kSecond, kPeer);
+  EXPECT_FALSE(sup.IsEstablished(kPeer));
+  EXPECT_TRUE(sup.collector().IsPeerStale(kPeer));
+  sup.OnFrame(6 * kSecond, kPeer, Announce(kP2));  // lost: TCP is down
+  EXPECT_EQ(collector.PeerRoutes(kPeer).size(), 1u);
+
+  // No reconnection while the transport stays down, however long we wait.
+  sup.OnTick(1000 * kSecond);
+  EXPECT_FALSE(sup.IsEstablished(kPeer));
+
+  sup.OnTransportUp(2000 * kSecond, kPeer);
+  sup.OnTick(2000 * kSecond);
+  EXPECT_TRUE(sup.IsEstablished(kPeer));
+  EXPECT_TRUE(sup.TakeResyncRequest(kPeer));
+}
+
+TEST(FeedSupervisorTest, SilentGapDetectedBeforeHoldExpiry) {
+  Collector collector;
+  SupervisorOptions options;
+  options.hold_time = 90 * kSecond;
+  options.silent_gap = 10 * kSecond;
+  FeedSupervisor sup(collector, options);
+  sup.AddPeer(kPeer);
+  sup.OnFrame(0, kPeer, Announce(kP1));
+  sup.OnTick(9 * kSecond);
+  EXPECT_TRUE(sup.IsEstablished(kPeer));
+  sup.OnTick(11 * kSecond);  // wedged-but-open session
+  EXPECT_FALSE(sup.IsEstablished(kPeer));
+  EXPECT_TRUE(sup.collector().IsPeerStale(kPeer));
+}
+
+TEST(FeedSupervisorTest, HealthMergesSupervisorCounters) {
+  Collector collector;
+  FeedSupervisor sup(collector);
+  sup.AddPeer(kPeer);
+  sup.OnFrame(0, kPeer, Announce(kP1));
+  sup.OnFrame(kSecond, kPeer, {0xbad & 0xff});
+  sup.OnFrame(2 * kSecond, kPeer, AttrErrorUpdate());
+
+  const CollectorHealth health = sup.Health();
+  EXPECT_EQ(health.events, 2u);  // announce + treat-as-withdraw withdrawal
+  EXPECT_EQ(health.quarantine_depth, 1u);
+  EXPECT_EQ(health.decode_errors, 1u);
+  EXPECT_EQ(health.treat_as_withdraw, 1u);
+  const std::string text = health.ToString();
+  EXPECT_NE(text.find("quarantine=1/1"), std::string::npos) << text;
+  EXPECT_NE(text.find("128.32.1.3"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace ranomaly::collector

@@ -98,11 +98,15 @@ std::optional<collector::EventStream> LoadStream(const std::string& path,
   in.seekg(0);
   std::optional<collector::EventStream> stream;
   if (std::string_view(magic, 4) == "RNE1") {
-    stream = collector::LoadBinary(in);
+    collector::LoadDiagnostics diag;
+    stream = collector::LoadBinary(in, diag);
+    if (!stream) {
+      err << "parse error in " << path << ": " << diag.ToString() << "\n";
+    }
   } else {
     stream = collector::EventStream::LoadText(in);
+    if (!stream) err << "parse error in " << path << "\n";
   }
-  if (!stream) err << "parse error in " << path << "\n";
   return stream;
 }
 
@@ -344,26 +348,48 @@ int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
   struct PeerStats {
     std::size_t announces = 0;
     std::size_t withdraws = 0;
+    std::size_t markers = 0;
   };
   std::map<std::uint32_t, PeerStats> per_peer;
   std::size_t announces = 0;
+  std::size_t withdraws = 0;
+  std::size_t markers = 0;
   for (const auto& e : stream->events()) {
     auto& p = per_peer[e.peer.value()];
     if (e.type == bgp::EventType::kAnnounce) {
       ++p.announces;
       ++announces;
-    } else {
+    } else if (e.type == bgp::EventType::kWithdraw) {
       ++p.withdraws;
+      ++withdraws;
+    } else {
+      ++p.markers;
+      ++markers;
     }
   }
   out << "events:    " << stream->size() << "\n";
   out << "announces: " << announces << "\n";
-  out << "withdraws: " << stream->size() - announces << "\n";
+  out << "withdraws: " << withdraws << "\n";
+  if (markers > 0) out << "markers:   " << markers << "\n";
   out << "timerange: " << util::FormatDuration(stream->TimeRange()) << "\n";
   out << "peers:     " << per_peer.size() << "\n";
   for (const auto& [peer, stats] : per_peer) {
     out << "  " << bgp::Ipv4Addr(peer).ToString() << "  A=" << stats.announces
-        << " W=" << stats.withdraws << "\n";
+        << " W=" << stats.withdraws;
+    if (stats.markers > 0) out << " M=" << stats.markers;
+    out << "\n";
+  }
+  // Degraded-feed accounting: windows where the collection layer lost or
+  // resynchronized a peer's feed (GAP/SYNC markers).
+  const auto gaps = collector::FeedGapWindows(*stream);
+  if (!gaps.empty()) {
+    out << "feed gaps: " << gaps.size() << "\n";
+    for (const auto& gap : gaps) {
+      out << "  " << bgp::Ipv4Addr(gap.peer).ToString() << "  "
+          << util::FormatTime(gap.begin) << " -> "
+          << util::FormatTime(gap.end)
+          << (gap.closed ? "" : " (never resynced)") << "\n";
+    }
   }
   return kOk;
 }
