@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bgp/prefix.h"
@@ -49,6 +50,10 @@ struct Incident {
   std::size_t event_count = 0;
   double event_fraction = 0.0;  // of the analyzed window
   std::size_t prefix_count = 0;
+  // Stem identity as raw tagged symbol values (SymbolTable::Raw), stable
+  // across windows with independent SymbolTables; dedup keys on this, not
+  // on the formatted label.
+  std::pair<std::uint64_t, std::uint64_t> stem_key{0, 0};
   std::string stem_label;       // "AS11423 - AS209"
   std::string top_sequence;     // full s' rendering
   IncidentEvidence evidence;

@@ -21,7 +21,16 @@ const char* ToString(IncidentKind kind) {
   return "?";
 }
 
-Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {}
+Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {
+  const std::size_t threads = options_.threads != 0
+                                  ? options_.threads
+                                  : util::ThreadPool::DefaultThreadCount();
+  if (threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(threads);
+  }
+  // Stemming shares the pipeline's pool for its sharded bigram count.
+  options_.stemming.pool = pool_.get();
+}
 
 IncidentEvidence Pipeline::ExtractEvidence(
     std::span<const bgp::Event> events,
@@ -155,6 +164,8 @@ Incident Pipeline::MakeIncident(std::span<const bgp::Event> events,
                      : static_cast<double>(inc.event_count) /
                            static_cast<double>(events.size());
   inc.prefix_count = component.prefixes.size();
+  inc.stem_key = {result.symbols.Raw(component.stem.first),
+                  result.symbols.Raw(component.stem.second)};
   inc.stem_label = result.StemLabel(component);
   inc.top_sequence = result.SequenceLabel(component);
   util::SimTime begin = 0;
@@ -183,7 +194,8 @@ Incident Pipeline::MakeIncident(std::span<const bgp::Event> events,
 }
 
 std::vector<Incident> Pipeline::AnalyzeWindow(
-    std::span<const bgp::Event> events) const {
+    std::span<const bgp::Event> events,
+    util::StageCounters* counters) const {
   std::vector<Incident> incidents;
   // Collection-layer markers are not routing events; stem over the routing
   // events only.  (Component indices then refer to the filtered window.)
@@ -195,11 +207,26 @@ std::vector<Incident> Pipeline::AnalyzeWindow(
     for (const bgp::Event& e : events) {
       if (!bgp::IsMarker(e.type)) routing.push_back(e);
     }
-    return AnalyzeWindow(routing);
+    return AnalyzeWindow(routing, counters);
   }
   if (events.empty()) return incidents;
   const stemming::StemmingResult result =
       stemming::Stem(events, options_.stemming);
+  if (counters != nullptr) {
+    const stemming::StemmingStats& s = result.stats;
+    counters->Add("windows_stemmed", 1.0);
+    counters->Add("events_encoded", static_cast<double>(s.events_encoded));
+    counters->Add("distinct_sequences",
+                  static_cast<double>(s.distinct_sequences));
+    counters->Add("symbols_interned", static_cast<double>(s.symbols_interned));
+    counters->Add("arena_symbols", static_cast<double>(s.arena_symbols));
+    counters->Add("bigram_table_size",
+                  static_cast<double>(s.bigram_table_size));
+    counters->Add("components", static_cast<double>(s.components));
+    counters->Add("encode_seconds", s.encode_seconds);
+    counters->Add("count_seconds", s.count_seconds);
+    counters->Add("extract_seconds", s.extract_seconds);
+  }
   for (const stemming::Component& component : result.components) {
     const double fraction = static_cast<double>(component.event_indices.size()) /
                             static_cast<double>(events.size());
@@ -214,19 +241,39 @@ std::vector<Incident> Pipeline::AnalyzeWindow(
 }
 
 std::vector<Incident> Pipeline::Analyze(
-    const collector::EventStream& stream) const {
+    const collector::EventStream& stream,
+    util::StageCounters* counters) const {
   std::vector<Incident> incidents;
   if (stream.empty()) return incidents;
+  const util::StageTimer total_timer;
 
-  // Spike-scale pass.
+  // Spike-scale pass.  Windows are independent, so they fan out across
+  // the pool; per-spike results merge in spike order below, which makes
+  // the output bit-identical to the serial loop regardless of thread
+  // count (the determinism contract, DESIGN.md).
+  const util::StageTimer spike_timer;
   const auto spikes = collector::DetectSpikes(stream, options_.spike_bucket,
                                               options_.spike_factor);
-  for (const collector::Spike& spike : spikes) {
-    const auto window = stream.Window(spike.begin - options_.spike_margin,
-                                      spike.end + options_.spike_margin);
-    for (Incident& inc : AnalyzeWindow(window)) {
+  std::vector<std::vector<Incident>> per_spike(spikes.size());
+  const auto analyze_spike = [&](std::size_t i) {
+    const auto window =
+        stream.Window(spikes[i].begin - options_.spike_margin,
+                      spikes[i].end + options_.spike_margin);
+    per_spike[i] = AnalyzeWindow(window, counters);
+  };
+  if (pool_ != nullptr && spikes.size() > 1) {
+    pool_->ParallelFor(spikes.size(), analyze_spike);
+  } else {
+    for (std::size_t i = 0; i < spikes.size(); ++i) analyze_spike(i);
+  }
+  for (std::vector<Incident>& window_incidents : per_spike) {
+    for (Incident& inc : window_incidents) {
       incidents.push_back(std::move(inc));
     }
+  }
+  if (counters != nullptr) {
+    counters->Add("spike_windows", static_cast<double>(spikes.size()));
+    counters->Add("spike_pass_seconds", spike_timer.Seconds());
   }
 
   // Long-window pass over the grass: everything *outside* the spike
@@ -234,31 +281,41 @@ std::vector<Incident> Pipeline::Analyze(
   // them in would let their mass drown the low-grade persistent
   // anomalies this pass exists to catch).
   if (options_.long_window_pass) {
+    const util::StageTimer grass_timer;
     std::vector<bgp::Event> grass;
     grass.reserve(stream.size());
+    // DetectSpikes returns disjoint windows sorted by begin, and events()
+    // is time-ordered, so one forward sweep decides membership: advance
+    // past every padded window that ends at or before the event, then the
+    // event is inside a spike iff it is inside the current one.
+    std::size_t next_spike = 0;
     for (const bgp::Event& e : stream.events()) {
-      bool inside_spike = false;
-      for (const collector::Spike& spike : spikes) {
-        if (e.time >= spike.begin - options_.spike_margin &&
-            e.time < spike.end + options_.spike_margin) {
-          inside_spike = true;
-          break;
-        }
+      while (next_spike < spikes.size() &&
+             e.time >= spikes[next_spike].end + options_.spike_margin) {
+        ++next_spike;
       }
+      const bool inside_spike =
+          next_spike < spikes.size() &&
+          e.time >= spikes[next_spike].begin - options_.spike_margin;
       if (!inside_spike) grass.push_back(e);
     }
-    for (Incident& inc : AnalyzeWindow(grass)) {
+    for (Incident& inc : AnalyzeWindow(grass, counters)) {
       incidents.push_back(std::move(inc));
+    }
+    if (counters != nullptr) {
+      counters->Add("grass_events", static_cast<double>(grass.size()));
+      counters->Add("grass_pass_seconds", grass_timer.Seconds());
     }
   }
 
-  // Deduplicate by stem label, keeping the larger incident.
-  std::map<std::string, std::size_t> by_stem;
+  // Deduplicate by stem identity (raw tagged symbol pair — stable across
+  // the windows' independent SymbolTables), keeping the larger incident.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::size_t> by_stem;
   std::vector<Incident> unique;
   for (Incident& inc : incidents) {
-    const auto it = by_stem.find(inc.stem_label);
+    const auto it = by_stem.find(inc.stem_key);
     if (it == by_stem.end()) {
-      by_stem[inc.stem_label] = unique.size();
+      by_stem[inc.stem_key] = unique.size();
       unique.push_back(std::move(inc));
     } else if (inc.event_count > unique[it->second].event_count) {
       unique[it->second] = std::move(inc);
@@ -282,6 +339,10 @@ std::vector<Incident> Pipeline::Analyze(
         break;
       }
     }
+  }
+  if (counters != nullptr) {
+    counters->Add("incidents", static_cast<double>(unique.size()));
+    counters->Add("analyze_seconds", total_timer.Seconds());
   }
   return unique;
 }

@@ -8,12 +8,15 @@
 // dominate correlation over hours even though they are rate-invisible.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "collector/event_stream.h"
 #include "core/incident.h"
 #include "stemming/stemming.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace ranomaly::core {
 
@@ -32,18 +35,29 @@ struct PipelineOptions {
   // Report components that classify as kUnknown (strong correlation with
   // no anomaly signature — usually shared-path mass, not an incident).
   bool include_unknown = false;
+  // Worker threads for the analysis fan-out (spike windows run
+  // concurrently; stemming shards its counting).  0 means
+  // util::ThreadPool::DefaultThreadCount(), i.e. RANOMALY_THREADS or the
+  // hardware.  Results are bit-identical for every value.
+  std::size_t threads = 0;
 };
 
 class Pipeline {
  public:
   explicit Pipeline(PipelineOptions options = {});
 
-  // Full analysis: spike windows first, then the long-window pass over
-  // everything; incidents are deduplicated by stem.
-  std::vector<Incident> Analyze(const collector::EventStream& stream) const;
+  // Full analysis: spike windows first (concurrently when the pipeline
+  // has threads; incidents merge in spike order, so results are
+  // bit-identical to serial), then the long-window pass over the grass;
+  // incidents are deduplicated by stem.  `counters`, when given,
+  // accumulates the per-stage perf breakdown (events encoded, symbols
+  // interned, bigram table sizes, wall seconds per stage).
+  std::vector<Incident> Analyze(const collector::EventStream& stream,
+                                util::StageCounters* counters = nullptr) const;
 
   // Stems and classifies one window.
-  std::vector<Incident> AnalyzeWindow(std::span<const bgp::Event> events)
+  std::vector<Incident> AnalyzeWindow(std::span<const bgp::Event> events,
+                                      util::StageCounters* counters = nullptr)
       const;
 
   // Evidence extraction & classification (exposed for tests/benches).
@@ -61,6 +75,9 @@ class Pipeline {
                         const stemming::Component& component) const;
 
   PipelineOptions options_;
+  // Shared by stemming shard counts and the spike-window fan-out; null
+  // when the pipeline is single-threaded.
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 }  // namespace ranomaly::core

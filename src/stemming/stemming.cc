@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <unordered_map>
-#include <unordered_set>
+
+#include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace ranomaly::stemming {
 namespace {
@@ -89,113 +90,463 @@ std::string StemmingResult::SequenceLabel(const Component& component) const {
 
 namespace {
 
-struct EncodedEvent {
-  std::vector<SymbolId> seq;
-  SymbolId prefix_symbol = 0;
-  double weight = 1.0;
-};
-
-struct PairHash {
-  std::size_t operator()(const std::pair<SymbolId, SymbolId>& p) const {
-    return std::hash<std::uint64_t>{}(
-        (static_cast<std::uint64_t>(p.first) << 32) | p.second);
-  }
-};
-
-struct VecHash {
-  std::size_t operator()(const std::vector<SymbolId>& v) const {
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (const SymbolId s : v) {
-      h ^= s;
-      h *= 0x100000001b3ULL;
-    }
-    return static_cast<std::size_t>(h);
-  }
-};
-
 constexpr double kCountEpsilon = 1e-9;
 
 bool CountsEqual(double a, double b) {
   return std::fabs(a - b) <= kCountEpsilon * std::max(1.0, std::max(a, b));
 }
 
-// Finds the top-ranked sub-sequence (count desc, length desc, then
-// lexicographically smallest for determinism) over active events.
-// Returns nullopt if no bigram reaches min thresholds.
-std::optional<std::pair<std::vector<SymbolId>, double>> TopSubsequence(
-    const std::vector<EncodedEvent>& events, const std::vector<bool>& active,
-    double min_count) {
-  // Pass 1: bigram counts.  The maximum over all length>=2 sub-sequences
-  // is attained by a bigram (counts are antitone in extension).
-  std::unordered_map<std::pair<SymbolId, SymbolId>, double, PairHash> bigrams;
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    if (!active[i]) continue;
-    const auto& seq = events[i].seq;
-    for (std::size_t j = 0; j + 1 < seq.size(); ++j) {
-      bigrams[{seq[j], seq[j + 1]}] += events[i].weight;
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline std::uint64_t PackPair(SymbolId a, SymbolId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+// ---------------------------------------------------------------------------
+// Flat sequence arena over *distinct* sequences.  BGP spike traffic is
+// massively repetitive — the same (peer, nexthop, path, prefix) sequence
+// recurs ~10x in Table-1-scale windows — and the algorithm never needs to
+// tell duplicates apart: removal is prefix-granular, so events with
+// identical sequences always share fate.  Each distinct sequence becomes
+// one weighted "class" view; counting, posting lists, and component
+// extraction all run over classes, and original event ids are recovered
+// in a single ordered pass at the end.
+
+struct EventView {
+  std::uint32_t begin = 0;
+  std::uint32_t length = 0;
+  SymbolId prefix_symbol = 0;
+  double weight = 0.0;        // summed over all events of the class
+  double unit_weight = 1.0;   // weight_fn value (same for the whole class)
+};
+
+struct Arena {
+  std::vector<SymbolId> symbols;
+  std::vector<std::uint64_t> raw;  // raw tagged value per position
+  std::vector<EventView> views;    // one per distinct sequence class
+  // Bigram entry id of the adjacent pair starting at each arena position
+  // (meaningful for the first length-1 positions of every class).  Filled
+  // while the bigram index is built, so counting and incremental
+  // subtraction are plain array arithmetic — no hash lookups at all.
+  std::vector<std::uint32_t> pair_entries;
+
+  const SymbolId* Seq(std::size_t cls) const {
+    return symbols.data() + views[cls].begin;
+  }
+  std::size_t Len(std::size_t cls) const { return views[cls].length; }
+};
+
+// Open-addressed interner mapping a *raw tagged* sequence to its class
+// id; sequences are stored once, in the arena itself.  Keying on raw
+// values means the per-event hot loop does no symbol interning at all —
+// symbols of a sequence are interned only when the sequence is first
+// seen, which is exactly when a per-event encoder would have interned
+// any of them for the first time, so symbol ids come out identical.
+class ClassIndex {
+ public:
+  // Returns the class id for `seq`, or kNew if it was not seen before, in
+  // which case the caller must append the sequence to the arena and then
+  // call Insert with the id it assigned.  Slots carry the stored span's
+  // (begin, length) so a lookup touches only the slot array and the raw
+  // arena — never the (bigger, colder) view structs.
+  static constexpr std::uint32_t kNew = 0xffffffffu;
+  std::uint32_t FindOrPrepare(const std::uint64_t* arena_raw,
+                              const std::uint64_t* seq, std::uint32_t len) {
+    if (slots_.empty() || (size_ + 1) * 10 > slots_.size() * 7) {
+      Grow(arena_raw, slots_.empty() ? 1024 : slots_.size() * 2);
+    }
+    std::size_t i = HashSpan(seq, len) & mask_;
+    while (slots_[i].cls_plus1 != 0) {
+      const Slot& slot = slots_[i];
+      if (slot.length == len &&
+          std::equal(seq, seq + len, arena_raw + slot.begin)) {
+        return slot.cls_plus1 - 1;
+      }
+      i = (i + 1) & mask_;
+    }
+    pending_slot_ = i;
+    return kNew;
+  }
+  void Insert(std::uint32_t cls, std::uint32_t begin, std::uint32_t len) {
+    slots_[pending_slot_] = Slot{cls + 1, begin, len};
+    ++size_;
+  }
+
+ private:
+  struct Slot {
+    std::uint32_t cls_plus1 = 0;  // 0 = empty
+    std::uint32_t begin = 0;
+    std::uint32_t length = 0;
+  };
+
+  static std::uint64_t HashSpan(const std::uint64_t* seq, std::uint32_t len) {
+    // Single-multiply accumulation (short dependency chain — this runs
+    // once per *event*), with one full finalizer to spread entropy into
+    // the low bits the probe mask keeps.
+    std::uint64_t h = len;
+    for (std::uint32_t i = 0; i < len; ++i) {
+      h = (h ^ seq[i]) * 0x9e3779b97f4a7c15ULL;
+    }
+    return Mix64(h);
+  }
+
+  void Grow(const std::uint64_t* arena_raw, std::size_t cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    for (const Slot& slot : old) {
+      if (slot.cls_plus1 == 0) continue;
+      std::size_t i = HashSpan(arena_raw + slot.begin, slot.length) & mask_;
+      while (slots_[i].cls_plus1 != 0) i = (i + 1) & mask_;
+      slots_[i] = slot;
     }
   }
-  if (bigrams.empty()) return std::nullopt;
 
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::size_t pending_slot_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Open-addressed hash map from packed 64-bit keys (bigrams) to a value.
+// Linear probing, power-of-two capacity.  The empty sentinel is the pair
+// (0xffffffff, 0xffffffff), unreachable while symbol ids stay dense.
+
+template <typename Value>
+class U64Map {
+ public:
+  static constexpr std::uint64_t kEmpty = ~0ULL;
+
+  void Reserve(std::size_t n) {
+    std::size_t cap = 16;
+    while (cap * 7 < n * 10) cap <<= 1;  // target load factor <= 0.7
+    if (cap > keys_.size()) Rehash(cap);
+  }
+
+  Value& At(std::uint64_t key) {
+    if (keys_.empty() || (size_ + 1) * 10 > keys_.size() * 7) {
+      Rehash(keys_.empty() ? 16 : keys_.size() * 2);
+    }
+    std::size_t i = Mix64(key) & mask_;
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) return values_[i];
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    values_[i] = Value{};
+    ++size_;
+    return values_[i];
+  }
+
+  Value* Find(std::uint64_t key) {
+    if (keys_.empty()) return nullptr;
+    std::size_t i = Mix64(key) & mask_;
+    while (keys_[i] != kEmpty) {
+      if (keys_[i] == key) return &values_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  const Value* Find(std::uint64_t key) const {
+    return const_cast<U64Map*>(this)->Find(key);
+  }
+
+  // Slot-order iteration: deterministic, because the layout is a pure
+  // function of the (deterministic) insertion sequence.
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmpty) f(keys_[i], values_[i]);
+    }
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  void Rehash(std::size_t cap) {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<Value> old_values = std::move(values_);
+    keys_.assign(cap, kEmpty);
+    values_.assign(cap, Value{});
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty) continue;
+      std::size_t j = Mix64(old_keys[i]) & mask_;
+      while (keys_[j] != kEmpty) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      values_[j] = old_values[i];
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<Value> values_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Open-addressed k-gram table: maps length-k symbol spans to a count.
+// Distinct keys are appended to a flat backing store (k symbols each), so
+// lookups compare against contiguous memory and iteration is allocation-
+// free.  Doubles as the survivor set during iterative lengthening.
+
+class NgramTable {
+ public:
+  void Reset(std::size_t k) {
+    k_ = k;
+    keys_.clear();
+    counts_.clear();
+    std::fill(slots_.begin(), slots_.end(), 0u);
+  }
+
+  double& Count(const SymbolId* gram) {
+    if (slots_.empty() || (counts_.size() + 1) * 10 > slots_.size() * 7) {
+      Grow(slots_.empty() ? 32 : slots_.size() * 2);
+    }
+    std::size_t i = Hash(gram) & mask_;
+    while (slots_[i] != 0) {
+      const std::uint32_t e = slots_[i] - 1;
+      if (std::equal(gram, gram + k_, keys_.data() + e * k_)) {
+        return counts_[e];
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = static_cast<std::uint32_t>(counts_.size()) + 1;
+    keys_.insert(keys_.end(), gram, gram + k_);
+    counts_.push_back(0.0);
+    return counts_.back();
+  }
+
+  const double* Find(const SymbolId* gram) const {
+    if (slots_.empty()) return nullptr;
+    std::size_t i = Hash(gram) & mask_;
+    while (slots_[i] != 0) {
+      const std::uint32_t e = slots_[i] - 1;
+      if (std::equal(gram, gram + k_, keys_.data() + e * k_)) {
+        return &counts_[e];
+      }
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  // f(const SymbolId* gram, double count), in first-insertion order.
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (std::size_t e = 0; e < counts_.size(); ++e) {
+      f(keys_.data() + e * k_, counts_[e]);
+    }
+  }
+
+  std::size_t size() const { return counts_.size(); }
+  std::size_t k() const { return k_; }
+  bool empty() const { return counts_.empty(); }
+
+ private:
+  std::uint64_t Hash(const SymbolId* gram) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ k_;
+    for (std::size_t i = 0; i < k_; ++i) h = Mix64(h ^ gram[i]);
+    return h;
+  }
+
+  void Grow(std::size_t cap) {
+    slots_.assign(cap, 0u);
+    mask_ = cap - 1;
+    for (std::uint32_t e = 0; e < counts_.size(); ++e) {
+      std::size_t i = Hash(keys_.data() + e * k_) & mask_;
+      while (slots_[i] != 0) i = (i + 1) & mask_;
+      slots_[i] = e + 1;
+    }
+  }
+
+  std::size_t k_ = 2;
+  std::vector<std::uint32_t> slots_;  // entry index + 1; 0 = empty
+  std::vector<SymbolId> keys_;        // flat, k_ symbols per entry
+  std::vector<double> counts_;
+  std::size_t mask_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Posting lists: bigram -> ids of events containing it, and prefix symbol
+// -> ids of events carrying that prefix.  Built once over the arena;
+// `active` filtering happens at query time.  This is what lets component
+// extraction touch candidates instead of scanning every active event.
+
+struct Postings {
+  static constexpr std::uint32_t kNoEntry = 0xffffffffu;
+
+  U64Map<std::uint32_t> bigram_index;      // packed pair -> entry id (+1)
+  std::vector<std::uint64_t> bigram_keys;  // packed pair per entry
+  // CSR index: for entry e, events[offsets[e]..offsets[e+1]) are the ids
+  // of events whose sequence contains that bigram, ascending; an event
+  // containing the bigram at several positions appears once per position,
+  // so duplicates are adjacent and dedup is a single comparison.  Built
+  // in one counting pass plus one fill pass over the recorded entry ids —
+  // no per-bigram vectors, no allocator churn.
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint32_t> events;
+  // Prefix symbol -> classes CSR (class ids ascending), same layout as the
+  // bigram index above.  Built after the encode loop in a counting pass +
+  // a fill pass; per-class push_back into per-prefix vectors was visible
+  // allocator churn on 330k-event windows.
+  std::vector<std::uint32_t> prefix_offsets;
+  std::vector<std::uint32_t> prefix_classes;
+
+  std::uint32_t EntryOf(SymbolId a, SymbolId b) const {
+    const std::uint32_t* entry = bigram_index.Find(PackPair(a, b));
+    return entry ? *entry - 1 : kNoEntry;
+  }
+
+  // Calls f(event_id) for every event containing entry `e`, ascending.
+  template <typename F>
+  void ForEachClassWith(std::uint32_t e, F&& f) const {
+    std::uint32_t last = kNoEntry;
+    for (std::uint32_t i = offsets[e]; i < offsets[e + 1]; ++i) {
+      const std::uint32_t id = events[i];
+      if (id == last) continue;
+      last = id;
+      f(id);
+    }
+  }
+};
+
+bool ContainsSpan(const SymbolId* seq, std::size_t len, const SymbolId* sub,
+                  std::size_t sub_len) {
+  if (sub_len > len) return false;
+  for (std::size_t j = 0; j + sub_len <= len; ++j) {
+    if (std::equal(sub, sub + sub_len, seq + j)) return true;
+  }
+  return false;
+}
+
+// Reused allocations for the per-component search.
+struct Scratch {
+  NgramTable survivors;
+  NgramTable extended;
+  std::vector<char> candidate_mark;
+  std::vector<std::uint32_t> candidates;
+  std::vector<char> entry_mark;  // bigram entries surviving at length 2
+};
+
+// Finds the top-ranked sub-sequence (count desc, length desc, then
+// lexicographically smallest for determinism) over active events, reading
+// bigram counts from the persistent (incrementally maintained) table.
+// Returns nullopt if no bigram reaches min_count.
+std::optional<std::pair<std::vector<SymbolId>, double>> TopSubsequence(
+    const Arena& arena, const std::vector<char>& active,
+    const Postings& postings, const std::vector<double>& bigram_counts,
+    double min_count, Scratch& scratch) {
+  // The maximum over all length>=2 sub-sequences is attained by a bigram
+  // (counts are antitone in extension); the persistent dense count array
+  // already holds every active bigram count.
   double best_count = 0.0;
-  for (const auto& [pair, count] : bigrams) {
+  for (const double count : bigram_counts) {
     best_count = std::max(best_count, count);
   }
-  if (best_count < min_count) return std::nullopt;
+  if (best_count < min_count || best_count <= kCountEpsilon) {
+    return std::nullopt;
+  }
 
-  // Survivors at length 2.
-  std::unordered_set<std::vector<SymbolId>, VecHash> survivors;
-  for (const auto& [pair, count] : bigrams) {
-    if (CountsEqual(count, best_count)) {
-      survivors.insert({pair.first, pair.second});
+  // Survivors at length 2.  `entry_mark` mirrors the survivor set by
+  // entry id so the first lengthening level can test membership with an
+  // array load instead of a hash probe per position.
+  scratch.survivors.Reset(2);
+  scratch.entry_mark.assign(bigram_counts.size(), 0);
+  for (std::size_t e = 0; e < bigram_counts.size(); ++e) {
+    if (CountsEqual(bigram_counts[e], best_count)) {
+      const std::uint64_t key = postings.bigram_keys[e];
+      const SymbolId pair[2] = {static_cast<SymbolId>(key >> 32),
+                                static_cast<SymbolId>(key)};
+      scratch.survivors.Count(pair) = bigram_counts[e];
+      scratch.entry_mark[e] = 1;
     }
   }
 
   // Iterative lengthening: a (k+1)-gram can keep the max count only if
-  // its k-prefix does; count extensions of current survivors until none
-  // survive.
-  std::unordered_set<std::vector<SymbolId>, VecHash> last_survivors =
-      survivors;
+  // its k-prefix does.  Count extensions of current survivors — over the
+  // posting-list candidates only, in ascending event order so weighted
+  // sums accumulate exactly as a full serial scan would — until no
+  // survivor remains.
+  std::vector<std::vector<SymbolId>> last_survivors;
   std::size_t k = 2;
-  while (!survivors.empty()) {
-    last_survivors = survivors;
-    std::unordered_map<std::vector<SymbolId>, double, VecHash> extended;
-    for (std::size_t i = 0; i < events.size(); ++i) {
-      if (!active[i]) continue;
-      const auto& seq = events[i].seq;
-      if (seq.size() < k + 1) continue;
-      std::vector<SymbolId> window;
-      for (std::size_t j = 0; j + k < seq.size(); ++j) {
-        window.assign(seq.begin() + static_cast<std::ptrdiff_t>(j),
-                      seq.begin() + static_cast<std::ptrdiff_t>(j + k));
-        if (!survivors.contains(window)) continue;
-        window.push_back(seq[j + k]);
-        extended[window] += events[i].weight;
+  while (!scratch.survivors.empty()) {
+    last_survivors.clear();
+    scratch.survivors.ForEach([&](const SymbolId* gram, double) {
+      last_survivors.emplace_back(gram, gram + k);
+    });
+
+    // Candidate events: union of the survivors' leading-bigram postings.
+    // Marks are cleared per-candidate below, so the cost of a level stays
+    // proportional to its candidate set, not the window.
+    if (scratch.candidate_mark.size() < arena.views.size()) {
+      scratch.candidate_mark.assign(arena.views.size(), 0);
+    }
+    scratch.candidates.clear();
+    scratch.survivors.ForEach([&](const SymbolId* gram, double) {
+      const std::uint32_t e = postings.EntryOf(gram[0], gram[1]);
+      if (e == Postings::kNoEntry) return;
+      postings.ForEachClassWith(e, [&](std::uint32_t id) {
+        if (active[id] && !scratch.candidate_mark[id]) {
+          scratch.candidate_mark[id] = 1;
+          scratch.candidates.push_back(id);
+        }
+      });
+    });
+    std::sort(scratch.candidates.begin(), scratch.candidates.end());
+    for (const std::uint32_t id : scratch.candidates) {
+      scratch.candidate_mark[id] = 0;
+    }
+
+    scratch.extended.Reset(k + 1);
+    if (k == 2) {
+      // First level runs over every candidate position; membership in the
+      // survivor set is a lookup on the recorded entry ids, not a hash.
+      for (const std::uint32_t id : scratch.candidates) {
+        const EventView& view = arena.views[id];
+        if (view.length < 3) continue;
+        const SymbolId* seq = arena.Seq(id);
+        const double weight = view.weight;
+        for (std::uint32_t j = 0; j + 2 < view.length; ++j) {
+          if (scratch.entry_mark[arena.pair_entries[view.begin + j]]) {
+            scratch.extended.Count(seq + j) += weight;
+          }
+        }
+      }
+    } else {
+      for (const std::uint32_t id : scratch.candidates) {
+        const SymbolId* seq = arena.Seq(id);
+        const std::size_t len = arena.Len(id);
+        if (len < k + 1) continue;
+        const double weight = arena.views[id].weight;
+        for (std::size_t j = 0; j + k < len; ++j) {
+          if (scratch.survivors.Find(seq + j) != nullptr) {
+            scratch.extended.Count(seq + j) += weight;
+          }
+        }
       }
     }
-    survivors.clear();
-    for (const auto& [vec, count] : extended) {
-      if (CountsEqual(count, best_count)) survivors.insert(vec);
-    }
+
+    scratch.survivors.Reset(k + 1);
+    scratch.extended.ForEach([&](const SymbolId* gram, double count) {
+      if (CountsEqual(count, best_count)) {
+        scratch.survivors.Count(gram) = count;
+      }
+    });
     ++k;
   }
 
   // Deterministic pick among the longest survivors.
-  std::vector<SymbolId> best = *std::min_element(
-      last_survivors.begin(), last_survivors.end());
+  std::vector<SymbolId> best = *std::min_element(last_survivors.begin(),
+                                                 last_survivors.end());
   return std::make_pair(std::move(best), best_count);
-}
-
-bool ContainsSubsequence(const std::vector<SymbolId>& seq,
-                         const std::vector<SymbolId>& sub) {
-  if (sub.size() > seq.size()) return false;
-  for (std::size_t j = 0; j + sub.size() <= seq.size(); ++j) {
-    if (std::equal(sub.begin(), sub.end(),
-                   seq.begin() + static_cast<std::ptrdiff_t>(j))) {
-      return true;
-    }
-  }
-  return false;
 }
 
 }  // namespace
@@ -204,40 +555,199 @@ StemmingResult Stem(std::span<const bgp::Event> events,
                     const StemmingOptions& options) {
   StemmingResult result;
   result.total_events = events.size();
+  result.stats.events_encoded = events.size();
 
   // Encode events into symbol sequences c = x h a1 .. an p (consecutive
-  // AS-path prepends collapsed, as they carry no location information).
-  std::vector<EncodedEvent> encoded;
-  encoded.reserve(events.size());
-  for (const bgp::Event& e : events) {
-    EncodedEvent ee;
-    ee.seq.reserve(e.attrs.as_path.Length() + 3);
-    ee.seq.push_back(result.symbols.InternPeer(e.peer));
-    ee.seq.push_back(result.symbols.InternNexthop(e.attrs.nexthop));
+  // AS-path prepends collapsed, as they carry no location information),
+  // deduplicated into weighted classes in the flat arena.  Symbols are
+  // interned per event — in the same order a per-event encoder would —
+  // so symbol ids are unchanged by the dedup.
+  const util::StageTimer encode_timer;
+  Arena arena;
+  Postings postings;
+  ClassIndex class_index;
+  std::vector<std::uint32_t> event_class(events.size(), 0);
+  std::vector<std::uint32_t> class_mult;    // events per class
+  std::vector<std::uint32_t> entry_counts;  // pair positions per bigram
+  std::vector<std::uint64_t> raw_buf;
+  // With no weight_fn every event weighs exactly 1.0, so class weights
+  // and the window total are integers — computable from multiplicities
+  // after the loop instead of accumulated per event.  (Identical values:
+  // a sum of m ones is exactly m in double precision.)
+  const bool weighted = static_cast<bool>(options.weight_fn);
+  for (std::size_t ei = 0; ei < events.size(); ++ei) {
+    if (ei + 1 < events.size()) {
+      // The AS path lives behind a pointer per event; pull the next one
+      // into cache while this one is being encoded.
+      __builtin_prefetch(events[ei + 1].attrs.as_path.asns().data());
+    }
+    const bgp::Event& e = events[ei];
+    // Raw tagged sequence — pure arithmetic, no table lookups.
+    raw_buf.clear();
+    raw_buf.push_back(Tag(SymbolKind::kPeer, e.peer.value()));
+    raw_buf.push_back(Tag(SymbolKind::kNexthop, e.attrs.nexthop.value()));
     bgp::AsNumber last_as = 0;
     bool have_last = false;
     for (const bgp::AsNumber asn : e.attrs.as_path.asns()) {
       if (have_last && asn == last_as) continue;
-      ee.seq.push_back(result.symbols.InternAs(asn));
+      raw_buf.push_back(Tag(SymbolKind::kAs, asn));
       last_as = asn;
       have_last = true;
     }
-    ee.prefix_symbol = result.symbols.InternPrefix(e.prefix);
-    ee.seq.push_back(ee.prefix_symbol);
-    ee.weight = options.weight_fn ? options.weight_fn(e.prefix) : 1.0;
-    result.total_weight += ee.weight;
-    encoded.push_back(std::move(ee));
+    raw_buf.push_back(
+        Tag(SymbolKind::kPrefix,
+            (static_cast<std::uint64_t>(e.prefix.addr().value()) << 8) |
+                e.prefix.length()));
+
+    const std::uint32_t len = static_cast<std::uint32_t>(raw_buf.size());
+    std::uint32_t cls =
+        class_index.FindOrPrepare(arena.raw.data(), raw_buf.data(), len);
+    if (cls == ClassIndex::kNew) {
+      cls = static_cast<std::uint32_t>(arena.views.size());
+      EventView view;
+      view.begin = static_cast<std::uint32_t>(arena.symbols.size());
+      view.length = len;
+      // Symbols are interned here, and only here: a sequence containing a
+      // never-seen symbol is necessarily a never-seen sequence, so first
+      // occurrences intern at the same point in event order as a
+      // per-event encoder — symbol ids are identical.
+      for (const std::uint64_t raw : raw_buf) {
+        arena.symbols.push_back(result.symbols.InternRaw(raw));
+      }
+      arena.raw.insert(arena.raw.end(), raw_buf.begin(), raw_buf.end());
+      view.prefix_symbol = arena.symbols.back();
+      // Per-pair work happens once per *class*, not once per event: record
+      // the bigram entry id for every adjacent pair of the new sequence,
+      // counting per-entry occurrences as we go (they become the CSR
+      // offsets below, saving a separate counting pass).
+      const SymbolId* seq = arena.symbols.data() + view.begin;
+      for (std::uint32_t j = 0; j + 1 < len; ++j) {
+        const std::uint64_t key = PackPair(seq[j], seq[j + 1]);
+        std::uint32_t& entry = postings.bigram_index.At(key);
+        if (entry == 0) {
+          postings.bigram_keys.push_back(key);
+          // entry ids are offset by 1 so the map's zero-init means "new".
+          entry = static_cast<std::uint32_t>(postings.bigram_keys.size());
+          entry_counts.push_back(0);
+        }
+        arena.pair_entries.push_back(entry - 1);
+        ++entry_counts[entry - 1];
+      }
+      arena.pair_entries.push_back(0);  // the last symbol starts no pair
+      view.unit_weight = weighted ? options.weight_fn(e.prefix) : 1.0;
+      arena.views.push_back(view);
+      class_mult.push_back(0);
+      class_index.Insert(cls, view.begin, len);
+    }
+    event_class[ei] = cls;
+    ++class_mult[cls];
+    if (weighted) {
+      EventView& view = arena.views[cls];
+      view.weight += view.unit_weight;
+      result.total_weight += view.unit_weight;
+    }
+  }
+  if (!weighted) {
+    for (std::size_t cls = 0; cls < arena.views.size(); ++cls) {
+      arena.views[cls].weight = static_cast<double>(class_mult[cls]);
+    }
+    result.total_weight = static_cast<double>(events.size());
   }
 
-  std::vector<bool> active(encoded.size(), true);
-  std::size_t active_count = encoded.size();
+  // Posting CSR: offsets are the prefix sums of the per-entry counts
+  // gathered during encoding, plus one fill pass over the recorded entry
+  // ids — no per-bigram vectors, no allocator churn.
+  const std::size_t n_bigrams = postings.bigram_keys.size();
+  postings.offsets.assign(n_bigrams + 1, 0);
+  for (std::size_t e = 0; e < n_bigrams; ++e) {
+    postings.offsets[e + 1] = postings.offsets[e] + entry_counts[e];
+  }
+  postings.events.resize(postings.offsets[n_bigrams]);
+  {
+    std::vector<std::uint32_t> cursor(postings.offsets.begin(),
+                                      postings.offsets.end() - 1);
+    for (std::uint32_t cls = 0; cls < arena.views.size(); ++cls) {
+      const EventView& view = arena.views[cls];
+      for (std::uint32_t j = 0; j + 1 < view.length; ++j) {
+        postings.events[cursor[arena.pair_entries[view.begin + j]]++] = cls;
+      }
+    }
+  }
+  // Prefix -> classes CSR, same two-pass construction.
+  postings.prefix_offsets.assign(result.symbols.size() + 1, 0);
+  for (const EventView& view : arena.views) {
+    ++postings.prefix_offsets[view.prefix_symbol + 1];
+  }
+  for (std::size_t s = 0; s < result.symbols.size(); ++s) {
+    postings.prefix_offsets[s + 1] += postings.prefix_offsets[s];
+  }
+  postings.prefix_classes.resize(arena.views.size());
+  {
+    std::vector<std::uint32_t> cursor(postings.prefix_offsets.begin(),
+                                      postings.prefix_offsets.end() - 1);
+    for (std::uint32_t cls = 0; cls < arena.views.size(); ++cls) {
+      postings.prefix_classes[cursor[arena.views[cls].prefix_symbol]++] = cls;
+    }
+  }
+  result.stats.distinct_sequences = arena.views.size();
+  result.stats.symbols_interned = result.symbols.size();
+  result.stats.arena_symbols = arena.symbols.size();
+  result.stats.encode_seconds = encode_timer.Seconds();
+
+  // Initial bigram count, sharded over dense per-shard arrays indexed by
+  // the entry ids recorded during encoding — no hashing.  The shard
+  // split depends only on the class count — never on the pool — and
+  // partials merge in shard order, so any thread count (or none)
+  // produces identical sums, bit for bit.
+  const util::StageTimer count_timer;
+  constexpr std::size_t kShardSize = 16384;
+  const std::size_t shards =
+      arena.views.empty() ? 0 : (arena.views.size() + kShardSize - 1) /
+                                    kShardSize;
+  std::vector<std::vector<double>> partial(shards);
+  const auto count_shard = [&](std::size_t s) {
+    const std::size_t begin = s * kShardSize;
+    const std::size_t end = std::min(begin + kShardSize, arena.views.size());
+    std::vector<double>& counts = partial[s];
+    counts.assign(n_bigrams, 0.0);
+    for (std::size_t i = begin; i < end; ++i) {
+      const EventView& view = arena.views[i];
+      const double weight = view.weight;
+      for (std::uint32_t j = 0; j + 1 < view.length; ++j) {
+        counts[arena.pair_entries[view.begin + j]] += weight;
+      }
+    }
+  };
+  if (options.pool != nullptr && shards > 1) {
+    options.pool->ParallelFor(shards, count_shard);
+  } else {
+    for (std::size_t s = 0; s < shards; ++s) count_shard(s);
+  }
+  std::vector<double> bigram_counts(n_bigrams, 0.0);
+  for (const std::vector<double>& counts : partial) {
+    for (std::size_t e = 0; e < n_bigrams; ++e) {
+      bigram_counts[e] += counts[e];
+    }
+  }
+  partial.clear();
+  result.stats.bigram_table_size = n_bigrams;
+  result.stats.count_seconds = count_timer.Seconds();
+
+  const util::StageTimer extract_timer;
+  std::vector<char> active(arena.views.size(), 1);
+  std::size_t active_count = events.size();  // in original-event units
+  constexpr std::uint32_t kNoComponent = 0xffffffffu;
+  std::vector<std::uint32_t> class_component(arena.views.size(),
+                                             kNoComponent);
+  Scratch scratch;
 
   while (result.components.size() < options.max_components &&
          active_count > 0) {
     const double min_count =
         std::max(options.min_count,
                  options.min_count_fraction * result.total_weight);
-    auto top = TopSubsequence(encoded, active, min_count);
+    auto top = TopSubsequence(arena, active, postings, bigram_counts,
+                              min_count, scratch);
     if (!top) break;
     auto& [sequence, count] = *top;
     if (sequence.size() < options.min_subsequence_length) break;
@@ -247,24 +757,53 @@ StemmingResult Stem(std::span<const bgp::Event> events,
     component.stem = {sequence[sequence.size() - 2], sequence.back()};
     component.count = count;
 
-    // P: prefixes of active sequences containing s'.
-    std::unordered_set<SymbolId> prefix_symbols;
-    for (std::size_t i = 0; i < encoded.size(); ++i) {
-      if (!active[i]) continue;
-      if (ContainsSubsequence(encoded[i].seq, sequence)) {
-        prefix_symbols.insert(encoded[i].prefix_symbol);
+    // P: prefixes of active sequences containing s'.  Candidates come
+    // from the stem pair's posting list (every sequence containing s'
+    // contains its last bigram); only they are checked for containment.
+    std::vector<SymbolId> prefix_symbols;
+    const std::uint32_t stem_entry =
+        postings.EntryOf(component.stem.first, component.stem.second);
+    if (stem_entry != Postings::kNoEntry) {
+      postings.ForEachClassWith(stem_entry, [&](std::uint32_t cls) {
+        if (!active[cls]) return;
+        if (sequence.size() == 2 ||
+            ContainsSpan(arena.Seq(cls), arena.Len(cls), sequence.data(),
+                         sequence.size())) {
+          prefix_symbols.push_back(arena.views[cls].prefix_symbol);
+        }
+      });
+    }
+    std::sort(prefix_symbols.begin(), prefix_symbols.end());
+    prefix_symbols.erase(
+        std::unique(prefix_symbols.begin(), prefix_symbols.end()),
+        prefix_symbols.end());
+
+    // E: every active class whose prefix is in P, via the prefix posting
+    // lists — proportional to the component, not the window.  Classes are
+    // tagged with the component id; original event ids and weights are
+    // recovered in one ordered pass after the recursion ends.  Each
+    // removed class's bigram contributions are *subtracted* from the
+    // persistent counts: the next iteration pays for the removed
+    // component, not for a recount of the window.
+    const std::uint32_t comp_id =
+        static_cast<std::uint32_t>(result.components.size());
+    for (const SymbolId prefix_symbol : prefix_symbols) {
+      const std::uint32_t pend = postings.prefix_offsets[prefix_symbol + 1];
+      for (std::uint32_t pi = postings.prefix_offsets[prefix_symbol];
+           pi < pend; ++pi) {
+        const std::uint32_t cls = postings.prefix_classes[pi];
+        if (!active[cls]) continue;
+        active[cls] = 0;
+        class_component[cls] = comp_id;
+        const EventView& view = arena.views[cls];
+        active_count -= class_mult[cls];
+        const double weight = view.weight;
+        for (std::uint32_t j = 0; j + 1 < view.length; ++j) {
+          bigram_counts[arena.pair_entries[view.begin + j]] -= weight;
+        }
       }
     }
-    // E: every active event whose prefix is in P.
-    for (std::size_t i = 0; i < encoded.size(); ++i) {
-      if (!active[i]) continue;
-      if (prefix_symbols.contains(encoded[i].prefix_symbol)) {
-        component.event_indices.push_back(i);
-        component.event_weight += encoded[i].weight;
-        active[i] = false;
-        --active_count;
-      }
-    }
+
     component.prefixes.reserve(prefix_symbols.size());
     for (const SymbolId s : prefix_symbols) {
       component.prefixes.push_back(result.symbols.PrefixOf(s));
@@ -274,7 +813,20 @@ StemmingResult Stem(std::span<const bgp::Event> events,
     result.components.push_back(std::move(component));
   }
 
+  // Expand classes back to original events, in ascending event order —
+  // the same order (and the same floating-point accumulation sequence)
+  // in which a per-event recursion would have collected them.
+  for (std::size_t ei = 0; ei < events.size(); ++ei) {
+    const std::uint32_t comp_id = class_component[event_class[ei]];
+    if (comp_id == kNoComponent) continue;
+    Component& component = result.components[comp_id];
+    component.event_indices.push_back(ei);
+    component.event_weight += arena.views[event_class[ei]].unit_weight;
+  }
+
   result.residual_events = active_count;
+  result.stats.components = result.components.size();
+  result.stats.extract_seconds = extract_timer.Seconds();
   return result;
 }
 

@@ -18,6 +18,18 @@
 // retain the maximum count — exact, and linear-ish in the stream size
 // instead of quadratic in path length.
 //
+// Counting backend (DESIGN.md "Arena counting backend"): event sequences
+// live in one flat SymbolId arena with per-event (offset, length) views;
+// sub-sequence counts use open-addressed tables keyed by arena spans; a
+// bigram posting-list index maps each adjacent pair to the events
+// containing it, so component extraction visits candidates instead of
+// the whole window; and the bigram count table is persistent across the
+// recursion — removing a component *subtracts* its events' contributions
+// instead of recounting, making each iteration proportional to the
+// removed component.  An optional ThreadPool shards the initial count
+// and merges partial tables in shard order; results are bit-identical
+// for any thread count.
+//
 // Temporal independence: the algorithm never looks at event ordering or
 // inter-arrival times, so it works unchanged on a 10-minute spike window
 // or a multi-day window where a single flapping prefix dominates.
@@ -36,6 +48,10 @@
 #include "bgp/attributes.h"
 #include "bgp/prefix.h"
 #include "util/intern.h"
+
+namespace ranomaly::util {
+class ThreadPool;
+}
 
 namespace ranomaly::stemming {
 
@@ -67,6 +83,18 @@ class SymbolTable {
   // "192.96.10.0/24".
   std::string Name(SymbolId id) const;
 
+  // Raw tagged encoding (kind in the top byte, payload below).  Stable
+  // across SymbolTables: two windows interning the same element yield
+  // the same raw value, which makes it the cross-window identity of a
+  // symbol (incident dedup keys on it).
+  std::uint64_t Raw(SymbolId id) const { return pool_.Lookup(id); }
+
+  // Interns an already-tagged raw value (the inverse of Raw).  The arena
+  // encoder dedups sequences on raw values first and only interns the
+  // symbols of novel sequences; callers must pass values produced by the
+  // tagged encoding above.
+  SymbolId InternRaw(std::uint64_t raw) { return pool_.Intern(raw); }
+
   std::size_t size() const { return pool_.size(); }
 
  private:
@@ -85,6 +113,24 @@ struct StemmingOptions {
   // Optional per-prefix weight (traffic volume); default: every prefix
   // weighs 1 (the paper's base algorithm).
   std::function<double(const bgp::Prefix&)> weight_fn;
+  // Optional pool for sharded bigram counting (non-owning).  The shard
+  // split is fixed by the input size, never by the thread count, so the
+  // result is bit-identical with any pool — or none.
+  util::ThreadPool* pool = nullptr;
+};
+
+// Analysis-stage counters for one Stem call (surfaced through
+// util::StageCounters by the pipeline and `ranomaly stats --analyze`).
+struct StemmingStats {
+  std::size_t events_encoded = 0;
+  std::size_t distinct_sequences = 0;  // weighted classes after dedup
+  std::size_t symbols_interned = 0;
+  std::size_t arena_symbols = 0;      // total SymbolIds in the arena
+  std::size_t bigram_table_size = 0;  // distinct bigrams after encoding
+  std::size_t components = 0;
+  double encode_seconds = 0.0;   // arena encoding + posting lists
+  double count_seconds = 0.0;    // initial (sharded) bigram count
+  double extract_seconds = 0.0;  // recursion: top-seq + component removal
 };
 
 struct Component {
@@ -102,6 +148,7 @@ struct StemmingResult {
   std::size_t total_events = 0;
   double total_weight = 0.0;
   std::size_t residual_events = 0;  // events not claimed by any component
+  StemmingStats stats;
 
   // "11423-209" style label of a component's stem.
   std::string StemLabel(const Component& component) const;

@@ -4,7 +4,43 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/strings.h"
+
 namespace ranomaly::util {
+
+void StageCounters::Add(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, total] : entries_) {
+    if (key == name) {
+      total += value;
+      return;
+    }
+  }
+  entries_.emplace_back(std::string(name), value);
+}
+
+std::vector<std::pair<std::string, double>> StageCounters::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+std::string StageCounters::ToString() const {
+  const auto entries = Snapshot();
+  std::size_t width = 0;
+  for (const auto& [name, value] : entries) {
+    width = std::max(width, name.size());
+  }
+  std::string out;
+  for (const auto& [name, value] : entries) {
+    const bool seconds = name.size() >= 8 &&
+                         name.compare(name.size() - 8, 8, "_seconds") == 0;
+    out += StrPrintf("%-*s  ", static_cast<int>(width), name.c_str());
+    out += seconds ? StrPrintf("%.3f", value)
+                   : StrPrintf("%.0f", value);
+    out += "\n";
+  }
+  return out;
+}
 
 void RunningStats::Add(double x) {
   if (n_ == 0) {

@@ -1,10 +1,15 @@
 // Streaming statistics and time-series binning.
 //
 // Used by the collector's event-rate view (paper Fig 8), the spike
-// detector, and the benchmark reporting.
+// detector, the analysis-stage perf counters, and benchmark reporting.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/time.h"
@@ -33,6 +38,44 @@ class RunningStats {
 
 // Exact percentile over a materialized sample (sorts a copy).
 double Percentile(std::vector<double> sample, double p);
+
+// Monotonic wall-clock stopwatch for perf *metering* only — algorithm
+// behaviour stays on simulated time (DESIGN.md determinism rule; these
+// readings never feed back into results).
+class StageTimer {
+ public:
+  StageTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Named accumulating counters with insertion-ordered reporting.
+// Thread-safe: analysis stages running on pool workers add concurrently.
+// This is where the pipeline answers "where does analysis time go" —
+// events encoded, symbols interned, bigram table sizes, components,
+// wall seconds per stage (`ranomaly stats --analyze`).
+class StageCounters {
+ public:
+  // Adds `value` to the counter named `name` (created on first use).
+  void Add(std::string_view name, double value);
+
+  // Counters in first-Add order.
+  std::vector<std::pair<std::string, double>> Snapshot() const;
+
+  // Aligned "name  value" lines; counts print as integers, *_seconds
+  // with millisecond precision.
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 // Bins event timestamps into fixed-width buckets.  This is the data behind
 // the paper's Fig 8 "BGP event rate" plot: each bucket's count is the

@@ -1,0 +1,123 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ranomaly::util {
+namespace {
+
+// Set while a thread is executing pool work; nested ParallelFor calls
+// (any pool) detect it and run inline instead of waiting on a pool that
+// may be saturated by their own ancestors.
+thread_local bool tls_in_pool_worker = false;
+
+}  // namespace
+
+std::size_t ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("RANOMALY_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) {
+      return std::min<std::size_t>(static_cast<std::size_t>(parsed), 256);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads == 0 ? DefaultThreadCount() : threads) {
+  workers_.reserve(threads_ > 0 ? threads_ - 1 : 0);
+  for (std::size_t i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunChunks(std::uint32_t generation,
+                           const std::function<void(std::size_t)>& fn,
+                           std::size_t end) {
+  // Claims are CAS increments on a (generation | index) word: a worker
+  // waking late can never claim an index against a newer job's bounds,
+  // because the generation tag no longer matches.
+  const bool was_in_worker = tls_in_pool_worker;
+  tls_in_pool_worker = true;
+  std::uint64_t v = claim_.load(std::memory_order_acquire);
+  for (;;) {
+    if (static_cast<std::uint32_t>(v >> 32) != generation) break;
+    const std::size_t idx = static_cast<std::uint32_t>(v);
+    if (idx >= end) break;
+    if (!claim_.compare_exchange_weak(v, v + 1, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      continue;  // v reloaded by the failed CAS
+    }
+    fn(idx);
+    if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == end) {
+      // Last chunk: wake the caller.  Lock so the notify cannot slip
+      // between the caller's predicate check and its wait.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+    v = claim_.load(std::memory_order_acquire);
+  }
+  tls_in_pool_worker = was_in_worker;
+}
+
+void ThreadPool::WorkerMain() {
+  std::uint32_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t end = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      fn = fn_;
+      end = end_;
+    }
+    RunChunks(seen_generation, *fn, end);
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t chunks,
+                             const std::function<void(std::size_t)>& fn) {
+  if (chunks == 0) return;
+  if (workers_.empty() || chunks == 1 || tls_in_pool_worker) {
+    // Serial pool, trivial job, or nested call from a worker: run inline.
+    const bool was_in_worker = tls_in_pool_worker;
+    tls_in_pool_worker = true;
+    for (std::size_t i = 0; i < chunks; ++i) fn(i);
+    tls_in_pool_worker = was_in_worker;
+    return;
+  }
+  std::lock_guard<std::mutex> caller_lock(caller_mu_);
+  std::uint32_t generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    generation = ++generation_;
+    fn_ = &fn;
+    end_ = chunks;
+    completed_.store(0, std::memory_order_relaxed);
+    claim_.store(static_cast<std::uint64_t>(generation) << 32,
+                 std::memory_order_release);
+  }
+  work_cv_.notify_all();
+  RunChunks(generation, fn, chunks);  // the caller participates
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return completed_.load(std::memory_order_acquire) == end_;
+  });
+  fn_ = nullptr;
+}
+
+}  // namespace ranomaly::util

@@ -195,6 +195,16 @@ TEST_F(CliTest, StatsCountsPerPeer) {
   EXPECT_NE(output.find("10.0.0.1"), std::string::npos);
 }
 
+TEST_F(CliTest, StatsAnalyzeReportsStageBreakdown) {
+  const std::string capture = WriteCapture();
+  EXPECT_EQ(Run({"stats", capture, "--analyze"}), 0);
+  const std::string output = out_.str();
+  EXPECT_NE(output.find("analysis stages"), std::string::npos);
+  EXPECT_NE(output.find("events_encoded"), std::string::npos);
+  EXPECT_NE(output.find("bigram_table_size"), std::string::npos);
+  EXPECT_NE(output.find("analyze_seconds"), std::string::npos);
+}
+
 TEST_F(CliTest, StatsShowsMarkersAndFeedGaps) {
   collector::EventStream stream;
   const bgp::Ipv4Addr peer(10, 0, 0, 1);

@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "stemming/stemming.h"
+#include "util/thread_pool.h"
+#include "workload/eventgen.h"
 
 namespace ranomaly::stemming {
 namespace {
@@ -270,6 +276,318 @@ TEST(SymbolTableTest, RoundTripsAllKinds) {
   EXPECT_EQ(table.Name(pfx), "4.5.0.0/16");
   EXPECT_THROW(table.AsOf(peer), std::logic_error);
   EXPECT_THROW(table.PrefixOf(as), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence suite: the arena-encoded, incrementally-counted, optionally
+// sharded Stem must reproduce the original direct implementation exactly.
+// `reference` below is a faithful copy of the pre-arena Stem (per-event
+// SymbolId vectors, VecHash-keyed maps, full recount per iteration) kept
+// as the oracle; any behavioural drift in the optimized path fails here.
+// ---------------------------------------------------------------------------
+
+namespace reference {
+
+struct EncodedEvent {
+  std::vector<SymbolId> seq;
+  SymbolId prefix_symbol = 0;
+  double weight = 1.0;
+};
+
+struct PairHash {
+  std::size_t operator()(const std::pair<SymbolId, SymbolId>& p) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.first) << 32) | p.second);
+  }
+};
+
+struct VecHash {
+  std::size_t operator()(const std::vector<SymbolId>& v) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const SymbolId s : v) {
+      h ^= s;
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+constexpr double kCountEpsilon = 1e-9;
+
+bool CountsEqual(double a, double b) {
+  return std::fabs(a - b) <= kCountEpsilon * std::max(1.0, std::max(a, b));
+}
+
+std::optional<std::pair<std::vector<SymbolId>, double>> TopSubsequence(
+    const std::vector<EncodedEvent>& events, const std::vector<bool>& active,
+    double min_count) {
+  std::unordered_map<std::pair<SymbolId, SymbolId>, double, PairHash> bigrams;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (!active[i]) continue;
+    const auto& seq = events[i].seq;
+    for (std::size_t j = 0; j + 1 < seq.size(); ++j) {
+      bigrams[{seq[j], seq[j + 1]}] += events[i].weight;
+    }
+  }
+  if (bigrams.empty()) return std::nullopt;
+
+  double best_count = 0.0;
+  for (const auto& [pair, count] : bigrams) {
+    best_count = std::max(best_count, count);
+  }
+  if (best_count < min_count) return std::nullopt;
+
+  std::unordered_set<std::vector<SymbolId>, VecHash> survivors;
+  for (const auto& [pair, count] : bigrams) {
+    if (CountsEqual(count, best_count)) {
+      survivors.insert({pair.first, pair.second});
+    }
+  }
+
+  std::unordered_set<std::vector<SymbolId>, VecHash> last_survivors =
+      survivors;
+  std::size_t k = 2;
+  while (!survivors.empty()) {
+    last_survivors = survivors;
+    std::unordered_map<std::vector<SymbolId>, double, VecHash> extended;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (!active[i]) continue;
+      const auto& seq = events[i].seq;
+      if (seq.size() < k + 1) continue;
+      std::vector<SymbolId> window;
+      for (std::size_t j = 0; j + k < seq.size(); ++j) {
+        window.assign(seq.begin() + static_cast<std::ptrdiff_t>(j),
+                      seq.begin() + static_cast<std::ptrdiff_t>(j + k));
+        if (!survivors.contains(window)) continue;
+        window.push_back(seq[j + k]);
+        extended[window] += events[i].weight;
+      }
+    }
+    survivors.clear();
+    for (const auto& [vec, count] : extended) {
+      if (CountsEqual(count, best_count)) survivors.insert(vec);
+    }
+    ++k;
+  }
+
+  std::vector<SymbolId> best = *std::min_element(
+      last_survivors.begin(), last_survivors.end());
+  return std::make_pair(std::move(best), best_count);
+}
+
+bool ContainsSubsequence(const std::vector<SymbolId>& seq,
+                         const std::vector<SymbolId>& sub) {
+  if (sub.size() > seq.size()) return false;
+  for (std::size_t j = 0; j + sub.size() <= seq.size(); ++j) {
+    if (std::equal(sub.begin(), sub.end(),
+                   seq.begin() + static_cast<std::ptrdiff_t>(j))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+StemmingResult ReferenceStem(std::span<const bgp::Event> events,
+                             const StemmingOptions& options = {}) {
+  StemmingResult result;
+  result.total_events = events.size();
+
+  std::vector<EncodedEvent> encoded;
+  encoded.reserve(events.size());
+  for (const bgp::Event& e : events) {
+    EncodedEvent ee;
+    ee.seq.reserve(e.attrs.as_path.Length() + 3);
+    ee.seq.push_back(result.symbols.InternPeer(e.peer));
+    ee.seq.push_back(result.symbols.InternNexthop(e.attrs.nexthop));
+    bgp::AsNumber last_as = 0;
+    bool have_last = false;
+    for (const bgp::AsNumber asn : e.attrs.as_path.asns()) {
+      if (have_last && asn == last_as) continue;
+      ee.seq.push_back(result.symbols.InternAs(asn));
+      last_as = asn;
+      have_last = true;
+    }
+    ee.prefix_symbol = result.symbols.InternPrefix(e.prefix);
+    ee.seq.push_back(ee.prefix_symbol);
+    ee.weight = options.weight_fn ? options.weight_fn(e.prefix) : 1.0;
+    result.total_weight += ee.weight;
+    encoded.push_back(std::move(ee));
+  }
+
+  std::vector<bool> active(encoded.size(), true);
+  std::size_t active_count = encoded.size();
+
+  while (result.components.size() < options.max_components &&
+         active_count > 0) {
+    const double min_count =
+        std::max(options.min_count,
+                 options.min_count_fraction * result.total_weight);
+    auto top = TopSubsequence(encoded, active, min_count);
+    if (!top) break;
+    auto& [sequence, count] = *top;
+    if (sequence.size() < options.min_subsequence_length) break;
+
+    Component component;
+    component.top_sequence = sequence;
+    component.stem = {sequence[sequence.size() - 2], sequence.back()};
+    component.count = count;
+
+    std::unordered_set<SymbolId> prefix_symbols;
+    for (std::size_t i = 0; i < encoded.size(); ++i) {
+      if (!active[i]) continue;
+      if (ContainsSubsequence(encoded[i].seq, sequence)) {
+        prefix_symbols.insert(encoded[i].prefix_symbol);
+      }
+    }
+    for (std::size_t i = 0; i < encoded.size(); ++i) {
+      if (!active[i]) continue;
+      if (prefix_symbols.contains(encoded[i].prefix_symbol)) {
+        component.event_indices.push_back(i);
+        component.event_weight += encoded[i].weight;
+        active[i] = false;
+        --active_count;
+      }
+    }
+    component.prefixes.reserve(prefix_symbols.size());
+    for (const SymbolId s : prefix_symbols) {
+      component.prefixes.push_back(result.symbols.PrefixOf(s));
+    }
+    std::sort(component.prefixes.begin(), component.prefixes.end());
+
+    result.components.push_back(std::move(component));
+  }
+
+  result.residual_events = active_count;
+  return result;
+}
+
+}  // namespace reference
+
+// Exact (bit-level) equality of two stemming results.  Counts are sums
+// of per-event weights; for the unit-weight workloads below they are
+// integers, so exact equality holds across implementations regardless of
+// accumulation order, and the optimized path guarantees an accumulation
+// order matching its serial self for any thread count.
+void ExpectIdenticalResults(const StemmingResult& a, const StemmingResult& b) {
+  EXPECT_EQ(a.total_events, b.total_events);
+  EXPECT_EQ(a.total_weight, b.total_weight);
+  EXPECT_EQ(a.residual_events, b.residual_events);
+  ASSERT_EQ(a.components.size(), b.components.size());
+  for (std::size_t i = 0; i < a.components.size(); ++i) {
+    const Component& ca = a.components[i];
+    const Component& cb = b.components[i];
+    EXPECT_EQ(ca.top_sequence, cb.top_sequence) << "component " << i;
+    EXPECT_EQ(ca.stem, cb.stem) << "component " << i;
+    EXPECT_EQ(ca.count, cb.count) << "component " << i;
+    EXPECT_EQ(ca.prefixes, cb.prefixes) << "component " << i;
+    EXPECT_EQ(ca.event_indices, cb.event_indices) << "component " << i;
+    EXPECT_EQ(ca.event_weight, cb.event_weight) << "component " << i;
+  }
+}
+
+// Seeded anomaly workloads mirroring the paper's case studies.
+std::vector<Event> SessionResetWorkload() {
+  workload::InternetOptions opt;
+  opt.monitored_peers = 4;
+  opt.prefix_count = 600;
+  opt.origin_as_count = 80;
+  opt.seed = 11;
+  const workload::SyntheticInternet internet(opt);
+  workload::EventStreamGenerator gen(internet, 101);
+  gen.SessionReset(1, 10 * util::kMinute, util::kMinute,
+                   30 * util::kSecond);
+  gen.Churn(0, 30 * util::kMinute, 500);
+  return gen.Take().events();
+}
+
+std::vector<Event> RouteLeakWorkload() {
+  workload::InternetOptions opt;
+  opt.monitored_peers = 4;
+  opt.prefix_count = 600;
+  opt.origin_as_count = 80;
+  opt.seed = 13;
+  const workload::SyntheticInternet internet(opt);
+  workload::EventStreamGenerator gen(internet, 103);
+  gen.Tier1Failover(0, 1, 12 * util::kMinute, util::kMinute);
+  gen.Churn(0, 30 * util::kMinute, 500);
+  return gen.Take().events();
+}
+
+std::vector<Event> OscillationWorkload() {
+  workload::InternetOptions opt;
+  opt.monitored_peers = 4;
+  opt.prefix_count = 600;
+  opt.origin_as_count = 80;
+  opt.seed = 17;
+  const workload::SyntheticInternet internet(opt);
+  workload::EventStreamGenerator gen(internet, 107);
+  gen.PrefixOscillation(42, 0, 2 * util::kHour, 30 * util::kSecond);
+  gen.Churn(0, 2 * util::kHour, 400);
+  return gen.Take().events();
+}
+
+class StemmingEquivalenceTest
+    : public ::testing::TestWithParam<std::vector<Event> (*)()> {};
+
+TEST_P(StemmingEquivalenceTest, ArenaMatchesReferenceImplementation) {
+  const std::vector<Event> events = GetParam()();
+  ASSERT_FALSE(events.empty());
+  StemmingOptions options;
+  const StemmingResult expected = reference::ReferenceStem(events, options);
+  const StemmingResult actual = Stem(events, options);
+  ExpectIdenticalResults(expected, actual);
+  ASSERT_FALSE(actual.components.empty());
+}
+
+TEST_P(StemmingEquivalenceTest, ThreadPoolPathMatchesSerial) {
+  const std::vector<Event> events = GetParam()();
+  StemmingOptions serial;
+  const StemmingResult expected = Stem(events, serial);
+  for (const std::size_t threads : {2u, 4u}) {
+    util::ThreadPool pool(threads);
+    StemmingOptions pooled;
+    pooled.pool = &pool;
+    const StemmingResult actual = Stem(events, pooled);
+    ExpectIdenticalResults(expected, actual);
+  }
+}
+
+TEST_P(StemmingEquivalenceTest, WeightedCountsAreThreadCountInvariant) {
+  // Non-integer weights make accumulation order observable in the last
+  // FP bits; the fixed shard split plus shard-order merge must keep the
+  // result bit-identical for every thread count.
+  const std::vector<Event> events = GetParam()();
+  const auto weight = [](const bgp::Prefix& p) {
+    return 1.0 + 0.125 * static_cast<double>(p.addr().value() % 7) + 1e-3;
+  };
+  StemmingOptions serial;
+  serial.weight_fn = weight;
+  const StemmingResult expected = Stem(events, serial);
+  for (const std::size_t threads : {2u, 4u}) {
+    util::ThreadPool pool(threads);
+    StemmingOptions pooled;
+    pooled.weight_fn = weight;
+    pooled.pool = &pool;
+    const StemmingResult actual = Stem(events, pooled);
+    ExpectIdenticalResults(expected, actual);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, StemmingEquivalenceTest,
+                         ::testing::Values(&SessionResetWorkload,
+                                           &RouteLeakWorkload,
+                                           &OscillationWorkload),
+                         [](const auto& info) {
+                           switch (info.index) {
+                             case 0: return "SessionReset";
+                             case 1: return "RouteLeak";
+                             default: return "Oscillation";
+                           }
+                         });
+
+TEST(StemmingEquivalenceTest, Figure4MatchesReference) {
+  const auto events = Figure4Events();
+  ExpectIdenticalResults(reference::ReferenceStem(events), Stem(events));
 }
 
 }  // namespace

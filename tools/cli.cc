@@ -33,10 +33,14 @@ commands:
   animate <stream> --out-dir DIR [--every N] [--smil FILE.svg]
   convert <in> <out> --to text|binary
   moas    <stream>
-  stats   <stream>
+  stats   <stream> [--analyze]
 
 stream files use the text (one event per line) or binary (RNE1) format;
 the format is detected automatically.
+
+stats --analyze also runs the analysis pipeline and reports where the
+time goes (events encoded, symbols interned, bigram table sizes, wall
+seconds per stage); thread count follows RANOMALY_THREADS.
 )";
 
 // Simple flag parser: positionals + --key value + --bool-flag.
@@ -56,7 +60,8 @@ struct Args {
 };
 
 // Flags that take no value.
-const char* kBooleanFlags[] = {"--include-unknown", "--hierarchical"};
+const char* kBooleanFlags[] = {"--include-unknown", "--hierarchical",
+                               "--analyze"};
 
 std::optional<Args> ParseArgs(const std::vector<std::string>& argv,
                               std::ostream& err) {
@@ -389,6 +394,19 @@ int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
           << util::FormatTime(gap.begin) << " -> "
           << util::FormatTime(gap.end)
           << (gap.closed ? "" : " (never resynced)") << "\n";
+    }
+  }
+  // Analysis-stage perf breakdown: run the pipeline with counters wired
+  // through and print where the time went.
+  if (args.HasFlag("--analyze")) {
+    const core::Pipeline pipeline{core::PipelineOptions{}};
+    util::StageCounters counters;
+    pipeline.Analyze(*stream, &counters);
+    out << "analysis stages (threads=" << util::ThreadPool::DefaultThreadCount()
+        << "):\n";
+    std::istringstream lines(counters.ToString());
+    for (std::string line; std::getline(lines, line);) {
+      out << "  " << line << "\n";
     }
   }
   return kOk;

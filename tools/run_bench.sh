@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Runs the stemming-opt benchmark and distils BENCH_stemming.json:
+# ns/op per workload size for the legacy and arena stemmers, the serial
+# speedup per row, and the 1/2/4-thread curve at 330k events.
+#
+# Usage:
+#   tools/run_bench.sh [--quick] [--build-dir DIR] [--out FILE]
+#
+#   --quick      trimmed run (12k rows + thread curve, short min_time);
+#                writes into the build dir instead of the repo root.
+#                This is what the `bench_smoke` ctest entry runs.
+#   --build-dir  cmake build directory (default: <repo>/build)
+#   --out        output JSON path (default: <repo>/BENCH_stemming.json,
+#                or <build>/BENCH_stemming_quick.json with --quick)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+quick=0
+out=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) quick=1; shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --out) out="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+bench="$build_dir/bench/bench_stemming_opt"
+if [[ ! -x "$bench" ]]; then
+  echo "building bench_stemming_opt in $build_dir ..." >&2
+  cmake --build "$build_dir" --target bench_stemming_opt
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+if [[ "$quick" -eq 1 ]]; then
+  [[ -n "$out" ]] || out="$build_dir/BENCH_stemming_quick.json"
+  # 12k rows only, plus the thread curve's 1-thread point; short runs.
+  "$bench" \
+    --benchmark_filter='/(12000|1)$' \
+    --benchmark_min_time=0.05 \
+    --benchmark_format=json > "$raw"
+else
+  [[ -n "$out" ]] || out="$repo_root/BENCH_stemming.json"
+  "$bench" --benchmark_format=json > "$raw"
+fi
+
+python3 - "$raw" "$out" "$quick" <<'EOF'
+import json
+import sys
+
+raw_path, out_path, quick = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
+with open(raw_path) as f:
+    report = json.load(f)
+
+runs = {}
+for b in report["benchmarks"]:
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    ns = b["real_time"]
+    unit = b.get("time_unit", "ns")
+    ns *= {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    runs[b["name"]] = {"ns_per_op": ns, "counters": {
+        k: v for k, v in b.items()
+        if k in ("events", "components", "threads")}}
+
+def ns(name):
+    return runs[name]["ns_per_op"] if name in runs else None
+
+rows = []
+for size in (12_000, 57_000, 330_000):
+    legacy = ns(f"BM_StemmingLegacy/{size}")
+    arena = ns(f"BM_StemmingArena/{size}")
+    if legacy is None and arena is None:
+        continue
+    row = {"events": size, "legacy_ns_per_op": legacy,
+           "arena_ns_per_op": arena}
+    if legacy is not None and arena is not None and arena > 0:
+        row["speedup"] = legacy / arena
+    rows.append(row)
+
+parallel = []
+for threads in (1, 2, 4):
+    t = ns(f"BM_StemmingArenaThreads/{threads}")
+    if t is not None:
+        parallel.append({"threads": threads, "ns_per_op": t})
+
+result = {
+    "benchmark": "bench_stemming_opt",
+    "workload": "BerkeleyScale(23000) SpikeEvents, Table I stemming rows",
+    "mode": "quick" if quick else "full",
+    "rows": rows,
+    "parallel_330k": parallel,
+}
+big = next((r for r in rows if r["events"] == 330_000 and "speedup" in r),
+           None)
+if big is not None:
+    result["serial_speedup_330k"] = big["speedup"]
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+for r in rows:
+    s = f'  {r["events"]:>7} events: '
+    if r["legacy_ns_per_op"] is not None:
+        s += f'legacy {r["legacy_ns_per_op"] / 1e6:.1f} ms  '
+    if r["arena_ns_per_op"] is not None:
+        s += f'arena {r["arena_ns_per_op"] / 1e6:.1f} ms  '
+    if "speedup" in r:
+        s += f'speedup {r["speedup"]:.1f}x'
+    print(s)
+for p in parallel:
+    print(f'  330k @ {p["threads"]} thread(s): {p["ns_per_op"] / 1e6:.1f} ms')
+
+if not rows and not parallel:
+    sys.exit("no benchmark rows parsed")
+if not quick and big is not None and big["speedup"] < 5.0:
+    sys.exit(f'serial speedup at 330k is {big["speedup"]:.2f}x, below the '
+             "5x target")
+print(f"wrote {out_path}")
+EOF
