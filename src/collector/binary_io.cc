@@ -4,6 +4,8 @@
 #include <istream>
 #include <ostream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace ranomaly::collector {
@@ -102,6 +104,9 @@ std::string LoadDiagnostics::ToString() const {
 }
 
 bool SaveBinary(const EventStream& stream, std::ostream& os) {
+  obs::TraceSpan span("collector.save_binary");
+  span.Annotate("events", static_cast<std::uint64_t>(stream.size()));
+  const auto begin = os.tellp();
   os.write(kMagic, sizeof(kMagic));
   io::Put<std::uint64_t>(os, stream.size());
   for (const bgp::Event& e : stream.events()) {
@@ -112,16 +117,26 @@ bool SaveBinary(const EventStream& stream, std::ostream& os) {
     io::Put<std::uint8_t>(os, e.prefix.length());
     io::PutAttrs(os, e.attrs);
   }
+  if (os) {
+    RANOMALY_METRIC_COUNT("io_events_saved_total", stream.size());
+    if (const auto end = os.tellp(); begin >= 0 && end > begin) {
+      RANOMALY_METRIC_COUNT("io_bytes_written_total",
+                            static_cast<std::uint64_t>(end - begin));
+    }
+  }
   return static_cast<bool>(os);
 }
 
 std::optional<EventStream> LoadBinary(std::istream& is, LoadDiagnostics& diag) {
+  obs::TraceSpan span("collector.load_binary");
   io::Reader r(is);
   diag = LoadDiagnostics{};
   const auto fail = [&](LoadError error, std::uint64_t event_index) {
     diag.error = error;
     diag.byte_offset = r.offset();
     diag.event_index = event_index;
+    RANOMALY_METRIC_COUNT("io_load_errors_total", 1);
+    RANOMALY_METRIC_COUNT("io_bytes_read_total", r.offset());
     return std::nullopt;
   };
 
@@ -157,6 +172,9 @@ std::optional<EventStream> LoadBinary(std::istream& is, LoadDiagnostics& diag) {
     }
     stream.Append(std::move(e));
   }
+  span.Annotate("events", static_cast<std::uint64_t>(stream.size()));
+  RANOMALY_METRIC_COUNT("io_events_loaded_total", stream.size());
+  RANOMALY_METRIC_COUNT("io_bytes_read_total", r.offset());
   return stream;
 }
 

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/crc32.h"
 #include "util/log.h"
 #include "util/strings.h"
@@ -51,6 +53,8 @@ Checkpoint SnapshotCollector(const Collector& collector, util::SimTime now,
 }
 
 void RestoreCollector(const Checkpoint& checkpoint, Collector& collector) {
+  RANOMALY_METRIC_COUNT("collector_routes_restored_total",
+                        checkpoint.RouteCount());
   for (const Checkpoint::PeerTable& table : checkpoint.peers) {
     collector.RestoreRib(table.peer, table.routes);
     if (table.stale) {
@@ -180,13 +184,21 @@ std::optional<Checkpoint> LoadCheckpoint(std::istream& is,
 
 bool WriteCheckpointFile(const Checkpoint& checkpoint,
                          const std::string& path) {
+  obs::TraceSpan span("checkpoint.write");
+  span.Annotate("routes", static_cast<std::uint64_t>(checkpoint.RouteCount()));
   const std::string tmp = path + ".tmp";
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     if (!os || !SaveCheckpoint(checkpoint, os)) return false;
+    const auto pos = os.tellp();
+    if (pos > 0) {
+      RANOMALY_METRIC_COUNT("checkpoint_bytes_written_total",
+                            static_cast<std::uint64_t>(pos));
+    }
     os.flush();
     if (!os) return false;
   }
+  RANOMALY_METRIC_COUNT("checkpoint_writes_total", 1);
   // Atomic replace: readers see the old file or the new one, never a
   // partial write.
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -198,20 +210,29 @@ bool WriteCheckpointFile(const Checkpoint& checkpoint,
 
 std::optional<Checkpoint> ReadCheckpointFile(const std::string& path,
                                              LoadDiagnostics* diag) {
+  obs::TraceSpan span("checkpoint.read");
   std::ifstream is(path, std::ios::binary);
   if (!is) {
     if (diag) {
       *diag = LoadDiagnostics{};
       diag->error = LoadError::kTruncated;
     }
+    RANOMALY_METRIC_COUNT("checkpoint_load_errors_total", 1);
     return std::nullopt;
   }
   auto checkpoint = LoadCheckpoint(is, diag);
-  if (!checkpoint && diag) {
-    RANOMALY_LOG(util::LogLevel::kWarn,
-                 util::StrPrintf("checkpoint: refusing %s: %s", path.c_str(),
-                                 diag->ToString().c_str()));
+  if (!checkpoint) {
+    RANOMALY_METRIC_COUNT("checkpoint_load_errors_total", 1);
+    if (diag) {
+      RANOMALY_LOG(util::LogLevel::kWarn,
+                   util::StrPrintf("checkpoint: refusing %s: %s", path.c_str(),
+                                   diag->ToString().c_str()));
+    }
+    return checkpoint;
   }
+  RANOMALY_METRIC_COUNT("checkpoint_loads_total", 1);
+  span.Annotate("routes",
+                static_cast<std::uint64_t>(checkpoint->RouteCount()));
   return checkpoint;
 }
 

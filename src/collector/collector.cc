@@ -3,19 +3,11 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "util/log.h"
 #include "util/strings.h"
 
 namespace ranomaly::collector {
-namespace {
-
-// Rate limit for the unmatched-withdrawal warning: the first few per peer
-// are logged verbatim, then only every kWarnEvery-th so a pathological
-// feed cannot flood the log.
-constexpr std::uint64_t kWarnFirst = 5;
-constexpr std::uint64_t kWarnEvery = 1000;
-
-}  // namespace
 
 void Collector::AttachTo(net::Simulator& sim,
                          const std::vector<net::RouterIndex>& routers) {
@@ -64,6 +56,8 @@ void Collector::OnAnnounce(util::SimTime time, bgp::Ipv4Addr peer,
   event.prefix = prefix;
   event.attrs = std::move(attrs);
   events_.Append(std::move(event));
+  RANOMALY_METRIC_COUNT("collector_events_total", 1);
+  RANOMALY_METRIC_COUNT("collector_announces_total", 1);
 }
 
 void Collector::OnWithdraw(util::SimTime time, bgp::Ipv4Addr peer,
@@ -74,14 +68,12 @@ void Collector::OnWithdraw(util::SimTime time, bgp::Ipv4Addr peer,
   if (!old) {
     // Can't augment a withdrawal for a route we never saw.
     ++unmatched_withdrawals_;
-    const std::uint64_t n = ++health.unmatched_withdrawals;
-    if (n <= kWarnFirst || n % kWarnEvery == 0) {
-      RANOMALY_LOG(util::LogLevel::kWarn,
-                   util::StrPrintf(
-                       "collector: unmatched withdrawal #%llu from %s for %s",
-                       static_cast<unsigned long long>(n),
-                       peer.ToString().c_str(), prefix.ToString().c_str()));
-    }
+    ++health.unmatched_withdrawals;
+    RANOMALY_METRIC_COUNT("collector_unmatched_withdrawals_total", 1);
+    RANOMALY_LOG_EVERY_N(
+        util::LogLevel::kWarn, 1000,
+        util::StrPrintf("collector: unmatched withdrawal from %s for %s",
+                        peer.ToString().c_str(), prefix.ToString().c_str()));
     return;
   }
   ++health.withdraws;
@@ -93,6 +85,8 @@ void Collector::OnWithdraw(util::SimTime time, bgp::Ipv4Addr peer,
   event.prefix = prefix;
   event.attrs = std::move(*old);  // the REX augmentation
   events_.Append(std::move(event));
+  RANOMALY_METRIC_COUNT("collector_events_total", 1);
+  RANOMALY_METRIC_COUNT("collector_withdraws_total", 1);
 }
 
 void Collector::OnMarker(util::SimTime time, bgp::Ipv4Addr peer,
@@ -104,11 +98,14 @@ void Collector::OnMarker(util::SimTime time, bgp::Ipv4Addr peer,
     if (health.stale) return;  // gap already open; don't double-mark
     health.stale = true;
     ++health.feed_gaps;
+    RANOMALY_METRIC_COUNT("collector_feed_gaps_total", 1);
   } else {
     if (!health.stale) return;  // resync without a gap: nothing to mark
     health.stale = false;
     ++health.resyncs;
+    RANOMALY_METRIC_COUNT("collector_resyncs_total", 1);
   }
+  RANOMALY_METRIC_COUNT("collector_events_total", 1);
   health.last_event = time;
   bgp::Event event;
   event.time = time;

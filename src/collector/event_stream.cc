@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace ranomaly::collector {
@@ -42,26 +44,43 @@ util::RateSeries EventStream::Rate(util::SimDuration bucket_width) const {
 }
 
 void EventStream::SaveText(std::ostream& os) const {
+  obs::TraceSpan span("collector.save_text");
+  span.Annotate("events", static_cast<std::uint64_t>(events_.size()));
+  std::uint64_t bytes = 0;
   for (const bgp::Event& e : events_) {
-    os << e.time << ' ' << e.ToString() << '\n';
+    const std::string text = e.ToString();
+    os << e.time << ' ' << text << '\n';
+    bytes += text.size() + 2;  // separator + newline (time digits excluded)
   }
+  RANOMALY_METRIC_COUNT("io_events_saved_total", events_.size());
+  RANOMALY_METRIC_COUNT("io_bytes_written_total", bytes);
 }
 
 std::optional<EventStream> EventStream::LoadText(std::istream& is) {
+  obs::TraceSpan span("collector.load_text");
   EventStream stream;
   std::string line;
+  std::uint64_t bytes = 0;
   while (std::getline(is, line)) {
+    bytes += line.size() + 1;
     const std::string_view trimmed = util::Trim(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
     const auto space = trimmed.find(' ');
-    if (space == std::string_view::npos) return std::nullopt;
     std::uint64_t time = 0;
-    if (!util::ParseU64(trimmed.substr(0, space), time)) return std::nullopt;
+    auto fail = [&]() -> std::optional<EventStream> {
+      RANOMALY_METRIC_COUNT("io_load_errors_total", 1);
+      return std::nullopt;
+    };
+    if (space == std::string_view::npos) return fail();
+    if (!util::ParseU64(trimmed.substr(0, space), time)) return fail();
     auto event = bgp::Event::Parse(trimmed.substr(space + 1));
-    if (!event) return std::nullopt;
+    if (!event) return fail();
     event->time = static_cast<util::SimTime>(time);
     stream.Append(std::move(*event));
   }
+  span.Annotate("events", static_cast<std::uint64_t>(stream.size()));
+  RANOMALY_METRIC_COUNT("io_events_loaded_total", stream.size());
+  RANOMALY_METRIC_COUNT("io_bytes_read_total", bytes);
   return stream;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/log.h"
 #include "util/strings.h"
 
@@ -38,7 +40,9 @@ void FeedSupervisor::Establish(util::SimTime now, bgp::Ipv4Addr peer,
       state.fsm.OnInput(bgp::SessionInput::kKeepaliveReceived, now);
   state.last_frame = now;
   if (!actions.session_established) return;
+  RANOMALY_METRIC_COUNT("collector_session_transitions_total", 1);
   if (request_resync) {
+    RANOMALY_METRIC_COUNT("collector_reconnects_total", 1);
     state.resync_requested = true;
     state.resyncing = true;
     state.unrefreshed.clear();
@@ -50,6 +54,7 @@ void FeedSupervisor::Establish(util::SimTime now, bgp::Ipv4Addr peer,
 
 void FeedSupervisor::DropFeed(util::SimTime now, bgp::Ipv4Addr peer,
                               PeerState& state) {
+  RANOMALY_METRIC_COUNT("collector_session_transitions_total", 1);
   collector_.OnMarker(now, peer, bgp::EventType::kFeedGap);
   // Abandon any half-finished resync; the next one restarts from scratch.
   state.resync_requested = false;
@@ -77,6 +82,7 @@ void FeedSupervisor::Quarantine(util::SimTime now, bgp::Ipv4Addr peer,
                                 const std::vector<std::uint8_t>& frame) {
   ++state.decode_errors;
   ++quarantined_total_;
+  RANOMALY_METRIC_COUNT("collector_frames_quarantined_total", 1);
   if (quarantine_.size() >= options_.quarantine_capacity) {
     quarantine_.pop_front();  // capped: oldest evidence ages out
   }
@@ -109,6 +115,7 @@ void FeedSupervisor::ApplyUpdate(util::SimTime now, bgp::Ipv4Addr peer,
 
 void FeedSupervisor::OnFrame(util::SimTime now, bgp::Ipv4Addr peer,
                              const std::vector<std::uint8_t>& frame) {
+  RANOMALY_METRIC_COUNT("collector_frames_total", 1);
   PeerState& state = StateOf(peer);
   if (!state.transport_up ||
       state.fsm.state() != bgp::SessionState::kEstablished) {
@@ -127,6 +134,7 @@ void FeedSupervisor::OnFrame(util::SimTime now, bgp::Ipv4Addr peer,
       return;
     case bgp::DecodeStatus::kAttributeError:
       ++state.treat_as_withdraw;
+      RANOMALY_METRIC_COUNT("collector_treat_as_withdraw_total", 1);
       state.last_frame = now;
       state.fsm.OnInput(bgp::SessionInput::kUpdateReceived, now);
       ApplyUpdate(now, peer, state, decoded.result.update,
@@ -210,6 +218,11 @@ void FeedSupervisor::OnResyncComplete(util::SimTime now, bgp::Ipv4Addr peer) {
   // Routes the replay did not refresh disappeared during the outage:
   // withdraw them honestly (inside the gap window, before the kResync
   // marker closes it).
+  obs::TraceSpan span("collector.resync_sweep");
+  span.Annotate("unrefreshed",
+                static_cast<std::uint64_t>(state.unrefreshed.size()));
+  RANOMALY_METRIC_COUNT("collector_resync_swept_routes_total",
+                        state.unrefreshed.size());
   std::vector<bgp::Prefix> swept(state.unrefreshed.begin(),
                                  state.unrefreshed.end());
   std::sort(swept.begin(), swept.end(), [](const bgp::Prefix& a,

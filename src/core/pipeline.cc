@@ -5,6 +5,9 @@
 #include <set>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stats.h"
 #include "util/strings.h"
 
 namespace ranomaly::core {
@@ -25,9 +28,7 @@ Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {
   const std::size_t threads = options_.threads != 0
                                   ? options_.threads
                                   : util::ThreadPool::DefaultThreadCount();
-  if (threads > 1) {
-    pool_ = std::make_unique<util::ThreadPool>(threads);
-  }
+  pool_ = std::make_unique<util::ThreadPool>(threads);
   // Stemming shares the pipeline's pool for its sharded bigram count.
   options_.stemming.pool = pool_.get();
 }
@@ -194,8 +195,7 @@ Incident Pipeline::MakeIncident(std::span<const bgp::Event> events,
 }
 
 std::vector<Incident> Pipeline::AnalyzeWindow(
-    std::span<const bgp::Event> events,
-    util::StageCounters* counters) const {
+    std::span<const bgp::Event> events) const {
   std::vector<Incident> incidents;
   // Collection-layer markers are not routing events; stem over the routing
   // events only.  (Component indices then refer to the filtered window.)
@@ -207,26 +207,14 @@ std::vector<Incident> Pipeline::AnalyzeWindow(
     for (const bgp::Event& e : events) {
       if (!bgp::IsMarker(e.type)) routing.push_back(e);
     }
-    return AnalyzeWindow(routing, counters);
+    return AnalyzeWindow(routing);
   }
   if (events.empty()) return incidents;
+  obs::TraceSpan span("pipeline.window");
+  span.Annotate("events", static_cast<std::uint64_t>(events.size()));
+  RANOMALY_METRIC_COUNT("pipeline_windows_total", 1);
   const stemming::StemmingResult result =
       stemming::Stem(events, options_.stemming);
-  if (counters != nullptr) {
-    const stemming::StemmingStats& s = result.stats;
-    counters->Add("windows_stemmed", 1.0);
-    counters->Add("events_encoded", static_cast<double>(s.events_encoded));
-    counters->Add("distinct_sequences",
-                  static_cast<double>(s.distinct_sequences));
-    counters->Add("symbols_interned", static_cast<double>(s.symbols_interned));
-    counters->Add("arena_symbols", static_cast<double>(s.arena_symbols));
-    counters->Add("bigram_table_size",
-                  static_cast<double>(s.bigram_table_size));
-    counters->Add("components", static_cast<double>(s.components));
-    counters->Add("encode_seconds", s.encode_seconds);
-    counters->Add("count_seconds", s.count_seconds);
-    counters->Add("extract_seconds", s.extract_seconds);
-  }
   for (const stemming::Component& component : result.components) {
     const double fraction = static_cast<double>(component.event_indices.size()) /
                             static_cast<double>(events.size());
@@ -241,10 +229,12 @@ std::vector<Incident> Pipeline::AnalyzeWindow(
 }
 
 std::vector<Incident> Pipeline::Analyze(
-    const collector::EventStream& stream,
-    util::StageCounters* counters) const {
+    const collector::EventStream& stream) const {
   std::vector<Incident> incidents;
   if (stream.empty()) return incidents;
+  obs::TraceSpan analyze_span("pipeline.analyze");
+  analyze_span.Annotate("events", static_cast<std::uint64_t>(stream.size()));
+  RANOMALY_METRIC_COUNT("pipeline_analyses_total", 1);
   const util::StageTimer total_timer;
 
   // Spike-scale pass.  Windows are independent, so they fan out across
@@ -252,29 +242,27 @@ std::vector<Incident> Pipeline::Analyze(
   // the output bit-identical to the serial loop regardless of thread
   // count (the determinism contract, DESIGN.md).
   const util::StageTimer spike_timer;
+  obs::TraceSpan spike_span("pipeline.spike_pass");
   const auto spikes = collector::DetectSpikes(stream, options_.spike_bucket,
                                               options_.spike_factor);
+  spike_span.Annotate("spikes", static_cast<std::uint64_t>(spikes.size()));
   std::vector<std::vector<Incident>> per_spike(spikes.size());
   const auto analyze_spike = [&](std::size_t i) {
     const auto window =
         stream.Window(spikes[i].begin - options_.spike_margin,
                       spikes[i].end + options_.spike_margin);
-    per_spike[i] = AnalyzeWindow(window, counters);
+    per_spike[i] = AnalyzeWindow(window);
   };
-  if (pool_ != nullptr && spikes.size() > 1) {
-    pool_->ParallelFor(spikes.size(), analyze_spike);
-  } else {
-    for (std::size_t i = 0; i < spikes.size(); ++i) analyze_spike(i);
-  }
+  pool_->ParallelFor(spikes.size(), analyze_spike);
   for (std::vector<Incident>& window_incidents : per_spike) {
     for (Incident& inc : window_incidents) {
       incidents.push_back(std::move(inc));
     }
   }
-  if (counters != nullptr) {
-    counters->Add("spike_windows", static_cast<double>(spikes.size()));
-    counters->Add("spike_pass_seconds", spike_timer.Seconds());
-  }
+  RANOMALY_METRIC_COUNT("pipeline_spike_windows_total", spikes.size());
+  RANOMALY_METRIC_OBSERVE("pipeline_spike_pass_seconds", obs::TimeBounds(),
+                          spike_timer.Seconds());
+  spike_span.End();
 
   // Long-window pass over the grass: everything *outside* the spike
   // windows (spikes were handled at their own timescale above; leaving
@@ -282,6 +270,7 @@ std::vector<Incident> Pipeline::Analyze(
   // anomalies this pass exists to catch).
   if (options_.long_window_pass) {
     const util::StageTimer grass_timer;
+    obs::TraceSpan grass_span("pipeline.grass_pass");
     std::vector<bgp::Event> grass;
     grass.reserve(stream.size());
     // DetectSpikes returns disjoint windows sorted by begin, and events()
@@ -299,13 +288,13 @@ std::vector<Incident> Pipeline::Analyze(
           e.time >= spikes[next_spike].begin - options_.spike_margin;
       if (!inside_spike) grass.push_back(e);
     }
-    for (Incident& inc : AnalyzeWindow(grass, counters)) {
+    grass_span.Annotate("events", static_cast<std::uint64_t>(grass.size()));
+    for (Incident& inc : AnalyzeWindow(grass)) {
       incidents.push_back(std::move(inc));
     }
-    if (counters != nullptr) {
-      counters->Add("grass_events", static_cast<double>(grass.size()));
-      counters->Add("grass_pass_seconds", grass_timer.Seconds());
-    }
+    RANOMALY_METRIC_COUNT("pipeline_grass_events_total", grass.size());
+    RANOMALY_METRIC_OBSERVE("pipeline_grass_pass_seconds", obs::TimeBounds(),
+                            grass_timer.Seconds());
   }
 
   // Deduplicate by stem identity (raw tagged symbol pair — stable across
@@ -340,10 +329,9 @@ std::vector<Incident> Pipeline::Analyze(
       }
     }
   }
-  if (counters != nullptr) {
-    counters->Add("incidents", static_cast<double>(unique.size()));
-    counters->Add("analyze_seconds", total_timer.Seconds());
-  }
+  RANOMALY_METRIC_COUNT("pipeline_incidents_total", unique.size());
+  RANOMALY_METRIC_OBSERVE("pipeline_analyze_seconds", obs::TimeBounds(),
+                          total_timer.Seconds());
   return unique;
 }
 

@@ -15,7 +15,6 @@
 #include "collector/event_stream.h"
 #include "core/incident.h"
 #include "stemming/stemming.h"
-#include "util/stats.h"
 #include "util/thread_pool.h"
 
 namespace ranomaly::core {
@@ -49,16 +48,15 @@ class Pipeline {
   // Full analysis: spike windows first (concurrently when the pipeline
   // has threads; incidents merge in spike order, so results are
   // bit-identical to serial), then the long-window pass over the grass;
-  // incidents are deduplicated by stem.  `counters`, when given,
-  // accumulates the per-stage perf breakdown (events encoded, symbols
-  // interned, bigram table sizes, wall seconds per stage).
-  std::vector<Incident> Analyze(const collector::EventStream& stream,
-                                util::StageCounters* counters = nullptr) const;
+  // incidents are deduplicated by stem.  The per-stage perf breakdown
+  // (events encoded, symbols interned, bigram table sizes, wall seconds
+  // per stage) accumulates on obs::MetricsRegistry::Global() under the
+  // pipeline_* and stemming_* names (docs/OBSERVABILITY.md).
+  std::vector<Incident> Analyze(const collector::EventStream& stream) const;
 
   // Stems and classifies one window.
-  std::vector<Incident> AnalyzeWindow(std::span<const bgp::Event> events,
-                                      util::StageCounters* counters = nullptr)
-      const;
+  std::vector<Incident> AnalyzeWindow(
+      std::span<const bgp::Event> events) const;
 
   // Evidence extraction & classification (exposed for tests/benches).
   static IncidentEvidence ExtractEvidence(
@@ -75,8 +73,9 @@ class Pipeline {
                         const stemming::Component& component) const;
 
   PipelineOptions options_;
-  // Shared by stemming shard counts and the spike-window fan-out; null
-  // when the pipeline is single-threaded.
+  // Shared by stemming shard counts and the spike-window fan-out.  Always
+  // created: a one-thread pool spawns no workers and runs inline, so the
+  // fan-out takes the same instrumented path at every thread count.
   std::unique_ptr<util::ThreadPool> pool_;
 };
 

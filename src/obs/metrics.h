@@ -1,0 +1,167 @@
+// Process-wide metrics registry: monotonic counters, gauges, and
+// fixed-bucket histograms.
+//
+// Hot-path writes go to thread-local shards (lock-free relaxed atomics
+// for counters, an uncontended per-shard mutex for histograms), so
+// instrumenting the analysis fan-out never serializes the thread pool.
+// Snapshots merge the shards in a fixed order and report metrics sorted
+// by name, so output is deterministic regardless of which thread did
+// what.  Counter values and integer histogram bucket counts are sums of
+// integers — associative — so they are bit-identical for any
+// RANOMALY_THREADS setting (the DESIGN.md determinism contract); gauges
+// (last write wins) and *_seconds histograms (wall clock) are metering
+// only and excluded from that contract.
+//
+// This library is standard-library-only (no ranomaly deps): it sits
+// below util so even util::ThreadPool can be instrumented.
+//
+// Building with -DRANOMALY_NO_TRACING=ON compiles the RANOMALY_METRIC_*
+// macros (and TraceSpan bodies, trace.h) down to nothing; the registry
+// API itself stays available so tools still link.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ranomaly::obs {
+
+// Identifies a registered metric; encodes the kind so the hot path
+// never needs a name lookup.  Obtain from Counter()/Gauge()/Histogram()
+// and cache (the RANOMALY_METRIC_* macros cache in a function-local
+// static).
+using MetricId = std::uint32_t;
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+// Upper bucket bounds for wall-second histograms: 1us .. ~100s,
+// quadrupling.  The implicit final bucket is +Inf.
+std::vector<double> TimeBounds();
+
+// `count` bounds starting at `first`, each `factor` times the previous.
+std::vector<double> ExponentialBounds(double first, double factor,
+                                      std::size_t count);
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;           // ascending upper bounds
+  std::vector<std::uint64_t> counts;    // bounds.size() + 1; last = +Inf
+  std::uint64_t total_count = 0;
+  double sum = 0.0;
+};
+
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter = 0;
+  double gauge = 0.0;
+  HistogramSnapshot histogram;
+};
+
+// Aligned "name value" text lines for a snapshot (the `ranomaly
+// metrics` default output).  Exposed so callers can filter a snapshot
+// before formatting (`stats --analyze`).
+std::string FormatSnapshot(const std::vector<MetricSnapshot>& snapshot);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry every RANOMALY_METRIC_* site records into.
+  // Never destroyed (leaked on purpose: instrumented code may run during
+  // static destruction).
+  static MetricsRegistry& Global();
+
+  // Register-or-find by name.  Re-registering an existing name returns
+  // the existing id; the kind (and, for histograms, bounds) must match.
+  MetricId Counter(std::string_view name);
+  MetricId Gauge(std::string_view name);
+  MetricId Histogram(std::string_view name, std::vector<double> bounds);
+
+  // Hot-path recording.  Add/Observe write this thread's shard only;
+  // Set is last-write-wins on a shared atomic.
+  void Add(MetricId id, std::uint64_t delta = 1);
+  void Set(MetricId id, double value);
+  void Observe(MetricId id, double value);
+
+  // Merged view of all shards (live and retired), sorted by name.
+  std::vector<MetricSnapshot> Snapshot() const;
+  std::string ToText() const;
+  // Prometheus exposition text; every name gets the "ranomaly_" prefix.
+  std::string ToPrometheus() const;
+
+  // Zeroes every value (registrations survive).  Callers must ensure no
+  // concurrent writers: this is for tests and CLI runs, not steady state.
+  void Reset();
+
+  // Test convenience: the merged value of a counter, 0 if unregistered.
+  std::uint64_t CounterValue(std::string_view name) const;
+
+  struct Shard;  // opaque; public so the thread-exit hook can name it
+
+  // Internal (called from the thread-exit hook): folds a departing
+  // thread's shard into the retired totals and frees it.
+  void RetireThreadShard(Shard* shard);
+
+ private:
+  struct Impl;
+  Shard& LocalShard();
+  MetricId Register(std::string_view name, MetricKind kind,
+                    std::vector<double> bounds);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ranomaly::obs
+
+// Convenience macros: register once per call site (thread-safe
+// function-local static), then record.  Compiled out entirely under
+// RANOMALY_NO_TRACING.
+#ifndef RANOMALY_NO_TRACING
+
+#define RANOMALY_METRIC_COUNT(name, delta)                                 \
+  do {                                                                     \
+    static const ::ranomaly::obs::MetricId ranomaly_metric_id_ =           \
+        ::ranomaly::obs::MetricsRegistry::Global().Counter(name);          \
+    ::ranomaly::obs::MetricsRegistry::Global().Add(ranomaly_metric_id_,    \
+                                                   (delta));               \
+  } while (0)
+
+#define RANOMALY_METRIC_SET(name, value)                                   \
+  do {                                                                     \
+    static const ::ranomaly::obs::MetricId ranomaly_metric_id_ =           \
+        ::ranomaly::obs::MetricsRegistry::Global().Gauge(name);            \
+    ::ranomaly::obs::MetricsRegistry::Global().Set(ranomaly_metric_id_,    \
+                                                   (value));               \
+  } while (0)
+
+// `bounds` is any std::vector<double> expression, e.g. TimeBounds();
+// evaluated once per call site.
+#define RANOMALY_METRIC_OBSERVE(name, bounds, value)                       \
+  do {                                                                     \
+    static const ::ranomaly::obs::MetricId ranomaly_metric_id_ =           \
+        ::ranomaly::obs::MetricsRegistry::Global().Histogram(name,         \
+                                                             (bounds));    \
+    ::ranomaly::obs::MetricsRegistry::Global().Observe(ranomaly_metric_id_,\
+                                                       (value));           \
+  } while (0)
+
+#else  // RANOMALY_NO_TRACING
+
+#define RANOMALY_METRIC_COUNT(name, delta) \
+  do {                                     \
+  } while (0)
+#define RANOMALY_METRIC_SET(name, value) \
+  do {                                   \
+  } while (0)
+#define RANOMALY_METRIC_OBSERVE(name, bounds, value) \
+  do {                                               \
+  } while (0)
+
+#endif  // RANOMALY_NO_TRACING

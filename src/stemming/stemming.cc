@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -563,6 +565,8 @@ StemmingResult Stem(std::span<const bgp::Event> events,
   // interned per event — in the same order a per-event encoder would —
   // so symbol ids are unchanged by the dedup.
   const util::StageTimer encode_timer;
+  obs::TraceSpan encode_span("stemming.encode");
+  encode_span.Annotate("events", static_cast<std::uint64_t>(events.size()));
   Arena arena;
   Postings postings;
   ClassIndex class_index;
@@ -693,6 +697,17 @@ StemmingResult Stem(std::span<const bgp::Event> events,
   result.stats.symbols_interned = result.symbols.size();
   result.stats.arena_symbols = arena.symbols.size();
   result.stats.encode_seconds = encode_timer.Seconds();
+  encode_span.Annotate("classes",
+                       static_cast<std::uint64_t>(arena.views.size()));
+  encode_span.End();
+  RANOMALY_METRIC_COUNT("stemming_events_encoded_total", events.size());
+  RANOMALY_METRIC_COUNT("stemming_distinct_sequences_total",
+                        arena.views.size());
+  RANOMALY_METRIC_COUNT("stemming_symbols_interned_total",
+                        result.symbols.size());
+  RANOMALY_METRIC_COUNT("stemming_arena_symbols_total", arena.symbols.size());
+  RANOMALY_METRIC_OBSERVE("stemming_encode_seconds", obs::TimeBounds(),
+                          result.stats.encode_seconds);
 
   // Initial bigram count, sharded over dense per-shard arrays indexed by
   // the entry ids recorded during encoding — no hashing.  The shard
@@ -700,6 +715,7 @@ StemmingResult Stem(std::span<const bgp::Event> events,
   // partials merge in shard order, so any thread count (or none)
   // produces identical sums, bit for bit.
   const util::StageTimer count_timer;
+  obs::TraceSpan count_span("stemming.count");
   constexpr std::size_t kShardSize = 16384;
   const std::size_t shards =
       arena.views.empty() ? 0 : (arena.views.size() + kShardSize - 1) /
@@ -732,8 +748,15 @@ StemmingResult Stem(std::span<const bgp::Event> events,
   partial.clear();
   result.stats.bigram_table_size = n_bigrams;
   result.stats.count_seconds = count_timer.Seconds();
+  count_span.Annotate("bigrams", static_cast<std::uint64_t>(n_bigrams));
+  count_span.Annotate("shards", static_cast<std::uint64_t>(shards));
+  count_span.End();
+  RANOMALY_METRIC_COUNT("stemming_bigram_entries_total", n_bigrams);
+  RANOMALY_METRIC_OBSERVE("stemming_count_seconds", obs::TimeBounds(),
+                          result.stats.count_seconds);
 
   const util::StageTimer extract_timer;
+  obs::TraceSpan extract_span("stemming.extract");
   std::vector<char> active(arena.views.size(), 1);
   std::size_t active_count = events.size();  // in original-event units
   constexpr std::uint32_t kNoComponent = 0xffffffffu;
@@ -827,6 +850,14 @@ StemmingResult Stem(std::span<const bgp::Event> events,
   result.residual_events = active_count;
   result.stats.components = result.components.size();
   result.stats.extract_seconds = extract_timer.Seconds();
+  extract_span.Annotate("components",
+                        static_cast<std::uint64_t>(result.components.size()));
+  RANOMALY_METRIC_COUNT("stemming_components_total", result.components.size());
+  RANOMALY_METRIC_OBSERVE("stemming_components_per_window",
+                          (std::vector<double>{0, 1, 2, 4, 8, 16}),
+                          static_cast<double>(result.components.size()));
+  RANOMALY_METRIC_OBSERVE("stemming_extract_seconds", obs::TimeBounds(),
+                          result.stats.extract_seconds);
   return result;
 }
 

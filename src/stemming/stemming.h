@@ -119,8 +119,10 @@ struct StemmingOptions {
   util::ThreadPool* pool = nullptr;
 };
 
-// Analysis-stage counters for one Stem call (surfaced through
-// util::StageCounters by the pipeline and `ranomaly stats --analyze`).
+// Analysis-stage counters for one Stem call.  Stem also records them on
+// the process metrics registry (stemming_* metrics, see
+// docs/OBSERVABILITY.md), which is what `ranomaly stats --analyze` and
+// `ranomaly metrics` report.
 struct StemmingStats {
   std::size_t events_encoded = 0;
   std::size_t distinct_sequences = 0;  // weighted classes after dedup

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stats.h"
+
 namespace ranomaly::tamp {
 
 Animator::Animator(const std::vector<collector::RouteEntry>& initial_snapshot,
@@ -127,6 +131,8 @@ Animator::Result Animator::Play(std::span<const bgp::Event> events,
   if (played_) throw std::logic_error("Animator::Play called twice");
   played_ = true;
 
+  obs::TraceSpan play_span("tamp.play");
+  play_span.Annotate("events", static_cast<std::uint64_t>(events.size()));
   Result result;
   result.total_events = events.size();
   const int total_frames = std::max(1, options_.TotalFrames());
@@ -153,6 +159,8 @@ Animator::Result Animator::Play(std::span<const bgp::Event> events,
     }
     touched_.clear();
 
+    const util::StageTimer frame_timer;
+    obs::TraceSpan frame_span("tamp.frame");
     FrameStats stats;
     stats.clock = frame_end_time - t0;
     while (next_event < events.size() &&
@@ -181,6 +189,12 @@ Animator::Result Animator::Play(std::span<const bgp::Event> events,
       series.push_back(graph_.EdgeWeight(key.from, key.to));
     }
 
+    frame_span.Annotate("events_applied",
+                        static_cast<std::uint64_t>(stats.events_applied));
+    RANOMALY_METRIC_COUNT("tamp_frames_total", 1);
+    RANOMALY_METRIC_COUNT("tamp_events_applied_total", stats.events_applied);
+    RANOMALY_METRIC_OBSERVE("tamp_frame_seconds", obs::TimeBounds(),
+                            frame_timer.Seconds());
     result.frames.push_back(stats);
     if (on_frame) on_frame(static_cast<std::size_t>(frame), stats);
   }

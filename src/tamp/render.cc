@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stats.h"
 #include "util/strings.h"
 
 namespace ranomaly::tamp {
@@ -96,6 +99,9 @@ const char* ToSvgColor(EdgeColor color) {
 
 std::string RenderSvg(const PrunedGraph& graph, const Layout& layout,
                       const RenderOptions& options) {
+  obs::TraceSpan span("tamp.render_svg");
+  const util::StageTimer timer;
+  RANOMALY_METRIC_COUNT("tamp_renders_total", 1);
   std::string svg = SvgHeader(layout.width, layout.height + 30.0);
   if (!options.title.empty()) {
     svg += StrPrintf(
@@ -110,6 +116,8 @@ std::string RenderSvg(const PrunedGraph& graph, const Layout& layout,
   if (options.show_percentages) AppendPercentLabels(svg, graph, layout);
   AppendNodes(svg, graph, layout);
   svg += "</svg>\n";
+  RANOMALY_METRIC_OBSERVE("tamp_render_seconds", obs::TimeBounds(),
+                          timer.Seconds());
   return svg;
 }
 
@@ -189,6 +197,9 @@ std::string RenderAnimatedSvg(
     const PrunedGraph& graph, const Layout& layout,
     const std::vector<std::vector<std::size_t>>& series, double play_seconds,
     const RenderOptions& options) {
+  obs::TraceSpan span("tamp.render_animated_svg");
+  const util::StageTimer timer;
+  RANOMALY_METRIC_COUNT("tamp_renders_total", 1);
   std::string svg = SvgHeader(layout.width, layout.height + 30.0);
   if (!options.title.empty()) {
     svg += StrPrintf(
@@ -253,6 +264,8 @@ std::string RenderAnimatedSvg(
       layout.height + 24.0, play_seconds,
       series.empty() ? 0 : series.front().size());
   svg += "</svg>\n";
+  RANOMALY_METRIC_OBSERVE("tamp_render_seconds", obs::TimeBounds(),
+                          timer.Seconds());
   return svg;
 }
 

@@ -39,6 +39,29 @@ LogLevel GetLogLevel() {
   return g_min_level;
 }
 
+namespace detail {
+
+bool ShouldLogEveryN(std::atomic<std::uint64_t>& seen,
+                     std::atomic<std::uint64_t>& last_logged,
+                     std::uint64_t every_n, std::uint64_t& suppressed) {
+  const std::uint64_t n = seen.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (every_n == 0) every_n = 1;
+  if (n != 1 && n % every_n != 0) return false;
+  const std::uint64_t prev = last_logged.exchange(n, std::memory_order_relaxed);
+  suppressed = n > prev ? n - prev - 1 : 0;
+  return true;
+}
+
+}  // namespace detail
+
+std::string WithSuppressedSuffix(std::string msg, std::uint64_t suppressed) {
+  if (suppressed == 0) return msg;
+  msg += " (";
+  msg += std::to_string(suppressed);
+  msg += " similar suppressed)";
+  return msg;
+}
+
 void Log(LogLevel level, const std::string& message) {
   LogSink sink;
   {

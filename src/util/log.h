@@ -4,6 +4,8 @@
 // tests can silence or capture output.  The default sink is stderr.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -29,6 +31,39 @@ void Log(LogLevel level, const std::string& message);
         static_cast<int>(::ranomaly::util::GetLogLevel())) {      \
       ::ranomaly::util::Log((level), (msg));                      \
     }                                                             \
+  } while (0)
+
+namespace detail {
+// Decides whether occurrence `++seen` at this call site should be
+// emitted (the 1st, then every `every_n`-th); on emission, fills
+// `suppressed` with how many occurrences were swallowed since the
+// previous emission so totals stay auditable.
+bool ShouldLogEveryN(std::atomic<std::uint64_t>& seen,
+                     std::atomic<std::uint64_t>& last_logged,
+                     std::uint64_t every_n, std::uint64_t& suppressed);
+}  // namespace detail
+
+// "msg (123 similar suppressed)"; returns msg unchanged when none were.
+std::string WithSuppressedSuffix(std::string msg, std::uint64_t suppressed);
+
+// Rate-limited logging: emits the first occurrence at this call site,
+// then every `every_n`-th, appending the count of suppressed messages.
+// The message expression is only evaluated when it will be emitted, so
+// a pathological feed pays one relaxed fetch_add per suppressed call.
+#define RANOMALY_LOG_EVERY_N(level, every_n, msg)                          \
+  do {                                                                     \
+    static ::std::atomic<::std::uint64_t> ranomaly_len_seen_{0};           \
+    static ::std::atomic<::std::uint64_t> ranomaly_len_logged_{0};         \
+    ::std::uint64_t ranomaly_len_suppressed_ = 0;                          \
+    if (::ranomaly::util::detail::ShouldLogEveryN(                         \
+            ranomaly_len_seen_, ranomaly_len_logged_, (every_n),           \
+            ranomaly_len_suppressed_) &&                                   \
+        static_cast<int>(level) >=                                         \
+            static_cast<int>(::ranomaly::util::GetLogLevel())) {           \
+      ::ranomaly::util::Log((level),                                       \
+                            ::ranomaly::util::WithSuppressedSuffix(        \
+                                (msg), ranomaly_len_suppressed_));         \
+    }                                                                      \
   } while (0)
 
 }  // namespace ranomaly::util

@@ -4,43 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "util/strings.h"
-
 namespace ranomaly::util {
-
-void StageCounters::Add(std::string_view name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [key, total] : entries_) {
-    if (key == name) {
-      total += value;
-      return;
-    }
-  }
-  entries_.emplace_back(std::string(name), value);
-}
-
-std::vector<std::pair<std::string, double>> StageCounters::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return entries_;
-}
-
-std::string StageCounters::ToString() const {
-  const auto entries = Snapshot();
-  std::size_t width = 0;
-  for (const auto& [name, value] : entries) {
-    width = std::max(width, name.size());
-  }
-  std::string out;
-  for (const auto& [name, value] : entries) {
-    const bool seconds = name.size() >= 8 &&
-                         name.compare(name.size() - 8, 8, "_seconds") == 0;
-    out += StrPrintf("%-*s  ", static_cast<int>(width), name.c_str());
-    out += seconds ? StrPrintf("%.3f", value)
-                   : StrPrintf("%.0f", value);
-    out += "\n";
-  }
-  return out;
-}
 
 void RunningStats::Add(double x) {
   if (n_ == 0) {
@@ -80,8 +44,12 @@ RateSeries::RateSeries(SimTime start, SimDuration bucket_width)
 }
 
 void RateSeries::Add(SimTime t, std::uint64_t count) {
-  if (t < start_) return;  // before the observation window
-  const std::size_t idx = static_cast<std::size_t>((t - start_) / width_);
+  std::size_t idx = 0;
+  if (t < start_) {
+    clamped_ += count;  // mis-stamped event: clamp into bucket 0
+  } else {
+    idx = static_cast<std::size_t>((t - start_) / width_);
+  }
   if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
   buckets_[idx] += count;
 }

@@ -6,10 +6,6 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
-#include <string>
-#include <string_view>
-#include <utility>
 #include <vector>
 
 #include "util/time.h"
@@ -55,28 +51,6 @@ class StageTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-// Named accumulating counters with insertion-ordered reporting.
-// Thread-safe: analysis stages running on pool workers add concurrently.
-// This is where the pipeline answers "where does analysis time go" —
-// events encoded, symbols interned, bigram table sizes, components,
-// wall seconds per stage (`ranomaly stats --analyze`).
-class StageCounters {
- public:
-  // Adds `value` to the counter named `name` (created on first use).
-  void Add(std::string_view name, double value);
-
-  // Counters in first-Add order.
-  std::vector<std::pair<std::string, double>> Snapshot() const;
-
-  // Aligned "name  value" lines; counts print as integers, *_seconds
-  // with millisecond precision.
-  std::string ToString() const;
-
- private:
-  mutable std::mutex mu_;
-  std::vector<std::pair<std::string, double>> entries_;
-};
-
 // Bins event timestamps into fixed-width buckets.  This is the data behind
 // the paper's Fig 8 "BGP event rate" plot: each bucket's count is the
 // number of events in that interval.
@@ -84,7 +58,15 @@ class RateSeries {
  public:
   RateSeries(SimTime start, SimDuration bucket_width);
 
+  // Grow-and-clamp: a timestamp past the last bucket grows the series,
+  // and one before `start` lands in bucket 0 (clamped, never dropped —
+  // a mis-stamped event must still be visible in the rate view).
+  // Clamped counts are tallied separately for audit.
   void Add(SimTime t, std::uint64_t count = 1);
+
+  // How many counts arrived before `start` and were clamped into
+  // bucket 0.
+  std::uint64_t clamped() const { return clamped_; }
 
   // Bucket counts; index i covers [start + i*width, start + (i+1)*width).
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
@@ -102,6 +84,7 @@ class RateSeries {
   SimTime start_;
   SimDuration width_;
   std::vector<std::uint64_t> buckets_;
+  std::uint64_t clamped_ = 0;
 };
 
 }  // namespace ranomaly::util

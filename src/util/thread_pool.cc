@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/stats.h"
+
 namespace ranomaly::util {
 namespace {
 
@@ -26,9 +30,19 @@ std::size_t ThreadPool::DefaultThreadCount() {
 
 ThreadPool::ThreadPool(std::size_t threads)
     : threads_(threads == 0 ? DefaultThreadCount() : threads) {
+  RANOMALY_METRIC_SET("pool_threads", static_cast<double>(threads_));
   workers_.reserve(threads_ > 0 ? threads_ - 1 : 0);
   for (std::size_t i = 0; i + 1 < threads_; ++i) {
-    workers_.emplace_back([this] { WorkerMain(); });
+    const std::size_t worker_index = i + 1;  // caller thread is worker 0
+    workers_.emplace_back([this, worker_index] {
+#ifndef RANOMALY_NO_TRACING
+      obs::Tracer::Global().SetCurrentThreadName(
+          "pool-worker-" + std::to_string(worker_index));
+#else
+      (void)worker_index;
+#endif
+      WorkerMain();
+    });
   }
 }
 
@@ -58,7 +72,13 @@ void ThreadPool::RunChunks(std::uint32_t generation,
                                       std::memory_order_acquire)) {
       continue;  // v reloaded by the failed CAS
     }
-    fn(idx);
+    {
+      StageTimer chunk_timer;
+      fn(idx);
+      RANOMALY_METRIC_COUNT("pool_chunks_total", 1);
+      RANOMALY_METRIC_OBSERVE("pool_chunk_seconds", obs::TimeBounds(),
+                              chunk_timer.Seconds());
+    }
     if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == end) {
       // Last chunk: wake the caller.  Lock so the notify cannot slip
       // between the caller's predicate check and its wait.
@@ -92,14 +112,25 @@ void ThreadPool::WorkerMain() {
 void ThreadPool::ParallelFor(std::size_t chunks,
                              const std::function<void(std::size_t)>& fn) {
   if (chunks == 0) return;
+  RANOMALY_METRIC_COUNT("pool_jobs_total", 1);
+  obs::TraceSpan span("pool.parallel_for");
+  span.Annotate("chunks", static_cast<std::uint64_t>(chunks));
   if (workers_.empty() || chunks == 1 || tls_in_pool_worker) {
     // Serial pool, trivial job, or nested call from a worker: run inline.
+    span.Annotate("mode", "inline");
     const bool was_in_worker = tls_in_pool_worker;
     tls_in_pool_worker = true;
-    for (std::size_t i = 0; i < chunks; ++i) fn(i);
+    for (std::size_t i = 0; i < chunks; ++i) {
+      StageTimer chunk_timer;
+      fn(i);
+      RANOMALY_METRIC_COUNT("pool_chunks_total", 1);
+      RANOMALY_METRIC_OBSERVE("pool_chunk_seconds", obs::TimeBounds(),
+                              chunk_timer.Seconds());
+    }
     tls_in_pool_worker = was_in_worker;
     return;
   }
+  span.Annotate("mode", "pooled");
   std::lock_guard<std::mutex> caller_lock(caller_mu_);
   std::uint32_t generation;
   {

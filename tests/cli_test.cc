@@ -200,9 +200,73 @@ TEST_F(CliTest, StatsAnalyzeReportsStageBreakdown) {
   EXPECT_EQ(Run({"stats", capture, "--analyze"}), 0);
   const std::string output = out_.str();
   EXPECT_NE(output.find("analysis stages"), std::string::npos);
-  EXPECT_NE(output.find("events_encoded"), std::string::npos);
-  EXPECT_NE(output.find("bigram_table_size"), std::string::npos);
-  EXPECT_NE(output.find("analyze_seconds"), std::string::npos);
+  EXPECT_NE(output.find("stemming_events_encoded_total"), std::string::npos);
+  EXPECT_NE(output.find("stemming_bigram_entries_total"), std::string::npos);
+  EXPECT_NE(output.find("pipeline_analyze_seconds"), std::string::npos);
+  // Only the analysis slice of the registry, not the io_* counters the
+  // stream load bumped.
+  EXPECT_EQ(output.find("io_events_loaded_total"), std::string::npos);
+}
+
+TEST_F(CliTest, MetricsDumpsTheRegistry) {
+  const std::string capture = WriteCapture();
+  EXPECT_EQ(Run({"metrics", capture}), 0);
+  const std::string output = out_.str();
+  EXPECT_NE(output.find("pipeline_incidents_total"), std::string::npos);
+  EXPECT_NE(output.find("stemming_events_encoded_total"), std::string::npos);
+  EXPECT_NE(output.find("io_events_loaded_total"), std::string::npos);
+}
+
+TEST_F(CliTest, MetricsPromExposition) {
+  const std::string capture = WriteCapture();
+  EXPECT_EQ(Run({"metrics", capture, "--prom"}), 0);
+  const std::string output = out_.str();
+  EXPECT_NE(output.find("# TYPE ranomaly_pipeline_analyses_total counter"),
+            std::string::npos);
+  EXPECT_NE(output.find("# TYPE ranomaly_pipeline_analyze_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(output.find("_bucket{le=\"+Inf\"}"), std::string::npos);
+  // Every non-comment line is `name{labels} value` or `name value`.
+  std::istringstream lines(output);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.compare(0, 9, "ranomaly_"), 0) << line;
+    EXPECT_NO_THROW(std::stod(line.substr(space + 1))) << line;
+  }
+}
+
+TEST_F(CliTest, TraceWrapsAnalyzeAndWritesChromeJson) {
+  const std::string capture = WriteCapture();
+  const std::string trace = Path("trace.json");
+  const std::string jsonl = Path("trace.jsonl");
+  EXPECT_EQ(
+      Run({"trace", "--out", trace, "--jsonl", jsonl, "--", "analyze",
+           capture}),
+      0);
+  EXPECT_NE(out_.str().find("incidents:"), std::string::npos);
+  EXPECT_NE(out_.str().find("wrote trace to"), std::string::npos);
+  std::ifstream in(trace);
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Spans from every instrumented layer made it into the export.
+  EXPECT_NE(json.find("cli.load_stream"), std::string::npos);
+  EXPECT_NE(json.find("collector.load_text"), std::string::npos);
+  EXPECT_NE(json.find("pipeline.analyze"), std::string::npos);
+  EXPECT_NE(json.find("pool.parallel_for"), std::string::npos);
+  EXPECT_NE(json.find("stemming.encode"), std::string::npos);
+  std::ifstream jl(jsonl);
+  std::string first_line;
+  ASSERT_TRUE(std::getline(jl, first_line));
+  EXPECT_EQ(first_line.front(), '{');
+  EXPECT_EQ(first_line.back(), '}');
+}
+
+TEST_F(CliTest, TraceWithoutOutIsUsageError) {
+  EXPECT_EQ(Run({"trace", "analyze", "whatever"}), 2);
+  EXPECT_NE(err_.str().find("--out"), std::string::npos);
 }
 
 TEST_F(CliTest, StatsShowsMarkersAndFeedGaps) {

@@ -63,6 +63,24 @@ TEST_F(LogTest, MacroShortCircuitsBelowLevel) {
   EXPECT_EQ(captured_.size(), 1u);
 }
 
+TEST_F(LogTest, EveryNEmitsFirstThenEveryNth) {
+  int evaluations = 0;
+  auto message = [&] {
+    ++evaluations;
+    return std::string("noisy");
+  };
+  for (int i = 0; i < 12; ++i) {
+    RANOMALY_LOG_EVERY_N(LogLevel::kWarn, 5, message());
+  }
+  // Calls 1, 5, and 10 emit; the rest pay one atomic increment and never
+  // evaluate the message expression.
+  ASSERT_EQ(captured_.size(), 3u);
+  EXPECT_EQ(evaluations, 3);
+  EXPECT_EQ(captured_[0].message, "noisy");
+  EXPECT_EQ(captured_[1].message, "noisy (3 similar suppressed)");
+  EXPECT_EQ(captured_[2].message, "noisy (4 similar suppressed)");
+}
+
 TEST_F(LogTest, SinkSwapReturnsPrevious) {
   bool other_called = false;
   LogSink mine = SetLogSink([&](LogLevel, const std::string&) {

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace ranomaly::obs {
+namespace {
+
+// --- metrics registry --------------------------------------------------------
+
+TEST(MetricsTest, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  const MetricId h = registry.Histogram("h", {1.0, 2.0, 4.0});
+  // One value per interesting position: inside a bucket, exactly on a
+  // bound (counts in that bound's bucket: le semantics), and past the
+  // last bound (+Inf bucket).
+  for (const double v : {0.5, 1.0, 1.5, 2.0, 4.0, 5.0}) {
+    registry.Observe(h, v);
+  }
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  const HistogramSnapshot& hist = snapshot[0].histogram;
+  ASSERT_EQ(hist.bounds, (std::vector<double>{1.0, 2.0, 4.0}));
+  EXPECT_EQ(hist.counts, (std::vector<std::uint64_t>{2, 2, 1, 1}));
+  EXPECT_EQ(hist.total_count, 6u);
+  EXPECT_DOUBLE_EQ(hist.sum, 14.0);
+}
+
+TEST(MetricsTest, ExponentialBoundsAscend) {
+  const auto bounds = ExponentialBounds(1e-6, 4.0, 14);
+  ASSERT_EQ(bounds.size(), 14u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1e-6);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+    EXPECT_DOUBLE_EQ(bounds[i], bounds[i - 1] * 4.0);
+  }
+  EXPECT_EQ(TimeBounds(), bounds);
+}
+
+TEST(MetricsTest, RegistrationIsIdempotentButKindChecked) {
+  MetricsRegistry registry;
+  const MetricId c = registry.Counter("x");
+  EXPECT_EQ(registry.Counter("x"), c);
+  EXPECT_THROW(registry.Gauge("x"), std::logic_error);
+  EXPECT_THROW(registry.Histogram("x", {1.0}), std::logic_error);
+  const MetricId h = registry.Histogram("y", {1.0, 2.0});
+  EXPECT_EQ(registry.Histogram("y", {1.0, 2.0}), h);
+  // Same name, different bounds: a bug at the call site.
+  EXPECT_THROW(registry.Histogram("y", {1.0, 3.0}), std::logic_error);
+  EXPECT_THROW(registry.Counter(""), std::invalid_argument);
+  EXPECT_THROW(registry.Histogram("z", {}), std::invalid_argument);
+  EXPECT_THROW(registry.Histogram("z", {2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(MetricsTest, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  const MetricId c = registry.Counter("c");
+  registry.Add(c, 5);
+  registry.Reset();
+  EXPECT_EQ(registry.CounterValue("c"), 0u);
+  registry.Add(c, 2);
+  EXPECT_EQ(registry.CounterValue("c"), 2u);
+}
+
+// The tentpole determinism property at registry level: counters and
+// histogram bucket counts merged from thread-local shards are
+// bit-identical no matter how many workers did the writing.
+TEST(MetricsTest, ShardMergeIsDeterministicAcrossThreadCounts) {
+  constexpr std::size_t kItems = 500;
+  std::vector<std::vector<MetricSnapshot>> runs;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    auto registry = std::make_unique<MetricsRegistry>();
+    const MetricId c = registry->Counter("work_total");
+    const MetricId h = registry->Histogram("work_size", {2.0, 8.0, 32.0});
+    {
+      util::ThreadPool pool(threads);
+      pool.ParallelFor(kItems, [&](std::size_t i) {
+        registry->Add(c, i);
+        registry->Observe(h, static_cast<double>(i % 64));
+      });
+    }  // pool joins; worker shards retire into the registry
+    runs.push_back(registry->Snapshot());
+    EXPECT_EQ(registry->CounterValue("work_total"),
+              kItems * (kItems - 1) / 2);
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (std::size_t m = 0; m < runs[0].size(); ++m) {
+      EXPECT_EQ(runs[r][m].name, runs[0][m].name);
+      EXPECT_EQ(runs[r][m].counter, runs[0][m].counter);
+      EXPECT_EQ(runs[r][m].histogram.counts, runs[0][m].histogram.counts);
+      EXPECT_EQ(runs[r][m].histogram.total_count,
+                runs[0][m].histogram.total_count);
+    }
+  }
+}
+
+TEST(MetricsTest, PrometheusExpositionShape) {
+  MetricsRegistry registry;
+  registry.Add(registry.Counter("events_total"), 3);
+  registry.Set(registry.Gauge("depth"), 2.5);
+  const MetricId h = registry.Histogram("latency", {0.5, 1.0});
+  registry.Observe(h, 0.25);
+  registry.Observe(h, 2.0);
+  const std::string text = registry.ToPrometheus();
+  EXPECT_NE(text.find("# TYPE ranomaly_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ranomaly_events_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ranomaly_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ranomaly_latency histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("ranomaly_latency_bucket{le=\"0.5\"} 1"),
+            std::string::npos);
+  // Buckets are cumulative; +Inf equals _count.
+  EXPECT_NE(text.find("ranomaly_latency_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("ranomaly_latency_count 2"), std::string::npos);
+}
+
+// --- tracer ------------------------------------------------------------------
+
+// Pulls `"key":` string/number fields out of one exported JSON line.
+std::string JsonField(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return {};
+  std::size_t begin = pos + needle.size();
+  std::size_t end;
+  if (line[begin] == '"') {
+    ++begin;
+    end = line.find('"', begin);
+  } else {
+    end = line.find_first_of(",}", begin);
+  }
+  return line.substr(begin, end - begin);
+}
+
+TEST(TraceTest, SpansNestAndBalancePerThread) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Reset();
+  tracer.SetEnabled(true);
+  {
+    TraceSpan outer("outer");
+    outer.Annotate("k", std::uint64_t{7});
+    {
+      TraceSpan inner("inner");
+      inner.Annotate("label", "va\"lue");
+    }
+    TraceSpan sibling("sibling");
+  }
+  {
+    util::ThreadPool pool(2);
+    pool.ParallelFor(8, [](std::size_t) { TraceSpan span("chunk"); });
+  }
+  tracer.SetEnabled(false);
+  const std::string jsonl = tracer.ExportJsonl();
+
+  // Replay the stream: every E must close the innermost open B of the
+  // same thread, and every stack must be empty at the end.
+  std::map<std::string, std::vector<std::string>> stacks;  // tid -> names
+  std::size_t events = 0;
+  std::istringstream lines(jsonl);
+  for (std::string line; std::getline(lines, line);) {
+    ++events;
+    ASSERT_EQ(line.front(), '{') << line;
+    ASSERT_EQ(line.back(), '}') << line;
+    const std::string name = JsonField(line, "name");
+    const std::string ph = JsonField(line, "ph");
+    const std::string tid = JsonField(line, "tid");
+    ASSERT_FALSE(name.empty());
+    ASSERT_FALSE(tid.empty());
+    auto& stack = stacks[tid];
+    if (ph == "B") {
+      stack.push_back(name);
+    } else {
+      ASSERT_EQ(ph, "E") << line;
+      ASSERT_FALSE(stack.empty()) << "E without B: " << line;
+      EXPECT_EQ(stack.back(), name) << "mis-nested: " << line;
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+  }
+  // outer/inner/sibling (3 B + 3 E) plus pool.parallel_for and one
+  // chunk span per item.
+  EXPECT_GE(events, 2 * (3 + 1 + 8));
+  EXPECT_NE(jsonl.find("\"k\":7"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"label\":\"va\\\"lue\""), std::string::npos);
+  EXPECT_EQ(tracer.DroppedCount(), 0u);
+  tracer.Reset();
+}
+
+TEST(TraceTest, ChromeJsonIsWellFormedAndNamesThreads) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Reset();
+  tracer.SetEnabled(true);
+  tracer.SetCurrentThreadName("main-test");
+  { TraceSpan span("solo"); }
+  // An unclosed B must get a synthetic E in the export.
+  tracer.RecordBegin("open");
+  tracer.SetEnabled(false);
+  const std::string json = tracer.ExportChromeJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("main-test"), std::string::npos);
+  // B and E phases balance even with the dangling span.
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"ph\":\"B\"", pos)) != std::string::npos; ++pos) {
+    ++begins;
+  }
+  for (std::size_t pos = 0;
+       (pos = json.find("\"ph\":\"E\"", pos)) != std::string::npos; ++pos) {
+    ++ends;
+  }
+  EXPECT_EQ(begins, 2u);
+  EXPECT_EQ(begins, ends);
+  tracer.Reset();
+}
+
+TEST(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Reset();
+  ASSERT_FALSE(tracer.enabled());
+  { TraceSpan span("invisible"); }
+  EXPECT_EQ(tracer.ExportJsonl(), "");
+}
+
+}  // namespace
+}  // namespace ranomaly::obs

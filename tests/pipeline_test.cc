@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
+#include <tuple>
+#include <vector>
 
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "workload/eventgen.h"
 
 namespace ranomaly::core {
@@ -10,6 +14,23 @@ namespace {
 
 using util::kMinute;
 using util::kSecond;
+
+// The event-derived subset of a metrics snapshot: counters and integer
+// histograms.  Gauges (last-write-wins) and *_seconds histograms
+// (wall-clock) are metering only and excluded from the determinism
+// contract (DESIGN.md).
+std::vector<std::tuple<std::string, std::uint64_t, std::vector<std::uint64_t>>>
+DeterministicMetrics(const std::vector<obs::MetricSnapshot>& snapshot) {
+  std::vector<
+      std::tuple<std::string, std::uint64_t, std::vector<std::uint64_t>>>
+      out;
+  for (const obs::MetricSnapshot& m : snapshot) {
+    if (m.kind == obs::MetricKind::kGauge) continue;
+    if (m.name.ends_with("_seconds")) continue;
+    out.emplace_back(m.name, m.counter, m.histogram.counts);
+  }
+  return out;
+}
 
 workload::SyntheticInternet SmallInternet() {
   workload::InternetOptions options;
@@ -183,18 +204,21 @@ TEST(PipelineTest, ThreadedAnalysisMatchesSerial) {
   gen.PrefixOscillation(11, 0, 2 * util::kHour, 20 * kSecond);
   const auto stream = gen.Take();
 
+  auto& registry = obs::MetricsRegistry::Global();
   PipelineOptions serial_options;
   serial_options.threads = 1;
   const Pipeline serial(serial_options);
+  registry.Reset();
   const auto expected = serial.Analyze(stream);
   ASSERT_FALSE(expected.empty());
+  const auto expected_metrics = DeterministicMetrics(registry.Snapshot());
 
   for (const std::size_t threads : {2u, 4u}) {
     PipelineOptions options;
     options.threads = threads;
     const Pipeline pipeline(options);
-    util::StageCounters counters;
-    const auto actual = pipeline.Analyze(stream, &counters);
+    registry.Reset();
+    const auto actual = pipeline.Analyze(stream);
     ASSERT_EQ(actual.size(), expected.size()) << "threads=" << threads;
     for (std::size_t i = 0; i < expected.size(); ++i) {
       EXPECT_EQ(actual[i].kind, expected[i].kind);
@@ -210,12 +234,12 @@ TEST(PipelineTest, ThreadedAnalysisMatchesSerial) {
       EXPECT_EQ(actual[i].component.event_indices,
                 expected[i].component.event_indices);
     }
-    // The perf counters flowed through the threaded path.
-    double events_encoded = 0.0;
-    for (const auto& [name, value] : counters.Snapshot()) {
-      if (name == "events_encoded") events_encoded = value;
-    }
-    EXPECT_GT(events_encoded, 0.0);
+    // The perf metrics flowed through the threaded path, and every
+    // event-derived metric (counters and integer histograms; wall-clock
+    // excluded) is bit-identical to the serial run.
+    EXPECT_GT(registry.CounterValue("stemming_events_encoded_total"), 0u);
+    EXPECT_EQ(DeterministicMetrics(registry.Snapshot()), expected_metrics)
+        << "threads=" << threads;
   }
 }
 

@@ -223,10 +223,35 @@ TEST(RateSeriesTest, BucketsAndSpikes) {
   EXPECT_EQ(spikes[0], 5u);
 }
 
-TEST(RateSeriesTest, IgnoresEventsBeforeStart) {
+TEST(RateSeriesTest, ClampsEventsBeforeStartIntoFirstBucket) {
+  // Mis-stamped events (before the series start) land in bucket 0 rather
+  // than being dropped, and are tallied for diagnostics.
   RateSeries series(10 * kSecond, kSecond);
   series.Add(0);
+  series.Add(9 * kSecond, 3);
+  ASSERT_EQ(series.buckets().size(), 1u);
+  EXPECT_EQ(series.buckets()[0], 4u);
+  EXPECT_EQ(series.clamped(), 4u);
+  // In-range events don't touch the clamp counter.
+  series.Add(10 * kSecond);
+  EXPECT_EQ(series.clamped(), 4u);
+  EXPECT_EQ(series.buckets()[0], 5u);
+}
+
+TEST(RateSeriesTest, EmptySeriesHasNoSpikes) {
+  RateSeries series(0, kSecond);
   EXPECT_TRUE(series.buckets().empty());
+  EXPECT_TRUE(series.SpikesAbove(1.0).empty());
+  EXPECT_EQ(series.clamped(), 0u);
+}
+
+TEST(RateSeriesTest, SingleBucketSeries) {
+  RateSeries series(0, kSecond);
+  series.Add(kSecond / 2, 7);
+  ASSERT_EQ(series.buckets().size(), 1u);
+  EXPECT_EQ(series.buckets()[0], 7u);
+  // A lone bucket is its own baseline: no spike to stand out from.
+  EXPECT_TRUE(series.SpikesAbove(1.0).empty());
 }
 
 // --- strings -----------------------------------------------------------------

@@ -11,6 +11,8 @@
 #include "collector/event_stream.h"
 #include "core/moas.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tamp/animation.h"
 #include "tamp/layout.h"
 #include "tamp/prune.h"
@@ -34,6 +36,8 @@ commands:
   convert <in> <out> --to text|binary
   moas    <stream>
   stats   <stream> [--analyze]
+  metrics <stream> [--prom]
+  trace   --out FILE.json [--jsonl FILE.jsonl] [--] <command> [options]
 
 stream files use the text (one event per line) or binary (RNE1) format;
 the format is detected automatically.
@@ -41,6 +45,14 @@ the format is detected automatically.
 stats --analyze also runs the analysis pipeline and reports where the
 time goes (events encoded, symbols interned, bigram table sizes, wall
 seconds per stage); thread count follows RANOMALY_THREADS.
+
+metrics runs the full pipeline over the stream and dumps every metric
+on the process registry — aligned text by default, Prometheus
+exposition format with --prom (docs/OBSERVABILITY.md lists the names).
+
+trace runs any other command with span tracing enabled and writes
+Chrome trace_event JSON (load at https://ui.perfetto.dev) to --out,
+plus an optional JSONL stream to --jsonl.
 )";
 
 // Simple flag parser: positionals + --key value + --bool-flag.
@@ -61,7 +73,7 @@ struct Args {
 
 // Flags that take no value.
 const char* kBooleanFlags[] = {"--include-unknown", "--hierarchical",
-                               "--analyze"};
+                               "--analyze", "--prom"};
 
 std::optional<Args> ParseArgs(const std::vector<std::string>& argv,
                               std::ostream& err) {
@@ -91,6 +103,7 @@ std::optional<Args> ParseArgs(const std::vector<std::string>& argv,
 
 std::optional<collector::EventStream> LoadStream(const std::string& path,
                                                  std::ostream& err) {
+  obs::TraceSpan span("cli.load_stream");
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     err << "cannot open " << path << "\n";
@@ -396,20 +409,98 @@ int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
           << (gap.closed ? "" : " (never resynced)") << "\n";
     }
   }
-  // Analysis-stage perf breakdown: run the pipeline with counters wired
-  // through and print where the time went.
+  // Analysis-stage perf breakdown: run the pipeline (its stage metrics
+  // accumulate on the process registry) and print the pipeline_* and
+  // stemming_* slice of the snapshot.
   if (args.HasFlag("--analyze")) {
     const core::Pipeline pipeline{core::PipelineOptions{}};
-    util::StageCounters counters;
-    pipeline.Analyze(*stream, &counters);
+    pipeline.Analyze(*stream);
     out << "analysis stages (threads=" << util::ThreadPool::DefaultThreadCount()
         << "):\n";
-    std::istringstream lines(counters.ToString());
+    std::vector<obs::MetricSnapshot> stages;
+    for (auto& m : obs::MetricsRegistry::Global().Snapshot()) {
+      if (m.name.starts_with("pipeline_") || m.name.starts_with("stemming_")) {
+        stages.push_back(std::move(m));
+      }
+    }
+    std::istringstream lines(obs::FormatSnapshot(stages));
     for (std::string line; std::getline(lines, line);) {
       out << "  " << line << "\n";
     }
   }
   return kOk;
+}
+
+int CmdMetrics(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "metrics: expected one stream file\n";
+    return kUsage;
+  }
+  const auto stream = LoadStream(args.positional[1], err);
+  if (!stream) return kFailure;
+  const core::Pipeline pipeline{core::PipelineOptions{}};
+  pipeline.Analyze(*stream);
+  auto& registry = obs::MetricsRegistry::Global();
+  out << (args.HasFlag("--prom") ? registry.ToPrometheus()
+                                 : registry.ToText());
+  return kOk;
+}
+
+// trace --out FILE.json [--jsonl FILE.jsonl] [--] <command...> — runs the
+// wrapped command with the tracer on and exports the spans.  Parsed by
+// hand (before ParseArgs) so the wrapped command's own flags pass
+// through untouched.
+int CmdTrace(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  std::string json_path;
+  std::string jsonl_path;
+  std::size_t i = 1;
+  for (; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) {
+      json_path = args[++i];
+    } else if (args[i] == "--jsonl" && i + 1 < args.size()) {
+      jsonl_path = args[++i];
+    } else if (args[i] == "--") {
+      ++i;
+      break;
+    } else {
+      break;
+    }
+  }
+  if (json_path.empty() || i >= args.size()) {
+    err << "trace: --out FILE.json and a command to run are required\n";
+    return kUsage;
+  }
+  const std::vector<std::string> wrapped(args.begin() +
+                                             static_cast<std::ptrdiff_t>(i),
+                                         args.end());
+  auto& tracer = obs::Tracer::Global();
+  tracer.Reset();
+  tracer.SetEnabled(true);
+  const int status = RunCli(wrapped, out, err);
+  tracer.SetEnabled(false);
+
+  std::ofstream json(json_path, std::ios::trunc);
+  if (!json) {
+    err << "cannot write " << json_path << "\n";
+    return kFailure;
+  }
+  json << tracer.ExportChromeJson();
+  out << "wrote trace to " << json_path;
+  if (tracer.DroppedCount() > 0) {
+    out << " (" << tracer.DroppedCount() << " events dropped)";
+  }
+  out << "\n";
+  if (!jsonl_path.empty()) {
+    std::ofstream jsonl(jsonl_path, std::ios::trunc);
+    if (!jsonl) {
+      err << "cannot write " << jsonl_path << "\n";
+      return kFailure;
+    }
+    jsonl << tracer.ExportJsonl();
+    out << "wrote trace events to " << jsonl_path << "\n";
+  }
+  return status;
 }
 
 }  // namespace
@@ -420,6 +511,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     err << kUsageText;
     return kUsage;
   }
+  // trace wraps another command; its arguments must not be re-parsed here.
+  if (args[0] == "trace") return CmdTrace(args, out, err);
   const auto parsed = ParseArgs(args, err);
   if (!parsed) return kUsage;
   const std::string& command = args[0];
@@ -429,6 +522,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "convert") return CmdConvert(*parsed, out, err);
   if (command == "moas") return CmdMoas(*parsed, out, err);
   if (command == "stats") return CmdStats(*parsed, out, err);
+  if (command == "metrics") return CmdMetrics(*parsed, out, err);
   err << "unknown command: " << command << "\n" << kUsageText;
   return kUsage;
 }

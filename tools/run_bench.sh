@@ -4,11 +4,16 @@
 # speedup per row, and the 1/2/4-thread curve at 330k events.
 #
 # Usage:
-#   tools/run_bench.sh [--quick] [--build-dir DIR] [--out FILE]
+#   tools/run_bench.sh [--quick|--overhead] [--build-dir DIR] [--out FILE]
 #
 #   --quick      trimmed run (12k rows + thread curve, short min_time);
 #                writes into the build dir instead of the repo root.
 #                This is what the `bench_smoke` ctest entry runs.
+#   --overhead   measures instrumentation overhead: benchmarks the
+#                normal build against a -DRANOMALY_NO_TRACING=ON build
+#                (configured into <build>-notrace) on the quick workload
+#                and appends an `instrumentation_overhead` row to the
+#                output JSON (budget: <= 5%, see docs/OBSERVABILITY.md).
 #   --build-dir  cmake build directory (default: <repo>/build)
 #   --out        output JSON path (default: <repo>/BENCH_stemming.json,
 #                or <build>/BENCH_stemming_quick.json with --quick)
@@ -17,11 +22,13 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$repo_root/build"
 quick=0
+overhead=0
 out=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick=1; shift ;;
+    --overhead) overhead=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --out) out="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
@@ -32,6 +39,88 @@ bench="$build_dir/bench/bench_stemming_opt"
 if [[ ! -x "$bench" ]]; then
   echo "building bench_stemming_opt in $build_dir ..." >&2
   cmake --build "$build_dir" --target bench_stemming_opt
+fi
+
+if [[ "$overhead" -eq 1 ]]; then
+  [[ -n "$out" ]] || out="$repo_root/BENCH_stemming.json"
+  notrace_dir="${build_dir}-notrace"
+  if [[ ! -x "$notrace_dir/bench/bench_stemming_opt" ]]; then
+    echo "configuring NO_TRACING build in $notrace_dir ..." >&2
+    # Mirror the traced build's type so the comparison isolates the
+    # instrumentation, not the optimization level.
+    build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[A-Z]*=//p' \
+      "$build_dir/CMakeCache.txt" 2>/dev/null || true)"
+    cmake -B "$notrace_dir" -S "$repo_root" \
+      -DCMAKE_BUILD_TYPE="$build_type" \
+      -DRANOMALY_NO_TRACING=ON > /dev/null
+    cmake --build "$notrace_dir" --target bench_stemming_opt -j"$(nproc)" \
+      > /dev/null
+  fi
+  raw_dir="$(mktemp -d)"
+  trap 'rm -rf "$raw_dir"' EXIT
+  filter='BM_StemmingArena/12000$'
+  # In-process repetition medians are stable on a shared box where
+  # process-to-process drift dwarfs the effect being measured; two
+  # alternating passes per binary, best median wins.
+  for rep in 1 2; do
+    if (( rep % 2 )); then order="traced notrace"; else order="notrace traced"; fi
+    for pass in $order; do
+      if [[ "$pass" == traced ]]; then b="$bench";
+      else b="$notrace_dir/bench/bench_stemming_opt"; fi
+      "$b" --benchmark_filter="$filter" --benchmark_min_time=0.1 \
+        --benchmark_repetitions=8 --benchmark_report_aggregates_only=true \
+        --benchmark_format=json > "$raw_dir/$pass.$rep.json"
+    done
+  done
+  python3 - "$raw_dir" "$out" <<'EOF'
+import glob
+import json
+import os
+import sys
+
+raw_dir, out_path = sys.argv[1], sys.argv[2]
+
+def median_ns_per_op(pattern):
+    best = None
+    name = None
+    for path in glob.glob(pattern):
+        with open(path) as f:
+            report = json.load(f)
+        for b in report["benchmarks"]:
+            if b.get("aggregate_name") != "median":
+                continue
+            scale = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[
+                b.get("time_unit", "ns")]
+            ns = b["real_time"] * scale
+            if best is None or ns < best:
+                best = ns
+                name = b["run_name"]
+    if best is None:
+        sys.exit(f"no median aggregate matched {pattern}")
+    return name, best
+
+name, traced = median_ns_per_op(os.path.join(raw_dir, "traced.*.json"))
+_, notrace = median_ns_per_op(os.path.join(raw_dir, "notrace.*.json"))
+row = {
+    "benchmark": name,
+    "traced_ns_per_op": traced,
+    "no_tracing_ns_per_op": notrace,
+    "overhead_fraction": traced / notrace - 1.0,
+}
+result = {}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        result = json.load(f)
+result["instrumentation_overhead"] = row
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f'  {name}: traced {row["traced_ns_per_op"] / 1e6:.2f} ms, '
+      f'no-tracing {row["no_tracing_ns_per_op"] / 1e6:.2f} ms, '
+      f'overhead {row["overhead_fraction"] * 100:+.1f}%')
+print(f"updated {out_path}")
+EOF
+  exit 0
 fi
 
 raw="$(mktemp)"
