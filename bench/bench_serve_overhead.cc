@@ -1,0 +1,93 @@
+// Serving-overhead benchmark: what does a 1 Hz Prometheus scraper cost
+// the analysis pipeline?
+//
+// BM_AnalyzeBare runs Pipeline::Analyze on a Table-I-shaped spike
+// workload with no server.  BM_AnalyzeScraped runs the identical
+// analysis while an embedded HTTP server answers /metrics and /varz
+// scrapes from a background client once per second — the `ranomaly
+// serve` steady state.  tools/run_bench.sh --serve-overhead distils the
+// pair into a `serve_overhead` row in BENCH_stemming.json (budget: <=
+// 3%, see docs/OBSERVABILITY.md).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/live.h"
+#include "core/pipeline.h"
+#include "obs/health.h"
+#include "obs/http_server.h"
+#include "obs/metrics.h"
+#include "table1_common.h"
+
+namespace ranomaly::bench {
+namespace {
+
+const collector::EventStream& Workload() {
+  static const collector::EventStream* stream = [] {
+    const workload::SyntheticInternet internet = BerkeleyScale(23'000);
+    return new collector::EventStream(SpikeEvents(internet, 57'000, 42));
+  }();
+  return *stream;
+}
+
+void BM_AnalyzeBare(benchmark::State& state) {
+  const collector::EventStream& stream = Workload();
+  core::PipelineOptions options;
+  options.threads = 2;
+  const core::Pipeline pipeline(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.Analyze(stream));
+  }
+  state.counters["events"] = static_cast<double>(stream.size());
+}
+BENCHMARK(BM_AnalyzeBare)->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeScraped(benchmark::State& state) {
+  const collector::EventStream& stream = Workload();
+  core::PipelineOptions options;
+  options.threads = 2;
+  const core::Pipeline pipeline(options);
+
+  obs::HealthRegistry health;
+  core::IncidentLog incidents;
+  obs::HttpServer server(core::MakeOpsHandler(
+      &obs::MetricsRegistry::Global(), &health, &incidents,
+      core::OpsInfo{"bench", 2, 30.0, 10.0, 300.0}));
+  std::string error;
+  if (!server.Start(0, &error)) {
+    state.SkipWithError(("server start failed: " + error).c_str());
+    return;
+  }
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> scrapes{0};
+  std::thread scraper([&] {
+    // A Prometheus scrape_interval of 1s (aggressive; default is 15s),
+    // alternating the heavy endpoints.
+    int i = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      if (obs::HttpGet(server.port(), (i++ % 2) == 0 ? "/metrics" : "/varz")) {
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+      }
+      std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
+  });
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.Analyze(stream));
+  }
+
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  server.Stop();
+  state.counters["events"] = static_cast<double>(stream.size());
+  state.counters["scrapes"] = static_cast<double>(scrapes.load());
+}
+BENCHMARK(BM_AnalyzeScraped)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ranomaly::bench
+
+BENCHMARK_MAIN();

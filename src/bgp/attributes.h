@@ -71,6 +71,11 @@ struct Event {
   EventType type = EventType::kAnnounce;
   Prefix prefix;
   PathAttributes attrs;  // new attrs for announce, old attrs for withdraw
+  // When the pipeline ingested this event: the collector stamps the raw
+  // arrival time, the live replay (`ranomaly serve`) stamps its batch
+  // tick.  Runtime metadata for detection-latency SLOs — never
+  // serialized, never compared, and 0 throughout batch analysis.
+  util::SimTime ingest_tick = 0;
 
   // Renders in the style of the paper's Fig 4:
   // "W 128.32.1.3 NEXT_HOP: 128.32.0.70 ASPATH: 11423 209 701 PREFIX: x/y"

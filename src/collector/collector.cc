@@ -51,6 +51,7 @@ void Collector::OnAnnounce(util::SimTime time, bgp::Ipv4Addr peer,
   health.last_event = time;
   bgp::Event event;
   event.time = time;
+  event.ingest_tick = time;  // raw arrival = ingest for collector-built streams
   event.peer = peer;
   event.type = bgp::EventType::kAnnounce;
   event.prefix = prefix;
@@ -80,6 +81,7 @@ void Collector::OnWithdraw(util::SimTime time, bgp::Ipv4Addr peer,
   health.last_event = time;
   bgp::Event event;
   event.time = time;
+  event.ingest_tick = time;  // raw arrival = ingest for collector-built streams
   event.peer = peer;
   event.type = bgp::EventType::kWithdraw;
   event.prefix = prefix;
@@ -109,6 +111,7 @@ void Collector::OnMarker(util::SimTime time, bgp::Ipv4Addr peer,
   health.last_event = time;
   bgp::Event event;
   event.time = time;
+  event.ingest_tick = time;  // raw arrival = ingest for collector-built streams
   event.peer = peer;
   event.type = type;
   events_.Append(std::move(event));

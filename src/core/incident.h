@@ -64,6 +64,16 @@ struct Incident {
   // collector's outage rather than the network (see
   // collector::FeedGapWindows).
   bool feed_degraded = false;
+  // Detection-latency SLO fields (live mode, core/live.h).  `ingest_tick`
+  // is the latest ingest stamp among the contributing events — the
+  // earliest moment the pipeline could have seen the whole component.
+  // The live runner sets `detected_at` to the analysis tick that first
+  // surfaced the incident and derives `detection_latency_sec` as
+  // detected_at - begin (simulated seconds from the triggering burst to
+  // the operator surface).  All zero / -1 in batch analysis.
+  util::SimTime ingest_tick = 0;
+  util::SimTime detected_at = 0;
+  double detection_latency_sec = -1.0;
 };
 
 }  // namespace ranomaly::core

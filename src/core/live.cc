@@ -1,0 +1,471 @@
+#include "core/live.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace ranomaly::core {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::StrPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string PeerComponentName(bgp::Ipv4Addr peer) {
+  return "peer/" + peer.ToString();
+}
+
+// An open or closed degraded-feed span observed during live replay; the
+// live equivalent of collector::FeedGapWindows over a full stream.
+struct LiveGap {
+  bgp::Ipv4Addr peer;
+  util::SimTime begin = 0;
+  util::SimTime end = 0;
+  bool closed = false;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// IncidentLog
+
+std::uint64_t IncidentLog::Append(Incident incident) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t seq = entries_.size() + 1;
+  entries_.push_back(Entry{seq, std::move(incident)});
+  return seq;
+}
+
+std::vector<IncidentLog::Entry> IncidentLog::Since(std::uint64_t since) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  if (since < entries_.size()) {
+    out.assign(entries_.begin() + static_cast<std::ptrdiff_t>(since),
+               entries_.end());
+  }
+  return out;
+}
+
+std::size_t IncidentLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string IncidentLog::ToJson(std::uint64_t since) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"incidents\":[";
+  bool first = true;
+  for (std::size_t i = since; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    const Incident& inc = e.incident;
+    if (!first) out += ',';
+    first = false;
+    out += util::StrPrintf(
+        "{\"seq\":%llu,\"kind\":\"%s\",\"begin_sec\":%.3f,\"end_sec\":%.3f,"
+        "\"event_count\":%zu,\"prefix_count\":%zu,\"stem\":\"%s\","
+        "\"summary\":\"%s\",\"detected_at_sec\":%.3f,"
+        "\"detection_latency_sec\":%.3f,\"feed_degraded\":%s}",
+        static_cast<unsigned long long>(e.seq), ToString(inc.kind),
+        util::ToSeconds(inc.begin), util::ToSeconds(inc.end), inc.event_count,
+        inc.prefix_count, JsonEscape(inc.stem_label).c_str(),
+        JsonEscape(inc.summary).c_str(), util::ToSeconds(inc.detected_at),
+        inc.detection_latency_sec, inc.feed_degraded ? "true" : "false");
+  }
+  out += util::StrPrintf("],\"next_since\":%llu}",
+                         static_cast<unsigned long long>(entries_.size()));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PeerBoard
+
+PeerBoard::State& PeerBoard::Of(bgp::Ipv4Addr peer) {
+  for (auto& [addr, state] : peers_) {
+    if (addr == peer.value()) return state;
+  }
+  peers_.emplace_back(peer.value(), State{});
+  State& state = peers_.back().second;
+  state.row.peer = peer;
+  state.row.first_seen = -1;
+  return state;
+}
+
+void PeerBoard::Observe(const bgp::Event& event) {
+  State& s = Of(event.peer);
+  Row& row = s.row;
+  if (row.first_seen < 0) row.first_seen = event.time;
+  row.last_seen = event.time;
+  switch (event.type) {
+    case bgp::EventType::kAnnounce:
+      ++row.announces;
+      break;
+    case bgp::EventType::kWithdraw:
+      ++row.withdraws;
+      break;
+    case bgp::EventType::kFeedGap:
+      if (!row.degraded) {
+        row.degraded = true;
+        ++row.gaps;
+        row.last_gap = event.time;
+        s.gap_open = event.time;
+      }
+      break;
+    case bgp::EventType::kResync:
+      if (row.degraded) {
+        row.degraded = false;
+        ++row.reconnects;
+        s.gap_sec += util::ToSeconds(event.time - s.gap_open);
+        s.gap_open = -1;
+      }
+      break;
+  }
+}
+
+void PeerBoard::Finish(util::SimTime end) {
+  for (auto& [addr, s] : peers_) {
+    if (s.gap_open >= 0 && end > s.gap_open) {
+      // Open gap: accrue degraded time up to the close of books, but keep
+      // the gap open (the peer is still degraded).
+      s.gap_sec += util::ToSeconds(end - s.gap_open);
+      s.gap_open = end;
+    }
+    if (end > s.row.last_seen) s.row.last_seen = end;
+  }
+}
+
+std::vector<PeerBoard::Row> PeerBoard::Rows() const {
+  std::vector<Row> out;
+  out.reserve(peers_.size());
+  for (const auto& [addr, s] : peers_) {
+    Row row = s.row;
+    if (row.first_seen < 0) row.first_seen = 0;
+    const double span = util::ToSeconds(row.last_seen - row.first_seen);
+    row.uptime_sec = std::max(0.0, span - s.gap_sec);
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
+    return a.peer.value() < b.peer.value();
+  });
+  return out;
+}
+
+std::string FormatPeerTable(const std::vector<PeerBoard::Row>& rows) {
+  std::string out = util::StrPrintf(
+      "%-16s %-9s %12s %10s %10s %6s %6s %11s %10s\n", "PEER", "STATE",
+      "UPTIME", "ANNOUNCES", "WITHDRAWS", "GAPS", "RECON", "QUARANTINED",
+      "LAST-GAP");
+  for (const PeerBoard::Row& row : rows) {
+    const std::string uptime =
+        util::FormatDuration(util::FromSeconds(row.uptime_sec));
+    const std::string last_gap =
+        row.last_gap < 0 ? "-" : util::FormatDuration(row.last_gap);
+    out += util::StrPrintf(
+        "%-16s %-9s %12s %10llu %10llu %6llu %6llu %11llu %10s\n",
+        row.peer.ToString().c_str(), row.degraded ? "DEGRADED" : "OK",
+        uptime.c_str(), static_cast<unsigned long long>(row.announces),
+        static_cast<unsigned long long>(row.withdraws),
+        static_cast<unsigned long long>(row.gaps),
+        static_cast<unsigned long long>(row.reconnects),
+        static_cast<unsigned long long>(row.quarantined), last_gap.c_str());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LiveRunner
+
+std::vector<double> DetectionLatencyBounds() {
+  return {1, 2, 5, 10, 15, 30, 60, 120, 300, 900};
+}
+
+LiveRunner::LiveRunner(LiveOptions options, obs::HealthRegistry* health,
+                       IncidentLog* incidents)
+    : options_(std::move(options)),
+      pipeline_(options_.pipeline),
+      health_(health),
+      incidents_(incidents) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.SetHelp("incident_detection_latency_seconds",
+              "Simulated seconds from an incident's triggering burst to the "
+              "analysis tick that first surfaced it.");
+  reg.SetHelp("incident_detection_slo_ratio",
+              "Fraction of detected incidents whose detection latency met "
+              "the SLO target.");
+  reg.SetHelp("serve_ticks_total", "Live replay analysis ticks executed.");
+  reg.SetHelp("serve_events_ingested_total",
+              "Events ingested by the live replay.");
+  reg.SetHelp("serve_incidents_total",
+              "Distinct incidents surfaced by the live replay.");
+  reg.SetHelp("serve_replay_position_seconds",
+              "Current simulated-time position of the live replay.");
+  reg.SetHelp("health_component_state",
+              "Health state per component: 0=ok 1=degraded 2=down.");
+}
+
+LiveStats LiveRunner::Run(
+    const collector::EventStream& stream,
+    const std::atomic<bool>* keep_going,
+    const std::function<void(const LiveStats&)>& on_tick) {
+  LiveStats stats;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const obs::MetricId latency_id = reg.Histogram(
+      "incident_detection_latency_seconds", DetectionLatencyBounds());
+  const obs::MetricId slo_id = reg.Gauge("incident_detection_slo_ratio");
+  const obs::MetricId ticks_id = reg.Counter("serve_ticks_total");
+  const obs::MetricId ingested_id = reg.Counter("serve_events_ingested_total");
+  const obs::MetricId incidents_id = reg.Counter("serve_incidents_total");
+  const obs::MetricId position_id = reg.Gauge("serve_replay_position_seconds");
+
+  obs::HealthRegistry::ComponentId replay_id = 0;
+  if (health_ != nullptr) {
+    replay_id = health_->Register("replay");
+    if (options_.heartbeat_deadline_sec > 0) {
+      health_->SetHeartbeatDeadline(replay_id, options_.heartbeat_deadline_sec);
+    }
+  }
+  const auto peer_health = [this](bgp::Ipv4Addr peer, obs::HealthState state,
+                                  std::string reason) {
+    if (health_ == nullptr) return;
+    const auto id = health_->Register(PeerComponentName(peer));
+    health_->SetState(id, state, std::move(reason));
+  };
+  // Mirror health states into labeled gauges so they scrape.
+  const auto sync_health_gauges = [this, &reg]() {
+    if (health_ == nullptr) return;
+    for (const auto& c : health_->Snapshot()) {
+      const obs::MetricId id = reg.Gauge(
+          "health_component_state" +
+          obs::PromLabels({{"component", c.name}}));
+      reg.Set(id, static_cast<double>(c.state));
+    }
+  };
+
+  if (stream.empty()) {
+    if (health_ != nullptr) {
+      health_->SetState(replay_id, obs::HealthState::kOk, "replay complete");
+    }
+    sync_health_gauges();
+    return stats;
+  }
+
+  const auto& events = stream.events();
+  const util::SimTime t0 = events.front().time;
+  std::size_t next = 0;
+  std::vector<bgp::Event> window;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen_stems;
+  std::vector<LiveGap> gaps;
+  PeerBoard board;
+  bool complete = false;
+
+  util::SimTime tick_end = t0 + options_.tick;
+  while (true) {
+    if (keep_going != nullptr &&
+        !keep_going->load(std::memory_order_relaxed)) {
+      break;
+    }
+    // Ingest this tick's batch; the batch end is the ingest stamp — the
+    // earliest moment the pipeline could have analyzed these events.
+    while (next < events.size() && events[next].time < tick_end) {
+      bgp::Event event = events[next];
+      ++next;
+      event.ingest_tick = tick_end;
+      board.Observe(event);
+      if (event.type == bgp::EventType::kFeedGap) {
+        bool already_open = false;
+        for (const LiveGap& g : gaps) {
+          already_open |= !g.closed && g.peer == event.peer;
+        }
+        if (!already_open) {
+          gaps.push_back(LiveGap{event.peer, event.time, event.time, false});
+        }
+        peer_health(event.peer, obs::HealthState::kDegraded,
+                    util::StrPrintf("feed gap open since %.0fs",
+                                    util::ToSeconds(event.time)));
+      } else if (event.type == bgp::EventType::kResync) {
+        for (auto it = gaps.rbegin(); it != gaps.rend(); ++it) {
+          if (!it->closed && it->peer == event.peer) {
+            it->closed = true;
+            it->end = event.time;
+            break;
+          }
+        }
+        peer_health(event.peer, obs::HealthState::kOk, "");
+      } else if (health_ != nullptr) {
+        health_->Register(PeerComponentName(event.peer));
+      }
+      ++stats.events_ingested;
+      reg.Add(ingested_id, 1);
+      window.push_back(std::move(event));
+    }
+    // Slide the window.
+    const util::SimTime window_begin = tick_end - options_.window;
+    const auto keep_from = std::find_if(
+        window.begin(), window.end(),
+        [window_begin](const bgp::Event& e) { return e.time >= window_begin; });
+    window.erase(window.begin(), keep_from);
+
+    for (Incident& inc : pipeline_.AnalyzeWindow(window)) {
+      if (!seen_stems.insert(inc.stem_key).second) continue;  // already known
+      inc.detected_at = tick_end;
+      inc.detection_latency_sec = util::ToSeconds(tick_end - inc.begin);
+      for (const LiveGap& gap : gaps) {
+        const util::SimTime gap_end = gap.closed ? gap.end : tick_end;
+        if (inc.begin <= gap_end && gap.begin <= inc.end) {
+          inc.feed_degraded = true;
+          inc.summary += " [feed-degraded]";
+          break;
+        }
+      }
+      reg.Observe(latency_id, inc.detection_latency_sec);
+      reg.Add(incidents_id, 1);
+      ++stats.incidents;
+      if (inc.detection_latency_sec <= options_.slo_target_sec) {
+        ++stats.incidents_within_slo;
+      }
+      if (incidents_ != nullptr) incidents_->Append(std::move(inc));
+    }
+    if (stats.incidents > 0) {
+      reg.Set(slo_id, static_cast<double>(stats.incidents_within_slo) /
+                          static_cast<double>(stats.incidents));
+    }
+
+    ++stats.ticks;
+    stats.clock = tick_end;
+    reg.Add(ticks_id, 1);
+    reg.Set(position_id, util::ToSeconds(tick_end));
+    if (health_ != nullptr) health_->Heartbeat(replay_id);
+    sync_health_gauges();
+    if (on_tick) on_tick(stats);
+    if (next >= events.size()) {
+      complete = true;
+      break;
+    }
+    tick_end += options_.tick;
+  }
+
+  if (health_ != nullptr && complete) {
+    // The replay is done: it no longer makes progress, so stall detection
+    // must stop accusing it.
+    health_->SetHeartbeatDeadline(replay_id, 0.0);
+    health_->SetState(replay_id, obs::HealthState::kOk, "replay complete");
+    sync_health_gauges();
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Ops handler
+
+obs::HttpServer::Handler MakeOpsHandler(obs::MetricsRegistry* metrics,
+                                        obs::HealthRegistry* health,
+                                        IncidentLog* incidents,
+                                        OpsInfo info) {
+  metrics->SetHelp("http_requests_total",
+                   "HTTP requests whose handler ran (any status).");
+  metrics->SetHelp("http_requests_rejected_total",
+                   "HTTP requests rejected at the protocol level.");
+  return [metrics, health, incidents, info = std::move(info)](
+             const obs::HttpRequest& request) -> obs::HttpResponse {
+    obs::HttpResponse response;
+    if (request.path == "/metrics") {
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body = metrics->ToPrometheus();
+    } else if (request.path == "/varz") {
+      std::string body = "{\"build\":{\"project\":\"ranomaly\",\"tracing\":";
+#ifdef RANOMALY_NO_TRACING
+      body += "false";
+#else
+      body += "true";
+#endif
+      body += util::StrPrintf(
+          "},\"config\":{\"stream\":\"%s\",\"threads\":%zu,"
+          "\"tick_sec\":%.3f,\"window_sec\":%.3f,\"slo_target_sec\":%.3f},",
+          JsonEscape(info.stream_path).c_str(), info.threads, info.tick_sec,
+          info.window_sec, info.slo_target_sec);
+      body += "\"health\":{";
+      if (health != nullptr) {
+        const obs::HealthRegistry::Aggregate agg = health->Aggregated();
+        body += util::StrPrintf("\"state\":\"%s\",\"reason\":\"%s\","
+                                "\"components\":[",
+                                obs::ToString(agg.state),
+                                JsonEscape(agg.reason).c_str());
+        bool first = true;
+        for (const auto& c : health->Snapshot()) {
+          if (!first) body += ',';
+          first = false;
+          body += util::StrPrintf(
+              "{\"name\":\"%s\",\"state\":\"%s\",\"reason\":\"%s\","
+              "\"heartbeat_age_sec\":%.3f}",
+              JsonEscape(c.name).c_str(), obs::ToString(c.state),
+              JsonEscape(c.reason).c_str(), c.heartbeat_age_sec);
+        }
+        body += ']';
+      } else {
+        body += "\"state\":\"ok\",\"reason\":\"\",\"components\":[]";
+      }
+      body += util::StrPrintf(
+          "},\"incidents_logged\":%zu,\"metrics\":",
+          incidents == nullptr ? std::size_t{0} : incidents->size());
+      body += obs::ToVarzJson(metrics->Snapshot());
+      body += '}';
+      response.content_type = "application/json";
+      response.body = std::move(body);
+    } else if (request.path == "/healthz") {
+      // Liveness: a process that can answer this is alive by definition.
+      response.body = "ok\n";
+    } else if (request.path == "/readyz") {
+      obs::HealthRegistry::Aggregate agg;
+      if (health != nullptr) agg = health->Aggregated();
+      if (agg.state == obs::HealthState::kOk) {
+        response.body = "ok\n";
+      } else {
+        response.status = 503;
+        response.body = util::StrPrintf("%s: %s\n", obs::ToString(agg.state),
+                                        agg.reason.c_str());
+      }
+    } else if (request.path == "/incidents") {
+      std::uint64_t since = 0;
+      if (const auto param = request.QueryParam("since")) {
+        char* end = nullptr;
+        since = std::strtoull(param->c_str(), &end, 10);
+        if (param->empty() || end == nullptr || *end != '\0') {
+          response.status = 400;
+          response.body = "bad since parameter: want a non-negative integer\n";
+          return response;
+        }
+      }
+      response.content_type = "application/json";
+      response.body = incidents == nullptr ? "{\"incidents\":[],\"next_since\":0}"
+                                           : incidents->ToJson(since);
+    } else {
+      response.status = 404;
+      response.body = "not found; try /metrics /varz /healthz /readyz "
+                      "/incidents?since=N\n";
+    }
+    return response;
+  };
+}
+
+}  // namespace ranomaly::core

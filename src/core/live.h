@@ -1,0 +1,176 @@
+// The live operations layer behind `ranomaly serve` and `ranomaly
+// peers`: tick-based replay of an event stream through the analysis
+// pipeline, an append-only incident log with monotonic sequence numbers
+// (the `/incidents?since=` resumption contract), a per-peer health
+// scoreboard, and the HTTP handler that routes the operations endpoints
+// (/metrics, /varz, /healthz, /readyz, /incidents).
+//
+// Determinism: every detection-latency input is *simulated* time — the
+// ingest tick is the (deterministic) batch boundary an event entered the
+// pipeline at, AnalyzeWindow is bit-identical for any thread count, and
+// incidents dedup on their stem key — so the
+// incident_detection_latency_seconds buckets are bit-identical across
+// RANOMALY_THREADS settings.  Wall time appears only in pacing
+// (--pace-ms) and heartbeat metering, never in what gets detected or
+// when (DESIGN.md determinism rule).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "collector/event_stream.h"
+#include "core/incident.h"
+#include "core/pipeline.h"
+#include "obs/health.h"
+#include "obs/http_server.h"
+#include "obs/metrics.h"
+#include "util/time.h"
+
+namespace ranomaly::core {
+
+// Append-only incident history with monotonic sequence numbers starting
+// at 1.  `Since(n)` returns entries with seq > n, so a client that
+// remembers the `next_since` from its last poll resumes without loss or
+// duplication.  Mutex-guarded: the replay thread appends while the HTTP
+// thread reads.
+class IncidentLog {
+ public:
+  struct Entry {
+    std::uint64_t seq = 0;
+    Incident incident;
+  };
+
+  // Returns the assigned sequence number.
+  std::uint64_t Append(Incident incident);
+
+  // Entries with seq > `since` (0 = everything), in sequence order.
+  std::vector<Entry> Since(std::uint64_t since) const;
+
+  std::size_t size() const;
+
+  // {"incidents":[...],"next_since":N} for entries with seq > since.
+  // next_since is the latest seq overall (so an empty poll still
+  // advances the client's cursor correctly: it stays put).
+  std::string ToJson(std::uint64_t since) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+// Per-peer feed scoreboard derived from the event stream's markers —
+// the same facts the live health model exposes, computed once and worn
+// by two frontends (`ranomaly peers` table, serve health components).
+class PeerBoard {
+ public:
+  struct Row {
+    bgp::Ipv4Addr peer;
+    bool degraded = false;       // inside an unclosed feed gap
+    std::uint64_t announces = 0;
+    std::uint64_t withdraws = 0;
+    std::uint64_t reconnects = 0;   // closed gaps (kResync markers)
+    std::uint64_t gaps = 0;         // kFeedGap markers
+    std::uint64_t quarantined = 0;  // corrupt frames (0 for file streams)
+    util::SimTime first_seen = 0;
+    util::SimTime last_seen = 0;
+    util::SimTime last_gap = -1;    // time of the latest kFeedGap, -1 none
+    double uptime_sec = 0.0;        // observed span minus in-gap time
+  };
+
+  void Observe(const bgp::Event& event);
+  // Closes the books at `end` (open gaps accrue degraded time up to it).
+  void Finish(util::SimTime end);
+
+  // Rows sorted by peer address.
+  std::vector<Row> Rows() const;
+
+ private:
+  struct State {
+    Row row;
+    util::SimTime gap_open = -1;   // begin of the currently open gap
+    double gap_sec = 0.0;          // accumulated in-gap seconds
+  };
+  std::vector<std::pair<std::uint32_t, State>> peers_;  // keyed by addr
+  State& Of(bgp::Ipv4Addr peer);
+};
+
+// Renders the `ranomaly peers` scoreboard table.
+std::string FormatPeerTable(const std::vector<PeerBoard::Row>& rows);
+
+struct LiveOptions {
+  PipelineOptions pipeline;
+  // Analysis cadence: events are ingested in [tick] batches; each batch
+  // end is the ingest tick stamped on its events.
+  util::SimDuration tick = 10 * util::kSecond;
+  // Sliding analysis window handed to the pipeline each tick.
+  util::SimDuration window = 5 * util::kMinute;
+  // Detection-latency SLO target (simulated seconds, burst -> surfaced).
+  double slo_target_sec = 30.0;
+  // Mark the replay heartbeat DEGRADED if a tick stalls past this many
+  // wall seconds; 0 disables.
+  double heartbeat_deadline_sec = 0.0;
+};
+
+struct LiveStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t events_ingested = 0;
+  std::uint64_t incidents = 0;
+  std::uint64_t incidents_within_slo = 0;
+  util::SimTime clock = 0;  // replay position (end of last tick)
+};
+
+// Drives the tick replay.  Health/incident sinks are borrowed, not
+// owned; pass nullptr to skip either.  Metrics always record to
+// MetricsRegistry::Global().
+class LiveRunner {
+ public:
+  LiveRunner(LiveOptions options, obs::HealthRegistry* health,
+             IncidentLog* incidents);
+
+  // Replays `stream` tick by tick; checks `keep_going` (when non-null)
+  // before each tick and stops early when it reads false.  `on_tick`
+  // (when set) runs after each tick with the running stats — the serve
+  // CLI paces and prints there.  Returns the final stats.
+  LiveStats Run(const collector::EventStream& stream,
+                const std::atomic<bool>* keep_going = nullptr,
+                const std::function<void(const LiveStats&)>& on_tick = {});
+
+ private:
+  LiveOptions options_;
+  Pipeline pipeline_;
+  obs::HealthRegistry* health_;
+  IncidentLog* incidents_;
+};
+
+// Static facts the /varz payload reports alongside the metric snapshot.
+struct OpsInfo {
+  std::string stream_path;
+  std::size_t threads = 0;
+  double slo_target_sec = 0.0;
+  double tick_sec = 0.0;
+  double window_sec = 0.0;
+};
+
+// Routes the operations endpoints.  All sinks are borrowed and must
+// outlive the returned handler:
+//   GET /metrics            Prometheus exposition (text/plain; version=0.0.4)
+//   GET /varz               full JSON state dump
+//   GET /healthz            liveness: 200 while the process can answer
+//   GET /readyz             readiness: HealthRegistry worst-of; 503 names
+//                           the offending components
+//   GET /incidents?since=N  incident log entries with seq > N (400 on a
+//                           malformed `since`)
+// Anything else is 404.
+obs::HttpServer::Handler MakeOpsHandler(obs::MetricsRegistry* metrics,
+                                        obs::HealthRegistry* health,
+                                        IncidentLog* incidents,
+                                        OpsInfo info);
+
+// Upper bucket bounds (simulated seconds) for the
+// incident_detection_latency_seconds histogram.
+std::vector<double> DetectionLatencyBounds();
+
+}  // namespace ranomaly::core

@@ -171,6 +171,7 @@ Incident Pipeline::MakeIncident(std::span<const bgp::Event> events,
   inc.top_sequence = result.SequenceLabel(component);
   util::SimTime begin = 0;
   util::SimTime end = 0;
+  util::SimTime ingest = 0;
   bool first = true;
   for (const std::size_t idx : component.event_indices) {
     const util::SimTime t = events[idx].time;
@@ -181,9 +182,11 @@ Incident Pipeline::MakeIncident(std::span<const bgp::Event> events,
       begin = std::min(begin, t);
       end = std::max(end, t);
     }
+    ingest = std::max(ingest, events[idx].ingest_tick);
   }
   inc.begin = begin;
   inc.end = end;
+  inc.ingest_tick = ingest;
   inc.evidence = ExtractEvidence(events, component);
   inc.kind = Classify(inc.evidence, inc.prefix_count);
   inc.summary = util::StrPrintf(

@@ -1,0 +1,373 @@
+#include "obs/http_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace ranomaly::obs {
+namespace {
+
+// Hex digit value, -1 if not hex.
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string PercentDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size() && HexVal(s[i + 1]) >= 0 &&
+        HexVal(s[i + 2]) >= 0) {
+      out += static_cast<char>(HexVal(s[i + 1]) * 16 + HexVal(s[i + 2]));
+      i += 2;
+    } else if (s[i] == '+') {
+      out += ' ';
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool ValidMethodToken(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c < 'A' || c > 'Z') return false;
+  }
+  return true;
+}
+
+// Writes the whole buffer; returns false on error (peer gone).
+bool SendAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 414: return "URI Too Long";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::optional<std::string> HttpRequest::QueryParam(
+    std::string_view name) const {
+  std::string_view rest = query;
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? rest : rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    const std::string_view key =
+        eq == std::string_view::npos ? pair : pair.substr(0, eq);
+    if (PercentDecode(key) == name) {
+      return eq == std::string_view::npos
+                 ? std::string{}
+                 : PercentDecode(pair.substr(eq + 1));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> HttpRequest::Header(std::string_view name) const {
+  const std::string lowered = ToLower(name);
+  for (const auto& [key, value] : headers) {
+    if (key == lowered) return value;
+  }
+  return std::nullopt;
+}
+
+HttpServer::HttpServer(Handler handler) : handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+bool HttpServer::Start(std::uint16_t port, std::string* error) {
+  auto fail = [&](const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": " + std::strerror(errno);
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (running_.load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "server already running";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return fail("bind");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) < 0) return fail("listen");
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    // Start() may have failed after a previous run; nothing to join.
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  // Poll with a short timeout so Stop() is observed promptly; accept only
+  // when the listen socket is readable, so the loop never blocks forever.
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/250);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket is gone; nothing left to serve
+    }
+    if (ready == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::SendResponse(int fd, const HttpResponse& response,
+                              bool head_only) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusReason(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (response.status == 405) out += "Allow: GET, HEAD\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (!head_only) out += response.body;
+  SendAll(fd, out);
+}
+
+void HttpServer::HandleConnection(int fd) {
+  timeval tv{};
+  tv.tv_sec = limits_.recv_timeout_ms / 1000;
+  tv.tv_usec = (limits_.recv_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  auto reject = [&](int status, std::string_view why) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    RANOMALY_METRIC_COUNT("http_requests_rejected_total", 1);
+    SendResponse(fd, HttpResponse{status, "text/plain; charset=utf-8",
+                                  std::string(why) + "\n"},
+                 /*head_only=*/false);
+  };
+
+  // Read until the blank line ending the header block, or a limit trips.
+  // Request bodies are not supported (no endpoint takes one).
+  std::string buf;
+  std::size_t header_end = std::string::npos;
+  char chunk[2048];
+  while (header_end == std::string::npos) {
+    if (buf.size() > limits_.max_header_bytes) {
+      reject(431, "header block too large");
+      return;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return;  // timeout, reset, or EOF before a full request
+    buf.append(chunk, static_cast<std::size_t>(n));
+    header_end = buf.find("\r\n\r\n");
+    // Tolerate bare-LF clients for the terminator search.
+    if (header_end == std::string::npos) header_end = buf.find("\n\n");
+  }
+
+  const std::string_view head = std::string_view(buf).substr(0, header_end);
+  const std::size_t line_end = head.find('\n');
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  if (!request_line.empty() && request_line.back() == '\r') {
+    request_line.remove_suffix(1);
+  }
+  if (request_line.size() > limits_.max_request_line) {
+    reject(414, "request line too long");
+    return;
+  }
+
+  // METHOD SP target SP HTTP/x.y — exactly three space-separated parts.
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    reject(400, "malformed request line");
+    return;
+  }
+  HttpRequest request;
+  request.method = std::string(request_line.substr(0, sp1));
+  request.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  request.version = std::string(request_line.substr(sp2 + 1));
+  if (!ValidMethodToken(request.method) || request.target.empty() ||
+      request.target[0] != '/') {
+    reject(400, "malformed request line");
+    return;
+  }
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+    reject(505, "unsupported HTTP version");
+    return;
+  }
+  if (request.method != "GET" && request.method != "HEAD") {
+    reject(405, "method not allowed");
+    return;
+  }
+
+  // Header lines after the request line.
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 1;
+  while (pos < head.size()) {
+    std::size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      reject(400, "malformed header line");
+      return;
+    }
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    request.headers.emplace_back(ToLower(line.substr(0, colon)),
+                                 std::string(value));
+    if (request.headers.size() > limits_.max_headers) {
+      reject(431, "too many headers");
+      return;
+    }
+  }
+
+  const std::size_t qmark = request.target.find('?');
+  request.path = PercentDecode(qmark == std::string::npos
+                                   ? std::string_view(request.target)
+                                   : std::string_view(request.target)
+                                         .substr(0, qmark));
+  request.query =
+      qmark == std::string::npos ? "" : request.target.substr(qmark + 1);
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  RANOMALY_METRIC_COUNT("http_requests_total", 1);
+  HttpResponse response;
+  try {
+    response = handler_(request);
+  } catch (const std::exception& e) {
+    response = HttpResponse{500, "text/plain; charset=utf-8",
+                            std::string("handler error: ") + e.what() + "\n"};
+  } catch (...) {
+    response = HttpResponse{500, "text/plain; charset=utf-8",
+                            "handler error\n"};
+  }
+  SendResponse(fd, response, request.method == "HEAD");
+}
+
+std::optional<std::string> HttpGet(std::uint16_t port, std::string_view path,
+                                   int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return std::nullopt;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string request = "GET " + std::string(path) +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  if (!SendAll(fd, request)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (response.empty()) return std::nullopt;
+  return response;
+}
+
+}  // namespace ranomaly::obs

@@ -1,0 +1,112 @@
+// Embedded HTTP/1.1 exposition server for the live operations surface
+// (`ranomaly serve`): a blocking accept loop on one dedicated thread,
+// standard library + POSIX sockets only, no third-party dependencies.
+//
+// Scope is deliberately narrow — GET/HEAD, `Connection: close`, loopback
+// bind — because the only clients are Prometheus scrapers, curl, and the
+// tests.  Robustness is not narrow: malformed request lines, oversized
+// headers, slow clients, and handler exceptions all produce clean HTTP
+// error responses (or a timed-out close) instead of wedging the accept
+// thread.  Stop() is idempotent and joins the thread, so a server can be
+// torn down mid-scrape under TSan without reports.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ranomaly::obs {
+
+struct HttpRequest {
+  std::string method;   // "GET", "HEAD"
+  std::string target;   // raw request target, e.g. "/incidents?since=3"
+  std::string path;     // target up to '?', percent-decoded
+  std::string query;    // raw query string after '?', "" if none
+  std::string version;  // "HTTP/1.0" or "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;  // name lowercased
+
+  // First value of `name` in the query string (percent-decoded); nullopt
+  // if the parameter is absent.
+  std::optional<std::string> QueryParam(std::string_view name) const;
+  // First header value by (case-insensitive) name.
+  std::optional<std::string> Header(std::string_view name) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+const char* StatusReason(int status);
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Limits {
+    std::size_t max_request_line = 4096;   // bytes, 414 beyond
+    std::size_t max_header_bytes = 16384;  // request line + headers, 431 beyond
+    std::size_t max_headers = 100;         // header count, 431 beyond
+    int recv_timeout_ms = 5000;            // slow client: close the socket
+  };
+
+  explicit HttpServer(Handler handler);
+  ~HttpServer();  // calls Stop()
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Must be called before Start().
+  void set_limits(const Limits& limits) { limits_ = limits; }
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral; see port()) and starts the
+  // accept thread.  Returns false with `*error` filled on failure.
+  bool Start(std::uint16_t port, std::string* error = nullptr);
+
+  // Stops accepting, joins the accept thread, closes the socket.
+  // Idempotent; safe to call while a request is in flight.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  std::uint16_t port() const { return port_; }
+
+  // Served = handler ran (any status); rejected = protocol-level 4xx/5xx
+  // produced by the server itself (parse errors, limits, bad method).
+  std::uint64_t requests_total() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rejected_total() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  // Sends a complete response (headers + body unless HEAD) on `fd`.
+  void SendResponse(int fd, const HttpResponse& response, bool head_only);
+
+  Handler handler_;
+  Limits limits_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+};
+
+// Minimal blocking HTTP GET against 127.0.0.1:`port` for tests and the
+// bench scraper: sends the request, reads until the peer closes, returns
+// the raw response (status line + headers + body), or nullopt on
+// connect/IO failure.
+std::optional<std::string> HttpGet(std::uint16_t port, std::string_view path,
+                                   int timeout_ms = 2000);
+
+}  // namespace ranomaly::obs

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <deque>
 #include <map>
+#include <set>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -36,7 +37,69 @@ std::string FormatBound(double v) {
   return buf;
 }
 
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Splits a registered name into its family (before any '{') and the raw
+// label block including braces ("" if unlabeled).
+std::pair<std::string_view, std::string_view> SplitFamily(
+    std::string_view name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
 }  // namespace
+
+std::string PromEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string PromLabels(
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += PromEscape(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
 
 std::vector<double> ExponentialBounds(double first, double factor,
                                       std::size_t count) {
@@ -116,6 +179,7 @@ struct MetricsRegistry::Impl {
   mutable std::mutex mu;
 
   std::map<std::string, MetricId, std::less<>> by_name;
+  std::map<std::string, std::string, std::less<>> help_by_family;
   std::vector<std::string> counter_names;  // slot -> name
   std::vector<std::string> gauge_names;
   std::deque<std::atomic<double>> gauges;  // deque: stable references
@@ -262,6 +326,11 @@ MetricId MetricsRegistry::Gauge(std::string_view name) {
 MetricId MetricsRegistry::Histogram(std::string_view name,
                                     std::vector<double> bounds) {
   return Register(name, MetricKind::kHistogram, std::move(bounds));
+}
+
+void MetricsRegistry::SetHelp(std::string_view family, std::string_view help) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->help_by_family[std::string(family)] = std::string(help);
 }
 
 MetricsRegistry::Shard& MetricsRegistry::LocalShard() {
@@ -493,35 +562,111 @@ std::string FormatSnapshot(const std::vector<MetricSnapshot>& snapshot) {
 std::string MetricsRegistry::ToText() const { return FormatSnapshot(Snapshot()); }
 
 std::string MetricsRegistry::ToPrometheus() const {
+  // Registered names may embed a `{key="value"}` label block (built with
+  // PromLabels, so values are already escaped); the part before '{' is
+  // the metric family.  # HELP (when registered) and # TYPE are emitted
+  // exactly once per family, before its first sample — a set, not an
+  // adjacency check, because name sorting interleaves families
+  // ("foo_x" sorts between "foo" and "foo{...}").
+  std::map<std::string, std::string> help;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    help = {impl_->help_by_family.begin(), impl_->help_by_family.end()};
+  }
   std::string out;
+  std::set<std::string, std::less<>> emitted_families;
   for (const MetricSnapshot& m : Snapshot()) {
-    const std::string name = "ranomaly_" + m.name;
+    const auto [family, labels] = SplitFamily(m.name);
+    const std::string prom_family = "ranomaly_" + std::string(family);
+    if (emitted_families.insert(prom_family).second) {
+      const auto it = help.find(std::string(family));
+      if (it != help.end() && !it->second.empty()) {
+        // # HELP escaping: backslash and newline only (not quotes).
+        std::string text;
+        for (const char c : it->second) {
+          if (c == '\\') text += "\\\\";
+          else if (c == '\n') text += "\\n";
+          else text += c;
+        }
+        out += "# HELP " + prom_family + " " + text + "\n";
+      }
+      const char* type = m.kind == MetricKind::kCounter    ? "counter"
+                         : m.kind == MetricKind::kGauge    ? "gauge"
+                                                           : "histogram";
+      out += "# TYPE " + prom_family + " " + type + "\n";
+    }
     switch (m.kind) {
       case MetricKind::kCounter:
-        out += "# TYPE " + name + " counter\n";
-        out += name + " " + std::to_string(m.counter) + "\n";
+        out += prom_family + std::string(labels) + " " +
+               std::to_string(m.counter) + "\n";
         break;
       case MetricKind::kGauge:
-        out += "# TYPE " + name + " gauge\n";
-        out += name + " " + FormatDouble(m.gauge) + "\n";
+        out += prom_family + std::string(labels) + " " +
+               FormatDouble(m.gauge) + "\n";
         break;
       case MetricKind::kHistogram: {
-        out += "# TYPE " + name + " histogram\n";
+        // A histogram's own labels merge with the le bucket label.
+        const std::string inner =
+            labels.empty()
+                ? std::string{}
+                : std::string(labels.substr(1, labels.size() - 2)) + ",";
         std::uint64_t cumulative = 0;
         for (std::size_t b = 0; b < m.histogram.bounds.size(); ++b) {
           cumulative += m.histogram.counts[b];
-          out += name + "_bucket{le=\"" + FormatBound(m.histogram.bounds[b]) +
-                 "\"} " + std::to_string(cumulative) + "\n";
+          out += prom_family + "_bucket{" + inner + "le=\"" +
+                 FormatBound(m.histogram.bounds[b]) + "\"} " +
+                 std::to_string(cumulative) + "\n";
         }
-        out += name + "_bucket{le=\"+Inf\"} " +
+        out += prom_family + "_bucket{" + inner + "le=\"+Inf\"} " +
                std::to_string(m.histogram.total_count) + "\n";
-        out += name + "_sum " + FormatDouble(m.histogram.sum) + "\n";
-        out += name + "_count " + std::to_string(m.histogram.total_count) +
-               "\n";
+        out += prom_family + "_sum" + std::string(labels) + " " +
+               FormatDouble(m.histogram.sum) + "\n";
+        out += prom_family + "_count" + std::string(labels) + " " +
+               std::to_string(m.histogram.total_count) + "\n";
         break;
       }
     }
   }
+  return out;
+}
+
+std::string ToVarzJson(const std::vector<MetricSnapshot>& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const MetricSnapshot& m : snapshot) {
+    if (m.kind != MetricKind::kCounter) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + EscapeJson(m.name) + "\":" + std::to_string(m.counter);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const MetricSnapshot& m : snapshot) {
+    if (m.kind != MetricKind::kGauge) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + EscapeJson(m.name) + "\":" + FormatDouble(m.gauge);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const MetricSnapshot& m : snapshot) {
+    if (m.kind != MetricKind::kHistogram) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + EscapeJson(m.name) + "\":{\"bounds\":[";
+    for (std::size_t b = 0; b < m.histogram.bounds.size(); ++b) {
+      if (b > 0) out += ',';
+      out += FormatBound(m.histogram.bounds[b]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t b = 0; b < m.histogram.counts.size(); ++b) {
+      if (b > 0) out += ',';
+      out += std::to_string(m.histogram.counts[b]);
+    }
+    out += "],\"count\":" + std::to_string(m.histogram.total_count);
+    out += ",\"sum\":" + FormatDouble(m.histogram.sum) + "}";
+  }
+  out += "}}";
   return out;
 }
 

@@ -22,10 +22,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace ranomaly::obs {
@@ -66,6 +68,23 @@ struct MetricSnapshot {
 // before formatting (`stats --analyze`).
 std::string FormatSnapshot(const std::vector<MetricSnapshot>& snapshot);
 
+// Full JSON rendering of a snapshot (the `/varz` payload): counters,
+// gauges, and histograms with their bucket bounds/counts/sum.
+std::string ToVarzJson(const std::vector<MetricSnapshot>& snapshot);
+
+// Prometheus label-value escaping: backslash, double quote, and newline
+// become \\, \", and \n per the exposition format.
+std::string PromEscape(std::string_view value);
+
+// Builds a `{key="value",...}` label block with escaped values, for
+// embedding labels in a registered metric name:
+//   Gauge("health_component_state" + PromLabels({{"component", name}}))
+// The part before '{' is the metric *family*; exposition emits # TYPE /
+// # HELP once per family.  Families must be kind-consistent.
+std::string PromLabels(
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
 class MetricsRegistry {
  public:
   MetricsRegistry();
@@ -83,6 +102,11 @@ class MetricsRegistry {
   MetricId Counter(std::string_view name);
   MetricId Gauge(std::string_view name);
   MetricId Histogram(std::string_view name, std::vector<double> bounds);
+
+  // Help text for a metric family (the name without any `{...}` label
+  // block and without the "ranomaly_" exposition prefix); emitted as a
+  // `# HELP` line before the family's `# TYPE`.  Last write wins.
+  void SetHelp(std::string_view family, std::string_view help);
 
   // Hot-path recording.  Add/Observe write this thread's shard only;
   // Set is last-write-wins on a shared atomic.

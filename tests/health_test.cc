@@ -1,0 +1,152 @@
+#include "obs/health.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace ranomaly::obs {
+namespace {
+
+TEST(HealthTest, RegisterIsIdempotent) {
+  HealthRegistry registry;
+  const auto a = registry.Register("pipeline");
+  EXPECT_EQ(registry.Register("pipeline"), a);
+  EXPECT_NE(registry.Register("peer/10.0.0.1"), a);
+}
+
+TEST(HealthTest, FreshComponentIsOk) {
+  HealthRegistry registry;
+  registry.Register("x");
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].state, HealthState::kOk);
+  EXPECT_TRUE(snapshot[0].reason.empty());
+  const auto agg = registry.Aggregated();
+  EXPECT_EQ(agg.state, HealthState::kOk);
+  EXPECT_TRUE(agg.reason.empty());
+}
+
+TEST(HealthTest, SnapshotSortsByName) {
+  HealthRegistry registry;
+  registry.Register("zebra");
+  registry.Register("alpha");
+  registry.Register("middle");
+  const auto snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "alpha");
+  EXPECT_EQ(snapshot[1].name, "middle");
+  EXPECT_EQ(snapshot[2].name, "zebra");
+}
+
+TEST(HealthTest, AggregateIsWorstOfAndNamesOffenders) {
+  HealthRegistry registry;
+  const auto ok = registry.Register("fine");
+  const auto bad = registry.Register("peer/10.0.0.2");
+  const auto worse = registry.Register("pipeline");
+  registry.SetState(ok, HealthState::kOk, "");
+  registry.SetState(bad, HealthState::kDegraded, "feed gap open since 180s");
+  auto agg = registry.Aggregated();
+  EXPECT_EQ(agg.state, HealthState::kDegraded);
+  EXPECT_NE(agg.reason.find("peer/10.0.0.2"), std::string::npos);
+  EXPECT_NE(agg.reason.find("feed gap"), std::string::npos);
+  EXPECT_EQ(agg.reason.find("fine"), std::string::npos);
+
+  registry.SetState(worse, HealthState::kDown, "thread died");
+  agg = registry.Aggregated();
+  EXPECT_EQ(agg.state, HealthState::kDown);
+  EXPECT_NE(agg.reason.find("pipeline: thread died"), std::string::npos);
+  EXPECT_NE(agg.reason.find("peer/10.0.0.2"), std::string::npos);
+}
+
+TEST(HealthTest, StalledHeartbeatReportsDegradedLazily) {
+  HealthRegistry registry;
+  const auto id = registry.Register("replay");
+  registry.SetHeartbeatDeadline(id, 0.05);
+  registry.Heartbeat(id);
+  EXPECT_EQ(registry.Snapshot()[0].state, HealthState::kOk);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  // No watchdog running: the stall check applies on read.
+  const auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot[0].state, HealthState::kDegraded);
+  EXPECT_NE(snapshot[0].reason.find("stalled"), std::string::npos);
+  EXPECT_GT(snapshot[0].heartbeat_age_sec, 0.05);
+  EXPECT_EQ(registry.Aggregated().state, HealthState::kDegraded);
+  // The heartbeat resuming recovers it.
+  registry.Heartbeat(id);
+  EXPECT_EQ(registry.Snapshot()[0].state, HealthState::kOk);
+}
+
+TEST(HealthTest, ZeroDeadlineDisablesStallDetection) {
+  HealthRegistry registry;
+  const auto id = registry.Register("batch");
+  registry.SetHeartbeatDeadline(id, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(registry.Snapshot()[0].state, HealthState::kOk);
+  (void)id;
+}
+
+TEST(HealthTest, HeartbeatDoesNotClearExplicitDegraded) {
+  HealthRegistry registry;
+  const auto id = registry.Register("peer/10.0.0.1");
+  registry.SetState(id, HealthState::kDegraded, "feed gap");
+  registry.Heartbeat(id);
+  // Heartbeat only recovers stall-detector marks, not explicit states.
+  EXPECT_EQ(registry.Snapshot()[0].state, HealthState::kDegraded);
+  registry.SetState(id, HealthState::kOk, "");
+  EXPECT_EQ(registry.Snapshot()[0].state, HealthState::kOk);
+}
+
+TEST(HealthTest, WatchdogPersistsStallMarks) {
+  HealthRegistry registry;
+  const auto id = registry.Register("replay");
+  registry.SetHeartbeatDeadline(id, 0.03);
+  registry.StartWatchdog(0.01);
+  registry.StartWatchdog(0.01);  // idempotent
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  registry.StopWatchdog();
+  // The mark was persisted by the watchdog thread, so it survives into a
+  // plain snapshot even after stopping.
+  const auto snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot[0].state, HealthState::kDegraded);
+  EXPECT_NE(snapshot[0].reason.find("stalled"), std::string::npos);
+  // Heartbeat recovery still works on watchdog-persisted marks.
+  registry.Heartbeat(id);
+  EXPECT_EQ(registry.Snapshot()[0].state, HealthState::kOk);
+  registry.StopWatchdog();  // idempotent
+}
+
+TEST(HealthTest, ConcurrentReadersAndWriters) {
+  HealthRegistry registry;
+  const auto replay = registry.Register("replay");
+  registry.SetHeartbeatDeadline(replay, 0.5);
+  registry.StartWatchdog(0.005);
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    int i = 0;
+    while (!done.load()) {
+      registry.Heartbeat(replay);
+      const auto id = registry.Register("peer/10.0.0." + std::to_string(i % 8));
+      registry.SetState(id,
+                        i % 2 == 0 ? HealthState::kOk : HealthState::kDegraded,
+                        i % 2 == 0 ? "" : "flap");
+      ++i;
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    (void)registry.Snapshot();
+    (void)registry.Aggregated();
+  }
+  done.store(true);
+  writer.join();
+}
+
+TEST(HealthStateTest, ToStringValues) {
+  EXPECT_STREQ(ToString(HealthState::kOk), "OK");
+  EXPECT_STREQ(ToString(HealthState::kDegraded), "DEGRADED");
+  EXPECT_STREQ(ToString(HealthState::kDown), "DOWN");
+}
+
+}  // namespace
+}  // namespace ranomaly::obs

@@ -1,0 +1,219 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ranomaly::obs {
+namespace {
+
+// Sends raw bytes at the server (HttpGet only speaks well-formed HTTP)
+// and returns everything read until the peer closes.
+std::string RawRequest(std::uint16_t port, const std::string& bytes) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void StartEcho() {
+    server_ = std::make_unique<HttpServer>([](const HttpRequest& request) {
+      HttpResponse response;
+      response.body = "path=" + request.path;
+      if (const auto q = request.QueryParam("q")) response.body += " q=" + *q;
+      if (request.path == "/boom") throw std::runtime_error("handler bug");
+      if (request.path == "/missing") response.status = 404;
+      return response;
+    });
+    std::string error;
+    ASSERT_TRUE(server_->Start(0, &error)) << error;
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpServerTest, ServesGetAndHead) {
+  StartEcho();
+  const auto got = HttpGet(server_->port(), "/hello");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_NE(got->find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(got->find("path=/hello"), std::string::npos);
+
+  const std::string head = RawRequest(
+      server_->port(), "HEAD /hello HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(head.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(head.find("Content-Length:"), std::string::npos);
+  // HEAD carries headers only.
+  EXPECT_EQ(head.find("path=/hello"), std::string::npos);
+  EXPECT_EQ(server_->requests_total(), 2u);
+  EXPECT_EQ(server_->rejected_total(), 0u);
+}
+
+TEST_F(HttpServerTest, DecodesQueryParameters) {
+  StartEcho();
+  const auto got = HttpGet(server_->port(), "/echo?q=a%20b&x=1");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_NE(got->find("q=a b"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, HandlerStatusPassesThrough) {
+  StartEcho();
+  const auto got = HttpGet(server_->port(), "/missing");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_NE(got->find("404"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, HandlerExceptionIs500) {
+  StartEcho();
+  const auto got = HttpGet(server_->port(), "/boom");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_NE(got->find("500 Internal Server Error"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, MalformedRequestLinesAreRejected) {
+  StartEcho();
+  // No version, garbage, relative target, bad token: all 400.
+  for (const char* bad :
+       {"GET /\r\n\r\n", "completely wrong\r\n\r\n",
+        "GET relative HTTP/1.1\r\n\r\n", "G@T / HTTP/1.1\r\n\r\n"}) {
+    const std::string got = RawRequest(server_->port(), bad);
+    EXPECT_NE(got.find("400 Bad Request"), std::string::npos) << bad;
+  }
+  EXPECT_EQ(server_->requests_total(), 0u);
+  EXPECT_GE(server_->rejected_total(), 4u);
+}
+
+TEST_F(HttpServerTest, UnsupportedMethodIs405WithAllow) {
+  StartEcho();
+  const std::string got =
+      RawRequest(server_->port(), "POST / HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(got.find("405 Method Not Allowed"), std::string::npos);
+  EXPECT_NE(got.find("Allow: GET, HEAD"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, UnsupportedVersionIs505) {
+  StartEcho();
+  const std::string got = RawRequest(server_->port(), "GET / HTTP/2.0\r\n\r\n");
+  EXPECT_NE(got.find("505"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, OversizedRequestLineIs414) {
+  StartEcho();
+  const std::string got = RawRequest(
+      server_->port(),
+      "GET /" + std::string(8192, 'a') + " HTTP/1.1\r\n\r\n");
+  EXPECT_NE(got.find("414"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, OversizedHeaderBlockIs431) {
+  StartEcho();
+  std::string request = "GET / HTTP/1.1\r\n";
+  request += "X-Big: " + std::string(32768, 'b') + "\r\n\r\n";
+  const std::string got = RawRequest(server_->port(), request);
+  EXPECT_NE(got.find("431"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, TooManyHeadersIs431) {
+  StartEcho();
+  std::string request = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 200; ++i) {
+    request += "X-H" + std::to_string(i) + ": v\r\n";
+  }
+  request += "\r\n";
+  const std::string got = RawRequest(server_->port(), request);
+  EXPECT_NE(got.find("431"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, MalformedHeaderLineIs400) {
+  StartEcho();
+  const std::string got = RawRequest(
+      server_->port(), "GET / HTTP/1.1\r\nno colon here\r\n\r\n");
+  EXPECT_NE(got.find("400 Bad Request"), std::string::npos);
+}
+
+TEST_F(HttpServerTest, ConcurrentScrapesAllSucceed) {
+  StartEcho();
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 20;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        const auto got =
+            HttpGet(server_->port(), "/scrape" + std::to_string(t));
+        if (got && got->find("200 OK") != std::string::npos) ++ok;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ok.load(), kThreads * kRequestsPerThread);
+  EXPECT_EQ(server_->requests_total(),
+            static_cast<std::uint64_t>(kThreads * kRequestsPerThread));
+}
+
+TEST_F(HttpServerTest, StopIsIdempotentAndSafeMidTraffic) {
+  StartEcho();
+  std::atomic<bool> done{false};
+  std::thread hammer([&] {
+    while (!done.load()) HttpGet(server_->port(), "/x", 200);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server_->Stop();
+  server_->Stop();
+  done.store(true);
+  hammer.join();
+  EXPECT_FALSE(server_->running());
+}
+
+TEST(HttpServerStartTest, StartFailsOnBusyPort) {
+  HttpServer first([](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(first.Start(0));
+  HttpServer second([](const HttpRequest&) { return HttpResponse{}; });
+  std::string error;
+  EXPECT_FALSE(second.Start(first.port(), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(HttpGetTest, FailsCleanlyWhenNothingListens) {
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(server.Start(0));
+  const std::uint16_t port = server.port();
+  server.Stop();
+  EXPECT_FALSE(HttpGet(port, "/", 200).has_value());
+}
+
+}  // namespace
+}  // namespace ranomaly::obs

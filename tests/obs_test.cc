@@ -124,6 +124,69 @@ TEST(MetricsTest, PrometheusExpositionShape) {
   EXPECT_NE(text.find("ranomaly_latency_count 2"), std::string::npos);
 }
 
+TEST(MetricsTest, PromEscapeHandlesSpecials) {
+  EXPECT_EQ(PromEscape("plain"), "plain");
+  EXPECT_EQ(PromEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(PromEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(PromEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(PromLabels({{"job", "x\"y"}, {"peer", "10.0.0.1"}}),
+            "{job=\"x\\\"y\",peer=\"10.0.0.1\"}");
+}
+
+// Golden-file check of the whole exposition: escaped label values, # HELP
+// and # TYPE exactly once per family (including a family whose plain
+// name sorts between another family's labeled series), labeled
+// histograms merging with le, and exact value formatting.
+TEST(MetricsTest, PrometheusExpositionGolden) {
+  MetricsRegistry registry;
+  registry.SetHelp("scrapes_total", "Scrapes by\nsource \"path\\dir\".");
+  registry.SetHelp("lat", "Latency.");
+  registry.Add(
+      registry.Counter("scrapes_total" +
+                       PromLabels({{"job", "a\\b\"c\nd"}})),
+      1);
+  registry.Add(
+      registry.Counter("scrapes_total" + PromLabels({{"job", "plain"}})), 2);
+  registry.Counter("scrapes_total_errors");  // interleaves with the family
+  registry.Set(registry.Gauge("depth"), 1.5);
+  const MetricId h = registry.Histogram(
+      "lat" + PromLabels({{"stage", "s1"}}), {1.0, 2.0});
+  registry.Observe(h, 0.5);
+  registry.Observe(h, 3.0);
+
+  const std::string expected = R"PROM(# TYPE ranomaly_depth gauge
+ranomaly_depth 1.5
+# HELP ranomaly_lat Latency.
+# TYPE ranomaly_lat histogram
+ranomaly_lat_bucket{stage="s1",le="1"} 1
+ranomaly_lat_bucket{stage="s1",le="2"} 1
+ranomaly_lat_bucket{stage="s1",le="+Inf"} 2
+ranomaly_lat_sum{stage="s1"} 3.5
+ranomaly_lat_count{stage="s1"} 2
+# TYPE ranomaly_scrapes_total_errors counter
+ranomaly_scrapes_total_errors 0
+# HELP ranomaly_scrapes_total Scrapes by\nsource "path\\dir".
+# TYPE ranomaly_scrapes_total counter
+ranomaly_scrapes_total{job="a\\b\"c\nd"} 1
+ranomaly_scrapes_total{job="plain"} 2
+)PROM";
+  EXPECT_EQ(registry.ToPrometheus(), expected);
+}
+
+TEST(MetricsTest, VarzJsonShape) {
+  MetricsRegistry registry;
+  registry.Add(registry.Counter("events_total"), 7);
+  registry.Set(registry.Gauge("depth"), 2.5);
+  const MetricId h = registry.Histogram("lat", {1.0});
+  registry.Observe(h, 0.5);
+  const std::string json = ToVarzJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"counters\":{\"events_total\":7"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"depth\":2.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lat\":{\"bounds\":[1]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
+}
+
 // --- tracer ------------------------------------------------------------------
 
 // Pulls `"key":` string/number fields out of one exported JSON line.

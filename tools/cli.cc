@@ -1,16 +1,24 @@
 #include "tools/cli.h"
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "collector/binary_io.h"
 #include "collector/event_stream.h"
+#include "core/live.h"
 #include "core/moas.h"
 #include "core/pipeline.h"
+#include "obs/health.h"
+#include "obs/http_server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tamp/animation.h"
@@ -37,6 +45,9 @@ commands:
   moas    <stream>
   stats   <stream> [--analyze]
   metrics <stream> [--prom]
+  serve   <stream> [--port N] [--tick-sec S] [--window-sec S] [--slo-sec S]
+                   [--pace-ms M] [--watchdog-sec S] [--exit-after-replay]
+  peers   <stream>
   trace   --out FILE.json [--jsonl FILE.jsonl] [--] <command> [options]
 
 stream files use the text (one event per line) or binary (RNE1) format;
@@ -50,9 +61,23 @@ metrics runs the full pipeline over the stream and dumps every metric
 on the process registry — aligned text by default, Prometheus
 exposition format with --prom (docs/OBSERVABILITY.md lists the names).
 
+serve replays the stream through the analysis pipeline in --tick-sec
+batches over a sliding --window-sec window and exposes the operations
+endpoints on 127.0.0.1 (--port 0 picks an ephemeral port, printed on
+startup): /metrics /varz /healthz /readyz /incidents?since=N.  --pace-ms
+sleeps that many wall milliseconds per simulated tick; after the replay
+the server keeps answering until SIGINT/SIGTERM unless
+--exit-after-replay is given (docs/OBSERVABILITY.md, Operations).
+
+peers prints the per-peer feed scoreboard (state, uptime, reconnects,
+gaps) computed from the stream's GAP/SYNC markers — the same health
+facts `serve` exposes on /readyz.
+
 trace runs any other command with span tracing enabled and writes
 Chrome trace_event JSON (load at https://ui.perfetto.dev) to --out,
-plus an optional JSONL stream to --jsonl.
+plus an optional JSONL stream to --jsonl.  The files are finalized via
+atomic rename, and SIGINT/SIGTERM flushes them before exiting, so an
+interrupted run still yields a loadable trace.
 )";
 
 // Simple flag parser: positionals + --key value + --bool-flag.
@@ -73,7 +98,7 @@ struct Args {
 
 // Flags that take no value.
 const char* kBooleanFlags[] = {"--include-unknown", "--hierarchical",
-                               "--analyze", "--prom"};
+                               "--analyze", "--prom", "--exit-after-replay"};
 
 std::optional<Args> ParseArgs(const std::vector<std::string>& argv,
                               std::ostream& err) {
@@ -446,6 +471,145 @@ int CmdMetrics(const Args& args, std::ostream& out, std::ostream& err) {
   return kOk;
 }
 
+// Async-signal-safe stop flag for the long-running commands (serve, and
+// trace's flush-on-interrupt).  The handler only sets an atomic; the
+// commands poll it.
+std::atomic<bool> g_stop_requested{false};
+
+void HandleStopSignal(int) {
+  g_stop_requested.store(true, std::memory_order_relaxed);
+}
+
+// Installs SIGINT/SIGTERM handlers that set g_stop_requested; restores
+// the previous handlers (and clears the flag) on destruction so tests
+// can run commands back to back in one process.
+class ScopedSignalTrap {
+ public:
+  ScopedSignalTrap() {
+    g_stop_requested.store(false, std::memory_order_relaxed);
+    struct sigaction action = {};
+    action.sa_handler = HandleStopSignal;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGINT, &action, &old_int_);
+    sigaction(SIGTERM, &action, &old_term_);
+  }
+  ~ScopedSignalTrap() {
+    sigaction(SIGINT, &old_int_, nullptr);
+    sigaction(SIGTERM, &old_term_, nullptr);
+    g_stop_requested.store(false, std::memory_order_relaxed);
+  }
+  ScopedSignalTrap(const ScopedSignalTrap&) = delete;
+  ScopedSignalTrap& operator=(const ScopedSignalTrap&) = delete;
+
+  static bool StopRequested() {
+    return g_stop_requested.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct sigaction old_int_ = {};
+  struct sigaction old_term_ = {};
+};
+
+// serve <stream> — the long-running operations daemon: tick replay of
+// the stream through the pipeline plus the HTTP exposition endpoints.
+int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "serve: expected one stream file\n";
+    return kUsage;
+  }
+  const auto stream = LoadStream(args.positional[1], err);
+  if (!stream) return kFailure;
+
+  core::LiveOptions options;
+  options.tick = util::FromSeconds(
+      ParseDouble(args.Option("--tick-sec").value_or("10"), 10.0));
+  options.window = util::FromSeconds(
+      ParseDouble(args.Option("--window-sec").value_or("300"), 300.0));
+  options.slo_target_sec =
+      ParseDouble(args.Option("--slo-sec").value_or("30"), 30.0);
+  if (options.tick <= 0 || options.window <= 0) {
+    err << "serve: --tick-sec and --window-sec must be positive\n";
+    return kUsage;
+  }
+  const double watchdog_sec =
+      ParseDouble(args.Option("--watchdog-sec").value_or("5"), 5.0);
+  options.heartbeat_deadline_sec = watchdog_sec;
+  const int pace_ms = static_cast<int>(
+      ParseDouble(args.Option("--pace-ms").value_or("0"), 0.0));
+  const int port_arg = static_cast<int>(
+      ParseDouble(args.Option("--port").value_or("0"), 0.0));
+  if (port_arg < 0 || port_arg > 65535) {
+    err << "serve: --port must be in [0, 65535]\n";
+    return kUsage;
+  }
+
+  obs::HealthRegistry health;
+  core::IncidentLog incidents;
+  if (watchdog_sec > 0) health.StartWatchdog(watchdog_sec / 2);
+
+  core::OpsInfo info;
+  info.stream_path = args.positional[1];
+  info.threads = util::ThreadPool::DefaultThreadCount();
+  info.slo_target_sec = options.slo_target_sec;
+  info.tick_sec = util::ToSeconds(options.tick);
+  info.window_sec = util::ToSeconds(options.window);
+
+  obs::HttpServer server(core::MakeOpsHandler(
+      &obs::MetricsRegistry::Global(), &health, &incidents, info));
+  std::string error;
+  if (!server.Start(static_cast<std::uint16_t>(port_arg), &error)) {
+    err << "serve: " << error << "\n";
+    return kFailure;
+  }
+  // Tests and scrapers parse this line for the (possibly ephemeral) port.
+  out << "serving on 127.0.0.1:" << server.port() << std::endl;
+
+  ScopedSignalTrap trap;
+  std::atomic<bool> keep_going{true};
+  core::LiveRunner runner(options, &health, &incidents);
+  const core::LiveStats stats =
+      runner.Run(*stream, &keep_going, [&](const core::LiveStats&) {
+        if (pace_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
+        }
+        if (ScopedSignalTrap::StopRequested()) keep_going.store(false);
+      });
+  out << "replay done: " << stats.events_ingested << " events, "
+      << stats.ticks << " ticks, " << stats.incidents << " incidents ("
+      << stats.incidents_within_slo << " within "
+      << options.slo_target_sec << "s SLO)" << std::endl;
+
+  if (!args.HasFlag("--exit-after-replay")) {
+    while (!ScopedSignalTrap::StopRequested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  health.StopWatchdog();
+  server.Stop();
+  out << "served " << server.requests_total() << " requests ("
+      << server.rejected_total() << " rejected)\n";
+  return kOk;
+}
+
+// peers <stream> — per-peer feed health scoreboard.
+int CmdPeers(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "peers: expected one stream file\n";
+    return kUsage;
+  }
+  const auto stream = LoadStream(args.positional[1], err);
+  if (!stream) return kFailure;
+  core::PeerBoard board;
+  for (const auto& event : stream->events()) board.Observe(event);
+  if (!stream->empty()) board.Finish(stream->back().time);
+  const auto rows = board.Rows();
+  out << FormatPeerTable(rows);
+  std::size_t degraded = 0;
+  for (const auto& row : rows) degraded += row.degraded ? 1 : 0;
+  out << rows.size() << " peers, " << degraded << " degraded\n";
+  return kOk;
+}
+
 // trace --out FILE.json [--jsonl FILE.jsonl] [--] <command...> — runs the
 // wrapped command with the tracer on and exports the spans.  Parsed by
 // hand (before ParseArgs) so the wrapped command's own flags pass
@@ -477,28 +641,70 @@ int CmdTrace(const std::vector<std::string>& args, std::ostream& out,
   auto& tracer = obs::Tracer::Global();
   tracer.Reset();
   tracer.SetEnabled(true);
+
+  // Writes the exports to `<path>.tmp` and atomically renames them into
+  // place, so a reader (or a signal arriving mid-write) never sees a
+  // truncated file.  Export is thread-safe against concurrent recording.
+  const auto export_trace = [&](std::ostream* status_out) -> bool {
+    const std::string json_tmp = json_path + ".tmp";
+    {
+      std::ofstream json(json_tmp, std::ios::trunc);
+      if (!json) return false;
+      json << tracer.ExportChromeJson();
+      if (!json.good()) return false;
+    }
+    std::error_code ec;
+    std::filesystem::rename(json_tmp, json_path, ec);
+    if (ec) return false;
+    if (status_out != nullptr) {
+      *status_out << "wrote trace to " << json_path;
+      if (tracer.DroppedCount() > 0) {
+        *status_out << " (" << tracer.DroppedCount() << " events dropped)";
+      }
+      *status_out << "\n";
+    }
+    if (!jsonl_path.empty()) {
+      const std::string jsonl_tmp = jsonl_path + ".tmp";
+      {
+        std::ofstream jsonl(jsonl_tmp, std::ios::trunc);
+        if (!jsonl) return false;
+        jsonl << tracer.ExportJsonl();
+        if (!jsonl.good()) return false;
+      }
+      std::filesystem::rename(jsonl_tmp, jsonl_path, ec);
+      if (ec) return false;
+      if (status_out != nullptr) {
+        *status_out << "wrote trace events to " << jsonl_path << "\n";
+      }
+    }
+    return true;
+  };
+
+  // SIGINT/SIGTERM must still yield a loadable trace: a watcher thread
+  // polls the trap and, on a stop request, flushes what the tracer has
+  // and exits with the conventional interrupted status.  _Exit skips
+  // static destructors — the wrapped command may be mid-flight on other
+  // threads, and the files are already renamed into place.
+  ScopedSignalTrap trap;
+  std::atomic<bool> wrapped_done{false};
+  std::thread watcher([&] {
+    while (!wrapped_done.load(std::memory_order_acquire)) {
+      if (ScopedSignalTrap::StopRequested()) {
+        export_trace(nullptr);
+        std::_Exit(130);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
   const int status = RunCli(wrapped, out, err);
+  wrapped_done.store(true, std::memory_order_release);
+  watcher.join();
   tracer.SetEnabled(false);
 
-  std::ofstream json(json_path, std::ios::trunc);
-  if (!json) {
+  if (!export_trace(&out)) {
     err << "cannot write " << json_path << "\n";
     return kFailure;
-  }
-  json << tracer.ExportChromeJson();
-  out << "wrote trace to " << json_path;
-  if (tracer.DroppedCount() > 0) {
-    out << " (" << tracer.DroppedCount() << " events dropped)";
-  }
-  out << "\n";
-  if (!jsonl_path.empty()) {
-    std::ofstream jsonl(jsonl_path, std::ios::trunc);
-    if (!jsonl) {
-      err << "cannot write " << jsonl_path << "\n";
-      return kFailure;
-    }
-    jsonl << tracer.ExportJsonl();
-    out << "wrote trace events to " << jsonl_path << "\n";
   }
   return status;
 }
@@ -523,6 +729,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "moas") return CmdMoas(*parsed, out, err);
   if (command == "stats") return CmdStats(*parsed, out, err);
   if (command == "metrics") return CmdMetrics(*parsed, out, err);
+  if (command == "serve") return CmdServe(*parsed, out, err);
+  if (command == "peers") return CmdPeers(*parsed, out, err);
   err << "unknown command: " << command << "\n" << kUsageText;
   return kUsage;
 }

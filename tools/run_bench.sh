@@ -4,7 +4,8 @@
 # speedup per row, and the 1/2/4-thread curve at 330k events.
 #
 # Usage:
-#   tools/run_bench.sh [--quick|--overhead] [--build-dir DIR] [--out FILE]
+#   tools/run_bench.sh [--quick|--overhead|--serve-overhead] [--build-dir DIR]
+#                      [--out FILE]
 #
 #   --quick      trimmed run (12k rows + thread curve, short min_time);
 #                writes into the build dir instead of the repo root.
@@ -14,6 +15,11 @@
 #                (configured into <build>-notrace) on the quick workload
 #                and appends an `instrumentation_overhead` row to the
 #                output JSON (budget: <= 5%, see docs/OBSERVABILITY.md).
+#   --serve-overhead
+#                measures what a 1 Hz /metrics + /varz scraper costs the
+#                analysis pipeline (bench_serve_overhead) and appends a
+#                `serve_overhead` row to the output JSON (budget: <= 3%,
+#                see docs/OBSERVABILITY.md).
 #   --build-dir  cmake build directory (default: <repo>/build)
 #   --out        output JSON path (default: <repo>/BENCH_stemming.json,
 #                or <build>/BENCH_stemming_quick.json with --quick)
@@ -23,17 +29,80 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$repo_root/build"
 quick=0
 overhead=0
+serve_overhead=0
 out=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick=1; shift ;;
     --overhead) overhead=1; shift ;;
+    --serve-overhead) serve_overhead=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --out) out="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+if [[ "$serve_overhead" -eq 1 ]]; then
+  [[ -n "$out" ]] || out="$repo_root/BENCH_stemming.json"
+  sbench="$build_dir/bench/bench_serve_overhead"
+  if [[ ! -x "$sbench" ]]; then
+    echo "building bench_serve_overhead in $build_dir ..." >&2
+    cmake --build "$build_dir" --target bench_serve_overhead -j"$(nproc)"
+  fi
+  raw="$(mktemp)"
+  trap 'rm -f "$raw"' EXIT
+  # Repetition medians for the same reason as --overhead: on a shared
+  # box, run-to-run drift dwarfs a few-percent effect.
+  "$sbench" --benchmark_min_time=0.2 --benchmark_repetitions=5 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=json > "$raw"
+  python3 - "$raw" "$out" <<'EOF'
+import json
+import os
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    report = json.load(f)
+
+def median_ns(prefix):
+    for b in report["benchmarks"]:
+        if b.get("aggregate_name") != "median":
+            continue
+        if not b["run_name"].startswith(prefix):
+            continue
+        scale = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[
+            b.get("time_unit", "ns")]
+        return b["real_time"] * scale
+    sys.exit(f"no median aggregate for {prefix}")
+
+bare = median_ns("BM_AnalyzeBare")
+scraped = median_ns("BM_AnalyzeScraped")
+row = {
+    "benchmark": "bench_serve_overhead",
+    "bare_ns_per_op": bare,
+    "scraped_ns_per_op": scraped,
+    "overhead_fraction": scraped / bare - 1.0,
+}
+result = {}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        result = json.load(f)
+result["serve_overhead"] = row
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+budget = 0.03
+verdict = "within" if row["overhead_fraction"] <= budget else "OVER"
+print(f'  analyze: bare {bare / 1e6:.2f} ms, with 1 Hz scraper '
+      f'{scraped / 1e6:.2f} ms, overhead '
+      f'{row["overhead_fraction"] * 100:+.1f}% ({verdict} the '
+      f'{budget * 100:.0f}% budget)')
+print(f"updated {out_path}")
+EOF
+  exit 0
+fi
 
 bench="$build_dir/bench/bench_stemming_opt"
 if [[ ! -x "$bench" ]]; then
