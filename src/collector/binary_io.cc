@@ -24,23 +24,6 @@ bool Reader::GetRaw(char* buf, std::size_t n) {
   return true;
 }
 
-void PutAttrs(std::ostream& os, const bgp::PathAttributes& attrs) {
-  Put<std::uint32_t>(os, attrs.nexthop.value());
-  Put<std::uint8_t>(os, static_cast<std::uint8_t>(attrs.origin));
-  Put<std::uint32_t>(os, attrs.local_pref);
-  Put<std::uint8_t>(os, attrs.med ? 1 : 0);
-  if (attrs.med) Put<std::uint32_t>(os, *attrs.med);
-  Put<std::uint32_t>(os, attrs.originator_id);
-  Put<std::uint16_t>(os, static_cast<std::uint16_t>(attrs.as_path.Length()));
-  for (const bgp::AsNumber a : attrs.as_path.asns()) {
-    Put<std::uint32_t>(os, a);
-  }
-  Put<std::uint16_t>(os, static_cast<std::uint16_t>(attrs.communities.size()));
-  for (const bgp::Community c : attrs.communities) {
-    Put<std::uint32_t>(os, c.raw());
-  }
-}
-
 LoadError GetAttrs(Reader& r, bgp::PathAttributes& attrs) {
   std::uint32_t nexthop = 0, local_pref = 0, originator = 0;
   std::uint8_t origin = 0, has_med = 0;
@@ -81,6 +64,22 @@ LoadError GetAttrs(Reader& r, bgp::PathAttributes& attrs) {
   return LoadError::kNone;
 }
 
+LoadError GetEvent(Reader& r, bgp::Event& event) {
+  std::int64_t time = 0;
+  std::uint32_t peer = 0, addr = 0;
+  std::uint8_t type = 0, len = 0;
+  if (!r.Get(time) || !r.Get(peer) || !r.Get(type) || !r.Get(addr) ||
+      !r.Get(len)) {
+    return LoadError::kTruncated;
+  }
+  if (type > kMaxEventType || len > 32) return LoadError::kBadEnum;
+  event.time = time;
+  event.peer = bgp::Ipv4Addr(peer);
+  event.type = static_cast<bgp::EventType>(type);
+  event.prefix = bgp::Prefix(bgp::Ipv4Addr(addr), len);
+  return GetAttrs(r, event.attrs);
+}
+
 }  // namespace io
 
 const char* ToString(LoadError error) {
@@ -110,12 +109,7 @@ bool SaveBinary(const EventStream& stream, std::ostream& os) {
   os.write(kMagic, sizeof(kMagic));
   io::Put<std::uint64_t>(os, stream.size());
   for (const bgp::Event& e : stream.events()) {
-    io::Put<std::int64_t>(os, e.time);
-    io::Put<std::uint32_t>(os, e.peer.value());
-    io::Put<std::uint8_t>(os, static_cast<std::uint8_t>(e.type));
-    io::Put<std::uint32_t>(os, e.prefix.addr().value());
-    io::Put<std::uint8_t>(os, e.prefix.length());
-    io::PutAttrs(os, e.attrs);
+    io::PutEvent(os, e);
   }
   if (os) {
     RANOMALY_METRIC_COUNT("io_events_saved_total", stream.size());
@@ -151,20 +145,7 @@ std::optional<EventStream> LoadBinary(std::istream& is, LoadDiagnostics& diag) {
   EventStream stream;
   for (std::uint64_t i = 0; i < count; ++i) {
     bgp::Event e;
-    std::int64_t time = 0;
-    std::uint32_t peer = 0, addr = 0;
-    std::uint8_t type = 0, len = 0;
-    if (!r.Get(time) || !r.Get(peer) || !r.Get(type) || !r.Get(addr) ||
-        !r.Get(len)) {
-      return fail(LoadError::kTruncated, i);
-    }
-    if (type > kMaxEventType || len > 32) return fail(LoadError::kBadEnum, i);
-    e.time = time;
-    e.peer = bgp::Ipv4Addr(peer);
-    e.type = static_cast<bgp::EventType>(type);
-    e.prefix = bgp::Prefix(bgp::Ipv4Addr(addr), len);
-    if (const LoadError err = io::GetAttrs(r, e.attrs);
-        err != LoadError::kNone) {
+    if (const LoadError err = io::GetEvent(r, e); err != LoadError::kNone) {
       return fail(err, i);
     }
     if (!stream.empty() && e.time < stream.back().time) {

@@ -65,9 +65,26 @@ std::optional<EventStream> LoadBinary(std::istream& is, LoadDiagnostics& diag);
 // by the checkpoint format (checkpoint.h).
 namespace io {
 
-// Serializes `value` little-endian regardless of host order.
-template <typename T>
-void Put(std::ostream& os, T value) {
+// Append-only sink over a std::string with the same write() shape as
+// std::ostream.  Hot encode paths (the live-state checkpoint sections,
+// cut every few ticks on the replay thread) use it instead of
+// std::ostringstream: a string append is a few inlined instructions,
+// where every ostream write pays a sentry + virtual dispatch.
+class StringSink {
+ public:
+  explicit StringSink(std::string& out) : out_(out) {}
+  void write(const char* data, std::streamsize n) {
+    out_.append(data, static_cast<std::size_t>(n));
+  }
+
+ private:
+  std::string& out_;
+};
+
+// Serializes `value` little-endian regardless of host order.  Sink is
+// std::ostream or StringSink (anything with ostream-shaped write()).
+template <typename T, typename Sink>
+void Put(Sink& os, T value) {
   unsigned char buf[sizeof(T)];
   auto u = static_cast<std::uint64_t>(value);
   for (std::size_t i = 0; i < sizeof(T); ++i) {
@@ -106,9 +123,41 @@ class Reader {
 
 // The per-route attribute block shared by the RNE1 event record and the
 // RNC1 checkpoint route record (everything after the prefix fields above).
-void PutAttrs(std::ostream& os, const bgp::PathAttributes& attrs);
+template <typename Sink>
+void PutAttrs(Sink& os, const bgp::PathAttributes& attrs) {
+  Put<std::uint32_t>(os, attrs.nexthop.value());
+  Put<std::uint8_t>(os, static_cast<std::uint8_t>(attrs.origin));
+  Put<std::uint32_t>(os, attrs.local_pref);
+  Put<std::uint8_t>(os, attrs.med ? 1 : 0);
+  if (attrs.med) Put<std::uint32_t>(os, *attrs.med);
+  Put<std::uint32_t>(os, attrs.originator_id);
+  Put<std::uint16_t>(os, static_cast<std::uint16_t>(attrs.as_path.Length()));
+  for (const bgp::AsNumber a : attrs.as_path.asns()) {
+    Put<std::uint32_t>(os, a);
+  }
+  Put<std::uint16_t>(os, static_cast<std::uint16_t>(attrs.communities.size()));
+  for (const bgp::Community c : attrs.communities) {
+    Put<std::uint32_t>(os, c.raw());
+  }
+}
 // Returns kNone, kTruncated or kBadEnum.
 LoadError GetAttrs(Reader& r, bgp::PathAttributes& attrs);
+
+// One full RNE1 event record (time | peer | type | prefix | attrs) —
+// shared by the RNE1 stream body and the RNC1 live-state sections that
+// persist in-flight window/queue events (core/live_checkpoint.cc).
+// `ingest_tick` is NOT part of the record; callers that need it persist
+// it alongside.  GetEvent validates the type and prefix-length fields.
+template <typename Sink>
+void PutEvent(Sink& os, const bgp::Event& event) {
+  Put<std::int64_t>(os, event.time);
+  Put<std::uint32_t>(os, event.peer.value());
+  Put<std::uint8_t>(os, static_cast<std::uint8_t>(event.type));
+  Put<std::uint32_t>(os, event.prefix.addr().value());
+  Put<std::uint8_t>(os, event.prefix.length());
+  PutAttrs(os, event.attrs);
+}
+LoadError GetEvent(Reader& r, bgp::Event& event);
 
 }  // namespace io
 

@@ -1,27 +1,95 @@
 #include "collector/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/crc32.h"
 #include "util/log.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 namespace ranomaly::collector {
 namespace {
 
 constexpr char kMagic[4] = {'R', 'N', 'C', '1'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 1;            // collector-only snapshot
+constexpr std::uint32_t kVersionSections = 2;    // + named section table
 // Refuse absurd declared sizes before allocating (a corrupt header must
 // not turn into an OOM).
 constexpr std::uint64_t kMaxPayload = 1ull << 32;
+constexpr std::uint32_t kMaxSections = 256;
+
+bool ValidSectionTag(std::string_view tag) {
+  if (tag.size() != 4) return false;
+  for (const char c : tag) {
+    if (!std::isprint(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::mutex g_fault_mu;
+CheckpointWriteFaultHook g_fault_hook;
+bool g_fault_env_checked = false;
+
+// Lazily installs the RANOMALY_CHAOS_CHECKPOINT env hook ("prob:seed"):
+// each write fails with probability `prob`, alternating (seeded) between
+// a short write and an open failure — the two torn-commit shapes the
+// atomic-replace protocol must survive.
+CheckpointWriteFaultHook CurrentFaultHook() {
+  std::lock_guard<std::mutex> lock(g_fault_mu);
+  if (!g_fault_env_checked) {
+    g_fault_env_checked = true;
+    if (const char* spec = std::getenv("RANOMALY_CHAOS_CHECKPOINT");
+        spec != nullptr && *spec != '\0') {
+      double prob = 0.0;
+      unsigned long long seed = 1;
+      if (std::sscanf(spec, "%lf:%llu", &prob, &seed) >= 1 && prob > 0.0) {
+        auto rng = std::make_shared<util::Rng>(seed);
+        g_fault_hook = [rng, prob](std::size_t total) -> std::int64_t {
+          if (!rng->NextBool(prob)) return -1;
+          // Half the faults are ENOSPC-style (nothing lands), half are
+          // torn short writes.
+          return rng->NextBool(0.5)
+                     ? 0
+                     : static_cast<std::int64_t>(rng->NextBelow(total));
+        };
+      }
+    }
+  }
+  return g_fault_hook;
+}
 
 }  // namespace
+
+CheckpointWriteFaultHook SetCheckpointWriteFaultHook(
+    CheckpointWriteFaultHook hook) {
+  std::lock_guard<std::mutex> lock(g_fault_mu);
+  g_fault_env_checked = true;  // an explicit hook overrides the env spec
+  CheckpointWriteFaultHook prev = std::move(g_fault_hook);
+  g_fault_hook = std::move(hook);
+  return prev;
+}
+
+const Checkpoint::Section* Checkpoint::FindSection(
+    std::string_view tag) const {
+  for (const Section& s : sections) {
+    if (s.tag == tag) return &s;
+  }
+  return nullptr;
+}
 
 std::size_t Checkpoint::RouteCount() const {
   std::size_t n = 0;
@@ -64,29 +132,73 @@ void RestoreCollector(const Checkpoint& checkpoint, Collector& collector) {
   }
 }
 
-bool SaveCheckpoint(const Checkpoint& checkpoint, std::ostream& os) {
-  std::ostringstream payload;
-  io::Put<std::int64_t>(payload, checkpoint.time);
-  io::Put<std::uint64_t>(payload, checkpoint.event_offset);
-  io::Put<std::uint32_t>(payload,
+// Renders the complete file image (magic through trailing CRC) into
+// `out` in one pass.  The periodic live snapshot serializes a few
+// hundred kilobytes every interval, so the bytes are built exactly once
+// — appended through io::StringSink with the payload size patched in
+// afterwards — rather than staged through stringstream copies.
+bool SerializeCheckpointFile(const Checkpoint& checkpoint, std::string& out) {
+  if (checkpoint.sections.size() > kMaxSections) return false;
+  for (const Checkpoint::Section& section : checkpoint.sections) {
+    if (!ValidSectionTag(section.tag)) return false;
+  }
+  std::size_t estimate = 64;
+  for (const Checkpoint::PeerTable& table : checkpoint.peers) {
+    estimate += 16 + table.routes.size() * 48;
+  }
+  for (const Checkpoint::Section& section : checkpoint.sections) {
+    estimate += 12 + section.bytes.size();
+  }
+  out.clear();
+  out.reserve(estimate);
+  io::StringSink sink(out);
+  sink.write(kMagic, sizeof(kMagic));
+  // Sectionless checkpoints stay version 1: the collector-only snapshot
+  // bytes are identical to what PR 1 wrote.
+  io::Put<std::uint32_t>(
+      sink, checkpoint.sections.empty() ? kVersion : kVersionSections);
+  io::Put<std::uint64_t>(sink, 0);  // payload size, patched below
+  const std::size_t payload_begin = out.size();
+
+  io::Put<std::int64_t>(sink, checkpoint.time);
+  io::Put<std::uint64_t>(sink, checkpoint.event_offset);
+  io::Put<std::uint32_t>(sink,
                          static_cast<std::uint32_t>(checkpoint.peers.size()));
   for (const Checkpoint::PeerTable& table : checkpoint.peers) {
-    io::Put<std::uint32_t>(payload, table.peer.value());
-    io::Put<std::uint8_t>(payload, table.stale ? 1 : 0);
-    io::Put<std::uint64_t>(payload, table.routes.size());
+    io::Put<std::uint32_t>(sink, table.peer.value());
+    io::Put<std::uint8_t>(sink, table.stale ? 1 : 0);
+    io::Put<std::uint64_t>(sink, table.routes.size());
     for (const auto& [prefix, attrs] : table.routes) {
-      io::Put<std::uint32_t>(payload, prefix.addr().value());
-      io::Put<std::uint8_t>(payload, prefix.length());
-      io::PutAttrs(payload, attrs);
+      io::Put<std::uint32_t>(sink, prefix.addr().value());
+      io::Put<std::uint8_t>(sink, prefix.length());
+      io::PutAttrs(sink, attrs);
     }
   }
-  const std::string bytes = payload.str();
+  if (!checkpoint.sections.empty()) {
+    io::Put<std::uint32_t>(
+        sink, static_cast<std::uint32_t>(checkpoint.sections.size()));
+    for (const Checkpoint::Section& section : checkpoint.sections) {
+      sink.write(section.tag.data(), 4);
+      io::Put<std::uint64_t>(sink, section.bytes.size());
+      sink.write(section.bytes.data(),
+                 static_cast<std::streamsize>(section.bytes.size()));
+    }
+  }
 
-  os.write(kMagic, sizeof(kMagic));
-  io::Put<std::uint32_t>(os, kVersion);
-  io::Put<std::uint64_t>(os, bytes.size());
+  const std::uint64_t payload_size = out.size() - payload_begin;
+  for (std::size_t i = 0; i < 8; ++i) {  // little-endian size patch
+    out[payload_begin - 8 + i] =
+        static_cast<char>((payload_size >> (8 * i)) & 0xff);
+  }
+  io::Put<std::uint32_t>(
+      sink, util::Crc32(out.data() + payload_begin, payload_size));
+  return true;
+}
+
+bool SaveCheckpoint(const Checkpoint& checkpoint, std::ostream& os) {
+  std::string bytes;
+  if (!SerializeCheckpointFile(checkpoint, bytes)) return false;
   os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  io::Put<std::uint32_t>(os, util::Crc32(bytes.data(), bytes.size()));
   return static_cast<bool>(os);
 }
 
@@ -110,7 +222,9 @@ std::optional<Checkpoint> LoadCheckpoint(std::istream& is,
   }
   std::uint32_t version = 0;
   if (!r.Get(version)) return fail(LoadError::kTruncated, 0);
-  if (version != kVersion) return fail(LoadError::kBadVersion, 0);
+  if (version != kVersion && version != kVersionSections) {
+    return fail(LoadError::kBadVersion, 0);
+  }
   std::uint64_t payload_size = 0;
   if (!r.Get(payload_size)) return fail(LoadError::kTruncated, 0);
   if (payload_size > kMaxPayload) return fail(LoadError::kBadEnum, 0);
@@ -176,35 +290,120 @@ std::optional<Checkpoint> LoadCheckpoint(std::istream& is,
     }
     out.peers.push_back(std::move(table));
   }
+  if (version >= kVersionSections) {
+    std::uint32_t section_count = 0;
+    if (!pr.Get(section_count)) return pfail(LoadError::kTruncated, record);
+    if (section_count > kMaxSections) return pfail(LoadError::kBadEnum, record);
+    for (std::uint32_t s = 0; s < section_count; ++s) {
+      Checkpoint::Section section;
+      char tag[4];
+      std::uint64_t size = 0;
+      if (!pr.GetRaw(tag, sizeof(tag)) || !pr.Get(size)) {
+        return pfail(LoadError::kTruncated, record);
+      }
+      section.tag.assign(tag, sizeof(tag));
+      // A section cannot be larger than the payload it lives in; checking
+      // against the actual payload size keeps a crafted length field from
+      // turning into a huge allocation.
+      if (!ValidSectionTag(section.tag) || size > bytes.size()) {
+        return pfail(LoadError::kBadEnum, record);
+      }
+      section.bytes.resize(static_cast<std::size_t>(size));
+      if (size > 0 && !pr.GetRaw(section.bytes.data(), section.bytes.size())) {
+        return pfail(LoadError::kTruncated, record);
+      }
+      out.sections.push_back(std::move(section));
+    }
+  }
   if (payload.peek() != std::istringstream::traits_type::eof()) {
     return pfail(LoadError::kBadEnum, record);  // trailing payload bytes
   }
   return out;
 }
 
+namespace {
+
+// write(2) loop tolerating short writes and EINTR.
+bool WriteAll(int fd, const char* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// fsync the directory containing `path` so the rename itself is durable
+// (without this, a power loss can forget the directory entry and leave a
+// zero-length or missing "committed" checkpoint).
+bool FsyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
 bool WriteCheckpointFile(const Checkpoint& checkpoint,
                          const std::string& path) {
   obs::TraceSpan span("checkpoint.write");
   span.Annotate("routes", static_cast<std::uint64_t>(checkpoint.RouteCount()));
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os || !SaveCheckpoint(checkpoint, os)) return false;
-    const auto pos = os.tellp();
-    if (pos > 0) {
-      RANOMALY_METRIC_COUNT("checkpoint_bytes_written_total",
-                            static_cast<std::uint64_t>(pos));
-    }
-    os.flush();
-    if (!os) return false;
-  }
-  RANOMALY_METRIC_COUNT("checkpoint_writes_total", 1);
-  // Atomic replace: readers see the old file or the new one, never a
-  // partial write.
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
+  std::string bytes;
+  if (!SerializeCheckpointFile(checkpoint, bytes)) return false;
+
+  const auto fail_write = [] {
+    RANOMALY_METRIC_COUNT("checkpoint_write_failures_total", 1);
     return false;
+  };
+  const std::string tmp = path + ".tmp";
+  // Chaos hook: simulate a disk-full / torn write by stopping after a
+  // prefix of the bytes.  The commit protocol below must turn any such
+  // fault into "previous checkpoint survives", never a hybrid.
+  std::size_t write_limit = bytes.size();
+  bool faulted = false;
+  if (const CheckpointWriteFaultHook hook = CurrentFaultHook(); hook) {
+    if (const std::int64_t limit = hook(bytes.size()); limit >= 0) {
+      write_limit = static_cast<std::size_t>(limit);
+      faulted = true;
+      RANOMALY_METRIC_COUNT("checkpoint_write_faults_injected_total", 1);
+    }
   }
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail_write();
+  const bool wrote = WriteAll(fd, bytes.data(), write_limit) && !faulted;
+  // A torn temp file must never be renamed into place: sync before
+  // rename so the *contents* are durable before the commit point, and
+  // give up (keeping the old checkpoint) on any failure.  fdatasync
+  // flushes the data and the size metadata needed to read it back;
+  // timestamp durability is not part of the contract, and skipping its
+  // journal commit roughly halves the kernel-side cost per snapshot.
+  const bool synced = wrote && ::fdatasync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    ::unlink(tmp.c_str());
+    return fail_write();
+  }
+  RANOMALY_METRIC_COUNT("checkpoint_fsyncs_total", 1);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return fail_write();
+  }
+  // Make the rename durable too.
+  if (!FsyncParentDir(path)) return fail_write();
+  RANOMALY_METRIC_COUNT("checkpoint_fsyncs_total", 1);
+  RANOMALY_METRIC_COUNT("checkpoint_bytes_written_total", bytes.size());
+  RANOMALY_METRIC_COUNT("checkpoint_writes_total", 1);
   return true;
 }
 

@@ -4,26 +4,40 @@
 //
 // File layout (versioned "RNC1" section, all integers little-endian):
 //
-//   file    := "RNC1" | u32 version(=1) | u64 payload_size | payload
-//            | u32 crc32(payload)
-//   payload := i64 checkpoint_time_us | u64 event_offset
-//            | u32 peer_count | peer...
-//   peer    := u32 addr | u8 stale | u64 route_count | route...
-//   route   := u32 prefix_addr | u8 prefix_len | <attribute block>
+//   file     := "RNC1" | u32 version(=1|2) | u64 payload_size | payload
+//             | u32 crc32(payload)
+//   payload  := i64 checkpoint_time_us | u64 event_offset
+//             | u32 peer_count | peer...
+//             | [v2 only: u32 section_count | section...]
+//   peer     := u32 addr | u8 stale | u64 route_count | route...
+//   route    := u32 prefix_addr | u8 prefix_len | <attribute block>
+//   section  := char[4] tag | u64 byte_count | bytes
+//
+// Version 1 is the collector-only snapshot; version 2 appends a table of
+// named sections carrying opaque subsystem state (the live analysis tier
+// persists its pipeline state there, core/live_checkpoint.h).  A
+// checkpoint without sections is still written as version 1, so
+// collector-only snapshots remain byte-identical to the PR 1 format.
+// Section tags are four printable ASCII bytes; readers must reject
+// unknown *versions* but preserve unknown *sections* (forward-compatible
+// sidecars).  docs/FORMATS.md states the version-bump rules.
 //
 // The attribute block is the RNE1 per-event attribute layout
 // (binary_io.h io::PutAttrs/GetAttrs), so both formats evolve together.
 // The CRC covers the payload only: a torn write or bit flip fails the
 // restore loudly instead of resuming from a silently corrupt RIB.
-// WriteCheckpointFile replaces the target atomically (write to a
-// temporary sibling, then rename) so a crash mid-checkpoint always
-// leaves either the old or the new snapshot, never a hybrid.
+// WriteCheckpointFile replaces the target atomically and durably (write
+// to a temporary sibling, fsync the file, rename, fsync the directory)
+// so a crash or power loss mid-checkpoint always leaves either the old
+// or the new snapshot on disk, never a hybrid or a zero-length commit.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -44,6 +58,18 @@ struct Checkpoint {
     std::vector<std::pair<bgp::Prefix, bgp::PathAttributes>> routes;
   };
   std::vector<PeerTable> peers;  // sorted by peer address
+
+  // Named opaque state blobs (version 2).  The checkpoint layer frames
+  // and CRC-protects them; their contents belong to the owning subsystem
+  // (which must validate on decode — never a silent partial restore).
+  struct Section {
+    std::string tag;    // exactly 4 printable ASCII bytes, e.g. "LIVE"
+    std::string bytes;  // opaque payload
+  };
+  std::vector<Section> sections;
+
+  // Returns the section with `tag`, or nullptr.
+  const Section* FindSection(std::string_view tag) const;
 
   std::size_t RouteCount() const;
 };
@@ -66,11 +92,26 @@ bool SaveCheckpoint(const Checkpoint& checkpoint, std::ostream& os);
 std::optional<Checkpoint> LoadCheckpoint(std::istream& is,
                                          LoadDiagnostics* diag = nullptr);
 
-// Atomic file variants: Write serializes to "<path>.tmp" and renames over
-// `path` only after a clean flush.
+// Atomic durable file variants: Write serializes to "<path>.tmp", fsyncs
+// it, renames over `path`, and fsyncs the containing directory; a failure
+// at any step leaves the previous checkpoint intact and returns false.
 bool WriteCheckpointFile(const Checkpoint& checkpoint,
                          const std::string& path);
 std::optional<Checkpoint> ReadCheckpointFile(const std::string& path,
                                              LoadDiagnostics* diag = nullptr);
+
+// Fault injection for checkpoint writes (chaos harness / tests).  The
+// hook sees the serialized size and returns how many bytes to actually
+// write before simulating an I/O failure (< size), or -1 to let the
+// write proceed.  A short write fails the commit: the temp file is
+// removed and the previous checkpoint survives.  Returns the previous
+// hook; pass nullptr to clear.  The RANOMALY_CHAOS_CHECKPOINT
+// environment variable ("<fail_probability>:<seed>") installs a seeded
+// hook on first use, so the chaos harness can inject short-write /
+// disk-full faults into an unmodified binary.
+using CheckpointWriteFaultHook =
+    std::function<std::int64_t(std::size_t total_bytes)>;
+CheckpointWriteFaultHook SetCheckpointWriteFaultHook(
+    CheckpointWriteFaultHook hook);
 
 }  // namespace ranomaly::collector

@@ -64,6 +64,11 @@ struct Incident {
   // collector's outage rather than the network (see
   // collector::FeedGapWindows).
   bool feed_degraded = false;
+  // True if the incident's time span overlaps a window where the live
+  // degradation ladder was sampling events (core/live.h): counts and
+  // fractions are computed from a deterministic subset of the feed, so
+  // magnitudes are lower bounds there.
+  bool load_shed = false;
   // Detection-latency SLO fields (live mode, core/live.h).  `ingest_tick`
   // is the latest ingest stamp among the contributing events — the
   // earliest moment the pipeline could have seen the whole component.

@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
 #include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <optional>
 #include <set>
+#include <thread>
 #include <utility>
 
+#include "collector/checkpoint.h"
+#include "core/live_checkpoint.h"
+#include "obs/trace.h"
+#include "util/log.h"
 #include "util/strings.h"
 
 namespace ranomaly::core {
@@ -37,14 +46,33 @@ std::string PeerComponentName(bgp::Ipv4Addr peer) {
   return "peer/" + peer.ToString();
 }
 
-// An open or closed degraded-feed span observed during live replay; the
-// live equivalent of collector::FeedGapWindows over a full stream.
-struct LiveGap {
-  bgp::Ipv4Addr peer;
-  util::SimTime begin = 0;
-  util::SimTime end = 0;
-  bool closed = false;
+// Degradation-ladder runtime state (persisted via the SHED section).
+struct ShedState {
+  int level = 0;
+  std::uint64_t calm_ticks = 0;     // consecutive below-watermark ticks
+  std::uint64_t arrival_index = 0;  // deterministic L3 sampling phase
+  bool tracer_suspended = false;
+  bool tracer_was_enabled = false;
+  std::vector<ShedWindow> windows;
 };
+
+const char* ShedLevelAction(int level) {
+  switch (level) {
+    case 1: return "tracing suspended";
+    case 2: return "analysis cadence halved";
+    case 3: return "sampling arrivals";
+  }
+  return "nominal";
+}
+
+// The latency histogram bucket an incident falls in; must mirror the
+// SLOH cross-check in live_checkpoint.cc.
+std::size_t LatencyBucket(const std::vector<double>& bounds, double latency) {
+  for (std::size_t b = 0; b < bounds.size(); ++b) {
+    if (latency <= bounds[b]) return b;
+  }
+  return bounds.size();  // overflow
+}
 
 }  // namespace
 
@@ -56,6 +84,19 @@ std::uint64_t IncidentLog::Append(Incident incident) {
   const std::uint64_t seq = entries_.size() + 1;
   entries_.push_back(Entry{seq, std::move(incident)});
   return seq;
+}
+
+bool IncidentLog::Restore(std::vector<Entry> entries) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].seq != i + 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      entries_.clear();
+      return false;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_ = std::move(entries);
+  return true;
 }
 
 std::vector<IncidentLog::Entry> IncidentLog::Since(std::uint64_t since) const {
@@ -86,12 +127,14 @@ std::string IncidentLog::ToJson(std::uint64_t since) const {
         "{\"seq\":%llu,\"kind\":\"%s\",\"begin_sec\":%.3f,\"end_sec\":%.3f,"
         "\"event_count\":%zu,\"prefix_count\":%zu,\"stem\":\"%s\","
         "\"summary\":\"%s\",\"detected_at_sec\":%.3f,"
-        "\"detection_latency_sec\":%.3f,\"feed_degraded\":%s}",
+        "\"detection_latency_sec\":%.3f,\"feed_degraded\":%s,"
+        "\"load_shed\":%s}",
         static_cast<unsigned long long>(e.seq), ToString(inc.kind),
         util::ToSeconds(inc.begin), util::ToSeconds(inc.end), inc.event_count,
         inc.prefix_count, JsonEscape(inc.stem_label).c_str(),
         JsonEscape(inc.summary).c_str(), util::ToSeconds(inc.detected_at),
-        inc.detection_latency_sec, inc.feed_degraded ? "true" : "false");
+        inc.detection_latency_sec, inc.feed_degraded ? "true" : "false",
+        inc.load_shed ? "true" : "false");
   }
   out += util::StrPrintf("],\"next_since\":%llu}",
                          static_cast<unsigned long long>(entries_.size()));
@@ -152,6 +195,27 @@ void PeerBoard::Finish(util::SimTime end) {
       s.gap_open = end;
     }
     if (end > s.row.last_seen) s.row.last_seen = end;
+  }
+}
+
+std::vector<PeerBoard::Persisted> PeerBoard::Export() const {
+  std::vector<Persisted> out;
+  out.reserve(peers_.size());
+  for (const auto& [addr, s] : peers_) {
+    out.push_back(Persisted{s.row, s.gap_open, s.gap_sec});
+  }
+  return out;
+}
+
+void PeerBoard::Restore(std::vector<Persisted> states) {
+  peers_.clear();
+  peers_.reserve(states.size());
+  for (Persisted& p : states) {
+    State s;
+    s.row = std::move(p.row);
+    s.gap_open = p.gap_open;
+    s.gap_sec = p.gap_sec;
+    peers_.emplace_back(s.row.peer.value(), std::move(s));
   }
 }
 
@@ -222,6 +286,25 @@ LiveRunner::LiveRunner(LiveOptions options, obs::HealthRegistry* health,
               "Current simulated-time position of the live replay.");
   reg.SetHelp("health_component_state",
               "Health state per component: 0=ok 1=degraded 2=down.");
+  reg.SetHelp("serve_queue_depth",
+              "Routing events waiting in the bounded ingest queue at the "
+              "end of the last tick.");
+  reg.SetHelp("serve_shed_level",
+              "Current degradation-ladder stage: 0=nominal 1=tracing "
+              "suspended 2=cadence halved 3=sampling arrivals.");
+  reg.SetHelp("serve_events_shed_total",
+              "Routing events dropped by the overload ladder (sampled out "
+              "at L3 or rejected at queue capacity).");
+  reg.SetHelp("serve_shed_transitions_total",
+              "Degradation-ladder stage changes, labeled by the stage "
+              "entered.");
+  reg.SetHelp("serve_restores_total",
+              "Successful live-state restores from an RNC1 checkpoint.");
+  reg.SetHelp("serve_restore_failures_total",
+              "Checkpoint restores rejected by validation (the replay "
+              "started fresh instead).");
+  reg.SetHelp("log_lines_suppressed_total",
+              "Log lines swallowed by rate limiting across all call sites.");
 }
 
 LiveStats LiveRunner::Run(
@@ -230,17 +313,27 @@ LiveStats LiveRunner::Run(
     const std::function<void(const LiveStats&)>& on_tick) {
   LiveStats stats;
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
-  const obs::MetricId latency_id = reg.Histogram(
-      "incident_detection_latency_seconds", DetectionLatencyBounds());
+  const std::vector<double> latency_bounds = DetectionLatencyBounds();
+  const obs::MetricId latency_id =
+      reg.Histogram("incident_detection_latency_seconds", latency_bounds);
   const obs::MetricId slo_id = reg.Gauge("incident_detection_slo_ratio");
   const obs::MetricId ticks_id = reg.Counter("serve_ticks_total");
   const obs::MetricId ingested_id = reg.Counter("serve_events_ingested_total");
   const obs::MetricId incidents_id = reg.Counter("serve_incidents_total");
   const obs::MetricId position_id = reg.Gauge("serve_replay_position_seconds");
+  const obs::MetricId depth_id = reg.Gauge("serve_queue_depth");
+  const obs::MetricId level_id = reg.Gauge("serve_shed_level");
+  const obs::MetricId shed_id = reg.Counter("serve_events_shed_total");
+  const obs::MetricId restores_id = reg.Counter("serve_restores_total");
+  const obs::MetricId restore_failures_id =
+      reg.Counter("serve_restore_failures_total");
+  const obs::MetricId suppressed_id = reg.Gauge("log_lines_suppressed_total");
 
   obs::HealthRegistry::ComponentId replay_id = 0;
+  obs::HealthRegistry::ComponentId ingest_id = 0;
   if (health_ != nullptr) {
     replay_id = health_->Register("replay");
+    ingest_id = health_->Register("ingest");
     if (options_.heartbeat_deadline_sec > 0) {
       health_->SetHeartbeatDeadline(replay_id, options_.heartbeat_deadline_sec);
     }
@@ -272,14 +365,289 @@ LiveStats LiveRunner::Run(
 
   const auto& events = stream.events();
   const util::SimTime t0 = events.front().time;
+  const ShedOptions& so = options_.shed;
+  const bool backpressure = so.queue_capacity > 0;
+  const bool checkpointing = !options_.checkpoint_path.empty() &&
+                             options_.checkpoint_every_ticks > 0;
+
   std::size_t next = 0;
   std::vector<bgp::Event> window;
+  std::vector<bgp::Event> queue;  // routing events awaiting analysis, FIFO
+  // Stream index of each in-flight event, maintained in lockstep with
+  // window/queue.  Checkpoints persist these (as the FLOW section's
+  // 2-bit admission classes) instead of the event bytes themselves: the
+  // stream file is the source of truth, and restore re-reads it.
+  std::vector<std::uint64_t> window_idx;
+  std::vector<std::uint64_t> queue_idx;
   std::set<std::pair<std::uint64_t, std::uint64_t>> seen_stems;
   std::vector<LiveGap> gaps;
   PeerBoard board;
+  ShedState shed;
+  // Mirror of the incident log plus histogram counts, kept so checkpoints
+  // can be cut without reaching into the (shared) sinks.
+  std::vector<IncidentLog::Entry> logged;
+  std::vector<std::uint64_t> latency_counts(latency_bounds.size() + 1, 0);
   bool complete = false;
 
-  util::SimTime tick_end = t0 + options_.tick;
+  const auto peer_health_reason = [](const LiveGap& gap) {
+    return util::StrPrintf("feed gap open since %.0fs",
+                           util::ToSeconds(gap.begin));
+  };
+
+  // ---- Restore.  Any validation failure is loud (the failing section is
+  // named) but non-fatal: deterministic replay from the stream converges
+  // to the same incident log, so starting fresh self-heals.
+  if (!options_.checkpoint_path.empty() &&
+      std::filesystem::exists(options_.checkpoint_path)) {
+    const auto reject = [&](const std::string& why) {
+      RANOMALY_LOG(util::LogLevel::kError,
+                   util::StrPrintf("checkpoint restore from %s rejected: %s; "
+                                   "starting fresh",
+                                   options_.checkpoint_path.c_str(),
+                                   why.c_str()));
+      reg.Add(restore_failures_id, 1);
+    };
+    collector::LoadDiagnostics diag;
+    LiveCheckpointState st;
+    std::string err;
+    const std::optional<collector::Checkpoint> ck =
+        collector::ReadCheckpointFile(options_.checkpoint_path, &diag);
+    if (!ck.has_value()) {
+      reject(diag.ToString());
+    } else if (!DecodeLiveState(*ck, &st, &err)) {
+      reject(err);
+    } else if (st.t0 != t0) {
+      reject("section LIVE: t0 does not match the stream");
+    } else if (st.next_event > events.size()) {
+      reject("section LIVE: cursor beyond the end of the stream");
+    } else if (incidents_ != nullptr && !incidents_->Restore(st.incidents)) {
+      reject("section INCD: incident log rejected the entries");
+    } else {
+      next = static_cast<std::size_t>(st.next_event);
+      stats = st.stats;
+      // Rebuild the in-flight containers from the stream: the FLOW
+      // section records only each event's admission class.  The ingest
+      // stamp is derivable — consumption always happens at the first
+      // tick boundary strictly after the event's time, on the fixed
+      // grid anchored at t0.
+      for (std::size_t k = 0; k < st.flow.size(); ++k) {
+        if (st.flow[k] == 0) continue;
+        const std::size_t i = static_cast<std::size_t>(st.flow_start) + k;
+        bgp::Event event = events[i];
+        event.ingest_tick =
+            t0 + ((event.time - t0) / options_.tick + 1) * options_.tick;
+        if (st.flow[k] == 1) {
+          window.push_back(std::move(event));
+          window_idx.push_back(st.flow_start + k);
+        } else {
+          queue.push_back(std::move(event));
+          queue_idx.push_back(st.flow_start + k);
+        }
+      }
+      seen_stems.insert(st.seen_stems.begin(), st.seen_stems.end());
+      gaps = std::move(st.gaps);
+      board.Restore(std::move(st.peers));
+      shed.level = st.shed_level;
+      shed.calm_ticks = st.calm_ticks;
+      shed.arrival_index = st.arrival_index;
+      shed.tracer_suspended = st.tracer_suspended;
+      shed.tracer_was_enabled = st.tracer_was_enabled;
+      shed.windows = std::move(st.shed_windows);
+      logged = std::move(st.incidents);
+      latency_counts = std::move(st.latency_counts);
+      // Rebuild the external surfaces the snapshot implies: metrics
+      // counters resume, the latency histogram is re-observed exactly
+      // (simulated values), and degraded peers re-report.
+      reg.Add(ingested_id, static_cast<double>(stats.events_ingested));
+      reg.Add(ticks_id, static_cast<double>(stats.ticks));
+      reg.Add(incidents_id, static_cast<double>(stats.incidents));
+      reg.Add(shed_id, static_cast<double>(stats.events_shed));
+      for (const IncidentLog::Entry& e : logged) {
+        reg.Observe(latency_id, e.incident.detection_latency_sec);
+      }
+      if (stats.incidents > 0) {
+        reg.Set(slo_id, static_cast<double>(stats.incidents_within_slo) /
+                            static_cast<double>(stats.incidents));
+      }
+      reg.Set(position_id, util::ToSeconds(stats.clock));
+      if (shed.tracer_suspended) obs::Tracer::Global().SetEnabled(false);
+      if (health_ != nullptr) {
+        for (const PeerBoard::Row& row : board.Rows()) {
+          health_->Register(PeerComponentName(row.peer));
+        }
+        for (const LiveGap& gap : gaps) {
+          if (!gap.closed) {
+            peer_health(gap.peer, obs::HealthState::kDegraded,
+                        peer_health_reason(gap));
+          }
+        }
+        if (shed.level > 0) {
+          health_->SetState(
+              ingest_id, obs::HealthState::kDegraded,
+              util::StrPrintf("load shed L%d: %s", shed.level,
+                              ShedLevelAction(shed.level)));
+        }
+      }
+      reg.Add(restores_id, 1);
+      RANOMALY_LOG(util::LogLevel::kInfo,
+                   util::StrPrintf(
+                       "restored live state from %s: tick %llu, clock %.0fs, "
+                       "%llu incidents, %zu queued",
+                       options_.checkpoint_path.c_str(),
+                       static_cast<unsigned long long>(stats.ticks),
+                       util::ToSeconds(stats.clock),
+                       static_cast<unsigned long long>(stats.incidents),
+                       queue.size()));
+    }
+  }
+
+  // ---- Checkpoint cutting.  Snapshots are taken only at tick
+  // boundaries, so a crash between them re-executes the partial tick
+  // identically after restore.
+  std::uint64_t next_checkpoint_tick =
+      stats.ticks + options_.checkpoint_every_ticks;
+  std::uint64_t retry_backoff = 0;
+  const auto make_checkpoint = [&]() -> collector::Checkpoint {
+    LiveCheckpointState st;
+    st.t0 = t0;
+    st.next_event = next;
+    st.stats = stats;
+    st.shed_level = shed.level;
+    st.calm_ticks = shed.calm_ticks;
+    st.arrival_index = shed.arrival_index;
+    st.tracer_suspended = shed.tracer_suspended;
+    st.tracer_was_enabled = shed.tracer_was_enabled;
+    st.shed_windows = shed.windows;
+    st.seen_stems.assign(seen_stems.begin(), seen_stems.end());
+    st.gaps = gaps;
+    st.peers = board.Export();
+    st.latency_counts = latency_counts;
+    // In-flight events persist as 2-bit admission classes over the
+    // stream range [flow_start, next): window entries always precede
+    // queue entries, so the front of window_idx (or queue_idx when the
+    // window is empty) is the oldest in-flight stream index.
+    st.flow_start = !window_idx.empty()
+                        ? window_idx.front()
+                        : (!queue_idx.empty() ? queue_idx.front() : next);
+    st.flow.assign(next - static_cast<std::size_t>(st.flow_start), 0);
+    for (const std::uint64_t i : window_idx) st.flow[i - st.flow_start] = 1;
+    for (const std::uint64_t i : queue_idx) st.flow[i - st.flow_start] = 2;
+    collector::Checkpoint ck;
+    // The incident log is encoded by reference (borrowing overload):
+    // copying it into `st` costs three string allocations per entry, and
+    // the snapshot is cut on the replay thread.
+    EncodeLiveState(st, logged, ck);
+    return ck;
+  };
+  const auto write_checkpoint = [&]() -> bool {
+    const bool ok =
+        collector::WriteCheckpointFile(make_checkpoint(), options_.checkpoint_path);
+    if (ok) {
+      ++stats.checkpoint_writes;
+    } else {
+      ++stats.checkpoint_failures;
+    }
+    return ok;
+  };
+
+  // Periodic snapshots are cut on the replay thread (the state copy and
+  // encode are cheap and must be consistent) but written — fsync, rename,
+  // fsync — by a single background writer, so disk latency never stalls a
+  // tick.  The result is reaped at the *next* checkpoint boundary, which
+  // keeps every stats/backoff mutation tick-deterministic: a resumed run
+  // accounts writes on exactly the same ticks as an uninterrupted one.
+  std::mutex ck_mu;
+  std::condition_variable ck_cv;
+  std::optional<collector::Checkpoint> ck_job;
+  std::optional<bool> ck_result;
+  bool ck_busy = false;
+  bool ck_stop = false;
+  std::thread ck_writer;
+  if (checkpointing) {
+    ck_writer = std::thread([&] {
+      std::unique_lock<std::mutex> lock(ck_mu);
+      for (;;) {
+        ck_cv.wait(lock, [&] { return ck_job.has_value() || ck_stop; });
+        if (!ck_job.has_value()) break;
+        const collector::Checkpoint ck = std::move(*ck_job);
+        ck_job.reset();
+        lock.unlock();
+        const bool ok =
+            collector::WriteCheckpointFile(ck, options_.checkpoint_path);
+        lock.lock();
+        ck_result = ok;
+        ck_busy = false;
+        ck_cv.notify_all();
+      }
+    });
+  }
+  const auto enqueue_checkpoint = [&] {
+    collector::Checkpoint ck = make_checkpoint();
+    std::lock_guard<std::mutex> lock(ck_mu);
+    ck_job = std::move(ck);
+    ck_busy = true;
+    ck_cv.notify_all();
+  };
+  // Blocks until the in-flight write (if any) lands; nullopt when no
+  // write has been issued since the last reap.
+  const auto reap_checkpoint = [&]() -> std::optional<bool> {
+    std::unique_lock<std::mutex> lock(ck_mu);
+    ck_cv.wait(lock, [&] { return !ck_busy; });
+    const std::optional<bool> result = ck_result;
+    ck_result.reset();
+    return result;
+  };
+
+  // Ladder transitions: escalation is immediate, de-escalation steps one
+  // stage per recovery window (the caller loop applies the hysteresis).
+  const auto set_shed_level = [&](int to, util::SimTime now) {
+    const int from = shed.level;
+    if (to == from) return;
+    if (to >= 1 && !shed.tracer_suspended) {
+      shed.tracer_was_enabled = obs::Tracer::Global().enabled();
+      obs::Tracer::Global().SetEnabled(false);
+      shed.tracer_suspended = true;
+    }
+    if (to == 0 && shed.tracer_suspended) {
+      obs::Tracer::Global().SetEnabled(shed.tracer_was_enabled);
+      shed.tracer_suspended = false;
+    }
+    if (to >= 3 && from < 3) {
+      shed.windows.push_back(ShedWindow{now, now, false});
+    } else if (to < 3 && from >= 3) {
+      for (auto it = shed.windows.rbegin(); it != shed.windows.rend(); ++it) {
+        if (!it->closed) {
+          it->closed = true;
+          it->end = now;
+          break;
+        }
+      }
+    }
+    shed.level = to;
+    ++stats.shed_transitions;
+    reg.Add(reg.Counter("serve_shed_transitions_total" +
+                        obs::PromLabels(
+                            {{"to", util::StrPrintf("L%d", to)}})),
+            1);
+    if (health_ != nullptr) {
+      if (to == 0) {
+        health_->SetState(ingest_id, obs::HealthState::kOk, "");
+      } else {
+        health_->SetState(ingest_id, obs::HealthState::kDegraded,
+                          util::StrPrintf("load shed L%d: %s", to,
+                                          ShedLevelAction(to)));
+      }
+    }
+    RANOMALY_LOG_EVERY_N(
+        util::LogLevel::kWarn, 8,
+        util::StrPrintf("overload ladder %s L%d -> L%d (%s; queue %zu/%zu)",
+                        to > from ? "escalated" : "recovered", from, to,
+                        ShedLevelAction(to), queue.size(),
+                        so.queue_capacity));
+  };
+
+  util::SimTime tick_end =
+      stats.restored ? stats.clock + options_.tick : t0 + options_.tick;
   while (true) {
     if (keep_going != nullptr &&
         !keep_going->load(std::memory_order_relaxed)) {
@@ -287,11 +655,16 @@ LiveStats LiveRunner::Run(
     }
     // Ingest this tick's batch; the batch end is the ingest stamp — the
     // earliest moment the pipeline could have analyzed these events.
+    // The level chosen at the *previous* boundary governs L3 sampling,
+    // so shedding is a pure function of checkpointed state.
+    const int ingest_level = shed.level;
     while (next < events.size() && events[next].time < tick_end) {
       bgp::Event event = events[next];
       ++next;
       event.ingest_tick = tick_end;
       board.Observe(event);
+      ++stats.events_ingested;
+      reg.Add(ingested_id, 1);
       if (event.type == bgp::EventType::kFeedGap) {
         bool already_open = false;
         for (const LiveGap& g : gaps) {
@@ -303,7 +676,9 @@ LiveStats LiveRunner::Run(
         peer_health(event.peer, obs::HealthState::kDegraded,
                     util::StrPrintf("feed gap open since %.0fs",
                                     util::ToSeconds(event.time)));
-      } else if (event.type == bgp::EventType::kResync) {
+        continue;  // markers are never queued (or shed): bookkeeping only
+      }
+      if (event.type == bgp::EventType::kResync) {
         for (auto it = gaps.rbegin(); it != gaps.rend(); ++it) {
           if (!it->closed && it->peer == event.peer) {
             it->closed = true;
@@ -312,53 +687,166 @@ LiveStats LiveRunner::Run(
           }
         }
         peer_health(event.peer, obs::HealthState::kOk, "");
-      } else if (health_ != nullptr) {
+        continue;
+      }
+      if (health_ != nullptr) {
         health_->Register(PeerComponentName(event.peer));
       }
-      ++stats.events_ingested;
-      reg.Add(ingested_id, 1);
-      window.push_back(std::move(event));
+      // Routing event: through the (possibly shedding) bounded queue.
+      ++shed.arrival_index;
+      if (backpressure && ingest_level >= 3 &&
+          (shed.arrival_index - 1) % so.sample_stride != 0) {
+        ++stats.events_shed;  // sampled out deterministically
+        reg.Add(shed_id, 1);
+        continue;
+      }
+      if (backpressure && queue.size() >= so.queue_capacity) {
+        ++stats.events_shed;  // the bound is hard: drop, never grow
+        reg.Add(shed_id, 1);
+        continue;
+      }
+      queue.push_back(std::move(event));
+      queue_idx.push_back(static_cast<std::uint64_t>(next - 1));
     }
-    // Slide the window.
+
+    // Degradation ladder: compare end-of-ingest depth to the watermarks.
+    if (backpressure) {
+      const double fill = static_cast<double>(queue.size()) /
+                          static_cast<double>(so.queue_capacity);
+      int target = 0;
+      if (fill >= so.l3_watermark) {
+        target = 3;
+      } else if (fill >= so.l2_watermark) {
+        target = 2;
+      } else if (fill >= so.l1_watermark) {
+        target = 1;
+      }
+      if (target > shed.level) {
+        set_shed_level(target, tick_end);
+        shed.calm_ticks = 0;
+      } else if (target < shed.level) {
+        if (++shed.calm_ticks >= so.recovery_ticks) {
+          set_shed_level(shed.level - 1, tick_end);
+          shed.calm_ticks = 0;
+        }
+      } else {
+        shed.calm_ticks = 0;
+      }
+    }
+
+    // Slide the window, then drain the queue into it — in that order, so
+    // a backlogged event older than the window still gets analyzed once.
     const util::SimTime window_begin = tick_end - options_.window;
     const auto keep_from = std::find_if(
         window.begin(), window.end(),
         [window_begin](const bgp::Event& e) { return e.time >= window_begin; });
+    const auto evicted = keep_from - window.begin();
     window.erase(window.begin(), keep_from);
-
-    for (Incident& inc : pipeline_.AnalyzeWindow(window)) {
-      if (!seen_stems.insert(inc.stem_key).second) continue;  // already known
-      inc.detected_at = tick_end;
-      inc.detection_latency_sec = util::ToSeconds(tick_end - inc.begin);
-      for (const LiveGap& gap : gaps) {
-        const util::SimTime gap_end = gap.closed ? gap.end : tick_end;
-        if (inc.begin <= gap_end && gap.begin <= inc.end) {
-          inc.feed_degraded = true;
-          inc.summary += " [feed-degraded]";
-          break;
-        }
-      }
-      reg.Observe(latency_id, inc.detection_latency_sec);
-      reg.Add(incidents_id, 1);
-      ++stats.incidents;
-      if (inc.detection_latency_sec <= options_.slo_target_sec) {
-        ++stats.incidents_within_slo;
-      }
-      if (incidents_ != nullptr) incidents_->Append(std::move(inc));
+    window_idx.erase(window_idx.begin(), window_idx.begin() + evicted);
+    std::size_t drain = queue.size();
+    if (backpressure && so.service_rate > 0) {
+      drain = std::min(drain, so.service_rate);
     }
-    if (stats.incidents > 0) {
-      reg.Set(slo_id, static_cast<double>(stats.incidents_within_slo) /
-                          static_cast<double>(stats.incidents));
+    window.insert(window.end(),
+                  std::make_move_iterator(queue.begin()),
+                  std::make_move_iterator(queue.begin() +
+                                          static_cast<std::ptrdiff_t>(drain)));
+    queue.erase(queue.begin(),
+                queue.begin() + static_cast<std::ptrdiff_t>(drain));
+    window_idx.insert(window_idx.end(), queue_idx.begin(),
+                      queue_idx.begin() + static_cast<std::ptrdiff_t>(drain));
+    queue_idx.erase(queue_idx.begin(),
+                    queue_idx.begin() + static_cast<std::ptrdiff_t>(drain));
+
+    const bool final_tick = next >= events.size() && queue.empty();
+    // L2+: halve the analysis cadence (every other tick covers a doubled
+    // batch).  The final tick always analyzes so nothing is left behind.
+    const bool analyze_now =
+        shed.level < 2 || final_tick || stats.ticks % 2 == 0;
+    if (analyze_now) {
+      for (Incident& inc : pipeline_.AnalyzeWindow(window)) {
+        if (!seen_stems.insert(inc.stem_key).second) continue;  // known
+        inc.detected_at = tick_end;
+        inc.detection_latency_sec = util::ToSeconds(tick_end - inc.begin);
+        for (const LiveGap& gap : gaps) {
+          const util::SimTime gap_end = gap.closed ? gap.end : tick_end;
+          if (inc.begin <= gap_end && gap.begin <= inc.end) {
+            inc.feed_degraded = true;
+            inc.summary += " [feed-degraded]";
+            break;
+          }
+        }
+        for (const ShedWindow& w : shed.windows) {
+          const util::SimTime w_end = w.closed ? w.end : tick_end;
+          if (inc.begin <= w_end && w.begin <= inc.end) {
+            inc.load_shed = true;
+            inc.summary += " [load-shed]";
+            break;
+          }
+        }
+        reg.Observe(latency_id, inc.detection_latency_sec);
+        ++latency_counts[LatencyBucket(latency_bounds,
+                                       inc.detection_latency_sec)];
+        reg.Add(incidents_id, 1);
+        ++stats.incidents;
+        if (inc.detection_latency_sec <= options_.slo_target_sec) {
+          ++stats.incidents_within_slo;
+        }
+        logged.push_back(IncidentLog::Entry{logged.size() + 1, inc});
+        if (incidents_ != nullptr) incidents_->Append(std::move(inc));
+      }
+      if (stats.incidents > 0) {
+        reg.Set(slo_id, static_cast<double>(stats.incidents_within_slo) /
+                            static_cast<double>(stats.incidents));
+      }
     }
 
     ++stats.ticks;
     stats.clock = tick_end;
+    stats.shed_level = shed.level;
+    stats.queue_depth = queue.size();
     reg.Add(ticks_id, 1);
     reg.Set(position_id, util::ToSeconds(tick_end));
+    reg.Set(depth_id, static_cast<double>(queue.size()));
+    reg.Set(level_id, static_cast<double>(shed.level));
+    reg.Set(suppressed_id, static_cast<double>(util::SuppressedLogLines()));
     if (health_ != nullptr) health_->Heartbeat(replay_id);
     sync_health_gauges();
+
+    if (checkpointing && stats.ticks >= next_checkpoint_tick) {
+      const std::optional<bool> previous = reap_checkpoint();
+      if (previous.has_value()) {
+        if (*previous) {
+          ++stats.checkpoint_writes;
+          retry_backoff = 0;
+        } else {
+          ++stats.checkpoint_failures;
+        }
+      }
+      if (!previous.has_value() || *previous) {
+        enqueue_checkpoint();
+        next_checkpoint_tick = stats.ticks + options_.checkpoint_every_ticks;
+      } else {
+        // Keep analyzing; retry with exponential backoff so a full disk
+        // does not turn the daemon into a log firehose.
+        retry_backoff =
+            retry_backoff == 0
+                ? 1
+                : std::min(retry_backoff * 2,
+                           options_.checkpoint_retry_max_backoff_ticks);
+        next_checkpoint_tick = stats.ticks + retry_backoff;
+        RANOMALY_LOG_EVERY_N(
+            util::LogLevel::kWarn, 4,
+            util::StrPrintf("checkpoint write to %s failed at tick %llu; "
+                            "retrying in %llu ticks",
+                            options_.checkpoint_path.c_str(),
+                            static_cast<unsigned long long>(stats.ticks),
+                            static_cast<unsigned long long>(retry_backoff)));
+      }
+    }
+
     if (on_tick) on_tick(stats);
-    if (next >= events.size()) {
+    if (final_tick) {
       complete = true;
       break;
     }
@@ -371,6 +859,43 @@ LiveStats LiveRunner::Run(
     health_->SetHeartbeatDeadline(replay_id, 0.0);
     health_->SetState(replay_id, obs::HealthState::kOk, "replay complete");
     sync_health_gauges();
+  }
+  // Final checkpoint: the graceful-drain contract (and completion) leave
+  // the last tick boundary durable.  Settle the in-flight background
+  // write first, then write synchronously — a handful of attempts rides
+  // out a transient fault; past that the stream replay is the fallback.
+  if (checkpointing) {
+    if (const std::optional<bool> previous = reap_checkpoint();
+        previous.has_value()) {
+      if (*previous) {
+        ++stats.checkpoint_writes;
+      } else {
+        ++stats.checkpoint_failures;
+      }
+    }
+    if (stats.ticks > 0) {
+      bool durable = false;
+      for (int attempt = 0; attempt < 3 && !durable; ++attempt) {
+        durable = write_checkpoint();
+      }
+      if (!durable) {
+        RANOMALY_LOG(util::LogLevel::kError,
+                     util::StrPrintf("final checkpoint write to %s failed; a "
+                                     "restart will replay from the last "
+                                     "durable snapshot",
+                                     options_.checkpoint_path.c_str()));
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(ck_mu);
+      ck_stop = true;
+      ck_cv.notify_all();
+    }
+    ck_writer.join();
+  }
+  if (shed.tracer_suspended) {
+    // Leave the tracer as the caller configured it, not as overload left it.
+    obs::Tracer::Global().SetEnabled(shed.tracer_was_enabled);
   }
   return stats;
 }
@@ -401,9 +926,11 @@ obs::HttpServer::Handler MakeOpsHandler(obs::MetricsRegistry* metrics,
 #endif
       body += util::StrPrintf(
           "},\"config\":{\"stream\":\"%s\",\"threads\":%zu,"
-          "\"tick_sec\":%.3f,\"window_sec\":%.3f,\"slo_target_sec\":%.3f},",
+          "\"tick_sec\":%.3f,\"window_sec\":%.3f,\"slo_target_sec\":%.3f,"
+          "\"checkpoint\":\"%s\",\"queue_capacity\":%zu},",
           JsonEscape(info.stream_path).c_str(), info.threads, info.tick_sec,
-          info.window_sec, info.slo_target_sec);
+          info.window_sec, info.slo_target_sec,
+          JsonEscape(info.checkpoint_path).c_str(), info.queue_capacity);
       body += "\"health\":{";
       if (health != nullptr) {
         const obs::HealthRegistry::Aggregate agg = health->Aggregated();

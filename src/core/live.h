@@ -13,6 +13,24 @@
 // RANOMALY_THREADS settings.  Wall time appears only in pacing
 // (--pace-ms) and heartbeat metering, never in what gets detected or
 // when (DESIGN.md determinism rule).
+//
+// Durability: with LiveOptions::checkpoint_path set, the runner
+// restores its full pipeline state (stream cursor, analysis window and
+// ingest queue, stem dedup set, incident log, feed-gap and shed
+// windows, peer scoreboard, SLO histogram) from the last RNC1 v2
+// checkpoint at startup and persists it every checkpoint_every_ticks
+// ticks at a tick boundary, so a SIGKILLed `serve` resumes and replays
+// forward to a bit-identical incident stream — `/incidents?since=N`
+// continues seamlessly across the restart (core/live_checkpoint.h).
+//
+// Overload: with ShedOptions::queue_capacity set, a bounded ingest
+// queue sits between the stream and the analysis window, and a
+// watermark-driven degradation ladder sheds work as the queue fills —
+// L1 suspends tracing, L2 halves the analysis cadence (widening each
+// analysis batch), L3 samples arrivals deterministically and marks the
+// affected span so incidents detected there carry `load_shed` — with
+// hysteresis on the way down.  Every stage is reported through
+// obs::HealthRegistry as DEGRADED with a reason and counted in metrics.
 #pragma once
 
 #include <atomic>
@@ -45,6 +63,11 @@ class IncidentLog {
 
   // Returns the assigned sequence number.
   std::uint64_t Append(Incident incident);
+
+  // Checkpoint restore: replaces the log with `entries`, whose seqs must
+  // be exactly 1..N in order (returns false and leaves the log empty
+  // otherwise — a corrupt history must not be resumed).
+  bool Restore(std::vector<Entry> entries);
 
   // Entries with seq > `since` (0 = everything), in sequence order.
   std::vector<Entry> Since(std::uint64_t since) const;
@@ -87,6 +110,17 @@ class PeerBoard {
   // Rows sorted by peer address.
   std::vector<Row> Rows() const;
 
+  // Checkpoint export/restore: the full internal state (rows plus open
+  // gap bookkeeping) in observation order, so a restored board continues
+  // bit-identically.
+  struct Persisted {
+    Row row;
+    util::SimTime gap_open = -1;   // begin of the currently open gap
+    double gap_sec = 0.0;          // accumulated in-gap seconds
+  };
+  std::vector<Persisted> Export() const;
+  void Restore(std::vector<Persisted> states);
+
  private:
   struct State {
     Row row;
@@ -100,6 +134,50 @@ class PeerBoard {
 // Renders the `ranomaly peers` scoreboard table.
 std::string FormatPeerTable(const std::vector<PeerBoard::Row>& rows);
 
+// An open or closed degraded-feed span observed during live replay; the
+// live equivalent of collector::FeedGapWindows over a full stream.
+// Public (and persisted) so incident gap-marking survives a restart.
+struct LiveGap {
+  bgp::Ipv4Addr peer;
+  util::SimTime begin = 0;
+  util::SimTime end = 0;
+  bool closed = false;
+};
+
+// A span where the degradation ladder was shedding events (sampling or
+// queue overflow); incidents overlapping one are marked `load_shed`.
+struct ShedWindow {
+  util::SimTime begin = 0;
+  util::SimTime end = 0;
+  bool closed = false;
+};
+
+// Backpressure between ingest and analysis.  Disabled by default
+// (queue_capacity 0): the queue is then an unbounded pass-through and
+// replay behaves exactly as before.  The ladder escalates a stage when
+// the end-of-ingest queue depth crosses a watermark fraction of
+// capacity, and de-escalates one stage after `recovery_ticks`
+// consecutive ticks below the stage's watermark (hysteresis):
+//   L1 (>= l1_watermark): suspend span tracing
+//   L2 (>= l2_watermark): halve the analysis cadence (each analysis
+//       covers two ingest batches — a widened batch window)
+//   L3 (>= l3_watermark): deterministically sample arrivals, keeping 1
+//       in sample_stride routing events, inside a marked shed window
+// Markers (GAP/SYNC) are never shed: feed-health bookkeeping stays
+// exact under overload.  The queue never exceeds queue_capacity;
+// arrivals beyond it are dropped and counted as shed.
+struct ShedOptions {
+  std::size_t queue_capacity = 0;  // max queued routing events; 0 = off
+  // Max routing events drained from the queue into the analysis window
+  // per tick; 0 = unlimited (the queue then never grows).
+  std::size_t service_rate = 0;
+  double l1_watermark = 0.50;
+  double l2_watermark = 0.75;
+  double l3_watermark = 0.90;
+  std::size_t sample_stride = 4;   // keep 1 in N at L3
+  std::uint64_t recovery_ticks = 3;
+};
+
 struct LiveOptions {
   PipelineOptions pipeline;
   // Analysis cadence: events are ingested in [tick] batches; each batch
@@ -112,6 +190,16 @@ struct LiveOptions {
   // Mark the replay heartbeat DEGRADED if a tick stalls past this many
   // wall seconds; 0 disables.
   double heartbeat_deadline_sec = 0.0;
+  // Overload shedding (see ShedOptions).
+  ShedOptions shed;
+  // Analysis-tier durability: when non-empty, restore from this RNC1
+  // checkpoint at startup (if present and valid) and persist the live
+  // state there every `checkpoint_every_ticks` ticks plus once on exit.
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every_ticks = 16;
+  // Failed writes retry with exponential backoff (1, 2, 4, ... ticks)
+  // capped at this bound; the daemon keeps analyzing throughout.
+  std::uint64_t checkpoint_retry_max_backoff_ticks = 32;
 };
 
 struct LiveStats {
@@ -120,6 +208,15 @@ struct LiveStats {
   std::uint64_t incidents = 0;
   std::uint64_t incidents_within_slo = 0;
   util::SimTime clock = 0;  // replay position (end of last tick)
+  // Overload-ladder observability (end-of-tick values).
+  int shed_level = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t events_shed = 0;   // sampled out or dropped at capacity
+  std::uint64_t shed_transitions = 0;
+  // Durability observability.
+  std::uint64_t checkpoint_writes = 0;
+  std::uint64_t checkpoint_failures = 0;
+  bool restored = false;  // this run resumed from a checkpoint
 };
 
 // Drives the tick replay.  Health/incident sinks are borrowed, not
@@ -152,6 +249,8 @@ struct OpsInfo {
   double slo_target_sec = 0.0;
   double tick_sec = 0.0;
   double window_sec = 0.0;
+  std::string checkpoint_path;      // empty = checkpointing off
+  std::size_t queue_capacity = 0;   // 0 = backpressure off
 };
 
 // Routes the operations endpoints.  All sinks are borrowed and must

@@ -1,0 +1,611 @@
+#include "core/live_checkpoint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "collector/binary_io.h"
+#include "stemming/stemming.h"
+#include "util/strings.h"
+
+namespace ranomaly::core {
+namespace {
+
+namespace io = collector::io;
+
+constexpr std::uint8_t kSectionLayoutVersion = 1;
+// Operator strings (stem labels, summaries) are short; anything past
+// this bound in a CRC-clean file is a crafted or corrupt section.
+constexpr std::uint32_t kMaxString = 1 << 16;
+constexpr std::uint64_t kMaxEntries = 1u << 24;
+
+void PutF64(io::StringSink& os, double v) {
+  io::Put<std::uint64_t>(os, std::bit_cast<std::uint64_t>(v));
+}
+
+bool GetF64(io::Reader& r, double& v) {
+  std::uint64_t u = 0;
+  if (!r.Get(u)) return false;
+  v = std::bit_cast<double>(u);
+  return true;
+}
+
+void PutString(io::StringSink& os, const std::string& s) {
+  io::Put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool GetString(io::Reader& r, std::string& s) {
+  std::uint32_t size = 0;
+  if (!r.Get(size) || size > kMaxString) return false;
+  s.resize(size);
+  return size == 0 || r.GetRaw(s.data(), size);
+}
+
+// ---------------------------------------------------------------------------
+// Per-section encoders.  Every section leads with its layout version.
+
+std::string EncodeLive(const LiveCheckpointState& s) {
+  std::string out;
+  io::StringSink os(out);
+  io::Put<std::uint8_t>(os, kSectionLayoutVersion);
+  io::Put<std::int64_t>(os, s.t0);
+  io::Put<std::uint64_t>(os, s.next_event);
+  io::Put<std::uint64_t>(os, s.stats.ticks);
+  io::Put<std::uint64_t>(os, s.stats.events_ingested);
+  io::Put<std::uint64_t>(os, s.stats.incidents);
+  io::Put<std::uint64_t>(os, s.stats.incidents_within_slo);
+  io::Put<std::int64_t>(os, s.stats.clock);
+  io::Put<std::uint64_t>(os, s.stats.events_shed);
+  io::Put<std::uint64_t>(os, s.stats.shed_transitions);
+  io::Put<std::uint64_t>(os, s.stats.checkpoint_writes);
+  io::Put<std::uint64_t>(os, s.stats.checkpoint_failures);
+  return out;
+}
+
+std::string EncodeShed(const LiveCheckpointState& s) {
+  std::string out;
+  io::StringSink os(out);
+  io::Put<std::uint8_t>(os, kSectionLayoutVersion);
+  io::Put<std::uint8_t>(os, static_cast<std::uint8_t>(s.shed_level));
+  io::Put<std::uint64_t>(os, s.calm_ticks);
+  io::Put<std::uint64_t>(os, s.arrival_index);
+  io::Put<std::uint8_t>(os, s.tracer_suspended ? 1 : 0);
+  io::Put<std::uint8_t>(os, s.tracer_was_enabled ? 1 : 0);
+  io::Put<std::uint32_t>(os, static_cast<std::uint32_t>(s.shed_windows.size()));
+  for (const ShedWindow& w : s.shed_windows) {
+    io::Put<std::int64_t>(os, w.begin);
+    io::Put<std::int64_t>(os, w.end);
+    io::Put<std::uint8_t>(os, w.closed ? 1 : 0);
+  }
+  return out;
+}
+
+std::string EncodeStem(const LiveCheckpointState& s) {
+  std::string out;
+  io::StringSink os(out);
+  io::Put<std::uint8_t>(os, kSectionLayoutVersion);
+  io::Put<std::uint64_t>(os, s.seen_stems.size());
+  for (const auto& [a, b] : s.seen_stems) {
+    io::Put<std::uint64_t>(os, a);
+    io::Put<std::uint64_t>(os, b);
+  }
+  return out;
+}
+
+std::string EncodeGaps(const LiveCheckpointState& s) {
+  std::string out;
+  io::StringSink os(out);
+  io::Put<std::uint8_t>(os, kSectionLayoutVersion);
+  io::Put<std::uint32_t>(os, static_cast<std::uint32_t>(s.gaps.size()));
+  for (const LiveGap& g : s.gaps) {
+    io::Put<std::uint32_t>(os, g.peer.value());
+    io::Put<std::int64_t>(os, g.begin);
+    io::Put<std::int64_t>(os, g.end);
+    io::Put<std::uint8_t>(os, g.closed ? 1 : 0);
+  }
+  return out;
+}
+
+std::string EncodePeers(const LiveCheckpointState& s) {
+  std::string out;
+  io::StringSink os(out);
+  io::Put<std::uint8_t>(os, kSectionLayoutVersion);
+  io::Put<std::uint32_t>(os, static_cast<std::uint32_t>(s.peers.size()));
+  for (const PeerBoard::Persisted& p : s.peers) {
+    io::Put<std::uint32_t>(os, p.row.peer.value());
+    io::Put<std::uint8_t>(os, p.row.degraded ? 1 : 0);
+    io::Put<std::uint64_t>(os, p.row.announces);
+    io::Put<std::uint64_t>(os, p.row.withdraws);
+    io::Put<std::uint64_t>(os, p.row.reconnects);
+    io::Put<std::uint64_t>(os, p.row.gaps);
+    io::Put<std::uint64_t>(os, p.row.quarantined);
+    io::Put<std::int64_t>(os, p.row.first_seen);
+    io::Put<std::int64_t>(os, p.row.last_seen);
+    io::Put<std::int64_t>(os, p.row.last_gap);
+    io::Put<std::int64_t>(os, p.gap_open);
+    PutF64(os, p.gap_sec);
+  }
+  return out;
+}
+
+// Admission classes pack four to a byte, entry i in bits (i%4)*2..+1 of
+// byte i/4; padding bits of a partial final byte are zero.
+std::string EncodeFlow(const LiveCheckpointState& s) {
+  std::string out;
+  out.reserve(32 + s.flow.size() / 4);
+  io::StringSink os(out);
+  io::Put<std::uint8_t>(os, kSectionLayoutVersion);
+  io::Put<std::uint64_t>(os, s.flow_start);
+  io::Put<std::uint64_t>(os, s.flow.size());
+  std::uint8_t packed = 0;
+  for (std::size_t i = 0; i < s.flow.size(); ++i) {
+    packed |= static_cast<std::uint8_t>(s.flow[i] << ((i & 3) * 2));
+    if ((i & 3) == 3) {
+      io::Put<std::uint8_t>(os, packed);
+      packed = 0;
+    }
+  }
+  if ((s.flow.size() & 3) != 0) io::Put<std::uint8_t>(os, packed);
+  return out;
+}
+
+std::string EncodeIncidents(const std::vector<IncidentLog::Entry>& incidents) {
+  std::string out;
+  io::StringSink os(out);
+  io::Put<std::uint8_t>(os, kSectionLayoutVersion);
+  io::Put<std::uint64_t>(os, incidents.size());
+  for (const IncidentLog::Entry& e : incidents) {
+    const Incident& inc = e.incident;
+    io::Put<std::uint64_t>(os, e.seq);
+    io::Put<std::uint8_t>(os, static_cast<std::uint8_t>(inc.kind));
+    io::Put<std::int64_t>(os, inc.begin);
+    io::Put<std::int64_t>(os, inc.end);
+    io::Put<std::uint64_t>(os, inc.event_count);
+    PutF64(os, inc.event_fraction);
+    io::Put<std::uint64_t>(os, inc.prefix_count);
+    io::Put<std::uint64_t>(os, inc.stem_key.first);
+    io::Put<std::uint64_t>(os, inc.stem_key.second);
+    PutString(os, inc.stem_label);
+    PutString(os, inc.top_sequence);
+    PutString(os, inc.summary);
+    io::Put<std::uint8_t>(os, inc.feed_degraded ? 1 : 0);
+    io::Put<std::uint8_t>(os, inc.load_shed ? 1 : 0);
+    io::Put<std::int64_t>(os, inc.ingest_tick);
+    io::Put<std::int64_t>(os, inc.detected_at);
+    PutF64(os, inc.detection_latency_sec);
+  }
+  return out;
+}
+
+std::string EncodeSloHistogram(const LiveCheckpointState& s) {
+  std::string out;
+  io::StringSink os(out);
+  io::Put<std::uint8_t>(os, kSectionLayoutVersion);
+  io::Put<std::uint32_t>(os,
+                         static_cast<std::uint32_t>(s.latency_counts.size()));
+  for (const std::uint64_t c : s.latency_counts) {
+    io::Put<std::uint64_t>(os, c);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Per-section decoders.  Each returns an empty string on success or a
+// human-readable reason; DecodeLiveState prefixes the section tag.
+
+struct SectionReader {
+  explicit SectionReader(const std::string& bytes)
+      : stream(bytes), reader(stream) {}
+  std::istringstream stream;
+  io::Reader reader;
+
+  bool AtEnd() {
+    return stream.peek() == std::istringstream::traits_type::eof();
+  }
+};
+
+std::string CheckLayout(SectionReader& sr) {
+  std::uint8_t layout = 0;
+  if (!sr.reader.Get(layout)) return "truncated layout version";
+  if (layout != kSectionLayoutVersion) {
+    return util::StrPrintf("unsupported layout version %u", layout);
+  }
+  return "";
+}
+
+std::string DecodeLive(const std::string& bytes, LiveCheckpointState& s) {
+  SectionReader sr(bytes);
+  if (auto err = CheckLayout(sr); !err.empty()) return err;
+  std::int64_t t0 = 0, clock = 0;
+  if (!sr.reader.Get(t0) || !sr.reader.Get(s.next_event) ||
+      !sr.reader.Get(s.stats.ticks) || !sr.reader.Get(s.stats.events_ingested) ||
+      !sr.reader.Get(s.stats.incidents) ||
+      !sr.reader.Get(s.stats.incidents_within_slo) || !sr.reader.Get(clock) ||
+      !sr.reader.Get(s.stats.events_shed) ||
+      !sr.reader.Get(s.stats.shed_transitions) ||
+      !sr.reader.Get(s.stats.checkpoint_writes) ||
+      !sr.reader.Get(s.stats.checkpoint_failures)) {
+    return "truncated";
+  }
+  s.t0 = t0;
+  s.stats.clock = clock;
+  if (!sr.AtEnd()) return "trailing bytes";
+  if (s.stats.clock < s.t0) return "clock precedes t0";
+  if (s.stats.incidents_within_slo > s.stats.incidents) {
+    return "incidents_within_slo exceeds incidents";
+  }
+  return "";
+}
+
+std::string DecodeShed(const std::string& bytes, LiveCheckpointState& s) {
+  SectionReader sr(bytes);
+  if (auto err = CheckLayout(sr); !err.empty()) return err;
+  std::uint8_t level = 0, suspended = 0, was_enabled = 0;
+  std::uint32_t count = 0;
+  if (!sr.reader.Get(level) || !sr.reader.Get(s.calm_ticks) ||
+      !sr.reader.Get(s.arrival_index) || !sr.reader.Get(suspended) ||
+      !sr.reader.Get(was_enabled) || !sr.reader.Get(count)) {
+    return "truncated";
+  }
+  if (level > 3) return util::StrPrintf("shed level %u out of range", level);
+  if (suspended > 1 || was_enabled > 1) return "bad boolean";
+  if (count > kMaxEntries) return "implausible shed window count";
+  s.shed_level = level;
+  s.tracer_suspended = suspended != 0;
+  s.tracer_was_enabled = was_enabled != 0;
+  s.shed_windows.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ShedWindow w;
+    std::int64_t begin = 0, end = 0;
+    std::uint8_t closed = 0;
+    if (!sr.reader.Get(begin) || !sr.reader.Get(end) ||
+        !sr.reader.Get(closed)) {
+      return util::StrPrintf("truncated at window %u", i);
+    }
+    if (closed > 1) return "bad boolean";
+    if (end < begin) return util::StrPrintf("window %u ends before begin", i);
+    w.begin = begin;
+    w.end = end;
+    w.closed = closed != 0;
+    s.shed_windows.push_back(w);
+  }
+  if (!sr.AtEnd()) return "trailing bytes";
+  return "";
+}
+
+std::string DecodeStem(const std::string& bytes, LiveCheckpointState& s) {
+  SectionReader sr(bytes);
+  if (auto err = CheckLayout(sr); !err.empty()) return err;
+  std::uint64_t count = 0;
+  if (!sr.reader.Get(count)) return "truncated";
+  if (count > kMaxEntries) return "implausible stem count";
+  s.seen_stems.clear();
+  std::pair<std::uint64_t, std::uint64_t> prev{0, 0};
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t a = 0, b = 0;
+    if (!sr.reader.Get(a) || !sr.reader.Get(b)) {
+      return util::StrPrintf("truncated at stem %llu",
+                             static_cast<unsigned long long>(i));
+    }
+    if (!stemming::IsValidRawSymbol(a) || !stemming::IsValidRawSymbol(b)) {
+      return util::StrPrintf("invalid raw symbol at stem %llu",
+                             static_cast<unsigned long long>(i));
+    }
+    const std::pair<std::uint64_t, std::uint64_t> key{a, b};
+    if (i > 0 && !(prev < key)) {
+      return util::StrPrintf("stems not strictly increasing at %llu",
+                             static_cast<unsigned long long>(i));
+    }
+    prev = key;
+    s.seen_stems.push_back(key);
+  }
+  if (!sr.AtEnd()) return "trailing bytes";
+  return "";
+}
+
+std::string DecodeGaps(const std::string& bytes, LiveCheckpointState& s) {
+  SectionReader sr(bytes);
+  if (auto err = CheckLayout(sr); !err.empty()) return err;
+  std::uint32_t count = 0;
+  if (!sr.reader.Get(count)) return "truncated";
+  if (count > kMaxEntries) return "implausible gap count";
+  s.gaps.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    LiveGap g;
+    std::uint32_t peer = 0;
+    std::int64_t begin = 0, end = 0;
+    std::uint8_t closed = 0;
+    if (!sr.reader.Get(peer) || !sr.reader.Get(begin) || !sr.reader.Get(end) ||
+        !sr.reader.Get(closed)) {
+      return util::StrPrintf("truncated at gap %u", i);
+    }
+    if (closed > 1) return "bad boolean";
+    if (end < begin) return util::StrPrintf("gap %u ends before begin", i);
+    g.peer = bgp::Ipv4Addr(peer);
+    g.begin = begin;
+    g.end = end;
+    g.closed = closed != 0;
+    s.gaps.push_back(g);
+  }
+  if (!sr.AtEnd()) return "trailing bytes";
+  return "";
+}
+
+std::string DecodePeers(const std::string& bytes, LiveCheckpointState& s) {
+  SectionReader sr(bytes);
+  if (auto err = CheckLayout(sr); !err.empty()) return err;
+  std::uint32_t count = 0;
+  if (!sr.reader.Get(count)) return "truncated";
+  if (count > kMaxEntries) return "implausible peer count";
+  s.peers.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PeerBoard::Persisted p;
+    std::uint32_t peer = 0;
+    std::uint8_t degraded = 0;
+    std::int64_t first_seen = 0, last_seen = 0, last_gap = 0, gap_open = 0;
+    if (!sr.reader.Get(peer) || !sr.reader.Get(degraded) ||
+        !sr.reader.Get(p.row.announces) || !sr.reader.Get(p.row.withdraws) ||
+        !sr.reader.Get(p.row.reconnects) || !sr.reader.Get(p.row.gaps) ||
+        !sr.reader.Get(p.row.quarantined) || !sr.reader.Get(first_seen) ||
+        !sr.reader.Get(last_seen) || !sr.reader.Get(last_gap) ||
+        !sr.reader.Get(gap_open) || !GetF64(sr.reader, p.gap_sec)) {
+      return util::StrPrintf("truncated at peer %u", i);
+    }
+    if (degraded > 1) return "bad boolean";
+    if (!std::isfinite(p.gap_sec) || p.gap_sec < 0) {
+      return util::StrPrintf("peer %u gap_sec not finite", i);
+    }
+    // A degraded row must carry its open-gap begin and vice versa.
+    if ((degraded != 0) != (gap_open >= 0)) {
+      return util::StrPrintf("peer %u degraded/gap_open mismatch", i);
+    }
+    p.row.peer = bgp::Ipv4Addr(peer);
+    p.row.degraded = degraded != 0;
+    p.row.first_seen = first_seen;
+    p.row.last_seen = last_seen;
+    p.row.last_gap = last_gap;
+    p.gap_open = gap_open;
+    s.peers.push_back(std::move(p));
+  }
+  if (!sr.AtEnd()) return "trailing bytes";
+  return "";
+}
+
+std::string DecodeFlow(const std::string& bytes, std::uint64_t next_event,
+                       LiveCheckpointState& s) {
+  SectionReader sr(bytes);
+  if (auto err = CheckLayout(sr); !err.empty()) return err;
+  std::uint64_t count = 0;
+  if (!sr.reader.Get(s.flow_start) || !sr.reader.Get(count)) {
+    return "truncated";
+  }
+  if (count > kMaxEntries) return "implausible in-flight count";
+  // The range must butt up against the LIVE cursor: every event before
+  // flow_start is settled, every event from next_event on is unread.
+  if (s.flow_start > next_event || next_event - s.flow_start != count) {
+    return "range disagrees with the LIVE cursor";
+  }
+  s.flow.assign(static_cast<std::size_t>(count), 0);
+  bool queue_seen = false;
+  std::uint8_t packed = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if ((i & 3) == 0 && !sr.reader.Get(packed)) return "truncated";
+    const std::uint8_t cls = (packed >> ((i & 3) * 2)) & 3;
+    if (cls > 2) {
+      return util::StrPrintf("bad admission class at entry %llu",
+                             static_cast<unsigned long long>(i));
+    }
+    // Admission is FIFO: everything still in the window was consumed
+    // before anything still queued, so classes never go 2 -> 1.
+    if (cls == 2) {
+      queue_seen = true;
+    } else if (cls == 1 && queue_seen) {
+      return util::StrPrintf("window entry %llu after a queue entry",
+                             static_cast<unsigned long long>(i));
+    }
+    s.flow[static_cast<std::size_t>(i)] = cls;
+  }
+  if ((count & 3) != 0 && (packed >> ((count & 3) * 2)) != 0) {
+    return "nonzero padding bits";
+  }
+  if (!sr.AtEnd()) return "trailing bytes";
+  return "";
+}
+
+std::string DecodeIncidents(const std::string& bytes, util::SimTime clock,
+                            LiveCheckpointState& s) {
+  SectionReader sr(bytes);
+  if (auto err = CheckLayout(sr); !err.empty()) return err;
+  std::uint64_t count = 0;
+  if (!sr.reader.Get(count)) return "truncated";
+  if (count > kMaxEntries) return "implausible incident count";
+  s.incidents.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    IncidentLog::Entry e;
+    Incident& inc = e.incident;
+    std::uint8_t kind = 0, feed_degraded = 0, load_shed = 0;
+    std::int64_t begin = 0, end = 0, ingest_tick = 0, detected_at = 0;
+    std::uint64_t event_count = 0, prefix_count = 0;
+    if (!sr.reader.Get(e.seq) || !sr.reader.Get(kind) ||
+        !sr.reader.Get(begin) || !sr.reader.Get(end) ||
+        !sr.reader.Get(event_count) || !GetF64(sr.reader, inc.event_fraction) ||
+        !sr.reader.Get(prefix_count) || !sr.reader.Get(inc.stem_key.first) ||
+        !sr.reader.Get(inc.stem_key.second) ||
+        !GetString(sr.reader, inc.stem_label) ||
+        !GetString(sr.reader, inc.top_sequence) ||
+        !GetString(sr.reader, inc.summary) || !sr.reader.Get(feed_degraded) ||
+        !sr.reader.Get(load_shed) || !sr.reader.Get(ingest_tick) ||
+        !sr.reader.Get(detected_at) ||
+        !GetF64(sr.reader, inc.detection_latency_sec)) {
+      return util::StrPrintf("truncated at entry %llu",
+                             static_cast<unsigned long long>(i));
+    }
+    if (e.seq != i + 1) {
+      return util::StrPrintf("non-contiguous seq at entry %llu",
+                             static_cast<unsigned long long>(i));
+    }
+    if (kind > static_cast<std::uint8_t>(IncidentKind::kUnknown)) {
+      return util::StrPrintf("bad incident kind at entry %llu",
+                             static_cast<unsigned long long>(i));
+    }
+    if (feed_degraded > 1 || load_shed > 1) return "bad boolean";
+    if (end < begin || detected_at > clock ||
+        !std::isfinite(inc.detection_latency_sec) ||
+        inc.detection_latency_sec < 0 || !std::isfinite(inc.event_fraction)) {
+      return util::StrPrintf("implausible time fields at entry %llu",
+                             static_cast<unsigned long long>(i));
+    }
+    if (!stemming::IsValidRawSymbol(inc.stem_key.first) ||
+        !stemming::IsValidRawSymbol(inc.stem_key.second)) {
+      return util::StrPrintf("invalid stem symbol at entry %llu",
+                             static_cast<unsigned long long>(i));
+    }
+    inc.kind = static_cast<IncidentKind>(kind);
+    inc.begin = begin;
+    inc.end = end;
+    inc.event_count = static_cast<std::size_t>(event_count);
+    inc.prefix_count = static_cast<std::size_t>(prefix_count);
+    inc.feed_degraded = feed_degraded != 0;
+    inc.load_shed = load_shed != 0;
+    inc.ingest_tick = ingest_tick;
+    inc.detected_at = detected_at;
+    s.incidents.push_back(std::move(e));
+  }
+  if (!sr.AtEnd()) return "trailing bytes";
+  return "";
+}
+
+std::string DecodeSloHistogram(const std::string& bytes,
+                               LiveCheckpointState& s) {
+  SectionReader sr(bytes);
+  if (auto err = CheckLayout(sr); !err.empty()) return err;
+  std::uint32_t count = 0;
+  if (!sr.reader.Get(count)) return "truncated";
+  const std::size_t want = DetectionLatencyBounds().size() + 1;
+  if (count != want) {
+    return util::StrPrintf("bucket count %u != %zu", count, want);
+  }
+  s.latency_counts.assign(count, 0);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!sr.reader.Get(s.latency_counts[i])) return "truncated";
+  }
+  if (!sr.AtEnd()) return "trailing bytes";
+  return "";
+}
+
+// Recomputes the latency bucket counts implied by the incident log; the
+// SLOH section must agree exactly (redundancy turns a selectively
+// corrupted section into a loud restore failure).
+std::vector<std::uint64_t> CountsFromIncidents(
+    const std::vector<IncidentLog::Entry>& incidents) {
+  const std::vector<double> bounds = DetectionLatencyBounds();
+  std::vector<std::uint64_t> counts(bounds.size() + 1, 0);
+  for (const IncidentLog::Entry& e : incidents) {
+    std::size_t bucket = bounds.size();  // overflow
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      if (e.incident.detection_latency_sec <= bounds[b]) {
+        bucket = b;
+        break;
+      }
+    }
+    ++counts[bucket];
+  }
+  return counts;
+}
+
+}  // namespace
+
+void EncodeLiveState(const LiveCheckpointState& state,
+                     collector::Checkpoint& checkpoint) {
+  EncodeLiveState(state, state.incidents, checkpoint);
+}
+
+void EncodeLiveState(const LiveCheckpointState& state,
+                     const std::vector<IncidentLog::Entry>& incidents,
+                     collector::Checkpoint& checkpoint) {
+  checkpoint.time = state.stats.clock;
+  checkpoint.event_offset = state.next_event;
+  checkpoint.sections.clear();
+  checkpoint.sections.push_back({"LIVE", EncodeLive(state)});
+  checkpoint.sections.push_back({"SHED", EncodeShed(state)});
+  checkpoint.sections.push_back({"STEM", EncodeStem(state)});
+  checkpoint.sections.push_back({"GAPS", EncodeGaps(state)});
+  checkpoint.sections.push_back({"PEER", EncodePeers(state)});
+  checkpoint.sections.push_back({"FLOW", EncodeFlow(state)});
+  checkpoint.sections.push_back({"INCD", EncodeIncidents(incidents)});
+  checkpoint.sections.push_back({"SLOH", EncodeSloHistogram(state)});
+}
+
+bool DecodeLiveState(const collector::Checkpoint& checkpoint,
+                     LiveCheckpointState* state, std::string* error) {
+  LiveCheckpointState out;
+  const auto fail = [error](const char* tag, const std::string& why) {
+    if (error != nullptr) {
+      *error = util::StrPrintf("section %s: %s", tag, why.c_str());
+    }
+    return false;
+  };
+  const auto section = [&](const char* tag) -> const std::string* {
+    const collector::Checkpoint::Section* s = checkpoint.FindSection(tag);
+    return s == nullptr ? nullptr : &s->bytes;
+  };
+
+  // Every live section is required; a checkpoint missing one is either
+  // collector-only (not a live checkpoint) or truncated by editing.
+  // (Tags WIND and QUEU carried full in-flight event records in earlier
+  // builds; they are retired and must never be reused for new layouts.)
+  for (const char* tag :
+       {"LIVE", "SHED", "STEM", "GAPS", "PEER", "FLOW", "INCD", "SLOH"}) {
+    if (section(tag) == nullptr) return fail(tag, "missing");
+  }
+
+  if (auto err = DecodeLive(*section("LIVE"), out); !err.empty()) {
+    return fail("LIVE", err);
+  }
+  // The outer envelope duplicates the cursor; disagreement means the
+  // sections do not belong to this snapshot.
+  if (checkpoint.time != out.stats.clock ||
+      checkpoint.event_offset != out.next_event) {
+    return fail("LIVE", "cursor disagrees with the checkpoint envelope");
+  }
+  if (auto err = DecodeShed(*section("SHED"), out); !err.empty()) {
+    return fail("SHED", err);
+  }
+  if (auto err = DecodeStem(*section("STEM"), out); !err.empty()) {
+    return fail("STEM", err);
+  }
+  if (auto err = DecodeGaps(*section("GAPS"), out); !err.empty()) {
+    return fail("GAPS", err);
+  }
+  if (auto err = DecodePeers(*section("PEER"), out); !err.empty()) {
+    return fail("PEER", err);
+  }
+  if (auto err = DecodeFlow(*section("FLOW"), out.next_event, out);
+      !err.empty()) {
+    return fail("FLOW", err);
+  }
+  if (auto err = DecodeIncidents(*section("INCD"), out.stats.clock, out);
+      !err.empty()) {
+    return fail("INCD", err);
+  }
+  if (auto err = DecodeSloHistogram(*section("SLOH"), out); !err.empty()) {
+    return fail("SLOH", err);
+  }
+  if (out.incidents.size() != out.stats.incidents) {
+    return fail("INCD", "entry count disagrees with LIVE stats");
+  }
+  if (CountsFromIncidents(out.incidents) != out.latency_counts) {
+    return fail("SLOH", "bucket counts disagree with the incident log");
+  }
+  // Derived stats fields the sections imply rather than store.
+  out.stats.shed_level = out.shed_level;
+  out.stats.queue_depth = static_cast<std::size_t>(
+      std::count(out.flow.begin(), out.flow.end(), std::uint8_t{2}));
+  out.stats.restored = true;
+  *state = std::move(out);
+  return true;
+}
+
+}  // namespace ranomaly::core

@@ -76,6 +76,20 @@ std::string SymbolTable::Name(SymbolId id) const {
   return "?";
 }
 
+bool IsValidRawSymbol(std::uint64_t raw) {
+  const std::uint64_t payload = raw & ((1ull << 56) - 1);
+  switch (static_cast<SymbolKind>(raw >> 56)) {
+    case SymbolKind::kPeer:
+    case SymbolKind::kNexthop:
+    case SymbolKind::kAs:
+      return payload <= 0xffffffffULL;
+    case SymbolKind::kPrefix:
+      // (address << 8) | length in 40 bits, mask length <= 32.
+      return payload <= 0xffffffffffULL && (payload & 0xff) <= 32;
+  }
+  return false;
+}
+
 std::string StemmingResult::StemLabel(const Component& component) const {
   return symbols.Name(component.stem.first) + " - " +
          symbols.Name(component.stem.second);

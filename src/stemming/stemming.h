@@ -101,6 +101,13 @@ class SymbolTable {
   util::InternPool<std::uint64_t> pool_;
 };
 
+// State-export validation (live checkpointing, core/live_checkpoint.cc):
+// true iff `raw` is a well-formed tagged symbol value — known kind byte
+// and an in-range payload for that kind.  A persisted raw value must
+// pass this before it may re-enter a dedup set or be re-interned;
+// anything else means the checkpoint section is corrupt.
+bool IsValidRawSymbol(std::uint64_t raw);
+
 struct StemmingOptions {
   // Sub-sequences shorter than this are not rankable (a single element
   // has no "last adjacent pair").

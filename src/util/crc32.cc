@@ -1,33 +1,61 @@
 #include "util/crc32.h"
 
 #include <array>
+#include <bit>
+#include <cstring>
 
 namespace ranomaly::util {
 namespace {
 
 constexpr std::uint32_t kPolynomial = 0xedb88320u;  // reflected 0x04c11db7
 
-constexpr std::array<std::uint32_t, 256> MakeTable() {
-  std::array<std::uint32_t, 256> table{};
+// Slice-by-8 tables: kTables[0] is the classic byte-at-a-time table;
+// kTables[k][b] is the CRC contribution of byte b seen k positions
+// earlier, letting the hot loop fold 8 input bytes per iteration.
+// Checkpoint payloads run to hundreds of kilobytes and are CRC'd on
+// every periodic write, so the ~6x speedup over the byte loop matters.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> MakeTables() {
+  std::array<std::array<std::uint32_t, 256>, 8> tables{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
       c = (c & 1) ? (kPolynomial ^ (c >> 1)) : (c >> 1);
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables[k - 1][i];
+      tables[k][i] = tables[0][prev & 0xff] ^ (prev >> 8);
+    }
+  }
+  return tables;
 }
 
-constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+constexpr std::array<std::array<std::uint32_t, 256>, 8> kTables = MakeTables();
 
 }  // namespace
 
 void Crc32Accumulator::Update(const void* data, std::size_t size) {
   const auto* bytes = static_cast<const unsigned char*>(data);
   std::uint32_t c = state_;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (size >= 8) {
+      std::uint32_t lo;
+      std::uint32_t hi;
+      std::memcpy(&lo, bytes, 4);
+      std::memcpy(&hi, bytes + 4, 4);
+      lo ^= c;
+      c = kTables[7][lo & 0xff] ^ kTables[6][(lo >> 8) & 0xff] ^
+          kTables[5][(lo >> 16) & 0xff] ^ kTables[4][lo >> 24] ^
+          kTables[3][hi & 0xff] ^ kTables[2][(hi >> 8) & 0xff] ^
+          kTables[1][(hi >> 16) & 0xff] ^ kTables[0][hi >> 24];
+      bytes += 8;
+      size -= 8;
+    }
+  }
   for (std::size_t i = 0; i < size; ++i) {
-    c = kTable[(c ^ bytes[i]) & 0xff] ^ (c >> 8);
+    c = kTables[0][(c ^ bytes[i]) & 0xff] ^ (c >> 8);
   }
   state_ = c;
 }

@@ -39,6 +39,10 @@ LogLevel GetLogLevel() {
   return g_min_level;
 }
 
+namespace {
+std::atomic<std::uint64_t> g_suppressed_lines{0};
+}  // namespace
+
 namespace detail {
 
 bool ShouldLogEveryN(std::atomic<std::uint64_t>& seen,
@@ -46,13 +50,20 @@ bool ShouldLogEveryN(std::atomic<std::uint64_t>& seen,
                      std::uint64_t every_n, std::uint64_t& suppressed) {
   const std::uint64_t n = seen.fetch_add(1, std::memory_order_relaxed) + 1;
   if (every_n == 0) every_n = 1;
-  if (n != 1 && n % every_n != 0) return false;
+  if (n != 1 && n % every_n != 0) {
+    g_suppressed_lines.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   const std::uint64_t prev = last_logged.exchange(n, std::memory_order_relaxed);
   suppressed = n > prev ? n - prev - 1 : 0;
   return true;
 }
 
 }  // namespace detail
+
+std::uint64_t SuppressedLogLines() {
+  return g_suppressed_lines.load(std::memory_order_relaxed);
+}
 
 std::string WithSuppressedSuffix(std::string msg, std::uint64_t suppressed) {
   if (suppressed == 0) return msg;

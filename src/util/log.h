@@ -46,6 +46,11 @@ bool ShouldLogEveryN(std::atomic<std::uint64_t>& seen,
 // "msg (123 similar suppressed)"; returns msg unchanged when none were.
 std::string WithSuppressedSuffix(std::string msg, std::uint64_t suppressed);
 
+// Process-wide count of log lines swallowed by RANOMALY_LOG_EVERY_N rate
+// limiting across every call site; exported as the
+// log_lines_suppressed_total gauge so dropped diagnostics stay visible.
+std::uint64_t SuppressedLogLines();
+
 // Rate-limited logging: emits the first occurrence at this call site,
 // then every `every_n`-th, appending the count of suppressed messages.
 // The message expression is only evaluated when it will be emitted, so

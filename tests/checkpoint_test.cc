@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "collector/checkpoint.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace ranomaly::collector {
@@ -130,11 +131,21 @@ TEST(CheckpointTest, RejectsBadMagic) {
 
 TEST(CheckpointTest, RejectsUnknownVersion) {
   std::string data = Serialized();
-  data[4] = 2;  // u32 version immediately after the magic
+  data[4] = 9;  // u32 version immediately after the magic (1 and 2 are real)
   std::stringstream ss(data);
   LoadDiagnostics diag;
   EXPECT_FALSE(LoadCheckpoint(ss, &diag));
   EXPECT_EQ(diag.error, LoadError::kBadVersion);
+}
+
+TEST(CheckpointTest, RelabelingV1AsV2IsNotSilentlyAccepted) {
+  // A v1 payload stamped as v2 lacks the section table; the reader must
+  // fail (truncated) rather than inventing an empty table.
+  std::string data = Serialized();
+  data[4] = 2;
+  std::stringstream ss(data);
+  LoadDiagnostics diag;
+  EXPECT_FALSE(LoadCheckpoint(ss, &diag));
 }
 
 TEST(CheckpointTest, DetectsPayloadCorruptionViaCrc) {
@@ -210,6 +221,49 @@ TEST_F(CheckpointFileTest, AtomicOverwriteLeavesNoTemporary) {
   ASSERT_TRUE(loaded);
   EXPECT_EQ(loaded->time, 9 * kSecond);
   EXPECT_EQ(loaded->event_offset, 4u);
+}
+
+TEST_F(CheckpointFileTest, DurableWriteFsyncsFileAndDirectory) {
+  // Regression: the original WriteCheckpointFile renamed without
+  // fsyncing, so a power loss could commit a zero-length checkpoint.
+  // The durable path must fsync both the temp file and its directory —
+  // at least two fsyncs per successful write.
+  auto& reg = obs::MetricsRegistry::Global();
+  const std::uint64_t before = reg.CounterValue("checkpoint_fsyncs_total");
+  const Collector collector = PopulatedCollector();
+  ASSERT_TRUE(WriteCheckpointFile(SnapshotCollector(collector, kSecond, 4),
+                                  Path("rib.ckpt")));
+  EXPECT_GE(reg.CounterValue("checkpoint_fsyncs_total"), before + 2);
+}
+
+TEST_F(CheckpointFileTest, ShortWriteFaultLeavesPreviousCheckpointIntact) {
+  const Collector collector = PopulatedCollector();
+  const std::string path = Path("rib.ckpt");
+  ASSERT_TRUE(
+      WriteCheckpointFile(SnapshotCollector(collector, kSecond, 1), path));
+
+  // Every possible short write (disk full / torn write at any byte) must
+  // fail the commit and leave the old snapshot readable.
+  for (const std::int64_t cut : {std::int64_t{0}, std::int64_t{5},
+                                 std::int64_t{40}}) {
+    SetCheckpointWriteFaultHook(
+        [cut](std::size_t) -> std::int64_t { return cut; });
+    EXPECT_FALSE(WriteCheckpointFile(
+        SnapshotCollector(collector, 9 * kSecond, 4), path))
+        << "cut=" << cut;
+    SetCheckpointWriteFaultHook(nullptr);
+    EXPECT_FALSE(fs::exists(path + ".tmp")) << "cut=" << cut;
+    const auto loaded = ReadCheckpointFile(path);
+    ASSERT_TRUE(loaded) << "cut=" << cut;
+    EXPECT_EQ(loaded->time, kSecond) << "cut=" << cut;
+  }
+
+  // With the hook cleared the next write commits normally.
+  ASSERT_TRUE(
+      WriteCheckpointFile(SnapshotCollector(collector, 9 * kSecond, 4), path));
+  const auto loaded = ReadCheckpointFile(path);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->time, 9 * kSecond);
 }
 
 TEST_F(CheckpointFileTest, MissingFileIsNullopt) {

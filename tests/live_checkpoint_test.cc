@@ -1,0 +1,566 @@
+// Analysis-tier checkpoint/restore: encode/decode round-trips, loud
+// section-named rejection of corruption, crash/resume determinism (a
+// killed-and-restarted replay produces a bit-identical incident stream),
+// and the overload degradation ladder.
+#include "core/live_checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "collector/checkpoint.h"
+#include "core/live.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "workload/eventgen.h"
+
+namespace ranomaly::core {
+namespace {
+
+namespace fs = std::filesystem;
+using util::kMinute;
+using util::kSecond;
+
+// A capture with one session-reset avalanche plus background churn.
+collector::EventStream ResetCapture() {
+  workload::InternetOptions options;
+  options.monitored_peers = 3;
+  options.prefix_count = 300;
+  options.origin_as_count = 60;
+  options.seed = 7;
+  const workload::SyntheticInternet internet(options);
+  workload::EventStreamGenerator gen(internet, 8);
+  gen.SessionReset(0, 10 * kMinute, kMinute, 20 * kSecond);
+  gen.Churn(0, 30 * kMinute, 400);
+  return gen.Take();
+}
+
+LiveOptions BaseOptions() {
+  LiveOptions options;
+  options.tick = 10 * kSecond;
+  options.window = 5 * kMinute;
+  options.slo_target_sec = 30.0;
+  return options;
+}
+
+struct RunResult {
+  LiveStats stats;
+  std::string incidents_json;
+};
+
+// Runs the stream through a fresh runner; stop_after_ticks > 0 simulates
+// an orderly shutdown at that tick boundary (the SIGTERM drain path).
+RunResult RunLive(const LiveOptions& options,
+                  const collector::EventStream& stream, IncidentLog* log,
+                  std::uint64_t stop_after_ticks = 0) {
+  obs::HealthRegistry health;
+  std::atomic<bool> keep_going{true};
+  LiveRunner runner(options, &health, log);
+  RunResult result;
+  result.stats = runner.Run(
+      stream, &keep_going, [&](const LiveStats& s) {
+        if (stop_after_ticks > 0 && s.ticks >= stop_after_ticks) {
+          keep_going.store(false);
+        }
+      });
+  result.incidents_json = log == nullptr ? "" : log->ToJson(0);
+  return result;
+}
+
+// A small but fully-populated state for direct encode/decode tests.
+LiveCheckpointState SampleState() {
+  LiveCheckpointState st;
+  st.t0 = 0;
+  st.next_event = 42;
+  st.stats.ticks = 7;
+  st.stats.events_ingested = 42;
+  st.stats.incidents = 1;
+  st.stats.incidents_within_slo = 1;
+  st.stats.clock = 70 * kSecond;
+  st.stats.events_shed = 3;
+  st.stats.shed_transitions = 2;
+  st.shed_level = 1;
+  st.calm_ticks = 1;
+  st.arrival_index = 40;
+  st.tracer_suspended = true;
+  st.tracer_was_enabled = true;
+  st.shed_windows.push_back(ShedWindow{20 * kSecond, 50 * kSecond, true});
+  const std::uint64_t as_sym = (std::uint64_t{3} << 56) | 64500;  // kAs
+  st.seen_stems.push_back({as_sym, as_sym + 1});
+  st.gaps.push_back(
+      LiveGap{bgp::Ipv4Addr(0x0a000001), 30 * kSecond, 40 * kSecond, true});
+  PeerBoard::Persisted peer;
+  peer.row.peer = bgp::Ipv4Addr(0x0a000001);
+  peer.row.announces = 40;
+  peer.row.withdraws = 2;
+  peer.row.first_seen = 0;
+  peer.row.last_seen = 69 * kSecond;
+  peer.row.last_gap = 30 * kSecond;
+  peer.gap_sec = 10.0;
+  st.peers.push_back(peer);
+  // In-flight range [40, 42): stream event 40 in the window, 41 queued.
+  st.flow_start = 40;
+  st.flow = {1, 2};
+  IncidentLog::Entry entry;
+  entry.seq = 1;
+  entry.incident.kind = IncidentKind::kSessionReset;
+  entry.incident.begin = 10 * kSecond;
+  entry.incident.end = 15 * kSecond;
+  entry.incident.event_count = 12;
+  entry.incident.prefix_count = 6;
+  entry.incident.stem_key = {as_sym, as_sym + 1};
+  entry.incident.stem_label = "AS64500 - AS64501";
+  entry.incident.summary = "session reset";
+  entry.incident.detected_at = 20 * kSecond;
+  entry.incident.detection_latency_sec = 10.0;
+  st.incidents.push_back(entry);
+  st.latency_counts.assign(DetectionLatencyBounds().size() + 1, 0);
+  st.latency_counts[3] = 1;  // 10.0 falls in the <=10 bucket
+  return st;
+}
+
+std::string TempPath(const char* name) {
+  return (fs::temp_directory_path() /
+          (std::string("ranomaly_live_ckpt_") + name))
+      .string();
+}
+
+TEST(LiveCheckpointTest, EncodeDecodeRoundTripsEverySection) {
+  const LiveCheckpointState st = SampleState();
+  collector::Checkpoint ck;
+  EncodeLiveState(st, ck);
+  EXPECT_EQ(ck.time, st.stats.clock);
+  EXPECT_EQ(ck.event_offset, st.next_event);
+  ASSERT_EQ(ck.sections.size(), 8u);
+
+  // Through the full serialized format too.
+  std::stringstream ss;
+  ASSERT_TRUE(collector::SaveCheckpoint(ck, ss));
+  const auto loaded = collector::LoadCheckpoint(ss);
+  ASSERT_TRUE(loaded.has_value());
+
+  LiveCheckpointState out;
+  std::string error;
+  ASSERT_TRUE(DecodeLiveState(*loaded, &out, &error)) << error;
+  EXPECT_EQ(out.t0, st.t0);
+  EXPECT_EQ(out.next_event, st.next_event);
+  EXPECT_EQ(out.stats.ticks, st.stats.ticks);
+  EXPECT_EQ(out.stats.events_ingested, st.stats.events_ingested);
+  EXPECT_EQ(out.stats.clock, st.stats.clock);
+  EXPECT_EQ(out.stats.events_shed, st.stats.events_shed);
+  EXPECT_TRUE(out.stats.restored);
+  EXPECT_EQ(out.shed_level, st.shed_level);
+  EXPECT_EQ(out.arrival_index, st.arrival_index);
+  EXPECT_TRUE(out.tracer_suspended);
+  ASSERT_EQ(out.shed_windows.size(), 1u);
+  EXPECT_EQ(out.shed_windows[0].begin, st.shed_windows[0].begin);
+  EXPECT_EQ(out.seen_stems, st.seen_stems);
+  ASSERT_EQ(out.gaps.size(), 1u);
+  EXPECT_EQ(out.gaps[0].peer.value(), st.gaps[0].peer.value());
+  ASSERT_EQ(out.peers.size(), 1u);
+  EXPECT_EQ(out.peers[0].row.announces, 40u);
+  EXPECT_DOUBLE_EQ(out.peers[0].gap_sec, 10.0);
+  EXPECT_EQ(out.flow_start, st.flow_start);
+  EXPECT_EQ(out.flow, st.flow);
+  EXPECT_EQ(out.stats.queue_depth, 1u);  // one class-2 entry
+  ASSERT_EQ(out.incidents.size(), 1u);
+  EXPECT_EQ(out.incidents[0].incident.stem_label, "AS64500 - AS64501");
+  EXPECT_DOUBLE_EQ(out.incidents[0].incident.detection_latency_sec, 10.0);
+  EXPECT_EQ(out.latency_counts, st.latency_counts);
+}
+
+TEST(LiveCheckpointTest, DeterministicBytes) {
+  const LiveCheckpointState st = SampleState();
+  collector::Checkpoint a, b;
+  EncodeLiveState(st, a);
+  EncodeLiveState(st, b);
+  std::stringstream sa, sb;
+  ASSERT_TRUE(collector::SaveCheckpoint(a, sa));
+  ASSERT_TRUE(collector::SaveCheckpoint(b, sb));
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+// Every rejection must name the failing section — no silent partial
+// restore, and no guessing which state was bad.
+TEST(LiveCheckpointTest, RejectionNamesTheFailingSection) {
+  const auto decode_error = [](collector::Checkpoint ck) {
+    LiveCheckpointState out;
+    std::string error;
+    EXPECT_FALSE(DecodeLiveState(ck, &out, &error));
+    return error;
+  };
+  const auto tampered = [](const char* tag,
+                           const std::function<void(std::string&)>& fn) {
+    collector::Checkpoint ck;
+    EncodeLiveState(SampleState(), ck);
+    for (auto& s : ck.sections) {
+      if (s.tag == tag) fn(s.bytes);
+    }
+    return ck;
+  };
+
+  // Missing section.
+  {
+    collector::Checkpoint ck;
+    EncodeLiveState(SampleState(), ck);
+    ck.sections.erase(ck.sections.begin() + 1);  // SHED
+    EXPECT_NE(decode_error(std::move(ck)).find("SHED"), std::string::npos);
+  }
+  // Truncated section.
+  EXPECT_NE(decode_error(tampered("PEER", [](std::string& b) {
+              b.resize(b.size() / 2);
+            })).find("PEER"),
+            std::string::npos);
+  // Invalid stem symbol (kind byte zeroed-out is not a tagged symbol).
+  EXPECT_NE(decode_error(tampered("STEM", [](std::string& b) {
+              b[b.size() - 1] = 0x7f;  // high byte of the last raw symbol
+            })).find("STEM"),
+            std::string::npos);
+  // Non-contiguous incident sequence.
+  EXPECT_NE(decode_error(tampered("INCD", [](std::string& b) {
+              b[9] = 5;  // the u64 seq of entry 0 (after version + count)
+            })).find("INCD"),
+            std::string::npos);
+  // Histogram counts disagreeing with the incident log.
+  EXPECT_NE(decode_error(tampered("SLOH", [](std::string& b) {
+              b[b.size() - 1] ^= 1;  // bump the overflow bucket
+            })).find("SLOH"),
+            std::string::npos);
+  // Unsupported section layout version.
+  EXPECT_NE(decode_error(tampered("GAPS", [](std::string& b) {
+              b[0] = 9;
+            })).find("GAPS"),
+            std::string::npos);
+  // Reserved admission class in the FLOW bit-packing.
+  EXPECT_NE(decode_error(tampered("FLOW", [](std::string& b) {
+              b[b.size() - 1] = 0x03;  // entry 0 -> class 3
+            })).find("FLOW"),
+            std::string::npos);
+  // FLOW range detached from the LIVE cursor.
+  EXPECT_NE(decode_error(tampered("FLOW", [](std::string& b) {
+              b[1] ^= 1;  // low byte of flow_start
+            })).find("FLOW"),
+            std::string::npos);
+}
+
+// The tentpole guarantee: kill at a tick boundary, restart from the
+// checkpoint, and the incident stream is bit-identical to a run that was
+// never interrupted — including `/incidents?since=` JSON.
+TEST(LiveCheckpointTest, ResumedRunIsBitIdenticalToUninterruptedRun) {
+  const collector::EventStream stream = ResetCapture();
+  const LiveOptions plain = BaseOptions();
+
+  IncidentLog uninterrupted;
+  const RunResult want = RunLive(plain, stream, &uninterrupted);
+  ASSERT_GT(want.stats.incidents, 0u) << "workload produced no incidents";
+
+  const std::string path = TempPath("resume");
+  fs::remove(path);
+  LiveOptions durable = plain;
+  durable.checkpoint_path = path;
+  durable.checkpoint_every_ticks = 4;
+
+  // First life: stopped after 6 ticks; the final checkpoint lands at the
+  // boundary the drain finished on.
+  IncidentLog first_life;
+  const RunResult partial = RunLive(durable, stream, &first_life, 6);
+  EXPECT_FALSE(partial.stats.restored);
+  EXPECT_LT(partial.stats.events_ingested, want.stats.events_ingested);
+  ASSERT_TRUE(fs::exists(path));
+
+  // Second life: restores and replays forward to the same end state.
+  IncidentLog second_life;
+  const RunResult resumed = RunLive(durable, stream, &second_life);
+  EXPECT_TRUE(resumed.stats.restored);
+  EXPECT_EQ(resumed.stats.ticks, want.stats.ticks);
+  EXPECT_EQ(resumed.stats.events_ingested, want.stats.events_ingested);
+  EXPECT_EQ(resumed.stats.incidents, want.stats.incidents);
+  EXPECT_EQ(resumed.stats.incidents_within_slo,
+            want.stats.incidents_within_slo);
+  EXPECT_EQ(resumed.incidents_json, want.incidents_json);
+  fs::remove(path);
+}
+
+// Restore across several successive kills (each life advances a little)
+// still converges to the uninterrupted incident stream.
+TEST(LiveCheckpointTest, RepeatedKillsStillConverge) {
+  const collector::EventStream stream = ResetCapture();
+  IncidentLog uninterrupted;
+  const RunResult want = RunLive(BaseOptions(), stream, &uninterrupted);
+
+  const std::string path = TempPath("repeated");
+  fs::remove(path);
+  LiveOptions durable = BaseOptions();
+  durable.checkpoint_path = path;
+  durable.checkpoint_every_ticks = 2;
+
+  RunResult last;
+  for (int life = 0; life < 6; ++life) {
+    IncidentLog log;
+    last = RunLive(durable, stream, &log, 17);  // dies young every time
+    if (last.stats.ticks >= want.stats.ticks) break;
+  }
+  IncidentLog log;
+  last = RunLive(durable, stream, &log);
+  EXPECT_EQ(last.incidents_json, want.incidents_json);
+  fs::remove(path);
+}
+
+TEST(LiveCheckpointTest, CorruptFileFallsBackToFreshReplayLoudly) {
+  const collector::EventStream stream = ResetCapture();
+  IncidentLog fresh;
+  const RunResult want = RunLive(BaseOptions(), stream, &fresh);
+
+  const std::string path = TempPath("corrupt");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "RNC1 but not really: twenty bytes of junk follow ...........";
+  }
+  LiveOptions durable = BaseOptions();
+  durable.checkpoint_path = path;
+  const std::uint64_t failures_before =
+      obs::MetricsRegistry::Global().CounterValue(
+          "serve_restore_failures_total");
+  IncidentLog log;
+  const RunResult got = RunLive(durable, stream, &log);
+  EXPECT_FALSE(got.stats.restored);
+  EXPECT_EQ(got.incidents_json, want.incidents_json);
+  EXPECT_GT(obs::MetricsRegistry::Global().CounterValue(
+                "serve_restore_failures_total"),
+            failures_before);
+  fs::remove(path);
+}
+
+TEST(LiveCheckpointTest, CheckpointFromForeignStreamIsRejected) {
+  const collector::EventStream stream = ResetCapture();
+  const std::string path = TempPath("foreign");
+  fs::remove(path);
+
+  // Cut a checkpoint from a different (shifted) stream.
+  workload::InternetOptions options;
+  options.seed = 99;
+  const workload::SyntheticInternet internet(options);
+  workload::EventStreamGenerator gen(internet, 9);
+  gen.Churn(5 * kMinute, 20 * kMinute, 200);
+  const collector::EventStream foreign = gen.Take();
+  LiveOptions durable = BaseOptions();
+  durable.checkpoint_path = path;
+  durable.checkpoint_every_ticks = 4;
+  {
+    IncidentLog log;
+    RunLive(durable, foreign, &log);
+  }
+  ASSERT_TRUE(fs::exists(path));
+
+  IncidentLog fresh;
+  const RunResult want = RunLive(BaseOptions(), stream, &fresh);
+  IncidentLog log;
+  const RunResult got = RunLive(durable, stream, &log);
+  EXPECT_FALSE(got.stats.restored);  // t0 mismatch -> fresh replay
+  EXPECT_EQ(got.incidents_json, want.incidents_json);
+  fs::remove(path);
+}
+
+// Torture: every single-bit flip and every truncation of a real live
+// checkpoint file must be rejected (CRC, framing, or section validation)
+// — never a silent partial restore, never a crash.
+TEST(LiveCheckpointTest, TortureEveryBitFlipAndTruncationIsRejected) {
+  const LiveCheckpointState st = SampleState();
+  collector::Checkpoint ck;
+  EncodeLiveState(st, ck);
+  std::stringstream ss;
+  ASSERT_TRUE(collector::SaveCheckpoint(ck, ss));
+  const std::string good = ss.str();
+
+  const auto rejects = [](const std::string& bytes) {
+    std::stringstream is(bytes);
+    const auto loaded = collector::LoadCheckpoint(is);
+    if (!loaded.has_value()) return true;  // framing/CRC caught it
+    LiveCheckpointState out;
+    std::string error;
+    const bool ok = DecodeLiveState(*loaded, &out, &error);
+    EXPECT_TRUE(ok || !error.empty());  // failures always carry a reason
+    return !ok;
+  };
+
+  // The unmodified file must load (sanity for the harness itself).
+  {
+    std::stringstream is(good);
+    const auto loaded = collector::LoadCheckpoint(is);
+    ASSERT_TRUE(loaded.has_value());
+    LiveCheckpointState out;
+    std::string error;
+    ASSERT_TRUE(DecodeLiveState(*loaded, &out, &error)) << error;
+  }
+
+  util::Rng rng(20260807);
+  for (int round = 0; round < 400; ++round) {
+    std::string bad = good;
+    const std::size_t byte = rng.NextBelow(bad.size());
+    bad[byte] = static_cast<char>(bad[byte] ^ (1u << rng.NextBelow(8)));
+    EXPECT_TRUE(rejects(bad)) << "bit flip in byte " << byte
+                              << " was accepted";
+  }
+  for (int round = 0; round < 200; ++round) {
+    std::string bad = good.substr(0, rng.NextBelow(good.size()));
+    EXPECT_TRUE(rejects(bad)) << "truncation to " << bad.size()
+                              << " bytes was accepted";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Overload / degradation ladder
+
+TEST(LiveShedTest, BurstDrivesLadderUpAndHysteresisBringsItDown) {
+  // Hand-built stream: light background, then a burst that outruns the
+  // service rate, then a long calm tail.  Arrival arithmetic is chosen so
+  // the fill fraction crosses the L1, L2, and L3 watermarks on distinct
+  // ticks (no stage is skipped).
+  collector::EventStream stream;
+  const auto add = [&stream](util::SimTime t, std::uint32_t salt) {
+    bgp::Event e;
+    e.time = t;
+    e.peer = bgp::Ipv4Addr(0x0a000001);
+    e.type = bgp::EventType::kAnnounce;
+    e.prefix = bgp::Prefix(bgp::Ipv4Addr(0xc0000000 + (salt << 8)), 24);
+    e.attrs.nexthop = bgp::Ipv4Addr(0x0a010001);
+    e.attrs.as_path = bgp::AsPath({100, 200 + salt % 7});
+    stream.Append(e);
+  };
+  std::uint32_t salt = 0;
+  for (int tick = 0; tick < 60; ++tick) {
+    const util::SimTime base = tick * 10 * kSecond;
+    const int arrivals = (tick >= 5 && tick < 11) ? 80 : 1;  // the burst
+    for (int i = 0; i < arrivals; ++i) {
+      add(base + i * (9 * kSecond) / arrivals, salt++);
+    }
+  }
+
+  LiveOptions options = BaseOptions();
+  options.shed.queue_capacity = 300;
+  options.shed.service_rate = 20;
+  options.shed.recovery_ticks = 2;
+  options.shed.sample_stride = 4;
+
+  obs::HealthRegistry health;
+  IncidentLog log;
+  LiveRunner runner(options, &health, &log);
+  std::vector<int> levels;
+  std::uint64_t max_depth = 0;
+  bool saw_ingest_degraded = false;
+  const LiveStats stats =
+      runner.Run(stream, nullptr, [&](const LiveStats& s) {
+        levels.push_back(s.shed_level);
+        max_depth = std::max(max_depth, s.queue_depth);
+        if (s.shed_level > 0) {
+          for (const auto& c : health.Snapshot()) {
+            if (c.name == "ingest" &&
+                c.state == obs::HealthState::kDegraded &&
+                c.reason.find("load shed") != std::string::npos) {
+              saw_ingest_degraded = true;
+            }
+          }
+        }
+      });
+
+  // The ladder passed through every stage on the way up...
+  for (const int stage : {1, 2, 3}) {
+    EXPECT_NE(std::find(levels.begin(), levels.end(), stage), levels.end())
+        << "ladder never reached L" << stage;
+  }
+  // ...never skipped a stage...
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_LE(levels[i] - levels[i - 1], 1) << "escalation skipped a stage";
+  }
+  // ...and recovered fully once the burst drained.
+  EXPECT_EQ(levels.back(), 0) << "ladder never recovered";
+  EXPECT_EQ(stats.shed_level, 0);
+  // Hysteresis: recovery takes at least recovery_ticks per stage.
+  const auto first_l3 = std::find(levels.begin(), levels.end(), 3);
+  const auto back_to_0 = std::find(first_l3, levels.end(), 0);
+  ASSERT_NE(first_l3, levels.end());
+  ASSERT_NE(back_to_0, levels.end());
+  EXPECT_GE(back_to_0 - first_l3,
+            static_cast<std::ptrdiff_t>(3 * options.shed.recovery_ticks));
+
+  EXPECT_LE(max_depth, options.shed.queue_capacity)
+      << "the queue bound was exceeded";
+  EXPECT_GT(stats.events_shed, 0u) << "L3 never sampled anything out";
+  EXPECT_GE(stats.shed_transitions, 6u);  // 3 up + 3 down
+  EXPECT_TRUE(saw_ingest_degraded);
+  // Every ingested-or-shed arrival is accounted for.
+  EXPECT_EQ(stats.events_ingested, stream.size());
+}
+
+TEST(LiveShedTest, BackpressureOffIsByteIdenticalToPlainReplay) {
+  const collector::EventStream stream = ResetCapture();
+  IncidentLog plain, shed_off;
+  const RunResult a = RunLive(BaseOptions(), stream, &plain);
+  LiveOptions options = BaseOptions();
+  options.shed.queue_capacity = 0;  // explicit: disabled
+  const RunResult b = RunLive(options, stream, &shed_off);
+  EXPECT_EQ(a.incidents_json, b.incidents_json);
+  EXPECT_EQ(a.stats.ticks, b.stats.ticks);
+  EXPECT_EQ(b.stats.events_shed, 0u);
+}
+
+TEST(LiveShedTest, ShedStateSurvivesRestart) {
+  // Kill the runner while the ladder is elevated; the restored run must
+  // continue from the same ladder state and still converge with the
+  // uninterrupted run's incident stream.
+  collector::EventStream stream;
+  const auto add = [&stream](util::SimTime t, std::uint32_t salt) {
+    bgp::Event e;
+    e.time = t;
+    e.peer = bgp::Ipv4Addr(0x0a000002);
+    e.type = bgp::EventType::kAnnounce;
+    e.prefix = bgp::Prefix(bgp::Ipv4Addr(0xc6000000 + (salt << 8)), 24);
+    e.attrs.nexthop = bgp::Ipv4Addr(0x0a010002);
+    e.attrs.as_path = bgp::AsPath({100, 300 + salt % 5});
+    stream.Append(e);
+  };
+  std::uint32_t salt = 0;
+  for (int tick = 0; tick < 40; ++tick) {
+    const int arrivals = (tick >= 3 && tick < 9) ? 80 : 1;
+    for (int i = 0; i < arrivals; ++i) {
+      add(tick * 10 * kSecond + i * (9 * kSecond) / arrivals, salt++);
+    }
+  }
+  LiveOptions options = BaseOptions();
+  options.shed.queue_capacity = 300;
+  options.shed.service_rate = 20;
+  options.shed.recovery_ticks = 2;
+
+  IncidentLog uninterrupted;
+  const RunResult want = RunLive(options, stream, &uninterrupted);
+
+  const std::string path = TempPath("shed_restart");
+  fs::remove(path);
+  LiveOptions durable = options;
+  durable.checkpoint_path = path;
+  durable.checkpoint_every_ticks = 1;
+  {
+    IncidentLog log;
+    const RunResult first = RunLive(durable, stream, &log, 8);
+    EXPECT_GT(first.stats.shed_level, 0) << "kill did not land mid-overload";
+  }
+  IncidentLog log;
+  const RunResult resumed = RunLive(durable, stream, &log);
+  EXPECT_TRUE(resumed.stats.restored);
+  EXPECT_EQ(resumed.incidents_json, want.incidents_json);
+  EXPECT_EQ(resumed.stats.events_shed, want.stats.events_shed);
+  EXPECT_EQ(resumed.stats.shed_transitions, want.stats.shed_transitions);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace ranomaly::core

@@ -145,6 +145,37 @@ def test_trace_interrupt(binary, capture, workdir):
           "interrupted trace is loadable JSON with events")
 
 
+def test_graceful_drain_and_restore(binary, capture, workdir):
+    """SIGTERM mid-replay must drain: exit 0, cut a final checkpoint, and
+    a restart from that checkpoint must announce the resume."""
+    checkpoint = os.path.join(workdir, "serve.ckpt")
+    process, _port = spawn_serve(
+        binary, capture,
+        extra=("--checkpoint", checkpoint, "--checkpoint-every-ticks", "4"))
+    time.sleep(0.5)  # a few paced ticks into the replay
+    process.send_signal(signal.SIGTERM)
+    try:
+        out = process.communicate(timeout=20)[0]
+    except subprocess.TimeoutExpired:
+        process.kill()
+        out = process.communicate()[0]
+    check(process.returncode == 0,
+          f"SIGTERM drains with exit 0 (code {process.returncode})")
+    check("drained cleanly: final checkpoint durable" in out,
+          "drain banner confirms the final checkpoint")
+    check(os.path.exists(checkpoint), "checkpoint file exists after drain")
+    check(not os.path.exists(checkpoint + ".tmp"),
+          "no checkpoint temp file lingers after drain")
+
+    process, _port = spawn_serve(
+        binary, capture,
+        extra=("--checkpoint", checkpoint, "--exit-after-replay"))
+    out = process.communicate(timeout=60)[0]
+    check(process.returncode == 0, "restarted serve replays to completion")
+    check("restored from checkpoint: resumed at tick" in out,
+          f"restart announces the checkpoint resume (got {out!r})")
+
+
 def main():
     if len(sys.argv) != 2:
         print("usage: serve_endpoints.py /path/to/ranomaly")
@@ -156,6 +187,7 @@ def main():
             handle.write(CAPTURE)
         test_endpoints(binary, capture)
         test_trace_interrupt(binary, capture, workdir)
+        test_graceful_drain_and_restore(binary, capture, workdir)
     if FAILURES:
         print(f"{len(FAILURES)} check(s) failed")
         return 1

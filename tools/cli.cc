@@ -47,6 +47,8 @@ commands:
   metrics <stream> [--prom]
   serve   <stream> [--port N] [--tick-sec S] [--window-sec S] [--slo-sec S]
                    [--pace-ms M] [--watchdog-sec S] [--exit-after-replay]
+                   [--checkpoint FILE] [--checkpoint-every-ticks N]
+                   [--queue-capacity N] [--service-rate N]
   peers   <stream>
   trace   --out FILE.json [--jsonl FILE.jsonl] [--] <command> [options]
 
@@ -68,6 +70,15 @@ startup): /metrics /varz /healthz /readyz /incidents?since=N.  --pace-ms
 sleeps that many wall milliseconds per simulated tick; after the replay
 the server keeps answering until SIGINT/SIGTERM unless
 --exit-after-replay is given (docs/OBSERVABILITY.md, Operations).
+--checkpoint FILE makes the daemon crash-safe: it restores the full
+analysis state from FILE at startup (if present and valid) and persists
+it there every --checkpoint-every-ticks ticks plus once on exit, so a
+killed daemon resumes with a bit-identical incident stream.
+--queue-capacity N bounds the ingest queue and arms the overload
+degradation ladder; --service-rate caps events analyzed per tick.
+SIGTERM drains gracefully: /readyz flips false, the in-flight tick
+finishes, the final checkpoint is cut, and the process exits 0
+(docs/FORMATS.md, docs/OBSERVABILITY.md).
 
 peers prints the per-peer feed scoreboard (state, uptime, reconnects,
 gaps) computed from the stream's GAP/SYNC markers — the same health
@@ -542,6 +553,17 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
     err << "serve: --port must be in [0, 65535]\n";
     return kUsage;
   }
+  // Durability: --checkpoint enables restore-on-start plus periodic and
+  // final (graceful-drain) snapshots.
+  options.checkpoint_path = args.Option("--checkpoint").value_or("");
+  options.checkpoint_every_ticks = static_cast<std::uint64_t>(ParseDouble(
+      args.Option("--checkpoint-every-ticks").value_or("16"), 16.0));
+  // Backpressure: --queue-capacity turns on the bounded ingest queue and
+  // the degradation ladder; --service-rate caps per-tick analysis intake.
+  options.shed.queue_capacity = static_cast<std::size_t>(
+      ParseDouble(args.Option("--queue-capacity").value_or("0"), 0.0));
+  options.shed.service_rate = static_cast<std::size_t>(
+      ParseDouble(args.Option("--service-rate").value_or("0"), 0.0));
 
   obs::HealthRegistry health;
   core::IncidentLog incidents;
@@ -553,6 +575,8 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
   info.slo_target_sec = options.slo_target_sec;
   info.tick_sec = util::ToSeconds(options.tick);
   info.window_sec = util::ToSeconds(options.window);
+  info.checkpoint_path = options.checkpoint_path;
+  info.queue_capacity = options.shed.queue_capacity;
 
   obs::HttpServer server(core::MakeOpsHandler(
       &obs::MetricsRegistry::Global(), &health, &incidents, info));
@@ -566,23 +590,50 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
 
   ScopedSignalTrap trap;
   std::atomic<bool> keep_going{true};
+  const obs::HealthRegistry::ComponentId serve_id = health.Register("serve");
+  const auto start_drain = [&health, serve_id, &keep_going]() {
+    // Graceful drain: readiness goes false first, so load balancers stop
+    // routing while the in-flight tick finishes and the final checkpoint
+    // is cut; liveness (/healthz) stays green throughout.
+    keep_going.store(false, std::memory_order_relaxed);
+    health.SetState(serve_id, obs::HealthState::kDown,
+                    "draining: stop requested");
+  };
   core::LiveRunner runner(options, &health, &incidents);
   const core::LiveStats stats =
       runner.Run(*stream, &keep_going, [&](const core::LiveStats&) {
         if (pace_ms > 0) {
           std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
         }
-        if (ScopedSignalTrap::StopRequested()) keep_going.store(false);
+        if (ScopedSignalTrap::StopRequested() &&
+            keep_going.load(std::memory_order_relaxed)) {
+          start_drain();
+        }
       });
+  if (stats.restored) {
+    out << "restored from checkpoint: resumed at tick " << stats.ticks
+        << std::endl;
+  }
   out << "replay done: " << stats.events_ingested << " events, "
       << stats.ticks << " ticks, " << stats.incidents << " incidents ("
       << stats.incidents_within_slo << " within "
       << options.slo_target_sec << "s SLO)" << std::endl;
+  if (stats.events_shed > 0 || stats.shed_transitions > 0) {
+    out << "overload ladder: " << stats.events_shed << " events shed, "
+        << stats.shed_transitions << " transitions, final level L"
+        << stats.shed_level << std::endl;
+  }
 
   if (!args.HasFlag("--exit-after-replay")) {
     while (!ScopedSignalTrap::StopRequested()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
+  }
+  if (ScopedSignalTrap::StopRequested()) {
+    if (keep_going.load(std::memory_order_relaxed)) start_drain();
+    out << "drained cleanly"
+        << (options.checkpoint_path.empty() ? "" : ": final checkpoint durable")
+        << std::endl;
   }
   health.StopWatchdog();
   server.Stop();
