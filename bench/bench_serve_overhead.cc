@@ -5,14 +5,26 @@
 // workload with no server.  BM_AnalyzeScraped runs the identical
 // analysis while an embedded HTTP server answers /metrics and /varz
 // scrapes from a background client once per second — the `ranomaly
-// serve` steady state.  tools/run_bench.sh --serve-overhead distils the
-// pair into a `serve_overhead` row in BENCH_stemming.json (budget: <=
-// 3%, see docs/OBSERVABILITY.md).
+// serve` steady state.
+//
+// `--paired N` bypasses Google Benchmark and runs N (bare, scraped)
+// analysis batches back-to-back in this one process, alternating which
+// side goes first, timing each batch with a process-CPU-clock delta —
+// the estimator bench_checkpoint_overhead proved out after separate
+// bare/scraped processes landed in load regimes differing enough to
+// report a *negative* overhead.  tools/run_bench.sh --serve-overhead
+// distils the paired run into a `serve_overhead` row in
+// BENCH_stemming.json (budget: <= 3%, see docs/OBSERVABILITY.md).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <string_view>
 #include <thread>
 
 #include "core/live.h"
@@ -87,7 +99,105 @@ void BM_AnalyzeScraped(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyzeScraped)->Unit(benchmark::kMillisecond);
 
+double ProcessCpuNs() {
+  std::timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e9 +
+         static_cast<double>(ts.tv_nsec);
+}
+
 }  // namespace
+
+// Runs `pairs` regime-matched (bare, scraped) analysis batches and
+// prints one JSON object to stdout; progress goes to stderr.  Process
+// CPU time charges the server thread's scrape handling (and the 1 Hz
+// loopback client, a conservative over-count) against the analysis,
+// while excluding other tenants' CPU steal — which swamps a
+// few-percent effect in wall time on a shared box.
+int RunPaired(int pairs) {
+  const collector::EventStream& stream = Workload();
+  core::PipelineOptions options;
+  options.threads = 2;
+  const core::Pipeline pipeline(options);
+
+  // Calibrate the batch so each timed side runs ~2 s of analysis — long
+  // enough to cover a couple of 1 Hz scrapes, short enough that load
+  // regimes stay matched within a pair.
+  const double calib_start = ProcessCpuNs();
+  benchmark::DoNotOptimize(pipeline.Analyze(stream));
+  const double analyze_ns = ProcessCpuNs() - calib_start;
+  const int iters = std::max(8, static_cast<int>(2e9 / analyze_ns));
+
+  const auto run_batch = [&] {
+    const double start = ProcessCpuNs();
+    for (int i = 0; i < iters; ++i) {
+      benchmark::DoNotOptimize(pipeline.Analyze(stream));
+    }
+    return ProcessCpuNs() - start;
+  };
+
+  const auto run_scraped = [&]() -> double {
+    obs::HealthRegistry health;
+    core::IncidentLog incidents;
+    obs::HttpServer server(core::MakeOpsHandler(
+        &obs::MetricsRegistry::Global(), &health, &incidents,
+        core::OpsInfo{"bench", 2, 30.0, 10.0, 300.0}));
+    std::string error;
+    if (!server.Start(0, &error)) {
+      std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+      std::exit(1);
+    }
+    std::atomic<bool> done{false};
+    std::thread scraper([&] {
+      int i = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        obs::HttpGet(server.port(), (i++ % 2) == 0 ? "/metrics" : "/varz");
+        std::this_thread::sleep_for(std::chrono::seconds(1));
+      }
+    });
+    const double ns = run_batch();
+    done.store(true, std::memory_order_release);
+    scraper.join();
+    server.Stop();
+    return ns;
+  };
+
+  run_batch();  // one warm-up of each side before anything is recorded
+  run_scraped();
+  std::printf("{\"iters_per_side\": %d, \"pairs\": [", iters);
+  for (int i = 0; i < pairs; ++i) {
+    double bare_ns = 0.0;
+    double scraped_ns = 0.0;
+    // Alternate which side runs first so a monotonic load drift across
+    // the pair window biases half the pairs each way.
+    if (i % 2 == 0) {
+      bare_ns = run_batch();
+      scraped_ns = run_scraped();
+    } else {
+      scraped_ns = run_scraped();
+      bare_ns = run_batch();
+    }
+    std::printf("%s{\"bare_ns\": %.0f, \"scraped_ns\": %.0f}",
+                i == 0 ? "" : ", ", bare_ns, scraped_ns);
+    std::fprintf(stderr, "pair %d/%d: bare %.1f ms, scraped %.1f ms "
+                 "(ratio %.4f)\n", i + 1, pairs, bare_ns / 1e6,
+                 scraped_ns / 1e6, scraped_ns / bare_ns);
+  }
+  std::printf("]}\n");
+  return 0;
+}
+
 }  // namespace ranomaly::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--paired" && i + 1 < argc) {
+      return ranomaly::bench::RunPaired(std::atoi(argv[i + 1]));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -327,7 +327,8 @@ BENCHMARK(BM_StemmingArenaThreads)
     ->Unit(benchmark::kMillisecond)
     ->Arg(1)
     ->Arg(2)
-    ->Arg(4);
+    ->Arg(4)
+    ->Arg(8);
 
 // Both implementations must agree before their times are compared.
 bool AgreementCheck() {

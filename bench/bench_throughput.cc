@@ -1,0 +1,205 @@
+// End-to-end ingest-to-incident throughput: how many events/s does the
+// full live path (tick ingest -> windowed analysis -> incident dedup ->
+// log append) sustain at 1/2/4/8 analysis threads?
+//
+// This is the trajectory row every later scaling PR is judged against
+// (stated target: 1M events/s).  The replay is the `ranomaly serve`
+// steady state with production-shaped cadence (10 s ticks, 5 min
+// window), so each event is analyzed in every window that slides over
+// it — the events/s figure charges that full cost, not just parsing.
+//
+// `--json` bypasses Google Benchmark and prints one JSON object for
+// tools/run_bench.sh --throughput: per-thread-count best-of-reps
+// events/s, the host CPU count (thread counts beyond it time-slice one
+// core and cannot speed up wall time), and a cross-thread determinism
+// verdict — every thread count must produce a byte-identical incident
+// stream, which the harness refuses to record otherwise.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/live.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "util/stats.h"
+#include "util/time.h"
+#include "workload/eventgen.h"
+
+namespace ranomaly::bench {
+namespace {
+
+using util::kMinute;
+using util::kSecond;
+
+// Staggered session resets plus a tier-1 failover over steady churn:
+// distinct anomalies whose bursts rise above the churn baseline, so
+// the replay produces a real incident stream to assert byte-identity
+// on — not just raw ingest.  (At the largest churn sizes the per-tick
+// baseline approaches the 5x spike factor and fewer bursts qualify;
+// the stream stays non-empty via the tier-1 failover.)
+const collector::EventStream& Workload(std::size_t churn_events) {
+  static std::size_t cached_size = 0;
+  static const collector::EventStream* stream = nullptr;
+  if (stream == nullptr || cached_size != churn_events) {
+    workload::InternetOptions options;
+    options.monitored_peers = 5;
+    options.prefix_count = 4000;
+    options.origin_as_count = 400;
+    options.seed = 7;
+    const workload::SyntheticInternet internet(options);
+    workload::EventStreamGenerator gen(internet, 8);
+    gen.SessionReset(0, 8 * kMinute, 30 * kSecond, 5 * kSecond);
+    gen.SessionReset(1, 14 * kMinute, 30 * kSecond, 5 * kSecond);
+    gen.SessionReset(2, 20 * kMinute, 30 * kSecond, 5 * kSecond);
+    gen.Tier1Failover(0, 1, 25 * kMinute, 15 * kSecond);
+    gen.Churn(0, 30 * kMinute, churn_events);
+    delete stream;
+    stream = new collector::EventStream(gen.Take());
+    cached_size = churn_events;
+  }
+  return *stream;
+}
+
+core::LiveOptions ReplayOptions(std::size_t threads) {
+  core::LiveOptions options;
+  options.pipeline.threads = threads;
+  options.tick = 10 * kSecond;
+  options.window = 5 * kMinute;
+  options.slo_target_sec = 30.0;
+  return options;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t incidents = 0;
+  std::string incident_json;  // byte-identity witness across thread counts
+};
+
+RunResult RunOnce(const collector::EventStream& stream, std::size_t threads) {
+  obs::HealthRegistry health;
+  core::IncidentLog incidents;
+  std::atomic<bool> keep_going{true};
+  core::LiveRunner runner(ReplayOptions(threads), &health, &incidents);
+  const util::StageTimer timer;
+  const core::LiveStats stats =
+      runner.Run(stream, &keep_going, [](const core::LiveStats&) {});
+  RunResult result;
+  result.seconds = timer.Seconds();
+  result.events = stats.events_ingested;
+  result.incidents = stats.incidents;
+  result.incident_json = incidents.ToJson(0);
+  return result;
+}
+
+void BM_LiveThroughput(benchmark::State& state) {
+  const collector::EventStream& stream = Workload(200'000);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
+  std::uint64_t incidents = 0;
+  for (auto _ : state) {
+    const RunResult r = RunOnce(stream, threads);
+    events = r.events;
+    incidents = r.incidents;
+    state.SetIterationTime(r.seconds);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["incidents"] = static_cast<double>(incidents);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_LiveThroughput)
+    ->Unit(benchmark::kMillisecond)
+    ->UseManualTime()
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
+
+}  // namespace
+
+// Runs the full replay `reps` times per thread count (after one warm-up
+// at the first count), keeps each count's best run, and prints one JSON
+// object to stdout; progress goes to stderr.  Exits non-zero if any
+// thread count's incident stream differs from the 1-thread stream.
+int RunJson(std::size_t events, int reps,
+            const std::vector<std::size_t>& thread_counts) {
+  const collector::EventStream& stream = Workload(events);
+  RunOnce(stream, thread_counts.front());  // warm caches and allocator
+  std::string reference;
+  bool identical = true;
+  std::printf("{\"events\": %zu, \"host_cpus\": %u, \"rows\": [",
+              static_cast<std::size_t>(stream.size()),
+              std::thread::hardware_concurrency());
+  bool first = true;
+  for (const std::size_t threads : thread_counts) {
+    RunResult best;
+    for (int r = 0; r < reps; ++r) {
+      const RunResult run = RunOnce(stream, threads);
+      if (reference.empty()) reference = run.incident_json;
+      if (run.incident_json != reference) identical = false;
+      if (best.seconds == 0.0 || run.seconds < best.seconds) best = run;
+      std::fprintf(stderr,
+                   "threads %zu rep %d/%d: %.2f s, %.0f events/s, "
+                   "%llu incidents\n",
+                   threads, r + 1, reps, run.seconds,
+                   static_cast<double>(run.events) / run.seconds,
+                   static_cast<unsigned long long>(run.incidents));
+    }
+    std::printf(
+        "%s{\"threads\": %zu, \"seconds\": %.4f, \"events_per_sec\": %.0f, "
+        "\"incidents\": %llu}",
+        first ? "" : ", ", threads, best.seconds,
+        static_cast<double>(best.events) / best.seconds,
+        static_cast<unsigned long long>(best.incidents));
+    first = false;
+  }
+  std::printf("], \"incident_streams_identical\": %s}\n",
+              identical ? "true" : "false");
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: incident streams differ across thread counts\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace ranomaly::bench
+
+int main(int argc, char** argv) {
+  std::size_t events = 200'000;
+  int reps = 2;
+  std::vector<std::size_t> threads = {1, 2, 4, 8};
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--events" && i + 1 < argc) {
+      events = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads.clear();
+      for (const char* p = argv[++i]; *p != '\0';) {
+        threads.push_back(static_cast<std::size_t>(std::strtoul(p, nullptr, 10)));
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    }
+  }
+  if (json) {
+    return ranomaly::bench::RunJson(events, reps < 1 ? 1 : reps, threads);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -148,9 +148,9 @@ struct Arena {
   std::vector<std::uint64_t> raw;  // raw tagged value per position
   std::vector<EventView> views;    // one per distinct sequence class
   // Bigram entry id of the adjacent pair starting at each arena position
-  // (meaningful for the first length-1 positions of every class).  Filled
-  // while the bigram index is built, so counting and incremental
-  // subtraction are plain array arithmetic — no hash lookups at all.
+  // (meaningful for the first length-1 positions of every class).  Kept
+  // so counting and incremental subtraction are plain array arithmetic —
+  // no hash lookups at all.
   std::vector<std::uint32_t> pair_entries;
 
   const SymbolId* Seq(std::size_t cls) const {
@@ -159,77 +159,301 @@ struct Arena {
   std::size_t Len(std::size_t cls) const { return views[cls].length; }
 };
 
-// Open-addressed interner mapping a *raw tagged* sequence to its class
-// id; sequences are stored once, in the arena itself.  Keying on raw
-// values means the per-event hot loop does no symbol interning at all —
-// symbols of a sequence are interned only when the sequence is first
-// seen, which is exactly when a per-event encoder would have interned
-// any of them for the first time, so symbol ids come out identical.
-class ClassIndex {
- public:
-  // Returns the class id for `seq`, or kNew if it was not seen before, in
-  // which case the caller must append the sequence to the arena and then
-  // call Insert with the id it assigned.  Slots carry the stored span's
-  // (begin, length) so a lookup touches only the slot array and the raw
-  // arena — never the (bigger, colder) view structs.
-  static constexpr std::uint32_t kNew = 0xffffffffu;
-  std::uint32_t FindOrPrepare(const std::uint64_t* arena_raw,
-                              const std::uint64_t* seq, std::uint32_t len) {
-    if (slots_.empty() || (size_ + 1) * 10 > slots_.size() * 7) {
-      Grow(arena_raw, slots_.empty() ? 1024 : slots_.size() * 2);
+// Dispatches `chunks` chunks on the pool — or serially, in the same
+// chunk order and with the same per-chunk partial association, when
+// there is none — and returns the wall seconds spent.  Callers
+// accumulate the return value into StemmingStats::parallel_seconds so
+// the per-stage parallel fractions can be reported.
+double ParallelRegion(util::ThreadPool* pool, std::size_t chunks,
+                      const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (chunks == 0) return 0.0;
+  const util::StageTimer timer;
+  if (pool != nullptr) {
+    pool->ParallelFor(chunks, fn);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) fn(c, 0);
+  }
+  return timer.Seconds();
+}
+
+// Number of hash buckets the cross-shard merges partition distinct keys
+// into.  A fixed constant: the partition must be a pure function of the
+// input, never of the thread count.
+constexpr std::size_t kMergeBuckets = 64;
+constexpr std::uint32_t kNoIndex = 0xffffffffu;
+
+inline std::size_t BucketOf(std::uint64_t hash) { return hash >> 58; }
+
+std::uint64_t HashSpan(const std::uint64_t* seq, std::uint32_t len) {
+  // Single-multiply accumulation (short dependency chain — this runs
+  // once per *event*), with one full finalizer to spread entropy into
+  // the low bits the probe mask keeps and the high bits BucketOf keeps.
+  std::uint64_t h = len;
+  for (std::uint32_t i = 0; i < len; ++i) {
+    h = (h ^ seq[i]) * 0x9e3779b97f4a7c15ULL;
+  }
+  return Mix64(h);
+}
+
+// One encode shard: a contiguous range of events deduplicated into
+// *local* sequence classes, each stored once in the shard's own flat raw
+// store.  Merging the shards' local tables in shard order reproduces the
+// global first-seen class order of a serial encoder (DESIGN.md "Parallel
+// analysis architecture" has the argument), which is what lets the
+// per-event dedup — the hottest loop of the whole analysis tier — run
+// sharded while staying bit-identical at any thread count.
+struct EncodeShard {
+  std::vector<std::uint64_t> raw;          // local flat sequence storage
+  std::vector<std::uint32_t> begins;       // per local class, into raw
+  std::vector<std::uint32_t> lengths;      // per local class
+  std::vector<std::uint64_t> hashes;       // HashSpan per local class
+  std::vector<std::uint32_t> mult;         // this shard's events per class
+  std::vector<std::uint32_t> event_local;  // local class per shard event
+  // Local class -> cross-shard group index (bucket-local, written by the
+  // merge), then -> final global class id after ids are assigned.
+  std::vector<std::uint32_t> global;
+  std::vector<std::uint32_t> bucket_offsets;  // kMergeBuckets + 1
+  std::vector<std::uint32_t> by_bucket;  // local classes grouped by bucket
+
+  // Open-addressed span index over the local classes.  The hash is kept
+  // per slot so probes reject on one compare and growth never re-hashes
+  // the raw store.
+  std::vector<std::uint32_t> slot_cls;  // local class + 1; 0 = empty
+  std::vector<std::uint64_t> slot_hash;
+  std::size_t mask = 0;
+
+  std::uint32_t FindOrInsert(const std::uint64_t* seq, std::uint32_t len,
+                             std::uint64_t hash) {
+    if (slot_cls.empty() || (begins.size() + 1) * 10 > slot_cls.size() * 7) {
+      Grow(slot_cls.empty() ? 1024 : slot_cls.size() * 2);
     }
-    std::size_t i = HashSpan(seq, len) & mask_;
-    while (slots_[i].cls_plus1 != 0) {
-      const Slot& slot = slots_[i];
-      if (slot.length == len &&
-          std::equal(seq, seq + len, arena_raw + slot.begin)) {
-        return slot.cls_plus1 - 1;
+    std::size_t i = hash & mask;
+    while (slot_cls[i] != 0) {
+      const std::uint32_t cls = slot_cls[i] - 1;
+      if (slot_hash[i] == hash && lengths[cls] == len &&
+          std::equal(seq, seq + len, raw.data() + begins[cls])) {
+        return cls;
       }
-      i = (i + 1) & mask_;
+      i = (i + 1) & mask;
     }
-    pending_slot_ = i;
-    return kNew;
-  }
-  void Insert(std::uint32_t cls, std::uint32_t begin, std::uint32_t len) {
-    slots_[pending_slot_] = Slot{cls + 1, begin, len};
-    ++size_;
-  }
-
- private:
-  struct Slot {
-    std::uint32_t cls_plus1 = 0;  // 0 = empty
-    std::uint32_t begin = 0;
-    std::uint32_t length = 0;
-  };
-
-  static std::uint64_t HashSpan(const std::uint64_t* seq, std::uint32_t len) {
-    // Single-multiply accumulation (short dependency chain — this runs
-    // once per *event*), with one full finalizer to spread entropy into
-    // the low bits the probe mask keeps.
-    std::uint64_t h = len;
-    for (std::uint32_t i = 0; i < len; ++i) {
-      h = (h ^ seq[i]) * 0x9e3779b97f4a7c15ULL;
-    }
-    return Mix64(h);
+    const auto cls = static_cast<std::uint32_t>(begins.size());
+    slot_cls[i] = cls + 1;
+    slot_hash[i] = hash;
+    begins.push_back(static_cast<std::uint32_t>(raw.size()));
+    lengths.push_back(len);
+    hashes.push_back(hash);
+    mult.push_back(0);
+    raw.insert(raw.end(), seq, seq + len);
+    return cls;
   }
 
-  void Grow(const std::uint64_t* arena_raw, std::size_t cap) {
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(cap, Slot{});
-    mask_ = cap - 1;
-    for (const Slot& slot : old) {
-      if (slot.cls_plus1 == 0) continue;
-      std::size_t i = HashSpan(arena_raw + slot.begin, slot.length) & mask_;
-      while (slots_[i].cls_plus1 != 0) i = (i + 1) & mask_;
-      slots_[i] = slot;
+  void Grow(std::size_t cap) {
+    const std::vector<std::uint32_t> old_cls = std::move(slot_cls);
+    const std::vector<std::uint64_t> old_hash = std::move(slot_hash);
+    slot_cls.assign(cap, 0u);
+    slot_hash.assign(cap, 0u);
+    mask = cap - 1;
+    for (std::size_t i = 0; i < old_cls.size(); ++i) {
+      if (old_cls[i] == 0) continue;
+      std::size_t j = old_hash[i] & mask;
+      while (slot_cls[j] != 0) j = (j + 1) & mask;
+      slot_cls[j] = old_cls[i];
+      slot_hash[j] = old_hash[i];
     }
   }
-
-  std::vector<Slot> slots_;
-  std::size_t mask_ = 0;
-  std::size_t size_ = 0;
-  std::size_t pending_slot_ = 0;
 };
+
+// Cross-shard class groups for one hash bucket.  Each group is one
+// global class; its representative is the (shard, local) pair that saw
+// it first, iterating shards in order — which is exactly the shard whose
+// event range contains the class's first event.
+struct MergeBucket {
+  std::vector<std::uint32_t> slots;  // group index + 1; 0 = empty
+  std::size_t mask = 0;
+  std::vector<std::uint32_t> g_shard;  // representative shard
+  std::vector<std::uint32_t> g_local;  // representative local class
+  std::vector<std::uint32_t> g_mult;   // events across all shards
+  std::vector<std::uint32_t> g_gid;    // final global class id
+};
+
+// Sharded first-occurrence dedup of 64-bit keys.  Assigns dense ids to
+// the distinct keys of the virtual item sequence [0, items) in first-
+// occurrence order — exactly the ids a serial walk-and-intern assigns —
+// writes each valid item's id over out[i], and returns the keys in id
+// order.  key_fn(i) returns kInvalidKey to skip an item (its out[i] is
+// left untouched).  The chunk split and the kMergeBuckets hash partition
+// depend only on the input; per-chunk and per-bucket partials merge in
+// fixed order, so any pool — or none — yields identical ids.
+constexpr std::uint64_t kInvalidKey = ~0ULL;
+
+template <typename KeyFn>
+std::vector<std::uint64_t> OrderedDedupU64(std::size_t items,
+                                           std::size_t grain,
+                                           util::ThreadPool* pool,
+                                           const KeyFn& key_fn,
+                                           std::uint32_t* out,
+                                           double* parallel_seconds) {
+  std::vector<std::uint64_t> keys;
+  if (items == 0) return keys;
+  const std::size_t chunks = util::ThreadPool::ChunksFor(items, grain);
+
+  struct Chunk {
+    std::vector<std::uint64_t> values;   // local distinct, first-seen order
+    std::vector<std::uint32_t> handles;  // per value: group index, then gid
+    std::vector<std::uint32_t> slots;    // local index + 1; 0 = empty
+    std::size_t mask = 0;
+    std::vector<std::uint32_t> bucket_offsets;
+    std::vector<std::uint32_t> by_bucket;
+  };
+  std::vector<Chunk> parts(chunks);
+
+  // Pass 1 (sharded): local dedup.  out[i] holds the local index for
+  // now; a translation pass rewrites it once global ids exist.
+  *parallel_seconds += ParallelRegion(
+      pool, chunks, [&](std::size_t c, std::size_t) {
+        Chunk& part = parts[c];
+        const auto grow = [&part](std::size_t cap) {
+          part.slots.assign(cap, 0u);
+          part.mask = cap - 1;
+          for (std::uint32_t v = 0;
+               v < static_cast<std::uint32_t>(part.values.size()); ++v) {
+            std::size_t j = Mix64(part.values[v]) & part.mask;
+            while (part.slots[j] != 0) j = (j + 1) & part.mask;
+            part.slots[j] = v + 1;
+          }
+        };
+        const auto [begin, end] =
+            util::ThreadPool::ChunkRange(items, grain, c);
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::uint64_t key = key_fn(i);
+          if (key == kInvalidKey) continue;
+          if (part.slots.empty() ||
+              (part.values.size() + 1) * 10 > part.slots.size() * 7) {
+            grow(part.slots.empty() ? 256 : part.slots.size() * 2);
+          }
+          std::size_t j = Mix64(key) & part.mask;
+          std::uint32_t local = kNoIndex;
+          while (part.slots[j] != 0) {
+            const std::uint32_t v = part.slots[j] - 1;
+            if (part.values[v] == key) {
+              local = v;
+              break;
+            }
+            j = (j + 1) & part.mask;
+          }
+          if (local == kNoIndex) {
+            local = static_cast<std::uint32_t>(part.values.size());
+            part.slots[j] = local + 1;
+            part.values.push_back(key);
+          }
+          out[i] = local;
+        }
+        // Partition the local distinct values by merge bucket, keeping
+        // ascending (= first-local-occurrence) order within each bucket.
+        const auto n_local = static_cast<std::uint32_t>(part.values.size());
+        part.bucket_offsets.assign(kMergeBuckets + 1, 0);
+        for (std::uint32_t v = 0; v < n_local; ++v) {
+          ++part.bucket_offsets[BucketOf(Mix64(part.values[v])) + 1];
+        }
+        for (std::size_t b = 0; b < kMergeBuckets; ++b) {
+          part.bucket_offsets[b + 1] += part.bucket_offsets[b];
+        }
+        part.by_bucket.resize(n_local);
+        std::vector<std::uint32_t> cursor(part.bucket_offsets.begin(),
+                                          part.bucket_offsets.end() - 1);
+        for (std::uint32_t v = 0; v < n_local; ++v) {
+          part.by_bucket[cursor[BucketOf(Mix64(part.values[v]))]++] = v;
+        }
+        part.handles.resize(n_local);
+      });
+
+  // Pass 2 (per bucket): group identical values across chunks.  Chunks
+  // are visited in order and locals in first-occurrence order, so a
+  // group's first insertion is its globally-first occurrence.
+  struct Bucket {
+    std::vector<std::uint32_t> slots;  // group index + 1; 0 = empty
+    std::size_t mask = 0;
+    std::vector<std::uint64_t> values;
+    std::vector<std::uint32_t> g_chunk, g_local, g_id;
+  };
+  std::vector<Bucket> buckets(kMergeBuckets);
+  *parallel_seconds += ParallelRegion(
+      pool, kMergeBuckets, [&](std::size_t b, std::size_t) {
+        Bucket& bucket = buckets[b];
+        std::size_t cand = 0;
+        for (const Chunk& part : parts) {
+          cand += part.bucket_offsets[b + 1] - part.bucket_offsets[b];
+        }
+        if (cand == 0) return;
+        std::size_t cap = 16;
+        while (cap * 7 < cand * 10) cap <<= 1;
+        bucket.slots.assign(cap, 0u);
+        bucket.mask = cap - 1;
+        for (std::uint32_t c = 0; c < static_cast<std::uint32_t>(chunks);
+             ++c) {
+          Chunk& part = parts[c];
+          for (std::uint32_t k = part.bucket_offsets[b];
+               k < part.bucket_offsets[b + 1]; ++k) {
+            const std::uint32_t local = part.by_bucket[k];
+            const std::uint64_t key = part.values[local];
+            std::size_t j = Mix64(key) & bucket.mask;
+            std::uint32_t idx = kNoIndex;
+            while (bucket.slots[j] != 0) {
+              const std::uint32_t g = bucket.slots[j] - 1;
+              if (bucket.values[g] == key) {
+                idx = g;
+                break;
+              }
+              j = (j + 1) & bucket.mask;
+            }
+            if (idx == kNoIndex) {
+              idx = static_cast<std::uint32_t>(bucket.values.size());
+              bucket.slots[j] = idx + 1;
+              bucket.values.push_back(key);
+              bucket.g_chunk.push_back(c);
+              bucket.g_local.push_back(local);
+            }
+            part.handles[local] = idx;
+          }
+        }
+        bucket.g_id.resize(bucket.values.size());
+      });
+
+  // Pass 3 (serial): assign ids in global first-occurrence order.  A
+  // value first occurs in the earliest chunk containing it, at that
+  // chunk's first-local-occurrence position — so walking chunks in order
+  // and locals in order visits representatives exactly in the order a
+  // serial intern walk would have created them.
+  for (std::uint32_t c = 0; c < static_cast<std::uint32_t>(chunks); ++c) {
+    const Chunk& part = parts[c];
+    for (std::uint32_t v = 0;
+         v < static_cast<std::uint32_t>(part.values.size()); ++v) {
+      Bucket& bucket = buckets[BucketOf(Mix64(part.values[v]))];
+      const std::uint32_t idx = part.handles[v];
+      if (bucket.g_chunk[idx] == c && bucket.g_local[idx] == v) {
+        bucket.g_id[idx] = static_cast<std::uint32_t>(keys.size());
+        keys.push_back(part.values[v]);
+      }
+    }
+  }
+
+  // Pass 4 (sharded): translate local indices to global ids.
+  *parallel_seconds += ParallelRegion(
+      pool, chunks, [&](std::size_t c, std::size_t) {
+        Chunk& part = parts[c];
+        for (std::uint32_t v = 0;
+             v < static_cast<std::uint32_t>(part.values.size()); ++v) {
+          part.handles[v] =
+              buckets[BucketOf(Mix64(part.values[v]))].g_id[part.handles[v]];
+        }
+        const auto [begin, end] =
+            util::ThreadPool::ChunkRange(items, grain, c);
+        for (std::size_t i = begin; i < end; ++i) {
+          if (key_fn(i) != kInvalidKey) out[i] = part.handles[out[i]];
+        }
+      });
+  return keys;
+}
 
 // ---------------------------------------------------------------------------
 // Open-addressed hash map from packed 64-bit keys (bigrams) to a value.
@@ -273,15 +497,6 @@ class U64Map {
   }
   const Value* Find(std::uint64_t key) const {
     return const_cast<U64Map*>(this)->Find(key);
-  }
-
-  // Slot-order iteration: deterministic, because the layout is a pure
-  // function of the (deterministic) insertion sequence.
-  template <typename F>
-  void ForEach(F&& f) const {
-    for (std::size_t i = 0; i < keys_.size(); ++i) {
-      if (keys_[i] != kEmpty) f(keys_[i], values_[i]);
-    }
   }
 
   std::size_t size() const { return size_; }
@@ -391,10 +606,11 @@ class NgramTable {
 };
 
 // ---------------------------------------------------------------------------
-// Posting lists: bigram -> ids of events containing it, and prefix symbol
-// -> ids of events carrying that prefix.  Built once over the arena;
-// `active` filtering happens at query time.  This is what lets component
-// extraction touch candidates instead of scanning every active event.
+// Posting lists: bigram -> ids of classes containing it, and prefix
+// symbol -> ids of classes carrying that prefix.  Built once over the
+// arena; `active` filtering happens at query time.  This is what lets
+// component extraction touch candidates instead of scanning every active
+// class.
 
 struct Postings {
   static constexpr std::uint32_t kNoEntry = 0xffffffffu;
@@ -402,35 +618,18 @@ struct Postings {
   U64Map<std::uint32_t> bigram_index;      // packed pair -> entry id (+1)
   std::vector<std::uint64_t> bigram_keys;  // packed pair per entry
   // CSR index: for entry e, events[offsets[e]..offsets[e+1]) are the ids
-  // of events whose sequence contains that bigram, ascending; an event
+  // of classes whose sequence contains that bigram, ascending; a class
   // containing the bigram at several positions appears once per position,
-  // so duplicates are adjacent and dedup is a single comparison.  Built
-  // in one counting pass plus one fill pass over the recorded entry ids —
-  // no per-bigram vectors, no allocator churn.
+  // so duplicates are adjacent and dedup is a single comparison.
   std::vector<std::uint32_t> offsets;
   std::vector<std::uint32_t> events;
-  // Prefix symbol -> classes CSR (class ids ascending), same layout as the
-  // bigram index above.  Built after the encode loop in a counting pass +
-  // a fill pass; per-class push_back into per-prefix vectors was visible
-  // allocator churn on 330k-event windows.
+  // Prefix symbol -> classes CSR (class ids ascending), same layout.
   std::vector<std::uint32_t> prefix_offsets;
   std::vector<std::uint32_t> prefix_classes;
 
   std::uint32_t EntryOf(SymbolId a, SymbolId b) const {
     const std::uint32_t* entry = bigram_index.Find(PackPair(a, b));
     return entry ? *entry - 1 : kNoEntry;
-  }
-
-  // Calls f(event_id) for every event containing entry `e`, ascending.
-  template <typename F>
-  void ForEachClassWith(std::uint32_t e, F&& f) const {
-    std::uint32_t last = kNoEntry;
-    for (std::uint32_t i = offsets[e]; i < offsets[e + 1]; ++i) {
-      const std::uint32_t id = events[i];
-      if (id == last) continue;
-      last = id;
-      f(id);
-    }
   }
 };
 
@@ -443,41 +642,90 @@ bool ContainsSpan(const SymbolId* seq, std::size_t len, const SymbolId* sub,
   return false;
 }
 
-// Reused allocations for the per-component search.
+// Reused allocations for the per-component search.  The chunk_* members
+// hold per-chunk partials for the pool-dispatched extract passes:
+// indexed by chunk, merged in chunk order, and reused across lengthening
+// levels and components to avoid allocator churn.  (Per-chunk — never
+// per-slot — because slot assignment is the one thing the pool does not
+// keep deterministic.)
 struct Scratch {
   NgramTable survivors;
   NgramTable extended;
-  std::vector<char> candidate_mark;
   std::vector<std::uint32_t> candidates;
   std::vector<char> entry_mark;  // bigram entries surviving at length 2
+  std::vector<NgramTable> chunk_tables;
+  std::vector<std::vector<std::uint32_t>> chunk_ids;
+  std::vector<std::vector<SymbolId>> chunk_prefixes;
+  std::vector<std::vector<double>> chunk_deltas;
+  std::vector<double> chunk_max;
+  std::vector<std::uint32_t> range_starts;  // posting start per range
+  std::vector<std::uint32_t> range_bases;   // cumulative virtual offsets
+  std::vector<std::uint32_t> removed;       // classes of the current component
 };
 
 // Finds the top-ranked sub-sequence (count desc, length desc, then
-// lexicographically smallest for determinism) over active events, reading
-// bigram counts from the persistent (incrementally maintained) table.
-// Returns nullopt if no bigram reaches min_count.
+// lexicographically smallest for determinism) over active classes,
+// reading bigram counts from the persistent (incrementally maintained)
+// table.  Returns nullopt if no bigram reaches min_count.  The scan,
+// candidate-collection, and re-scoring passes are sharded on the pool
+// with input-derived grains (options.scan_grain / candidate_grain);
+// per-chunk partials merge in chunk order, so the pick — including the
+// last bits of every weighted count — is unchanged by the thread count.
 std::optional<std::pair<std::vector<SymbolId>, double>> TopSubsequence(
     const Arena& arena, const std::vector<char>& active,
     const Postings& postings, const std::vector<double>& bigram_counts,
-    double min_count, Scratch& scratch) {
+    double min_count, Scratch& scratch, const StemmingOptions& options,
+    double* parallel_seconds) {
+  util::ThreadPool* pool = options.pool;
+  const std::size_t scan_grain = std::max<std::size_t>(1, options.scan_grain);
+  const std::size_t n_entries = bigram_counts.size();
+
   // The maximum over all length>=2 sub-sequences is attained by a bigram
   // (counts are antitone in extension); the persistent dense count array
-  // already holds every active bigram count.
+  // already holds every active bigram count.  Max is order-independent,
+  // so the per-chunk maxima merge exactly.
+  const std::size_t scan_chunks =
+      util::ThreadPool::ChunksFor(n_entries, scan_grain);
+  scratch.chunk_max.assign(scan_chunks, 0.0);
+  *parallel_seconds += ParallelRegion(
+      pool, scan_chunks, [&](std::size_t c, std::size_t) {
+        const auto [begin, end] =
+            util::ThreadPool::ChunkRange(n_entries, scan_grain, c);
+        double m = 0.0;
+        for (std::size_t e = begin; e < end; ++e) {
+          m = std::max(m, bigram_counts[e]);
+        }
+        scratch.chunk_max[c] = m;
+      });
   double best_count = 0.0;
-  for (const double count : bigram_counts) {
-    best_count = std::max(best_count, count);
-  }
+  for (const double m : scratch.chunk_max) best_count = std::max(best_count, m);
   if (best_count < min_count || best_count <= kCountEpsilon) {
     return std::nullopt;
   }
 
-  // Survivors at length 2.  `entry_mark` mirrors the survivor set by
-  // entry id so the first lengthening level can test membership with an
-  // array load instead of a hash probe per position.
+  // Survivors at length 2, collected per chunk and merged in chunk (=
+  // entry) order.  `entry_mark` mirrors the survivor set by entry id so
+  // the first lengthening level can test membership with an array load
+  // instead of a hash probe per position.
+  if (scratch.chunk_ids.size() < scan_chunks) {
+    scratch.chunk_ids.resize(scan_chunks);
+  }
+  *parallel_seconds += ParallelRegion(
+      pool, scan_chunks, [&](std::size_t c, std::size_t) {
+        std::vector<std::uint32_t>& ids = scratch.chunk_ids[c];
+        ids.clear();
+        const auto [begin, end] =
+            util::ThreadPool::ChunkRange(n_entries, scan_grain, c);
+        for (std::size_t e = begin; e < end; ++e) {
+          if (CountsEqual(bigram_counts[e], best_count)) {
+            ids.push_back(static_cast<std::uint32_t>(e));
+          }
+        }
+      });
   scratch.survivors.Reset(2);
-  scratch.entry_mark.assign(bigram_counts.size(), 0);
-  for (std::size_t e = 0; e < bigram_counts.size(); ++e) {
-    if (CountsEqual(bigram_counts[e], best_count)) {
+  scratch.entry_mark.assign(n_entries, 0);
+  for (std::size_t c = 0; c < scan_chunks; ++c) {
+    for (const std::uint32_t e : scratch.chunk_ids[c]) {
       const std::uint64_t key = postings.bigram_keys[e];
       const SymbolId pair[2] = {static_cast<SymbolId>(key >> 32),
                                 static_cast<SymbolId>(key)};
@@ -488,9 +736,7 @@ std::optional<std::pair<std::vector<SymbolId>, double>> TopSubsequence(
 
   // Iterative lengthening: a (k+1)-gram can keep the max count only if
   // its k-prefix does.  Count extensions of current survivors — over the
-  // posting-list candidates only, in ascending event order so weighted
-  // sums accumulate exactly as a full serial scan would — until no
-  // survivor remains.
+  // posting-list candidates only — until no survivor remains.
   std::vector<std::vector<SymbolId>> last_survivors;
   std::size_t k = 2;
   while (!scratch.survivors.empty()) {
@@ -499,55 +745,119 @@ std::optional<std::pair<std::vector<SymbolId>, double>> TopSubsequence(
       last_survivors.emplace_back(gram, gram + k);
     });
 
-    // Candidate events: union of the survivors' leading-bigram postings.
-    // Marks are cleared per-candidate below, so the cost of a level stays
-    // proportional to its candidate set, not the window.
-    if (scratch.candidate_mark.size() < arena.views.size()) {
-      scratch.candidate_mark.assign(arena.views.size(), 0);
-    }
-    scratch.candidates.clear();
+    // Candidate classes: union of the survivors' leading-bigram
+    // postings, viewed as one virtual concatenated index space so the
+    // scan shards evenly however many survivors there are.  Per-chunk
+    // hits concatenate in chunk order, then sort+unique — the same
+    // sorted candidate set the serial mark-based walk produced.
+    scratch.range_starts.clear();
+    scratch.range_bases.clear();
+    std::uint32_t virt = 0;
     scratch.survivors.ForEach([&](const SymbolId* gram, double) {
       const std::uint32_t e = postings.EntryOf(gram[0], gram[1]);
       if (e == Postings::kNoEntry) return;
-      postings.ForEachClassWith(e, [&](std::uint32_t id) {
-        if (active[id] && !scratch.candidate_mark[id]) {
-          scratch.candidate_mark[id] = 1;
-          scratch.candidates.push_back(id);
-        }
-      });
+      scratch.range_bases.push_back(virt);
+      scratch.range_starts.push_back(postings.offsets[e]);
+      virt += postings.offsets[e + 1] - postings.offsets[e];
     });
-    std::sort(scratch.candidates.begin(), scratch.candidates.end());
-    for (const std::uint32_t id : scratch.candidates) {
-      scratch.candidate_mark[id] = 0;
+    scratch.range_bases.push_back(virt);
+    const std::size_t cand_chunks =
+        util::ThreadPool::ChunksFor(virt, scan_grain);
+    if (scratch.chunk_ids.size() < cand_chunks) {
+      scratch.chunk_ids.resize(cand_chunks);
     }
+    *parallel_seconds += ParallelRegion(
+        pool, cand_chunks, [&](std::size_t c, std::size_t) {
+          std::vector<std::uint32_t>& ids = scratch.chunk_ids[c];
+          ids.clear();
+          const auto [vb, ve] =
+              util::ThreadPool::ChunkRange(virt, scan_grain, c);
+          std::size_t r =
+              static_cast<std::size_t>(
+                  std::upper_bound(scratch.range_bases.begin(),
+                                   scratch.range_bases.end(),
+                                   static_cast<std::uint32_t>(vb)) -
+                  scratch.range_bases.begin()) -
+              1;
+          std::uint32_t last = kNoIndex;
+          for (std::size_t v = vb; v < ve; ++v) {
+            while (v >= scratch.range_bases[r + 1]) {
+              ++r;
+              last = kNoIndex;  // adjacent-dup skip is per posting list
+            }
+            const std::uint32_t id =
+                postings.events[scratch.range_starts[r] +
+                                (static_cast<std::uint32_t>(v) -
+                                 scratch.range_bases[r])];
+            if (id == last) continue;
+            last = id;
+            if (active[id]) ids.push_back(id);
+          }
+        });
+    scratch.candidates.clear();
+    for (std::size_t c = 0; c < cand_chunks; ++c) {
+      scratch.candidates.insert(scratch.candidates.end(),
+                                scratch.chunk_ids[c].begin(),
+                                scratch.chunk_ids[c].end());
+    }
+    std::sort(scratch.candidates.begin(), scratch.candidates.end());
+    scratch.candidates.erase(
+        std::unique(scratch.candidates.begin(), scratch.candidates.end()),
+        scratch.candidates.end());
 
+    // Re-scoring: each chunk counts its candidate range into its own
+    // k+1-gram table; tables merge in chunk order, so weighted counts
+    // accumulate in the same association at any thread count.
+    const std::size_t candidate_grain =
+        std::max<std::size_t>(1, options.candidate_grain);
+    const std::size_t score_chunks =
+        util::ThreadPool::ChunksFor(scratch.candidates.size(),
+                                    candidate_grain);
+    if (scratch.chunk_tables.size() < score_chunks) {
+      scratch.chunk_tables.resize(score_chunks);
+    }
+    *parallel_seconds += ParallelRegion(
+        pool, score_chunks, [&](std::size_t c, std::size_t) {
+          NgramTable& table = scratch.chunk_tables[c];
+          table.Reset(k + 1);
+          const auto [cb, ce] = util::ThreadPool::ChunkRange(
+              scratch.candidates.size(), candidate_grain, c);
+          if (k == 2) {
+            // First level runs over every candidate position; membership
+            // in the survivor set is a lookup on the recorded entry ids,
+            // not a hash.
+            for (std::size_t ci = cb; ci < ce; ++ci) {
+              const std::uint32_t id = scratch.candidates[ci];
+              const EventView& view = arena.views[id];
+              if (view.length < 3) continue;
+              const SymbolId* seq = arena.Seq(id);
+              const double weight = view.weight;
+              for (std::uint32_t j = 0; j + 2 < view.length; ++j) {
+                if (scratch.entry_mark[arena.pair_entries[view.begin + j]]) {
+                  table.Count(seq + j) += weight;
+                }
+              }
+            }
+          } else {
+            for (std::size_t ci = cb; ci < ce; ++ci) {
+              const std::uint32_t id = scratch.candidates[ci];
+              const SymbolId* seq = arena.Seq(id);
+              const std::size_t len = arena.Len(id);
+              if (len < k + 1) continue;
+              const double weight = arena.views[id].weight;
+              for (std::size_t j = 0; j + k < len; ++j) {
+                if (scratch.survivors.Find(seq + j) != nullptr) {
+                  table.Count(seq + j) += weight;
+                }
+              }
+            }
+          }
+        });
     scratch.extended.Reset(k + 1);
-    if (k == 2) {
-      // First level runs over every candidate position; membership in the
-      // survivor set is a lookup on the recorded entry ids, not a hash.
-      for (const std::uint32_t id : scratch.candidates) {
-        const EventView& view = arena.views[id];
-        if (view.length < 3) continue;
-        const SymbolId* seq = arena.Seq(id);
-        const double weight = view.weight;
-        for (std::uint32_t j = 0; j + 2 < view.length; ++j) {
-          if (scratch.entry_mark[arena.pair_entries[view.begin + j]]) {
-            scratch.extended.Count(seq + j) += weight;
-          }
-        }
-      }
-    } else {
-      for (const std::uint32_t id : scratch.candidates) {
-        const SymbolId* seq = arena.Seq(id);
-        const std::size_t len = arena.Len(id);
-        if (len < k + 1) continue;
-        const double weight = arena.views[id].weight;
-        for (std::size_t j = 0; j + k < len; ++j) {
-          if (scratch.survivors.Find(seq + j) != nullptr) {
-            scratch.extended.Count(seq + j) += weight;
-          }
-        }
-      }
+    for (std::size_t c = 0; c < score_chunks; ++c) {
+      scratch.chunk_tables[c].ForEach([&](const SymbolId* gram, double count) {
+        scratch.extended.Count(gram) += count;
+      });
     }
 
     scratch.survivors.Reset(k + 1);
@@ -572,126 +882,359 @@ StemmingResult Stem(std::span<const bgp::Event> events,
   StemmingResult result;
   result.total_events = events.size();
   result.stats.events_encoded = events.size();
+  util::ThreadPool* pool = options.pool;
+  double par_encode = 0.0, par_count = 0.0, par_extract = 0.0;
 
-  // Encode events into symbol sequences c = x h a1 .. an p (consecutive
-  // AS-path prepends collapsed, as they carry no location information),
-  // deduplicated into weighted classes in the flat arena.  Symbols are
-  // interned per event — in the same order a per-event encoder would —
-  // so symbol ids are unchanged by the dedup.
+  // ---- Encode: events -> weighted sequence classes in the flat arena.
+  //
+  // Sharded local dedup + ordered merge (DESIGN.md "Parallel analysis
+  // architecture"): contiguous event shards dedup into local class
+  // tables in parallel; merging the local tables in shard order
+  // reproduces the global first-seen class order — and with it symbol
+  // ids, bigram entry ids, and every downstream byte — of a serial
+  // encoder, at any thread count.
   const util::StageTimer encode_timer;
   obs::TraceSpan encode_span("stemming.encode");
   encode_span.Annotate("events", static_cast<std::uint64_t>(events.size()));
-  Arena arena;
-  Postings postings;
-  ClassIndex class_index;
-  std::vector<std::uint32_t> event_class(events.size(), 0);
-  std::vector<std::uint32_t> class_mult;    // events per class
-  std::vector<std::uint32_t> entry_counts;  // pair positions per bigram
-  std::vector<std::uint64_t> raw_buf;
-  // With no weight_fn every event weighs exactly 1.0, so class weights
-  // and the window total are integers — computable from multiplicities
-  // after the loop instead of accumulated per event.  (Identical values:
-  // a sum of m ones is exactly m in double precision.)
   const bool weighted = static_cast<bool>(options.weight_fn);
-  for (std::size_t ei = 0; ei < events.size(); ++ei) {
-    if (ei + 1 < events.size()) {
-      // The AS path lives behind a pointer per event; pull the next one
-      // into cache while this one is being encoded.
-      __builtin_prefetch(events[ei + 1].attrs.as_path.asns().data());
-    }
-    const bgp::Event& e = events[ei];
-    // Raw tagged sequence — pure arithmetic, no table lookups.
-    raw_buf.clear();
-    raw_buf.push_back(Tag(SymbolKind::kPeer, e.peer.value()));
-    raw_buf.push_back(Tag(SymbolKind::kNexthop, e.attrs.nexthop.value()));
-    bgp::AsNumber last_as = 0;
-    bool have_last = false;
-    for (const bgp::AsNumber asn : e.attrs.as_path.asns()) {
-      if (have_last && asn == last_as) continue;
-      raw_buf.push_back(Tag(SymbolKind::kAs, asn));
-      last_as = asn;
-      have_last = true;
-    }
-    raw_buf.push_back(
-        Tag(SymbolKind::kPrefix,
-            (static_cast<std::uint64_t>(e.prefix.addr().value()) << 8) |
-                e.prefix.length()));
-
-    const std::uint32_t len = static_cast<std::uint32_t>(raw_buf.size());
-    std::uint32_t cls =
-        class_index.FindOrPrepare(arena.raw.data(), raw_buf.data(), len);
-    if (cls == ClassIndex::kNew) {
-      cls = static_cast<std::uint32_t>(arena.views.size());
-      EventView view;
-      view.begin = static_cast<std::uint32_t>(arena.symbols.size());
-      view.length = len;
-      // Symbols are interned here, and only here: a sequence containing a
-      // never-seen symbol is necessarily a never-seen sequence, so first
-      // occurrences intern at the same point in event order as a
-      // per-event encoder — symbol ids are identical.
-      for (const std::uint64_t raw : raw_buf) {
-        arena.symbols.push_back(result.symbols.InternRaw(raw));
-      }
-      arena.raw.insert(arena.raw.end(), raw_buf.begin(), raw_buf.end());
-      view.prefix_symbol = arena.symbols.back();
-      // Per-pair work happens once per *class*, not once per event: record
-      // the bigram entry id for every adjacent pair of the new sequence,
-      // counting per-entry occurrences as we go (they become the CSR
-      // offsets below, saving a separate counting pass).
-      const SymbolId* seq = arena.symbols.data() + view.begin;
-      for (std::uint32_t j = 0; j + 1 < len; ++j) {
-        const std::uint64_t key = PackPair(seq[j], seq[j + 1]);
-        std::uint32_t& entry = postings.bigram_index.At(key);
-        if (entry == 0) {
-          postings.bigram_keys.push_back(key);
-          // entry ids are offset by 1 so the map's zero-init means "new".
-          entry = static_cast<std::uint32_t>(postings.bigram_keys.size());
-          entry_counts.push_back(0);
+  const std::size_t n = events.size();
+  const std::size_t shard_events =
+      std::max<std::size_t>(1, options.encode_shard_events);
+  const std::size_t n_shards = util::ThreadPool::ChunksFor(n, shard_events);
+  std::vector<EncodeShard> shards(n_shards);
+  par_encode += ParallelRegion(
+      pool, n_shards, [&](std::size_t s, std::size_t) {
+        EncodeShard& shard = shards[s];
+        const auto [begin, end] =
+            util::ThreadPool::ChunkRange(n, shard_events, s);
+        shard.event_local.reserve(end - begin);
+        std::vector<std::uint64_t> raw_buf;
+        for (std::size_t ei = begin; ei < end; ++ei) {
+          if (ei + 1 < end) {
+            // The AS path lives behind a pointer per event; pull the next
+            // one into cache while this one is being encoded.
+            __builtin_prefetch(events[ei + 1].attrs.as_path.asns().data());
+          }
+          const bgp::Event& e = events[ei];
+          // Raw tagged sequence c = x h a1 .. an p (consecutive AS-path
+          // prepends collapsed, as they carry no location information) —
+          // pure arithmetic, no table lookups.
+          raw_buf.clear();
+          raw_buf.push_back(Tag(SymbolKind::kPeer, e.peer.value()));
+          raw_buf.push_back(
+              Tag(SymbolKind::kNexthop, e.attrs.nexthop.value()));
+          bgp::AsNumber last_as = 0;
+          bool have_last = false;
+          for (const bgp::AsNumber asn : e.attrs.as_path.asns()) {
+            if (have_last && asn == last_as) continue;
+            raw_buf.push_back(Tag(SymbolKind::kAs, asn));
+            last_as = asn;
+            have_last = true;
+          }
+          raw_buf.push_back(
+              Tag(SymbolKind::kPrefix,
+                  (static_cast<std::uint64_t>(e.prefix.addr().value()) << 8) |
+                      e.prefix.length()));
+          const auto len = static_cast<std::uint32_t>(raw_buf.size());
+          const std::uint32_t cls = shard.FindOrInsert(
+              raw_buf.data(), len, HashSpan(raw_buf.data(), len));
+          ++shard.mult[cls];
+          shard.event_local.push_back(cls);
         }
-        arena.pair_entries.push_back(entry - 1);
-        ++entry_counts[entry - 1];
+        // Partition the local classes by merge bucket, keeping ascending
+        // (= first-seen) order within each bucket.
+        const auto n_local = static_cast<std::uint32_t>(shard.begins.size());
+        shard.bucket_offsets.assign(kMergeBuckets + 1, 0);
+        for (std::uint32_t c = 0; c < n_local; ++c) {
+          ++shard.bucket_offsets[BucketOf(shard.hashes[c]) + 1];
+        }
+        for (std::size_t b = 0; b < kMergeBuckets; ++b) {
+          shard.bucket_offsets[b + 1] += shard.bucket_offsets[b];
+        }
+        shard.by_bucket.resize(n_local);
+        std::vector<std::uint32_t> cursor(shard.bucket_offsets.begin(),
+                                          shard.bucket_offsets.end() - 1);
+        for (std::uint32_t c = 0; c < n_local; ++c) {
+          shard.by_bucket[cursor[BucketOf(shard.hashes[c])]++] = c;
+        }
+        shard.global.resize(n_local);
+      });
+
+  // Merge local classes into global groups, one hash bucket per chunk
+  // (buckets touch disjoint classes, so they are independent).
+  std::vector<MergeBucket> merge_buckets(kMergeBuckets);
+  par_encode += ParallelRegion(
+      pool, n_shards == 0 ? 0 : kMergeBuckets,
+      [&](std::size_t b, std::size_t) {
+        MergeBucket& bucket = merge_buckets[b];
+        std::size_t cand = 0;
+        for (const EncodeShard& shard : shards) {
+          cand += shard.bucket_offsets[b + 1] - shard.bucket_offsets[b];
+        }
+        if (cand == 0) return;
+        std::size_t cap = 16;
+        while (cap * 7 < cand * 10) cap <<= 1;
+        bucket.slots.assign(cap, 0u);
+        bucket.mask = cap - 1;
+        for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(n_shards);
+             ++s) {
+          EncodeShard& shard = shards[s];
+          for (std::uint32_t bi = shard.bucket_offsets[b];
+               bi < shard.bucket_offsets[b + 1]; ++bi) {
+            const std::uint32_t c = shard.by_bucket[bi];
+            const std::uint64_t hash = shard.hashes[c];
+            const std::uint32_t len = shard.lengths[c];
+            const std::uint64_t* seq = shard.raw.data() + shard.begins[c];
+            std::size_t i = hash & bucket.mask;
+            std::uint32_t idx = kNoIndex;
+            while (bucket.slots[i] != 0) {
+              const std::uint32_t g = bucket.slots[i] - 1;
+              const EncodeShard& rep = shards[bucket.g_shard[g]];
+              const std::uint32_t rl = bucket.g_local[g];
+              if (rep.hashes[rl] == hash && rep.lengths[rl] == len &&
+                  std::equal(seq, seq + len, rep.raw.data() + rep.begins[rl])) {
+                idx = g;
+                break;
+              }
+              i = (i + 1) & bucket.mask;
+            }
+            if (idx == kNoIndex) {
+              idx = static_cast<std::uint32_t>(bucket.g_shard.size());
+              bucket.slots[i] = idx + 1;
+              bucket.g_shard.push_back(s);
+              bucket.g_local.push_back(c);
+              bucket.g_mult.push_back(shard.mult[c]);
+            } else {
+              bucket.g_mult[idx] += shard.mult[c];
+            }
+            shard.global[c] = idx;
+          }
+        }
+        bucket.g_gid.resize(bucket.g_shard.size());
+      });
+
+  // Assign global class ids in first-seen order: a class's first event
+  // lies in its representative (= earliest) shard, so walking shards in
+  // order and locals in first-seen order visits representatives exactly
+  // in serial first-seen order.
+  std::vector<std::uint32_t> rep_shard_of, rep_local_of;
+  std::vector<std::uint32_t> class_mult;  // events per class
+  for (std::uint32_t s = 0; s < static_cast<std::uint32_t>(n_shards); ++s) {
+    const EncodeShard& shard = shards[s];
+    for (std::uint32_t c = 0; c < static_cast<std::uint32_t>(
+                                      shard.begins.size());
+         ++c) {
+      MergeBucket& bucket = merge_buckets[BucketOf(shard.hashes[c])];
+      const std::uint32_t idx = shard.global[c];
+      if (bucket.g_shard[idx] == s && bucket.g_local[idx] == c) {
+        bucket.g_gid[idx] = static_cast<std::uint32_t>(class_mult.size());
+        rep_shard_of.push_back(s);
+        rep_local_of.push_back(c);
+        class_mult.push_back(bucket.g_mult[idx]);
       }
-      arena.pair_entries.push_back(0);  // the last symbol starts no pair
-      view.unit_weight = weighted ? options.weight_fn(e.prefix) : 1.0;
-      arena.views.push_back(view);
-      class_mult.push_back(0);
-      class_index.Insert(cls, view.begin, len);
-    }
-    event_class[ei] = cls;
-    ++class_mult[cls];
-    if (weighted) {
-      EventView& view = arena.views[cls];
-      view.weight += view.unit_weight;
-      result.total_weight += view.unit_weight;
     }
   }
-  if (!weighted) {
-    for (std::size_t cls = 0; cls < arena.views.size(); ++cls) {
-      arena.views[cls].weight = static_cast<double>(class_mult[cls]);
+  const std::size_t n_classes = class_mult.size();
+
+  // Translate local classes to global ids and recover per-event classes.
+  std::vector<std::uint32_t> event_class(n, 0);
+  par_encode += ParallelRegion(
+      pool, n_shards, [&](std::size_t s, std::size_t) {
+        EncodeShard& shard = shards[s];
+        for (std::uint32_t c = 0; c < static_cast<std::uint32_t>(
+                                          shard.begins.size());
+             ++c) {
+          shard.global[c] =
+              merge_buckets[BucketOf(shard.hashes[c])].g_gid[shard.global[c]];
+        }
+        const auto [begin, end] =
+            util::ThreadPool::ChunkRange(n, shard_events, s);
+        for (std::size_t i = begin; i < end; ++i) {
+          event_class[i] = shard.global[shard.event_local[i - begin]];
+        }
+      });
+
+  // Lay the global arena out: representatives' spans copied in class
+  // order, so positions — like ids — match the serial encoder's.
+  Arena arena;
+  arena.views.resize(n_classes);
+  std::size_t total_positions = 0;
+  for (std::size_t gid = 0; gid < n_classes; ++gid) {
+    arena.views[gid].begin = static_cast<std::uint32_t>(total_positions);
+    arena.views[gid].length =
+        shards[rep_shard_of[gid]].lengths[rep_local_of[gid]];
+    total_positions += arena.views[gid].length;
+  }
+  arena.raw.resize(total_positions);
+  arena.symbols.resize(total_positions);
+  std::vector<std::uint32_t> pos_class(total_positions, 0);
+  const std::size_t class_grain =
+      std::max<std::size_t>(1, options.candidate_grain);
+  const std::size_t class_chunks =
+      util::ThreadPool::ChunksFor(n_classes, class_grain);
+  par_encode += ParallelRegion(
+      pool, class_chunks, [&](std::size_t c, std::size_t) {
+        const auto [gb, ge] =
+            util::ThreadPool::ChunkRange(n_classes, class_grain, c);
+        for (std::size_t gid = gb; gid < ge; ++gid) {
+          const EncodeShard& shard = shards[rep_shard_of[gid]];
+          const EventView& view = arena.views[gid];
+          const std::uint64_t* src =
+              shard.raw.data() + shard.begins[rep_local_of[gid]];
+          std::copy(src, src + view.length, arena.raw.begin() + view.begin);
+          std::fill(pos_class.begin() + view.begin,
+                    pos_class.begin() + view.begin + view.length,
+                    static_cast<std::uint32_t>(gid));
+        }
+      });
+  std::vector<EncodeShard>().swap(shards);
+  std::vector<MergeBucket>().swap(merge_buckets);
+
+  // Symbol ids: first-occurrence dedup over the arena walk — the same
+  // order a per-event encoder interns in, since a never-seen symbol
+  // first appears in a never-seen sequence.  The SymbolTable is then
+  // populated serially in id order (it assigns ids sequentially).
+  const std::size_t dedup_grain = std::max<std::size_t>(shard_events, 4096);
+  const std::vector<std::uint64_t> symbol_keys = OrderedDedupU64(
+      total_positions, dedup_grain, pool,
+      [&](std::size_t p) { return arena.raw[p]; }, arena.symbols.data(),
+      &par_encode);
+  for (const std::uint64_t key : symbol_keys) {
+    result.symbols.InternRaw(key);
+  }
+  par_encode += ParallelRegion(
+      pool, class_chunks, [&](std::size_t c, std::size_t) {
+        const auto [gb, ge] =
+            util::ThreadPool::ChunkRange(n_classes, class_grain, c);
+        for (std::size_t gid = gb; gid < ge; ++gid) {
+          EventView& view = arena.views[gid];
+          view.prefix_symbol =
+              arena.symbols[view.begin + view.length - 1];
+        }
+      });
+
+  // Weights.  weight_fn is user code: call it on this thread only, once
+  // per class, in class (= serial first-seen) order.  Class weights are
+  // the unit weight added multiplicity times — the exact accumulation a
+  // per-event encoder performs — and the weighted window total follows
+  // original event order, so both match the serial bytes.
+  if (weighted) {
+    for (std::size_t gid = 0; gid < n_classes; ++gid) {
+      arena.views[gid].unit_weight = options.weight_fn(
+          result.symbols.PrefixOf(arena.views[gid].prefix_symbol));
     }
-    result.total_weight = static_cast<double>(events.size());
+  }
+  par_encode += ParallelRegion(
+      pool, class_chunks, [&](std::size_t c, std::size_t) {
+        const auto [gb, ge] =
+            util::ThreadPool::ChunkRange(n_classes, class_grain, c);
+        for (std::size_t gid = gb; gid < ge; ++gid) {
+          EventView& view = arena.views[gid];
+          if (weighted) {
+            double w = 0.0;
+            for (std::uint32_t m = 0; m < class_mult[gid]; ++m) {
+              w += view.unit_weight;
+            }
+            view.weight = w;
+          } else {
+            view.weight = static_cast<double>(class_mult[gid]);
+          }
+        }
+      });
+  if (weighted) {
+    for (std::size_t ei = 0; ei < n; ++ei) {
+      result.total_weight += arena.views[event_class[ei]].unit_weight;
+    }
+  } else {
+    result.total_weight = static_cast<double>(n);
   }
 
-  // Posting CSR: offsets are the prefix sums of the per-entry counts
-  // gathered during encoding, plus one fill pass over the recorded entry
-  // ids — no per-bigram vectors, no allocator churn.
-  const std::size_t n_bigrams = postings.bigram_keys.size();
-  postings.offsets.assign(n_bigrams + 1, 0);
-  for (std::size_t e = 0; e < n_bigrams; ++e) {
-    postings.offsets[e + 1] = postings.offsets[e] + entry_counts[e];
-  }
-  postings.events.resize(postings.offsets[n_bigrams]);
-  {
-    std::vector<std::uint32_t> cursor(postings.offsets.begin(),
-                                      postings.offsets.end() - 1);
-    for (std::uint32_t cls = 0; cls < arena.views.size(); ++cls) {
-      const EventView& view = arena.views[cls];
-      for (std::uint32_t j = 0; j + 1 < view.length; ++j) {
-        postings.events[cursor[arena.pair_entries[view.begin + j]]++] = cls;
-      }
+  // Bigram entry ids: first-occurrence dedup over the adjacent pairs of
+  // the arena walk (class-final positions are skipped and keep entry 0,
+  // as the serial encoder recorded).
+  Postings postings;
+  arena.pair_entries.assign(total_positions, 0);
+  const auto pair_key = [&](std::size_t p) -> std::uint64_t {
+    if (p + 1 >= total_positions || pos_class[p + 1] != pos_class[p]) {
+      return kInvalidKey;
     }
+    return PackPair(arena.symbols[p], arena.symbols[p + 1]);
+  };
+  postings.bigram_keys =
+      OrderedDedupU64(total_positions, dedup_grain, pool, pair_key,
+                      arena.pair_entries.data(), &par_encode);
+  const std::size_t n_bigrams = postings.bigram_keys.size();
+  postings.bigram_index.Reserve(n_bigrams);
+  for (std::size_t e = 0; e < n_bigrams; ++e) {
+    postings.bigram_index.At(postings.bigram_keys[e]) =
+        static_cast<std::uint32_t>(e) + 1;
   }
-  // Prefix -> classes CSR, same two-pass construction.
+
+  // Bigram -> classes CSR: per-chunk entry counts, cross-chunk exclusive
+  // scan (parallel over entry ranges), then a sharded fill.  Chunks are
+  // position-ascending and positions are class-ascending, so each
+  // entry's posting list comes out in ascending class order with
+  // same-class duplicates adjacent — identical to the serial fill.
+  const std::size_t csr_chunks =
+      util::ThreadPool::ChunksFor(total_positions, dedup_grain);
+  std::vector<std::vector<std::uint32_t>> csr_counts(csr_chunks);
+  par_encode += ParallelRegion(
+      pool, csr_chunks, [&](std::size_t c, std::size_t) {
+        std::vector<std::uint32_t>& counts = csr_counts[c];
+        counts.assign(n_bigrams, 0);
+        const auto [begin, end] =
+            util::ThreadPool::ChunkRange(total_positions, dedup_grain, c);
+        for (std::size_t p = begin; p < end; ++p) {
+          if (pair_key(p) != kInvalidKey) ++counts[arena.pair_entries[p]];
+        }
+      });
+  postings.offsets.assign(n_bigrams + 1, 0);
+  const std::size_t scan_grain = std::max<std::size_t>(1, options.scan_grain);
+  const std::size_t entry_chunks =
+      util::ThreadPool::ChunksFor(n_bigrams, scan_grain);
+  par_encode += ParallelRegion(
+      pool, entry_chunks, [&](std::size_t c, std::size_t) {
+        const auto [begin, end] =
+            util::ThreadPool::ChunkRange(n_bigrams, scan_grain, c);
+        for (std::size_t e = begin; e < end; ++e) {
+          std::uint32_t total = 0;
+          for (std::size_t cc = 0; cc < csr_chunks; ++cc) {
+            total += csr_counts[cc][e];
+          }
+          postings.offsets[e + 1] = total;
+        }
+      });
+  for (std::size_t e = 0; e < n_bigrams; ++e) {
+    postings.offsets[e + 1] += postings.offsets[e];
+  }
+  par_encode += ParallelRegion(
+      pool, entry_chunks, [&](std::size_t c, std::size_t) {
+        const auto [begin, end] =
+            util::ThreadPool::ChunkRange(n_bigrams, scan_grain, c);
+        for (std::size_t e = begin; e < end; ++e) {
+          std::uint32_t running = postings.offsets[e];
+          for (std::size_t cc = 0; cc < csr_chunks; ++cc) {
+            const std::uint32_t count = csr_counts[cc][e];
+            csr_counts[cc][e] = running;  // becomes the chunk's cursor
+            running += count;
+          }
+        }
+      });
+  postings.events.resize(postings.offsets[n_bigrams]);
+  par_encode += ParallelRegion(
+      pool, csr_chunks, [&](std::size_t c, std::size_t) {
+        std::vector<std::uint32_t>& cursor = csr_counts[c];
+        const auto [begin, end] =
+            util::ThreadPool::ChunkRange(total_positions, dedup_grain, c);
+        for (std::size_t p = begin; p < end; ++p) {
+          if (pair_key(p) != kInvalidKey) {
+            postings.events[cursor[arena.pair_entries[p]]++] = pos_class[p];
+          }
+        }
+      });
+  std::vector<std::vector<std::uint32_t>>().swap(csr_counts);
+
+  // Prefix -> classes CSR, two-pass over the (small) class list.
   postings.prefix_offsets.assign(result.symbols.size() + 1, 0);
   for (const EventView& view : arena.views) {
     ++postings.prefix_offsets[view.prefix_symbol + 1];
@@ -703,7 +1246,8 @@ StemmingResult Stem(std::span<const bgp::Event> events,
   {
     std::vector<std::uint32_t> cursor(postings.prefix_offsets.begin(),
                                       postings.prefix_offsets.end() - 1);
-    for (std::uint32_t cls = 0; cls < arena.views.size(); ++cls) {
+    for (std::uint32_t cls = 0;
+         cls < static_cast<std::uint32_t>(arena.views.size()); ++cls) {
       postings.prefix_classes[cursor[arena.views[cls].prefix_symbol]++] = cls;
     }
   }
@@ -713,6 +1257,7 @@ StemmingResult Stem(std::span<const bgp::Event> events,
   result.stats.encode_seconds = encode_timer.Seconds();
   encode_span.Annotate("classes",
                        static_cast<std::uint64_t>(arena.views.size()));
+  encode_span.Annotate("shards", static_cast<std::uint64_t>(n_shards));
   encode_span.End();
   RANOMALY_METRIC_COUNT("stemming_events_encoded_total", events.size());
   RANOMALY_METRIC_COUNT("stemming_distinct_sequences_total",
@@ -722,6 +1267,11 @@ StemmingResult Stem(std::span<const bgp::Event> events,
   RANOMALY_METRIC_COUNT("stemming_arena_symbols_total", arena.symbols.size());
   RANOMALY_METRIC_OBSERVE("stemming_encode_seconds", obs::TimeBounds(),
                           result.stats.encode_seconds);
+  if (result.stats.encode_seconds > 0.0) {
+    RANOMALY_METRIC_SET(
+        "stemming_encode_parallel_fraction",
+        std::min(1.0, par_encode / result.stats.encode_seconds));
+  }
 
   // Initial bigram count, sharded over dense per-shard arrays indexed by
   // the entry ids recorded during encoding — no hashing.  The shard
@@ -731,28 +1281,23 @@ StemmingResult Stem(std::span<const bgp::Event> events,
   const util::StageTimer count_timer;
   obs::TraceSpan count_span("stemming.count");
   constexpr std::size_t kShardSize = 16384;
-  const std::size_t shards =
-      arena.views.empty() ? 0 : (arena.views.size() + kShardSize - 1) /
-                                    kShardSize;
-  std::vector<std::vector<double>> partial(shards);
-  const auto count_shard = [&](std::size_t s) {
-    const std::size_t begin = s * kShardSize;
-    const std::size_t end = std::min(begin + kShardSize, arena.views.size());
-    std::vector<double>& counts = partial[s];
-    counts.assign(n_bigrams, 0.0);
-    for (std::size_t i = begin; i < end; ++i) {
-      const EventView& view = arena.views[i];
-      const double weight = view.weight;
-      for (std::uint32_t j = 0; j + 1 < view.length; ++j) {
-        counts[arena.pair_entries[view.begin + j]] += weight;
-      }
-    }
-  };
-  if (options.pool != nullptr && shards > 1) {
-    options.pool->ParallelFor(shards, count_shard);
-  } else {
-    for (std::size_t s = 0; s < shards; ++s) count_shard(s);
-  }
+  const std::size_t count_shards =
+      util::ThreadPool::ChunksFor(arena.views.size(), kShardSize);
+  std::vector<std::vector<double>> partial(count_shards);
+  par_count += ParallelRegion(
+      pool, count_shards, [&](std::size_t s, std::size_t) {
+        const auto [begin, end] =
+            util::ThreadPool::ChunkRange(arena.views.size(), kShardSize, s);
+        std::vector<double>& counts = partial[s];
+        counts.assign(n_bigrams, 0.0);
+        for (std::size_t i = begin; i < end; ++i) {
+          const EventView& view = arena.views[i];
+          const double weight = view.weight;
+          for (std::uint32_t j = 0; j + 1 < view.length; ++j) {
+            counts[arena.pair_entries[view.begin + j]] += weight;
+          }
+        }
+      });
   std::vector<double> bigram_counts(n_bigrams, 0.0);
   for (const std::vector<double>& counts : partial) {
     for (std::size_t e = 0; e < n_bigrams; ++e) {
@@ -763,11 +1308,16 @@ StemmingResult Stem(std::span<const bgp::Event> events,
   result.stats.bigram_table_size = n_bigrams;
   result.stats.count_seconds = count_timer.Seconds();
   count_span.Annotate("bigrams", static_cast<std::uint64_t>(n_bigrams));
-  count_span.Annotate("shards", static_cast<std::uint64_t>(shards));
+  count_span.Annotate("shards", static_cast<std::uint64_t>(count_shards));
   count_span.End();
   RANOMALY_METRIC_COUNT("stemming_bigram_entries_total", n_bigrams);
   RANOMALY_METRIC_OBSERVE("stemming_count_seconds", obs::TimeBounds(),
                           result.stats.count_seconds);
+  if (result.stats.count_seconds > 0.0) {
+    RANOMALY_METRIC_SET(
+        "stemming_count_parallel_fraction",
+        std::min(1.0, par_count / result.stats.count_seconds));
+  }
 
   const util::StageTimer extract_timer;
   obs::TraceSpan extract_span("stemming.extract");
@@ -784,7 +1334,7 @@ StemmingResult Stem(std::span<const bgp::Event> events,
         std::max(options.min_count,
                  options.min_count_fraction * result.total_weight);
     auto top = TopSubsequence(arena, active, postings, bigram_counts,
-                              min_count, scratch);
+                              min_count, scratch, options, &par_extract);
     if (!top) break;
     auto& [sequence, count] = *top;
     if (sequence.size() < options.min_subsequence_length) break;
@@ -797,18 +1347,44 @@ StemmingResult Stem(std::span<const bgp::Event> events,
     // P: prefixes of active sequences containing s'.  Candidates come
     // from the stem pair's posting list (every sequence containing s'
     // contains its last bigram); only they are checked for containment.
+    // The containment scan shards over the posting range; per-chunk hits
+    // concatenate in chunk order and are then sorted and deduplicated —
+    // the same set the serial scan collected.
     std::vector<SymbolId> prefix_symbols;
     const std::uint32_t stem_entry =
         postings.EntryOf(component.stem.first, component.stem.second);
     if (stem_entry != Postings::kNoEntry) {
-      postings.ForEachClassWith(stem_entry, [&](std::uint32_t cls) {
-        if (!active[cls]) return;
-        if (sequence.size() == 2 ||
-            ContainsSpan(arena.Seq(cls), arena.Len(cls), sequence.data(),
-                         sequence.size())) {
-          prefix_symbols.push_back(arena.views[cls].prefix_symbol);
-        }
-      });
+      const std::uint32_t pbase = postings.offsets[stem_entry];
+      const std::size_t plen = postings.offsets[stem_entry + 1] - pbase;
+      const std::size_t pchunks =
+          util::ThreadPool::ChunksFor(plen, scan_grain);
+      if (scratch.chunk_prefixes.size() < pchunks) {
+        scratch.chunk_prefixes.resize(pchunks);
+      }
+      par_extract += ParallelRegion(
+          pool, pchunks, [&](std::size_t c, std::size_t) {
+            std::vector<SymbolId>& out = scratch.chunk_prefixes[c];
+            out.clear();
+            const auto [begin, end] =
+                util::ThreadPool::ChunkRange(plen, scan_grain, c);
+            std::uint32_t last = kNoIndex;
+            for (std::size_t i = begin; i < end; ++i) {
+              const std::uint32_t cls = postings.events[pbase + i];
+              if (cls == last) continue;
+              last = cls;
+              if (!active[cls]) continue;
+              if (sequence.size() == 2 ||
+                  ContainsSpan(arena.Seq(cls), arena.Len(cls),
+                               sequence.data(), sequence.size())) {
+                out.push_back(arena.views[cls].prefix_symbol);
+              }
+            }
+          });
+      for (std::size_t c = 0; c < pchunks; ++c) {
+        prefix_symbols.insert(prefix_symbols.end(),
+                              scratch.chunk_prefixes[c].begin(),
+                              scratch.chunk_prefixes[c].end());
+      }
     }
     std::sort(prefix_symbols.begin(), prefix_symbols.end());
     prefix_symbols.erase(
@@ -816,14 +1392,15 @@ StemmingResult Stem(std::span<const bgp::Event> events,
         prefix_symbols.end());
 
     // E: every active class whose prefix is in P, via the prefix posting
-    // lists — proportional to the component, not the window.  Classes are
-    // tagged with the component id; original event ids and weights are
-    // recovered in one ordered pass after the recursion ends.  Each
-    // removed class's bigram contributions are *subtracted* from the
-    // persistent counts: the next iteration pays for the removed
-    // component, not for a recount of the window.
+    // lists — proportional to the component, not the window.  The
+    // deactivation sweep stays serial (it mutates shared flags); the
+    // subtract-on-removal pass shards the removed classes into
+    // input-derived chunks, each accumulating a dense per-chunk delta
+    // that merges in chunk order — so the persistent counts stay
+    // bit-identical at any thread count.
     const std::uint32_t comp_id =
         static_cast<std::uint32_t>(result.components.size());
+    scratch.removed.clear();
     for (const SymbolId prefix_symbol : prefix_symbols) {
       const std::uint32_t pend = postings.prefix_offsets[prefix_symbol + 1];
       for (std::uint32_t pi = postings.prefix_offsets[prefix_symbol];
@@ -832,12 +1409,35 @@ StemmingResult Stem(std::span<const bgp::Event> events,
         if (!active[cls]) continue;
         active[cls] = 0;
         class_component[cls] = comp_id;
-        const EventView& view = arena.views[cls];
         active_count -= class_mult[cls];
-        const double weight = view.weight;
-        for (std::uint32_t j = 0; j + 1 < view.length; ++j) {
-          bigram_counts[arena.pair_entries[view.begin + j]] -= weight;
-        }
+        scratch.removed.push_back(cls);
+      }
+    }
+    const std::size_t removal_grain =
+        std::max<std::size_t>(1, options.removal_grain);
+    const std::size_t rchunks =
+        util::ThreadPool::ChunksFor(scratch.removed.size(), removal_grain);
+    if (scratch.chunk_deltas.size() < rchunks) {
+      scratch.chunk_deltas.resize(rchunks);
+    }
+    par_extract += ParallelRegion(
+        pool, rchunks, [&](std::size_t c, std::size_t) {
+          std::vector<double>& delta = scratch.chunk_deltas[c];
+          delta.assign(n_bigrams, 0.0);
+          const auto [begin, end] = util::ThreadPool::ChunkRange(
+              scratch.removed.size(), removal_grain, c);
+          for (std::size_t i = begin; i < end; ++i) {
+            const EventView& view = arena.views[scratch.removed[i]];
+            const double weight = view.weight;
+            for (std::uint32_t j = 0; j + 1 < view.length; ++j) {
+              delta[arena.pair_entries[view.begin + j]] += weight;
+            }
+          }
+        });
+    for (std::size_t c = 0; c < rchunks; ++c) {
+      const std::vector<double>& delta = scratch.chunk_deltas[c];
+      for (std::size_t e = 0; e < n_bigrams; ++e) {
+        bigram_counts[e] -= delta[e];
       }
     }
 
@@ -864,6 +1464,7 @@ StemmingResult Stem(std::span<const bgp::Event> events,
   result.residual_events = active_count;
   result.stats.components = result.components.size();
   result.stats.extract_seconds = extract_timer.Seconds();
+  result.stats.parallel_seconds = par_encode + par_count + par_extract;
   extract_span.Annotate("components",
                         static_cast<std::uint64_t>(result.components.size()));
   RANOMALY_METRIC_COUNT("stemming_components_total", result.components.size());
@@ -872,6 +1473,11 @@ StemmingResult Stem(std::span<const bgp::Event> events,
                           static_cast<double>(result.components.size()));
   RANOMALY_METRIC_OBSERVE("stemming_extract_seconds", obs::TimeBounds(),
                           result.stats.extract_seconds);
+  if (result.stats.extract_seconds > 0.0) {
+    RANOMALY_METRIC_SET(
+        "stemming_extract_parallel_fraction",
+        std::min(1.0, par_extract / result.stats.extract_seconds));
+  }
   return result;
 }
 

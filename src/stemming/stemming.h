@@ -120,10 +120,21 @@ struct StemmingOptions {
   // Optional per-prefix weight (traffic volume); default: every prefix
   // weighs 1 (the paper's base algorithm).
   std::function<double(const bgp::Prefix&)> weight_fn;
-  // Optional pool for sharded bigram counting (non-owning).  The shard
-  // split is fixed by the input size, never by the thread count, so the
-  // result is bit-identical with any pool — or none.
+  // Optional pool for the sharded encode/count/extract stages
+  // (non-owning).  Every shard split is fixed by the input size, never
+  // by the thread count, so the result is bit-identical with any pool —
+  // or none.
   util::ThreadPool* pool = nullptr;
+  // Parallel decomposition tuning (DESIGN.md "Parallel analysis
+  // architecture").  Each grain is a pure function of the input and
+  // these values — never the thread count — so chunk splits, and with
+  // them every merged result, are unchanged by RANOMALY_THREADS.
+  // Defaults suit Table-I-scale windows; tests shrink them to force
+  // multi-chunk execution on small inputs.
+  std::size_t encode_shard_events = 32768;  // events per encode dedup shard
+  std::size_t scan_grain = 8192;       // entries/posting slots per scan chunk
+  std::size_t candidate_grain = 2048;  // classes per re-scoring chunk
+  std::size_t removal_grain = 2048;    // removed classes per subtract chunk
 };
 
 // Analysis-stage counters for one Stem call.  Stem also records them on
@@ -140,6 +151,11 @@ struct StemmingStats {
   double encode_seconds = 0.0;   // arena encoding + posting lists
   double count_seconds = 0.0;    // initial (sharded) bigram count
   double extract_seconds = 0.0;  // recursion: top-seq + component removal
+  // Wall time spent inside pool-dispatched regions across all stages;
+  // with the stage totals it yields the per-stage parallel-fraction
+  // gauges (stemming_*_parallel_fraction) that tell an operator how
+  // much of a window was Amdahl-serial.
+  double parallel_seconds = 0.0;
 };
 
 struct Component {

@@ -15,6 +15,11 @@ namespace {
 // may be saturated by their own ancestors.
 thread_local bool tls_in_pool_worker = false;
 
+// The slot the current thread occupies in its pool (workers set it once
+// at startup; a ParallelFor caller occupies slot 0 while participating).
+// Nested inline calls inherit it so per-slot scratch stays per-thread.
+thread_local std::size_t tls_worker_slot = 0;
+
 }  // namespace
 
 std::size_t ThreadPool::DefaultThreadCount() {
@@ -38,10 +43,8 @@ ThreadPool::ThreadPool(std::size_t threads)
 #ifndef RANOMALY_NO_TRACING
       obs::Tracer::Global().SetCurrentThreadName(
           "pool-worker-" + std::to_string(worker_index));
-#else
-      (void)worker_index;
 #endif
-      WorkerMain();
+      WorkerMain(worker_index);
     });
   }
 }
@@ -55,9 +58,10 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::RunChunks(std::uint32_t generation,
-                           const std::function<void(std::size_t)>& fn,
-                           std::size_t end) {
+void ThreadPool::RunChunks(
+    std::uint32_t generation,
+    const std::function<void(std::size_t, std::size_t)>& fn, std::size_t end,
+    std::size_t slot) {
   // Claims are CAS increments on a (generation | index) word: a worker
   // waking late can never claim an index against a newer job's bounds,
   // because the generation tag no longer matches.
@@ -74,10 +78,13 @@ void ThreadPool::RunChunks(std::uint32_t generation,
     }
     {
       StageTimer chunk_timer;
-      fn(idx);
+      fn(idx, slot);
+      const double seconds = chunk_timer.Seconds();
+      busy_ns_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                         std::memory_order_relaxed);
       RANOMALY_METRIC_COUNT("pool_chunks_total", 1);
       RANOMALY_METRIC_OBSERVE("pool_chunk_seconds", obs::TimeBounds(),
-                              chunk_timer.Seconds());
+                              seconds);
     }
     if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 == end) {
       // Last chunk: wake the caller.  Lock so the notify cannot slip
@@ -90,10 +97,11 @@ void ThreadPool::RunChunks(std::uint32_t generation,
   tls_in_pool_worker = was_in_worker;
 }
 
-void ThreadPool::WorkerMain() {
+void ThreadPool::WorkerMain(std::size_t slot) {
+  tls_worker_slot = slot;
   std::uint32_t seen_generation = 0;
   for (;;) {
-    const std::function<void(std::size_t)>* fn = nullptr;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
     std::size_t end = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -105,33 +113,53 @@ void ThreadPool::WorkerMain() {
       fn = fn_;
       end = end_;
     }
-    RunChunks(seen_generation, *fn, end);
+    RunChunks(seen_generation, *fn, end, slot);
   }
+}
+
+void ThreadPool::RunInline(
+    std::size_t chunks,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  // Serial pool, trivial job, or nested call from a worker.  The slot is
+  // whatever lane this thread already occupies, clamped to this pool's
+  // width so per-slot scratch sized to threads() stays in range.
+  const bool was_in_worker = tls_in_pool_worker;
+  tls_in_pool_worker = true;
+  const std::size_t slot =
+      threads_ == 0 ? 0 : std::min(tls_worker_slot, threads_ - 1);
+  for (std::size_t i = 0; i < chunks; ++i) {
+    StageTimer chunk_timer;
+    fn(i, slot);
+    RANOMALY_METRIC_COUNT("pool_chunks_total", 1);
+    RANOMALY_METRIC_OBSERVE("pool_chunk_seconds", obs::TimeBounds(),
+                            chunk_timer.Seconds());
+  }
+  tls_in_pool_worker = was_in_worker;
 }
 
 void ThreadPool::ParallelFor(std::size_t chunks,
                              const std::function<void(std::size_t)>& fn) {
   if (chunks == 0) return;
+  ParallelFor(chunks,
+              std::function<void(std::size_t, std::size_t)>(
+                  [&fn](std::size_t chunk, std::size_t) { fn(chunk); }));
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t chunks,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (chunks == 0) return;
   RANOMALY_METRIC_COUNT("pool_jobs_total", 1);
   obs::TraceSpan span("pool.parallel_for");
   span.Annotate("chunks", static_cast<std::uint64_t>(chunks));
   if (workers_.empty() || chunks == 1 || tls_in_pool_worker) {
-    // Serial pool, trivial job, or nested call from a worker: run inline.
     span.Annotate("mode", "inline");
-    const bool was_in_worker = tls_in_pool_worker;
-    tls_in_pool_worker = true;
-    for (std::size_t i = 0; i < chunks; ++i) {
-      StageTimer chunk_timer;
-      fn(i);
-      RANOMALY_METRIC_COUNT("pool_chunks_total", 1);
-      RANOMALY_METRIC_OBSERVE("pool_chunk_seconds", obs::TimeBounds(),
-                              chunk_timer.Seconds());
-    }
-    tls_in_pool_worker = was_in_worker;
+    RunInline(chunks, fn);
     return;
   }
   span.Annotate("mode", "pooled");
   std::lock_guard<std::mutex> caller_lock(caller_mu_);
+  StageTimer job_timer;
   std::uint32_t generation;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -139,16 +167,35 @@ void ThreadPool::ParallelFor(std::size_t chunks,
     fn_ = &fn;
     end_ = chunks;
     completed_.store(0, std::memory_order_relaxed);
+    busy_ns_.store(0, std::memory_order_relaxed);
     claim_.store(static_cast<std::uint64_t>(generation) << 32,
                  std::memory_order_release);
   }
   work_cv_.notify_all();
-  RunChunks(generation, fn, chunks);  // the caller participates
+  // The caller participates as slot 0 (workers are 1..threads-1).
+  const std::size_t saved_slot = tls_worker_slot;
+  tls_worker_slot = 0;
+  RunChunks(generation, fn, chunks, 0);
+  tls_worker_slot = saved_slot;
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] {
     return completed_.load(std::memory_order_acquire) == end_;
   });
   fn_ = nullptr;
+  lock.unlock();
+  // Utilization = busy time over lanes x wall.  Gauge + *_seconds
+  // histogram only: both are wall-derived, so they are exempt from the
+  // cross-thread-count metric determinism contract.
+  const double wall = job_timer.Seconds();
+  const double busy =
+      static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) / 1e9;
+  if (wall > 0.0 && threads_ > 0) {
+    RANOMALY_METRIC_SET(
+        "pool_utilization",
+        std::min(1.0, busy / (wall * static_cast<double>(threads_))));
+  }
+  RANOMALY_METRIC_OBSERVE("pool_job_seconds", obs::TimeBounds(), wall);
+  RANOMALY_METRIC_OBSERVE("pool_busy_seconds", obs::TimeBounds(), busy);
 }
 
 }  // namespace ranomaly::util

@@ -1,6 +1,6 @@
 // Fixed-size deterministic thread pool.
 //
-// The analysis hot path (Stemming's sharded bigram counting, the
+// The analysis hot path (Stemming's sharded encode/count/extract, the
 // Pipeline's per-spike-window fan-out) needs parallelism whose *results*
 // are bit-identical to the serial path.  The pool therefore has no work
 // stealing and no scheduling freedom that could leak into outputs: work
@@ -9,6 +9,14 @@
 // matter.  Thread count is an execution resource, not an algorithm
 // parameter — `RANOMALY_THREADS=1` and `RANOMALY_THREADS=8` must produce
 // identical bytes.
+//
+// Slots: the two-argument ParallelFor passes the executing lane's slot
+// (0 = the calling thread, 1..threads-1 = workers).  Chunks that share a
+// slot run sequentially, so per-slot scratch buffers can be reused
+// across chunks without synchronization.  Slot *assignment* is
+// nondeterministic — anything that can reach the output must be keyed
+// per chunk and merged in chunk order; slots are for capacity reuse
+// (cleared per chunk) only.
 //
 // Nesting: ParallelFor issued from inside a pool worker (e.g. a stemming
 // shard count inside a parallel spike window) runs inline on that worker
@@ -22,6 +30,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace ranomaly::util {
@@ -46,14 +55,44 @@ class ThreadPool {
   void ParallelFor(std::size_t chunks,
                    const std::function<void(std::size_t)>& fn);
 
+  // As above, but fn(chunk, slot) also receives the executing lane's
+  // slot in [0, threads()).  See the header comment for the reuse and
+  // determinism contract.
+  void ParallelFor(
+      std::size_t chunks,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+  // Grain control: number of chunks needed to cover `items` work items
+  // at `grain` items per chunk (at least 1 chunk when items > 0).  The
+  // split depends only on the inputs, never on the thread count, so a
+  // ParallelFor over it is deterministic by construction.
+  static std::size_t ChunksFor(std::size_t items, std::size_t grain) {
+    if (items == 0) return 0;
+    const std::size_t g = grain == 0 ? 1 : grain;
+    return (items + g - 1) / g;
+  }
+
+  // The [begin, end) item range of `chunk` under the same split.
+  static std::pair<std::size_t, std::size_t> ChunkRange(std::size_t items,
+                                                        std::size_t grain,
+                                                        std::size_t chunk) {
+    const std::size_t g = grain == 0 ? 1 : grain;
+    const std::size_t begin = chunk * g;
+    const std::size_t end = begin + g < items ? begin + g : items;
+    return {begin, end};
+  }
+
   // RANOMALY_THREADS if set (clamped to [1, 256]), else
   // hardware_concurrency(), else 1.
   static std::size_t DefaultThreadCount();
 
  private:
-  void WorkerMain();
+  void WorkerMain(std::size_t slot);
   void RunChunks(std::uint32_t generation,
-                 const std::function<void(std::size_t)>& fn, std::size_t end);
+                 const std::function<void(std::size_t, std::size_t)>& fn,
+                 std::size_t end, std::size_t slot);
+  void RunInline(std::size_t chunks,
+                 const std::function<void(std::size_t, std::size_t)>& fn);
 
   std::size_t threads_;
   std::vector<std::thread> workers_;
@@ -67,11 +106,15 @@ class ThreadPool {
 
   // Current job; fn_/end_ are written and read under mu_ (stragglers are
   // fenced off by the generation tag in claim_).
-  const std::function<void(std::size_t)>* fn_ = nullptr;
+  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
   std::size_t end_ = 0;
   // (generation << 32) | next_chunk_index — the claim word.
   std::atomic<std::uint64_t> claim_{0};
   std::atomic<std::size_t> completed_{0};
+  // Sum of per-chunk execution nanoseconds for the current job; with the
+  // job's wall time it yields the pool_utilization gauge (busy time over
+  // threads x wall — 1.0 means no lane ever starved).
+  std::atomic<std::uint64_t> busy_ns_{0};
 };
 
 }  // namespace ranomaly::util

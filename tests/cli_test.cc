@@ -203,6 +203,12 @@ TEST_F(CliTest, StatsAnalyzeReportsStageBreakdown) {
   EXPECT_NE(output.find("stemming_events_encoded_total"), std::string::npos);
   EXPECT_NE(output.find("stemming_bigram_entries_total"), std::string::npos);
   EXPECT_NE(output.find("pipeline_analyze_seconds"), std::string::npos);
+  // The scaling diagnostics: pool health plus per-stage parallel
+  // fractions (the pipeline wires its pool into stemming, so both
+  // families accumulate during --analyze).
+  EXPECT_NE(output.find("pool_threads"), std::string::npos);
+  EXPECT_NE(output.find("stemming_encode_parallel_fraction"),
+            std::string::npos);
   // Only the analysis slice of the registry, not the io_* counters the
   // stream load bumped.
   EXPECT_EQ(output.find("io_events_loaded_total"), std::string::npos);

@@ -195,7 +195,7 @@ TEST(LiveRunnerTest, LatencyBucketsAreThreadCountInvariant) {
     std::vector<std::pair<std::string, double>> incidents;
   };
   std::vector<RunResult> results;
-  for (const std::size_t threads : {1u, 2u, 4u}) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     const auto before = LatencyBuckets();
     IncidentLog log;
     LiveOptions options;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
 #include <sstream>
 #include <stdexcept>
@@ -75,7 +76,7 @@ TEST(MetricsTest, ResetZeroesValuesButKeepsRegistrations) {
 TEST(MetricsTest, ShardMergeIsDeterministicAcrossThreadCounts) {
   constexpr std::size_t kItems = 500;
   std::vector<std::vector<MetricSnapshot>> runs;
-  for (const std::size_t threads : {1u, 2u, 4u}) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
     auto registry = std::make_unique<MetricsRegistry>();
     const MetricId c = registry->Counter("work_total");
     const MetricId h = registry->Histogram("work_size", {2.0, 8.0, 32.0});
@@ -100,6 +101,42 @@ TEST(MetricsTest, ShardMergeIsDeterministicAcrossThreadCounts) {
                 runs[0][m].histogram.total_count);
     }
   }
+}
+
+TEST(MetricsTest, PooledJobRecordsUtilizationAndJobTimes) {
+  // A pooled (non-inline) ParallelFor must leave the pool-health
+  // instrumentation behind: a pool_utilization gauge in (0, 1] and
+  // populated pool_job_seconds / pool_busy_seconds histograms.  All
+  // three are wall-derived (gauge + *_seconds), so they are exempt from
+  // — and must stay out of — the cross-thread-count determinism set.
+  auto& registry = MetricsRegistry::Global();
+  registry.Reset();
+  {
+    util::ThreadPool pool(2);
+    std::atomic<std::uint64_t> sink{0};
+    pool.ParallelFor(64, [&](std::size_t i) {
+      std::uint64_t x = i;
+      for (int k = 0; k < 1000; ++k) x = x * 6364136223846793005ULL + 1;
+      sink.fetch_add(x, std::memory_order_relaxed);
+    });
+  }
+  const MetricSnapshot* utilization = nullptr;
+  const MetricSnapshot* job_seconds = nullptr;
+  const MetricSnapshot* busy_seconds = nullptr;
+  const auto snapshot = registry.Snapshot();
+  for (const MetricSnapshot& m : snapshot) {
+    if (m.name == "pool_utilization") utilization = &m;
+    if (m.name == "pool_job_seconds") job_seconds = &m;
+    if (m.name == "pool_busy_seconds") busy_seconds = &m;
+  }
+  ASSERT_NE(utilization, nullptr);
+  EXPECT_EQ(utilization->kind, MetricKind::kGauge);
+  EXPECT_GT(utilization->gauge, 0.0);
+  EXPECT_LE(utilization->gauge, 1.0);
+  ASSERT_NE(job_seconds, nullptr);
+  EXPECT_GE(job_seconds->histogram.total_count, 1u);
+  ASSERT_NE(busy_seconds, nullptr);
+  EXPECT_GE(busy_seconds->histogram.total_count, 1u);
 }
 
 TEST(MetricsTest, PrometheusExpositionShape) {

@@ -213,7 +213,7 @@ TEST(PipelineTest, ThreadedAnalysisMatchesSerial) {
   ASSERT_FALSE(expected.empty());
   const auto expected_metrics = DeterministicMetrics(registry.Snapshot());
 
-  for (const std::size_t threads : {2u, 4u}) {
+  for (const std::size_t threads : {2u, 4u, 8u}) {
     PipelineOptions options;
     options.threads = threads;
     const Pipeline pipeline(options);

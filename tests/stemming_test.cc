@@ -472,6 +472,13 @@ void ExpectIdenticalResults(const StemmingResult& a, const StemmingResult& b) {
   EXPECT_EQ(a.total_events, b.total_events);
   EXPECT_EQ(a.total_weight, b.total_weight);
   EXPECT_EQ(a.residual_events, b.residual_events);
+  // Interning order is part of the contract: components compare by
+  // SymbolId below, which only means anything if the ids name the same
+  // symbols on both sides.
+  ASSERT_EQ(a.symbols.size(), b.symbols.size());
+  for (SymbolId id = 0; id < static_cast<SymbolId>(a.symbols.size()); ++id) {
+    ASSERT_EQ(a.symbols.Raw(id), b.symbols.Raw(id)) << "symbol " << id;
+  }
   ASSERT_EQ(a.components.size(), b.components.size());
   for (std::size_t i = 0; i < a.components.size(); ++i) {
     const Component& ca = a.components[i];
@@ -543,9 +550,58 @@ TEST_P(StemmingEquivalenceTest, ThreadPoolPathMatchesSerial) {
   const std::vector<Event> events = GetParam()();
   StemmingOptions serial;
   const StemmingResult expected = Stem(events, serial);
-  for (const std::size_t threads : {2u, 4u}) {
+  for (const std::size_t threads : {2u, 4u, 8u}) {
     util::ThreadPool pool(threads);
     StemmingOptions pooled;
+    pooled.pool = &pool;
+    const StemmingResult actual = Stem(events, pooled);
+    ExpectIdenticalResults(expected, actual);
+  }
+}
+
+// Shrunken grains force every parallel stage (sharded encode dedup,
+// posting/candidate scans, re-scoring, subtract-on-removal) through
+// genuinely multi-chunk execution on a test-sized window.  Unweighted
+// counts are integer sums, so even a different chunking must reproduce
+// the default configuration exactly — and the pooled runs must match
+// the identically-chunked serial run byte for byte.
+StemmingOptions TinyGrainOptions() {
+  StemmingOptions options;
+  options.encode_shard_events = 64;
+  options.scan_grain = 16;
+  options.candidate_grain = 8;
+  options.removal_grain = 8;
+  return options;
+}
+
+TEST_P(StemmingEquivalenceTest, MultiChunkGrainsMatchDefaultConfiguration) {
+  const std::vector<Event> events = GetParam()();
+  const StemmingResult expected = Stem(events, StemmingOptions{});
+  StemmingOptions tiny = TinyGrainOptions();
+  ExpectIdenticalResults(expected, Stem(events, tiny));
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    util::ThreadPool pool(threads);
+    tiny.pool = &pool;
+    const StemmingResult actual = Stem(events, tiny);
+    ExpectIdenticalResults(expected, actual);
+  }
+}
+
+TEST_P(StemmingEquivalenceTest, MultiChunkWeightedIsThreadCountInvariant) {
+  // With non-integer weights the chunk split fixes the accumulation
+  // order, so a tiny-grain run is its own serial baseline; the pooled
+  // runs must still match it to the last bit at every thread count.
+  const std::vector<Event> events = GetParam()();
+  const auto weight = [](const bgp::Prefix& p) {
+    return 1.0 + 0.125 * static_cast<double>(p.addr().value() % 7) + 1e-3;
+  };
+  StemmingOptions tiny = TinyGrainOptions();
+  tiny.weight_fn = weight;
+  const StemmingResult expected = Stem(events, tiny);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    util::ThreadPool pool(threads);
+    StemmingOptions pooled = TinyGrainOptions();
+    pooled.weight_fn = weight;
     pooled.pool = &pool;
     const StemmingResult actual = Stem(events, pooled);
     ExpectIdenticalResults(expected, actual);
@@ -563,7 +619,7 @@ TEST_P(StemmingEquivalenceTest, WeightedCountsAreThreadCountInvariant) {
   StemmingOptions serial;
   serial.weight_fn = weight;
   const StemmingResult expected = Stem(events, serial);
-  for (const std::size_t threads : {2u, 4u}) {
+  for (const std::size_t threads : {2u, 4u, 8u}) {
     util::ThreadPool pool(threads);
     StemmingOptions pooled;
     pooled.weight_fn = weight;

@@ -77,6 +77,64 @@ TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
   EXPECT_EQ(inner_total.load(), 32);
 }
 
+TEST(ThreadPoolTest, SlotsStayInRangeAndAreSequentialPerLane) {
+  // The two-argument overload: every chunk sees a slot in [0, threads),
+  // and chunks sharing a slot never overlap in time — that is what lets
+  // callers reuse per-slot scratch without synchronization.
+  ThreadPool pool(4);
+  constexpr std::size_t kChunks = 500;
+  std::vector<std::atomic<int>> in_flight(4);
+  std::atomic<bool> overlapped{false};
+  std::atomic<bool> out_of_range{false};
+  pool.ParallelFor(kChunks, [&](std::size_t, std::size_t slot) {
+    if (slot >= 4) {
+      out_of_range.store(true);
+      return;
+    }
+    if (in_flight[slot].fetch_add(1) != 0) overlapped.store(true);
+    in_flight[slot].fetch_sub(1);
+  });
+  EXPECT_FALSE(out_of_range.load());
+  EXPECT_FALSE(overlapped.load());
+}
+
+TEST(ThreadPoolTest, NestedSlotStaysWithinNestedPoolWidth) {
+  // A nested call runs inline on a worker whose slot may exceed the
+  // inner pool's width; the slot must be clamped so scratch sized to
+  // the inner pool's threads() stays in range.
+  ThreadPool outer(4);
+  ThreadPool inner(2);
+  std::atomic<bool> out_of_range{false};
+  outer.ParallelFor(16, [&](std::size_t) {
+    inner.ParallelFor(4, [&](std::size_t, std::size_t slot) {
+      if (slot >= inner.threads()) out_of_range.store(true);
+    });
+  });
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(ThreadPoolTest, ChunksForAndChunkRangeCoverItemsExactly) {
+  EXPECT_EQ(ThreadPool::ChunksFor(0, 8), 0u);
+  EXPECT_EQ(ThreadPool::ChunksFor(1, 8), 1u);
+  EXPECT_EQ(ThreadPool::ChunksFor(8, 8), 1u);
+  EXPECT_EQ(ThreadPool::ChunksFor(9, 8), 2u);
+  EXPECT_EQ(ThreadPool::ChunksFor(7, 0), 7u);  // grain 0 treated as 1
+  for (const std::size_t items : {1u, 7u, 8u, 9u, 63u, 64u, 65u}) {
+    for (const std::size_t grain : {1u, 3u, 8u, 100u}) {
+      const std::size_t chunks = ThreadPool::ChunksFor(items, grain);
+      std::size_t covered = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const auto [begin, end] = ThreadPool::ChunkRange(items, grain, c);
+        EXPECT_EQ(begin, covered) << items << "/" << grain << "/" << c;
+        EXPECT_GT(end, begin);
+        EXPECT_LE(end - begin, grain == 0 ? 1 : grain);
+        covered = end;
+      }
+      EXPECT_EQ(covered, items) << items << "/" << grain;
+    }
+  }
+}
+
 TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvironment) {
   ::setenv("RANOMALY_THREADS", "3", 1);
   EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3u);

@@ -446,8 +446,11 @@ int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
     }
   }
   // Analysis-stage perf breakdown: run the pipeline (its stage metrics
-  // accumulate on the process registry) and print the pipeline_* and
-  // stemming_* slice of the snapshot.
+  // accumulate on the process registry) and print the pipeline_*,
+  // stemming_*, and pool_* slice of the snapshot.  The pool_utilization
+  // gauge and the stemming_*_parallel_fraction gauges are the scaling
+  // diagnostics: utilization well below 1.0 means lanes starved,
+  // parallel fraction well below 1.0 means the stage is Amdahl-bound.
   if (args.HasFlag("--analyze")) {
     const core::Pipeline pipeline{core::PipelineOptions{}};
     pipeline.Analyze(*stream);
@@ -455,7 +458,8 @@ int CmdStats(const Args& args, std::ostream& out, std::ostream& err) {
         << "):\n";
     std::vector<obs::MetricSnapshot> stages;
     for (auto& m : obs::MetricsRegistry::Global().Snapshot()) {
-      if (m.name.starts_with("pipeline_") || m.name.starts_with("stemming_")) {
+      if (m.name.starts_with("pipeline_") || m.name.starts_with("stemming_") ||
+          m.name.starts_with("pool_")) {
         stages.push_back(std::move(m));
       }
     }

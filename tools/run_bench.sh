@@ -4,13 +4,14 @@
 # speedup per row, and the 1/2/4-thread curve at 330k events.
 #
 # Usage:
-#   tools/run_bench.sh [--quick|--overhead|--serve-overhead|--checkpoint-overhead]
+#   tools/run_bench.sh [--quick|--overhead|--serve-overhead|--checkpoint-overhead|--throughput]
 #                      [--build-dir DIR]
 #                      [--out FILE]
 #
 #   --quick      trimmed run (12k rows + thread curve, short min_time);
 #                writes into the build dir instead of the repo root.
 #                This is what the `bench_smoke` ctest entry runs.
+#                Composes with --throughput (trimmed events/thread set).
 #   --overhead   measures instrumentation overhead: benchmarks the
 #                normal build against a -DRANOMALY_NO_TRACING=ON build
 #                (configured into <build>-notrace) on the quick workload
@@ -18,9 +19,16 @@
 #                output JSON (budget: <= 5%, see docs/OBSERVABILITY.md).
 #   --serve-overhead
 #                measures what a 1 Hz /metrics + /varz scraper costs the
-#                analysis pipeline (bench_serve_overhead) and appends a
-#                `serve_overhead` row to the output JSON (budget: <= 3%,
-#                see docs/OBSERVABILITY.md).
+#                analysis pipeline (bench_serve_overhead --paired) with
+#                the quiet-pair/min-over-rounds process-CPU estimator
+#                and appends a `serve_overhead` row to the output JSON
+#                (budget: <= 3%, see docs/OBSERVABILITY.md).
+#   --throughput measures end-to-end ingest-to-incident throughput
+#                (bench_throughput --json) at 1/2/4/8 analysis threads
+#                and appends a `throughput_events_per_sec` row to the
+#                output JSON; fails if the incident stream is not
+#                byte-identical across thread counts.  This is the
+#                trajectory row toward the 1M events/s target.
 #   --checkpoint-overhead
 #                measures what periodic analysis-tier checkpointing (an
 #                RNC1 v2 snapshot every 16 ticks, the serve default)
@@ -39,6 +47,7 @@ quick=0
 overhead=0
 serve_overhead=0
 checkpoint_overhead=0
+throughput=0
 out=""
 
 while [[ $# -gt 0 ]]; do
@@ -47,26 +56,34 @@ while [[ $# -gt 0 ]]; do
     --overhead) overhead=1; shift ;;
     --serve-overhead) serve_overhead=1; shift ;;
     --checkpoint-overhead) checkpoint_overhead=1; shift ;;
+    --throughput) throughput=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --out) out="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
 
-if [[ "$serve_overhead" -eq 1 ]]; then
-  [[ -n "$out" ]] || out="$repo_root/BENCH_stemming.json"
-  sbench="$build_dir/bench/bench_serve_overhead"
-  if [[ ! -x "$sbench" ]]; then
-    echo "building bench_serve_overhead in $build_dir ..." >&2
-    cmake --build "$build_dir" --target bench_serve_overhead -j"$(nproc)"
+if [[ "$throughput" -eq 1 ]]; then
+  tbench="$build_dir/bench/bench_throughput"
+  if [[ ! -x "$tbench" ]]; then
+    echo "building bench_throughput in $build_dir ..." >&2
+    cmake --build "$build_dir" --target bench_throughput -j"$(nproc)"
+  fi
+  if [[ "$quick" -eq 1 ]]; then
+    [[ -n "$out" ]] || out="$build_dir/BENCH_stemming_quick.json"
+    args=(--json --events 40000 --reps 1 --threads 1,2)
+  else
+    [[ -n "$out" ]] || out="$repo_root/BENCH_stemming.json"
+    args=(--json --events 200000 --reps 2 --threads 1,2,4,8)
   fi
   raw="$(mktemp)"
   trap 'rm -f "$raw"' EXIT
-  # Repetition medians for the same reason as --overhead: on a shared
-  # box, run-to-run drift dwarfs a few-percent effect.
-  "$sbench" --benchmark_min_time=0.2 --benchmark_repetitions=5 \
-    --benchmark_report_aggregates_only=true \
-    --benchmark_format=json > "$raw"
+  # The bench replays the full serve path (tick ingest -> windowed
+  # analysis -> incident log) once per (thread count, rep) and keeps
+  # each count's fastest run; it also diffs the incident stream across
+  # thread counts and exits non-zero on any byte difference, so this
+  # row doubles as an end-to-end determinism check.
+  "$tbench" "${args[@]}" > "$raw"
   python3 - "$raw" "$out" <<'EOF'
 import json
 import os
@@ -75,25 +92,103 @@ import sys
 raw_path, out_path = sys.argv[1], sys.argv[2]
 with open(raw_path) as f:
     report = json.load(f)
+if not report.get("incident_streams_identical", False):
+    sys.exit("incident streams differ across thread counts")
+row = {
+    "benchmark": "bench_throughput",
+    "workload": "SessionReset + Churn live replay, 10s tick / 5min window",
+    "target_events_per_sec": 1_000_000,
+    "host_cpus": report["host_cpus"],
+    "events": report["events"],
+    "incident_streams_identical": True,
+    "rows": report["rows"],
+}
+result = {}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        result = json.load(f)
+result["throughput_events_per_sec"] = row
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+for r in report["rows"]:
+    print(f'  {r["threads"]} thread(s): {r["events_per_sec"]:>10,.0f} '
+          f'events/s ({r["seconds"]:.2f} s, {r["incidents"]} incidents)')
+best = max(r["events_per_sec"] for r in report["rows"])
+print(f'  best {best:,.0f} events/s of the {row["target_events_per_sec"]:,} '
+      f'events/s target on a {row["host_cpus"]}-CPU host')
+print(f"updated {out_path}")
+EOF
+  exit 0
+fi
 
-def median_ns(prefix):
-    for b in report["benchmarks"]:
-        if b.get("aggregate_name") != "median":
-            continue
-        if not b["run_name"].startswith(prefix):
-            continue
-        scale = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[
-            b.get("time_unit", "ns")]
-        return b["real_time"] * scale
-    sys.exit(f"no median aggregate for {prefix}")
+if [[ "$serve_overhead" -eq 1 ]]; then
+  [[ -n "$out" ]] || out="$repo_root/BENCH_stemming.json"
+  sbench="$build_dir/bench/bench_serve_overhead"
+  if [[ ! -x "$sbench" ]]; then
+    echo "building bench_serve_overhead in $build_dir ..." >&2
+    cmake --build "$build_dir" --target bench_serve_overhead -j"$(nproc)"
+  fi
+  # Same estimator as --checkpoint-overhead: (bare, scraped) analysis
+  # batches run back to back in ONE process, alternating which side
+  # goes first, each timed with a process-CPU-clock delta.  The quiet
+  # pairs — combined time within 15% of the observed floor — ran in the
+  # least contaminated regime, their ratio cancels the load the two
+  # adjacent halves shared, and the minimum over time-separated rounds
+  # dodges box-wide pressure stretches.  The previous separate-process
+  # comparison reported a *negative* overhead (-5%) because the bare
+  # and scraped processes landed in different load regimes.
+  python3 - "$sbench" "$out" <<'EOF'
+import json
+import statistics
+import os
+import subprocess
+import sys
 
-bare = median_ns("BM_AnalyzeBare")
-scraped = median_ns("BM_AnalyzeScraped")
+sbench, out_path = sys.argv[1], sys.argv[2]
+
+pairs = 10
+
+def measure():
+    proc = subprocess.run([sbench, "--paired", str(pairs)],
+                          check=True, capture_output=True, text=True)
+    report = json.loads(proc.stdout)
+    floor = min(p["bare_ns"] + p["scraped_ns"] for p in report["pairs"])
+    quiet = [p for p in report["pairs"]
+             if p["bare_ns"] + p["scraped_ns"] <= floor * 1.15]
+    if len(quiet) < 3:  # loaded box: median over 2 pairs is a coin flip
+        quiet = sorted(report["pairs"],
+                       key=lambda p: p["bare_ns"] + p["scraped_ns"])[:3]
+    ratio = statistics.median(p["scraped_ns"] / p["bare_ns"] for p in quiet)
+    iters = report["iters_per_side"]
+    return {
+        "bare_ns_per_op": statistics.median(
+            p["bare_ns"] for p in quiet) / iters,
+        "scraped_ns_per_op": statistics.median(
+            p["scraped_ns"] for p in quiet) / iters,
+        "overhead_fraction": ratio - 1.0,
+        "quiet_pairs": len(quiet),
+    }
+
+# True overhead is >= 0 and load inflates the ratio, so smaller is
+# closer to the truth — but a *negative* reading is residual noise of
+# that magnitude around zero, not a better measurement, so rounds
+# compete on |overhead| and the loop stops once a round lands within
+# the noise floor of zero.
+rounds = []
+for _ in range(3):
+    rounds.append(measure())
+    if abs(rounds[-1]["overhead_fraction"]) <= 0.015:
+        break
+best = min(rounds, key=lambda r: abs(r["overhead_fraction"]))
 row = {
     "benchmark": "bench_serve_overhead",
-    "bare_ns_per_op": bare,
-    "scraped_ns_per_op": scraped,
-    "overhead_fraction": scraped / bare - 1.0,
+    **best,
+    "pairs": pairs,
+    "rounds": len(rounds),
+    "round_overheads": [r["overhead_fraction"] for r in rounds],
+    "estimator": "min_abs_over_rounds_of_median_quiet_pair_ratio",
+    "metric": "process_cpu_time",
 }
 result = {}
 if os.path.exists(out_path):
@@ -105,8 +200,10 @@ with open(out_path, "w") as f:
     f.write("\n")
 budget = 0.03
 verdict = "within" if row["overhead_fraction"] <= budget else "OVER"
-print(f'  analyze: bare {bare / 1e6:.2f} ms, with 1 Hz scraper '
-      f'{scraped / 1e6:.2f} ms, overhead '
+print(f'  analyze (process CPU, {row["quiet_pairs"]} quiet of {pairs} '
+      f'interleaved pairs, best of {len(rounds)} round(s)): bare '
+      f'{row["bare_ns_per_op"] / 1e6:.2f} ms, with 1 Hz scraper '
+      f'{row["scraped_ns_per_op"] / 1e6:.2f} ms, overhead '
       f'{row["overhead_fraction"] * 100:+.1f}% ({verdict} the '
       f'{budget * 100:.0f}% budget)')
 print(f"updated {out_path}")
@@ -170,19 +267,24 @@ def measure():
 # CPU interference it only ever *adds* cost, so the minimum over
 # time-separated rounds estimates the uncontaminated overhead.  Stop
 # early once a round is evidently clean.
+# True overhead is >= 0 and load inflates the ratio, so smaller is
+# closer to the truth — but a *negative* reading is residual noise of
+# that magnitude around zero, not a better measurement, so rounds
+# compete on |overhead| and the loop stops once a round lands within
+# the noise floor of zero.
 rounds = []
 for _ in range(3):
     rounds.append(measure())
-    if rounds[-1]["overhead_fraction"] <= 0.015:
+    if abs(rounds[-1]["overhead_fraction"]) <= 0.015:
         break
-best = min(rounds, key=lambda r: r["overhead_fraction"])
+best = min(rounds, key=lambda r: abs(r["overhead_fraction"]))
 row = {
     "benchmark": "bench_checkpoint_overhead",
     **best,
     "pairs": pairs,
     "rounds": len(rounds),
     "round_overheads": [r["overhead_fraction"] for r in rounds],
-    "estimator": "min_over_rounds_of_median_quiet_pair_ratio",
+    "estimator": "min_abs_over_rounds_of_median_quiet_pair_ratio",
     "metric": "process_cpu_time",
 }
 result = {}
@@ -311,6 +413,7 @@ fi
 
 python3 - "$raw" "$out" "$quick" <<'EOF'
 import json
+import os
 import sys
 
 raw_path, out_path, quick = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
@@ -321,15 +424,19 @@ runs = {}
 for b in report["benchmarks"]:
     if b.get("run_type", "iteration") != "iteration":
         continue
-    ns = b["real_time"]
-    unit = b.get("time_unit", "ns")
-    ns *= {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
-    runs[b["name"]] = {"ns_per_op": ns, "counters": {
-        k: v for k, v in b.items()
-        if k in ("events", "components", "threads")}}
+    scale = {"ns": 1, "us": 1e3, "ms": 1e6, "s": 1e9}[
+        b.get("time_unit", "ns")]
+    runs[b["name"]] = {"ns_per_op": b["real_time"] * scale,
+                       "cpu_ns_per_op": b["cpu_time"] * scale,
+                       "counters": {
+                           k: v for k, v in b.items()
+                           if k in ("events", "components", "threads")}}
 
 def ns(name):
     return runs[name]["ns_per_op"] if name in runs else None
+
+def cpu_ns(name):
+    return runs[name]["cpu_ns_per_op"] if name in runs else None
 
 rows = []
 for size in (12_000, 57_000, 330_000):
@@ -343,19 +450,34 @@ for size in (12_000, 57_000, 330_000):
         row["speedup"] = legacy / arena
     rows.append(row)
 
+# Wall time per point plus the *main thread's* CPU time: on a host
+# with fewer CPUs than threads, every thread count time-slices one
+# core and wall time cannot improve — but the main-thread CPU curve
+# still shows how much of the work moved to the workers, which is
+# what a multi-CPU host would turn into wall-time speedup.
 parallel = []
-for threads in (1, 2, 4):
-    t = ns(f"BM_StemmingArenaThreads/{threads}")
+for threads in (1, 2, 4, 8):
+    name = f"BM_StemmingArenaThreads/{threads}"
+    t = ns(name)
     if t is not None:
-        parallel.append({"threads": threads, "ns_per_op": t})
+        parallel.append({"threads": threads, "ns_per_op": t,
+                         "main_thread_cpu_ns_per_op": cpu_ns(name)})
 
-result = {
+# Merge into the existing file: the overhead and throughput rows are
+# produced by separate invocations and must survive a re-run of the
+# main benchmark.
+result = {}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        result = json.load(f)
+result.update({
     "benchmark": "bench_stemming_opt",
     "workload": "BerkeleyScale(23000) SpikeEvents, Table I stemming rows",
     "mode": "quick" if quick else "full",
+    "host_cpus": os.cpu_count(),
     "rows": rows,
     "parallel_330k": parallel,
-}
+})
 big = next((r for r in rows if r["events"] == 330_000 and "speedup" in r),
            None)
 if big is not None:
@@ -375,7 +497,9 @@ for r in rows:
         s += f'speedup {r["speedup"]:.1f}x'
     print(s)
 for p in parallel:
-    print(f'  330k @ {p["threads"]} thread(s): {p["ns_per_op"] / 1e6:.1f} ms')
+    print(f'  330k @ {p["threads"]} thread(s): {p["ns_per_op"] / 1e6:.1f} ms '
+          f'wall, {p["main_thread_cpu_ns_per_op"] / 1e6:.1f} ms '
+          f'main-thread CPU')
 
 if not rows and not parallel:
     sys.exit("no benchmark rows parsed")
