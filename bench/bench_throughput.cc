@@ -30,6 +30,7 @@
 #include "util/stats.h"
 #include "util/time.h"
 #include "workload/eventgen.h"
+#include "workload/internet_scale.h"
 
 namespace ranomaly::bench {
 namespace {
@@ -62,6 +63,36 @@ const collector::EventStream& Workload(std::size_t churn_events) {
     delete stream;
     stream = new collector::EventStream(gen.Take());
     cached_size = churn_events;
+  }
+  return *stream;
+}
+
+// The internet-scale table-dump + churn stream (BuildInternetScale):
+// tens of thousands of ASes, 200k+ prefixes, a million-route dump.
+// This is the paper-scale row — the full-table regime the Table I
+// datasets live in, as opposed to Workload()'s churn-dominated replay.
+const collector::EventStream& InternetWorkload(std::size_t ases,
+                                               std::size_t prefixes,
+                                               std::size_t peers) {
+  static const collector::EventStream* stream = nullptr;
+  static std::size_t cached[3] = {0, 0, 0};
+  if (stream == nullptr || cached[0] != ases || cached[1] != prefixes ||
+      cached[2] != peers) {
+    workload::InternetScaleOptions options;
+    options.as_count = ases;
+    options.prefix_count = prefixes;
+    options.monitored_peer_count = peers;
+    std::string error;
+    auto built = workload::BuildInternetScale(options, &error);
+    if (!built) {
+      std::fprintf(stderr, "internet workload: %s\n", error.c_str());
+      std::abort();
+    }
+    delete stream;
+    stream = new collector::EventStream(std::move(built->stream));
+    cached[0] = ases;
+    cached[1] = prefixes;
+    cached[2] = peers;
   }
   return *stream;
 }
@@ -128,9 +159,8 @@ BENCHMARK(BM_LiveThroughput)
 // at the first count), keeps each count's best run, and prints one JSON
 // object to stdout; progress goes to stderr.  Exits non-zero if any
 // thread count's incident stream differs from the 1-thread stream.
-int RunJson(std::size_t events, int reps,
+int RunJson(const collector::EventStream& stream, int reps,
             const std::vector<std::size_t>& thread_counts) {
-  const collector::EventStream& stream = Workload(events);
   RunOnce(stream, thread_counts.front());  // warm caches and allocator
   std::string reference;
   bool identical = true;
@@ -177,10 +207,22 @@ int main(int argc, char** argv) {
   int reps = 2;
   std::vector<std::size_t> threads = {1, 2, 4, 8};
   bool json = false;
+  bool internet = false;
+  std::size_t ases = 32'000;
+  std::size_t prefixes = 210'000;
+  std::size_t peers = 5;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--internet") {
+      internet = true;
+    } else if (arg == "--ases" && i + 1 < argc) {
+      ases = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--prefixes" && i + 1 < argc) {
+      prefixes = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--peers" && i + 1 < argc) {
+      peers = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--events" && i + 1 < argc) {
       events = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--reps" && i + 1 < argc) {
@@ -195,7 +237,10 @@ int main(int argc, char** argv) {
     }
   }
   if (json) {
-    return ranomaly::bench::RunJson(events, reps < 1 ? 1 : reps, threads);
+    const ranomaly::collector::EventStream& stream =
+        internet ? ranomaly::bench::InternetWorkload(ases, prefixes, peers)
+                 : ranomaly::bench::Workload(events);
+    return ranomaly::bench::RunJson(stream, reps < 1 ? 1 : reps, threads);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,0 +1,35 @@
+#include "collector/feed.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ranomaly::collector {
+
+void SortFeed(std::vector<FeedOp>& ops) {
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const FeedOp& a, const FeedOp& b) {
+                     return a.time < b.time;
+                   });
+}
+
+void ApplyFeed(Collector& collector, std::vector<FeedOp>&& ops) {
+  for (FeedOp& op : ops) {
+    switch (op.type) {
+      case bgp::EventType::kAnnounce:
+        collector.OnAnnounce(op.time, op.peer, op.prefix,
+                             std::move(op.attrs));
+        break;
+      case bgp::EventType::kWithdraw:
+        collector.OnWithdraw(op.time, op.peer, op.prefix);
+        break;
+      case bgp::EventType::kFeedGap:
+      case bgp::EventType::kResync:
+        collector.OnMarker(op.time, op.peer, op.type);
+        break;
+    }
+  }
+  ops.clear();
+  ops.shrink_to_fit();
+}
+
+}  // namespace ranomaly::collector

@@ -1,0 +1,39 @@
+// Feed adapter: replays a pre-built, time-ordered batch of raw feed
+// operations through a Collector.
+//
+// Workload generators (workload::BuildInternetScale and friends) produce
+// routing activity as plain (time, peer, type, prefix, attrs) tuples.
+// Pushing them through the Collector's raw feed interface — instead of
+// constructing an EventStream by hand — buys the real collection-layer
+// semantics for free: monotonic timestamp clamping, withdrawal
+// augmentation from the per-peer Adj-RIB-In, per-peer health counters,
+// and GAP/SYNC marker bookkeeping.  The resulting stream is exactly what
+// a live deployment's collector would have recorded.
+#pragma once
+
+#include <vector>
+
+#include "collector/collector.h"
+
+namespace ranomaly::collector {
+
+// One raw feed operation.  `attrs` is used by kAnnounce only; a
+// kWithdraw is augmented from the collector's Adj-RIB-In like any wire
+// withdrawal, and marker types carry neither prefix nor attributes.
+struct FeedOp {
+  util::SimTime time = 0;
+  bgp::Ipv4Addr peer;
+  bgp::EventType type = bgp::EventType::kAnnounce;
+  bgp::Prefix prefix;
+  bgp::PathAttributes attrs;
+};
+
+// Stable-sorts `ops` by time (equal times keep their relative order, so
+// generators control intra-timestamp ordering by emission order).
+void SortFeed(std::vector<FeedOp>& ops);
+
+// Applies every op through the collector's raw feed interface, in order.
+// Announce attributes are moved, not copied; `ops` is consumed.
+void ApplyFeed(Collector& collector, std::vector<FeedOp>&& ops);
+
+}  // namespace ranomaly::collector

@@ -975,9 +975,11 @@ obs::HttpServer::Handler MakeOpsHandler(obs::MetricsRegistry* metrics,
     } else if (request.path == "/incidents") {
       std::uint64_t since = 0;
       if (const auto param = request.QueryParam("since")) {
-        char* end = nullptr;
-        since = std::strtoull(param->c_str(), &end, 10);
-        if (param->empty() || end == nullptr || *end != '\0') {
+        // strtoull would silently accept leading whitespace and signs
+        // (a negative wraps to a huge cursor that hides every incident)
+        // and saturates on overflow; ParseU64 is digits-only and
+        // overflow-checked, so every malformed cursor is a loud 400.
+        if (!util::ParseU64(*param, since)) {
           response.status = 400;
           response.body = "bad since parameter: want a non-negative integer\n";
           return response;

@@ -54,4 +54,42 @@ std::optional<bgp::PathAttributes> RouteMap::Apply(
   return std::nullopt;  // implicit deny
 }
 
+const char* ToString(Relationship relationship) {
+  switch (relationship) {
+    case Relationship::kCustomer: return "customer";
+    case Relationship::kPeer: return "peer";
+    case Relationship::kProvider: return "provider";
+  }
+  return "?";
+}
+
+const char* ToString(RouteSource source) {
+  switch (source) {
+    case RouteSource::kSelf: return "self";
+    case RouteSource::kCustomer: return "customer";
+    case RouteSource::kPeer: return "peer";
+    case RouteSource::kProvider: return "provider";
+  }
+  return "?";
+}
+
+bool ExportPermitted(RouteSource source, Relationship neighbor) {
+  // Own and customer routes earn money on every link; peer and provider
+  // routes only flow down to customers.
+  if (source == RouteSource::kSelf || source == RouteSource::kCustomer) {
+    return true;
+  }
+  return neighbor == Relationship::kCustomer;
+}
+
+int PreferenceRank(RouteSource source) {
+  switch (source) {
+    case RouteSource::kSelf: return 0;
+    case RouteSource::kCustomer: return 1;
+    case RouteSource::kPeer: return 2;
+    case RouteSource::kProvider: return 3;
+  }
+  return 4;
+}
+
 }  // namespace ranomaly::net

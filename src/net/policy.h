@@ -113,6 +113,46 @@ struct DampingConfig {
   double max_penalty = 12000.0;
 };
 
+// --- Gao-Rexford relationship model -----------------------------------
+//
+// Inter-AS links carry a business relationship (CAIDA serial-2 terms:
+// provider-to-customer or peer-to-peer), and the classic Gao-Rexford
+// export rule — routes learned from customers go to everyone, routes
+// learned from peers or providers go only to customers — is what keeps
+// AS paths valley-free.  The internet-scale workload generator
+// (workload::BuildInternetScale) propagates routes under exactly these
+// rules; they live here because they are routing *policy*, the same
+// layer as the route-maps above.
+
+// What a neighbor is to us across one link.
+enum class Relationship : std::uint8_t {
+  kCustomer = 0,  // they pay us
+  kPeer = 1,      // settlement-free
+  kProvider = 2,  // we pay them
+};
+
+const char* ToString(Relationship relationship);
+
+// Where we learned a route (kSelf = we originate the prefix).
+enum class RouteSource : std::uint8_t {
+  kSelf = 0,
+  kCustomer = 1,
+  kPeer = 2,
+  kProvider = 3,
+};
+
+const char* ToString(RouteSource source);
+
+// The Gao-Rexford export rule: own and customer routes are exported on
+// every link; peer and provider routes only down to customers (exporting
+// them anywhere else would make us free transit — the Section I route
+// leak is exactly this rule being violated).
+bool ExportPermitted(RouteSource source, Relationship neighbor);
+
+// Gao-Rexford route preference: smaller is better (customer routes beat
+// peer routes beat provider routes, regardless of path length).
+int PreferenceRank(RouteSource source);
+
 // Per-neighbor session policy: import/export maps + max-prefix guard +
 // flap damping.
 struct NeighborPolicy {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <map>
 #include <set>
@@ -30,11 +32,26 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
-// Shortest round-ish form for bucket labels ("0.001", "4e-06").
+// Shortest decimal form that parses back to exactly `v` ("0.001",
+// "1.048576", "4e-06").  Bare %g truncates to 6 significant digits,
+// which is lossy for exponential bucket bounds (1.048576 -> "1.04858"):
+// two distinct bounds can then print identically, and a scraper that
+// re-parses the `le` label attributes samples to a different bucket
+// edge than the one the histogram actually used.
 std::string FormatBound(double v) {
+  // Shortest %g rendering that parses back to the exact double.  Length
+  // is not monotonic in precision (%.1g turns 10 into "1e+01" while
+  // %.2g gives "10"), so scan all precisions and keep the shortest.
+  char best[64] = "";
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%g", v);
-  return buf;
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) != v) continue;
+    if (best[0] == '\0' || std::strlen(buf) < std::strlen(best)) {
+      std::memcpy(best, buf, sizeof(buf));
+    }
+  }
+  return best[0] == '\0' ? buf : best;
 }
 
 std::string EscapeJson(std::string_view s) {

@@ -1,0 +1,779 @@
+#include "workload/internet_scale.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "collector/collector.h"
+#include "collector/feed.h"
+#include "net/policy.h"
+#include "util/log.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace ranomaly::workload {
+namespace {
+
+using util::LogLevel;
+
+constexpr std::uint32_t kNoParent = 0xffffffffu;
+
+// Canonical undirected pair key for edge dedup.
+std::uint64_t PairKey(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t lo = a < b ? a : b;
+  const std::uint32_t hi = a < b ? b : a;
+  return (std::uint64_t{lo} << 32) | hi;
+}
+
+// Canonical relationship of a pair: 0 peers, 1 lower-ASN side is the
+// provider, 2 higher-ASN side is the provider.  Distinguishing 1 from 2
+// is what lets a duplicate line with the roles swapped be flagged as a
+// *conflict* rather than a plain repeat.
+std::uint8_t PairRel(const AsRelationship& e) {
+  if (e.rel == 0) return 0;
+  return e.asn1 < e.asn2 ? 1 : 2;
+}
+
+// Per-AS best route toward the vantage. cls is RouteSource+1; 0 = none.
+struct Route {
+  std::uint32_t parent = kNoParent;
+  std::uint16_t len = 0;
+  std::uint8_t cls = 0;
+};
+
+constexpr std::uint8_t kClsNone = 0;
+
+std::uint8_t ClsOf(net::RouteSource source) {
+  return static_cast<std::uint8_t>(source) + 1;
+}
+net::RouteSource SourceOf(std::uint8_t cls) {
+  return static_cast<net::RouteSource>(cls - 1);
+}
+
+// Independent per-slot generator: a pure function of (seed, salt, slot),
+// so churn decisions are identical no matter which thread or chunk asks.
+util::Rng SlotRng(std::uint64_t seed, std::uint64_t salt, std::uint64_t slot) {
+  return util::Rng(seed ^ (salt * 0x9e3779b97f4a7c15ULL) ^
+                   (slot * 0xbf58476d1ce4e5b9ULL + 0x94d049bb133111ebULL));
+}
+
+}  // namespace
+
+std::string Serial2Diagnostics::Summary() const {
+  std::string s = util::StrPrintf("%zu lines: %zu edges, %zu comments, %zu malformed",
+                                  lines, edges, comments, Malformed());
+  if (Malformed() > 0) {
+    s += util::StrPrintf(
+        " (%zu bad fields, %zu bad ASN, %zu bad rel, %zu self-loops, "
+        "%zu duplicates, %zu conflicting duplicates; first at line %zu)",
+        bad_field_count, bad_asn, bad_rel, self_loops, duplicate_edges,
+        conflicting_duplicates, first_bad_line);
+  }
+  return s;
+}
+
+std::vector<AsRelationship> ParseSerial2(std::istream& is,
+                                         Serial2Diagnostics& diag) {
+  diag = Serial2Diagnostics{};
+  std::vector<AsRelationship> edges;
+  std::unordered_map<std::uint64_t, std::uint8_t> seen;
+  std::string line;
+  std::size_t lineno = 0;
+  const auto bad = [&](std::size_t& counter) {
+    ++counter;
+    if (diag.first_bad_line == 0) diag.first_bad_line = lineno;
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    ++diag.lines;
+    const std::string_view sv = util::Trim(line);
+    if (sv.empty()) continue;
+    if (sv.front() == '#') {
+      ++diag.comments;
+      continue;
+    }
+    const auto fields = util::Split(sv, '|');
+    // Real CAIDA as-rel2 files carry a 4th "source" column; accept and
+    // ignore it.
+    if (fields.size() != 3 && fields.size() != 4) {
+      bad(diag.bad_field_count);
+      RANOMALY_LOG_EVERY_N(
+          LogLevel::kWarn, 1000,
+          util::StrPrintf("serial-2 line %zu: want asn1|asn2|rel, got %zu field(s)",
+                          lineno, fields.size()));
+      continue;
+    }
+    std::uint32_t asn1 = 0;
+    std::uint32_t asn2 = 0;
+    if (!util::ParseU32(util::Trim(fields[0]), asn1) ||
+        !util::ParseU32(util::Trim(fields[1]), asn2)) {
+      bad(diag.bad_asn);
+      RANOMALY_LOG_EVERY_N(
+          LogLevel::kWarn, 1000,
+          util::StrPrintf("serial-2 line %zu: ASN is not a 32-bit integer", lineno));
+      continue;
+    }
+    const std::string_view rel_sv = util::Trim(fields[2]);
+    std::int8_t rel = 0;
+    if (rel_sv == "-1") {
+      rel = -1;
+    } else if (rel_sv != "0") {
+      bad(diag.bad_rel);
+      RANOMALY_LOG_EVERY_N(
+          LogLevel::kWarn, 1000,
+          util::StrPrintf("serial-2 line %zu: rel must be -1 or 0", lineno));
+      continue;
+    }
+    if (asn1 == asn2) {
+      bad(diag.self_loops);
+      RANOMALY_LOG_EVERY_N(
+          LogLevel::kWarn, 1000,
+          util::StrPrintf("serial-2 line %zu: self-loop on AS %u", lineno, asn1));
+      continue;
+    }
+    const AsRelationship edge{asn1, asn2, rel};
+    const auto [it, inserted] = seen.emplace(PairKey(asn1, asn2), PairRel(edge));
+    if (!inserted) {
+      if (it->second == PairRel(edge)) {
+        bad(diag.duplicate_edges);
+        RANOMALY_LOG_EVERY_N(
+            LogLevel::kWarn, 1000,
+            util::StrPrintf("serial-2 line %zu: duplicate edge %u|%u", lineno,
+                            asn1, asn2));
+      } else {
+        bad(diag.conflicting_duplicates);
+        RANOMALY_LOG_EVERY_N(
+            LogLevel::kWarn, 1000,
+            util::StrPrintf(
+                "serial-2 line %zu: edge %u|%u conflicts with an earlier "
+                "relationship for the same pair (keeping the first)",
+                lineno, asn1, asn2));
+      }
+      continue;
+    }
+    edges.push_back(edge);
+    ++diag.edges;
+  }
+  return edges;
+}
+
+void WriteSerial2(std::ostream& os, std::span<const AsRelationship> edges) {
+  os << "# serial-2 AS relationships: asn1|asn2|rel "
+        "(-1: asn1 is the provider of asn2, 0: peers)\n";
+  for (const AsRelationship& e : edges) {
+    os << e.asn1 << '|' << e.asn2 << '|' << static_cast<int>(e.rel) << '\n';
+  }
+}
+
+AsGraph BuildAsGraph(std::span<const AsRelationship> edges) {
+  AsGraph g;
+  g.asns.reserve(edges.size());
+  for (const AsRelationship& e : edges) {
+    g.asns.push_back(e.asn1);
+    g.asns.push_back(e.asn2);
+  }
+  std::sort(g.asns.begin(), g.asns.end());
+  g.asns.erase(std::unique(g.asns.begin(), g.asns.end()), g.asns.end());
+  const std::size_t n = g.asns.size();
+
+  std::unordered_map<std::uint32_t, std::uint32_t> index;
+  index.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) index.emplace(g.asns[i], i);
+
+  std::vector<std::vector<std::uint32_t>> cust(n), prov(n), peer(n);
+  for (const AsRelationship& e : edges) {
+    const std::uint32_t a = index.at(e.asn1);
+    const std::uint32_t b = index.at(e.asn2);
+    if (e.rel == 0) {
+      peer[a].push_back(b);
+      peer[b].push_back(a);
+    } else {
+      cust[a].push_back(b);  // asn1 is the provider of asn2
+      prov[b].push_back(a);
+    }
+  }
+  // Dense indices ascend with ASN, so sorting by index is sorting by
+  // neighbor ASN; unique() tolerates repeated input edges.
+  const auto dedup = [](std::vector<std::vector<std::uint32_t>>& adj) {
+    for (auto& v : adj) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+  };
+  dedup(cust);
+  dedup(prov);
+  dedup(peer);
+
+  // Kahn over customer->provider edges: a node ranks once every customer
+  // has.  Provider cycles leave nodes unranked; each pass drops the
+  // provider edges internal to the unranked set (deterministically, and
+  // counted) and re-runs until everything ranks.
+  std::vector<std::uint32_t> rank(n, 0);
+  std::vector<char> ranked(n, 0);
+  const auto kahn = [&]() -> std::size_t {
+    std::fill(rank.begin(), rank.end(), 0);
+    std::fill(ranked.begin(), ranked.end(), 0);
+    std::vector<std::uint32_t> pending(n);
+    std::vector<std::uint32_t> queue;
+    queue.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pending[i] = static_cast<std::uint32_t>(cust[i].size());
+      if (pending[i] == 0) {
+        ranked[i] = 1;
+        queue.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::uint32_t i = queue[head];
+      for (const std::uint32_t p : prov[i]) {
+        rank[p] = std::max(rank[p], rank[i] + 1);
+        if (--pending[p] == 0) {
+          ranked[p] = 1;
+          queue.push_back(p);
+        }
+      }
+    }
+    return queue.size();
+  };
+
+  std::size_t done = kahn();
+  while (done < n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ranked[i]) continue;
+      auto& pv = prov[i];
+      std::size_t w = 0;
+      for (std::size_t k = 0; k < pv.size(); ++k) {
+        const std::uint32_t p = pv[k];
+        if (!ranked[p]) {
+          ++g.cycle_edges_dropped;
+          auto& cv = cust[p];
+          cv.erase(std::find(cv.begin(), cv.end(), static_cast<std::uint32_t>(i)));
+        } else {
+          pv[w++] = pv[k];
+        }
+      }
+      pv.resize(w);
+    }
+    done = kahn();
+  }
+
+  const auto to_csr = [n](const std::vector<std::vector<std::uint32_t>>& adj,
+                          std::vector<std::uint32_t>& offsets,
+                          std::vector<std::uint32_t>& flat) {
+    offsets.assign(n + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      offsets[i + 1] = offsets[i] + static_cast<std::uint32_t>(adj[i].size());
+    }
+    flat.reserve(offsets[n]);
+    for (std::size_t i = 0; i < n; ++i) {
+      flat.insert(flat.end(), adj[i].begin(), adj[i].end());
+    }
+  };
+  to_csr(cust, g.customer_offsets, g.customers);
+  to_csr(prov, g.provider_offsets, g.providers);
+  to_csr(peer, g.peer_offsets, g.peers);
+  g.edge_count = g.customers.size() + g.peers.size() / 2;
+
+  g.max_rank = 0;
+  for (std::size_t i = 0; i < n; ++i) g.max_rank = std::max<std::size_t>(g.max_rank, rank[i]);
+  // Counting sort by rank, ascending index within a rank.
+  g.rank_offsets.assign(g.max_rank + 2, 0);
+  for (std::size_t i = 0; i < n; ++i) ++g.rank_offsets[rank[i] + 1];
+  for (std::size_t r = 0; r + 1 < g.rank_offsets.size(); ++r) {
+    g.rank_offsets[r + 1] += g.rank_offsets[r];
+  }
+  g.rank_members.resize(n);
+  std::vector<std::uint32_t> cursor(g.rank_offsets.begin(),
+                                    g.rank_offsets.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.rank_members[cursor[rank[i]]++] = static_cast<std::uint32_t>(i);
+  }
+  g.rank = std::move(rank);
+  return g;
+}
+
+std::size_t CustomerConeSize(const AsGraph& graph, std::size_t as_index) {
+  std::vector<char> visited(graph.size(), 0);
+  std::vector<std::uint32_t> stack{static_cast<std::uint32_t>(as_index)};
+  visited[as_index] = 1;
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const std::uint32_t i = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const std::uint32_t c : graph.CustomersOf(i)) {
+      if (!visited[c]) {
+        visited[c] = 1;
+        stack.push_back(c);
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<AsRelationship> GenerateTopology(
+    const InternetScaleOptions& options) {
+  const std::size_t n = std::max<std::size_t>(options.as_count, 4);
+  const std::size_t tier1 =
+      std::min(std::max<std::size_t>(options.tier1_count, 1), n);
+  const std::size_t mid = std::min(options.mid_tier_count, n - tier1);
+  const std::size_t mid_begin = tier1;
+  const std::size_t mid_end = tier1 + mid;
+
+  util::Rng rng(options.seed);
+  // Scrambled ASN assignment: structural index carries no ASN-order
+  // information, which is exactly what BuildAsGraph must not rely on.
+  std::vector<std::uint32_t> asn(n);
+  for (std::size_t i = 0; i < n; ++i) asn[i] = static_cast<std::uint32_t>(100 + i);
+  rng.Shuffle(asn);
+
+  std::vector<AsRelationship> edges;
+  std::unordered_set<std::uint64_t> seen;
+  const auto add = [&](std::size_t a, std::size_t b, std::int8_t rel) {
+    if (a == b) return;
+    if (!seen.insert(PairKey(asn[a], asn[b])).second) return;
+    edges.push_back({asn[a], asn[b], rel});
+  };
+
+  // Tier-1 clique: the provider-free top, fully peered.
+  for (std::size_t a = 0; a < tier1; ++a) {
+    for (std::size_t b = a + 1; b < tier1; ++b) add(a, b, 0);
+  }
+  // Transit tier: multi-homed to the clique and (preferentially) to
+  // earlier, bigger transits — earlier index never buys from later, so
+  // the synthetic hierarchy is acyclic by construction.
+  for (std::size_t i = mid_begin; i < mid_end; ++i) {
+    const std::size_t providers =
+        1 + (rng.NextBool(0.7) ? 1 : 0) + (rng.NextBool(0.25) ? 1 : 0);
+    for (std::size_t k = 0; k < providers; ++k) {
+      std::size_t p;
+      if (i < mid_begin + mid / 10 || i == mid_begin || rng.NextBool(0.25)) {
+        p = rng.NextBelow(tier1);
+      } else {
+        const double u = rng.NextDouble();
+        p = mid_begin +
+            static_cast<std::size_t>(u * u * static_cast<double>(i - mid_begin));
+      }
+      add(p, i, -1);
+    }
+  }
+  // Same-tier transit peering.
+  for (std::size_t i = mid_begin; i < mid_end && mid > 1; ++i) {
+    const std::size_t want = 1 + (rng.NextBool(0.5) ? 1 : 0);
+    for (std::size_t k = 0; k < want; ++k) {
+      add(i, mid_begin + rng.NextBelow(mid), 0);
+    }
+  }
+  // Stubs: one to three transit (rarely tier-1) providers, occasional
+  // stub-stub peering for rank-0 peer-wave coverage.
+  for (std::size_t i = mid_end; i < n; ++i) {
+    const std::size_t providers =
+        1 + (rng.NextBool(0.4) ? 1 : 0) + (rng.NextBool(0.1) ? 1 : 0);
+    for (std::size_t k = 0; k < providers; ++k) {
+      std::size_t p;
+      if (mid == 0 || rng.NextBool(0.03)) {
+        p = rng.NextBelow(tier1);
+      } else {
+        const double u = rng.NextDouble();
+        p = mid_begin + static_cast<std::size_t>(u * u * static_cast<double>(mid));
+        if (p >= mid_end) p = mid_end - 1;
+      }
+      add(p, i, -1);
+    }
+    if (mid_end < n && rng.NextBool(0.05)) {
+      add(i, mid_end + rng.NextBelow(n - mid_end), 0);
+    }
+  }
+  return edges;
+}
+
+namespace {
+
+// Gao-Rexford propagation of vantage `v`'s beacon across the graph, in
+// three phases of rank-flattened waves:
+//   up:   customer routes climb provider links, rank 1..max ascending —
+//         wave r reads only ranks < r, already settled;
+//   peer: one crossing, double-buffered (candidates computed against the
+//         frozen post-up state, merged in a second pass that writes only
+//         its own slots) — no thread ever reads a slot another writes;
+//   down: provider routes descend, rank max..0 descending — wave r reads
+//         only ranks > r.
+// Every wave writes routes[x] for x in its own rank only, so the result
+// is independent of thread count and chunking by construction.
+void Propagate(const AsGraph& g, std::size_t vantage, util::ThreadPool& pool,
+               std::vector<Route>& routes) {
+  const std::size_t n = g.size();
+  constexpr std::size_t kGrain = 256;
+  routes.assign(n, Route{});
+  routes[vantage] = Route{kNoParent, 0, ClsOf(net::RouteSource::kSelf)};
+
+  const auto wave = [&](std::size_t r, const std::function<void(std::uint32_t)>& fn) {
+    const std::uint32_t begin = g.rank_offsets[r];
+    const std::size_t count = g.rank_offsets[r + 1] - begin;
+    pool.ParallelFor(util::ThreadPool::ChunksFor(count, kGrain),
+                     [&](std::size_t chunk) {
+                       const auto [lo, hi] =
+                           util::ThreadPool::ChunkRange(count, kGrain, chunk);
+                       for (std::size_t s = lo; s < hi; ++s) {
+                         fn(g.rank_members[begin + s]);
+                       }
+                     });
+  };
+
+  for (std::size_t r = 1; r <= g.max_rank; ++r) {
+    wave(r, [&](std::uint32_t x) {
+      if (x == vantage) return;
+      Route best;
+      for (const std::uint32_t c : g.CustomersOf(x)) {
+        const Route& rc = routes[c];
+        if (rc.cls == kClsNone) continue;
+        if (!net::ExportPermitted(SourceOf(rc.cls), net::Relationship::kProvider)) {
+          continue;
+        }
+        const std::uint16_t len = static_cast<std::uint16_t>(rc.len + 1);
+        // Customers are ASN-sorted, so strict < keeps the lowest ASN on ties.
+        if (best.cls == kClsNone || len < best.len) {
+          best = Route{c, len, ClsOf(net::RouteSource::kCustomer)};
+        }
+      }
+      if (best.cls != kClsNone) routes[x] = best;
+    });
+  }
+
+  std::vector<Route> cand(n);
+  pool.ParallelFor(util::ThreadPool::ChunksFor(n, 1024), [&](std::size_t chunk) {
+    const auto [lo, hi] = util::ThreadPool::ChunkRange(n, 1024, chunk);
+    for (std::size_t x = lo; x < hi; ++x) {
+      if (routes[x].cls != kClsNone) continue;  // customer/self beats peer
+      Route best;
+      for (const std::uint32_t p : g.PeersOf(x)) {
+        const Route& rp = routes[p];
+        if (rp.cls == kClsNone) continue;
+        if (!net::ExportPermitted(SourceOf(rp.cls), net::Relationship::kPeer)) {
+          continue;
+        }
+        const std::uint16_t len = static_cast<std::uint16_t>(rp.len + 1);
+        if (best.cls == kClsNone || len < best.len) {
+          best = Route{p, len, ClsOf(net::RouteSource::kPeer)};
+        }
+      }
+      cand[x] = best;
+    }
+  });
+  pool.ParallelFor(util::ThreadPool::ChunksFor(n, 4096), [&](std::size_t chunk) {
+    const auto [lo, hi] = util::ThreadPool::ChunkRange(n, 4096, chunk);
+    for (std::size_t x = lo; x < hi; ++x) {
+      if (routes[x].cls == kClsNone && cand[x].cls != kClsNone) {
+        routes[x] = cand[x];
+      }
+    }
+  });
+
+  for (std::size_t r = g.max_rank + 1; r-- > 0;) {
+    wave(r, [&](std::uint32_t x) {
+      if (routes[x].cls != kClsNone) return;  // anything beats provider
+      Route best;
+      for (const std::uint32_t p : g.ProvidersOf(x)) {
+        const Route& rp = routes[p];
+        if (rp.cls == kClsNone) continue;
+        if (!net::ExportPermitted(SourceOf(rp.cls), net::Relationship::kCustomer)) {
+          continue;
+        }
+        const std::uint16_t len = static_cast<std::uint16_t>(rp.len + 1);
+        if (best.cls == kClsNone || len < best.len) {
+          best = Route{p, len, ClsOf(net::RouteSource::kProvider)};
+        }
+      }
+      if (best.cls != kClsNone) routes[x] = best;
+    });
+  }
+}
+
+// The AS path the collector sees from the vantage for a prefix
+// originated at `origin`: the parent chain origin -> vantage, reversed
+// (receiving edge first).  Empty when the chain is broken (defensive —
+// cannot happen for a route the propagation produced).
+bgp::AsPath PathTo(const AsGraph& g, const std::vector<Route>& routes,
+                   std::size_t origin) {
+  std::vector<bgp::AsNumber> chain;
+  std::uint32_t x = static_cast<std::uint32_t>(origin);
+  for (int hop = 0; hop < 64; ++hop) {
+    chain.push_back(g.asns[x]);
+    if (routes[x].cls == ClsOf(net::RouteSource::kSelf)) {
+      std::reverse(chain.begin(), chain.end());
+      return bgp::AsPath(std::move(chain));
+    }
+    x = routes[x].parent;
+    if (x == kNoParent || x >= g.size()) break;
+  }
+  return bgp::AsPath{};
+}
+
+// Vantages = the `want` largest customer cones, picked among the
+// highest-ranked ASes (ties broken by ascending ASN at every step).
+std::vector<std::size_t> PickVantages(const AsGraph& g, std::size_t want) {
+  const std::size_t n = g.size();
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (g.rank[a] != g.rank[b]) return g.rank[a] > g.rank[b];
+              return a < b;  // index order == ASN order
+            });
+  const std::size_t pool_size = std::min(n, std::max(want * 4, want));
+  struct Cand {
+    std::uint32_t idx;
+    std::size_t cone;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    cands.push_back({order[i], CustomerConeSize(g, order[i])});
+  }
+  std::stable_sort(cands.begin(), cands.end(),
+                   [](const Cand& a, const Cand& b) { return a.cone > b.cone; });
+  std::vector<std::size_t> out;
+  out.reserve(want);
+  for (std::size_t i = 0; i < want && i < cands.size(); ++i) {
+    out.push_back(cands[i].idx);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string InternetScaleResult::Summary() const {
+  return util::StrPrintf(
+      "%zu ASes, %zu edges (%zu cycle edges dropped), max rank %zu; "
+      "%zu vantages; %zu prefixes, %zu routes; %zu events "
+      "(%zu flaps, %zu outage routes)",
+      as_count, edge_count, cycle_edges_dropped, max_rank, vantages.size(),
+      prefix_count, route_count, stream.size(), flap_count, outage_routes);
+}
+
+std::optional<InternetScaleResult> BuildInternetScale(
+    const InternetScaleOptions& options, std::string* error) {
+  const auto fail = [&](std::string msg) -> std::optional<InternetScaleResult> {
+    RANOMALY_LOG(LogLevel::kError, msg);
+    if (error != nullptr) *error = std::move(msg);
+    return std::nullopt;
+  };
+
+  InternetScaleResult result;
+  std::vector<AsRelationship> edges;
+  if (!options.relationships_path.empty()) {
+    std::ifstream in(options.relationships_path);
+    if (!in) {
+      return fail("cannot open AS-relationship file: " +
+                  options.relationships_path);
+    }
+    edges = ParseSerial2(in, result.parse);
+    RANOMALY_LOG(result.parse.Malformed() > 0 ? LogLevel::kWarn : LogLevel::kInfo,
+                 options.relationships_path + ": " + result.parse.Summary());
+    if (edges.empty()) {
+      return fail(options.relationships_path + ": no usable serial-2 edges (" +
+                  result.parse.Summary() + ")");
+    }
+  } else {
+    edges = GenerateTopology(options);
+  }
+
+  const AsGraph graph = BuildAsGraph(edges);
+  if (graph.size() < 2) return fail("AS graph needs at least two ASes");
+  if (graph.cycle_edges_dropped > 0) {
+    RANOMALY_LOG(LogLevel::kWarn,
+                 util::StrPrintf("AS graph: broke provider cycles by dropping "
+                                 "%zu edge(s)",
+                                 graph.cycle_edges_dropped));
+  }
+  result.as_count = graph.size();
+  result.edge_count = graph.edge_count;
+  result.cycle_edges_dropped = graph.cycle_edges_dropped;
+  result.max_rank = graph.max_rank;
+
+  // Collector peer addresses are 10.0.0.<1+i>; cap keeps them one octet.
+  const std::size_t want = std::max<std::size_t>(
+      1, std::min({options.monitored_peer_count, graph.size(), std::size_t{250}}));
+  const std::vector<std::size_t> vantage_idx = PickVantages(graph, want);
+  const std::size_t V = vantage_idx.size();
+
+  util::ThreadPool pool(options.threads);
+  std::vector<std::vector<Route>> routes(V);
+  for (std::size_t vi = 0; vi < V; ++vi) {
+    Propagate(graph, vantage_idx[vi], pool, routes[vi]);
+  }
+  result.vantages.resize(V);
+  for (std::size_t vi = 0; vi < V; ++vi) {
+    VantageInfo& info = result.vantages[vi];
+    info.asn = graph.asns[vantage_idx[vi]];
+    info.peer = bgp::Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(1 + vi));
+    info.customer_cone = CustomerConeSize(graph, vantage_idx[vi]);
+  }
+
+  // 210k /24s starting at 11.0.0.0 stay far below the address-space cap;
+  // clamp so absurd requests cannot wrap the 32-bit base.
+  std::size_t P = std::max<std::size_t>(options.prefix_count, 1);
+  if (P > 4'000'000) {
+    RANOMALY_LOG(LogLevel::kWarn,
+                 util::StrPrintf("prefix_count clamped from %zu to 4000000", P));
+    P = 4'000'000;
+  }
+  const std::size_t n = graph.size();
+  const auto origin_of = [n, P](std::size_t j) { return j * n / P; };
+  const auto prefix_of = [](std::size_t j) {
+    return bgp::Prefix(
+        bgp::Ipv4Addr(0x0B000000u + static_cast<std::uint32_t>(j) * 256u), 24);
+  };
+
+  const util::SimTime t0 = util::kSecond;
+  const util::SimDuration dump =
+      std::max<util::SimDuration>(options.table_dump_duration, 1);
+  const util::SimDuration churn =
+      std::max<util::SimDuration>(options.churn_duration, 1);
+  const util::SimTime churn_begin = t0 + dump + util::kSecond;
+  const util::SimTime churn_end = churn_begin + churn;
+  const std::size_t total_slots = P * V;
+
+  std::size_t out_lo = P;
+  std::size_t out_hi = P;
+  if (options.outage_fraction > 0) {
+    out_lo = static_cast<std::size_t>(static_cast<double>(P) * 0.55);
+    out_hi = std::min(
+        P, out_lo + std::max<std::size_t>(
+                        1, static_cast<std::size_t>(static_cast<double>(P) *
+                                                    options.outage_fraction)));
+  }
+  const util::SimTime outage_start = churn_begin + churn * 2 / 5;
+  const util::SimTime outage_heal = outage_start + churn / 4;
+
+  // Feed ops, generated prefix-chunk-parallel and merged in chunk order:
+  // every op's timing and content is a pure function of (options, slot).
+  constexpr std::size_t kGenGrain = 2048;
+  const std::size_t chunks = util::ThreadPool::ChunksFor(P, kGenGrain);
+  std::vector<std::vector<collector::FeedOp>> chunk_ops(chunks);
+  struct GenCounts {
+    std::uint64_t prefixes = 0;
+    std::uint64_t routes = 0;
+    std::uint64_t flaps = 0;
+    std::uint64_t outage = 0;
+  };
+  std::vector<GenCounts> chunk_counts(chunks);
+
+  pool.ParallelFor(chunks, [&](std::size_t chunk) {
+    const auto [jlo, jhi] = util::ThreadPool::ChunkRange(P, kGenGrain, chunk);
+    auto& ops = chunk_ops[chunk];
+    GenCounts& counts = chunk_counts[chunk];
+    ops.reserve((jhi - jlo) * V + 16);
+    for (std::size_t j = jlo; j < jhi; ++j) {
+      const std::size_t origin = origin_of(j);
+      const bgp::Prefix pfx = prefix_of(j);
+      bool announced = false;
+      for (std::size_t vi = 0; vi < V; ++vi) {
+        if (routes[vi][origin].cls == kClsNone) continue;
+        bgp::AsPath path = PathTo(graph, routes[vi], origin);
+        if (path.Empty()) continue;
+        const std::size_t slot = j * V + vi;
+        const bgp::Ipv4Addr peer = result.vantages[vi].peer;
+        const util::SimTime t_dump =
+            t0 + static_cast<util::SimTime>(
+                     static_cast<std::uint64_t>(slot) *
+                     static_cast<std::uint64_t>(dump) / total_slots);
+
+        bgp::PathAttributes attrs;
+        attrs.nexthop =
+            bgp::Ipv4Addr(10, 1, static_cast<std::uint8_t>(vi), 1);
+        attrs.as_path = std::move(path);
+        ops.push_back({t_dump, peer, bgp::EventType::kAnnounce, pfx, attrs});
+        announced = true;
+        ++counts.routes;
+
+        const bool in_outage = j >= out_lo && j < out_hi;
+        const bool oscillating = j < options.oscillating_prefixes && vi == 0;
+        if (!in_outage && !oscillating && options.flap_fraction > 0) {
+          util::Rng fr = SlotRng(options.seed, 0xF1A9, slot);
+          if (fr.NextBool(options.flap_fraction)) {
+            const util::SimTime tw =
+                churn_begin +
+                static_cast<util::SimTime>(fr.NextBelow(std::max<std::uint64_t>(
+                    1, static_cast<std::uint64_t>(churn) * 3 / 4)));
+            const util::SimTime ta = std::min<util::SimTime>(
+                churn_end,
+                tw + util::kSecond +
+                    static_cast<util::SimTime>(fr.NextBelow(
+                        static_cast<std::uint64_t>(30 * util::kSecond))));
+            ops.push_back({tw, peer, bgp::EventType::kWithdraw, pfx, {}});
+            ops.push_back({ta, peer, bgp::EventType::kAnnounce, pfx, attrs});
+            ++counts.flaps;
+          }
+        }
+        if (in_outage) {
+          util::Rng orr = SlotRng(options.seed, 0x0074, slot);
+          const auto jitter = [&orr] {
+            return static_cast<util::SimTime>(
+                orr.NextBelow(static_cast<std::uint64_t>(2 * util::kSecond)));
+          };
+          ops.push_back({outage_start + jitter(), peer,
+                         bgp::EventType::kWithdraw, pfx, {}});
+          ops.push_back({outage_heal + jitter(), peer,
+                         bgp::EventType::kAnnounce, pfx, attrs});
+          ++counts.outage;
+        }
+        if (oscillating) {
+          // Announce-announce oscillation: the route alternates between
+          // the dump path and a prepended alternate every 15 s.
+          bgp::PathAttributes alt = attrs;
+          alt.as_path = attrs.as_path.Prepend(result.vantages[vi].asn, 2);
+          alt.med = 10;
+          const util::SimDuration half = 15 * util::kSecond;
+          for (util::SimTime t = churn_begin; t + half < churn_end;
+               t += 2 * half) {
+            ops.push_back({t, peer, bgp::EventType::kAnnounce, pfx, alt});
+            ops.push_back({t + half, peer, bgp::EventType::kAnnounce, pfx, attrs});
+          }
+        }
+      }
+      if (announced) ++counts.prefixes;
+    }
+  });
+
+  std::size_t total_ops = 0;
+  for (const auto& c : chunk_ops) total_ops += c.size();
+  std::vector<collector::FeedOp> ops;
+  ops.reserve(total_ops);
+  for (auto& c : chunk_ops) {
+    ops.insert(ops.end(), std::make_move_iterator(c.begin()),
+               std::make_move_iterator(c.end()));
+    c.clear();
+    c.shrink_to_fit();
+  }
+  for (const GenCounts& c : chunk_counts) {
+    result.prefix_count += c.prefixes;
+    result.route_count += c.routes;
+    result.flap_count += c.flaps;
+    result.outage_routes += c.outage;
+  }
+  for (std::size_t vi = 0; vi < V; ++vi) {
+    std::size_t reach = 0;
+    for (std::size_t j = 0; j < P; ++j) {
+      if (routes[vi][origin_of(j)].cls != kClsNone) ++reach;
+    }
+    result.vantages[vi].routes = reach;
+  }
+
+  collector::SortFeed(ops);
+  collector::Collector coll;
+  collector::ApplyFeed(coll, std::move(ops));
+  result.stream = std::move(coll.mutable_events());
+  RANOMALY_LOG(LogLevel::kInfo, "internet-scale workload: " + result.Summary());
+  return result;
+}
+
+}  // namespace ranomaly::workload

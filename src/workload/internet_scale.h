@@ -1,0 +1,201 @@
+// Internet-scale AS-topology workload: CAIDA serial-2 relationships in,
+// a collector event stream with millions of routes out.
+//
+// The paper's headline datasets are real BGP feeds covering hundreds of
+// thousands of prefixes; the scaled meshes in internet.h stop an order
+// of magnitude short.  This generator closes the gap: it loads (or
+// synthesizes) an AS-relationship graph in CAIDA's serial-2 format
+// ("asn1|asn2|rel", rel -1 = asn1 is the provider of asn2, 0 = peers),
+// ranks the graph by customer-cone depth, propagates a beacon from each
+// monitored vantage AS Gao-Rexford-style — customer routes up, one peer
+// crossing, provider routes down, each rank's ASes processed as one
+// deterministic ThreadPool wave — and reverses the resulting per-AS best
+// paths into the full-table announcements a route collector peered with
+// those vantages would record.  The events are pushed through the real
+// collection layer (collector::ApplyFeed), so withdrawals are augmented
+// from the Adj-RIB-In and peer health is accounted exactly as in a live
+// deployment.
+//
+// Determinism: every wave writes only its own rank's slots and reads
+// only settled ranks, the peer crossing double-buffers, and event
+// emission is chunked with in-order merges — the output stream is
+// bit-identical at any RANOMALY_THREADS (the PR 7 shard/merge contract).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "collector/event_stream.h"
+#include "util/time.h"
+
+namespace ranomaly::workload {
+
+// One AS-relationship edge in CAIDA serial-2 terms.
+struct AsRelationship {
+  std::uint32_t asn1 = 0;
+  std::uint32_t asn2 = 0;
+  std::int8_t rel = 0;  // -1: asn1 is the provider of asn2; 0: peers
+
+  friend bool operator==(const AsRelationship&, const AsRelationship&) =
+      default;
+};
+
+// Parse accounting for serial-2 input, in the LoadBinary-diagnostics
+// idiom of PR 1: malformed lines are counted by failure mode,
+// rate-limit-logged with their line numbers, and surfaced in a summary —
+// never a crash, never a silent drop.
+struct Serial2Diagnostics {
+  std::size_t lines = 0;          // total lines read
+  std::size_t comments = 0;       // '#' comment lines
+  std::size_t edges = 0;          // well-formed, deduplicated edges kept
+  std::size_t bad_field_count = 0;   // not exactly asn1|asn2|rel
+  std::size_t bad_asn = 0;           // non-integer or > 2^32-1 ASN
+  std::size_t bad_rel = 0;           // rel other than -1 or 0
+  std::size_t self_loops = 0;        // asn1 == asn2
+  std::size_t duplicate_edges = 0;   // same pair, same relationship
+  std::size_t conflicting_duplicates = 0;  // same pair, different rel
+  std::size_t first_bad_line = 0;    // 1-based; 0 = clean parse
+
+  std::size_t Malformed() const {
+    return bad_field_count + bad_asn + bad_rel + self_loops +
+           duplicate_edges + conflicting_duplicates;
+  }
+  // "120001 lines: 119988 edges, 2 comments, 11 malformed (3 bad ASN,
+  //  ...; first at line 17)"
+  std::string Summary() const;
+};
+
+// Parses serial-2 text.  Malformed lines are dropped loudly (counted in
+// `diag`, rate-limit-logged with line numbers); duplicate pairs keep
+// their first relationship.  Returns the edges in file order.
+std::vector<AsRelationship> ParseSerial2(std::istream& is,
+                                         Serial2Diagnostics& diag);
+
+// Writes edges as serial-2 text (with a '#' header comment), the exact
+// format ParseSerial2 accepts — save/parse round-trips reproduce the
+// edge list verbatim.
+void WriteSerial2(std::ostream& os, std::span<const AsRelationship> edges);
+
+struct InternetScaleOptions {
+  // When set, relationships are loaded from this serial-2 file instead
+  // of being synthesized.
+  std::string relationships_path;
+
+  // --- synthetic-topology knobs (ignored when loading from a file) ----
+  std::size_t as_count = 32'000;
+  std::size_t tier1_count = 12;      // provider-free clique at the top
+  std::size_t mid_tier_count = 1'400;  // transit ASes below the clique
+  std::uint64_t seed = 42;
+
+  // --- workload knobs -------------------------------------------------
+  std::size_t prefix_count = 210'000;      // spread over all ASes
+  std::size_t monitored_peer_count = 5;    // vantages, largest cones first
+  util::SimDuration table_dump_duration = 10 * util::kMinute;
+  // Background churn: this fraction of routes flaps (withdraw +
+  // re-announce) during the post-dump window — the Section IV-E "grass".
+  double flap_fraction = 0.05;
+  util::SimDuration churn_duration = 20 * util::kMinute;
+  // Structured anomaly: a contiguous block of origin ASes covering
+  // roughly this fraction of prefixes fails (withdrawals at every
+  // vantage) and heals a few minutes later — the stemmable incident.
+  double outage_fraction = 0.02;
+  // Single-prefix persistent oscillation (Section IV-F), one cycle per
+  // 30 s of the churn window; 0 disables.
+  std::size_t oscillating_prefixes = 1;
+  // Analysis threads for the propagation waves; 0 = RANOMALY_THREADS.
+  std::size_t threads = 0;
+};
+
+// The relationship graph in dense-index form (index = rank of the ASN in
+// ascending order), with CSR adjacency split by role and the
+// customer-cone wave ranking the propagation runs on.
+struct AsGraph {
+  std::vector<std::uint32_t> asns;  // dense index -> ASN, ascending
+
+  // CSR neighbor lists (dense indices), each sorted by neighbor ASN.
+  std::vector<std::uint32_t> customer_offsets, customers;
+  std::vector<std::uint32_t> provider_offsets, providers;
+  std::vector<std::uint32_t> peer_offsets, peers;
+
+  // Wave rank: 0 for customer-free stubs, 1 + max(rank of customers)
+  // otherwise, so every provider outranks each of its customers.
+  std::vector<std::uint32_t> rank;
+  // AS indices grouped by rank: wave r is rank_members[rank_offsets[r]
+  // .. rank_offsets[r+1]).
+  std::vector<std::uint32_t> rank_offsets;
+  std::vector<std::uint32_t> rank_members;
+  std::size_t max_rank = 0;
+
+  std::size_t edge_count = 0;
+  // Provider loops (impossible in a sane economy, present in malformed
+  // inputs) are broken deterministically; the dropped edges are counted.
+  std::size_t cycle_edges_dropped = 0;
+
+  std::size_t size() const { return asns.size(); }
+  std::span<const std::uint32_t> CustomersOf(std::size_t i) const {
+    return {customers.data() + customer_offsets[i],
+            customers.data() + customer_offsets[i + 1]};
+  }
+  std::span<const std::uint32_t> ProvidersOf(std::size_t i) const {
+    return {providers.data() + provider_offsets[i],
+            providers.data() + provider_offsets[i + 1]};
+  }
+  std::span<const std::uint32_t> PeersOf(std::size_t i) const {
+    return {peers.data() + peer_offsets[i],
+            peers.data() + peer_offsets[i + 1]};
+  }
+};
+
+// Builds the dense graph from an edge list (order-insensitive: the dense
+// indexing sorts by ASN, so any permutation of the same edges yields the
+// same graph).
+AsGraph BuildAsGraph(std::span<const AsRelationship> edges);
+
+// Number of ASes in `as_index`'s customer cone (itself included) — the
+// CAIDA ranking metric; BFS over customer edges.
+std::size_t CustomerConeSize(const AsGraph& graph, std::size_t as_index);
+
+// Synthesizes a serial-2 edge list with the internet's shape: a tier-1
+// peering clique, a multi-homed transit hierarchy, stub leaves, and
+// same-tier peering — deterministic for a given options.seed.
+std::vector<AsRelationship> GenerateTopology(
+    const InternetScaleOptions& options);
+
+// One monitored vantage: the AS a collector session peers with.
+struct VantageInfo {
+  std::uint32_t asn = 0;
+  bgp::Ipv4Addr peer;            // the collector-facing session address
+  std::size_t customer_cone = 0;
+  std::size_t routes = 0;        // reachable prefixes at this vantage
+};
+
+struct InternetScaleResult {
+  collector::EventStream stream;
+  Serial2Diagnostics parse;  // zero edges when synthesized directly
+  std::vector<VantageInfo> vantages;
+
+  std::size_t as_count = 0;
+  std::size_t edge_count = 0;
+  std::size_t cycle_edges_dropped = 0;
+  std::size_t max_rank = 0;
+  std::size_t prefix_count = 0;  // distinct prefixes announced
+  std::size_t route_count = 0;   // (vantage, prefix) routes in the dump
+  std::size_t flap_count = 0;    // churn flaps emitted
+  std::size_t outage_routes = 0; // routes withdrawn by the outage
+
+  std::string Summary() const;
+};
+
+// The tentpole: load-or-generate the topology, rank it, propagate
+// Gao-Rexford beacons from every vantage in deterministic rank waves,
+// and emit the table dump + churn + outage through the collection layer.
+// Returns nullopt (with `*error` set) when a relationships file cannot
+// be opened or parses to an unusable graph.
+std::optional<InternetScaleResult> BuildInternetScale(
+    const InternetScaleOptions& options, std::string* error = nullptr);
+
+}  // namespace ranomaly::workload

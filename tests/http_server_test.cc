@@ -11,6 +11,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/live.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+
 namespace ranomaly::obs {
 namespace {
 
@@ -160,6 +164,41 @@ TEST_F(HttpServerTest, MalformedHeaderLineIs400) {
   const std::string got = RawRequest(
       server_->port(), "GET / HTTP/1.1\r\nno colon here\r\n\r\n");
   EXPECT_NE(got.find("400 Bad Request"), std::string::npos);
+}
+
+// End-to-end regression for the /incidents cursor: strtoull-style
+// parsing silently accepted signs, leading whitespace, and trailing
+// garbage ("-1" wrapped to 2^64-1 and hid every incident) and saturated
+// on overflow.  Every malformed cursor must be a loud 400 over real
+// HTTP; only pure digit strings in range pass.
+TEST(OpsServerTest, IncidentsSinceRejectsMalformedCursorsOverHttp) {
+  obs::HealthRegistry health;
+  core::IncidentLog log;
+  HttpServer server(core::MakeOpsHandler(
+      &obs::MetricsRegistry::Global(), &health, &log,
+      core::OpsInfo{"capture.events", 2, 30.0, 10.0, 300.0}));
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  for (const char* bad :
+       {"since=%2B1",                     // "+1": explicit sign
+        "since=-1",                       // wraps to a huge cursor
+        "since=%201",                     // " 1": leading whitespace
+        "since=1x",                       // trailing garbage
+        "since=0x10",                     // hex is not a cursor
+        "since=18446744073709551616"}) {  // 2^64: overflow
+    const auto got =
+        HttpGet(server.port(), std::string("/incidents?") + bad);
+    ASSERT_TRUE(got.has_value()) << bad;
+    EXPECT_NE(got->find("400 Bad Request"), std::string::npos) << bad;
+  }
+  for (const char* good :
+       {"", "?since=0", "?since=7", "?since=18446744073709551615"}) {
+    const auto got =
+        HttpGet(server.port(), std::string("/incidents") + good);
+    ASSERT_TRUE(got.has_value()) << good;
+    EXPECT_NE(got->find("200 OK"), std::string::npos) << good;
+  }
 }
 
 TEST_F(HttpServerTest, ConcurrentScrapesAllSucceed) {

@@ -128,6 +128,22 @@ LiveCheckpointState SampleState() {
   return st;
 }
 
+// A checkpoint cut at a quiet tick boundary: zero events in flight (the
+// FLOW range butts up against the LIVE cursor with count 0), an empty
+// incident log, and an all-zero latency histogram.
+LiveCheckpointState BoundaryState() {
+  LiveCheckpointState st;
+  st.t0 = 0;
+  st.next_event = 42;
+  st.stats.ticks = 7;
+  st.stats.events_ingested = 42;
+  st.stats.clock = 70 * kSecond;
+  st.arrival_index = 42;
+  st.flow_start = 42;  // == next_event: nothing in flight
+  st.latency_counts.assign(DetectionLatencyBounds().size() + 1, 0);
+  return st;
+}
+
 std::string TempPath(const char* name) {
   return (fs::temp_directory_path() /
           (std::string("ranomaly_live_ckpt_") + name))
@@ -250,6 +266,77 @@ TEST(LiveCheckpointTest, RejectionNamesTheFailingSection) {
               b[1] ^= 1;  // low byte of flow_start
             })).find("FLOW"),
             std::string::npos);
+}
+
+// The quiet-boundary shape (FLOW count 0, empty incident log, all-zero
+// SLOH) is what every orderly shutdown writes; it must round-trip
+// exactly, not just the fully-populated SampleState.
+TEST(LiveCheckpointTest, FlowBoundaryWithNothingInFlightRoundTrips) {
+  const LiveCheckpointState st = BoundaryState();
+  collector::Checkpoint ck;
+  EncodeLiveState(st, ck);
+  std::stringstream ss;
+  ASSERT_TRUE(collector::SaveCheckpoint(ck, ss));
+  const auto loaded = collector::LoadCheckpoint(ss);
+  ASSERT_TRUE(loaded.has_value());
+  LiveCheckpointState out;
+  std::string error;
+  ASSERT_TRUE(DecodeLiveState(*loaded, &out, &error)) << error;
+  EXPECT_EQ(out.next_event, st.next_event);
+  EXPECT_EQ(out.flow_start, out.next_event);
+  EXPECT_TRUE(out.flow.empty());
+  EXPECT_EQ(out.stats.queue_depth, 0u);
+  EXPECT_TRUE(out.incidents.empty());
+  EXPECT_EQ(out.latency_counts, st.latency_counts);
+}
+
+// Torture cases for the FLOW section edges: a zero-count range detached
+// from the LIVE cursor, bytes past a whole number of packed groups, and
+// nonzero bits in the final byte's padding must all be loud rejections.
+TEST(LiveCheckpointTest, FlowBoundaryViolationsAreRejected) {
+  const auto decode_error = [](const collector::Checkpoint& ck) {
+    LiveCheckpointState out;
+    std::string error;
+    EXPECT_FALSE(DecodeLiveState(ck, &out, &error));
+    return error;
+  };
+  const auto tampered_flow = [](const LiveCheckpointState& st,
+                                const std::function<void(std::string&)>& fn) {
+    collector::Checkpoint ck;
+    EncodeLiveState(st, ck);
+    for (auto& s : ck.sections) {
+      if (s.tag == "FLOW") fn(s.bytes);
+    }
+    return ck;
+  };
+
+  // Empty range that does not butt up against the cursor: with count 0,
+  // flow_start must equal next_event exactly.
+  {
+    const std::string error = decode_error(
+        tampered_flow(BoundaryState(), [](std::string& b) { b[1] ^= 1; }));
+    EXPECT_NE(error.find("FLOW"), std::string::npos) << error;
+    EXPECT_NE(error.find("disagrees with the LIVE cursor"),
+              std::string::npos)
+        << error;
+  }
+  // count == 0 means zero packed bytes; a stray trailing byte is not a
+  // legitimate partial group.
+  {
+    const std::string error = decode_error(tampered_flow(
+        BoundaryState(), [](std::string& b) { b.push_back('\0'); }));
+    EXPECT_NE(error.find("FLOW"), std::string::npos) << error;
+    EXPECT_NE(error.find("trailing bytes"), std::string::npos) << error;
+  }
+  // SampleState carries two in-flight entries, so the final packed byte
+  // has six padding bits that must stay zero.
+  {
+    const std::string error = decode_error(tampered_flow(
+        SampleState(),
+        [](std::string& b) { b[b.size() - 1] |= 0xF0; }));
+    EXPECT_NE(error.find("FLOW"), std::string::npos) << error;
+    EXPECT_NE(error.find("nonzero padding"), std::string::npos) << error;
+  }
 }
 
 // The tentpole guarantee: kill at a tick boundary, restart from the

@@ -331,6 +331,22 @@ TEST_F(OpsHandlerTest, IncidentsEndpointResumes) {
   EXPECT_EQ(handler_(Get("/incidents", "since=")).status, 400);
 }
 
+// The cursor is digits-only: signs, whitespace, trailing garbage, and
+// overflow are all 400 — strtoull would have coerced "-1" into 2^64-1
+// (hiding every incident) and saturated "2^64" to a valid cursor.
+TEST_F(OpsHandlerTest, IncidentsSinceIsStrictlyParsed) {
+  log_.Append(MakeIncidentFor(1, "a"));
+  for (const char* bad : {"since=+1", "since=-1", "since= 1", "since=1 ",
+                          "since=1x", "since=0x10", "since=1.0",
+                          "since=18446744073709551616"}) {
+    EXPECT_EQ(handler_(Get("/incidents", bad)).status, 400) << bad;
+  }
+  // The full u64 range is a valid cursor.
+  const auto max = handler_(Get("/incidents", "since=18446744073709551615"));
+  EXPECT_EQ(max.status, 200);
+  EXPECT_EQ(max.body.find("\"seq\":1"), std::string::npos);
+}
+
 TEST_F(OpsHandlerTest, UnknownPathIs404) {
   EXPECT_EQ(handler_(Get("/")).status, 404);
   EXPECT_EQ(handler_(Get("/metricsx")).status, 404);

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -208,6 +210,84 @@ ranomaly_scrapes_total{job="a\\b\"c\nd"} 1
 ranomaly_scrapes_total{job="plain"} 2
 )PROM";
   EXPECT_EQ(registry.ToPrometheus(), expected);
+}
+
+// le labels must round-trip exactly: bare %g's 6 significant digits
+// collapsed the default detection-latency bounds (1.048576 printed as
+// "1.04858"), so a scraper re-parsing the label saw a bucket edge the
+// histogram never used.
+TEST(MetricsTest, BucketLabelsRoundTripExactly) {
+  MetricsRegistry registry;
+  const std::vector<double> bounds = ExponentialBounds(1e-6, 4.0, 14);
+  const MetricId h = registry.Histogram("detect_lat", bounds);
+  registry.Observe(h, 0.5);
+  const std::string text = registry.ToPrometheus();
+
+  // Every bound appears as an le label whose text parses back to the
+  // exact double, and all labels are distinct.
+  std::set<std::string> labels;
+  for (const double bound : bounds) {
+    const std::size_t start = text.find("le=\"");
+    ASSERT_NE(start, std::string::npos);
+    bool found = false;
+    for (std::size_t pos = start; pos != std::string::npos;
+         pos = text.find("le=\"", pos + 4)) {
+      const std::size_t end = text.find('"', pos + 4);
+      ASSERT_NE(end, std::string::npos);
+      const std::string label = text.substr(pos + 4, end - pos - 4);
+      if (label == "+Inf") continue;
+      if (std::strtod(label.c_str(), nullptr) == bound) {
+        labels.insert(label);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no le label round-trips to bound " << bound;
+  }
+  EXPECT_EQ(labels.size(), bounds.size());
+
+  // Golden spot-checks: short bounds stay in their shortest form, and
+  // the 6-digit-lossy bound now prints all its digits.
+  EXPECT_NE(text.find("le=\"1.6e-05\""), std::string::npos);
+  EXPECT_NE(text.find("le=\"1.048576\""), std::string::npos);
+  EXPECT_NE(text.find("le=\"67.108864\""), std::string::npos);
+  EXPECT_EQ(text.find("le=\"1.04858\""), std::string::npos);
+
+  // Round integers keep their plain form: 10 must not become "1e+01"
+  // just because precision 1 happens to round-trip first.
+  const MetricId plain =
+      registry.Histogram("plain_bounds", {1.0, 10.0, 100.0});
+  registry.Observe(plain, 3.0);
+  const std::string plain_text = registry.ToPrometheus();
+  EXPECT_NE(plain_text.find("ranomaly_plain_bounds_bucket{le=\"10\"}"),
+            std::string::npos);
+  EXPECT_NE(plain_text.find("ranomaly_plain_bounds_bucket{le=\"100\"}"),
+            std::string::npos);
+  EXPECT_EQ(plain_text.find("le=\"1e+01\""), std::string::npos);
+}
+
+// Cumulative bucket counts must be monotonically non-decreasing up to
+// +Inf == _count, whatever the observation pattern.
+TEST(MetricsTest, PrometheusBucketsAreCumulativeMonotone) {
+  MetricsRegistry registry;
+  const MetricId h =
+      registry.Histogram("mono", ExponentialBounds(0.001, 2.0, 10));
+  for (int i = 0; i < 100; ++i) registry.Observe(h, 0.0009 * (i % 7) * (i % 11));
+  const std::string text = registry.ToPrometheus();
+  std::uint64_t previous = 0;
+  std::size_t buckets = 0;
+  for (std::size_t pos = text.find("ranomaly_mono_bucket{");
+       pos != std::string::npos;
+       pos = text.find("ranomaly_mono_bucket{", pos + 1)) {
+    const std::size_t space = text.find(' ', pos);
+    ASSERT_NE(space, std::string::npos);
+    const std::uint64_t count = std::stoull(text.substr(space + 1));
+    EXPECT_GE(count, previous);
+    previous = count;
+    ++buckets;
+  }
+  EXPECT_EQ(buckets, 11u);  // 10 bounds + +Inf
+  EXPECT_EQ(previous, 100u);
 }
 
 TEST(MetricsTest, VarzJsonShape) {

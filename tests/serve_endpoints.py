@@ -102,6 +102,15 @@ def test_endpoints(binary, capture):
         status, _ = fetch(port, "/incidents?since=notanumber")
         check(status == 400, "/incidents rejects a malformed since")
 
+        # The cursor is digits-only: signs, whitespace, trailing garbage,
+        # and overflow must all be loud 400s, never silent coercion.
+        for bad in ("%2B1", "-1", "%201", "1x", "0x10",
+                    "18446744073709551616"):
+            status, _ = fetch(port, f"/incidents?since={bad}")
+            check(status == 400, f"/incidents rejects since={bad}")
+        status, _ = fetch(port, "/incidents?since=18446744073709551615")
+        check(status == 200, "/incidents accepts the full u64 cursor range")
+
         status, _ = fetch(port, "/nosuch")
         check(status == 404, "unknown paths 404")
 

@@ -26,6 +26,7 @@
 #include "tamp/prune.h"
 #include "tamp/render.h"
 #include "util/strings.h"
+#include "workload/internet_scale.h"
 
 namespace ranomaly::tools {
 namespace {
@@ -50,6 +51,9 @@ commands:
                    [--checkpoint FILE] [--checkpoint-every-ticks N]
                    [--queue-capacity N] [--service-rate N]
   peers   <stream>
+  internet --out FILE [--format text|binary] [--relationships FILE]
+           [--save-relationships FILE] [--ases N] [--prefixes N] [--peers N]
+           [--seed N] [--flap-fraction F] [--threads N]
   trace   --out FILE.json [--jsonl FILE.jsonl] [--] <command> [options]
 
 stream files use the text (one event per line) or binary (RNE1) format;
@@ -79,6 +83,14 @@ degradation ladder; --service-rate caps events analyzed per tick.
 SIGTERM drains gracefully: /readyz flips false, the in-flight tick
 finishes, the final checkpoint is cut, and the process exits 0
 (docs/FORMATS.md, docs/OBSERVABILITY.md).
+
+internet builds the internet-scale workload: it loads --relationships
+(CAIDA serial-2 "asn1|asn2|rel" text) or synthesizes a topology of
+--ases ASes, propagates routes Gao-Rexford-style to --peers monitored
+vantages, and writes the resulting table-dump + churn event stream to
+--out (binary RNE1 by default).  --save-relationships writes the
+(possibly generated) serial-2 edges back out; the stream is
+bit-identical at any RANOMALY_THREADS (docs/FORMATS.md, Serial-2).
 
 peers prints the per-peer feed scoreboard (state, uptime, reconnects,
 gaps) computed from the stream's GAP/SYNC markers — the same health
@@ -366,6 +378,89 @@ int CmdConvert(const Args& args, std::ostream& out, std::ostream& err) {
   }
   out << "wrote " << stream->size() << " events to " << args.positional[2]
       << " (" << *to << ")\n";
+  return kOk;
+}
+
+int CmdInternet(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto out_path = args.Option("--out");
+  if (!out_path) {
+    err << "internet: --out FILE is required\n";
+    return kUsage;
+  }
+  const auto format = args.Option("--format").value_or("binary");
+  if (format != "text" && format != "binary") {
+    err << "internet: --format text|binary\n";
+    return kUsage;
+  }
+
+  workload::InternetScaleOptions options;
+  if (const auto v = args.Option("--relationships")) options.relationships_path = *v;
+  const auto size_opt = [&](const char* flag, std::size_t& field) -> bool {
+    const auto v = args.Option(flag);
+    if (!v) return true;
+    std::uint64_t parsed = 0;
+    if (!util::ParseU64(*v, parsed)) {
+      err << "internet: " << flag << " wants a non-negative integer, got '"
+          << *v << "'\n";
+      return false;
+    }
+    field = static_cast<std::size_t>(parsed);
+    return true;
+  };
+  std::size_t seed = options.seed;
+  if (!size_opt("--ases", options.as_count) ||
+      !size_opt("--prefixes", options.prefix_count) ||
+      !size_opt("--peers", options.monitored_peer_count) ||
+      !size_opt("--threads", options.threads) || !size_opt("--seed", seed)) {
+    return kUsage;
+  }
+  options.seed = seed;
+  if (const auto v = args.Option("--flap-fraction")) {
+    options.flap_fraction = ParseDouble(*v, options.flap_fraction);
+  }
+
+  std::string error;
+  const auto result = workload::BuildInternetScale(options, &error);
+  if (!result) {
+    err << "internet: " << error << "\n";
+    return kFailure;
+  }
+
+  if (const auto rel_out = args.Option("--save-relationships")) {
+    if (!options.relationships_path.empty()) {
+      err << "internet: --save-relationships only applies to generated "
+             "topologies\n";
+      return kUsage;
+    }
+    // Round-trippable: reloading this file with --relationships rebuilds
+    // the same graph (the generator is only needed once).
+    const auto edges = workload::GenerateTopology(options);
+    std::ofstream rel_file(*rel_out);
+    if (!rel_file) {
+      err << "cannot write " << *rel_out << "\n";
+      return kFailure;
+    }
+    workload::WriteSerial2(rel_file, edges);
+  }
+
+  std::ofstream file(*out_path, std::ios::binary);
+  if (!file) {
+    err << "cannot write " << *out_path << "\n";
+    return kFailure;
+  }
+  if (format == "text") {
+    result->stream.SaveText(file);
+  } else if (!collector::SaveBinary(result->stream, file)) {
+    err << "write error on " << *out_path << "\n";
+    return kFailure;
+  }
+  out << result->Summary() << "\n";
+  for (const auto& v : result->vantages) {
+    out << "  vantage AS" << v.asn << " via " << v.peer.ToString() << ": "
+        << v.routes << " routes, customer cone " << v.customer_cone << "\n";
+  }
+  out << "wrote " << result->stream.size() << " events to " << *out_path
+      << " (" << format << ")\n";
   return kOk;
 }
 
@@ -786,6 +881,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "metrics") return CmdMetrics(*parsed, out, err);
   if (command == "serve") return CmdServe(*parsed, out, err);
   if (command == "peers") return CmdPeers(*parsed, out, err);
+  if (command == "internet") return CmdInternet(*parsed, out, err);
   err << "unknown command: " << command << "\n" << kUsageText;
   return kUsage;
 }

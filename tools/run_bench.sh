@@ -4,7 +4,7 @@
 # speedup per row, and the 1/2/4-thread curve at 330k events.
 #
 # Usage:
-#   tools/run_bench.sh [--quick|--overhead|--serve-overhead|--checkpoint-overhead|--throughput]
+#   tools/run_bench.sh [--quick|--overhead|--serve-overhead|--checkpoint-overhead|--throughput|--internet]
 #                      [--build-dir DIR]
 #                      [--out FILE]
 #
@@ -29,6 +29,13 @@
 #                output JSON; fails if the incident stream is not
 #                byte-identical across thread counts.  This is the
 #                trajectory row toward the 1M events/s target.
+#   --internet   measures the same end-to-end replay over the
+#                internet-scale workload (workload::BuildInternetScale:
+#                32k ASes, 210k prefixes, a ~1M-route table dump plus
+#                churn) and appends an `internet_scale_throughput` row;
+#                like --throughput it fails unless the incident stream
+#                is byte-identical across thread counts.  Composes with
+#                --quick (4k ASes / 20k prefixes, fewer reps).
 #   --checkpoint-overhead
 #                measures what periodic analysis-tier checkpointing (an
 #                RNC1 v2 snapshot every 16 ticks, the serve default)
@@ -48,6 +55,7 @@ overhead=0
 serve_overhead=0
 checkpoint_overhead=0
 throughput=0
+internet=0
 out=""
 
 while [[ $# -gt 0 ]]; do
@@ -57,6 +65,7 @@ while [[ $# -gt 0 ]]; do
     --serve-overhead) serve_overhead=1; shift ;;
     --checkpoint-overhead) checkpoint_overhead=1; shift ;;
     --throughput) throughput=1; shift ;;
+    --internet) internet=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
     --out) out="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
@@ -108,6 +117,68 @@ if os.path.exists(out_path):
     with open(out_path) as f:
         result = json.load(f)
 result["throughput_events_per_sec"] = row
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+for r in report["rows"]:
+    print(f'  {r["threads"]} thread(s): {r["events_per_sec"]:>10,.0f} '
+          f'events/s ({r["seconds"]:.2f} s, {r["incidents"]} incidents)')
+best = max(r["events_per_sec"] for r in report["rows"])
+print(f'  best {best:,.0f} events/s of the {row["target_events_per_sec"]:,} '
+      f'events/s target on a {row["host_cpus"]}-CPU host')
+print(f"updated {out_path}")
+EOF
+  exit 0
+fi
+
+if [[ "$internet" -eq 1 ]]; then
+  tbench="$build_dir/bench/bench_throughput"
+  if [[ ! -x "$tbench" ]]; then
+    echo "building bench_throughput in $build_dir ..." >&2
+    cmake --build "$build_dir" --target bench_throughput -j"$(nproc)"
+  fi
+  if [[ "$quick" -eq 1 ]]; then
+    [[ -n "$out" ]] || out="$build_dir/BENCH_stemming_quick.json"
+    args=(--json --internet --ases 4000 --prefixes 20000 --peers 3
+          --reps 1 --threads 1,2)
+    workload="BuildInternetScale(4k ASes, 20k prefixes, 3 vantages)"
+  else
+    [[ -n "$out" ]] || out="$repo_root/BENCH_stemming.json"
+    args=(--json --internet --ases 32000 --prefixes 210000 --peers 5
+          --reps 2 --threads 1,2,4,8)
+    workload="BuildInternetScale(32k ASes, 210k prefixes, 5 vantages)"
+  fi
+  raw="$(mktemp)"
+  trap 'rm -f "$raw"' EXIT
+  # Same harness as --throughput (full serve path, best-of-reps per
+  # thread count, byte-identical incident streams enforced), but over
+  # the Gao-Rexford table-dump workload: a full-table regime instead of
+  # churn-dominated replay.
+  "$tbench" "${args[@]}" > "$raw"
+  python3 - "$raw" "$out" "$workload" <<'EOF'
+import json
+import os
+import sys
+
+raw_path, out_path, workload = sys.argv[1], sys.argv[2], sys.argv[3]
+with open(raw_path) as f:
+    report = json.load(f)
+if not report.get("incident_streams_identical", False):
+    sys.exit("incident streams differ across thread counts")
+row = {
+    "benchmark": "bench_throughput --internet",
+    "workload": workload + " live replay, 10s tick / 5min window",
+    "target_events_per_sec": 1_000_000,
+    "host_cpus": report["host_cpus"],
+    "events": report["events"],
+    "incident_streams_identical": True,
+    "rows": report["rows"],
+}
+result = {}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        result = json.load(f)
+result["internet_scale_throughput"] = row
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2)
     f.write("\n")
