@@ -1,0 +1,182 @@
+// Dashboard-overhead benchmark: what does a 1 Hz dashboard poller cost
+// the analysis pipeline?
+//
+// Both sides run Pipeline::Analyze on the Table-I-shaped spike workload
+// AND feed the time-series store one sample per batch iteration (the
+// `serve` steady state samples at every tick whether or not anyone is
+// watching, so sampling is part of the baseline, not the overhead).
+// The "polled" side additionally answers a browser-shaped client once
+// per second, rotating /dashboard, /api/series?name=..., and
+// /api/incidents/timeline — the request mix one open dashboard tab
+// generates.
+//
+// `--paired N` runs N (bare, polled) batches back-to-back in this one
+// process, alternating which side goes first, timing each batch with a
+// process-CPU-clock delta (same estimator as bench_serve_overhead).
+// tools/run_bench.sh --dashboard-overhead distils the paired run into a
+// `dashboard_overhead` row in BENCH_stemming.json (budget: <= 3%, see
+// docs/OBSERVABILITY.md).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "core/live.h"
+#include "core/pipeline.h"
+#include "obs/health.h"
+#include "obs/http_server.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "util/time.h"
+#include "table1_common.h"
+
+namespace ranomaly::bench {
+namespace {
+
+const collector::EventStream& Workload() {
+  static const collector::EventStream* stream = [] {
+    const workload::SyntheticInternet internet = BerkeleyScale(23'000);
+    return new collector::EventStream(SpikeEvents(internet, 57'000, 42));
+  }();
+  return *stream;
+}
+
+double ProcessCpuNs() {
+  std::timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e9 +
+         static_cast<double>(ts.tv_nsec);
+}
+
+}  // namespace
+
+// Runs `pairs` regime-matched (bare, polled) analysis batches and
+// prints one JSON object to stdout; progress goes to stderr.  Process
+// CPU time charges the server thread's request handling (and the 1 Hz
+// loopback client, a conservative over-count) against the analysis,
+// while excluding other tenants' CPU steal.
+int RunPaired(int pairs) {
+  const collector::EventStream& stream = Workload();
+  core::PipelineOptions options;
+  options.threads = 2;
+  const core::Pipeline pipeline(options);
+
+  obs::TimeSeriesStore store;
+  std::int64_t sim_now = 0;  // advances one tier-0 bucket per iteration
+
+  // Calibrate the batch so each timed side runs ~2 s of analysis — long
+  // enough to cover a couple of 1 Hz polls, short enough that load
+  // regimes stay matched within a pair.
+  const double calib_start = ProcessCpuNs();
+  benchmark::DoNotOptimize(pipeline.Analyze(stream));
+  const double analyze_ns = ProcessCpuNs() - calib_start;
+  const int iters = std::max(8, static_cast<int>(2e9 / analyze_ns));
+
+  const auto run_batch = [&] {
+    const double start = ProcessCpuNs();
+    for (int i = 0; i < iters; ++i) {
+      benchmark::DoNotOptimize(pipeline.Analyze(stream));
+      sim_now += util::kSecond;
+      store.Sample(obs::MetricsRegistry::Global(), sim_now);
+    }
+    return ProcessCpuNs() - start;
+  };
+
+  const auto run_polled = [&]() -> double {
+    obs::HealthRegistry health;
+    core::IncidentLog incidents;
+    obs::HttpServer server(core::MakeOpsHandler(
+        &obs::MetricsRegistry::Global(), &health, &incidents,
+        core::OpsInfo{"bench", 2, 30.0, 10.0, 300.0}, &store,
+        /*dashboard=*/true));
+    std::string error;
+    if (!server.Start(0, &error)) {
+      std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+      std::exit(1);
+    }
+    std::atomic<bool> done{false};
+    std::thread poller([&] {
+      // One open dashboard tab: the page itself (reload), then its two
+      // XHR feeds, at the page's 1 Hz refresh.
+      const char* kRotation[] = {
+          "/dashboard",
+          "/api/series?name=serve_events_ingested_total&res=1",
+          "/api/incidents/timeline"};
+      int i = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        obs::HttpGet(server.port(), kRotation[i++ % 3]);
+        std::this_thread::sleep_for(std::chrono::seconds(1));
+      }
+    });
+    const double ns = run_batch();
+    done.store(true, std::memory_order_release);
+    poller.join();
+    server.Stop();
+    return ns;
+  };
+
+  run_batch();  // one warm-up of each side before anything is recorded
+  run_polled();
+  std::printf("{\"iters_per_side\": %d, \"pairs\": [", iters);
+  for (int i = 0; i < pairs; ++i) {
+    double bare_ns = 0.0;
+    double polled_ns = 0.0;
+    // Alternate which side runs first so a monotonic load drift across
+    // the pair window biases half the pairs each way.
+    if (i % 2 == 0) {
+      bare_ns = run_batch();
+      polled_ns = run_polled();
+    } else {
+      polled_ns = run_polled();
+      bare_ns = run_batch();
+    }
+    std::printf("%s{\"bare_ns\": %.0f, \"scraped_ns\": %.0f}",
+                i == 0 ? "" : ", ", bare_ns, polled_ns);
+    std::fprintf(stderr, "pair %d/%d: bare %.1f ms, polled %.1f ms "
+                 "(ratio %.4f)\n", i + 1, pairs, bare_ns / 1e6,
+                 polled_ns / 1e6, polled_ns / bare_ns);
+  }
+  std::printf("]}\n");
+  return 0;
+}
+
+namespace {
+
+void BM_AnalyzeSampledBare(benchmark::State& state) {
+  const collector::EventStream& stream = Workload();
+  core::PipelineOptions options;
+  options.threads = 2;
+  const core::Pipeline pipeline(options);
+  obs::TimeSeriesStore store;
+  std::int64_t sim_now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.Analyze(stream));
+    sim_now += util::kSecond;
+    store.Sample(obs::MetricsRegistry::Global(), sim_now);
+  }
+  state.counters["events"] = static_cast<double>(stream.size());
+}
+BENCHMARK(BM_AnalyzeSampledBare)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ranomaly::bench
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--paired" && i + 1 < argc) {
+      return ranomaly::bench::RunPaired(std::atoi(argv[i + 1]));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

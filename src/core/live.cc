@@ -13,6 +13,7 @@
 
 #include "collector/checkpoint.h"
 #include "core/live_checkpoint.h"
+#include "obs/dashboard.h"
 #include "obs/trace.h"
 #include "util/log.h"
 #include "util/strings.h"
@@ -265,11 +266,12 @@ std::vector<double> DetectionLatencyBounds() {
 }
 
 LiveRunner::LiveRunner(LiveOptions options, obs::HealthRegistry* health,
-                       IncidentLog* incidents)
+                       IncidentLog* incidents, obs::TimeSeriesStore* series)
     : options_(std::move(options)),
       pipeline_(options_.pipeline),
       health_(health),
-      incidents_(incidents) {
+      incidents_(incidents),
+      series_(series) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   reg.SetHelp("incident_detection_latency_seconds",
               "Simulated seconds from an incident's triggering burst to the "
@@ -422,6 +424,14 @@ LiveStats LiveRunner::Run(
       reject("section LIVE: cursor beyond the end of the stream");
     } else if (incidents_ != nullptr && !incidents_->Restore(st.incidents)) {
       reject("section INCD: incident log rejected the entries");
+    } else if (series_ != nullptr &&
+               !series_->Restore(std::move(st.series_store), &err)) {
+      // Tier shape is configuration: a checkpoint cut under different
+      // retention tiers must not seed this store's rings.  The incident
+      // log was already replaced above; empty it again so the fresh
+      // replay starts from a consistent nothing.
+      if (incidents_ != nullptr) incidents_->Restore({});
+      reject("section SERS: " + err);
     } else {
       next = static_cast<std::size_t>(st.next_event);
       stats = st.stats;
@@ -522,6 +532,7 @@ LiveStats LiveRunner::Run(
     st.gaps = gaps;
     st.peers = board.Export();
     st.latency_counts = latency_counts;
+    if (series_ != nullptr) st.series_store = series_->Export();
     // In-flight events persist as 2-bit admission classes over the
     // stream range [flow_start, next): window entries always precede
     // queue entries, so the front of window_idx (or queue_idx when the
@@ -653,6 +664,12 @@ LiveStats LiveRunner::Run(
         !keep_going->load(std::memory_order_relaxed)) {
       break;
     }
+    // One span per tick, annotated with the tick index: the incident
+    // timeline's trace exemplar.  /api/incidents/timeline derives the
+    // same index from detected_at, so an operator can jump from an
+    // incident straight to the live.tick slice that surfaced it.
+    obs::TraceSpan tick_span("live.tick");
+    tick_span.Annotate("tick", stats.ticks + 1);
     // Ingest this tick's batch; the batch end is the ingest stamp — the
     // earliest moment the pipeline could have analyzed these events.
     // The level chosen at the *previous* boundary governs L3 sampling,
@@ -812,6 +829,10 @@ LiveStats LiveRunner::Run(
     reg.Set(suppressed_id, static_cast<double>(util::SuppressedLogLines()));
     if (health_ != nullptr) health_->Heartbeat(replay_id);
     sync_health_gauges();
+    // Sample the registry into the dashboard history at the boundary —
+    // after every metric for this tick has landed and before any
+    // checkpoint is cut, so each snapshot carries its own tick's point.
+    if (series_ != nullptr) series_->Sample(reg, tick_end);
 
     if (checkpointing && stats.ticks >= next_checkpoint_tick) {
       const std::optional<bool> previous = reap_checkpoint();
@@ -905,14 +926,15 @@ LiveStats LiveRunner::Run(
 
 obs::HttpServer::Handler MakeOpsHandler(obs::MetricsRegistry* metrics,
                                         obs::HealthRegistry* health,
-                                        IncidentLog* incidents,
-                                        OpsInfo info) {
+                                        IncidentLog* incidents, OpsInfo info,
+                                        obs::TimeSeriesStore* series,
+                                        bool dashboard) {
   metrics->SetHelp("http_requests_total",
                    "HTTP requests whose handler ran (any status).");
   metrics->SetHelp("http_requests_rejected_total",
                    "HTTP requests rejected at the protocol level.");
-  return [metrics, health, incidents, info = std::move(info)](
-             const obs::HttpRequest& request) -> obs::HttpResponse {
+  return [metrics, health, incidents, info = std::move(info), series,
+          dashboard](const obs::HttpRequest& request) -> obs::HttpResponse {
     obs::HttpResponse response;
     if (request.path == "/metrics") {
       response.content_type = "text/plain; version=0.0.4; charset=utf-8";
@@ -955,7 +977,7 @@ obs::HttpServer::Handler MakeOpsHandler(obs::MetricsRegistry* metrics,
       body += util::StrPrintf(
           "},\"incidents_logged\":%zu,\"metrics\":",
           incidents == nullptr ? std::size_t{0} : incidents->size());
-      body += obs::ToVarzJson(metrics->Snapshot());
+      body += obs::ToVarzJson(metrics->Snapshot(), metrics->HelpSnapshot());
       body += '}';
       response.content_type = "application/json";
       response.body = std::move(body);
@@ -988,10 +1010,99 @@ obs::HttpServer::Handler MakeOpsHandler(obs::MetricsRegistry* metrics,
       response.content_type = "application/json";
       response.body = incidents == nullptr ? "{\"incidents\":[],\"next_since\":0}"
                                            : incidents->ToJson(since);
+    } else if (request.path == "/api/series") {
+      if (series == nullptr) {
+        response.status = 404;
+        response.body = "no time-series store attached to this server\n";
+        return response;
+      }
+      // Tier resolutions and `since` cursors travel as whole simulated
+      // seconds; every shipped tier is a whole number of them.
+      std::int64_t res_us = series->options().tiers.empty()
+                                ? util::kSecond
+                                : series->options().tiers.front().resolution_us;
+      if (const auto res = request.QueryParam("res")) {
+        std::uint64_t sec = 0;
+        if (!util::ParseU64(*res, sec) || sec == 0 ||
+            !series->HasTier(static_cast<std::int64_t>(sec) * util::kSecond)) {
+          response.status = 400;
+          response.body =
+              "bad res parameter: want a tier resolution in seconds (GET "
+              "/api/series lists the tiers)\n";
+          return response;
+        }
+        res_us = static_cast<std::int64_t>(sec) * util::kSecond;
+      }
+      std::int64_t since_us = -1;
+      if (const auto since = request.QueryParam("since")) {
+        std::uint64_t sec = 0;
+        if (!util::ParseU64(*since, sec)) {
+          response.status = 400;
+          response.body =
+              "bad since parameter: want a non-negative integer of seconds\n";
+          return response;
+        }
+        since_us = static_cast<std::int64_t>(sec) * util::kSecond;
+      }
+      const auto name = request.QueryParam("name");
+      if (!name.has_value()) {
+        response.content_type = "application/json";
+        response.body = series->ListJson();
+      } else if (auto body = series->SeriesJson(*name, res_us, since_us)) {
+        response.content_type = "application/json";
+        response.body = std::move(*body);
+      } else {
+        response.status = 404;
+        response.body = "unknown series; GET /api/series lists the names\n";
+      }
+    } else if (request.path == "/api/incidents/timeline") {
+      std::string body =
+          "{\"t0_sec\":" + obs::JsonDouble(util::ToSeconds(info.t0)) +
+          ",\"tick_sec\":" + obs::JsonDouble(util::ToSeconds(info.tick)) +
+          ",\"incidents\":[";
+      bool first = true;
+      if (incidents != nullptr) {
+        for (const IncidentLog::Entry& e : incidents->Since(0)) {
+          const Incident& inc = e.incident;
+          if (!first) body += ',';
+          first = false;
+          // The exemplar points at the replay tick whose boundary
+          // surfaced this incident: detected_at always sits on the tick
+          // grid, so the index (and the `live.tick` slice carrying it as
+          // an annotation) is exact, not a nearest-neighbor guess.
+          const std::int64_t tick_index =
+              info.tick > 0 ? (inc.detected_at - info.t0) / info.tick : 0;
+          body += util::StrPrintf(
+              "{\"seq\":%llu,\"kind\":\"%s\",\"begin_sec\":%s,"
+              "\"end_sec\":%s,\"detected_at_sec\":%s,"
+              "\"detection_latency_sec\":%s,\"stem\":\"%s\","
+              "\"top_sequence\":\"%s\",\"summary\":\"%s\","
+              "\"feed_degraded\":%s,\"load_shed\":%s,"
+              "\"exemplar\":{\"span\":\"live.tick\",\"tick\":%lld}}",
+              static_cast<unsigned long long>(e.seq), ToString(inc.kind),
+              obs::JsonDouble(util::ToSeconds(inc.begin)).c_str(),
+              obs::JsonDouble(util::ToSeconds(inc.end)).c_str(),
+              obs::JsonDouble(util::ToSeconds(inc.detected_at)).c_str(),
+              obs::JsonDouble(inc.detection_latency_sec).c_str(),
+              JsonEscape(inc.stem_label).c_str(),
+              JsonEscape(inc.top_sequence).c_str(),
+              JsonEscape(inc.summary).c_str(),
+              inc.feed_degraded ? "true" : "false",
+              inc.load_shed ? "true" : "false",
+              static_cast<long long>(tick_index));
+        }
+      }
+      body += "]}";
+      response.content_type = "application/json";
+      response.body = std::move(body);
+    } else if (dashboard && request.path == "/dashboard") {
+      response.content_type = "text/html; charset=utf-8";
+      response.body = obs::DashboardHtml();
     } else {
       response.status = 404;
       response.body = "not found; try /metrics /varz /healthz /readyz "
-                      "/incidents?since=N\n";
+                      "/incidents?since=N /api/series "
+                      "/api/incidents/timeline\n";
     }
     return response;
   };

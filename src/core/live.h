@@ -45,6 +45,7 @@
 #include "obs/health.h"
 #include "obs/http_server.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "util/time.h"
 
 namespace ranomaly::core {
@@ -219,13 +220,16 @@ struct LiveStats {
   bool restored = false;  // this run resumed from a checkpoint
 };
 
-// Drives the tick replay.  Health/incident sinks are borrowed, not
-// owned; pass nullptr to skip either.  Metrics always record to
-// MetricsRegistry::Global().
+// Drives the tick replay.  Health/incident/series sinks are borrowed,
+// not owned; pass nullptr to skip any.  Metrics always record to
+// MetricsRegistry::Global().  With a series store attached, the runner
+// samples the registry into it at every tick boundary (sim-time
+// stamps), restores its history from the checkpoint's SERS section, and
+// includes it in every checkpoint it cuts.
 class LiveRunner {
  public:
   LiveRunner(LiveOptions options, obs::HealthRegistry* health,
-             IncidentLog* incidents);
+             IncidentLog* incidents, obs::TimeSeriesStore* series = nullptr);
 
   // Replays `stream` tick by tick; checks `keep_going` (when non-null)
   // before each tick and stops early when it reads false.  `on_tick`
@@ -240,6 +244,7 @@ class LiveRunner {
   Pipeline pipeline_;
   obs::HealthRegistry* health_;
   IncidentLog* incidents_;
+  obs::TimeSeriesStore* series_;
 };
 
 // Static facts the /varz payload reports alongside the metric snapshot.
@@ -251,6 +256,12 @@ struct OpsInfo {
   double window_sec = 0.0;
   std::string checkpoint_path;      // empty = checkpointing off
   std::size_t queue_capacity = 0;   // 0 = backpressure off
+  // Exact-integer replay geometry (microseconds) for the incident
+  // timeline: t0 is the first stream event time, tick the cadence.
+  // The /api/incidents/timeline handler derives each incident's
+  // trace-exemplar tick index as (detected_at - t0) / tick.
+  std::int64_t t0 = 0;
+  std::int64_t tick = 0;
 };
 
 // Routes the operations endpoints.  All sinks are borrowed and must
@@ -262,11 +273,20 @@ struct OpsInfo {
 //                           the offending components
 //   GET /incidents?since=N  incident log entries with seq > N (400 on a
 //                           malformed `since`)
+// With a time-series store attached (may be nullptr):
+//   GET /api/series                       store inventory + tier list
+//   GET /api/series?name=N&res=R&since=S  one series at tier R (seconds,
+//                                         default finest), points after S
+//   GET /api/incidents/timeline           incidents + replay geometry +
+//                                         per-incident trace exemplar
+// With `dashboard` set:
+//   GET /dashboard          the embedded single-file HTML dashboard
 // Anything else is 404.
 obs::HttpServer::Handler MakeOpsHandler(obs::MetricsRegistry* metrics,
                                         obs::HealthRegistry* health,
-                                        IncidentLog* incidents,
-                                        OpsInfo info);
+                                        IncidentLog* incidents, OpsInfo info,
+                                        obs::TimeSeriesStore* series = nullptr,
+                                        bool dashboard = false);
 
 // Upper bucket bounds (simulated seconds) for the
 // incident_detection_latency_seconds histogram.

@@ -191,6 +191,35 @@ std::string EncodeSloHistogram(const LiveCheckpointState& s) {
   return out;
 }
 
+std::string EncodeSeriesStore(const LiveCheckpointState& s) {
+  const obs::TimeSeriesStore::Persisted& st = s.series_store;
+  std::string out;
+  io::StringSink os(out);
+  io::Put<std::uint8_t>(os, kSectionLayoutVersion);
+  io::Put<std::uint32_t>(os, static_cast<std::uint32_t>(st.tiers.size()));
+  for (const obs::TierSpec& tier : st.tiers) {
+    io::Put<std::int64_t>(os, tier.resolution_us);
+    io::Put<std::uint32_t>(os, tier.capacity);
+  }
+  io::Put<std::int64_t>(os, st.last_sample);
+  io::Put<std::uint64_t>(os, st.dropped_series);
+  io::Put<std::uint32_t>(os, static_cast<std::uint32_t>(st.series.size()));
+  for (const obs::TimeSeriesStore::PersistedSeries& series : st.series) {
+    PutString(os, series.name);
+    io::Put<std::uint8_t>(os, series.kind);
+    for (const std::vector<obs::SeriesPoint>& ring : series.tiers) {
+      io::Put<std::uint32_t>(os, static_cast<std::uint32_t>(ring.size()));
+      for (const obs::SeriesPoint& p : ring) {
+        io::Put<std::int64_t>(os, p.t);
+        PutF64(os, p.value);
+        PutF64(os, p.min);
+        PutF64(os, p.max);
+      }
+    }
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Per-section decoders.  Each returns an empty string on success or a
 // human-readable reason; DecodeLiveState prefixes the section tag.
@@ -495,6 +524,62 @@ std::string DecodeSloHistogram(const std::string& bytes,
   return "";
 }
 
+std::string DecodeSeriesStore(const std::string& bytes, util::SimTime clock,
+                              LiveCheckpointState& s) {
+  SectionReader sr(bytes);
+  if (auto err = CheckLayout(sr); !err.empty()) return err;
+  obs::TimeSeriesStore::Persisted st;
+  std::uint32_t tier_count = 0;
+  if (!sr.reader.Get(tier_count)) return "truncated";
+  if (tier_count > 16) return "implausible tier count";
+  st.tiers.resize(tier_count);
+  for (std::uint32_t i = 0; i < tier_count; ++i) {
+    if (!sr.reader.Get(st.tiers[i].resolution_us) ||
+        !sr.reader.Get(st.tiers[i].capacity)) {
+      return util::StrPrintf("truncated at tier %u", i);
+    }
+  }
+  std::uint32_t series_count = 0;
+  if (!sr.reader.Get(st.last_sample) || !sr.reader.Get(st.dropped_series) ||
+      !sr.reader.Get(series_count)) {
+    return "truncated";
+  }
+  if (series_count > kMaxEntries) return "implausible series count";
+  st.series.resize(series_count);
+  for (std::uint32_t i = 0; i < series_count; ++i) {
+    obs::TimeSeriesStore::PersistedSeries& series = st.series[i];
+    if (!GetString(sr.reader, series.name) || !sr.reader.Get(series.kind)) {
+      return util::StrPrintf("truncated at series %u", i);
+    }
+    series.tiers.resize(tier_count);
+    for (std::uint32_t tier = 0; tier < tier_count; ++tier) {
+      std::uint32_t points = 0;
+      if (!sr.reader.Get(points)) {
+        return util::StrPrintf("truncated at series %u tier %u", i, tier);
+      }
+      if (points > st.tiers[tier].capacity) {
+        return util::StrPrintf("series %u tier %u overfull", i, tier);
+      }
+      series.tiers[tier].resize(points);
+      for (std::uint32_t p = 0; p < points; ++p) {
+        obs::SeriesPoint& pt = series.tiers[tier][p];
+        if (!sr.reader.Get(pt.t) || !GetF64(sr.reader, pt.value) ||
+            !GetF64(sr.reader, pt.min) || !GetF64(sr.reader, pt.max)) {
+          return util::StrPrintf("truncated at series %u tier %u point %u", i,
+                                 tier, p);
+        }
+      }
+    }
+  }
+  if (!sr.AtEnd()) return "trailing bytes";
+  // Structural invariants (alignment, ordering, finiteness) live with
+  // the store so the decoder and Restore can never disagree.
+  if (auto err = obs::TimeSeriesStore::Validate(st); !err.empty()) return err;
+  if (st.last_sample > clock) return "last sample after the tick boundary";
+  s.series_store = std::move(st);
+  return "";
+}
+
 // Recomputes the latency bucket counts implied by the incident log; the
 // SLOH section must agree exactly (redundancy turns a selectively
 // corrupted section into a loud restore failure).
@@ -536,6 +621,7 @@ void EncodeLiveState(const LiveCheckpointState& state,
   checkpoint.sections.push_back({"FLOW", EncodeFlow(state)});
   checkpoint.sections.push_back({"INCD", EncodeIncidents(incidents)});
   checkpoint.sections.push_back({"SLOH", EncodeSloHistogram(state)});
+  checkpoint.sections.push_back({"SERS", EncodeSeriesStore(state)});
 }
 
 bool DecodeLiveState(const collector::Checkpoint& checkpoint,
@@ -556,8 +642,8 @@ bool DecodeLiveState(const collector::Checkpoint& checkpoint,
   // collector-only (not a live checkpoint) or truncated by editing.
   // (Tags WIND and QUEU carried full in-flight event records in earlier
   // builds; they are retired and must never be reused for new layouts.)
-  for (const char* tag :
-       {"LIVE", "SHED", "STEM", "GAPS", "PEER", "FLOW", "INCD", "SLOH"}) {
+  for (const char* tag : {"LIVE", "SHED", "STEM", "GAPS", "PEER", "FLOW",
+                          "INCD", "SLOH", "SERS"}) {
     if (section(tag) == nullptr) return fail(tag, "missing");
   }
 
@@ -592,6 +678,10 @@ bool DecodeLiveState(const collector::Checkpoint& checkpoint,
   }
   if (auto err = DecodeSloHistogram(*section("SLOH"), out); !err.empty()) {
     return fail("SLOH", err);
+  }
+  if (auto err = DecodeSeriesStore(*section("SERS"), out.stats.clock, out);
+      !err.empty()) {
+    return fail("SERS", err);
   }
   if (out.incidents.size() != out.stats.incidents) {
     return fail("INCD", "entry count disagrees with LIVE stats");

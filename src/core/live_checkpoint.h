@@ -23,6 +23,9 @@
 //   INCD  the incident log (seq 1..N with every operator-facing field)
 //   SLOH  detection-latency histogram bucket counts — redundant with
 //         INCD and cross-checked against it on decode
+//   SERS  the dashboard time-series store (obs/timeseries.h): tier
+//         shape, then every retained ring bucket per series, so a
+//         restarted `serve` answers /api/series byte-identically
 //
 // Decode is all-or-nothing: any malformed field, out-of-range value,
 // missing section, or INCD/SLOH mismatch fails the whole restore with
@@ -39,6 +42,7 @@
 
 #include "collector/checkpoint.h"
 #include "core/live.h"
+#include "obs/timeseries.h"
 
 namespace ranomaly::core {
 
@@ -73,6 +77,9 @@ struct LiveCheckpointState {
   std::vector<IncidentLog::Entry> incidents;
   // SLOH: one count per DetectionLatencyBounds() bucket plus overflow.
   std::vector<std::uint64_t> latency_counts;
+  // SERS: the dashboard history (empty tiers when the runner has no
+  // store attached — encoded as a zero-tier section either way).
+  obs::TimeSeriesStore::Persisted series_store;
 };
 
 // Renders `state` into `checkpoint`: sets time (the tick boundary) and

@@ -1,0 +1,253 @@
+#include "obs/dashboard.h"
+
+namespace ranomaly::obs {
+
+// Kept as one raw string so the binary is the deployment unit: no asset
+// directory, no CDN, no build-time bundler.  Everything below speaks
+// only to the serve daemon's own JSON endpoints.
+const char* DashboardHtml() {
+  return R"rndash(<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>ranomaly live operations</title>
+<style>
+  :root { --ok:#2e7d32; --warn:#e6a700; --bad:#c62828; --ink:#1c2733;
+          --dim:#5f6b76; --line:#d7dde3; --card:#ffffff; --bg:#f2f4f6;
+          --accent:#1565c0; }
+  body { font:14px/1.45 system-ui,sans-serif; margin:0; background:var(--bg);
+         color:var(--ink); }
+  header { display:flex; align-items:baseline; gap:16px; padding:12px 20px;
+           background:var(--card); border-bottom:1px solid var(--line); }
+  header h1 { font-size:17px; margin:0; }
+  header .meta { color:var(--dim); font-size:12px; }
+  header button { margin-left:auto; font:inherit; padding:2px 10px; }
+  main { padding:16px 20px; max-width:1180px; margin:0 auto; }
+  .grid { display:grid; grid-template-columns:repeat(auto-fill,minmax(250px,1fr));
+          gap:12px; margin-bottom:16px; }
+  .card { background:var(--card); border:1px solid var(--line);
+          border-radius:6px; padding:10px 12px; }
+  .card h2 { font-size:12px; font-weight:600; color:var(--dim); margin:0 0 4px;
+             text-transform:uppercase; letter-spacing:.04em; }
+  .card .big { font-size:22px; font-variant-numeric:tabular-nums; }
+  .card .unit { font-size:12px; color:var(--dim); }
+  .ladder { display:inline-block; padding:3px 14px; border-radius:4px;
+            color:#fff; font-weight:700; font-size:18px; }
+  .peers { display:flex; flex-wrap:wrap; gap:6px; }
+  .peer { padding:2px 8px; border-radius:10px; font-size:12px; color:#fff; }
+  svg.spark { width:100%; height:44px; display:block; }
+  svg.tl { width:100%; height:84px; display:block; }
+  #drill { white-space:pre-wrap; font:12px/1.5 ui-monospace,monospace;
+           color:var(--ink); min-height:3em; }
+  .err { color:var(--bad); font-size:12px; }
+  a.inc { cursor:pointer; }
+</style>
+</head>
+<body>
+<header>
+  <h1>ranomaly live operations</h1>
+  <span class="meta" id="pos">replay position: &ndash;</span>
+  <span class="meta err" id="err"></span>
+  <button id="pause">pause</button>
+</header>
+<main>
+  <div class="grid" id="cards"></div>
+  <div class="grid">
+    <div class="card" style="grid-column:1/-1">
+      <h2>per-peer feed health</h2>
+      <div class="peers" id="peers">&ndash;</div>
+    </div>
+  </div>
+  <div class="card" style="margin-bottom:12px">
+    <h2>incident timeline (click an incident for detail)</h2>
+    <svg class="tl" id="timeline" preserveAspectRatio="none"></svg>
+  </div>
+  <div class="card">
+    <h2>incident drilldown</h2>
+    <div id="drill">select an incident above</div>
+  </div>
+</main>
+<script>
+"use strict";
+const REFRESH_MS = 1000;
+const CHARTS = [
+  {name:"serve_events_ingested_total", label:"ingest rate", mode:"rate", unit:"ev/s"},
+  {name:"serve_incidents_total", label:"incident rate", mode:"rate", unit:"inc/s"},
+  {name:"serve_events_shed_total", label:"shed rate", mode:"rate", unit:"ev/s"},
+  {name:"serve_queue_depth", label:"queue depth", mode:"value", unit:"events"},
+  {name:"incident_detection_latency_seconds:p50", label:"detection latency p50", mode:"value", unit:"s"},
+  {name:"incident_detection_latency_seconds:p90", label:"detection latency p90", mode:"value", unit:"s"},
+  {name:"incident_detection_latency_seconds:p99", label:"detection latency p99", mode:"value", unit:"s"},
+];
+const LEVEL_COLOR = ["var(--ok)","var(--warn)","#e07b00","var(--bad)"];
+const KIND_COLOR = {"session-reset":"#c62828", "route-leak":"#6a1b9a",
+  "path-change":"#1565c0", "route-flap":"#e07b00",
+  "med-oscillation":"#00838f", "unknown":"#5f6b76"};
+let paused = false, resSec = null, incidents = [];
+
+function esc(s) {
+  return String(s).replace(/[&<>"]/g,
+      c => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[c]));
+}
+async function getJson(path) {
+  const r = await fetch(path, {cache:"no-store"});
+  if (!r.ok) throw new Error(path + " -> " + r.status);
+  return r.json();
+}
+function values(series) {
+  const out = [];
+  for (const p of series.points) {
+    const v = series.kind === "counter" && CHARTS_MODE(series) === "rate"
+        ? p[2] : p[1];
+    if (v !== null && v !== undefined) out.push({t:p[0], v:v});
+  }
+  return out;
+}
+function CHARTS_MODE(series) {
+  const c = CHARTS.find(c => c.name === series.name);
+  return c ? c.mode : "value";
+}
+function sparkline(pts) {
+  if (pts.length === 0) return "<svg class=\"spark\"></svg>";
+  const t0 = pts[0].t, t1 = pts[pts.length - 1].t || t0 + 1;
+  let vmax = 0;
+  for (const p of pts) vmax = Math.max(vmax, p.v);
+  if (vmax <= 0) vmax = 1;
+  const W = 240, H = 44, span = Math.max(1e-9, t1 - t0);
+  const coords = pts.map(p =>
+      ((p.t - t0) / span * W).toFixed(1) + "," +
+      (H - 3 - p.v / vmax * (H - 8)).toFixed(1));
+  return "<svg class=\"spark\" viewBox=\"0 0 " + W + " " + H + "\"" +
+      " preserveAspectRatio=\"none\"><polyline fill=\"none\"" +
+      " stroke=\"var(--accent)\" stroke-width=\"1.5\" points=\"" +
+      coords.join(" ") + "\"/></svg>";
+}
+function fmt(v) {
+  if (v === null || v === undefined) return "–";
+  if (Math.abs(v) >= 1000) return Math.round(v).toLocaleString("en-US");
+  return (Math.round(v * 100) / 100).toString();
+}
+function renderCards(byName, level) {
+  const cards = [];
+  cards.push("<div class=\"card\"><h2>degradation ladder</h2>" +
+      "<span class=\"ladder\" style=\"background:" +
+      LEVEL_COLOR[level] + "\">L" + level + "</span>" +
+      "<span class=\"unit\"> " + ["nominal","tracing suspended",
+      "cadence halved","sampling arrivals"][level] + "</span></div>");
+  for (const c of CHARTS) {
+    const s = byName[c.name];
+    const pts = s ? values(s) : [];
+    const last = pts.length ? pts[pts.length - 1].v : null;
+    cards.push("<div class=\"card\"><h2>" + esc(c.label) + "</h2>" +
+        "<span class=\"big\">" + fmt(last) + "</span>" +
+        " <span class=\"unit\">" + c.unit + "</span>" + sparkline(pts) +
+        "</div>");
+  }
+  document.getElementById("cards").innerHTML = cards.join("");
+}
+function renderPeers(components) {
+  const chips = [];
+  for (const c of components) {
+    if (!c.name.startsWith("peer/")) continue;
+    const color = c.state === "OK" ? "var(--ok)" :
+        c.state === "DEGRADED" ? "var(--warn)" : "var(--bad)";
+    chips.push("<span class=\"peer\" style=\"background:" + color +
+        "\" title=\"" + esc(c.reason || c.state) + "\">" +
+        esc(c.name.slice(5)) + "</span>");
+  }
+  document.getElementById("peers").innerHTML =
+      chips.length ? chips.join("") : "no peers observed yet";
+}
+function renderTimeline(tl) {
+  incidents = tl.incidents;
+  const svg = document.getElementById("timeline");
+  if (incidents.length === 0) {
+    svg.innerHTML = "<text x=\"8\" y=\"46\" fill=\"var(--dim)\"" +
+        " font-size=\"12\">no incidents yet</text>";
+    return;
+  }
+  const t0 = tl.t0_sec;
+  let t1 = t0 + 1;
+  for (const i of incidents) t1 = Math.max(t1, i.end_sec, i.detected_at_sec);
+  const W = 1100, H = 84, span = t1 - t0;
+  const x = t => 4 + (t - t0) / span * (W - 8);
+  const parts = ["<line x1=\"0\" y1=\"70\" x2=\"" + W +
+      "\" y2=\"70\" stroke=\"var(--line)\"/>"];
+  incidents.forEach((inc, idx) => {
+    const color = KIND_COLOR[inc.kind] || KIND_COLOR["unknown"];
+    const x0 = x(inc.begin_sec), x1 = Math.max(x0 + 3, x(inc.end_sec));
+    const y = 14 + (idx % 4) * 13;
+    parts.push("<g class=\"inc\" onclick=\"drill(" + idx + ")\">" +
+        "<rect x=\"" + x0.toFixed(1) + "\" y=\"" + y + "\" width=\"" +
+        (x1 - x0).toFixed(1) + "\" height=\"10\" rx=\"2\" fill=\"" + color +
+        "\"><title>#" + inc.seq + " " + esc(inc.kind) + "</title></rect>" +
+        "<line x1=\"" + x(inc.detected_at_sec).toFixed(1) + "\" y1=\"" + y +
+        "\" x2=\"" + x(inc.detected_at_sec).toFixed(1) + "\" y2=\"70\"" +
+        " stroke=\"" + color + "\" stroke-dasharray=\"2 2\"/></g>");
+  });
+  svg.setAttribute("viewBox", "0 0 " + W + " " + H);
+  svg.innerHTML = parts.join("");
+}
+function drill(idx) {
+  const inc = incidents[idx];
+  if (!inc) return;
+  document.getElementById("drill").textContent =
+      "#" + inc.seq + "  " + inc.kind + "\n" +
+      "stem:     " + inc.stem + "\n" +
+      "raw s':   " + inc.top_sequence + "\n" +
+      "summary:  " + inc.summary + "\n" +
+      "span:     " + inc.begin_sec + "s .. " + inc.end_sec +
+      "s, detected at " + inc.detected_at_sec + "s (latency " +
+      inc.detection_latency_sec + "s)\n" +
+      "flags:    feed_degraded=" + inc.feed_degraded +
+      " load_shed=" + inc.load_shed + "\n" +
+      "exemplar: trace span " + inc.exemplar.span + " tick #" +
+      inc.exemplar.tick + " (run under `ranomaly trace` and search the " +
+      "Chrome trace for this slice)";
+}
+async function tick() {
+  if (paused) return;
+  try {
+    if (resSec === null) {
+      const list = await getJson("/api/series");
+      resSec = list.tiers.length ? list.tiers[0].resolution_sec : 1;
+    }
+    const byName = {};
+    const wanted = CHARTS.map(c => c.name).concat(["serve_shed_level"]);
+    await Promise.all(wanted.map(async name => {
+      try {
+        byName[name] = await getJson("/api/series?name=" +
+            encodeURIComponent(name) + "&res=" + resSec);
+      } catch (e) { /* series appears once first observed */ }
+    }));
+    const varz = await getJson("/varz");
+    const tl = await getJson("/api/incidents/timeline");
+    const level = lastValue(byName.serve_shed_level);
+    renderCards(byName, Math.max(0, Math.min(3, Math.round(level || 0))));
+    renderPeers(varz.health.components || []);
+    renderTimeline(tl);
+    const pos = varz.metrics.gauges["serve_replay_position_seconds"];
+    document.getElementById("pos").textContent =
+        "replay position: " + (pos === undefined ? "–" : pos + "s");
+    document.getElementById("err").textContent = "";
+  } catch (e) {
+    document.getElementById("err").textContent = String(e);
+  }
+}
+function lastValue(series) {
+  if (!series || series.points.length === 0) return 0;
+  return series.points[series.points.length - 1][1];
+}
+document.getElementById("pause").onclick = () => {
+  paused = !paused;
+  document.getElementById("pause").textContent = paused ? "resume" : "pause";
+};
+tick();
+setInterval(tick, REFRESH_MS);
+</script>
+</body>
+</html>
+)rndash";
+}
+
+}  // namespace ranomaly::obs

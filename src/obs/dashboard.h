@@ -1,0 +1,12 @@
+// The /dashboard asset: one self-contained HTML document (inline CSS,
+// inline vanilla JS, inline SVG rendering) served by `ranomaly serve
+// --dashboard`.  It polls only same-origin JSON endpoints
+// (/api/series, /api/incidents/timeline, /varz) — zero external
+// resource fetches, so it renders on an air-gapped operator box.
+#pragma once
+
+namespace ranomaly::obs {
+
+const char* DashboardHtml();
+
+}  // namespace ranomaly::obs

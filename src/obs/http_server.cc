@@ -205,7 +205,11 @@ void HttpServer::SendResponse(int fd, const HttpResponse& response,
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     StatusReason(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
+  // HEAD advertises the exact length of the body it suppresses (RFC
+  // 9110: the same Content-Length GET would send).
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  // Every endpoint reports live state; a cached 200 is a wrong answer.
+  out += "Cache-Control: no-store\r\n";
   if (response.status == 405) out += "Allow: GET, HEAD\r\n";
   out += "Connection: close\r\n\r\n";
   if (!head_only) out += response.body;

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -86,6 +87,11 @@ std::pair<std::string_view, std::string_view> SplitFamily(
 }
 
 }  // namespace
+
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  return FormatBound(v);
+}
 
 std::string PromEscape(std::string_view value) {
   std::string out;
@@ -662,7 +668,7 @@ std::string ToVarzJson(const std::vector<MetricSnapshot>& snapshot) {
     if (m.kind != MetricKind::kGauge) continue;
     if (!first) out += ',';
     first = false;
-    out += "\"" + EscapeJson(m.name) + "\":" + FormatDouble(m.gauge);
+    out += "\"" + EscapeJson(m.name) + "\":" + JsonDouble(m.gauge);
   }
   out += "},\"histograms\":{";
   first = true;
@@ -681,10 +687,34 @@ std::string ToVarzJson(const std::vector<MetricSnapshot>& snapshot) {
       out += std::to_string(m.histogram.counts[b]);
     }
     out += "],\"count\":" + std::to_string(m.histogram.total_count);
-    out += ",\"sum\":" + FormatDouble(m.histogram.sum) + "}";
+    out += ",\"sum\":" + JsonDouble(m.histogram.sum) + "}";
   }
   out += "}}";
   return out;
+}
+
+std::string ToVarzJson(
+    const std::vector<MetricSnapshot>& snapshot,
+    const std::vector<std::pair<std::string, std::string>>& help) {
+  std::string out = ToVarzJson(snapshot);
+  // Splice the help object in before the closing brace; both family
+  // names and help texts are operator-supplied and must be escaped.
+  out.pop_back();
+  out += ",\"help\":{";
+  bool first = true;
+  for (const auto& [family, text] : help) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + EscapeJson(family) + "\":\"" + EscapeJson(text) + "\"";
+  }
+  out += "}}";
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+MetricsRegistry::HelpSnapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return {impl_->help_by_family.begin(), impl_->help_by_family.end()};
 }
 
 }  // namespace ranomaly::obs

@@ -69,8 +69,22 @@ struct MetricSnapshot {
 std::string FormatSnapshot(const std::vector<MetricSnapshot>& snapshot);
 
 // Full JSON rendering of a snapshot (the `/varz` payload): counters,
-// gauges, and histograms with their bucket bounds/counts/sum.
+// gauges, and histograms with their bucket bounds/counts/sum.  Names
+// (which may embed hostile label values) are JSON-escaped; non-finite
+// doubles render as `null` (JSON has no Inf/NaN literals).
 std::string ToVarzJson(const std::vector<MetricSnapshot>& snapshot);
+
+// Same, plus a "help" object of family -> help text (both escaped);
+// pass MetricsRegistry::HelpSnapshot().
+std::string ToVarzJson(
+    const std::vector<MetricSnapshot>& snapshot,
+    const std::vector<std::pair<std::string, std::string>>& help);
+
+// The shortest decimal rendering that parses back to exactly `v` — the
+// stable double formatting for JSON payloads (/varz, /api/series), so
+// deterministic state renders to deterministic bytes.  Non-finite
+// values render as `null`.
+std::string JsonDouble(double v);
 
 // Prometheus label-value escaping: backslash, double quote, and newline
 // become \\, \", and \n per the exposition format.
@@ -116,6 +130,8 @@ class MetricsRegistry {
 
   // Merged view of all shards (live and retired), sorted by name.
   std::vector<MetricSnapshot> Snapshot() const;
+  // Every registered help text, sorted by family.
+  std::vector<std::pair<std::string, std::string>> HelpSnapshot() const;
   std::string ToText() const;
   // Prometheus exposition text; every name gets the "ranomaly_" prefix.
   std::string ToPrometheus() const;

@@ -84,6 +84,48 @@ TEST_F(HttpServerTest, ServesGetAndHead) {
   EXPECT_EQ(server_->rejected_total(), 0u);
 }
 
+// HEAD must advertise the exact byte count of the body it suppresses —
+// the same Content-Length the matching GET sends — and then send no
+// body at all (RFC 9110 §9.3.2).  A dashboard poller that trusts HEAD
+// to size a buffer would otherwise truncate or over-read.
+TEST_F(HttpServerTest, HeadContentLengthMatchesSuppressedBodyExactly) {
+  StartEcho();
+  const std::string body = "path=/sized";  // what the echo handler returns
+  const std::string head = RawRequest(
+      server_->port(), "HEAD /sized HTTP/1.1\r\nHost: x\r\n\r\n");
+  const std::string want =
+      "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  EXPECT_NE(head.find(want), std::string::npos) << head;
+  // Headers end the message: nothing after the blank line.
+  const auto end = head.find("\r\n\r\n");
+  ASSERT_NE(end, std::string::npos);
+  EXPECT_EQ(head.size(), end + 4) << "HEAD response carried a body";
+
+  // The matching GET sends the same Content-Length, followed by exactly
+  // that many body bytes.
+  const std::string get = RawRequest(
+      server_->port(), "GET /sized HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(get.find(want), std::string::npos) << get;
+  EXPECT_EQ(get.substr(get.find("\r\n\r\n") + 4), body);
+}
+
+// Every endpoint reports live state, so every response — success,
+// client error, server error, even HEAD — must forbid caching.
+TEST_F(HttpServerTest, EveryResponseIsMarkedNoStore) {
+  StartEcho();
+  for (const char* request :
+       {"GET /hello HTTP/1.1\r\nHost: x\r\n\r\n",      // 200
+        "HEAD /hello HTTP/1.1\r\nHost: x\r\n\r\n",     // 200 HEAD
+        "GET /missing HTTP/1.1\r\nHost: x\r\n\r\n",    // 404
+        "GET /boom HTTP/1.1\r\nHost: x\r\n\r\n",       // 500
+        "POST / HTTP/1.1\r\nHost: x\r\n\r\n",          // 405
+        "completely wrong\r\n\r\n"}) {                 // 400
+    const std::string got = RawRequest(server_->port(), request);
+    EXPECT_NE(got.find("Cache-Control: no-store\r\n"), std::string::npos)
+        << request;
+  }
+}
+
 TEST_F(HttpServerTest, DecodesQueryParameters) {
   StartEcho();
   const auto got = HttpGet(server_->port(), "/echo?q=a%20b&x=1");

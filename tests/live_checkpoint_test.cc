@@ -20,6 +20,7 @@
 #include "core/live.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "util/rng.h"
 #include "workload/eventgen.h"
 
@@ -61,10 +62,14 @@ struct RunResult {
 // an orderly shutdown at that tick boundary (the SIGTERM drain path).
 RunResult RunLive(const LiveOptions& options,
                   const collector::EventStream& stream, IncidentLog* log,
-                  std::uint64_t stop_after_ticks = 0) {
+                  std::uint64_t stop_after_ticks = 0,
+                  obs::TimeSeriesStore* series = nullptr) {
+  // The registry is process-global; series-identity assertions need each
+  // run's sampled values to start from zero.
+  obs::MetricsRegistry::Global().Reset();
   obs::HealthRegistry health;
   std::atomic<bool> keep_going{true};
-  LiveRunner runner(options, &health, log);
+  LiveRunner runner(options, &health, log, series);
   RunResult result;
   result.stats = runner.Run(
       stream, &keep_going, [&](const LiveStats& s) {
@@ -125,6 +130,18 @@ LiveCheckpointState SampleState() {
   st.incidents.push_back(entry);
   st.latency_counts.assign(DetectionLatencyBounds().size() + 1, 0);
   st.latency_counts[3] = 1;  // 10.0 falls in the <=10 bucket
+  st.series_store.tiers = {
+      {kSecond, 600}, {10 * kSecond, 720}, {60 * kSecond, 1440}};
+  st.series_store.last_sample = 70 * kSecond;
+  obs::TimeSeriesStore::PersistedSeries series;
+  series.name = "serve_events_ingested_total";
+  series.kind = 0;  // counter
+  series.tiers.resize(3);
+  series.tiers[0] = {{60 * kSecond, 30.0, 30.0, 30.0},
+                     {70 * kSecond, 42.0, 42.0, 42.0}};
+  series.tiers[1] = {{70 * kSecond, 42.0, 42.0, 42.0}};
+  series.tiers[2] = {{60 * kSecond, 42.0, 30.0, 42.0}};
+  st.series_store.series.push_back(std::move(series));
   return st;
 }
 
@@ -156,7 +173,7 @@ TEST(LiveCheckpointTest, EncodeDecodeRoundTripsEverySection) {
   EncodeLiveState(st, ck);
   EXPECT_EQ(ck.time, st.stats.clock);
   EXPECT_EQ(ck.event_offset, st.next_event);
-  ASSERT_EQ(ck.sections.size(), 8u);
+  ASSERT_EQ(ck.sections.size(), 9u);
 
   // Through the full serialized format too.
   std::stringstream ss;
@@ -192,6 +209,14 @@ TEST(LiveCheckpointTest, EncodeDecodeRoundTripsEverySection) {
   EXPECT_EQ(out.incidents[0].incident.stem_label, "AS64500 - AS64501");
   EXPECT_DOUBLE_EQ(out.incidents[0].incident.detection_latency_sec, 10.0);
   EXPECT_EQ(out.latency_counts, st.latency_counts);
+  ASSERT_EQ(out.series_store.tiers.size(), 3u);
+  EXPECT_EQ(out.series_store.last_sample, 70 * kSecond);
+  ASSERT_EQ(out.series_store.series.size(), 1u);
+  EXPECT_EQ(out.series_store.series[0].name, "serve_events_ingested_total");
+  ASSERT_EQ(out.series_store.series[0].tiers[0].size(), 2u);
+  EXPECT_EQ(out.series_store.series[0].tiers[0][1].t, 70 * kSecond);
+  EXPECT_DOUBLE_EQ(out.series_store.series[0].tiers[0][1].value, 42.0);
+  EXPECT_DOUBLE_EQ(out.series_store.series[0].tiers[2][0].min, 30.0);
 }
 
 TEST(LiveCheckpointTest, DeterministicBytes) {
@@ -266,6 +291,63 @@ TEST(LiveCheckpointTest, RejectionNamesTheFailingSection) {
               b[1] ^= 1;  // low byte of flow_start
             })).find("FLOW"),
             std::string::npos);
+  // Truncated series store.
+  EXPECT_NE(decode_error(tampered("SERS", [](std::string& b) {
+              b.resize(b.size() / 2);
+            })).find("SERS"),
+            std::string::npos);
+  // Unsupported SERS layout version.
+  EXPECT_NE(decode_error(tampered("SERS", [](std::string& b) {
+              b[0] = 9;
+            })).find("SERS"),
+            std::string::npos);
+}
+
+// SERS semantic violations that survive byte-level parsing must still be
+// loud: a sample stamped after the tick boundary, a point off the bucket
+// grid, and an overfull ring.
+TEST(LiveCheckpointTest, SeriesStoreViolationsAreRejected) {
+  const auto decode_error = [](const collector::Checkpoint& ck) {
+    LiveCheckpointState out;
+    std::string error;
+    EXPECT_FALSE(DecodeLiveState(ck, &out, &error));
+    return error;
+  };
+  const auto encoded = [](const LiveCheckpointState& st) {
+    collector::Checkpoint ck;
+    EncodeLiveState(st, ck);
+    return ck;
+  };
+  {
+    LiveCheckpointState st = SampleState();
+    st.series_store.last_sample = st.stats.clock + 1;
+    const std::string error = decode_error(encoded(st));
+    EXPECT_NE(error.find("SERS"), std::string::npos) << error;
+    EXPECT_NE(error.find("after the tick boundary"), std::string::npos)
+        << error;
+  }
+  {
+    LiveCheckpointState st = SampleState();
+    st.series_store.series[0].tiers[0][0].t = 17;  // off the 1s grid
+    const std::string error = decode_error(encoded(st));
+    EXPECT_NE(error.find("SERS"), std::string::npos) << error;
+  }
+  {
+    LiveCheckpointState st = SampleState();
+    auto& ring = st.series_store.series[0].tiers[1];
+    ring.clear();
+    for (int i = 0; i < 721; ++i) {  // capacity is 720
+      ring.push_back({i * 10 * kSecond, 1.0, 1.0, 1.0});
+    }
+    const std::string error = decode_error(encoded(st));
+    EXPECT_NE(error.find("SERS"), std::string::npos) << error;
+  }
+  {
+    LiveCheckpointState st = SampleState();
+    st.series_store.series[0].kind = 7;  // no such SeriesKind
+    const std::string error = decode_error(encoded(st));
+    EXPECT_NE(error.find("SERS"), std::string::npos) << error;
+  }
 }
 
 // The quiet-boundary shape (FLOW count 0, empty incident log, all-zero
@@ -347,7 +429,8 @@ TEST(LiveCheckpointTest, ResumedRunIsBitIdenticalToUninterruptedRun) {
   const LiveOptions plain = BaseOptions();
 
   IncidentLog uninterrupted;
-  const RunResult want = RunLive(plain, stream, &uninterrupted);
+  obs::TimeSeriesStore want_store;
+  const RunResult want = RunLive(plain, stream, &uninterrupted, 0, &want_store);
   ASSERT_GT(want.stats.incidents, 0u) << "workload produced no incidents";
 
   const std::string path = TempPath("resume");
@@ -359,14 +442,18 @@ TEST(LiveCheckpointTest, ResumedRunIsBitIdenticalToUninterruptedRun) {
   // First life: stopped after 6 ticks; the final checkpoint lands at the
   // boundary the drain finished on.
   IncidentLog first_life;
-  const RunResult partial = RunLive(durable, stream, &first_life, 6);
+  obs::TimeSeriesStore first_store;
+  const RunResult partial = RunLive(durable, stream, &first_life, 6,
+                                    &first_store);
   EXPECT_FALSE(partial.stats.restored);
   EXPECT_LT(partial.stats.events_ingested, want.stats.events_ingested);
   ASSERT_TRUE(fs::exists(path));
 
   // Second life: restores and replays forward to the same end state.
   IncidentLog second_life;
-  const RunResult resumed = RunLive(durable, stream, &second_life);
+  obs::TimeSeriesStore second_store;
+  const RunResult resumed = RunLive(durable, stream, &second_life, 0,
+                                    &second_store);
   EXPECT_TRUE(resumed.stats.restored);
   EXPECT_EQ(resumed.stats.ticks, want.stats.ticks);
   EXPECT_EQ(resumed.stats.events_ingested, want.stats.events_ingested);
@@ -374,6 +461,23 @@ TEST(LiveCheckpointTest, ResumedRunIsBitIdenticalToUninterruptedRun) {
   EXPECT_EQ(resumed.stats.incidents_within_slo,
             want.stats.incidents_within_slo);
   EXPECT_EQ(resumed.incidents_json, want.incidents_json);
+  // The dashboard history crossed the kill: the SERS section seeded the
+  // second life's rings, and its post-restore samples continued exactly
+  // where an uninterrupted run would have been — byte-identical
+  // /api/series JSON for every determinism-contract series.
+  EXPECT_GT(second_store.series_count(), 0u);
+  for (const char* name :
+       {"serve_events_ingested_total", "serve_ticks_total",
+        "serve_incidents_total", "serve_replay_position_seconds",
+        "incident_detection_latency_seconds:count",
+        "incident_detection_latency_seconds:p90"}) {
+    for (const std::int64_t res : {kSecond, 10 * kSecond, 60 * kSecond}) {
+      const auto got = second_store.SeriesJson(name, res, -1);
+      const auto expected = want_store.SeriesJson(name, res, -1);
+      ASSERT_TRUE(got.has_value()) << name;
+      EXPECT_EQ(*got, *expected) << name << " @ " << res;
+    }
+  }
   fs::remove(path);
 }
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -302,6 +303,45 @@ TEST(MetricsTest, VarzJsonShape) {
   EXPECT_NE(json.find("\"depth\":2.5"), std::string::npos) << json;
   EXPECT_NE(json.find("\"lat\":{\"bounds\":[1]"), std::string::npos) << json;
   EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
+}
+
+// Byte-exact golden for the full /varz payload over the two historical
+// invalid-JSON vectors: metric names embedding Prometheus-escaped label
+// values (backslashes and double quotes that must be JSON-escaped
+// again) and non-finite gauges (JSON has no Inf/NaN literal — they must
+// render as null, not `inf`/`nan` which no parser accepts).
+TEST(MetricsTest, VarzJsonGoldenEscapesHostileNamesAndNonFinite) {
+  MetricsRegistry registry;
+  registry.Add(registry.Counter("events_total"), 7);
+  // PromEscape turns the value `up"link\<newline>` into `up\"link\\\n`,
+  // so the registered *name* carries backslashes and quotes.
+  const std::string hostile =
+      "peer_state" + PromLabels({{"peer", "up\"link\\\n"}});
+  registry.Set(registry.Gauge(hostile), 1.0);
+  registry.Set(registry.Gauge("spike"),
+               std::numeric_limits<double>::infinity());
+  registry.Set(registry.Gauge("hole"),
+               std::numeric_limits<double>::quiet_NaN());
+  const MetricId h = registry.Histogram("lat", {0.5, 1.0});
+  registry.Observe(h, 0.25);
+  registry.SetHelp("events_total", "Events \"ingested\"\nsince start");
+
+  const std::string json =
+      ToVarzJson(registry.Snapshot(), registry.HelpSnapshot());
+  EXPECT_EQ(
+      json,
+      R"json({"counters":{"events_total":7},"gauges":{"hole":null,"peer_state{peer=\"up\\\"link\\\\\\n\"}":1,"spike":null},"histograms":{"lat":{"bounds":[0.5,1],"counts":[1,0,0],"count":1,"sum":0.25}},"help":{"events_total":"Events \"ingested\"\nsince start"}})json");
+}
+
+TEST(MetricsTest, JsonDoubleShortestRoundTrip) {
+  EXPECT_EQ(JsonDouble(0.0), "0");
+  EXPECT_EQ(JsonDouble(2.5), "2.5");
+  EXPECT_EQ(JsonDouble(0.1), "0.1");
+  EXPECT_EQ(JsonDouble(-3.0), "-3");
+  EXPECT_EQ(JsonDouble(1e300), "1e+300");
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonDouble(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::quiet_NaN()), "null");
 }
 
 // --- tracer ------------------------------------------------------------------

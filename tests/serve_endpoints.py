@@ -28,6 +28,36 @@ CAPTURE = """\
 200000000 A 10.0.0.1 NEXT_HOP: 10.1.0.1 ASPATH: 100 200 PREFIX: 192.0.2.0/24
 """
 
+def incident_capture():
+    """A capture that actually produces incidents: background churn plus
+    two withdraw/re-announce avalanches (the session-reset signature) —
+    one compressed at 120s, one spread over a minute at 300s so at
+    least the slow one is detected even if the burst is shed."""
+    lines = []
+    for i in range(300):
+        lines.append((i * 2_000_000,
+                      f"A 10.0.0.2 NEXT_HOP: 10.1.0.2 ASPATH: 100 "
+                      f"{300 + i % 9} PREFIX: 198.51.{i % 100}.0/24"))
+    for i in range(120):
+        prefix = f"10.0.{i % 250}.0/24"
+        lines.append((120_000_000 + i * 40_000,
+                      f"W 10.0.0.1 NEXT_HOP: 10.1.0.1 ASPATH: 100 200 "
+                      f"PREFIX: {prefix}"))
+        lines.append((126_000_000 + i * 40_000,
+                      f"A 10.0.0.1 NEXT_HOP: 10.1.0.1 ASPATH: 100 200 "
+                      f"PREFIX: {prefix}"))
+    for i in range(120):
+        prefix = f"20.0.{i % 250}.0/24"
+        lines.append((300_000_000 + i * 250_000,
+                      f"W 10.0.0.4 NEXT_HOP: 10.1.0.4 ASPATH: 100 400 "
+                      f"PREFIX: {prefix}"))
+        lines.append((335_000_000 + i * 250_000,
+                      f"A 10.0.0.4 NEXT_HOP: 10.1.0.4 ASPATH: 100 400 "
+                      f"PREFIX: {prefix}"))
+    lines.sort(key=lambda pair: pair[0])
+    return "".join(f"{t_us} {rest}\n" for t_us, rest in lines)
+
+
 FAILURES = []
 
 
@@ -47,6 +77,16 @@ def fetch(port, path, timeout=5):
             return response.status, response.read().decode()
     except urllib.error.HTTPError as error:
         return error.code, error.read().decode()
+
+
+def fetch_full(port, path, timeout=5):
+    """Returns (status, headers, body); headers is a case-insensitive map."""
+    url = f"http://127.0.0.1:{port}{path}"
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read().decode()
 
 
 def spawn_serve(binary, capture, extra=()):
@@ -135,6 +175,108 @@ def test_endpoints(binary, capture):
     check(code == 0, f"serve exits cleanly on SIGINT (code {code})")
 
 
+def test_dashboard_and_series(binary, capture):
+    """The embedded dashboard and its /api/* JSON feeds.  `capture` must
+    produce incidents (see incident_capture)."""
+    process, port = spawn_serve(binary, capture, extra=("--dashboard",))
+    try:
+        status, headers, body = fetch_full(port, "/dashboard")
+        check(status == 200, "/dashboard answers 200")
+        check(headers.get("Content-Type", "").startswith("text/html"),
+              "/dashboard is text/html")
+        check(headers.get("Cache-Control") == "no-store",
+              "/dashboard forbids caching")
+        check("<svg" in body and "/api/series" in body,
+              "/dashboard embeds the SVG charts and polls /api/series")
+        check("http://" not in body and "https://" not in body
+              and "<script src" not in body and "<link" not in body,
+              "/dashboard loads zero external resources")
+
+        # The store samples at tick boundaries; with --pace-ms 100 the
+        # first tick lands within a second.  Poll until it shows up.
+        deadline = time.monotonic() + 30
+        listing = {}
+        while time.monotonic() < deadline:
+            status, headers, body = fetch_full(port, "/api/series")
+            listing = json.loads(body)
+            if any(s["name"] == "serve_ticks_total"
+                   for s in listing.get("series", [])):
+                break
+            time.sleep(0.2)
+        check(status == 200 and headers.get("Content-Type", "")
+              .startswith("application/json"),
+              "/api/series listing is application/json")
+        check(headers.get("Cache-Control") == "no-store",
+              "/api/series forbids caching")
+        check([t["resolution_sec"] for t in listing["tiers"]] == [1, 10, 60],
+              "/api/series reports the 1s/10s/60s retention tiers")
+        names = {s["name"] for s in listing["series"]}
+        check({"serve_ticks_total", "serve_events_ingested_total",
+               "serve_queue_depth"} <= names,
+              f"/api/series lists the serve series (got {sorted(names)[:5]}...)")
+
+        status, _, body = fetch_full(
+            port, "/api/series?name=serve_ticks_total&res=1")
+        series = json.loads(body)
+        check(status == 200 and series["kind"] == "counter"
+              and len(series["points"]) > 0,
+              "/api/series?name= returns counter points")
+        t_last = series["points"][-1][0]
+        status, _, body = fetch_full(
+            port, f"/api/series?name=serve_ticks_total&res=1&since={t_last}")
+        check(status == 200
+              and all(p[0] >= t_last for p in json.loads(body)["points"]),
+              "/api/series honors the since= cursor")
+
+        status, _, _ = fetch_full(port, "/api/series?name=nosuch")
+        check(status == 404, "/api/series 404s an unknown series name")
+        status, _, _ = fetch_full(
+            port, "/api/series?name=serve_ticks_total&res=7")
+        check(status == 400, "/api/series 400s an unconfigured resolution")
+        status, _, _ = fetch_full(
+            port, "/api/series?name=serve_ticks_total&since=bogus")
+        check(status == 400, "/api/series 400s a malformed since")
+
+        status, headers, body = fetch_full(port, "/api/incidents/timeline")
+        timeline = json.loads(body)
+        check(status == 200 and "incidents" in timeline
+              and "t0_sec" in timeline and "tick_sec" in timeline,
+              "/api/incidents/timeline is well-formed JSON")
+        check(headers.get("Cache-Control") == "no-store",
+              "/api/incidents/timeline forbids caching")
+
+        # The capture's GAP/SYNC churn produces session-reset incidents
+        # once the replay covers them; each must carry a trace exemplar.
+        deadline = time.monotonic() + 30
+        incidents = []
+        while time.monotonic() < deadline:
+            _, _, body = fetch_full(port, "/api/incidents/timeline")
+            incidents = json.loads(body)["incidents"]
+            if incidents:
+                break
+            time.sleep(0.2)
+        check(len(incidents) > 0, "timeline reports replay incidents")
+        if incidents:
+            first = incidents[0]
+            check(first["exemplar"]["span"] == "live.tick"
+                  and isinstance(first["exemplar"]["tick"], int),
+                  "timeline incidents carry a live.tick trace exemplar")
+    finally:
+        code = stop(process)
+    check(code == 0, f"dashboard serve exits cleanly on SIGINT (code {code})")
+
+
+def test_dashboard_off_by_default(binary, capture):
+    process, port = spawn_serve(binary, capture)
+    try:
+        status, _, _ = fetch_full(port, "/dashboard")
+        check(status == 404, "/dashboard is 404 without --dashboard")
+        status, _, _ = fetch_full(port, "/api/series")
+        check(status == 200, "/api/series is always on")
+    finally:
+        stop(process)
+
+
 def test_trace_interrupt(binary, capture, workdir):
     trace_path = os.path.join(workdir, "serve_trace.json")
     process = subprocess.Popen(
@@ -194,7 +336,12 @@ def main():
         capture = os.path.join(workdir, "capture.events")
         with open(capture, "w") as handle:
             handle.write(CAPTURE)
+        bursty = os.path.join(workdir, "bursty.events")
+        with open(bursty, "w") as handle:
+            handle.write(incident_capture())
         test_endpoints(binary, capture)
+        test_dashboard_and_series(binary, bursty)
+        test_dashboard_off_by_default(binary, capture)
         test_trace_interrupt(binary, capture, workdir)
         test_graceful_drain_and_restore(binary, capture, workdir)
     if FAILURES:

@@ -49,7 +49,9 @@ commands:
   serve   <stream> [--port N] [--tick-sec S] [--window-sec S] [--slo-sec S]
                    [--pace-ms M] [--watchdog-sec S] [--exit-after-replay]
                    [--checkpoint FILE] [--checkpoint-every-ticks N]
-                   [--queue-capacity N] [--service-rate N]
+                   [--queue-capacity N] [--service-rate N] [--dashboard]
+  series  <stream> [--name NAME] [--res SEC] [--since SEC]
+                   [--tick-sec S] [--window-sec S]
   peers   <stream>
   internet --out FILE [--format text|binary] [--relationships FILE]
            [--save-relationships FILE] [--ases N] [--prefixes N] [--peers N]
@@ -70,7 +72,12 @@ exposition format with --prom (docs/OBSERVABILITY.md lists the names).
 serve replays the stream through the analysis pipeline in --tick-sec
 batches over a sliding --window-sec window and exposes the operations
 endpoints on 127.0.0.1 (--port 0 picks an ephemeral port, printed on
-startup): /metrics /varz /healthz /readyz /incidents?since=N.  --pace-ms
+startup): /metrics /varz /healthz /readyz /incidents?since=N, plus the
+dashboard history endpoints /api/series?name=&res=&since= and
+/api/incidents/timeline.  --dashboard additionally serves the embedded
+single-file HTML operations dashboard at /dashboard (sparklines,
+degradation ladder, SLO percentiles, peer health, incident timeline —
+no external resources, docs/OBSERVABILITY.md).  --pace-ms
 sleeps that many wall milliseconds per simulated tick; after the replay
 the server keeps answering until SIGINT/SIGTERM unless
 --exit-after-replay is given (docs/OBSERVABILITY.md, Operations).
@@ -91,6 +98,13 @@ vantages, and writes the resulting table-dump + churn event stream to
 --out (binary RNE1 by default).  --save-relationships writes the
 (possibly generated) serial-2 edges back out; the stream is
 bit-identical at any RANOMALY_THREADS (docs/FORMATS.md, Serial-2).
+
+series replays the stream offline through the same tick replay `serve`
+runs and prints the retained dashboard history as JSON — the store
+inventory by default, or one series with --name (--res picks a
+downsample tier in seconds, --since drops points at or before that
+simulated second).  The output is byte-identical to what a `serve` of
+the same stream answers on /api/series, at any RANOMALY_THREADS.
 
 peers prints the per-peer feed scoreboard (state, uptime, reconnects,
 gaps) computed from the stream's GAP/SYNC markers — the same health
@@ -121,7 +135,8 @@ struct Args {
 
 // Flags that take no value.
 const char* kBooleanFlags[] = {"--include-unknown", "--hierarchical",
-                               "--analyze", "--prom", "--exit-after-replay"};
+                               "--analyze", "--prom", "--exit-after-replay",
+                               "--dashboard"};
 
 std::optional<Args> ParseArgs(const std::vector<std::string>& argv,
                               std::ostream& err) {
@@ -676,9 +691,14 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
   info.window_sec = util::ToSeconds(options.window);
   info.checkpoint_path = options.checkpoint_path;
   info.queue_capacity = options.shed.queue_capacity;
+  info.t0 = stream->empty() ? 0 : stream->events().front().time;
+  info.tick = options.tick;
 
+  obs::TimeSeriesStore series_store;
+  const bool dashboard = args.HasFlag("--dashboard");
   obs::HttpServer server(core::MakeOpsHandler(
-      &obs::MetricsRegistry::Global(), &health, &incidents, info));
+      &obs::MetricsRegistry::Global(), &health, &incidents, info,
+      &series_store, dashboard));
   std::string error;
   if (!server.Start(static_cast<std::uint16_t>(port_arg), &error)) {
     err << "serve: " << error << "\n";
@@ -686,6 +706,10 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
   }
   // Tests and scrapers parse this line for the (possibly ephemeral) port.
   out << "serving on 127.0.0.1:" << server.port() << std::endl;
+  if (dashboard) {
+    out << "dashboard at http://127.0.0.1:" << server.port() << "/dashboard"
+        << std::endl;
+  }
 
   ScopedSignalTrap trap;
   std::atomic<bool> keep_going{true};
@@ -698,7 +722,7 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
     health.SetState(serve_id, obs::HealthState::kDown,
                     "draining: stop requested");
   };
-  core::LiveRunner runner(options, &health, &incidents);
+  core::LiveRunner runner(options, &health, &incidents, &series_store);
   const core::LiveStats stats =
       runner.Run(*stream, &keep_going, [&](const core::LiveStats&) {
         if (pace_ms > 0) {
@@ -738,6 +762,56 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
   server.Stop();
   out << "served " << server.requests_total() << " requests ("
       << server.rejected_total() << " rejected)\n";
+  return kOk;
+}
+
+// series <stream> — offline replay into the dashboard time-series
+// store; prints the same JSON `serve` answers on /api/series, so the
+// retained history is scriptable without standing up a daemon.
+int CmdSeries(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "series: expected one stream file\n";
+    return kUsage;
+  }
+  const auto stream = LoadStream(args.positional[1], err);
+  if (!stream) return kFailure;
+  core::LiveOptions options;
+  options.tick = util::FromSeconds(
+      ParseDouble(args.Option("--tick-sec").value_or("10"), 10.0));
+  options.window = util::FromSeconds(
+      ParseDouble(args.Option("--window-sec").value_or("300"), 300.0));
+  if (options.tick <= 0 || options.window <= 0) {
+    err << "series: --tick-sec and --window-sec must be positive\n";
+    return kUsage;
+  }
+  obs::TimeSeriesStore store;
+  core::LiveRunner runner(options, nullptr, nullptr, &store);
+  runner.Run(*stream);
+  const auto name = args.Option("--name");
+  if (!name.has_value()) {
+    out << store.ListJson() << "\n";
+    return kOk;
+  }
+  std::int64_t res_us = store.options().tiers.front().resolution_us;
+  if (const auto res = args.Option("--res")) {
+    res_us = util::FromSeconds(ParseDouble(*res, 0.0));
+    if (!store.HasTier(res_us)) {
+      err << "series: no downsample tier at --res " << *res
+          << " seconds (run without --name to list the tiers)\n";
+      return kUsage;
+    }
+  }
+  std::int64_t since_us = -1;
+  if (const auto since = args.Option("--since")) {
+    since_us = util::FromSeconds(ParseDouble(*since, 0.0));
+  }
+  const auto body = store.SeriesJson(*name, res_us, since_us);
+  if (!body.has_value()) {
+    err << "series: unknown series " << *name
+        << " (run without --name to list the names)\n";
+    return kFailure;
+  }
+  out << *body << "\n";
   return kOk;
 }
 
@@ -880,6 +954,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "stats") return CmdStats(*parsed, out, err);
   if (command == "metrics") return CmdMetrics(*parsed, out, err);
   if (command == "serve") return CmdServe(*parsed, out, err);
+  if (command == "series") return CmdSeries(*parsed, out, err);
   if (command == "peers") return CmdPeers(*parsed, out, err);
   if (command == "internet") return CmdInternet(*parsed, out, err);
   err << "unknown command: " << command << "\n" << kUsageText;

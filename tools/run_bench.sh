@@ -4,7 +4,7 @@
 # speedup per row, and the 1/2/4-thread curve at 330k events.
 #
 # Usage:
-#   tools/run_bench.sh [--quick|--overhead|--serve-overhead|--checkpoint-overhead|--throughput|--internet]
+#   tools/run_bench.sh [--quick|--overhead|--serve-overhead|--dashboard-overhead|--checkpoint-overhead|--throughput|--internet]
 #                      [--build-dir DIR]
 #                      [--out FILE]
 #
@@ -22,6 +22,14 @@
 #                analysis pipeline (bench_serve_overhead --paired) with
 #                the quiet-pair/min-over-rounds process-CPU estimator
 #                and appends a `serve_overhead` row to the output JSON
+#                (budget: <= 3%, see docs/OBSERVABILITY.md).
+#   --dashboard-overhead
+#                measures what a 1 Hz dashboard poller (/dashboard +
+#                /api/series + /api/incidents/timeline) costs the
+#                analysis pipeline (bench_dashboard_overhead --paired;
+#                both sides feed the time-series store, so sampling is
+#                baseline, not overhead) with the same estimator and
+#                appends a `dashboard_overhead` row to the output JSON
 #                (budget: <= 3%, see docs/OBSERVABILITY.md).
 #   --throughput measures end-to-end ingest-to-incident throughput
 #                (bench_throughput --json) at 1/2/4/8 analysis threads
@@ -53,6 +61,7 @@ build_dir="$repo_root/build"
 quick=0
 overhead=0
 serve_overhead=0
+dashboard_overhead=0
 checkpoint_overhead=0
 throughput=0
 internet=0
@@ -63,6 +72,7 @@ while [[ $# -gt 0 ]]; do
     --quick) quick=1; shift ;;
     --overhead) overhead=1; shift ;;
     --serve-overhead) serve_overhead=1; shift ;;
+    --dashboard-overhead) dashboard_overhead=1; shift ;;
     --checkpoint-overhead) checkpoint_overhead=1; shift ;;
     --throughput) throughput=1; shift ;;
     --internet) internet=1; shift ;;
@@ -275,6 +285,86 @@ print(f'  analyze (process CPU, {row["quiet_pairs"]} quiet of {pairs} '
       f'interleaved pairs, best of {len(rounds)} round(s)): bare '
       f'{row["bare_ns_per_op"] / 1e6:.2f} ms, with 1 Hz scraper '
       f'{row["scraped_ns_per_op"] / 1e6:.2f} ms, overhead '
+      f'{row["overhead_fraction"] * 100:+.1f}% ({verdict} the '
+      f'{budget * 100:.0f}% budget)')
+print(f"updated {out_path}")
+EOF
+  exit 0
+fi
+
+if [[ "$dashboard_overhead" -eq 1 ]]; then
+  [[ -n "$out" ]] || out="$repo_root/BENCH_stemming.json"
+  dbench="$build_dir/bench/bench_dashboard_overhead"
+  if [[ ! -x "$dbench" ]]; then
+    echo "building bench_dashboard_overhead in $build_dir ..." >&2
+    cmake --build "$build_dir" --target bench_dashboard_overhead -j"$(nproc)"
+  fi
+  # Same quiet-pair/min-over-rounds process-CPU estimator as
+  # --serve-overhead; the polled side swaps the Prometheus scraper for
+  # a dashboard tab's request rotation, and both sides sample the
+  # time-series store every iteration (sampling happens at every serve
+  # tick regardless of watchers, so it belongs to the baseline).
+  python3 - "$dbench" "$out" <<'EOF'
+import json
+import statistics
+import os
+import subprocess
+import sys
+
+dbench, out_path = sys.argv[1], sys.argv[2]
+
+pairs = 10
+
+def measure():
+    proc = subprocess.run([dbench, "--paired", str(pairs)],
+                          check=True, capture_output=True, text=True)
+    report = json.loads(proc.stdout)
+    floor = min(p["bare_ns"] + p["scraped_ns"] for p in report["pairs"])
+    quiet = [p for p in report["pairs"]
+             if p["bare_ns"] + p["scraped_ns"] <= floor * 1.15]
+    if len(quiet) < 3:  # loaded box: median over 2 pairs is a coin flip
+        quiet = sorted(report["pairs"],
+                       key=lambda p: p["bare_ns"] + p["scraped_ns"])[:3]
+    ratio = statistics.median(p["scraped_ns"] / p["bare_ns"] for p in quiet)
+    iters = report["iters_per_side"]
+    return {
+        "bare_ns_per_op": statistics.median(
+            p["bare_ns"] for p in quiet) / iters,
+        "polled_ns_per_op": statistics.median(
+            p["scraped_ns"] for p in quiet) / iters,
+        "overhead_fraction": ratio - 1.0,
+        "quiet_pairs": len(quiet),
+    }
+
+rounds = []
+for _ in range(3):
+    rounds.append(measure())
+    if abs(rounds[-1]["overhead_fraction"]) <= 0.015:
+        break
+best = min(rounds, key=lambda r: abs(r["overhead_fraction"]))
+row = {
+    "benchmark": "bench_dashboard_overhead",
+    **best,
+    "pairs": pairs,
+    "rounds": len(rounds),
+    "round_overheads": [r["overhead_fraction"] for r in rounds],
+    "estimator": "min_abs_over_rounds_of_median_quiet_pair_ratio",
+    "metric": "process_cpu_time",
+}
+result = {}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        result = json.load(f)
+result["dashboard_overhead"] = row
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+budget = 0.03
+verdict = "within" if row["overhead_fraction"] <= budget else "OVER"
+print(f'  analyze (process CPU, {row["quiet_pairs"]} quiet of {pairs} '
+      f'interleaved pairs, best of {len(rounds)} round(s)): bare '
+      f'{row["bare_ns_per_op"] / 1e6:.2f} ms, with 1 Hz dashboard '
+      f'poller {row["polled_ns_per_op"] / 1e6:.2f} ms, overhead '
       f'{row["overhead_fraction"] * 100:+.1f}% ({verdict} the '
       f'{budget * 100:.0f}% budget)')
 print(f"updated {out_path}")
