@@ -1,0 +1,178 @@
+// Provenance-overhead benchmark: what does per-incident evidence
+// capture cost a live replay?
+//
+// BM_LiveReplayBare runs core::LiveRunner over a session-reset-plus-
+// churn capture with no provenance ledger attached.  BM_LiveReplayProv
+// runs the identical replay with an obs::ProvenanceLedger wired in, so
+// every detection also samples contributing raw events, snapshots the
+// admission classes behind the incident's stem component, and records
+// the per-stage timings — the full `explain this incident` payload.
+//
+// `--paired N` bypasses Google Benchmark and runs N (bare, provenance)
+// pairs back-to-back in this one process, alternating which side goes
+// first, timing each replay with a process-CPU-clock delta.  On a
+// shared box, background load shifts on a multi-second scale and
+// inflates both sides of an adjacent pair by the same factor, so the
+// per-pair ratio cancels it; separate processes (the plain Google
+// Benchmark run) can land in load regimes that differ by 60% and bury
+// a few-percent effect.  tools/run_bench.sh --provenance-overhead
+// distils the paired run into a `provenance_overhead` row in
+// BENCH_stemming.json (budget: <= 3%, see docs/OBSERVABILITY.md).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <string_view>
+
+#include "core/live.h"
+#include "obs/health.h"
+#include "obs/provenance.h"
+#include "util/time.h"
+#include "workload/eventgen.h"
+
+namespace ranomaly::bench {
+namespace {
+
+using util::kMinute;
+using util::kSecond;
+
+const collector::EventStream& Workload() {
+  static const collector::EventStream* stream = [] {
+    workload::InternetOptions options;
+    options.monitored_peers = 5;
+    options.prefix_count = 600;
+    options.origin_as_count = 120;
+    options.seed = 7;
+    const workload::SyntheticInternet internet(options);
+    workload::EventStreamGenerator gen(internet, 8);
+    gen.SessionReset(0, 10 * kMinute, kMinute, 20 * kSecond);
+    // A busy feed (~250 events/s average): the overhead fraction is
+    // evidence-capture cost over replay cost per detection, and an
+    // unpaced replay of a sparse feed deflates the denominator by
+    // orders of magnitude relative to a paced production tick.
+    gen.Churn(0, 30 * kMinute, 40000);
+    return new collector::EventStream(gen.Take());
+  }();
+  return *stream;
+}
+
+core::LiveOptions ReplayOptions() {
+  core::LiveOptions options;
+  options.tick = 10 * kSecond;
+  options.window = 5 * kMinute;
+  options.slo_target_sec = 30.0;
+  return options;
+}
+
+struct ReplayResult {
+  std::uint64_t incidents = 0;
+  std::uint64_t evidence_records = 0;
+};
+
+ReplayResult RunOnce(const core::LiveOptions& options, bool with_ledger) {
+  obs::HealthRegistry health;
+  core::IncidentLog incidents;
+  obs::ProvenanceLedger ledger;
+  std::atomic<bool> keep_going{true};
+  core::LiveRunner runner(options, &health, &incidents, nullptr,
+                          with_ledger ? &ledger : nullptr);
+  const core::LiveStats stats =
+      runner.Run(Workload(), &keep_going, [](const core::LiveStats&) {});
+  return {stats.incidents, ledger.size()};
+}
+
+void BM_LiveReplayBare(benchmark::State& state) {
+  Workload();  // force stream generation outside the timed loop
+  const core::LiveOptions options = ReplayOptions();
+  std::uint64_t incidents = 0;
+  for (auto _ : state) {
+    incidents = RunOnce(options, /*with_ledger=*/false).incidents;
+  }
+  state.counters["events"] = static_cast<double>(Workload().size());
+  state.counters["incidents"] = static_cast<double>(incidents);
+}
+// Process CPU time (all threads of the analysis pool) is the
+// comparison metric: it charges the full compute cost of evidence
+// capture while excluding — critical on a shared box — other tenants'
+// CPU steal, which swamps a few-percent effect in wall time.
+BENCHMARK(BM_LiveReplayBare)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime();
+
+void BM_LiveReplayProvenance(benchmark::State& state) {
+  Workload();  // force stream generation outside the timed loop
+  const core::LiveOptions options = ReplayOptions();
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    records = RunOnce(options, /*with_ledger=*/true).evidence_records;
+  }
+  state.counters["events"] = static_cast<double>(Workload().size());
+  state.counters["evidence_records"] = static_cast<double>(records);
+}
+BENCHMARK(BM_LiveReplayProvenance)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime();
+
+double ProcessCpuNs() {
+  std::timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e9 +
+         static_cast<double>(ts.tv_nsec);
+}
+
+}  // namespace
+
+// Runs `pairs` regime-matched (bare, provenance) replay pairs and
+// prints one JSON object to stdout; progress goes to stderr.
+int RunPaired(int pairs) {
+  Workload();  // force stream generation outside any timed region
+  const core::LiveOptions options = ReplayOptions();
+
+  const auto run = [&](bool with_ledger) {
+    const double start = ProcessCpuNs();
+    RunOnce(options, with_ledger);
+    return ProcessCpuNs() - start;
+  };
+
+  run(false);  // one warm-up of each side before anything is recorded
+  run(true);
+  std::printf("{\"pairs\": [");
+  for (int i = 0; i < pairs; ++i) {
+    double bare_ns = 0.0;
+    double provenance_ns = 0.0;
+    // Alternate which side runs first so a monotonic load drift across
+    // the ~1 s pair window biases half the pairs each way.
+    if (i % 2 == 0) {
+      bare_ns = run(false);
+      provenance_ns = run(true);
+    } else {
+      provenance_ns = run(true);
+      bare_ns = run(false);
+    }
+    std::printf("%s{\"bare_ns\": %.0f, \"provenance_ns\": %.0f}",
+                i == 0 ? "" : ", ", bare_ns, provenance_ns);
+    std::fprintf(stderr, "pair %d/%d: bare %.1f ms, provenance %.1f ms "
+                 "(ratio %.4f)\n", i + 1, pairs, bare_ns / 1e6,
+                 provenance_ns / 1e6, provenance_ns / bare_ns);
+  }
+  std::printf("]}\n");
+  return 0;
+}
+
+}  // namespace ranomaly::bench
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--paired" && i + 1 < argc) {
+      return ranomaly::bench::RunPaired(std::atoi(argv[i + 1]));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

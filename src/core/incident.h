@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bgp/prefix.h"
+#include "obs/provenance.h"
 #include "stemming/stemming.h"
 #include "util/time.h"
 
@@ -79,6 +80,13 @@ struct Incident {
   util::SimTime ingest_tick = 0;
   util::SimTime detected_at = 0;
   double detection_latency_sec = -1.0;
+  // Evidence record for the provenance ledger (obs/provenance.h):
+  // sampled contributing events, stem classes, and the correlation path.
+  // Populated only when PipelineOptions::provenance is set (and the
+  // build doesn't define RANOMALY_NO_PROVENANCE); the live runner moves
+  // it into the ledger at append time, so logged incidents carry an
+  // empty record.
+  obs::IncidentProvenance provenance;
 };
 
 }  // namespace ranomaly::core

@@ -266,12 +266,14 @@ std::vector<double> DetectionLatencyBounds() {
 }
 
 LiveRunner::LiveRunner(LiveOptions options, obs::HealthRegistry* health,
-                       IncidentLog* incidents, obs::TimeSeriesStore* series)
+                       IncidentLog* incidents, obs::TimeSeriesStore* series,
+                       obs::ProvenanceLedger* provenance)
     : options_(std::move(options)),
       pipeline_(options_.pipeline),
       health_(health),
       incidents_(incidents),
-      series_(series) {
+      series_(series),
+      provenance_(provenance) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   reg.SetHelp("incident_detection_latency_seconds",
               "Simulated seconds from an incident's triggering burst to the "
@@ -432,6 +434,14 @@ LiveStats LiveRunner::Run(
       // replay starts from a consistent nothing.
       if (incidents_ != nullptr) incidents_->Restore({});
       reject("section SERS: " + err);
+    } else if (provenance_ != nullptr &&
+               !provenance_->Restore(std::move(st.provenance), &err)) {
+      // Same unwind discipline as SERS: the incident log and series
+      // store were already replaced above; empty them again so the
+      // fresh replay starts from a consistent nothing.
+      if (incidents_ != nullptr) incidents_->Restore({});
+      if (series_ != nullptr) series_->Restore({}, nullptr);
+      reject("section PROV: " + err);
     } else {
       next = static_cast<std::size_t>(st.next_event);
       stats = st.stats;
@@ -533,6 +543,7 @@ LiveStats LiveRunner::Run(
     st.peers = board.Export();
     st.latency_counts = latency_counts;
     if (series_ != nullptr) st.series_store = series_->Export();
+    if (provenance_ != nullptr) st.provenance = provenance_->Export();
     // In-flight events persist as 2-bit admission classes over the
     // stream range [flow_start, next): window entries always precede
     // queue entries, so the front of window_idx (or queue_idx when the
@@ -809,6 +820,48 @@ LiveStats LiveRunner::Run(
         if (inc.detection_latency_sec <= options_.slo_target_sec) {
           ++stats.incidents_within_slo;
         }
+#ifndef RANOMALY_NO_PROVENANCE
+        if (provenance_ != nullptr) {
+          // Build the evidence record now, after the stem dedup:
+          // AnalyzeWindow re-derives every component each tick, so
+          // populating inside the pipeline would pay the string-heavy
+          // sampling for mostly already-seen incidents.  Then finish
+          // the window-relative record: key it to the log seq, rewrite
+          // sampled event ids to stream indices (live windows never
+          // contain markers, so component indices map 1:1 through
+          // window_idx), stamp per-event admission from the shed
+          // windows, and add the sim-time latency decomposition plus
+          // the live.tick trace-exemplar linkage.  Everything here is
+          // a pure function of the replayed stream, so the ledger
+          // inherits the thread- and restart-determinism contract.
+          Pipeline::PopulateProvenance(window, provenance_->caps(), inc);
+          obs::IncidentProvenance prov = std::move(inc.provenance);
+          prov.seq = logged.size() + 1;
+          prov.trace_tick =
+              static_cast<std::uint64_t>((tick_end - t0) / options_.tick);
+          prov.path.insert(prov.path.begin(),
+                           "live:tick " + std::to_string(prov.trace_tick));
+          for (obs::ProvenanceEvent& pe : prov.events) {
+            const std::size_t widx = static_cast<std::size_t>(pe.stream_index);
+            pe.stream_index = window_idx[widx];
+            const util::SimTime t = window[widx].time;
+            for (const ShedWindow& w : shed.windows) {
+              const util::SimTime w_end = w.closed ? w.end : tick_end;
+              if (w.begin <= t && t <= w_end) {
+                pe.admission = 1;
+                break;
+              }
+            }
+          }
+          prov.stages = {{"burst-to-ingest",
+                          util::ToSeconds(inc.ingest_tick - inc.begin)},
+                         {"ingest-to-detect",
+                          util::ToSeconds(tick_end - inc.ingest_tick)},
+                         {"total", inc.detection_latency_sec}};
+          provenance_->Attach(std::move(prov));
+        }
+        inc.provenance = {};
+#endif
         logged.push_back(IncidentLog::Entry{logged.size() + 1, inc});
         if (incidents_ != nullptr) incidents_->Append(std::move(inc));
       }
@@ -928,13 +981,15 @@ obs::HttpServer::Handler MakeOpsHandler(obs::MetricsRegistry* metrics,
                                         obs::HealthRegistry* health,
                                         IncidentLog* incidents, OpsInfo info,
                                         obs::TimeSeriesStore* series,
-                                        bool dashboard) {
+                                        bool dashboard,
+                                        obs::ProvenanceLedger* provenance) {
   metrics->SetHelp("http_requests_total",
                    "HTTP requests whose handler ran (any status).");
   metrics->SetHelp("http_requests_rejected_total",
                    "HTTP requests rejected at the protocol level.");
   return [metrics, health, incidents, info = std::move(info), series,
-          dashboard](const obs::HttpRequest& request) -> obs::HttpResponse {
+          dashboard,
+          provenance](const obs::HttpRequest& request) -> obs::HttpResponse {
     obs::HttpResponse response;
     if (request.path == "/metrics") {
       response.content_type = "text/plain; version=0.0.4; charset=utf-8";
@@ -942,6 +997,12 @@ obs::HttpServer::Handler MakeOpsHandler(obs::MetricsRegistry* metrics,
     } else if (request.path == "/varz") {
       std::string body = "{\"build\":{\"project\":\"ranomaly\",\"tracing\":";
 #ifdef RANOMALY_NO_TRACING
+      body += "false";
+#else
+      body += "true";
+#endif
+      body += ",\"provenance\":";
+#ifdef RANOMALY_NO_PROVENANCE
       body += "false";
 #else
       body += "true";
@@ -1056,13 +1117,23 @@ obs::HttpServer::Handler MakeOpsHandler(obs::MetricsRegistry* metrics,
         response.body = "unknown series; GET /api/series lists the names\n";
       }
     } else if (request.path == "/api/incidents/timeline") {
+      std::uint64_t since = 0;
+      if (const auto param = request.QueryParam("since")) {
+        // Same digits-only contract as /incidents and /api/series: a
+        // malformed cursor is a loud 400, never a silently empty page.
+        if (!util::ParseU64(*param, since)) {
+          response.status = 400;
+          response.body = "bad since parameter: want a non-negative integer\n";
+          return response;
+        }
+      }
       std::string body =
           "{\"t0_sec\":" + obs::JsonDouble(util::ToSeconds(info.t0)) +
           ",\"tick_sec\":" + obs::JsonDouble(util::ToSeconds(info.tick)) +
           ",\"incidents\":[";
       bool first = true;
       if (incidents != nullptr) {
-        for (const IncidentLog::Entry& e : incidents->Since(0)) {
+        for (const IncidentLog::Entry& e : incidents->Since(since)) {
           const Incident& inc = e.incident;
           if (!first) body += ',';
           first = false;
@@ -1092,9 +1163,37 @@ obs::HttpServer::Handler MakeOpsHandler(obs::MetricsRegistry* metrics,
               static_cast<long long>(tick_index));
         }
       }
-      body += "]}";
+      body += "],\"next_since\":" +
+              std::to_string(incidents == nullptr ? std::size_t{0}
+                                                  : incidents->size()) +
+              "}";
       response.content_type = "application/json";
       response.body = std::move(body);
+    } else if (request.path.size() > 24 &&
+               request.path.starts_with("/api/incidents/") &&
+               request.path.ends_with("/evidence")) {
+      // /api/incidents/<id>/evidence — the provenance ledger's record.
+      const std::string_view id_text =
+          std::string_view(request.path).substr(15, request.path.size() - 24);
+      std::uint64_t id = 0;
+      if (!util::ParseU64(id_text, id)) {
+        response.status = 400;
+        response.body = "bad incident id: want a non-negative integer\n";
+        return response;
+      }
+      if (provenance == nullptr) {
+        response.status = 404;
+        response.body = "no provenance ledger attached to this server\n";
+        return response;
+      }
+      if (auto body = provenance->EvidenceJson(id)) {
+        response.content_type = "application/json";
+        response.body = std::move(*body);
+      } else {
+        response.status = 404;
+        response.body = "unknown incident (or its evidence was evicted); "
+                        "GET /api/incidents/timeline lists the log\n";
+      }
     } else if (dashboard && request.path == "/dashboard") {
       response.content_type = "text/html; charset=utf-8";
       response.body = obs::DashboardHtml();
@@ -1102,7 +1201,8 @@ obs::HttpServer::Handler MakeOpsHandler(obs::MetricsRegistry* metrics,
       response.status = 404;
       response.body = "not found; try /metrics /varz /healthz /readyz "
                       "/incidents?since=N /api/series "
-                      "/api/incidents/timeline\n";
+                      "/api/incidents/timeline "
+                      "/api/incidents/<id>/evidence\n";
     }
     return response;
   };

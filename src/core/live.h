@@ -45,6 +45,7 @@
 #include "obs/health.h"
 #include "obs/http_server.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/timeseries.h"
 #include "util/time.h"
 
@@ -220,16 +221,22 @@ struct LiveStats {
   bool restored = false;  // this run resumed from a checkpoint
 };
 
-// Drives the tick replay.  Health/incident/series sinks are borrowed,
-// not owned; pass nullptr to skip any.  Metrics always record to
-// MetricsRegistry::Global().  With a series store attached, the runner
-// samples the registry into it at every tick boundary (sim-time
+// Drives the tick replay.  Health/incident/series/provenance sinks are
+// borrowed, not owned; pass nullptr to skip any.  Metrics always record
+// to MetricsRegistry::Global().  With a series store attached, the
+// runner samples the registry into it at every tick boundary (sim-time
 // stamps), restores its history from the checkpoint's SERS section, and
-// includes it in every checkpoint it cuts.
+// includes it in every checkpoint it cuts.  With a provenance ledger
+// attached, the pipeline builds an evidence record per incident
+// (PipelineOptions::provenance is forced on, caps copied from the
+// ledger) and the runner attaches it under the incident's log seq,
+// restoring/persisting the ledger through the PROV section the same
+// way.
 class LiveRunner {
  public:
   LiveRunner(LiveOptions options, obs::HealthRegistry* health,
-             IncidentLog* incidents, obs::TimeSeriesStore* series = nullptr);
+             IncidentLog* incidents, obs::TimeSeriesStore* series = nullptr,
+             obs::ProvenanceLedger* provenance = nullptr);
 
   // Replays `stream` tick by tick; checks `keep_going` (when non-null)
   // before each tick and stops early when it reads false.  `on_tick`
@@ -245,6 +252,7 @@ class LiveRunner {
   obs::HealthRegistry* health_;
   IncidentLog* incidents_;
   obs::TimeSeriesStore* series_;
+  obs::ProvenanceLedger* provenance_;
 };
 
 // Static facts the /varz payload reports alongside the metric snapshot.
@@ -277,16 +285,22 @@ struct OpsInfo {
 //   GET /api/series                       store inventory + tier list
 //   GET /api/series?name=N&res=R&since=S  one series at tier R (seconds,
 //                                         default finest), points after S
-//   GET /api/incidents/timeline           incidents + replay geometry +
+//   GET /api/incidents/timeline?since=N   incidents with seq > N (default
+//                                         0) + replay geometry +
 //                                         per-incident trace exemplar
+//                                         (400 on a malformed `since`)
+// With a provenance ledger attached (may be nullptr):
+//   GET /api/incidents/<id>/evidence      the incident's evidence record
+//                                         (400 on a malformed id, 404
+//                                         when unknown or evicted)
 // With `dashboard` set:
 //   GET /dashboard          the embedded single-file HTML dashboard
 // Anything else is 404.
-obs::HttpServer::Handler MakeOpsHandler(obs::MetricsRegistry* metrics,
-                                        obs::HealthRegistry* health,
-                                        IncidentLog* incidents, OpsInfo info,
-                                        obs::TimeSeriesStore* series = nullptr,
-                                        bool dashboard = false);
+obs::HttpServer::Handler MakeOpsHandler(
+    obs::MetricsRegistry* metrics, obs::HealthRegistry* health,
+    IncidentLog* incidents, OpsInfo info,
+    obs::TimeSeriesStore* series = nullptr, bool dashboard = false,
+    obs::ProvenanceLedger* provenance = nullptr);
 
 // Upper bucket bounds (simulated seconds) for the
 // incident_detection_latency_seconds histogram.

@@ -220,6 +220,55 @@ std::string EncodeSeriesStore(const LiveCheckpointState& s) {
   return out;
 }
 
+std::string EncodeProvenance(const LiveCheckpointState& s) {
+  const obs::ProvenanceLedger::Persisted& st = s.provenance;
+  std::string out;
+  io::StringSink os(out);
+  io::Put<std::uint8_t>(os, kSectionLayoutVersion);
+  io::Put<std::uint32_t>(os, st.caps.max_incidents);
+  io::Put<std::uint32_t>(os, st.caps.max_events);
+  io::Put<std::uint32_t>(os, st.caps.max_classes);
+  io::Put<std::uint64_t>(os, st.evicted);
+  io::Put<std::uint32_t>(os, static_cast<std::uint32_t>(st.records.size()));
+  for (const obs::IncidentProvenance& r : st.records) {
+    io::Put<std::uint64_t>(os, r.seq);
+    io::Put<std::uint64_t>(os, r.stem_first);
+    io::Put<std::uint64_t>(os, r.stem_second);
+    PutString(os, r.stem);
+    PutString(os, r.kind);
+    io::Put<std::uint32_t>(os, static_cast<std::uint32_t>(r.path.size()));
+    for (const std::string& hop : r.path) PutString(os, hop);
+    io::Put<std::uint64_t>(os, r.window_events);
+    io::Put<std::uint64_t>(os, r.component_events);
+    PutF64(os, r.component_weight);
+    io::Put<std::uint64_t>(os, r.events_total);
+    io::Put<std::uint32_t>(os, static_cast<std::uint32_t>(r.events.size()));
+    for (const obs::ProvenanceEvent& e : r.events) {
+      io::Put<std::uint64_t>(os, e.stream_index);
+      PutF64(os, e.time_sec);
+      PutString(os, e.type);
+      PutString(os, e.peer);
+      PutString(os, e.prefix);
+      io::Put<std::uint8_t>(os, e.admission);
+    }
+    io::Put<std::uint64_t>(os, r.classes_total);
+    io::Put<std::uint32_t>(os, static_cast<std::uint32_t>(r.classes.size()));
+    for (const obs::ProvenanceClass& c : r.classes) {
+      io::Put<std::uint32_t>(os, c.id);
+      PutF64(os, c.weight);
+      PutF64(os, c.score);
+      PutString(os, c.sequence);
+    }
+    io::Put<std::uint32_t>(os, static_cast<std::uint32_t>(r.stages.size()));
+    for (const obs::ProvenanceStage& stage : r.stages) {
+      PutString(os, stage.stage);
+      PutF64(os, stage.seconds);
+    }
+    io::Put<std::uint64_t>(os, r.trace_tick);
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Per-section decoders.  Each returns an empty string on success or a
 // human-readable reason; DecodeLiveState prefixes the section tag.
@@ -580,6 +629,96 @@ std::string DecodeSeriesStore(const std::string& bytes, util::SimTime clock,
   return "";
 }
 
+std::string DecodeProvenance(const std::string& bytes,
+                             LiveCheckpointState& s) {
+  SectionReader sr(bytes);
+  if (auto err = CheckLayout(sr); !err.empty()) return err;
+  obs::ProvenanceLedger::Persisted st;
+  std::uint32_t record_count = 0;
+  if (!sr.reader.Get(st.caps.max_incidents) ||
+      !sr.reader.Get(st.caps.max_events) ||
+      !sr.reader.Get(st.caps.max_classes) || !sr.reader.Get(st.evicted) ||
+      !sr.reader.Get(record_count)) {
+    return "truncated";
+  }
+  if (record_count > kMaxEntries) return "implausible record count";
+  st.records.resize(record_count);
+  for (std::uint32_t i = 0; i < record_count; ++i) {
+    obs::IncidentProvenance& r = st.records[i];
+    std::uint32_t path_count = 0;
+    if (!sr.reader.Get(r.seq) || !sr.reader.Get(r.stem_first) ||
+        !sr.reader.Get(r.stem_second) || !GetString(sr.reader, r.stem) ||
+        !GetString(sr.reader, r.kind) || !sr.reader.Get(path_count)) {
+      return util::StrPrintf("truncated at record %u", i);
+    }
+    if (path_count > 64) {
+      return util::StrPrintf("record %u: implausible path length", i);
+    }
+    r.path.resize(path_count);
+    for (std::uint32_t p = 0; p < path_count; ++p) {
+      if (!GetString(sr.reader, r.path[p])) {
+        return util::StrPrintf("truncated at record %u path hop %u", i, p);
+      }
+    }
+    std::uint32_t event_count = 0;
+    if (!sr.reader.Get(r.window_events) || !sr.reader.Get(r.component_events) ||
+        !GetF64(sr.reader, r.component_weight) ||
+        !sr.reader.Get(r.events_total) || !sr.reader.Get(event_count)) {
+      return util::StrPrintf("truncated at record %u", i);
+    }
+    if (event_count > obs::kMaxProvenanceEvents) {
+      return util::StrPrintf("record %u: implausible event count", i);
+    }
+    r.events.resize(event_count);
+    for (std::uint32_t e = 0; e < event_count; ++e) {
+      obs::ProvenanceEvent& ev = r.events[e];
+      if (!sr.reader.Get(ev.stream_index) || !GetF64(sr.reader, ev.time_sec) ||
+          !GetString(sr.reader, ev.type) || !GetString(sr.reader, ev.peer) ||
+          !GetString(sr.reader, ev.prefix) || !sr.reader.Get(ev.admission)) {
+        return util::StrPrintf("truncated at record %u event %u", i, e);
+      }
+    }
+    std::uint32_t class_count = 0;
+    if (!sr.reader.Get(r.classes_total) || !sr.reader.Get(class_count)) {
+      return util::StrPrintf("truncated at record %u", i);
+    }
+    if (class_count > obs::kMaxProvenanceClasses) {
+      return util::StrPrintf("record %u: implausible class count", i);
+    }
+    r.classes.resize(class_count);
+    for (std::uint32_t c = 0; c < class_count; ++c) {
+      obs::ProvenanceClass& cls = r.classes[c];
+      if (!sr.reader.Get(cls.id) || !GetF64(sr.reader, cls.weight) ||
+          !GetF64(sr.reader, cls.score) || !GetString(sr.reader, cls.sequence)) {
+        return util::StrPrintf("truncated at record %u class %u", i, c);
+      }
+    }
+    std::uint32_t stage_count = 0;
+    if (!sr.reader.Get(stage_count)) {
+      return util::StrPrintf("truncated at record %u", i);
+    }
+    if (stage_count > 16) {
+      return util::StrPrintf("record %u: implausible stage count", i);
+    }
+    r.stages.resize(stage_count);
+    for (std::uint32_t g = 0; g < stage_count; ++g) {
+      if (!GetString(sr.reader, r.stages[g].stage) ||
+          !GetF64(sr.reader, r.stages[g].seconds)) {
+        return util::StrPrintf("truncated at record %u stage %u", i, g);
+      }
+    }
+    if (!sr.reader.Get(r.trace_tick)) {
+      return util::StrPrintf("truncated at record %u", i);
+    }
+  }
+  if (!sr.AtEnd()) return "trailing bytes";
+  // Structural invariants (caps, contiguity, per-record bounds) live
+  // with the ledger so the decoder and Restore can never disagree.
+  if (auto err = obs::ProvenanceLedger::Validate(st); !err.empty()) return err;
+  s.provenance = std::move(st);
+  return "";
+}
+
 // Recomputes the latency bucket counts implied by the incident log; the
 // SLOH section must agree exactly (redundancy turns a selectively
 // corrupted section into a loud restore failure).
@@ -622,6 +761,7 @@ void EncodeLiveState(const LiveCheckpointState& state,
   checkpoint.sections.push_back({"INCD", EncodeIncidents(incidents)});
   checkpoint.sections.push_back({"SLOH", EncodeSloHistogram(state)});
   checkpoint.sections.push_back({"SERS", EncodeSeriesStore(state)});
+  checkpoint.sections.push_back({"PROV", EncodeProvenance(state)});
 }
 
 bool DecodeLiveState(const collector::Checkpoint& checkpoint,
@@ -643,7 +783,7 @@ bool DecodeLiveState(const collector::Checkpoint& checkpoint,
   // (Tags WIND and QUEU carried full in-flight event records in earlier
   // builds; they are retired and must never be reused for new layouts.)
   for (const char* tag : {"LIVE", "SHED", "STEM", "GAPS", "PEER", "FLOW",
-                          "INCD", "SLOH", "SERS"}) {
+                          "INCD", "SLOH", "SERS", "PROV"}) {
     if (section(tag) == nullptr) return fail(tag, "missing");
   }
 
@@ -683,11 +823,38 @@ bool DecodeLiveState(const collector::Checkpoint& checkpoint,
       !err.empty()) {
     return fail("SERS", err);
   }
+  if (auto err = DecodeProvenance(*section("PROV"), out); !err.empty()) {
+    return fail("PROV", err);
+  }
   if (out.incidents.size() != out.stats.incidents) {
     return fail("INCD", "entry count disagrees with LIVE stats");
   }
   if (CountsFromIncidents(out.incidents) != out.latency_counts) {
     return fail("SLOH", "bucket counts disagree with the incident log");
+  }
+  // Incident-id linkage: with a ledger attached (nonzero caps), every
+  // incident was attached exactly once, so the retained records must be
+  // exactly the newest min(incidents, max_incidents) seqs and each must
+  // agree with its INCD entry's stem key.  A tampered PROV section that
+  // still parses fails loudly here.
+  if (out.provenance.caps.max_incidents > 0) {
+    if (out.provenance.evicted + out.provenance.records.size() !=
+        out.incidents.size()) {
+      return fail("PROV", "record + evicted count disagrees with the "
+                          "incident log");
+    }
+    for (const obs::IncidentProvenance& r : out.provenance.records) {
+      // Contiguity from evicted + 1 was already validated, so seq is in
+      // range here; check the cross-section identity.
+      const Incident& inc = out.incidents[r.seq - 1].incident;
+      if (r.stem_first != inc.stem_key.first ||
+          r.stem_second != inc.stem_key.second) {
+        return fail("PROV",
+                    util::StrPrintf("record seq %llu stem key disagrees "
+                                    "with INCD",
+                                    static_cast<unsigned long long>(r.seq)));
+      }
+    }
   }
   // Derived stats fields the sections imply rather than store.
   out.stats.shed_level = out.shed_level;

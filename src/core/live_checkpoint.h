@@ -26,6 +26,12 @@
 //   SERS  the dashboard time-series store (obs/timeseries.h): tier
 //         shape, then every retained ring bucket per series, so a
 //         restarted `serve` answers /api/series byte-identically
+//   PROV  the incident provenance ledger (obs/provenance.h): caps,
+//         eviction count, then one evidence record per retained
+//         incident, so a restarted `serve` answers
+//         /api/incidents/<id>/evidence byte-identically.  Decode
+//         re-validates the caps and cross-checks every record's seq and
+//         stem key against INCD
 //
 // Decode is all-or-nothing: any malformed field, out-of-range value,
 // missing section, or INCD/SLOH mismatch fails the whole restore with
@@ -80,6 +86,9 @@ struct LiveCheckpointState {
   // SERS: the dashboard history (empty tiers when the runner has no
   // store attached — encoded as a zero-tier section either way).
   obs::TimeSeriesStore::Persisted series_store;
+  // PROV: the provenance ledger (zeroed caps and no records when the
+  // runner has no ledger attached — encoded as a section either way).
+  obs::ProvenanceLedger::Persisted provenance;
 };
 
 // Renders `state` into `checkpoint`: sets time (the tick boundary) and

@@ -154,6 +154,99 @@ IncidentKind Pipeline::Classify(const IncidentEvidence& evidence,
   return IncidentKind::kUnknown;
 }
 
+#ifndef RANOMALY_NO_PROVENANCE
+// Builds the incident's provenance record (obs/provenance.h): a
+// deterministic strided sample of the contributing events plus the
+// distinct (peer, nexthop, as-path, prefix) sequence classes among the
+// sample.  Window-relative: sampled event ids index the analyzed
+// window; the live runner rewrites them to stream indices before
+// attaching the record to the ledger.
+void Pipeline::PopulateProvenance(std::span<const bgp::Event> events,
+                                  const obs::ProvenanceCaps& caps,
+                                  Incident& inc) {
+  obs::IncidentProvenance& prov = inc.provenance;
+  const stemming::Component& component = inc.component;
+  prov.stem_first = inc.stem_key.first;
+  prov.stem_second = inc.stem_key.second;
+  prov.stem = inc.stem_label;
+  prov.kind = ToString(inc.kind);
+  prov.path = {"window:stemming", "component:" + inc.stem_label,
+               std::string("classify:") + ToString(inc.kind)};
+  prov.window_events = events.size();
+  prov.component_events = component.event_indices.size();
+  prov.component_weight = component.event_weight;
+  prov.events_total = component.event_indices.size();
+
+  const std::size_t total = component.event_indices.size();
+  const std::size_t take = std::min<std::size_t>(caps.max_events, total);
+  prov.events.reserve(take);
+  // Distinct sequence classes among the sample, keyed exactly like the
+  // stemmer encodes events (consecutive AS-path prepends collapsed).
+  std::vector<std::vector<std::uint32_t>> keys;
+  for (std::size_t k = 0; k < take; ++k) {
+    // k * total / take is strictly increasing while take <= total, so
+    // the sample is evenly strided over the whole component, never just
+    // its head.
+    const std::size_t idx = component.event_indices[k * total / take];
+    const bgp::Event& e = events[idx];
+    obs::ProvenanceEvent pe;
+    pe.stream_index = idx;
+    pe.time_sec =
+        static_cast<double>(e.time) / static_cast<double>(util::kSecond);
+    pe.type = bgp::ToString(e.type);
+    pe.peer = e.peer.ToString();
+    pe.prefix = e.prefix.ToString();
+    prov.events.push_back(std::move(pe));
+
+    std::vector<std::uint32_t> key;
+    key.push_back(e.peer.value());
+    key.push_back(e.attrs.nexthop.value());
+    bgp::AsNumber last_as = 0;
+    bool have_last = false;
+    for (const bgp::AsNumber asn : e.attrs.as_path.asns()) {
+      if (have_last && asn == last_as) continue;
+      key.push_back(asn);
+      last_as = asn;
+      have_last = true;
+    }
+    key.push_back(e.prefix.addr().value());
+    key.push_back(e.prefix.length());
+    std::size_t cls = keys.size();
+    for (std::size_t j = 0; j < keys.size(); ++j) {
+      if (keys[j] == key) {
+        cls = j;
+        break;
+      }
+    }
+    if (cls == keys.size()) {
+      keys.push_back(std::move(key));
+      ++prov.classes_total;
+      if (prov.classes.size() < caps.max_classes) {
+        obs::ProvenanceClass pc;
+        pc.id = static_cast<std::uint32_t>(prov.classes.size());
+        std::string seq = "peer " + e.peer.ToString() + " nexthop " +
+                          e.attrs.nexthop.ToString();
+        have_last = false;
+        last_as = 0;
+        for (const bgp::AsNumber asn : e.attrs.as_path.asns()) {
+          if (have_last && asn == last_as) continue;
+          seq += " AS" + std::to_string(asn);
+          last_as = asn;
+          have_last = true;
+        }
+        seq += " " + e.prefix.ToString();
+        pc.sequence = std::move(seq);
+        prov.classes.push_back(std::move(pc));
+      }
+    }
+    if (cls < prov.classes.size()) prov.classes[cls].weight += 1.0;
+  }
+  for (obs::ProvenanceClass& pc : prov.classes) {
+    pc.score = take == 0 ? 0.0 : pc.weight / static_cast<double>(take);
+  }
+}
+#endif  // RANOMALY_NO_PROVENANCE
+
 Incident Pipeline::MakeIncident(std::span<const bgp::Event> events,
                                 const stemming::StemmingResult& result,
                                 const stemming::Component& component) const {

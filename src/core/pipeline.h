@@ -65,6 +65,18 @@ class Pipeline {
   static IncidentKind Classify(const IncidentEvidence& evidence,
                                std::size_t prefix_count);
 
+#ifndef RANOMALY_NO_PROVENANCE
+  // Builds Incident::provenance (sampled contributing events, stem
+  // classes, correlation path) for the provenance ledger, bounded by
+  // `caps`.  Not called during analysis: AnalyzeWindow re-derives every
+  // component each tick and the live runner discards already-seen
+  // stems, so the (string-heavy) evidence build runs only for the
+  // incidents that survive dedup — the caller invokes this after.
+  static void PopulateProvenance(std::span<const bgp::Event> events,
+                                 const obs::ProvenanceCaps& caps,
+                                 Incident& inc);
+#endif
+
   const PipelineOptions& options() const { return options_; }
 
  private:

@@ -140,7 +140,7 @@ function renderCards(byName, level) {
     const last = pts.length ? pts[pts.length - 1].v : null;
     cards.push("<div class=\"card\"><h2>" + esc(c.label) + "</h2>" +
         "<span class=\"big\">" + fmt(last) + "</span>" +
-        " <span class=\"unit\">" + c.unit + "</span>" + sparkline(pts) +
+        " <span class=\"unit\">" + esc(c.unit) + "</span>" + sparkline(pts) +
         "</div>");
   }
   document.getElementById("cards").innerHTML = cards.join("");
@@ -180,7 +180,7 @@ function renderTimeline(tl) {
     parts.push("<g class=\"inc\" onclick=\"drill(" + idx + ")\">" +
         "<rect x=\"" + x0.toFixed(1) + "\" y=\"" + y + "\" width=\"" +
         (x1 - x0).toFixed(1) + "\" height=\"10\" rx=\"2\" fill=\"" + color +
-        "\"><title>#" + inc.seq + " " + esc(inc.kind) + "</title></rect>" +
+        "\"><title>#" + esc(inc.seq) + " " + esc(inc.kind) + "</title></rect>" +
         "<line x1=\"" + x(inc.detected_at_sec).toFixed(1) + "\" y1=\"" + y +
         "\" x2=\"" + x(inc.detected_at_sec).toFixed(1) + "\" y2=\"70\"" +
         " stroke=\"" + color + "\" stroke-dasharray=\"2 2\"/></g>");
@@ -191,7 +191,7 @@ function renderTimeline(tl) {
 function drill(idx) {
   const inc = incidents[idx];
   if (!inc) return;
-  document.getElementById("drill").textContent =
+  const base =
       "#" + inc.seq + "  " + inc.kind + "\n" +
       "stem:     " + inc.stem + "\n" +
       "raw s':   " + inc.top_sequence + "\n" +
@@ -204,6 +204,40 @@ function drill(idx) {
       "exemplar: trace span " + inc.exemplar.span + " tick #" +
       inc.exemplar.tick + " (run under `ranomaly trace` and search the " +
       "Chrome trace for this slice)";
+  const el = document.getElementById("drill");
+  el.textContent = base + "\n\nevidence: loading …";
+  fetch("/api/incidents/" + encodeURIComponent(inc.seq) + "/evidence",
+        {cache:"no-store"})
+    .then(r => r.ok ? r.json() : Promise.reject(new Error("HTTP " + r.status)))
+    .then(ev => { el.textContent = base + "\n\n" + evidenceText(ev); })
+    .catch(e => {
+      el.textContent = base + "\n\nevidence: unavailable (" +
+          String(e.message || e) + ")";
+    });
+}
+function evidenceText(ev) {
+  const lines = ["evidence (trace span " + ev.trace.span + " tick #" +
+      ev.trace.tick + ")"];
+  lines.push("path:     " + ev.path.join("  →  "));
+  lines.push("window:   " + ev.component_events + " of " + ev.window_events +
+      " analyzed events in the component (weight " + ev.component_weight +
+      ")");
+  for (const s of ev.stages) {
+    lines.push("stage:    " + s.stage + "  " + s.seconds + "s");
+  }
+  lines.push("events (" + ev.events.length + " of " + ev.events_total +
+      " contributing, deterministic stride):");
+  for (const e of ev.events) {
+    lines.push("  #" + e.id + "  t=" + e.time_sec + "s  " + e.type + "  " +
+        e.peer + "  " + e.prefix + "  [" + e.admission + "]");
+  }
+  lines.push("classes (" + ev.classes.length + " of " + ev.classes_total +
+      " distinct):");
+  for (const c of ev.classes) {
+    lines.push("  #" + c.id + "  weight=" + c.weight + "  score=" + c.score +
+        "  " + c.sequence);
+  }
+  return lines.join("\n");
 }
 async function tick() {
   if (paused) return;

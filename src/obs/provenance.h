@@ -1,0 +1,161 @@
+// Bounded-memory per-incident provenance ledger: the evidence behind
+// "explain this incident" (/api/incidents/<id>/evidence, the dashboard
+// drill-down panel, and `ranomaly explain`).
+//
+// The pipeline populates one record per incident as it detects: a
+// deterministic strided sample of the contributing raw events (stream
+// event id, peer, prefix, simulated time, admission class), the
+// distinct stem classes among those events (id, weight, representative
+// sequence, score), the correlation path the detection took, and a
+// per-stage detection-latency decomposition in *simulated* seconds.
+// Wall-clock timings stay in the tracer; the record instead carries the
+// `live.tick` TraceSpan annotation (`trace_tick`) that links it to the
+// span covering the detecting tick, so everything in the ledger — and
+// therefore the rendered evidence JSON — is bit-identical at any
+// RANOMALY_THREADS setting.
+//
+// Memory is bounded by construction: per-record caps on sampled events
+// and classes (enforced at Attach by truncation) and a cap on retained
+// records (oldest incident evicted first, counted, never silently).
+// The caps ride in the RNC1 PROV checkpoint section (docs/FORMATS.md)
+// so a restore re-validates them, and the decode cross-checks every
+// record's incident-id linkage against the INCD log.
+//
+// Standard-library-only, like metrics.h.  Thread-safe: the replay
+// thread attaches while the HTTP thread renders.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ranomaly::obs {
+
+// One sampled contributing raw event.  `stream_index` is the event's
+// 0-based position in the source capture — `ranomaly explain` and the
+// scorer resolve it back to the raw update.  `admission` records how
+// the live runner admitted it: 0 = direct, 1 = inside a load-shed
+// window (the event survived deterministic sampling, so counts around
+// it are lower bounds).
+struct ProvenanceEvent {
+  std::uint64_t stream_index = 0;
+  double time_sec = 0.0;  // simulated seconds
+  std::string type;       // "A" / "W"
+  std::string peer;
+  std::string prefix;
+  std::uint8_t admission = 0;
+  bool operator==(const ProvenanceEvent&) const = default;
+};
+
+// One distinct (peer, nexthop, as-path, prefix) sequence class among
+// the sampled contributing events.  `id` numbers classes in
+// first-occurrence order within the sample; `weight` counts sampled
+// events in the class and `score` is its fraction of the sample.
+struct ProvenanceClass {
+  std::uint32_t id = 0;
+  double weight = 0.0;
+  double score = 0.0;
+  std::string sequence;  // rendered like StemmingResult::SequenceLabel
+  bool operator==(const ProvenanceClass&) const = default;
+};
+
+// One stage of the detection-latency decomposition, in simulated
+// seconds (deterministic; wall timings live in the trace file).
+struct ProvenanceStage {
+  std::string stage;
+  double seconds = 0.0;
+  bool operator==(const ProvenanceStage&) const = default;
+};
+
+struct IncidentProvenance {
+  std::uint64_t seq = 0;  // IncidentLog sequence number (1-based)
+  // Stem identity as raw tagged symbol values — the PROV decoder
+  // cross-checks these against the INCD log's entry for `seq`.
+  std::uint64_t stem_first = 0;
+  std::uint64_t stem_second = 0;
+  std::string stem;  // formatted stem label
+  std::string kind;  // classified incident kind
+  // The correlation path taken, outermost hop first, e.g.
+  // ["live:tick 12", "window:stemming", "component:AS1 - AS2",
+  //  "classify:session-reset"].
+  std::vector<std::string> path;
+  std::uint64_t window_events = 0;     // analyzed window size at detection
+  std::uint64_t component_events = 0;  // events the component claimed
+  double component_weight = 0.0;       // weighted class mass (s' score)
+  std::uint64_t events_total = 0;      // contributing events before sampling
+  std::vector<ProvenanceEvent> events;
+  std::uint64_t classes_total = 0;     // distinct classes in the sample
+  std::vector<ProvenanceClass> classes;
+  std::vector<ProvenanceStage> stages;
+  std::uint64_t trace_tick = 0;  // live.tick span annotation value
+  bool operator==(const IncidentProvenance&) const = default;
+};
+
+// Hard bounds on the caps themselves (Validate rejects beyond these).
+inline constexpr std::uint32_t kMaxProvenanceIncidents = 65536;
+inline constexpr std::uint32_t kMaxProvenanceEvents = 4096;
+inline constexpr std::uint32_t kMaxProvenanceClasses = 4096;
+
+struct ProvenanceCaps {
+  std::uint32_t max_incidents = 512;  // retained records (oldest evicted)
+  std::uint32_t max_events = 32;      // sampled events per record
+  std::uint32_t max_classes = 16;     // classes per record
+  bool operator==(const ProvenanceCaps&) const = default;
+};
+
+class ProvenanceLedger {
+ public:
+  explicit ProvenanceLedger(ProvenanceCaps caps = {});
+
+  ProvenanceLedger(const ProvenanceLedger&) = delete;
+  ProvenanceLedger& operator=(const ProvenanceLedger&) = delete;
+
+  // Adds one record, truncating its events/classes to the caps and
+  // evicting the oldest record (counted) beyond max_incidents.  Records
+  // must arrive in strictly increasing `seq` order starting at 1 — the
+  // incident log's append order guarantees it.
+  void Attach(IncidentProvenance record);
+
+  std::size_t size() const;
+  std::uint64_t evicted() const;
+
+  // The evidence JSON for one incident, or nullopt when the seq is
+  // unknown or its record was evicted (callers map that to 404; a
+  // malformed id never reaches the ledger).  Deterministic bytes for
+  // equal state.
+  std::optional<std::string> EvidenceJson(std::uint64_t seq) const;
+
+  // Checkpoint state (the RNC1 PROV section).  Zeroed caps with no
+  // records mean "no ledger was attached" and restore to empty — the
+  // default, so a runner without a ledger encodes the sentinel.
+  struct Persisted {
+    ProvenanceCaps caps{0, 0, 0};
+    std::uint64_t evicted = 0;
+    std::vector<IncidentProvenance> records;  // oldest -> newest
+  };
+  Persisted Export() const;
+
+  // Structural validation shared by Restore and the checkpoint decoder:
+  // returns "" or a reason ("record 2: seq not contiguous").  Enforces
+  // the caps (and their hard bounds), strictly contiguous seqs starting
+  // at evicted + 1, and per-record sample/class counts within caps.
+  static std::string Validate(const Persisted& p);
+
+  // Replaces the ledger.  Fails (ledger untouched, *error set) if
+  // Validate rejects `p` or its caps differ from this ledger's; an
+  // empty zero-caps `p` just clears the ledger.
+  bool Restore(Persisted p, std::string* error);
+
+  const ProvenanceCaps& caps() const { return caps_; }
+
+ private:
+  mutable std::mutex mu_;
+  ProvenanceCaps caps_;
+  std::deque<IncidentProvenance> records_;  // oldest -> newest
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace ranomaly::obs

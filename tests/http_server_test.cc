@@ -8,12 +8,14 @@
 
 #include <atomic>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "core/live.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 
 namespace ranomaly::obs {
 namespace {
@@ -241,6 +243,77 @@ TEST(OpsServerTest, IncidentsSinceRejectsMalformedCursorsOverHttp) {
     ASSERT_TRUE(got.has_value()) << good;
     EXPECT_NE(got->find("200 OK"), std::string::npos) << good;
   }
+}
+
+// Same contract for the dashboard timeline cursor and the evidence
+// drill-down id, over real HTTP: malformed input is a loud 400,
+// unknown-but-well-formed ids are 404, and pagination works end to end.
+TEST(OpsServerTest, TimelineAndEvidenceGuardsHoldOverHttp) {
+  obs::HealthRegistry health;
+  core::IncidentLog log;
+  obs::ProvenanceLedger ledger;
+  {
+    core::Incident inc;
+    inc.stem_key = {1, 2};
+    inc.stem_label = "AS1 - AS2";
+    inc.summary = "test incident";
+    log.Append(inc);
+    log.Append(inc);
+    obs::IncidentProvenance prov;
+    prov.seq = 1;
+    prov.stem_first = 1;
+    prov.stem_second = 2;
+    ledger.Attach(prov);
+    prov = {};
+    prov.seq = 2;
+    prov.stem_first = 1;
+    prov.stem_second = 2;
+    ledger.Attach(std::move(prov));
+  }
+  HttpServer server(core::MakeOpsHandler(
+      &obs::MetricsRegistry::Global(), &health, &log,
+      core::OpsInfo{"capture.events", 2, 30.0, 10.0, 300.0}, nullptr, false,
+      &ledger));
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+
+  for (const char* bad :
+       {"since=%2B1", "since=-1", "since=%201", "since=1x", "since=0x10",
+        "since=18446744073709551616"}) {
+    const auto got = HttpGet(server.port(),
+                             std::string("/api/incidents/timeline?") + bad);
+    ASSERT_TRUE(got.has_value()) << bad;
+    EXPECT_NE(got->find("400 Bad Request"), std::string::npos) << bad;
+  }
+  const auto page =
+      HttpGet(server.port(), "/api/incidents/timeline?since=1");
+  ASSERT_TRUE(page.has_value());
+  EXPECT_NE(page->find("200 OK"), std::string::npos);
+  EXPECT_EQ(page->find("\"seq\":1,"), std::string::npos);
+  EXPECT_NE(page->find("\"seq\":2,"), std::string::npos);
+  EXPECT_NE(page->find("\"next_since\":2"), std::string::npos);
+
+  const auto evidence = HttpGet(server.port(), "/api/incidents/2/evidence");
+  ASSERT_TRUE(evidence.has_value());
+  EXPECT_NE(evidence->find("200 OK"), std::string::npos);
+  EXPECT_NE(evidence->find("\"seq\":2"), std::string::npos);
+  for (const char* bad :
+       {"/api/incidents/-1/evidence", "/api/incidents/2x/evidence",
+        "/api/incidents/%202/evidence", "/api/incidents//evidence",
+        "/api/incidents/18446744073709551616/evidence"}) {
+    const auto got = HttpGet(server.port(), bad);
+    ASSERT_TRUE(got.has_value()) << bad;
+    // An empty id segment falls through to the catch-all 404; every
+    // other malformed id is a 400 from the digits-only parser.
+    EXPECT_TRUE(got->find("400 Bad Request") != std::string::npos ||
+                (std::string_view(bad) == "/api/incidents//evidence" &&
+                 got->find("404 Not Found") != std::string::npos))
+        << bad << " -> " << *got;
+  }
+  const auto unknown = HttpGet(server.port(), "/api/incidents/99/evidence");
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_NE(unknown->find("404 Not Found"), std::string::npos);
+  EXPECT_NE(unknown->find("evicted"), std::string::npos);
 }
 
 TEST_F(HttpServerTest, ConcurrentScrapesAllSucceed) {

@@ -20,6 +20,7 @@
 #include "core/live.h"
 #include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/timeseries.h"
 #include "util/rng.h"
 #include "workload/eventgen.h"
@@ -142,6 +143,39 @@ LiveCheckpointState SampleState() {
   series.tiers[1] = {{70 * kSecond, 42.0, 42.0, 42.0}};
   series.tiers[2] = {{60 * kSecond, 42.0, 30.0, 42.0}};
   st.series_store.series.push_back(std::move(series));
+  st.provenance.caps = obs::ProvenanceCaps{};  // a ledger was attached
+  obs::IncidentProvenance prov;
+  prov.seq = 1;
+  prov.stem_first = as_sym;
+  prov.stem_second = as_sym + 1;
+  prov.stem = "AS64500 - AS64501";
+  prov.kind = "session-reset";
+  prov.path = {"live:tick 2", "window:stemming",
+               "component:AS64500 - AS64501", "classify:session-reset"};
+  prov.window_events = 40;
+  prov.component_events = 12;
+  prov.component_weight = 11.5;
+  prov.events_total = 12;
+  obs::ProvenanceEvent pe;
+  pe.stream_index = 17;
+  pe.time_sec = 12.5;
+  pe.type = "A";
+  pe.peer = "10.0.0.1";
+  pe.prefix = "192.0.2.0/24";
+  pe.admission = 1;
+  prov.events.push_back(std::move(pe));
+  obs::ProvenanceClass pc;
+  pc.id = 0;
+  pc.weight = 1.0;
+  pc.score = 1.0;
+  pc.sequence = "peer 10.0.0.1 nexthop 10.1.0.1 AS64500 192.0.2.0/24";
+  prov.classes.push_back(std::move(pc));
+  prov.classes_total = 1;
+  prov.stages = {{"burst-to-ingest", 5.0},
+                 {"ingest-to-detect", 5.0},
+                 {"total", 10.0}};
+  prov.trace_tick = 2;
+  st.provenance.records.push_back(std::move(prov));
   return st;
 }
 
@@ -173,7 +207,7 @@ TEST(LiveCheckpointTest, EncodeDecodeRoundTripsEverySection) {
   EncodeLiveState(st, ck);
   EXPECT_EQ(ck.time, st.stats.clock);
   EXPECT_EQ(ck.event_offset, st.next_event);
-  ASSERT_EQ(ck.sections.size(), 9u);
+  ASSERT_EQ(ck.sections.size(), 10u);
 
   // Through the full serialized format too.
   std::stringstream ss;
@@ -217,6 +251,10 @@ TEST(LiveCheckpointTest, EncodeDecodeRoundTripsEverySection) {
   EXPECT_EQ(out.series_store.series[0].tiers[0][1].t, 70 * kSecond);
   EXPECT_DOUBLE_EQ(out.series_store.series[0].tiers[0][1].value, 42.0);
   EXPECT_DOUBLE_EQ(out.series_store.series[0].tiers[2][0].min, 30.0);
+  EXPECT_EQ(out.provenance.caps, st.provenance.caps);
+  EXPECT_EQ(out.provenance.evicted, st.provenance.evicted);
+  ASSERT_EQ(out.provenance.records.size(), 1u);
+  EXPECT_EQ(out.provenance.records[0], st.provenance.records[0]);
 }
 
 TEST(LiveCheckpointTest, DeterministicBytes) {
@@ -301,6 +339,99 @@ TEST(LiveCheckpointTest, RejectionNamesTheFailingSection) {
               b[0] = 9;
             })).find("SERS"),
             std::string::npos);
+  // Truncated provenance ledger.
+  EXPECT_NE(decode_error(tampered("PROV", [](std::string& b) {
+              b.resize(b.size() / 2);
+            })).find("PROV"),
+            std::string::npos);
+  // Unsupported PROV layout version.
+  EXPECT_NE(decode_error(tampered("PROV", [](std::string& b) {
+              b[0] = 9;
+            })).find("PROV"),
+            std::string::npos);
+  // Provenance record seq diverging from the incident log (the u64 seq
+  // of record 0 sits after version + caps + evicted + count = 25 bytes).
+  EXPECT_NE(decode_error(tampered("PROV", [](std::string& b) {
+              b[25] = 5;
+            })).find("PROV"),
+            std::string::npos);
+}
+
+// PROV semantic violations that survive byte-level parsing must still
+// be loud: evidence claiming a different incident than INCD logged,
+// counts disagreeing with the log, caps abuse, and per-record invariant
+// breaks.
+TEST(LiveCheckpointTest, ProvenanceViolationsAreRejected) {
+  const auto decode_error = [](const collector::Checkpoint& ck) {
+    LiveCheckpointState out;
+    std::string error;
+    EXPECT_FALSE(DecodeLiveState(ck, &out, &error));
+    return error;
+  };
+  const auto encoded = [](const LiveCheckpointState& st) {
+    collector::Checkpoint ck;
+    EncodeLiveState(st, ck);
+    return ck;
+  };
+  {
+    // Stem key disagreeing with the INCD entry it claims to explain.
+    LiveCheckpointState st = SampleState();
+    st.provenance.records[0].stem_first ^= 1;
+    const std::string error = decode_error(encoded(st));
+    EXPECT_NE(error.find("PROV"), std::string::npos) << error;
+    EXPECT_NE(error.find("stem key"), std::string::npos) << error;
+  }
+  {
+    // Record + evicted count disagreeing with the incident log.
+    LiveCheckpointState st = SampleState();
+    st.provenance.records.clear();
+    const std::string error = decode_error(encoded(st));
+    EXPECT_NE(error.find("PROV"), std::string::npos) << error;
+    EXPECT_NE(error.find("incident log"), std::string::npos) << error;
+  }
+  {
+    // The zero-caps "no ledger" sentinel may not carry records.
+    LiveCheckpointState st = SampleState();
+    st.provenance.caps = {0, 0, 0};
+    const std::string error = decode_error(encoded(st));
+    EXPECT_NE(error.find("PROV"), std::string::npos) << error;
+  }
+  {
+    // Caps beyond the hard bounds.
+    LiveCheckpointState st = SampleState();
+    st.provenance.caps.max_incidents = obs::kMaxProvenanceIncidents + 1;
+    const std::string error = decode_error(encoded(st));
+    EXPECT_NE(error.find("PROV"), std::string::npos) << error;
+  }
+  {
+    // Reserved admission class on a sampled event.
+    LiveCheckpointState st = SampleState();
+    st.provenance.records[0].events[0].admission = 2;
+    const std::string error = decode_error(encoded(st));
+    EXPECT_NE(error.find("PROV"), std::string::npos) << error;
+  }
+  {
+    // Class ids must be in first-occurrence order.
+    LiveCheckpointState st = SampleState();
+    st.provenance.records[0].classes[0].id = 3;
+    const std::string error = decode_error(encoded(st));
+    EXPECT_NE(error.find("PROV"), std::string::npos) << error;
+  }
+  {
+    // More sampled events than the record claims contributed.
+    LiveCheckpointState st = SampleState();
+    st.provenance.records[0].events_total = 0;
+    const std::string error = decode_error(encoded(st));
+    EXPECT_NE(error.find("PROV"), std::string::npos) << error;
+  }
+  {
+    // A component cannot be larger than the window it came from.
+    LiveCheckpointState st = SampleState();
+    st.provenance.records[0].component_events =
+        st.provenance.records[0].window_events + 1;
+    const std::string error = decode_error(encoded(st));
+    EXPECT_NE(error.find("PROV"), std::string::npos) << error;
+  }
 }
 
 // SERS semantic violations that survive byte-level parsing must still be

@@ -347,6 +347,46 @@ TEST_F(OpsHandlerTest, IncidentsSinceIsStrictlyParsed) {
   EXPECT_EQ(max.body.find("\"seq\":1"), std::string::npos);
 }
 
+// The dashboard timeline shares the /incidents resumption contract:
+// ?since=N pages from the cursor and next_since names the new one.
+TEST_F(OpsHandlerTest, TimelineSincePaginates) {
+  log_.Append(MakeIncidentFor(1, "a"));
+  log_.Append(MakeIncidentFor(2, "b"));
+  log_.Append(MakeIncidentFor(3, "c"));
+  const auto all = handler_(Get("/api/incidents/timeline"));
+  EXPECT_EQ(all.status, 200);
+  EXPECT_EQ(all.content_type, "application/json");
+  EXPECT_NE(all.body.find("\"seq\":1,"), std::string::npos);
+  EXPECT_NE(all.body.find("\"next_since\":3"), std::string::npos);
+  const auto tail = handler_(Get("/api/incidents/timeline", "since=2"));
+  EXPECT_EQ(tail.status, 200);
+  EXPECT_EQ(tail.body.find("\"seq\":1,"), std::string::npos);
+  EXPECT_EQ(tail.body.find("\"seq\":2,"), std::string::npos);
+  EXPECT_NE(tail.body.find("\"seq\":3,"), std::string::npos);
+  EXPECT_NE(tail.body.find("\"next_since\":3"), std::string::npos);
+  // A cursor past the end is an empty page, not an error.
+  const auto beyond = handler_(Get("/api/incidents/timeline", "since=999"));
+  EXPECT_EQ(beyond.status, 200);
+  EXPECT_EQ(beyond.body.find("\"seq\":"), std::string::npos);
+  EXPECT_NE(beyond.body.find("\"next_since\":3"), std::string::npos);
+}
+
+// Digits-only, same as /incidents: signs, whitespace, trailing garbage,
+// and overflow are all loud 400s, never a silently empty timeline.
+TEST_F(OpsHandlerTest, TimelineSinceIsStrictlyParsed) {
+  log_.Append(MakeIncidentFor(1, "a"));
+  for (const char* bad : {"since=+1", "since=-1", "since= 1", "since=1 ",
+                          "since=1x", "since=0x10", "since=1.0", "since=",
+                          "since=18446744073709551616"}) {
+    EXPECT_EQ(handler_(Get("/api/incidents/timeline", bad)).status, 400)
+        << bad;
+  }
+  const auto max =
+      handler_(Get("/api/incidents/timeline", "since=18446744073709551615"));
+  EXPECT_EQ(max.status, 200);
+  EXPECT_EQ(max.body.find("\"seq\":1"), std::string::npos);
+}
+
 TEST_F(OpsHandlerTest, UnknownPathIs404) {
   EXPECT_EQ(handler_(Get("/")).status, 404);
   EXPECT_EQ(handler_(Get("/metricsx")).status, 404);

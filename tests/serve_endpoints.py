@@ -179,6 +179,7 @@ def test_dashboard_and_series(binary, capture):
     """The embedded dashboard and its /api/* JSON feeds.  `capture` must
     produce incidents (see incident_capture)."""
     process, port = spawn_serve(binary, capture, extra=("--dashboard",))
+    first_seq, serve_evidence = None, ""
     try:
         status, headers, body = fetch_full(port, "/dashboard")
         check(status == 200, "/dashboard answers 200")
@@ -261,9 +262,66 @@ def test_dashboard_and_series(binary, capture):
             check(first["exemplar"]["span"] == "live.tick"
                   and isinstance(first["exemplar"]["tick"], int),
                   "timeline incidents carry a live.tick trace exemplar")
+
+        # The timeline shares the /incidents resumption contract.
+        _, _, body = fetch_full(port, "/api/incidents/timeline")
+        cursor = json.loads(body)["next_since"]
+        status, _, body = fetch_full(
+            port, f"/api/incidents/timeline?since={cursor}")
+        check(status == 200 and json.loads(body)["incidents"] == [],
+              "timeline resumes from next_since with no duplicates")
+        status, _, body = fetch_full(port, "/api/incidents/timeline?since=1")
+        page = json.loads(body)
+        check(status == 200
+              and all(i["seq"] >= 2 for i in page["incidents"]),
+              "timeline ?since=1 skips the first incident")
+        for bad in ("-1", "1x", "%2B1", "bogus", "18446744073709551616"):
+            status, _, _ = fetch_full(
+                port, f"/api/incidents/timeline?since={bad}")
+            check(status == 400, f"timeline rejects since={bad}")
+
+        # The evidence drill-down: valid id, unknown id, malformed id.
+        if incidents:
+            first_seq = incidents[0]["seq"]
+            status, headers, body = fetch_full(
+                port, f"/api/incidents/{first_seq}/evidence")
+            check(status == 200 and headers.get("Content-Type", "")
+                  .startswith("application/json"),
+                  "/api/incidents/<id>/evidence answers JSON")
+            evidence = json.loads(body)
+            check(evidence.get("seq") == first_seq
+                  and len(evidence.get("events", [])) > 0
+                  and len(evidence.get("stages", [])) > 0
+                  and evidence.get("trace", {}).get("span") == "live.tick",
+                  "evidence carries sampled events, stages, and the trace "
+                  "exemplar")
+            serve_evidence = body
+        status, _, _ = fetch_full(port, "/api/incidents/999999/evidence")
+        check(status == 404, "unknown incident id is a 404")
+        for bad in ("-1", "abc", "1x"):
+            status, _, _ = fetch_full(port, f"/api/incidents/{bad}/evidence")
+            check(status == 400, f"malformed incident id {bad!r} is a 400")
     finally:
         code = stop(process)
     check(code == 0, f"dashboard serve exits cleanly on SIGINT (code {code})")
+
+    # `ranomaly explain` replays offline with the same live options the
+    # serve above used and must print the exact same evidence bytes.
+    if first_seq is not None:
+        explain = subprocess.run(
+            [binary, "explain", capture, "--incident", str(first_seq),
+             "--tick-sec", "10"],
+            capture_output=True, text=True, timeout=120)
+        check(explain.returncode == 0,
+              f"ranomaly explain exits 0 (code {explain.returncode})")
+        check(explain.stdout.strip() == serve_evidence.strip(),
+              "explain output is byte-identical to the serve evidence JSON")
+        unknown = subprocess.run(
+            [binary, "explain", capture, "--incident", "999999",
+             "--tick-sec", "10"],
+            capture_output=True, text=True, timeout=120)
+        check(unknown.returncode != 0 and "unknown incident" in unknown.stderr,
+              "explain fails loudly for an unknown incident id")
 
 
 def test_dashboard_off_by_default(binary, capture):

@@ -113,11 +113,12 @@ def spawn_serve(binary, capture, checkpoint, pace_ms, threads, env_extra=()):
 
 def run_to_completion(binary, capture, checkpoint, threads, env_extra=()):
     """Runs serve until the replay finishes, grabs the incident stream
-    over HTTP, drains with SIGTERM, and returns (incidents, exit_code,
-    stdout_tail)."""
+    and every incident's provenance evidence over HTTP, drains with
+    SIGTERM, and returns (incidents, evidence, exit_code, stdout_tail)."""
     process, port = spawn_serve(binary, capture, checkpoint, pace_ms=2,
                                 threads=threads, env_extra=env_extra)
     tail = []
+    evidence = None
     try:
         for line in process.stdout:
             tail.append(line)
@@ -125,6 +126,12 @@ def run_to_completion(binary, capture, checkpoint, threads, env_extra=()):
                 break
         status, body = fetch(port, "/incidents?since=0")
         incidents = json.loads(body)["incidents"] if status == 200 else None
+        if incidents:
+            evidence = []
+            for inc in incidents:
+                status, body = fetch(
+                    port, f"/api/incidents/{inc['seq']}/evidence")
+                evidence.append(body if status == 200 else f"<{status}>")
     finally:
         process.send_signal(signal.SIGTERM)
         try:
@@ -136,7 +143,7 @@ def run_to_completion(binary, capture, checkpoint, threads, env_extra=()):
         # iterator used: communicate() reads the raw fd and would drop
         # any lines the iterator had already read ahead into its buffer.
         tail.append(process.stdout.read() or "")
-    return incidents, process.returncode, "".join(tail)
+    return incidents, evidence, process.returncode, "".join(tail)
 
 
 def kill_mid_replay(binary, capture, checkpoint, threads, delay, env_extra=()):
@@ -175,12 +182,15 @@ def main():
 
         # Uninterrupted ground truth (single-threaded, no chaos).
         baseline_ck = os.path.join(tmp, "baseline.ckpt")
-        baseline, code, out = run_to_completion(binary, capture, baseline_ck,
-                                                threads=1)
+        baseline, baseline_ev, code, out = run_to_completion(
+            binary, capture, baseline_ck, threads=1)
         check(baseline is not None, "baseline run served /incidents")
         check(code == 0, f"baseline run drained with exit 0 (got {code})")
         check(baseline and len(baseline) > 0,
               f"baseline produced incidents ({len(baseline or [])})")
+        check(baseline_ev is not None
+              and all(body.startswith("{") for body in baseline_ev),
+              "baseline served provenance evidence for every incident")
         check("drained cleanly" in out, "baseline printed the drain banner")
         check("overload ladder:" in out,
               "the burst engaged the degradation ladder")
@@ -197,8 +207,8 @@ def main():
                                 delay=0.1 + rng.random() * 0.5,
                                 env_extra=env_extra)
             # Final life: clean run to completion from whatever survived.
-            incidents, code, out = run_to_completion(binary, capture, ck,
-                                                     threads=threads)
+            incidents, evidence, code, out = run_to_completion(
+                binary, capture, ck, threads=threads)
             check(incidents is not None,
                   f"threads={threads}: final life served /incidents")
             check(code == 0,
@@ -208,6 +218,9 @@ def main():
             check(incidents == baseline,
                   f"threads={threads}: incident stream bit-identical to the "
                   f"uninterrupted baseline after 3 kills + write faults")
+            check(evidence == baseline_ev,
+                  f"threads={threads}: per-incident evidence bytes identical "
+                  f"to the uninterrupted baseline")
             if incidents != baseline:
                 check(strip_degradation(incidents) ==
                       strip_degradation(baseline),

@@ -20,6 +20,7 @@
 #include "obs/health.h"
 #include "obs/http_server.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "tamp/animation.h"
 #include "tamp/layout.h"
@@ -52,6 +53,8 @@ commands:
                    [--queue-capacity N] [--service-rate N] [--dashboard]
   series  <stream> [--name NAME] [--res SEC] [--since SEC]
                    [--tick-sec S] [--window-sec S]
+  explain <stream> --incident N [--tick-sec S] [--window-sec S] [--slo-sec S]
+                   [--queue-capacity N] [--service-rate N]
   peers   <stream>
   internet --out FILE [--format text|binary] [--relationships FILE]
            [--save-relationships FILE] [--ases N] [--prefixes N] [--peers N]
@@ -73,8 +76,9 @@ serve replays the stream through the analysis pipeline in --tick-sec
 batches over a sliding --window-sec window and exposes the operations
 endpoints on 127.0.0.1 (--port 0 picks an ephemeral port, printed on
 startup): /metrics /varz /healthz /readyz /incidents?since=N, plus the
-dashboard history endpoints /api/series?name=&res=&since= and
-/api/incidents/timeline.  --dashboard additionally serves the embedded
+dashboard history endpoints /api/series?name=&res=&since=,
+/api/incidents/timeline?since=N, and the per-incident evidence drill-down
+/api/incidents/<id>/evidence.  --dashboard additionally serves the embedded
 single-file HTML operations dashboard at /dashboard (sparklines,
 degradation ladder, SLO percentiles, peer health, incident timeline —
 no external resources, docs/OBSERVABILITY.md).  --pace-ms
@@ -105,6 +109,15 @@ inventory by default, or one series with --name (--res picks a
 downsample tier in seconds, --since drops points at or before that
 simulated second).  The output is byte-identical to what a `serve` of
 the same stream answers on /api/series, at any RANOMALY_THREADS.
+
+explain replays the stream offline through the same tick replay `serve`
+runs and prints the provenance evidence for incident --incident N — the
+sampled contributing raw events, the stem classes involved, the
+correlation path, and the per-stage detection timings — as JSON.  Pass
+the same --tick-sec/--window-sec/--slo-sec/--queue-capacity/
+--service-rate a `serve` of the stream used and the output is
+byte-identical to that server's /api/incidents/N/evidence, at any
+RANOMALY_THREADS (docs/OBSERVABILITY.md, Explaining incidents).
 
 peers prints the per-peer feed scoreboard (state, uptime, reconnects,
 gaps) computed from the stream's GAP/SYNC markers — the same health
@@ -695,10 +708,11 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
   info.tick = options.tick;
 
   obs::TimeSeriesStore series_store;
+  obs::ProvenanceLedger provenance_ledger;
   const bool dashboard = args.HasFlag("--dashboard");
   obs::HttpServer server(core::MakeOpsHandler(
       &obs::MetricsRegistry::Global(), &health, &incidents, info,
-      &series_store, dashboard));
+      &series_store, dashboard, &provenance_ledger));
   std::string error;
   if (!server.Start(static_cast<std::uint16_t>(port_arg), &error)) {
     err << "serve: " << error << "\n";
@@ -722,7 +736,8 @@ int CmdServe(const Args& args, std::ostream& out, std::ostream& err) {
     health.SetState(serve_id, obs::HealthState::kDown,
                     "draining: stop requested");
   };
-  core::LiveRunner runner(options, &health, &incidents, &series_store);
+  core::LiveRunner runner(options, &health, &incidents, &series_store,
+                          &provenance_ledger);
   const core::LiveStats stats =
       runner.Run(*stream, &keep_going, [&](const core::LiveStats&) {
         if (pace_ms > 0) {
@@ -809,6 +824,60 @@ int CmdSeries(const Args& args, std::ostream& out, std::ostream& err) {
   if (!body.has_value()) {
     err << "series: unknown series " << *name
         << " (run without --name to list the names)\n";
+    return kFailure;
+  }
+  out << *body << "\n";
+  return kOk;
+}
+
+// explain <stream> --incident N — offline replay into a provenance
+// ledger; prints the same evidence JSON `serve` answers on
+// /api/incidents/N/evidence (byte-identical given the same live
+// options, at any RANOMALY_THREADS).
+int CmdExplain(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "explain: expected one stream file\n";
+    return kUsage;
+  }
+  const auto incident_text = args.Option("--incident");
+  if (!incident_text.has_value()) {
+    err << "explain: --incident N is required\n";
+    return kUsage;
+  }
+  std::uint64_t incident_seq = 0;
+  if (!util::ParseU64(*incident_text, incident_seq)) {
+    err << "explain: bad --incident " << *incident_text
+        << ": want a non-negative integer\n";
+    return kUsage;
+  }
+  const auto stream = LoadStream(args.positional[1], err);
+  if (!stream) return kFailure;
+
+  core::LiveOptions options;
+  options.tick = util::FromSeconds(
+      ParseDouble(args.Option("--tick-sec").value_or("10"), 10.0));
+  options.window = util::FromSeconds(
+      ParseDouble(args.Option("--window-sec").value_or("300"), 300.0));
+  options.slo_target_sec =
+      ParseDouble(args.Option("--slo-sec").value_or("30"), 30.0);
+  if (options.tick <= 0 || options.window <= 0) {
+    err << "explain: --tick-sec and --window-sec must be positive\n";
+    return kUsage;
+  }
+  options.shed.queue_capacity = static_cast<std::size_t>(
+      ParseDouble(args.Option("--queue-capacity").value_or("0"), 0.0));
+  options.shed.service_rate = static_cast<std::size_t>(
+      ParseDouble(args.Option("--service-rate").value_or("0"), 0.0));
+
+  core::IncidentLog incidents;
+  obs::ProvenanceLedger ledger;
+  core::LiveRunner runner(options, nullptr, &incidents, nullptr, &ledger);
+  runner.Run(*stream);
+  const auto body = ledger.EvidenceJson(incident_seq);
+  if (!body.has_value()) {
+    err << "explain: unknown incident " << incident_seq
+        << " (or its evidence was evicted); the replay logged "
+        << incidents.size() << " incidents\n";
     return kFailure;
   }
   out << *body << "\n";
@@ -955,6 +1024,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "metrics") return CmdMetrics(*parsed, out, err);
   if (command == "serve") return CmdServe(*parsed, out, err);
   if (command == "series") return CmdSeries(*parsed, out, err);
+  if (command == "explain") return CmdExplain(*parsed, out, err);
   if (command == "peers") return CmdPeers(*parsed, out, err);
   if (command == "internet") return CmdInternet(*parsed, out, err);
   err << "unknown command: " << command << "\n" << kUsageText;

@@ -4,7 +4,7 @@
 # speedup per row, and the 1/2/4-thread curve at 330k events.
 #
 # Usage:
-#   tools/run_bench.sh [--quick|--overhead|--serve-overhead|--dashboard-overhead|--checkpoint-overhead|--throughput|--internet]
+#   tools/run_bench.sh [--quick|--overhead|--serve-overhead|--dashboard-overhead|--checkpoint-overhead|--provenance-overhead|--throughput|--internet]
 #                      [--build-dir DIR]
 #                      [--out FILE]
 #
@@ -51,6 +51,16 @@
 #                appends a `checkpoint_overhead` row to the output JSON
 #                (budget: <= 3%, see docs/FORMATS.md and
 #                docs/OBSERVABILITY.md).
+#   --provenance-overhead
+#                measures what per-incident evidence capture (the
+#                obs::ProvenanceLedger behind `ranomaly explain` and
+#                /api/incidents/<id>/evidence) costs a live replay
+#                (bench_provenance_overhead --paired) with the same
+#                quiet-pair/min-over-rounds process-CPU estimator and
+#                appends a `provenance_overhead` row to the output JSON
+#                (budget: <= 3%, see docs/OBSERVABILITY.md).  Composes
+#                with --quick (fewer pairs, one round, build-dir output)
+#                — the `bench_smoke_provenance` ctest entry.
 #   --build-dir  cmake build directory (default: <repo>/build)
 #   --out        output JSON path (default: <repo>/BENCH_stemming.json,
 #                or <build>/BENCH_stemming_quick.json with --quick)
@@ -63,6 +73,7 @@ overhead=0
 serve_overhead=0
 dashboard_overhead=0
 checkpoint_overhead=0
+provenance_overhead=0
 throughput=0
 internet=0
 out=""
@@ -74,6 +85,7 @@ while [[ $# -gt 0 ]]; do
     --serve-overhead) serve_overhead=1; shift ;;
     --dashboard-overhead) dashboard_overhead=1; shift ;;
     --checkpoint-overhead) checkpoint_overhead=1; shift ;;
+    --provenance-overhead) provenance_overhead=1; shift ;;
     --throughput) throughput=1; shift ;;
     --internet) internet=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
@@ -462,6 +474,98 @@ print(f'  live replay (process CPU, {row["quiet_pairs"]} quiet of {pairs} '
       f'interleaved pairs, best of {len(rounds)} round(s)): bare '
       f'{row["bare_ns_per_op"] / 1e6:.2f} ms, checkpointing every 16 ticks '
       f'{row["checkpointed_ns_per_op"] / 1e6:.2f} ms, overhead '
+      f'{row["overhead_fraction"] * 100:+.1f}% ({verdict} the '
+      f'{budget * 100:.0f}% budget)')
+print(f"updated {out_path}")
+EOF
+  exit 0
+fi
+
+if [[ "$provenance_overhead" -eq 1 ]]; then
+  if [[ "$quick" -eq 1 ]]; then
+    [[ -n "$out" ]] || out="$build_dir/BENCH_stemming_quick.json"
+    pairs=6
+    max_rounds=1
+  else
+    [[ -n "$out" ]] || out="$repo_root/BENCH_stemming.json"
+    pairs=24
+    max_rounds=3
+  fi
+  pbench="$build_dir/bench/bench_provenance_overhead"
+  if [[ ! -x "$pbench" ]]; then
+    echo "building bench_provenance_overhead in $build_dir ..." >&2
+    cmake --build "$build_dir" --target bench_provenance_overhead -j"$(nproc)"
+  fi
+  # Same estimator as --checkpoint-overhead: (bare, provenance) replay
+  # pairs back to back in ONE process, alternating which side goes
+  # first, each replay timed with a process-CPU-clock delta; the row
+  # reports the median ratio over the quiet pairs (combined time within
+  # 15% of the observed floor), minimized over up to three
+  # time-separated rounds.  See that block's comment for why paired
+  # single-process ratios are the only estimator that survives a
+  # shared box.
+  python3 - "$pbench" "$out" "$pairs" "$max_rounds" <<'EOF'
+import json
+import statistics
+import os
+import subprocess
+import sys
+
+pbench, out_path = sys.argv[1], sys.argv[2]
+pairs, max_rounds = int(sys.argv[3]), int(sys.argv[4])
+
+def measure():
+    proc = subprocess.run([pbench, "--paired", str(pairs)],
+                          check=True, capture_output=True, text=True)
+    report = json.loads(proc.stdout)
+    floor = min(p["bare_ns"] + p["provenance_ns"]
+                for p in report["pairs"])
+    quiet = [p for p in report["pairs"]
+             if p["bare_ns"] + p["provenance_ns"] <= floor * 1.15]
+    ratio = statistics.median(
+        p["provenance_ns"] / p["bare_ns"] for p in quiet)
+    return {
+        "bare_ns_per_op": statistics.median(p["bare_ns"] for p in quiet),
+        "provenance_ns_per_op": statistics.median(
+            p["provenance_ns"] for p in quiet),
+        "overhead_fraction": ratio - 1.0,
+        "quiet_pairs": len(quiet),
+    }
+
+# True overhead is >= 0 and load only inflates the ratio, so smaller is
+# closer to the truth — but a *negative* reading is residual noise of
+# that magnitude around zero, not a better measurement, so rounds
+# compete on |overhead| and the loop stops once a round lands within
+# the noise floor of zero.
+rounds = []
+for _ in range(max_rounds):
+    rounds.append(measure())
+    if abs(rounds[-1]["overhead_fraction"]) <= 0.015:
+        break
+best = min(rounds, key=lambda r: abs(r["overhead_fraction"]))
+row = {
+    "benchmark": "bench_provenance_overhead",
+    **best,
+    "pairs": pairs,
+    "rounds": len(rounds),
+    "round_overheads": [r["overhead_fraction"] for r in rounds],
+    "estimator": "min_abs_over_rounds_of_median_quiet_pair_ratio",
+    "metric": "process_cpu_time",
+}
+result = {}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        result = json.load(f)
+result["provenance_overhead"] = row
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+budget = 0.03
+verdict = "within" if row["overhead_fraction"] <= budget else "OVER"
+print(f'  live replay (process CPU, {row["quiet_pairs"]} quiet of {pairs} '
+      f'interleaved pairs, best of {len(rounds)} round(s)): bare '
+      f'{row["bare_ns_per_op"] / 1e6:.2f} ms, with evidence capture '
+      f'{row["provenance_ns_per_op"] / 1e6:.2f} ms, overhead '
       f'{row["overhead_fraction"] * 100:+.1f}% ({verdict} the '
       f'{budget * 100:.0f}% budget)')
 print(f"updated {out_path}")
